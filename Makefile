@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean doc quickbench
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+retest:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+quickbench:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/paper_example.exe
+
+# requires odoc (not vendored): opam install odoc
+doc:
+	dune build @doc
+
+clean:
+	dune clean
