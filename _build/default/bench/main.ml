@@ -1,0 +1,623 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation on the synthetic platform, followed by the ablation
+   studies called out in DESIGN.md and a Bechamel micro-benchmark suite.
+
+   Run with: dune exec bench/main.exe
+   (append "--quick" to shrink the Table I statistics for smoke runs)
+
+   Sections:
+     [Table I]  incremental vs original verification time, 4 cases
+     [Fig 1]    abstract-vs-exact reach on the enlarged domain
+     [Fig 2]    the worked MILP example (expects 6.2 / 12 / 12.4)
+     [Fig 3]    waypoints of the DNN on the race track (ASCII + series)
+     [Fig 4]    architecture of the verified network
+     [Ablation] domains, engines, Lipschitz estimators, parallelism,
+                proposition firing order
+     [Micro]    Bechamel Test.make per core operation *)
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let time_runs = if quick then 1 else 3
+
+(* ------------------------------------------------------------------ *)
+(* Shared experiment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let exp = lazy (Cv_vehicle.Pipeline.build ())
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Case i (1-based): the proof of head (i-1) is reused
+   - SVuDC: head (i-1) under the enlarged monitored domain;
+   - SVbTV: head (i-1) fine-tuned into head i, same enlarged domain.
+   The original time is a from-scratch sound-and-complete solve (exact
+   MILP output range) of head (i-1); the SVbTV "parallel" column uses
+   the paper's accounting (max over independent subproblems,
+   footnote 3). *)
+let table1 () =
+  banner "Table I: time savings from incremental verification";
+  let exp = Lazy.force exp in
+  let heads = exp.Cv_vehicle.Pipeline.heads in
+  let prop = Cv_vehicle.Pipeline.property exp in
+  let new_din = exp.Cv_vehicle.Pipeline.enlarged_din in
+  Printf.printf
+    "verified head: %s; OOD events: %d (pattern flags: %d); kappa: %.4f\n"
+    (Cv_nn.Describe.shape_string heads.(0))
+    exp.Cv_vehicle.Pipeline.ood_events exp.Cv_vehicle.Pipeline.pattern_flags
+    exp.Cv_vehicle.Pipeline.kappa;
+  Printf.printf "%-8s %-13s %-28s %-28s\n" "case ID" "original (s)"
+    "SVuDC time / original time" "SVbTV time / original time";
+  let paper_svudc = [| 5.27; 0.72; 0.16; 1.34 |] in
+  let paper_svbtv = [| 37.52; 4.19; 4.68; 8.52 |] in
+  for case = 1 to Array.length heads - 1 do
+    let old_net = heads.(case - 1) and new_net = heads.(case) in
+    (* Original: median of repeated from-scratch solves. *)
+    let original, orig_t =
+      Cv_util.Timer.repeat_median ~runs:time_runs (fun () ->
+          Cv_core.Strategy.solve_original_exact old_net prop)
+    in
+    let artifact =
+      { original.Cv_core.Strategy.artifact with
+        Cv_artifacts.Artifacts.solve_seconds = orig_t }
+    in
+    let svudc_report, svudc_t =
+      Cv_util.Timer.repeat_median ~runs:time_runs (fun () ->
+          Cv_core.Strategy.solve_svudc
+            (Cv_core.Problem.svudc ~net:old_net ~artifact ~new_din))
+    in
+    let svbtv_report, svbtv_t =
+      Cv_util.Timer.repeat_median ~runs:time_runs (fun () ->
+          Cv_core.Strategy.solve_svbtv
+            (Cv_core.Problem.svbtv ~old_net ~new_net ~artifact ~new_din))
+    in
+    let verdict_str r =
+      match r.Cv_core.Report.verdict with
+      | Cv_core.Report.Safe -> "safe"
+      | Cv_core.Report.Unsafe _ -> "UNSAFE"
+      | Cv_core.Report.Inconclusive _ -> "inconclusive"
+    in
+    Printf.printf "%-8d %-13.3f %-28s %-28s\n" case orig_t
+      (Printf.sprintf "%.3f%% (%s, paper %.2f%%)"
+         (100. *. svudc_t /. orig_t)
+         (verdict_str svudc_report)
+         paper_svudc.(case - 1))
+      (Printf.sprintf "%.3f%% (%s, paper %.2f%%)"
+         (100. *. svbtv_t /. orig_t)
+         (verdict_str svbtv_report)
+         paper_svbtv.(case - 1))
+  done;
+  Printf.printf
+    "(shape target: every incremental entry well below 100%%, as in the paper)\n"
+
+(* ------------------------------------------------------------------ *)
+(* A second Table I under ReluVal-style accounting — the closest match
+   to what the paper's tooling actually did. The original verification
+   is a bisection (split-certificate) proof of a property tight enough
+   to need real splitting; the incremental SVbTV step revalidates the
+   stored leaves on the fine-tuned network with one-shot symbolic
+   intervals (no new splitting). The tight D_out sits between the exact
+   output range and the one-shot symbolic reach (gamma of the gap), so
+   the splitting workload is controlled; the exact range used to
+   position it is not charged to either side. *)
+let table1_splitcert () =
+  banner "Table I (ReluVal-style accounting: split certificates)";
+  let exp = Lazy.force exp in
+  let heads = exp.Cv_vehicle.Pipeline.heads in
+  let din = exp.Cv_vehicle.Pipeline.din in
+  let gamma = 0.4 in
+  let cases = if quick then 1 else 2 in
+  Printf.printf "%-8s %-8s %-14s %-16s %-10s\n" "case ID" "leaves"
+    "original (s)" "revalidate (s)" "ratio";
+  for case = 1 to cases do
+    let old_net = heads.(case - 1) and new_net = heads.(case) in
+    let exact = Cv_verify.Range.exact_range old_net ~din in
+    let sym =
+      Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint old_net din
+    in
+    let dout_tight =
+      Cv_interval.Box.make
+        (Array.init (Cv_interval.Box.dim sym) (fun i ->
+             let e = Cv_interval.Box.get exact.Cv_verify.Range.range i in
+             let s = Cv_interval.Box.get sym i in
+             Cv_interval.Interval.make
+               (Cv_util.Float_utils.lerp (Cv_interval.Interval.lo e)
+                  (Cv_interval.Interval.lo s) gamma)
+               (Cv_util.Float_utils.lerp (Cv_interval.Interval.hi e)
+                  (Cv_interval.Interval.hi s) gamma)))
+    in
+    let cert, orig_t =
+      Cv_util.Timer.time (fun () ->
+          Cv_verify.Split_cert.prove ~budget:50_000 old_net ~input_box:din
+            ~target:dout_tight)
+    in
+    match cert with
+    | None ->
+      Printf.printf "%-8d split budget exhausted (gamma=%.2f too tight)\n"
+        case gamma
+    | Some cert ->
+      (* One incremental pass: revalidate every leaf and selectively
+         re-split the failures (repair subsumes the revalidation). *)
+      let repaired, incr_t =
+        Cv_util.Timer.time (fun () -> Cv_verify.Split_cert.repair cert new_net)
+      in
+      let note =
+        match repaired with
+        | Some cert' when
+            Cv_verify.Split_cert.num_leaves cert'
+            = Cv_verify.Split_cert.num_leaves cert ->
+          ""
+        | Some cert' ->
+          Printf.sprintf " (%d leaves re-split)"
+            (Cv_verify.Split_cert.num_leaves cert'
+            - Cv_verify.Split_cert.num_leaves cert)
+        | None -> " (repair failed)"
+      in
+      Printf.printf "%-8d %-8d %-14.3f %-16.4f %-10s\n" case
+        (Cv_verify.Split_cert.num_leaves cert)
+        orig_t incr_t
+        (Printf.sprintf "%.3f%%%s" (100. *. incr_t /. orig_t) note)
+  done;
+  Printf.printf
+    "(the revalidation IS the paper's 'set the bounds and check for violations';\n\
+    \ under equal engines the saving comes from skipping the split search —\n\
+    \ the dramatic Table-I ratios above additionally change engine class)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  banner "Figure 1: why exact local checks rescue proof reuse";
+  let exp = Lazy.force exp in
+  let head = exp.Cv_vehicle.Pipeline.heads.(0) in
+  let din = exp.Cv_vehicle.Pipeline.din in
+  let new_din = exp.Cv_vehicle.Pipeline.enlarged_din in
+  (* Stored S_2 (plain inductive chain — no widening, the tight regime
+     of the paper's figure), the abstract transformer image of the
+     enlarged domain, and the exact MILP reach of the enlarged domain,
+     all at layer 2. *)
+  let chain =
+    Cv_domains.Analyzer.abstractions Cv_domains.Analyzer.Symint head din
+  in
+  let s2 = chain.(1) in
+  let prefix2 = Cv_nn.Network.prefix head 2 in
+  let abstract_enlarged =
+    (* Same transformer family as the stored chain, re-run on the
+       enlarged domain (fig 1-b). *)
+    Cv_domains.Analyzer.abstractions Cv_domains.Analyzer.Symint prefix2 new_din
+    |> fun s -> s.(1)
+  in
+  let exact = Cv_verify.Range.exact_range prefix2 ~din:new_din in
+  let w = Cv_interval.Box.total_width in
+  Printf.printf "stored S_2 total width                      : %8.3f\n" (w s2);
+  Printf.printf "abstract transformer on D_in ∪ Δ_in (fig 1-b): %7.3f %s\n"
+    (w abstract_enlarged)
+    (if Cv_interval.Box.subset_tol abstract_enlarged s2 then "⊆ S_2"
+     else "⊄ S_2 — abstract reuse fails");
+  Printf.printf "exact reach of D_in ∪ Δ_in (fig 1-c)        : %8.3f %s\n"
+    (w exact.Cv_verify.Range.range)
+    (if Cv_interval.Box.subset_tol exact.Cv_verify.Range.range s2 then
+       "⊆ S_2 — proof reused via the exact local check"
+     else "⊄ S_2");
+  Printf.printf
+    "(shape: exact ⊂ stored S_2 even when the one-shot abstract image overshoots)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  banner "Figure 2: the worked example (Equation 2)";
+  let net =
+    Cv_nn.Network.of_list
+      [ Cv_nn.Layer.make
+          (Cv_linalg.Mat.of_rows [ [| 1.; -2. |]; [| -2.; 1. |]; [| 1.; -1. |] ])
+          [| 0.; 0.; 0. |] Cv_nn.Activation.Relu;
+        Cv_nn.Layer.make
+          (Cv_linalg.Mat.of_rows [ [| 2.; 2.; -1. |] ])
+          [| 0. |] Cv_nn.Activation.Relu ]
+  in
+  let reach b = Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Box net b in
+  let original = Cv_interval.Box.uniform 2 ~lo:(-1.) ~hi:1. in
+  let enlarged = Cv_interval.Box.uniform 2 ~lo:(-1.) ~hi:1.1 in
+  Printf.printf "interval bound on n4, original domain : %s (paper: [0, 12])\n"
+    (Cv_interval.Box.to_string (reach original));
+  Printf.printf "interval bound on n4, enlarged domain : %s (paper: [0, 12.4])\n"
+    (Cv_interval.Box.to_string (reach enlarged));
+  let enc = Cv_milp.Relu_encoding.encode ~net ~input_box:enlarged in
+  (match Cv_milp.Relu_encoding.max_output enc ~output:0 with
+  | Cv_milp.Milp.Optimal s ->
+    Printf.printf "exact max of n4, enlarged domain      : %.4g (paper: 6.2)\n"
+      s.Cv_milp.Milp.objective
+  | _ -> print_endline "exact query failed")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  banner "Figure 3: DNN waypoint output on the race track";
+  let exp = Lazy.force exp in
+  let track = exp.Cv_vehicle.Pipeline.track in
+  let perception = exp.Cv_vehicle.Pipeline.perception in
+  let rng = Cv_util.Rng.create 1234 in
+  let monitor = Cv_monitor.Monitor.of_box exp.Cv_vehicle.Pipeline.din in
+  let state = Cv_vehicle.Controller.init track ~s:0. in
+  let _, trace =
+    Cv_vehicle.Controller.drive ~rng ~track ~perception ~monitor ~steps:150
+      state
+  in
+  let poses =
+    List.filteri (fun i _ -> i mod 12 = 0) trace
+    |> List.map (fun t -> t.Cv_vehicle.Controller.t_pose)
+  in
+  print_string (Cv_vehicle.Track.render track poses);
+  Printf.printf "v_out series along the drive (every 10th frame):\n";
+  List.iteri
+    (fun i t ->
+      if i mod 10 = 0 then
+        Printf.printf "  frame %3d: v_out=%.3f waypoint=(%d, %d)%s\n" i
+          t.Cv_vehicle.Controller.t_vout
+          (fst (Cv_vehicle.Perception.waypoint perception
+                  t.Cv_vehicle.Controller.t_vout))
+          (snd (Cv_vehicle.Perception.waypoint perception
+                  t.Cv_vehicle.Controller.t_vout))
+          (if t.Cv_vehicle.Controller.t_ood then "  [OOD]" else ""))
+    trace
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  banner "Figure 4: the verified network";
+  let exp = Lazy.force exp in
+  Printf.printf
+    "camera %dx%d -> frozen extractor (conv stand-in) -> Flatten(%d) -> verified head:\n"
+    exp.Cv_vehicle.Pipeline.perception.Cv_vehicle.Perception.camera
+      .Cv_vehicle.Camera.width
+    exp.Cv_vehicle.Pipeline.perception.Cv_vehicle.Perception.camera
+      .Cv_vehicle.Camera.height
+    (Cv_vehicle.Perception.feature_dim exp.Cv_vehicle.Pipeline.perception);
+  print_string (Cv_nn.Describe.layer_table exp.Cv_vehicle.Pipeline.heads.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_domains () =
+  banner "Ablation: abstract-domain precision vs cost (verified head over D_in)";
+  let exp = Lazy.force exp in
+  let head = exp.Cv_vehicle.Pipeline.heads.(0) in
+  let din = exp.Cv_vehicle.Pipeline.din in
+  let exact = Cv_verify.Range.exact_range head ~din in
+  let exact_w = Cv_interval.Box.total_width exact.Cv_verify.Range.range in
+  Printf.printf "%-10s %-14s %-14s %-10s\n" "domain" "reach width"
+    "vs exact" "time (ms)";
+  Printf.printf "%-10s %-14.4f %-14s %-10s\n" "exact" exact_w "1.00x" "-";
+  List.iter
+    (fun kind ->
+      let reach, dt =
+        Cv_util.Timer.repeat_median ~runs:5 (fun () ->
+            Cv_domains.Analyzer.output_box kind head din)
+      in
+      let w = Cv_interval.Box.total_width reach in
+      Printf.printf "%-10s %-14.4f %-14s %-10.3f\n"
+        (Cv_domains.Analyzer.domain_name kind)
+        w
+        (Printf.sprintf "%.2fx" (w /. exact_w))
+        (dt *. 1000.))
+    [ Cv_domains.Analyzer.Box; Cv_domains.Analyzer.Symint;
+      Cv_domains.Analyzer.Zonotope; Cv_domains.Analyzer.Deeppoly;
+      Cv_domains.Analyzer.Star ]
+
+let ablation_engines () =
+  banner "Ablation: exact-engine cost on the Prop 1 local subproblem";
+  let exp = Lazy.force exp in
+  let head = exp.Cv_vehicle.Pipeline.heads.(0) in
+  let din = exp.Cv_vehicle.Pipeline.din in
+  let new_din = exp.Cv_vehicle.Pipeline.enlarged_din in
+  (* Plain chain: the stored S_2 is tight, so one-shot abstract engines
+     fail on the enlarged domain and the exact engines must decide —
+     exactly the situation the propositions are designed for. *)
+  let chain =
+    Cv_domains.Analyzer.abstractions Cv_domains.Analyzer.Symint head din
+  in
+  let prefix2 = Cv_nn.Network.prefix head 2 in
+  Printf.printf "%-22s %-14s %-10s\n" "engine" "verdict" "time (ms)";
+  List.iter
+    (fun engine ->
+      let verdict, dt =
+        Cv_util.Timer.repeat_median ~runs:time_runs (fun () ->
+            Cv_verify.Containment.check engine prefix2 ~input_box:new_din
+              ~target:chain.(1))
+      in
+      Printf.printf "%-22s %-14s %-10.3f\n"
+        (Cv_verify.Containment.engine_name engine)
+        (match verdict with
+        | Cv_verify.Containment.Proved -> "proved"
+        | Cv_verify.Containment.Violated _ -> "violated"
+        | Cv_verify.Containment.Unknown _ -> "unknown")
+        (dt *. 1000.))
+    [ Cv_verify.Containment.Abstract Cv_domains.Analyzer.Box;
+      Cv_verify.Containment.Abstract Cv_domains.Analyzer.Symint;
+      Cv_verify.Containment.Symint_split 256;
+      Cv_verify.Containment.Milp ]
+
+let ablation_lipschitz () =
+  banner "Ablation: Lipschitz estimator tightness (verified head, Linf)";
+  let exp = Lazy.force exp in
+  let head = exp.Cv_vehicle.Pipeline.heads.(0) in
+  let din = exp.Cv_vehicle.Pipeline.din in
+  let rng = Cv_util.Rng.create 5 in
+  let global = Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf head in
+  let local = Cv_lipschitz.Lipschitz.local ~norm:Cv_lipschitz.Lipschitz.Linf head din in
+  let sampled =
+    Cv_lipschitz.Lipschitz.sampled_quotient ~samples:2000 ~rng
+      ~norm:Cv_lipschitz.Lipschitz.Linf head din
+  in
+  Printf.printf "sampled difference quotient (lower bound) : %10.3f\n" sampled;
+  Printf.printf "interval-aware local bound over D_in      : %10.3f (%.1fx)\n"
+    local (local /. sampled);
+  Printf.printf "global operator-norm product              : %10.3f (%.1fx)\n"
+    global (global /. sampled);
+  (* Over a narrow sub-box many ReLUs become provably inactive and the
+     interval-aware bound pulls away from the global product. *)
+  let narrow =
+    Cv_interval.Box.of_center_radius (Cv_interval.Box.center din) 0.02
+  in
+  let local_narrow =
+    Cv_lipschitz.Lipschitz.local ~norm:Cv_lipschitz.Lipschitz.Linf head narrow
+  in
+  let sampled_narrow =
+    Cv_lipschitz.Lipschitz.sampled_quotient ~samples:2000 ~rng
+      ~norm:Cv_lipschitz.Lipschitz.Linf head narrow
+  in
+  Printf.printf "local bound over a narrow sub-box         : %10.3f (sampled %.3f, global still %.3f)\n"
+    local_narrow sampled_narrow global
+
+let ablation_parallel () =
+  banner "Ablation: parallel speedup of Prop 4 subproblems";
+  let exp = Lazy.force exp in
+  let heads = exp.Cv_vehicle.Pipeline.heads in
+  let prop = Cv_vehicle.Pipeline.property exp in
+  let original = Cv_core.Strategy.solve_original_exact heads.(0) prop in
+  let p =
+    Cv_core.Problem.svbtv ~old_net:heads.(0) ~new_net:heads.(1)
+      ~artifact:original.Cv_core.Strategy.artifact
+      ~new_din:exp.Cv_vehicle.Pipeline.enlarged_din
+  in
+  Printf.printf "%-10s %-12s\n" "domains" "wall (ms)";
+  List.iter
+    (fun domains ->
+      let _, dt =
+        Cv_util.Timer.repeat_median ~runs:time_runs (fun () ->
+            Cv_core.Svbtv.prop4 ~domains p)
+      in
+      Printf.printf "%-10d %-12.3f\n" domains (dt *. 1000.))
+    [ 1; 2; 4 ];
+  let a = Cv_core.Svbtv.prop4 ~domains:1 p in
+  Printf.printf
+    "timing model: parallel=max over %d subproblems %.3fms, sequential sum %.3fms\n"
+    a.Cv_core.Report.timing.Cv_core.Report.subproblems
+    (a.Cv_core.Report.timing.Cv_core.Report.parallel *. 1000.)
+    (a.Cv_core.Report.timing.Cv_core.Report.sequential *. 1000.)
+
+let ablation_prop_order () =
+  banner "Ablation: which proposition fires, and at what cost";
+  let exp = Lazy.force exp in
+  let heads = exp.Cv_vehicle.Pipeline.heads in
+  let prop = Cv_vehicle.Pipeline.property exp in
+  let new_din = exp.Cv_vehicle.Pipeline.enlarged_din in
+  let original = Cv_core.Strategy.solve_original_exact heads.(0) prop in
+  let artifact = original.Cv_core.Strategy.artifact in
+  let svudc = Cv_core.Problem.svudc ~net:heads.(0) ~artifact ~new_din in
+  Printf.printf "SVuDC attempts on the enlarged domain:\n";
+  List.iter
+    (fun (name, attempt) ->
+      let a = attempt () in
+      Printf.printf "  %-8s %-14s %8.3f ms   %s\n" name
+        (match a.Cv_core.Report.outcome with
+        | Cv_core.Report.Safe -> "safe"
+        | Cv_core.Report.Unsafe _ -> "unsafe"
+        | Cv_core.Report.Inconclusive _ -> "inconclusive")
+        (a.Cv_core.Report.timing.Cv_core.Report.wall *. 1000.)
+        a.Cv_core.Report.detail)
+    [ ("trivial", fun () -> Cv_core.Svudc.trivial svudc);
+      ("prop3", fun () -> Cv_core.Svudc.prop3 svudc);
+      ("prop1", fun () -> Cv_core.Svudc.prop1 svudc);
+      ("prop2", fun () -> Cv_core.Svudc.prop2 svudc);
+      ("dcover", fun () -> Cv_core.Svudc.delta_cover svudc) ];
+  let svbtv =
+    Cv_core.Problem.svbtv ~old_net:heads.(0) ~new_net:heads.(1) ~artifact
+      ~new_din
+  in
+  Printf.printf "SVbTV attempts (head 1 -> head 2):\n";
+  List.iter
+    (fun (name, attempt) ->
+      let a = attempt () in
+      Printf.printf "  %-8s %-14s %8.3f ms   %s\n" name
+        (match a.Cv_core.Report.outcome with
+        | Cv_core.Report.Safe -> "safe"
+        | Cv_core.Report.Unsafe _ -> "unsafe"
+        | Cv_core.Report.Inconclusive _ -> "inconclusive")
+        (a.Cv_core.Report.timing.Cv_core.Report.wall *. 1000.)
+        a.Cv_core.Report.detail)
+    [ ("prop4", fun () -> Cv_core.Svbtv.prop4 svbtv);
+      ("prop5", fun () -> Cv_core.Svbtv.prop5 ~anchors:[ 2 ] svbtv);
+      ("fixer", fun () -> Cv_core.Fixer.repair svbtv);
+      ("pdiff", fun () -> Cv_core.Diff_reuse.prop_diff svbtv);
+      ( "prop6i",
+        fun () -> Cv_core.Netabs_reuse.prop6_interval ~slack:0.02 svbtv );
+      ( "leaves",
+        fun () ->
+          (* Build the split certificate on the fly (the artifact of a
+             ReluVal-style original run) and revalidate it for head 2. *)
+          match
+            Cv_verify.Split_cert.prove heads.(0)
+              ~input_box:prop.Cv_verify.Property.din
+              ~target:prop.Cv_verify.Property.dout
+          with
+          | None ->
+            { Cv_core.Report.name = "leaf-reuse";
+              outcome = Cv_core.Report.Inconclusive "no certificate";
+              timing = Cv_core.Report.sequential_timing 0.;
+              detail = "" }
+          | Some cert ->
+            let artifact_with_cert =
+              Cv_artifacts.Artifacts.make
+                ?state_abstractions:
+                  artifact.Cv_artifacts.Artifacts.state_abstractions
+                ~lipschitz:artifact.Cv_artifacts.Artifacts.lipschitz
+                ~split_cert:cert ~property:prop ~net:heads.(0)
+                ~solver:"split" ~solve_seconds:1. ()
+            in
+            Cv_core.Svbtv.leaf_reuse
+              (Cv_core.Problem.svbtv ~old_net:heads.(0) ~new_net:heads.(1)
+                 ~artifact:artifact_with_cert ~new_din) ) ];
+  (* Differential-analysis tightness: tracked difference vs the naive
+     reach subtraction (the gap ReluDiff-style analyses close). *)
+  let eps_diff =
+    Cv_diffverify.Diffverify.max_output_delta ~old_net:heads.(0)
+      ~new_net:heads.(1) new_din
+  in
+  let naive =
+    Cv_diffverify.Diffverify.naive_bound ~old_net:heads.(0) ~new_net:heads.(1)
+      new_din
+  in
+  let eps_naive =
+    Array.fold_left
+      (fun acc iv ->
+        Float.max acc
+          (Float.max
+             (Float.abs (Cv_interval.Interval.lo iv))
+             (Float.abs (Cv_interval.Interval.hi iv))))
+      0. naive
+  in
+  Printf.printf
+    "differential bound |f' − f| over enlarged domain: tracked ε=%.4g vs naive reach-subtraction %.4g (%.0fx tighter)\n"
+    eps_diff eps_naive
+    (eps_naive /. Float.max 1e-12 eps_diff)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  banner "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let exp = Lazy.force exp in
+  let head = exp.Cv_vehicle.Pipeline.heads.(0) in
+  let din = exp.Cv_vehicle.Pipeline.din in
+  let new_din = exp.Cv_vehicle.Pipeline.enlarged_din in
+  let chain =
+    Cv_domains.Analyzer.abstractions ~widen:0.04 Cv_domains.Analyzer.Symint head
+      din
+  in
+  let prefix2 = Cv_nn.Network.prefix head 2 in
+  let x = Cv_interval.Box.center din in
+  let fig2_box = Cv_interval.Box.uniform 2 ~lo:(-1.) ~hi:1.1 in
+  let fig2_net =
+    Cv_nn.Network.of_list
+      [ Cv_nn.Layer.make
+          (Cv_linalg.Mat.of_rows [ [| 1.; -2. |]; [| -2.; 1. |]; [| 1.; -1. |] ])
+          [| 0.; 0.; 0. |] Cv_nn.Activation.Relu;
+        Cv_nn.Layer.make
+          (Cv_linalg.Mat.of_rows [ [| 2.; 2.; -1. |] ])
+          [| 0. |] Cv_nn.Activation.Relu ]
+  in
+  let tests =
+    [ Test.make ~name:"nn-forward-pass"
+        (Staged.stage (fun () -> ignore (Cv_nn.Network.eval head x)));
+      Test.make ~name:"chain-box"
+        (Staged.stage (fun () ->
+             ignore
+               (Cv_domains.Analyzer.abstractions Cv_domains.Analyzer.Box head din)));
+      Test.make ~name:"chain-symint"
+        (Staged.stage (fun () ->
+             ignore
+               (Cv_domains.Analyzer.abstractions Cv_domains.Analyzer.Symint head
+                  din)));
+      Test.make ~name:"chain-zonotope"
+        (Staged.stage (fun () ->
+             ignore
+               (Cv_domains.Analyzer.abstractions Cv_domains.Analyzer.Zonotope
+                  head din)));
+      Test.make ~name:"chain-deeppoly"
+        (Staged.stage (fun () ->
+             ignore
+               (Cv_domains.Analyzer.abstractions Cv_domains.Analyzer.Deeppoly
+                  head din)));
+      Test.make ~name:"table1-prop1-milp"
+        (Staged.stage (fun () ->
+             ignore
+               (Cv_verify.Containment.check Cv_verify.Containment.Milp prefix2
+                  ~input_box:new_din ~target:chain.(1))));
+      Test.make ~name:"table1-prop4-layer"
+        (Staged.stage (fun () ->
+             let slice = Cv_nn.Network.slice head ~from_:1 ~to_:2 in
+             ignore
+               (Cv_verify.Containment.check Cv_verify.Containment.Milp slice
+                  ~input_box:chain.(0) ~target:chain.(1))));
+      Test.make ~name:"fig2-exact-milp"
+        (Staged.stage (fun () ->
+             let enc =
+               Cv_milp.Relu_encoding.encode ~net:fig2_net ~input_box:fig2_box
+             in
+             ignore (Cv_milp.Relu_encoding.max_output enc ~output:0)));
+      Test.make ~name:"lipschitz-global"
+        (Staged.stage (fun () ->
+             ignore
+               (Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf
+                  head)));
+      Test.make ~name:"monitor-observe"
+        (Staged.stage
+           (let m = Cv_monitor.Monitor.of_box din in
+            fun () -> ignore (Cv_monitor.Monitor.observe m x))) ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.05 else 0.5))
+      ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"contiver" tests) in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> est
+        | Some (est :: _) -> est
+        | _ -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  Printf.printf "%-32s %14s\n" "benchmark" "ns/run";
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-32s %14.1f\n" name ns)
+    (List.sort compare !rows)
+
+let () =
+  table1 ();
+  table1_splitcert ();
+  fig1 ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  ablation_domains ();
+  ablation_engines ();
+  ablation_lipschitz ();
+  ablation_parallel ();
+  ablation_prop_order ();
+  micro ();
+  print_newline ()

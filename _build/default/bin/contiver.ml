@@ -1,0 +1,514 @@
+(* contiver — continuous safety verification of neural networks.
+
+   A cmdliner front-end over the library: generate the synthetic
+   experiment, verify properties, persist and reuse proof artifacts, and
+   run the incremental (SVuDC / SVbTV) checks.
+
+   Typical session:
+
+     contiver generate --out /tmp/exp
+     contiver describe --model /tmp/exp/head1.json
+     contiver verify --model /tmp/exp/head1.json \
+         --property /tmp/exp/property.json --artifact /tmp/exp/proof.json
+     contiver svudc --model /tmp/exp/head1.json \
+         --artifact /tmp/exp/proof.json --new-din /tmp/exp/enlarged_din.json
+     contiver svbtv --old /tmp/exp/head1.json --new /tmp/exp/head2.json \
+         --artifact /tmp/exp/proof.json --new-din /tmp/exp/enlarged_din.json *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+let load_box path = Cv_interval.Box.of_json (Cv_util.Json.parse (read_file path))
+
+let save_box path box =
+  write_file path (Cv_util.Json.to_string (Cv_interval.Box.to_json box))
+
+let load_property path =
+  Cv_verify.Property.of_json (Cv_util.Json.parse (read_file path))
+
+let save_property path prop =
+  write_file path (Cv_util.Json.to_string (Cv_verify.Property.to_json prop))
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let setup_logs verbose =
+  Cv_util.Log_setup.init ~level:(if verbose then Logs.Info else Logs.Warning) ()
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let model_arg ?(names = [ "model" ]) () =
+  Arg.(
+    required
+    & opt (some file) None
+    & info names ~docv:"FILE" ~doc:"Model file (contiver JSON format).")
+
+let artifact_arg ~mode =
+  match mode with
+  | `In ->
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "artifact" ] ~docv:"FILE" ~doc:"Proof-artifact file to reuse.")
+  | `Out ->
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "artifact" ] ~docv:"FILE" ~doc:"Where to write proof artifacts.")
+
+let engine_arg =
+  let conv_engine s =
+    match s with
+    | "milp" -> Ok Cv_verify.Containment.Milp
+    | "symint-split" -> Ok (Cv_verify.Containment.Symint_split 4096)
+    | "box" | "symint" | "zonotope" | "deeppoly" | "star" ->
+      Ok (Cv_verify.Containment.Abstract (Cv_domains.Analyzer.domain_of_string s))
+    | _ -> Error (`Msg ("unknown engine: " ^ s))
+  in
+  let pp_engine ppf e =
+    Format.pp_print_string ppf (Cv_verify.Containment.engine_name e)
+  in
+  Arg.(
+    value
+    & opt (conv (conv_engine, pp_engine)) Cv_verify.Containment.Milp
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Verification engine: $(b,milp), $(b,symint-split), or a one-shot \
+           abstract domain ($(b,box), $(b,symint), $(b,zonotope), \
+           $(b,deeppoly), $(b,star)).")
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate verbose out seed =
+  setup_logs verbose;
+  let config = { Cv_vehicle.Pipeline.default_config with Cv_vehicle.Pipeline.seed } in
+  let exp = Cv_vehicle.Pipeline.build ~config () in
+  (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Array.iteri
+    (fun i head ->
+      Cv_nn.Serialize.save_network
+        ~name:(Printf.sprintf "head%d" (i + 1))
+        (Filename.concat out (Printf.sprintf "head%d.json" (i + 1)))
+        head)
+    exp.Cv_vehicle.Pipeline.heads;
+  save_property
+    (Filename.concat out "property.json")
+    (Cv_vehicle.Pipeline.property exp);
+  save_box (Filename.concat out "din.json") exp.Cv_vehicle.Pipeline.din;
+  save_box
+    (Filename.concat out "enlarged_din.json")
+    exp.Cv_vehicle.Pipeline.enlarged_din;
+  Printf.printf
+    "wrote %d heads, property, din and enlarged_din to %s\n(train loss %.5f, %d OOD events, kappa %.4f)\n"
+    (Array.length exp.Cv_vehicle.Pipeline.heads)
+    out exp.Cv_vehicle.Pipeline.train_loss exp.Cv_vehicle.Pipeline.ood_events
+    exp.Cv_vehicle.Pipeline.kappa
+
+let generate_cmd =
+  let out =
+    Arg.(
+      value & opt string "contiver-experiment"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate the synthetic vehicle experiment (models + domains).")
+    Term.(const generate $ verbose_arg $ out $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* describe                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let describe verbose model =
+  setup_logs verbose;
+  let net = Cv_nn.Serialize.load_network model in
+  print_string (Cv_nn.Describe.layer_table net);
+  Printf.printf "global Lipschitz (Linf): %.4g\n"
+    (Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net)
+
+let describe_cmd =
+  Cmd.v
+    (Cmd.info "describe" ~doc:"Print a model's architecture summary.")
+    Term.(const describe $ verbose_arg $ model_arg ())
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify verbose model property artifact_out exact widen =
+  setup_logs verbose;
+  let net = Cv_nn.Serialize.load_network model in
+  let prop = load_property property in
+  let original =
+    if exact then Cv_core.Strategy.solve_original_exact ~widen net prop
+    else Cv_core.Strategy.solve_original net prop
+  in
+  Printf.printf "verdict: %s\n"
+    (match original.Cv_core.Strategy.report.Cv_verify.Verifier.verdict with
+    | Cv_verify.Containment.Proved -> "PROVED"
+    | Cv_verify.Containment.Violated v ->
+      Printf.sprintf "VIOLATED (output %d, margin %.4g)"
+        v.Cv_verify.Falsify.neuron v.Cv_verify.Falsify.margin
+    | Cv_verify.Containment.Unknown m -> "UNKNOWN: " ^ m);
+  Printf.printf "time: %.3fs  solver: %s\n"
+    original.Cv_core.Strategy.artifact.Cv_artifacts.Artifacts.solve_seconds
+    original.Cv_core.Strategy.artifact.Cv_artifacts.Artifacts.solver;
+  if original.Cv_core.Strategy.proved then begin
+    Cv_artifacts.Artifacts.save artifact_out original.Cv_core.Strategy.artifact;
+    Printf.printf "proof artifacts written to %s\n" artifact_out
+  end
+  else Printf.printf "no artifact written (property not proved)\n";
+  if not original.Cv_core.Strategy.proved then exit 1
+
+let verify_cmd =
+  let property =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "property" ] ~docv:"FILE" ~doc:"Safety property (JSON).")
+  in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Run the sound-and-complete exact solve (MILP output range) \
+             instead of abstract-with-fallback.")
+  in
+  let widen =
+    Arg.(
+      value & opt float 0.02
+      & info [ "widen" ] ~docv:"W"
+          ~doc:"Widening slack on recorded state abstractions.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify a safety property from scratch and record proof artifacts.")
+    Term.(
+      const verify $ verbose_arg $ model_arg () $ property
+      $ artifact_arg ~mode:`Out $ exact $ widen)
+
+(* ------------------------------------------------------------------ *)
+(* svudc / svbtv                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let print_report report original_seconds =
+  print_endline (Cv_core.Report.to_string report);
+  Printf.printf "incremental cost: %.3f%% of the original solve\n"
+    (100.
+    *. Cv_core.Strategy.ratio ~incremental:report.Cv_core.Report.total_wall
+         ~original:original_seconds);
+  match report.Cv_core.Report.verdict with
+  | Cv_core.Report.Safe -> ()
+  | _ -> exit 1
+
+let svudc verbose model artifact new_din engine =
+  setup_logs verbose;
+  let net = Cv_nn.Serialize.load_network model in
+  let artifact = Cv_artifacts.Artifacts.load artifact in
+  let new_din = load_box new_din in
+  let p = Cv_core.Problem.svudc ~net ~artifact ~new_din in
+  let config = { Cv_core.Strategy.default_config with Cv_core.Strategy.engine } in
+  let report = Cv_core.Strategy.solve_svudc ~config p in
+  print_report report artifact.Cv_artifacts.Artifacts.solve_seconds
+
+let svudc_cmd =
+  let new_din =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "new-din" ] ~docv:"FILE" ~doc:"Enlarged input domain (JSON box).")
+  in
+  Cmd.v
+    (Cmd.info "svudc"
+       ~doc:
+         "Safety Verification under Domain Change: re-establish a proved \
+          property on an enlarged input domain by reusing proof artifacts.")
+    Term.(
+      const svudc $ verbose_arg $ model_arg () $ artifact_arg ~mode:`In
+      $ new_din $ engine_arg)
+
+let svbtv verbose old_model new_model artifact new_din engine slack =
+  setup_logs verbose;
+  let old_net = Cv_nn.Serialize.load_network old_model in
+  let new_net = Cv_nn.Serialize.load_network new_model in
+  let artifact = Cv_artifacts.Artifacts.load artifact in
+  let new_din =
+    match new_din with
+    | Some path -> load_box path
+    | None -> artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.din
+  in
+  let p = Cv_core.Problem.svbtv ~old_net ~new_net ~artifact ~new_din in
+  Printf.printf "parameter drift (Linf): %.5g\n" (Cv_core.Problem.drift p);
+  let config =
+    { Cv_core.Strategy.default_config with
+      Cv_core.Strategy.engine;
+      interval_slack = slack }
+  in
+  let report = Cv_core.Strategy.solve_svbtv ~config p in
+  print_report report artifact.Cv_artifacts.Artifacts.solve_seconds
+
+let svbtv_cmd =
+  let old_model = model_arg ~names:[ "old" ] () in
+  let new_model = model_arg ~names:[ "new" ] () in
+  let new_din =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "new-din" ] ~docv:"FILE"
+          ~doc:"Enlarged input domain (defaults to the artifact's D_in).")
+  in
+  let slack =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "interval-slack" ] ~docv:"S"
+          ~doc:"Also try weight-interval Prop 6 reuse with this slack.")
+  in
+  Cmd.v
+    (Cmd.info "svbtv"
+       ~doc:
+         "Safety Verification between Two Versions: transfer a proof from a \
+          network to its fine-tuned successor.")
+    Term.(
+      const svbtv $ verbose_arg $ old_model $ new_model
+      $ artifact_arg ~mode:`In $ new_din $ engine_arg $ slack)
+
+(* ------------------------------------------------------------------ *)
+(* range                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let range verbose model din =
+  setup_logs verbose;
+  let net = Cv_nn.Serialize.load_network model in
+  let din = load_box din in
+  let r, dt = Cv_util.Timer.time (fun () -> Cv_verify.Range.exact_range net ~din) in
+  Printf.printf "exact output range: %s\n"
+    (Cv_interval.Box.to_string r.Cv_verify.Range.range);
+  Printf.printf "MILP: %d vars, %d binaries; %.3fs\n" r.Cv_verify.Range.milp_vars
+    r.Cv_verify.Range.milp_binaries dt
+
+let range_cmd =
+  let din =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "din" ] ~docv:"FILE" ~doc:"Input domain (JSON box).")
+  in
+  Cmd.v
+    (Cmd.info "range"
+       ~doc:"Compute the exact output range of a model over an input box.")
+    Term.(const range $ verbose_arg $ model_arg () $ din)
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let diff verbose old_model new_model din =
+  setup_logs verbose;
+  let old_net = Cv_nn.Serialize.load_network old_model in
+  let new_net = Cv_nn.Serialize.load_network new_model in
+  let box = load_box din in
+  Printf.printf "parameter drift (Linf): %.5g\n"
+    (Cv_nn.Network.param_dist_inf old_net new_net);
+  let delta, dt =
+    Cv_util.Timer.time (fun () ->
+        Cv_diffverify.Diffverify.output_delta ~old_net ~new_net box)
+  in
+  Printf.printf "differential output bound (f' - f) over the box: %s (%.4fs)\n"
+    (Cv_interval.Box.to_string delta) dt;
+  Printf.printf "max |f' - f| <= %.5g\n"
+    (Cv_diffverify.Diffverify.max_output_delta ~old_net ~new_net box)
+
+let diff_cmd =
+  let old_model = model_arg ~names:[ "old" ] () in
+  let new_model = model_arg ~names:[ "new" ] () in
+  let din =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "din" ] ~docv:"FILE" ~doc:"Input domain (JSON box).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Bound the output difference between two model versions over an \
+          input box (differential interval analysis).")
+    Term.(const diff $ verbose_arg $ old_model $ new_model $ din)
+
+(* ------------------------------------------------------------------ *)
+(* suspects                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let suspects verbose model property =
+  setup_logs verbose;
+  let net = Cv_nn.Serialize.load_network model in
+  let prop = load_property property in
+  let result, dt =
+    Cv_util.Timer.time (fun () ->
+        Cv_verify.Backward.suspect_regions net ~din:prop.Cv_verify.Property.din
+          ~dout:prop.Cv_verify.Property.dout)
+  in
+  List.iter (fun s -> Format.printf "%a@." Cv_verify.Backward.pp_suspect s) result;
+  Printf.printf "%s (%.3fs)\n"
+    (if Cv_verify.Backward.all_safe result then
+       "all output bounds proved by the LP relaxation"
+     else "suspect regions remain — consider split-verifying or collecting data there")
+    dt
+
+let suspects_cmd =
+  let property =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "property" ] ~docv:"FILE" ~doc:"Safety property (JSON).")
+  in
+  Cmd.v
+    (Cmd.info "suspects"
+       ~doc:
+         "Backward analysis: over-approximate the input regions that could \
+          violate the property (LP relaxation).")
+    Term.(const suspects $ verbose_arg $ model_arg () $ property)
+
+(* ------------------------------------------------------------------ *)
+(* nnet import/export                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let import_nnet verbose nnet out =
+  setup_logs verbose;
+  let doc = Cv_nn.Nnet.load nnet in
+  Cv_nn.Serialize.save_network ~name:(Filename.basename nnet) out
+    doc.Cv_nn.Nnet.network;
+  let box_path = Filename.remove_extension out ^ ".din.json" in
+  save_box box_path doc.Cv_nn.Nnet.input_box;
+  Printf.printf "imported %s -> %s (input box: %s)\n" nnet out box_path;
+  print_string (Cv_nn.Describe.layer_table doc.Cv_nn.Nnet.network)
+
+let import_nnet_cmd =
+  let nnet =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "nnet" ] ~docv:"FILE" ~doc:".nnet file to import.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output model (contiver JSON).")
+  in
+  Cmd.v
+    (Cmd.info "import-nnet"
+       ~doc:
+         "Import a network in the community .nnet format (ACAS-Xu style) and \
+          write the contiver model plus its declared input box.")
+    Term.(const import_nnet $ verbose_arg $ nnet $ out)
+
+let export_nnet verbose model din out =
+  setup_logs verbose;
+  let net = Cv_nn.Serialize.load_network model in
+  let input_box = Option.map load_box din in
+  let doc = Cv_nn.Nnet.of_network ?input_box net in
+  Cv_nn.Nnet.save out doc;
+  Printf.printf "exported %s -> %s\n" model out
+
+let export_nnet_cmd =
+  let din =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "din" ] ~docv:"FILE"
+          ~doc:"Input box to record in the header (default [0,1]^d).")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output .nnet file.")
+  in
+  Cmd.v
+    (Cmd.info "export-nnet"
+       ~doc:"Export a contiver model to the community .nnet format.")
+    Term.(const export_nnet $ verbose_arg $ model_arg () $ din $ out)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate verbose steps shifted seed =
+  setup_logs verbose;
+  let exp = Cv_vehicle.Pipeline.build () in
+  let track = exp.Cv_vehicle.Pipeline.track in
+  let perception = exp.Cv_vehicle.Pipeline.perception in
+  let monitor = Cv_monitor.Monitor.of_box exp.Cv_vehicle.Pipeline.din in
+  let rng = Cv_util.Rng.create seed in
+  let conditions =
+    if shifted then Cv_vehicle.Camera.shifted else Cv_vehicle.Camera.nominal
+  in
+  let state = Cv_vehicle.Controller.init track ~s:0. in
+  let final, trace =
+    Cv_vehicle.Controller.drive ~conditions ~rng ~track ~perception ~monitor
+      ~steps state
+  in
+  let poses =
+    List.filteri (fun i _ -> i mod (max 1 (steps / 15)) = 0) trace
+    |> List.map (fun t -> t.Cv_vehicle.Controller.t_pose)
+  in
+  print_string (Cv_vehicle.Track.render track poses);
+  Printf.printf
+    "%d steps under %s conditions: %d off-track, %d OOD events (kappa %.4f)\n"
+    steps
+    (if shifted then "shifted" else "nominal")
+    final.Cv_vehicle.Controller.off_track
+    (Cv_monitor.Monitor.event_count monitor)
+    (Cv_monitor.Monitor.kappa monitor)
+
+let simulate_cmd =
+  let steps =
+    Arg.(value & opt int 200 & info [ "steps" ] ~docv:"N" ~doc:"Simulation steps.")
+  in
+  let shifted =
+    Arg.(
+      value & flag
+      & info [ "shifted" ]
+          ~doc:"Drive under shifted (OOD-provoking) camera conditions.")
+  in
+  let seed =
+    Arg.(value & opt int 123 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Closed-loop lane following with runtime monitoring on the synthetic \
+          track.")
+    Term.(const simulate $ verbose_arg $ steps $ shifted $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "continuous safety verification of neural networks" in
+  let info = Cmd.info "contiver" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; describe_cmd; verify_cmd; svudc_cmd; svbtv_cmd;
+            range_cmd; diff_cmd; suspects_cmd; simulate_cmd; import_nnet_cmd;
+            export_nnet_cmd ]))

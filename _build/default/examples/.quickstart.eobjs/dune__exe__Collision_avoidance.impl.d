@@ -1,0 +1,1 @@
+examples/collision_avoidance.ml: Array Cv_artifacts Cv_core Cv_domains Cv_interval Cv_linalg Cv_nn Cv_util Cv_verify Filename List Printf Sys

@@ -1,0 +1,1 @@
+examples/collision_avoidance.mli:

@@ -1,0 +1,1 @@
+examples/continuous_loop.ml: Array Cv_artifacts Cv_core Cv_domains Cv_interval Cv_monitor Cv_util Cv_vehicle Cv_verify Format List Option Printf

@@ -1,0 +1,1 @@
+examples/fine_tuning.ml: Array Cv_artifacts Cv_core Cv_netabs Cv_util Cv_vehicle Cv_verify Printf

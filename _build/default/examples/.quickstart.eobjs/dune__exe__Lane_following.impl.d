@@ -1,0 +1,1 @@
+examples/lane_following.ml: Array Cv_artifacts Cv_core Cv_interval Cv_monitor Cv_nn Cv_util Cv_vehicle List Printf

@@ -1,0 +1,1 @@
+examples/paper_example.ml: Cv_domains Cv_interval Cv_linalg Cv_lipschitz Cv_milp Cv_nn Cv_verify Printf

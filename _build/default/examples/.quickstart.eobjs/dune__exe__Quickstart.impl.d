@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cv_artifacts Cv_core Cv_domains Cv_interval Cv_nn Cv_util Cv_verify Filename Format List Printf String Sys

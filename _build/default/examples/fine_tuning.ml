@@ -1,0 +1,81 @@
+(* SVbTV across successive fine-tunings — the paper's Table I scenario.
+
+   Four networks are produced by fine-tuning the previous one (frozen
+   feature extractor, small learning rate). For each version we compare
+   a from-scratch verification against incremental verification that
+   reuses the predecessor's proof artifacts, and additionally show the
+   Prop 6 network-abstraction route.
+
+   Run with: dune exec examples/fine_tuning.exe *)
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  section "Setup: train + fine-tune 4 times (shared frozen extractor)";
+  let exp = Cv_vehicle.Pipeline.build () in
+  let heads = exp.Cv_vehicle.Pipeline.heads in
+  Array.iteri
+    (fun i _ ->
+      if i >= 1 then
+        Printf.printf "head %d: parameter drift from head %d = %.5f\n" (i + 1)
+          i (Cv_vehicle.Pipeline.drift exp i))
+    heads;
+
+  let din = exp.Cv_vehicle.Pipeline.din in
+  let dout = exp.Cv_vehicle.Pipeline.dout in
+  let prop = Cv_verify.Property.make ~din ~dout in
+
+  section "Per-version: original solve vs incremental reuse";
+  Printf.printf "%-8s %-14s %-14s %-10s %s\n" "case" "original(s)"
+    "incremental(s)" "ratio" "decided by";
+  for i = 1 to Array.length heads - 1 do
+    let old_net = heads.(i - 1) and new_net = heads.(i) in
+    (* From-scratch verification of the predecessor produced the
+       artifacts we now reuse. *)
+    let original = Cv_core.Strategy.solve_original_exact old_net prop in
+    let svbtv =
+      Cv_core.Problem.svbtv ~old_net ~new_net
+        ~artifact:original.Cv_core.Strategy.artifact
+        ~new_din:exp.Cv_vehicle.Pipeline.enlarged_din
+    in
+    let report = Cv_core.Strategy.solve_svbtv svbtv in
+    let orig_t =
+      original.Cv_core.Strategy.artifact.Cv_artifacts.Artifacts.solve_seconds
+    in
+    Printf.printf "%-8d %-12.3f %-12.4f %-10s %s\n" i orig_t
+      report.Cv_core.Report.total_wall
+      (Printf.sprintf "%.3f%%"
+         (100.
+         *. Cv_core.Strategy.ratio
+              ~incremental:report.Cv_core.Report.total_wall ~original:orig_t))
+      (match report.Cv_core.Report.decisive with Some n -> n | None -> "-")
+  done;
+
+  section "Prop 6: network-abstraction reuse (zero solver work)";
+  (* Build the structural abstraction pair once for the original head
+     and check which fine-tuned versions it still dominates. *)
+  (try
+     let pair = Cv_core.Netabs_reuse.build heads.(0) ~din in
+     let lo, hi = Cv_core.Netabs_reuse.output_bounds pair in
+     Printf.printf "abstraction pair certifies outputs within [%.3f, %.3f]\n" lo
+       hi;
+     for i = 1 to Array.length heads - 1 do
+       let reused, dt =
+         Cv_util.Timer.time (fun () -> Cv_core.Netabs_reuse.reuses pair heads.(i))
+       in
+       Printf.printf "head %d: abstraction still dominates: %b (checked in %.5fs)\n"
+         (i + 1) reused dt
+     done
+   with Cv_netabs.Netabs.Unsupported msg ->
+     Printf.printf "structural abstraction unsupported: %s\n" msg);
+
+  section "Prop 6 (interval variant): parameter containment";
+  let slack = 0.01 in
+  let abs = Cv_netabs.Interval_abs.build ~slack heads.(0) in
+  Printf.printf "slack budget %.3f; abstraction proves property: %b\n" slack
+    (Cv_netabs.Interval_abs.proves_safety abs ~din ~dout);
+  for i = 1 to Array.length heads - 1 do
+    Printf.printf "head %d: drift %.5f, contained: %b\n" (i + 1)
+      (Cv_netabs.Interval_abs.max_slack heads.(0) heads.(i))
+      (Cv_netabs.Interval_abs.contains abs heads.(i))
+  done

@@ -1,0 +1,76 @@
+(* The full continuous-engineering loop on the synthetic 1/10-scale
+   vehicle: train, certify, deploy with monitoring, hit black swans,
+   re-verify incrementally (SVuDC).
+
+   Run with: dune exec examples/lane_following.exe *)
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  section "1. Build platform and train the perception head";
+  let exp = Cv_vehicle.Pipeline.build () in
+  let head = exp.Cv_vehicle.Pipeline.heads.(0) in
+  Printf.printf "training loss: %.5f\n" exp.Cv_vehicle.Pipeline.train_loss;
+  Printf.printf "verified head:\n%s" (Cv_nn.Describe.layer_table head);
+
+  section "2. The race track and the DNN's waypoints (paper Figure 3)";
+  let track = exp.Cv_vehicle.Pipeline.track in
+  let perception = exp.Cv_vehicle.Pipeline.perception in
+  (* Drive a few steps and mark the vehicle's positions. *)
+  let rng = Cv_util.Rng.create 99 in
+  let monitor = Cv_monitor.Monitor.of_box exp.Cv_vehicle.Pipeline.din in
+  let state = Cv_vehicle.Controller.init track ~s:0. in
+  let _, trace =
+    Cv_vehicle.Controller.drive ~rng ~track ~perception ~monitor ~steps:120
+      state
+  in
+  let poses =
+    List.filteri (fun i _ -> i mod 10 = 0) trace
+    |> List.map (fun t -> t.Cv_vehicle.Controller.t_pose)
+  in
+  print_string (Cv_vehicle.Track.render track poses);
+  (* Show one camera frame with the predicted waypoint. *)
+  (match trace with
+  | first :: _ ->
+    let img =
+      Cv_vehicle.Camera.capture perception.Cv_vehicle.Perception.camera
+        Cv_vehicle.Camera.nominal track first.Cv_vehicle.Controller.t_pose
+    in
+    Printf.printf "camera frame (v_out = %.3f, waypoint column %d):\n%s"
+      first.Cv_vehicle.Controller.t_vout
+      (fst (Cv_vehicle.Perception.waypoint perception
+              first.Cv_vehicle.Controller.t_vout))
+      (Cv_vehicle.Camera.ascii perception.Cv_vehicle.Perception.camera img)
+  | [] -> ());
+
+  section "3. Original verification of the head";
+  let prop = Cv_vehicle.Pipeline.property exp in
+  let original = Cv_core.Strategy.solve_original_exact head prop in
+  Printf.printf "proved: %b in %.2fs\n" original.Cv_core.Strategy.proved
+    original.Cv_core.Strategy.artifact.Cv_artifacts.Artifacts.solve_seconds;
+
+  section "4. Deployment under shifted conditions: monitored black swans";
+  Printf.printf
+    "OOD events while driving: %d (activation-pattern flags: %d), kappa = %.4f\n"
+    exp.Cv_vehicle.Pipeline.ood_events exp.Cv_vehicle.Pipeline.pattern_flags
+    exp.Cv_vehicle.Pipeline.kappa;
+  Printf.printf "D_in        : total width %.3f\n"
+    (Cv_interval.Box.total_width exp.Cv_vehicle.Pipeline.din);
+  Printf.printf "D_in ∪ Δ_in : total width %.3f\n"
+    (Cv_interval.Box.total_width exp.Cv_vehicle.Pipeline.enlarged_din);
+
+  section "5. Incremental re-verification (SVuDC)";
+  let svudc =
+    Cv_core.Problem.svudc ~net:head
+      ~artifact:original.Cv_core.Strategy.artifact
+      ~new_din:exp.Cv_vehicle.Pipeline.enlarged_din
+  in
+  let report = Cv_core.Strategy.solve_svudc svudc in
+  print_endline (Cv_core.Report.to_string report);
+  Printf.printf "\nincremental cost: %.2f%% of the original verification\n"
+    (100.
+    *. Cv_core.Strategy.ratio
+         ~incremental:report.Cv_core.Report.total_wall
+         ~original:
+           original.Cv_core.Strategy.artifact
+             .Cv_artifacts.Artifacts.solve_seconds)

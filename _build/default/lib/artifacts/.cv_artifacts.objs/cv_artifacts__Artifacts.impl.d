@@ -1,0 +1,1 @@
+lib/artifacts/artifacts.ml: Array Buffer Cv_interval Cv_linalg Cv_nn Cv_util Cv_verify Digest Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/artifacts/artifacts.mli: Cv_interval Cv_nn Cv_util Cv_verify

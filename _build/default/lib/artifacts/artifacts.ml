@@ -1,0 +1,136 @@
+(** Proof artifacts: what a completed verification leaves behind for
+    reuse.
+
+    The paper assumes the original proof of [φ(f, D_in, D_out)] is
+    stored in one or more of three forms — layer-wise state abstractions
+    [S_1..S_n], a Lipschitz constant ℓ, and a network abstraction f̂.
+    This module bundles them with provenance metadata and (de)serialises
+    the bundle, so a verification session can be resumed in a later
+    engineering iteration (the whole point of continuous
+    verification). *)
+
+type t = {
+  property : Cv_verify.Property.t;  (** the proved property *)
+  state_abstractions : Cv_interval.Box.t array option;
+      (** [S_1..S_n], inductive per-layer boxes with [S_n ⊆ D_out] *)
+  lipschitz : (string * float) list;
+      (** named Lipschitz constants, e.g. [("Linf", ℓ)] *)
+  split_cert : Cv_verify.Split_cert.t option;
+      (** bisection-tree certificate of a splitting (ReluVal-style)
+          proof, revalidatable for fine-tuned networks *)
+  network_fingerprint : string;  (** hash of the proved network *)
+  solver : string;  (** engine that established the proof *)
+  solve_seconds : float;  (** original verification cost *)
+}
+
+(** [fingerprint net] is a stable hash of a network's architecture and
+    parameters, used to detect artifact/network mismatches. *)
+let fingerprint net =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun (l : Cv_nn.Layer.t) ->
+      Buffer.add_string buf (Cv_nn.Activation.to_string l.Cv_nn.Layer.act);
+      let w = l.Cv_nn.Layer.weights in
+      for i = 0 to Cv_linalg.Mat.rows w - 1 do
+        for j = 0 to Cv_linalg.Mat.cols w - 1 do
+          Buffer.add_string buf (Printf.sprintf "%.12g," (Cv_linalg.Mat.get w i j))
+        done
+      done;
+      Array.iter
+        (fun b -> Buffer.add_string buf (Printf.sprintf "%.12g;" b))
+        l.Cv_nn.Layer.bias)
+    (Cv_nn.Network.layers net);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(** [make ~property ~net ~solver ~solve_seconds ()] builds an artifact
+    bundle; state abstractions and Lipschitz constants are optional and
+    can be attached later. *)
+let make ?state_abstractions ?(lipschitz = []) ?split_cert ~property ~net
+    ~solver ~solve_seconds () =
+  { property;
+    state_abstractions;
+    lipschitz;
+    split_cert;
+    network_fingerprint = fingerprint net;
+    solver;
+    solve_seconds }
+
+(** [matches t net] is true when the artifact was produced for exactly
+    this network. *)
+let matches t net = String.equal t.network_fingerprint (fingerprint net)
+
+(** [lipschitz_for t norm] looks up a stored constant by norm name. *)
+let lipschitz_for t norm = List.assoc_opt norm t.lipschitz
+
+(** [with_lipschitz t norm value] records one more constant. *)
+let with_lipschitz t norm value =
+  { t with lipschitz = (norm, value) :: List.remove_assoc norm t.lipschitz }
+
+(** [final_abstraction t] is [S_n] when state abstractions are
+    present. *)
+let final_abstraction t =
+  Option.map (fun s -> s.(Array.length s - 1)) t.state_abstractions
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_json t =
+  let open Cv_util.Json in
+  Obj
+    [ ("format", Str "contiver-proof");
+      ("version", of_int 1);
+      ("property", Cv_verify.Property.to_json t.property);
+      ( "state_abstractions",
+        match t.state_abstractions with
+        | None -> Null
+        | Some s -> List (Array.to_list (Array.map Cv_interval.Box.to_json s)) );
+      ( "lipschitz",
+        Obj (List.map (fun (k, v) -> (k, Num v)) t.lipschitz) );
+      ( "split_cert",
+        match t.split_cert with
+        | None -> Null
+        | Some c -> Cv_verify.Split_cert.to_json c );
+      ("network_fingerprint", Str t.network_fingerprint);
+      ("solver", Str t.solver);
+      ("solve_seconds", Num t.solve_seconds) ]
+
+let of_json j =
+  let open Cv_util.Json in
+  (match member_opt "format" j with
+  | Some (Str "contiver-proof") -> ()
+  | _ -> raise (Error "Artifacts: not a contiver-proof document"));
+  { property = Cv_verify.Property.of_json (member "property" j);
+    state_abstractions =
+      (match member "state_abstractions" j with
+      | Null -> None
+      | List boxes -> Some (Array.of_list (List.map Cv_interval.Box.of_json boxes))
+      | _ -> raise (Error "Artifacts: bad state_abstractions"));
+    lipschitz =
+      (match member "lipschitz" j with
+      | Obj kvs -> List.map (fun (k, v) -> (k, to_float v)) kvs
+      | _ -> raise (Error "Artifacts: bad lipschitz"));
+    split_cert =
+      (match member_opt "split_cert" j with
+      | None | Some Null -> None
+      | Some c -> Some (Cv_verify.Split_cert.of_json c));
+    network_fingerprint = to_str (member "network_fingerprint" j);
+    solver = to_str (member "solver" j);
+    solve_seconds = to_float (member "solve_seconds" j) }
+
+(** [save path t] writes the artifact bundle as JSON. *)
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Cv_util.Json.to_string (to_json t)))
+
+(** [load path] reads an artifact bundle written by {!save}. *)
+let load path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_json (Cv_util.Json.parse content)

@@ -1,0 +1,59 @@
+(** Proof artifacts: what a completed verification leaves behind for
+    reuse — state abstractions [S_1..S_n], Lipschitz constants, and
+    provenance metadata — with JSON persistence. *)
+
+type t = {
+  property : Cv_verify.Property.t;  (** the proved property *)
+  state_abstractions : Cv_interval.Box.t array option;
+      (** [S_1..S_n], inductive per-layer boxes with [S_n ⊆ D_out] *)
+  lipschitz : (string * float) list;
+      (** named Lipschitz constants, e.g. [("Linf", ℓ)] *)
+  split_cert : Cv_verify.Split_cert.t option;
+      (** bisection-tree certificate of a splitting (ReluVal-style)
+          proof, revalidatable for fine-tuned networks *)
+  network_fingerprint : string;  (** hash of the proved network *)
+  solver : string;  (** engine that established the proof *)
+  solve_seconds : float;  (** original verification cost *)
+}
+
+(** [fingerprint net] is a stable hash of a network's architecture and
+    parameters, used to detect artifact/network mismatches. *)
+val fingerprint : Cv_nn.Network.t -> string
+
+(** [make ?state_abstractions ?lipschitz ~property ~net ~solver
+    ~solve_seconds ()] builds an artifact bundle. *)
+val make :
+  ?state_abstractions:Cv_interval.Box.t array ->
+  ?lipschitz:(string * float) list ->
+  ?split_cert:Cv_verify.Split_cert.t ->
+  property:Cv_verify.Property.t ->
+  net:Cv_nn.Network.t ->
+  solver:string ->
+  solve_seconds:float ->
+  unit ->
+  t
+
+(** [matches t net] is true when the artifact was produced for exactly
+    this network. *)
+val matches : t -> Cv_nn.Network.t -> bool
+
+(** [lipschitz_for t norm] looks up a stored constant by norm name. *)
+val lipschitz_for : t -> string -> float option
+
+(** [with_lipschitz t norm value] records one more constant. *)
+val with_lipschitz : t -> string -> float -> t
+
+(** [final_abstraction t] is [S_n] when state abstractions are
+    present. *)
+val final_abstraction : t -> Cv_interval.Box.t option
+
+(** [to_json t] / [of_json j] encode the bundle; [of_json] raises
+    {!Cv_util.Json.Error} on malformed documents. *)
+val to_json : t -> Cv_util.Json.t
+
+val of_json : Cv_util.Json.t -> t
+
+(** [save path t] / [load path] persist the bundle on disk. *)
+val save : string -> t -> unit
+
+val load : string -> t

@@ -1,0 +1,1 @@
+lib/core/diff_reuse.ml: Cv_artifacts Cv_diffverify Cv_interval Cv_lipschitz Cv_util Cv_verify Printf Problem Report

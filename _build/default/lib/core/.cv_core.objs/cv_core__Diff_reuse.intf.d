@@ -1,0 +1,1 @@
+lib/core/diff_reuse.mli: Cv_lipschitz Problem Report

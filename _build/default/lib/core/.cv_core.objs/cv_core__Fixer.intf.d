@@ -1,0 +1,1 @@
+lib/core/fixer.mli: Cv_domains Cv_verify Problem Report

@@ -1,0 +1,1 @@
+lib/core/netabs_reuse.ml: Array Cv_artifacts Cv_domains Cv_interval Cv_linalg Cv_netabs Cv_nn Cv_util Cv_verify Option Printf Problem Report Svbtv

@@ -1,0 +1,1 @@
+lib/core/netabs_reuse.mli: Cv_domains Cv_interval Cv_netabs Cv_nn Problem Report

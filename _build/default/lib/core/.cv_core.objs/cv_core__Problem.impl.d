@@ -1,0 +1,1 @@
+lib/core/problem.ml: Cv_artifacts Cv_interval Cv_nn Cv_verify

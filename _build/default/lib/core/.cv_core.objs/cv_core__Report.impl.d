@@ -1,0 +1,1 @@
+lib/core/report.ml: Cv_verify Format List Printf

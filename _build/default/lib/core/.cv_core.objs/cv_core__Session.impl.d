@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Cv_artifacts Cv_domains Cv_interval Cv_lipschitz Cv_monitor Cv_nn Cv_verify List Option Printf Problem Report Specchange Strategy

@@ -1,0 +1,1 @@
+lib/core/session.mli: Cv_artifacts Cv_interval Cv_linalg Cv_monitor Cv_nn Cv_verify Netabs_reuse Report Strategy

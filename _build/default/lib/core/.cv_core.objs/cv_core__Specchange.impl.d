@@ -1,0 +1,1 @@
+lib/core/specchange.ml: Cv_artifacts Cv_interval Cv_lipschitz Cv_nn Cv_util Cv_verify List Option Printf Report Strategy

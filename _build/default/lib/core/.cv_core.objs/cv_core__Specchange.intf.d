@@ -1,0 +1,1 @@
+lib/core/specchange.mli: Cv_artifacts Cv_interval Cv_lipschitz Cv_nn Cv_verify Report Strategy

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Cv_artifacts Cv_domains Cv_interval Cv_lipschitz Cv_nn Cv_util Cv_verify Diff_reuse Fixer Float List Netabs_reuse Problem Report Svbtv Svudc

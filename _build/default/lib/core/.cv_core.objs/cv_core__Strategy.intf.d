@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Cv_artifacts Cv_domains Cv_lipschitz Cv_nn Cv_verify Netabs_reuse Problem Report

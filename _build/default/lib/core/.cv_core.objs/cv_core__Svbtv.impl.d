@@ -1,0 +1,1 @@
+lib/core/svbtv.ml: Array Cv_artifacts Cv_domains Cv_interval Cv_nn Cv_util Cv_verify Float List Printf Problem Report String Svudc

@@ -1,0 +1,1 @@
+lib/core/svbtv.mli: Cv_interval Cv_verify Problem Report

@@ -1,0 +1,1 @@
+lib/core/svudc.ml: Array Cv_artifacts Cv_domains Cv_interval Cv_lipschitz Cv_nn Cv_util Cv_verify Float List Option Printf Problem Report Seq String

@@ -1,0 +1,1 @@
+lib/core/svudc.mli: Cv_domains Cv_interval Cv_lipschitz Cv_verify Problem Report

@@ -1,0 +1,66 @@
+(** The two continuous-verification problems of the paper.
+
+    Both assume the property [φ(f, D_in, D_out)] has already been proved
+    and its proof artifacts are available:
+
+    - {b SVuDC} (Problem 2) — Safety Verification under Domain Change:
+      same network, enlarged input domain [D_in ∪ Δ_in].
+    - {b SVbTV} (Problem 1) — Safety Verification between Two Versions:
+      fine-tuned network [f'], possibly together with a domain
+      enlargement.
+
+    [Δ_in] is represented by the enlarged bounding box [new_din ⊇ D_in]
+    (exactly the monitored-bounds representation of the paper's
+    experiment); the SVuDC sub-case with [Δ_in = ∅] is [new_din =
+    D_in]. *)
+
+type svudc = {
+  net : Cv_nn.Network.t;  (** the verified network f *)
+  artifact : Cv_artifacts.Artifacts.t;  (** proof of φ(f, D_in, D_out) *)
+  new_din : Cv_interval.Box.t;  (** D_in ∪ Δ_in *)
+}
+
+type svbtv = {
+  old_net : Cv_nn.Network.t;  (** f *)
+  new_net : Cv_nn.Network.t;  (** f', fine-tuned from f *)
+  artifact : Cv_artifacts.Artifacts.t;  (** proof of φ(f, D_in, D_out) *)
+  new_din : Cv_interval.Box.t;  (** D_in ∪ Δ_in (= D_in when only parameters changed) *)
+}
+
+(** [svudc ~net ~artifact ~new_din] validates and builds an SVuDC
+    instance. *)
+let svudc ~net ~artifact ~new_din =
+  if not (Cv_artifacts.Artifacts.matches artifact net) then
+    invalid_arg "Problem.svudc: artifact was not produced for this network";
+  let old_din = artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.din in
+  if not (Cv_interval.Box.subset_tol old_din new_din) then
+    invalid_arg "Problem.svudc: new domain must contain the original D_in";
+  { net; artifact; new_din }
+
+(** [svbtv ~old_net ~new_net ~artifact ~new_din] validates and builds an
+    SVbTV instance. *)
+let svbtv ~old_net ~new_net ~artifact ~new_din =
+  if not (Cv_artifacts.Artifacts.matches artifact old_net) then
+    invalid_arg "Problem.svbtv: artifact was not produced for old_net";
+  if not (Cv_nn.Network.same_shape old_net new_net) then
+    invalid_arg "Problem.svbtv: networks differ in shape";
+  let old_din = artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.din in
+  if not (Cv_interval.Box.subset_tol old_din new_din) then
+    invalid_arg "Problem.svbtv: new domain must contain the original D_in";
+  { old_net; new_net; artifact; new_din }
+
+(** [svudc_property p] is the target property [φ(f, D_in ∪ Δ_in,
+    D_out)]. *)
+let svudc_property (p : svudc) =
+  { p.artifact.Cv_artifacts.Artifacts.property with
+    Cv_verify.Property.din = p.new_din }
+
+(** [svbtv_property p] is the target property [φ(f', D_in ∪ Δ_in,
+    D_out)]. *)
+let svbtv_property (p : svbtv) =
+  { p.artifact.Cv_artifacts.Artifacts.property with
+    Cv_verify.Property.din = p.new_din }
+
+(** [drift p] is the ∞-norm parameter distance between the two versions
+    of an SVbTV instance — how hard fine-tuning shook the network. *)
+let drift (p : svbtv) = Cv_nn.Network.param_dist_inf p.old_net p.new_net

@@ -1,0 +1,61 @@
+(** The two continuous-verification problems of the paper.
+
+    Both assume the property [φ(f, D_in, D_out)] has already been proved
+    and its proof artifacts are available:
+
+    - {b SVuDC} (Problem 2) — Safety Verification under Domain Change:
+      same network, enlarged input domain [D_in ∪ Δ_in].
+    - {b SVbTV} (Problem 1) — Safety Verification between Two Versions:
+      fine-tuned network [f'], possibly together with a domain
+      enlargement.
+
+    [Δ_in] is represented by the enlarged bounding box
+    [new_din ⊇ D_in] (exactly the monitored-bounds representation of the
+    paper's experiment); the SVuDC sub-case with [Δ_in = ∅] is
+    [new_din = D_in]. *)
+
+type svudc = {
+  net : Cv_nn.Network.t;  (** the verified network f *)
+  artifact : Cv_artifacts.Artifacts.t;  (** proof of φ(f, D_in, D_out) *)
+  new_din : Cv_interval.Box.t;  (** D_in ∪ Δ_in *)
+}
+
+type svbtv = {
+  old_net : Cv_nn.Network.t;  (** f *)
+  new_net : Cv_nn.Network.t;  (** f', fine-tuned from f *)
+  artifact : Cv_artifacts.Artifacts.t;  (** proof of φ(f, D_in, D_out) *)
+  new_din : Cv_interval.Box.t;
+      (** D_in ∪ Δ_in (= D_in when only parameters changed) *)
+}
+
+(** [svudc ~net ~artifact ~new_din] validates and builds an SVuDC
+    instance. Raises [Invalid_argument] when the artifact was not
+    produced for [net] or [new_din] does not contain the proved
+    [D_in]. *)
+val svudc :
+  net:Cv_nn.Network.t ->
+  artifact:Cv_artifacts.Artifacts.t ->
+  new_din:Cv_interval.Box.t ->
+  svudc
+
+(** [svbtv ~old_net ~new_net ~artifact ~new_din] validates and builds an
+    SVbTV instance. Raises [Invalid_argument] on artifact/network
+    mismatch, differing network shapes, or a shrunken domain. *)
+val svbtv :
+  old_net:Cv_nn.Network.t ->
+  new_net:Cv_nn.Network.t ->
+  artifact:Cv_artifacts.Artifacts.t ->
+  new_din:Cv_interval.Box.t ->
+  svbtv
+
+(** [svudc_property p] is the target property
+    [φ(f, D_in ∪ Δ_in, D_out)]. *)
+val svudc_property : svudc -> Cv_verify.Property.t
+
+(** [svbtv_property p] is the target property
+    [φ(f', D_in ∪ Δ_in, D_out)]. *)
+val svbtv_property : svbtv -> Cv_verify.Property.t
+
+(** [drift p] is the ∞-norm parameter distance between the two versions
+    of an SVbTV instance — how hard fine-tuning shook the network. *)
+val drift : svbtv -> float

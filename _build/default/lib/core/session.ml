@@ -1,0 +1,219 @@
+(** A continuous-verification session: the stateful object a deployment
+    actually keeps around.
+
+    It owns the currently certified network, its proof artifact, and the
+    runtime monitor, and exposes the three events of the paper's
+    continuous-engineering loop as transitions:
+
+    - {!observe}: feed monitored feature vectors; OOD events accumulate;
+    - {!absorb_enlargement}: solve the pending SVuDC instance and, on
+      success, commit the enlarged domain and refresh the artifact;
+    - {!adopt}: solve the SVbTV instance for a fine-tuned candidate and,
+      on success, install it as the certified network;
+    - {!retarget}: solve the SVuSC instance for an evolved specification
+      and, on success, adopt the new [D_out].
+
+    Every transition appends to an audit {!history}; a rejected
+    transition leaves the session unchanged (the old certificate keeps
+    standing, which is exactly the safety story of the paper: the
+    deployed system only ever runs configurations whose proof is
+    current). *)
+
+type event =
+  | Certified of string  (** initial certification (solver name) *)
+  | Ood_event of int  (** running OOD count after an observation *)
+  | Domain_enlarged of Report.t
+  | Domain_rejected of Report.t
+  | Version_adopted of Report.t
+  | Version_rejected of Report.t
+  | Spec_changed of Report.t
+  | Spec_rejected of Report.t
+
+type t = {
+  mutable net : Cv_nn.Network.t;
+  mutable artifact : Cv_artifacts.Artifacts.t;
+  monitor : Cv_monitor.Monitor.t;
+  config : Strategy.config;
+  widen : float;
+  mutable history : event list;  (** newest first *)
+}
+
+(** [certify ?config ?widen net prop] runs the original (exact)
+    verification and opens a session; [Error] with the failure report
+    when the property does not hold. *)
+let certify ?(config = Strategy.default_config) ?(widen = 0.03) net prop =
+  let original =
+    Strategy.solve_original_exact ~config ~widen ~with_split_cert:true net prop
+  in
+  if not original.Strategy.proved then Error original.Strategy.report
+  else
+    Ok
+      { net;
+        artifact = original.Strategy.artifact;
+        monitor = Cv_monitor.Monitor.of_box prop.Cv_verify.Property.din;
+        config;
+        widen;
+        history = [ Certified original.Strategy.artifact.Cv_artifacts.Artifacts.solver ] }
+
+(** [resume ?config ?widen net artifact] opens a session from a
+    persisted artifact without re-verifying; raises [Invalid_argument]
+    when the artifact does not match the network. *)
+let resume ?(config = Strategy.default_config) ?(widen = 0.03) net artifact =
+  if not (Cv_artifacts.Artifacts.matches artifact net) then
+    invalid_arg "Session.resume: artifact/network mismatch";
+  { net;
+    artifact;
+    monitor =
+      Cv_monitor.Monitor.of_box
+        artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.din;
+    config;
+    widen;
+    history = [ Certified artifact.Cv_artifacts.Artifacts.solver ] }
+
+(** [network s] is the currently certified network. *)
+let network s = s.net
+
+(** [artifact s] is the current proof artifact. *)
+let artifact s = s.artifact
+
+(** [property s] is the currently certified property. *)
+let property s = s.artifact.Cv_artifacts.Artifacts.property
+
+(** [history s] lists transitions, oldest first. *)
+let history s = List.rev s.history
+
+(** [pending_ood s] is the number of OOD events awaiting
+    {!absorb_enlargement}. *)
+let pending_ood s = Cv_monitor.Monitor.event_count s.monitor
+
+(** [observe s features] feeds one monitored feature vector; returns the
+    OOD event when the vector escapes the certified domain. *)
+let observe s features =
+  let r = Cv_monitor.Monitor.observe s.monitor features in
+  (match r with
+  | Some _ ->
+    s.history <- Ood_event (Cv_monitor.Monitor.event_count s.monitor) :: s.history
+  | None -> ());
+  r
+
+(* Refresh the stored artifact for a (possibly new) net and domain:
+   recompute the widened chain and Lipschitz constants; the D_out is
+   unchanged. Only called after a reuse proof succeeded, so the refresh
+   itself needs no solver. *)
+let refresh_artifact s net din =
+  let chain =
+    Cv_domains.Analyzer.abstractions ~widen:s.widen s.config.Strategy.domain net
+      din
+  in
+  let prop =
+    Cv_verify.Property.make ~din
+      ~dout:(property s).Cv_verify.Property.dout
+  in
+  let lipschitz =
+    [ ("Linf", Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net);
+      ("L2", Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.L2 net) ]
+  in
+  let chain_proves =
+    Cv_interval.Box.subset_tol
+      chain.(Array.length chain - 1)
+      prop.Cv_verify.Property.dout
+  in
+  (* Keep the bisection certificate alive too: repair it for the new
+     network, extending it over any domain growth. *)
+  let split_cert =
+    match s.artifact.Cv_artifacts.Artifacts.split_cert with
+    | None -> None
+    | Some cert -> (
+      match Cv_verify.Split_cert.repair cert net with
+      | Some cert' when
+          Cv_interval.Box.subset_tol din cert'.Cv_verify.Split_cert.input_box
+        ->
+        Some cert'
+      | _ ->
+        Cv_verify.Split_cert.prove net ~input_box:din
+          ~target:prop.Cv_verify.Property.dout)
+  in
+  Cv_artifacts.Artifacts.make
+    ?state_abstractions:(if chain_proves then Some chain else None)
+    ?split_cert ~lipschitz ~property:prop ~net ~solver:"session-refresh"
+    ~solve_seconds:s.artifact.Cv_artifacts.Artifacts.solve_seconds ()
+
+(** [absorb_enlargement ?margin s] solves the pending SVuDC instance for
+    the monitored enlargement. On success the enlarged domain is
+    committed, the artifact refreshed, and the OOD log cleared; on
+    failure the session is unchanged. Returns the reuse report either
+    way. *)
+let absorb_enlargement ?(margin = 0.005) s =
+  let new_din = Cv_monitor.Monitor.enlarged_box ~margin s.monitor in
+  let p = Problem.svudc ~net:s.net ~artifact:s.artifact ~new_din in
+  let report = Strategy.solve_svudc ~config:s.config p in
+  (match report.Report.verdict with
+  | Report.Safe ->
+    Cv_monitor.Monitor.commit s.monitor new_din;
+    s.artifact <- refresh_artifact s s.net new_din;
+    s.history <- Domain_enlarged report :: s.history
+  | _ -> s.history <- Domain_rejected report :: s.history);
+  report
+
+(** [adopt ?netabs s candidate] solves the SVbTV instance for a
+    fine-tuned candidate network (over the certified domain). On success
+    the candidate becomes the certified network and the artifact is
+    refreshed; on failure the old version keeps running. *)
+let adopt ?netabs s candidate =
+  let din = (property s).Cv_verify.Property.din in
+  let p =
+    Problem.svbtv ~old_net:s.net ~new_net:candidate ~artifact:s.artifact
+      ~new_din:din
+  in
+  let report = Strategy.solve_svbtv ~config:s.config ?netabs p in
+  (match report.Report.verdict with
+  | Report.Safe ->
+    s.net <- candidate;
+    s.artifact <- refresh_artifact s candidate din;
+    s.history <- Version_adopted report :: s.history
+  | _ -> s.history <- Version_rejected report :: s.history);
+  report
+
+(** [retarget s new_dout] solves the SVuSC instance for an evolved
+    specification; on success the artifact is rebuilt against the new
+    [D_out]. *)
+let retarget s new_dout =
+  let p = Specchange.make ~net:s.net ~artifact:s.artifact ~new_dout () in
+  let report = Specchange.solve ~config:s.config p in
+  (match report.Report.verdict with
+  | Report.Safe ->
+    let din = (property s).Cv_verify.Property.din in
+    let chain =
+      Cv_domains.Analyzer.abstractions ~widen:s.widen s.config.Strategy.domain
+        s.net din
+    in
+    let chain_proves =
+      Cv_interval.Box.subset_tol chain.(Array.length chain - 1) new_dout
+    in
+    s.artifact <-
+      Cv_artifacts.Artifacts.make
+        ?state_abstractions:(if chain_proves then Some chain else None)
+        ~lipschitz:s.artifact.Cv_artifacts.Artifacts.lipschitz
+        ~property:(Cv_verify.Property.make ~din ~dout:new_dout)
+        ~net:s.net ~solver:"session-retarget"
+        ~solve_seconds:s.artifact.Cv_artifacts.Artifacts.solve_seconds ();
+    s.history <- Spec_changed report :: s.history
+  | _ -> s.history <- Spec_rejected report :: s.history);
+  report
+
+(** [event_string e] is a one-line audit entry. *)
+let event_string = function
+  | Certified solver -> "certified (" ^ solver ^ ")"
+  | Ood_event n -> Printf.sprintf "OOD event (%d pending)" n
+  | Domain_enlarged r ->
+    Printf.sprintf "domain enlarged via %s"
+      (Option.value ~default:"?" r.Report.decisive)
+  | Domain_rejected _ -> "domain enlargement rejected"
+  | Version_adopted r ->
+    Printf.sprintf "new version adopted via %s"
+      (Option.value ~default:"?" r.Report.decisive)
+  | Version_rejected _ -> "candidate version rejected"
+  | Spec_changed r ->
+    Printf.sprintf "specification changed via %s"
+      (Option.value ~default:"?" r.Report.decisive)
+  | Spec_rejected _ -> "specification change rejected"

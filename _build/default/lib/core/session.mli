@@ -1,0 +1,75 @@
+(** A continuous-verification session: the stateful object a deployment
+    keeps around. It owns the certified network, its proof artifact and
+    the runtime monitor, and exposes the continuous-engineering events
+    as transitions; a rejected transition leaves the session unchanged,
+    so the deployed system only ever runs configurations whose proof is
+    current. *)
+
+type event =
+  | Certified of string  (** initial certification (solver name) *)
+  | Ood_event of int  (** running OOD count after an observation *)
+  | Domain_enlarged of Report.t
+  | Domain_rejected of Report.t
+  | Version_adopted of Report.t
+  | Version_rejected of Report.t
+  | Spec_changed of Report.t
+  | Spec_rejected of Report.t
+
+type t
+
+(** [certify ?config ?widen net prop] runs the original (exact)
+    verification and opens a session; [Error] with the failure report
+    when the property does not hold. *)
+val certify :
+  ?config:Strategy.config ->
+  ?widen:float ->
+  Cv_nn.Network.t ->
+  Cv_verify.Property.t ->
+  (t, Cv_verify.Verifier.report) result
+
+(** [resume ?config ?widen net artifact] opens a session from a
+    persisted artifact without re-verifying. *)
+val resume :
+  ?config:Strategy.config ->
+  ?widen:float ->
+  Cv_nn.Network.t ->
+  Cv_artifacts.Artifacts.t ->
+  t
+
+(** [network s] is the currently certified network. *)
+val network : t -> Cv_nn.Network.t
+
+(** [artifact s] is the current proof artifact. *)
+val artifact : t -> Cv_artifacts.Artifacts.t
+
+(** [property s] is the currently certified property. *)
+val property : t -> Cv_verify.Property.t
+
+(** [history s] lists transitions, oldest first. *)
+val history : t -> event list
+
+(** [pending_ood s] is the number of OOD events awaiting
+    {!absorb_enlargement}. *)
+val pending_ood : t -> int
+
+(** [observe s features] feeds one monitored feature vector; returns the
+    OOD event when it escapes the certified domain. *)
+val observe : t -> Cv_linalg.Vec.t -> Cv_monitor.Monitor.event option
+
+(** [absorb_enlargement ?margin s] solves the pending SVuDC instance;
+    on success the enlarged domain is committed, the artifact refreshed
+    and the OOD log cleared. *)
+val absorb_enlargement : ?margin:float -> t -> Report.t
+
+(** [adopt ?netabs s candidate] solves the SVbTV instance for a
+    fine-tuned candidate; on success the candidate becomes the certified
+    network. *)
+val adopt : ?netabs:Netabs_reuse.t -> t -> Cv_nn.Network.t -> Report.t
+
+(** [retarget s new_dout] solves the SVuSC instance for an evolved
+    specification; on success the artifact is rebuilt against the new
+    [D_out]. *)
+val retarget : t -> Cv_interval.Box.t -> Report.t
+
+(** [event_string e] is a one-line audit entry. *)
+val event_string : event -> string

@@ -1,0 +1,223 @@
+(** Orchestration: solve the original problem (producing artifacts),
+    then settle SVuDC / SVbTV instances by trying the cheap reuse routes
+    before falling back to full re-verification.
+
+    The attempt order mirrors the paper's presentation, cheapest first:
+    - SVuDC: trivial inclusion → Prop 3 (Lipschitz, O(1)) → Prop 1
+      (two-layer exact) → Prop 2 (rebuild + handoffs) → full.
+    - SVbTV: Prop 6 (weight domination, no solver) → Prop 4 with §IV-C
+      fixing → Prop 5 (anchored multi-layer) → full.
+
+    Each run returns a {!Report.t} with per-attempt timing so the bench
+    harness can reproduce Table I's "incremental time / original time"
+    ratios. *)
+
+type config = {
+  engine : Cv_verify.Containment.engine;  (** exact engine for subproblems *)
+  domain : Cv_domains.Analyzer.domain_kind;  (** abstract domain for rebuilds *)
+  lipschitz_norm : Cv_lipschitz.Lipschitz.norm;
+  anchors : int list option;  (** Prop 5 anchors; [None] = every 2 layers *)
+  interval_slack : float option;  (** weight-interval Prop 6 budget *)
+  domains : int option;  (** worker domains for parallel subproblems *)
+}
+
+(** A sensible default configuration (MILP subproblems, symbolic-interval
+    abstractions, ∞-norm Lipschitz). *)
+let default_config =
+  { engine = Cv_verify.Containment.Milp;
+    domain = Cv_domains.Analyzer.Symint;
+    lipschitz_norm = Cv_lipschitz.Lipschitz.Linf;
+    anchors = None;
+    interval_slack = None;
+    domains = None }
+
+(* ------------------------------------------------------------------ *)
+(* Original problem                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Result of solving the original verification problem from scratch. *)
+type original = {
+  artifact : Cv_artifacts.Artifacts.t;
+  report : Cv_verify.Verifier.report;
+  proved : bool;
+}
+
+(** [solve_original ?config net prop] verifies [φ(f, D_in, D_out)] from
+    scratch — abstract analysis first, exact fallback — and packages the
+    proof artifacts (state abstractions when the abstract proof
+    succeeded, Lipschitz constants always). The reported time is the
+    denominator of the Table I ratios. *)
+let solve_original ?(config = default_config) net prop =
+  let result, wall =
+    Cv_util.Timer.time (fun () ->
+        let pr =
+          Cv_verify.Verifier.verify_with_abstractions ~domain:config.domain
+            ~fallback:config.engine net prop
+        in
+        let ell_inf = Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net in
+        let ell_l2 = Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.L2 net in
+        (pr, [ ("Linf", ell_inf); ("L2", ell_l2) ]))
+  in
+  let pr, lipschitz = result in
+  let proved =
+    match pr.Cv_verify.Verifier.report.Cv_verify.Verifier.verdict with
+    | Cv_verify.Containment.Proved -> true
+    | _ -> false
+  in
+  { artifact =
+      Cv_artifacts.Artifacts.make
+        ?state_abstractions:pr.Cv_verify.Verifier.abstractions ~lipschitz
+        ~property:prop ~net
+        ~solver:
+          (Cv_verify.Containment.engine_name
+             pr.Cv_verify.Verifier.report.Cv_verify.Verifier.engine)
+        ~solve_seconds:wall ();
+    report = { pr.Cv_verify.Verifier.report with Cv_verify.Verifier.seconds = wall };
+    proved }
+
+(** [solve_original_exact ?config ?widen net prop] — the Table I
+    "original problem": a sound-and-complete full-network run (exact
+    MILP output range, no cutoffs) {e plus} artifact recording: the
+    widened inductive abstraction chain (default slack 0.02) and
+    Lipschitz constants. The widening leaves slack for later
+    fine-tuning, the same practice as the paper's input-bound buffers.
+    Raises on non-piecewise-linear networks. *)
+let solve_original_exact ?(config = default_config) ?(widen = 0.02)
+    ?(with_split_cert = false) net prop =
+  let result, wall =
+    Cv_util.Timer.time (fun () ->
+        let verdict, _range = Cv_verify.Range.verify_exact net prop in
+        let split_cert =
+          if with_split_cert && verdict = Cv_verify.Containment.Proved then
+            Cv_verify.Split_cert.prove net ~input_box:prop.Cv_verify.Property.din
+              ~target:prop.Cv_verify.Property.dout
+          else None
+        in
+        let s =
+          Cv_domains.Analyzer.abstractions ~widen config.domain net
+            prop.Cv_verify.Property.din
+        in
+        let chain_proves =
+          Cv_interval.Box.subset_tol s.(Array.length s - 1)
+            prop.Cv_verify.Property.dout
+        in
+        let ell_inf =
+          Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net
+        in
+        let ell_l2 =
+          Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.L2 net
+        in
+        (verdict, (if chain_proves then Some s else None),
+         [ ("Linf", ell_inf); ("L2", ell_l2) ], split_cert))
+  in
+  let verdict, abstractions, lipschitz, split_cert = result in
+  { artifact =
+      Cv_artifacts.Artifacts.make ?state_abstractions:abstractions ~lipschitz
+        ?split_cert ~property:prop ~net ~solver:"milp-exact-range"
+        ~solve_seconds:wall ();
+    report =
+      { Cv_verify.Verifier.verdict;
+        engine = Cv_verify.Containment.Milp;
+        seconds = wall };
+    proved =
+      (match verdict with Cv_verify.Containment.Proved -> true | _ -> false) }
+
+(* ------------------------------------------------------------------ *)
+(* Fallback                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [full_verify ?config net prop] — complete re-verification of the
+    target property, as a strategy attempt. *)
+let full_verify ?(config = default_config) net prop =
+  let pr, wall =
+    Cv_util.Timer.time (fun () ->
+        Cv_verify.Verifier.verify_with_abstractions ~domain:config.domain
+          ~fallback:config.engine net prop)
+  in
+  let outcome =
+    match pr.Cv_verify.Verifier.report.Cv_verify.Verifier.verdict with
+    | Cv_verify.Containment.Proved -> Report.Safe
+    | Cv_verify.Containment.Violated v -> Report.Unsafe v
+    | Cv_verify.Containment.Unknown msg -> Report.Inconclusive msg
+  in
+  { Report.name = "full";
+    outcome;
+    timing = Report.sequential_timing wall;
+    detail = "complete re-verification (no reuse)" }
+
+(* Run attempts lazily in order, stopping at the first decisive one. *)
+let run_until_decisive attempts =
+  let rec go acc = function
+    | [] -> Report.conclude (List.rev acc)
+    | thunk :: rest -> (
+      let attempt = thunk () in
+      match attempt.Report.outcome with
+      | Report.Safe | Report.Unsafe _ -> Report.conclude (List.rev (attempt :: acc))
+      | Report.Inconclusive _ -> go (attempt :: acc) rest)
+  in
+  go [] attempts
+
+(* ------------------------------------------------------------------ *)
+(* SVuDC                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [solve_svudc ?config p] — the full SVuDC pipeline. *)
+let solve_svudc ?(config = default_config) (p : Problem.svudc) =
+  run_until_decisive
+    [ (fun () -> Svudc.trivial p);
+      (fun () -> Svudc.prop3 ~norm:config.lipschitz_norm p);
+      (fun () -> Svudc.prop1 ~engine:config.engine p);
+      (fun () ->
+        Svudc.prop2 ~domain:config.domain ~engine:config.engine
+          ?domains:config.domains p);
+      (fun () ->
+        Svudc.delta_cover ~engine:config.engine ?domains:config.domains p);
+      (fun () -> full_verify ~config p.Problem.net (Problem.svudc_property p)) ]
+
+(* ------------------------------------------------------------------ *)
+(* SVbTV                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [solve_svbtv ?config ?netabs p] — the full SVbTV pipeline. The
+    optional [netabs] is a stored Prop. 6 abstraction pair built for the
+    old network. *)
+let solve_svbtv ?(config = default_config) ?netabs (p : Problem.svbtv) =
+  let prop6_attempts =
+    (match netabs with
+    | Some t -> [ (fun () -> Netabs_reuse.prop6 t p) ]
+    | None -> [])
+    @
+    match config.interval_slack with
+    | Some slack -> [ (fun () -> Netabs_reuse.prop6_interval ~slack p) ]
+    | None -> []
+  in
+  run_until_decisive
+    (prop6_attempts
+    @ [ (fun () -> Svbtv.leaf_reuse ?domains:config.domains p);
+        (fun () ->
+          (* The paper's own routes next (Prop 4 with §IV-C fixing);
+             the differential extension backs them up below. *)
+          Fixer.repair ~engine:config.engine ~domain:config.domain
+            ?domains:config.domains p);
+        (fun () -> Diff_reuse.prop_diff ~norm:config.lipschitz_norm p);
+        (fun () ->
+          let n = Cv_nn.Network.num_layers p.Problem.new_net in
+          let anchors =
+            match config.anchors with
+            | Some a -> a
+            | None -> Svbtv.default_anchors n
+          in
+          if anchors = [] then
+            { Report.name = "prop5";
+              outcome = Report.Inconclusive "network too shallow for anchors";
+              timing = Report.sequential_timing 0.;
+              detail = "" }
+          else
+            Svbtv.prop5 ~engine:config.engine ?domains:config.domains ~anchors p);
+        (fun () ->
+          full_verify ~config p.Problem.new_net (Problem.svbtv_property p)) ])
+
+(** [ratio ~incremental ~original] is the Table I quantity:
+    incremental time as a fraction of the original solve time. *)
+let ratio ~incremental ~original =
+  if original <= 0. then Float.nan else incremental /. original

@@ -1,0 +1,70 @@
+(** Orchestration: solve the original problem (producing artifacts),
+    then settle SVuDC / SVbTV instances by trying the cheap reuse routes
+    before falling back to full re-verification.
+
+    Attempt order, cheapest first:
+    - SVuDC: trivial inclusion → Prop 3 (Lipschitz, O(1)) → Prop 1
+      (two-layer exact) → Prop 2 (rebuild + handoffs) → Δ-cover →
+      full re-verification;
+    - SVbTV: Prop 6 (when an abstraction pair or interval slack is
+      configured) → Prop 4 with §IV-C fixing → differential route →
+      Prop 5 → full re-verification. *)
+
+type config = {
+  engine : Cv_verify.Containment.engine;  (** exact engine for subproblems *)
+  domain : Cv_domains.Analyzer.domain_kind;  (** abstract domain for rebuilds *)
+  lipschitz_norm : Cv_lipschitz.Lipschitz.norm;
+  anchors : int list option;  (** Prop 5 anchors; [None] = every 2 layers *)
+  interval_slack : float option;  (** weight-interval Prop 6 budget *)
+  domains : int option;  (** worker domains for parallel subproblems *)
+}
+
+(** A sensible default configuration (MILP subproblems, symbolic-interval
+    abstractions, ∞-norm Lipschitz). *)
+val default_config : config
+
+(** Result of solving the original verification problem from scratch. *)
+type original = {
+  artifact : Cv_artifacts.Artifacts.t;
+  report : Cv_verify.Verifier.report;
+  proved : bool;
+}
+
+(** [solve_original ?config net prop] verifies [φ(f, D_in, D_out)] from
+    scratch — abstract analysis first, exact fallback — and packages the
+    proof artifacts (state abstractions when the abstract proof
+    succeeded, Lipschitz constants always). *)
+val solve_original :
+  ?config:config -> Cv_nn.Network.t -> Cv_verify.Property.t -> original
+
+(** [solve_original_exact ?config ?widen net prop] — the Table I
+    "original problem": a sound-and-complete full-network run (exact
+    MILP output range, no cutoffs) {e plus} artifact recording: the
+    widened inductive abstraction chain (default slack 0.02) and
+    Lipschitz constants. Raises on non-piecewise-linear networks. *)
+val solve_original_exact :
+  ?config:config ->
+  ?widen:float ->
+  ?with_split_cert:bool ->
+  Cv_nn.Network.t ->
+  Cv_verify.Property.t ->
+  original
+
+(** [full_verify ?config net prop] — complete re-verification of the
+    target property, as a strategy attempt. *)
+val full_verify :
+  ?config:config -> Cv_nn.Network.t -> Cv_verify.Property.t -> Report.attempt
+
+(** [solve_svudc ?config p] — the full SVuDC pipeline. *)
+val solve_svudc : ?config:config -> Problem.svudc -> Report.t
+
+(** [solve_svbtv ?config ?netabs p] — the full SVbTV pipeline. The
+    optional [netabs] is a stored Prop. 6 abstraction pair built for the
+    old network. *)
+val solve_svbtv :
+  ?config:config -> ?netabs:Netabs_reuse.t -> Problem.svbtv -> Report.t
+
+(** [ratio ~incremental ~original] is the Table I quantity: incremental
+    time as a fraction of the original solve time ([nan] when the
+    original time is not positive). *)
+val ratio : incremental:float -> original:float -> float

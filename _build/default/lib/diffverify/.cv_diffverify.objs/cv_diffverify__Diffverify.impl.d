@@ -1,0 +1,1 @@
+lib/diffverify/diffverify.ml: Array Cv_domains Cv_interval Cv_linalg Cv_nn Float

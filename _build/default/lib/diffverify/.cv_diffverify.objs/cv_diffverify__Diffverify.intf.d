@@ -1,0 +1,1 @@
+lib/diffverify/diffverify.mli: Cv_interval Cv_nn

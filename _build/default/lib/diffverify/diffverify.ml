@@ -1,0 +1,153 @@
+(** Differential interval verification of two network versions, in the
+    spirit of ReluDiff (Paulsen, Wang, Wang — ICSE 2020), which the
+    paper discusses as the closest related problem ("check the
+    difference of two DNNs").
+
+    Given two same-shaped networks [f] (old) and [f'] (fine-tuned) and
+    an input box, we propagate, layer by layer:
+
+    - a sound box [A_i] of the {e old} network's activations (symbolic
+      intervals, concretised per layer), and
+    - a sound box [Δ_i] of the {e difference} [a'_i − a_i].
+
+    The pre-activation difference obeys
+    [z' − z = (W' − W)·a + W'·δ + (b' − b)], evaluated in interval
+    arithmetic; the ReLU difference is bounded by the meet of
+    (1) the interval difference of the two ReLU images and
+    (2) the 1-Lipschitz bound [|relu z' − relu z| ≤ |z' − z|],
+    sharpened by the stable-sign cases (both active: [δ] passes through;
+    both inactive: exactly 0).
+
+    The headline query: [output_delta] bounds [max |f'(x) − f(x)|] over
+    the box — directly useful for SVbTV, since the old proof's output
+    reach inflated by that bound must still fit [D_out]
+    (see {!Cv_core.Diff_reuse}). *)
+
+type layer_delta = {
+  old_box : Cv_interval.Box.t;  (** bounds of the old activations *)
+  delta : Cv_interval.Box.t;  (** bounds of (new − old) activations *)
+}
+
+(* Interval evaluation of (ΔW)·A + W'·Δ + Δb, per output neuron. *)
+let pre_delta ~w_old ~w_new ~db (a : Cv_interval.Box.t) (d : Cv_interval.Box.t) =
+  let rows = Cv_linalg.Mat.rows w_old and cols = Cv_linalg.Mat.cols w_old in
+  Array.init rows (fun i ->
+      let acc = ref (Cv_interval.Interval.point db.(i)) in
+      for j = 0 to cols - 1 do
+        let dw = Cv_linalg.Mat.get w_new i j -. Cv_linalg.Mat.get w_old i j in
+        if dw <> 0. then
+          acc :=
+            Cv_interval.Interval.add !acc
+              (Cv_interval.Interval.scale dw (Cv_interval.Box.get a j));
+        let wn = Cv_linalg.Mat.get w_new i j in
+        if wn <> 0. then
+          acc :=
+            Cv_interval.Interval.add !acc
+              (Cv_interval.Interval.scale wn (Cv_interval.Box.get d j))
+      done;
+      !acc)
+
+(* Difference bound through an activation, per neuron:
+   z (old pre-act interval), dz (pre-act difference interval). *)
+let act_delta act z dz =
+  let z' = Cv_interval.Interval.add z dz in
+  let img = Cv_nn.Activation.interval act z in
+  let img' = Cv_nn.Activation.interval act z' in
+  (* (1) interval difference of images. *)
+  let by_images = Cv_interval.Interval.sub img' img in
+  (* (2) Lipschitz transfer: |act z' − act z| ≤ L·|dz|. *)
+  let ell = Cv_nn.Activation.lipschitz act in
+  let m =
+    ell
+    *. Float.max
+         (Float.abs (Cv_interval.Interval.lo dz))
+         (Float.abs (Cv_interval.Interval.hi dz))
+  in
+  let by_lipschitz = Cv_interval.Interval.make (-.m) m in
+  let coarse = Cv_interval.Interval.meet by_images by_lipschitz in
+  match act with
+  | Cv_nn.Activation.Relu ->
+    (* Stable-sign sharpening. *)
+    if
+      Cv_interval.Interval.lo z >= 0. && Cv_interval.Interval.lo z' >= 0.
+    then dz
+    else if
+      Cv_interval.Interval.hi z <= 0. && Cv_interval.Interval.hi z' <= 0.
+    then Cv_interval.Interval.point 0.
+    else coarse
+  | _ -> coarse
+
+(** [analyze ~old_net ~new_net box] runs the differential analysis and
+    returns the per-layer records (old-activation bounds and difference
+    bounds). Raises [Invalid_argument] on shape mismatch. *)
+let analyze ~old_net ~new_net box =
+  if not (Cv_nn.Network.same_shape old_net new_net) then
+    invalid_arg "Diffverify.analyze: networks differ in shape";
+  if Cv_interval.Box.dim box <> Cv_nn.Network.in_dim old_net then
+    invalid_arg "Diffverify.analyze: box dimension";
+  let n = Cv_nn.Network.num_layers old_net in
+  let result = Array.make n { old_box = [||]; delta = [||] } in
+  (* Old activations tracked relationally (symbolic intervals) for
+     tighter per-layer boxes. *)
+  let sym = ref (Cv_domains.Symint.of_box box) in
+  let delta = ref (Array.map (fun _ -> Cv_interval.Interval.point 0.)
+                     (Array.make (Cv_interval.Box.dim box) ())) in
+  let prev_old_box = ref box in
+  for i = 0 to n - 1 do
+    let lo = Cv_nn.Network.layer old_net i in
+    let ln = Cv_nn.Network.layer new_net i in
+    let pre_sym =
+      Cv_domains.Symint.affine lo.Cv_nn.Layer.weights lo.Cv_nn.Layer.bias !sym
+    in
+    let z_box = Cv_domains.Symint.to_box pre_sym in
+    let db =
+      Cv_linalg.Vec.sub ln.Cv_nn.Layer.bias lo.Cv_nn.Layer.bias
+    in
+    let dz =
+      pre_delta ~w_old:lo.Cv_nn.Layer.weights ~w_new:ln.Cv_nn.Layer.weights
+        ~db !prev_old_box !delta
+    in
+    let post_delta =
+      Array.init (Cv_nn.Layer.out_dim lo) (fun r ->
+          act_delta lo.Cv_nn.Layer.act (Cv_interval.Box.get z_box r) dz.(r))
+    in
+    sym := Cv_domains.Symint.apply_layer lo !sym;
+    let old_box = Cv_domains.Symint.to_box !sym in
+    result.(i) <- { old_box; delta = post_delta };
+    prev_old_box := old_box;
+    delta := post_delta
+  done;
+  result
+
+(** [output_delta ~old_net ~new_net box] is the per-output difference
+    bound [Δ_n] — a box around 0 containing [f'(x) − f(x)] for every
+    [x] in [box]. *)
+let output_delta ~old_net ~new_net box =
+  let layers = analyze ~old_net ~new_net box in
+  layers.(Array.length layers - 1).delta
+
+(** [max_output_delta ~old_net ~new_net box] is the scalar
+    [max_i max(|lo Δ_i|, |hi Δ_i|)] — the ε such that
+    [‖f' − f‖_∞ ≤ ε] over the box. *)
+let max_output_delta ~old_net ~new_net box =
+  Array.fold_left
+    (fun acc iv ->
+      Float.max acc
+        (Float.max
+           (Float.abs (Cv_interval.Interval.lo iv))
+           (Float.abs (Cv_interval.Interval.hi iv))))
+    0.
+    (output_delta ~old_net ~new_net box)
+
+(** [naive_bound ~old_net ~new_net box] is the non-differential
+    baseline: reach(f') ⊖ reach(f) by plain interval subtraction of the
+    two independently computed reach boxes — what one gets {e without}
+    tracking the difference. Always at least as loose as
+    {!output_delta}; the ablation bench quantifies the gap. *)
+let naive_bound ~old_net ~new_net box =
+  let r_old = Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint old_net box in
+  let r_new = Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint new_net box in
+  Array.init (Cv_interval.Box.dim r_old) (fun i ->
+      Cv_interval.Interval.sub
+        (Cv_interval.Box.get r_new i)
+        (Cv_interval.Box.get r_old i))

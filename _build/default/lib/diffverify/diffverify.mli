@@ -1,0 +1,42 @@
+(** Differential interval verification of two network versions, in the
+    spirit of ReluDiff (the paper's ref [20]): track a sound box of the
+    old activations and a sound box of the per-neuron {e difference}
+    through the layers, giving bounds on [f'(x) − f(x)] far tighter than
+    subtracting independently computed reaches. *)
+
+type layer_delta = {
+  old_box : Cv_interval.Box.t;  (** bounds of the old activations *)
+  delta : Cv_interval.Box.t;  (** bounds of (new − old) activations *)
+}
+
+(** [analyze ~old_net ~new_net box] runs the differential analysis and
+    returns the per-layer records. Raises [Invalid_argument] on shape
+    mismatch. *)
+val analyze :
+  old_net:Cv_nn.Network.t ->
+  new_net:Cv_nn.Network.t ->
+  Cv_interval.Box.t ->
+  layer_delta array
+
+(** [output_delta ~old_net ~new_net box] is a box around 0 containing
+    [f'(x) − f(x)] for every [x] in [box]. *)
+val output_delta :
+  old_net:Cv_nn.Network.t ->
+  new_net:Cv_nn.Network.t ->
+  Cv_interval.Box.t ->
+  Cv_interval.Box.t
+
+(** [max_output_delta ~old_net ~new_net box] is the scalar ε with
+    [‖f' − f‖_∞ ≤ ε] over the box. *)
+val max_output_delta :
+  old_net:Cv_nn.Network.t -> new_net:Cv_nn.Network.t -> Cv_interval.Box.t -> float
+
+(** [naive_bound ~old_net ~new_net box] is the non-differential
+    baseline: interval subtraction of the two independently computed
+    reach boxes — always at least as loose as {!output_delta}; the
+    ablation bench quantifies the gap. *)
+val naive_bound :
+  old_net:Cv_nn.Network.t ->
+  new_net:Cv_nn.Network.t ->
+  Cv_interval.Box.t ->
+  Cv_interval.Interval.t array

@@ -1,0 +1,1 @@
+lib/domains/analyzer.ml: Array Box_domain Cv_interval Cv_nn Deeppoly Starset Symint Transformer Zonotope

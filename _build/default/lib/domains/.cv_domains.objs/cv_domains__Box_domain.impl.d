@@ -1,0 +1,1 @@
+lib/domains/box_domain.ml: Array Cv_interval Cv_nn Transformer

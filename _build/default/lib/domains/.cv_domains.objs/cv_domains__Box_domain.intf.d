@@ -1,0 +1,1 @@
+lib/domains/box_domain.mli: Cv_interval Cv_nn

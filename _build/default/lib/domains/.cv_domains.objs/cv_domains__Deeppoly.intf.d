@@ -1,0 +1,1 @@
+lib/domains/deeppoly.mli: Cv_interval Cv_nn

@@ -1,0 +1,1 @@
+lib/domains/starset.ml: Array Cv_interval Cv_linalg Cv_lp Cv_nn Float Fun List

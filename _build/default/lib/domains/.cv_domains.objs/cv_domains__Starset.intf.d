@@ -1,0 +1,1 @@
+lib/domains/starset.mli: Cv_interval Cv_nn

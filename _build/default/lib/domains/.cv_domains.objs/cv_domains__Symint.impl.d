@@ -1,0 +1,1 @@
+lib/domains/symint.ml: Array Cv_interval Cv_linalg Cv_nn

@@ -1,0 +1,1 @@
+lib/domains/symint.mli: Cv_interval Cv_linalg Cv_nn

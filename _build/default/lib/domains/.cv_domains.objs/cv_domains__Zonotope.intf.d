@@ -1,0 +1,1 @@
+lib/domains/zonotope.mli: Cv_interval Cv_nn

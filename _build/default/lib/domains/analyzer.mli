@@ -1,0 +1,70 @@
+(** Layer-wise state-abstraction generation.
+
+    Folding an abstract domain over a network yields the paper's proof
+    artifact: inductive state abstractions [S_1..S_n] as boxes
+    (per-neuron lower/upper valuations, as ReluVal produces in the
+    paper's experiment). See DESIGN.md for the inductivity subtlety. *)
+
+module Make (D : Transformer.DOMAIN) : sig
+  (** [abstractions ?widen net din] computes inductive state
+      abstractions [S_1..S_n] as boxes: [S_{i+1}] is the domain's image
+      of the box [S_i], optionally widened by the absolute slack
+      [widen] per neuron (default 0). Widening keeps the chain inductive
+      while leaving room for fine-tuning drift. *)
+  val abstractions :
+    ?widen:float -> Cv_nn.Network.t -> Cv_interval.Box.t -> Cv_interval.Box.t array
+
+  (** [abstractions_through net din] carries the abstract value through
+      all layers (tighter boxes, but only end-to-end containment is
+      guaranteed — not the per-layer box induction). *)
+  val abstractions_through :
+    Cv_nn.Network.t -> Cv_interval.Box.t -> Cv_interval.Box.t array
+
+  (** [output_box net din] is the concretised network output reach
+      (relational value carried through). *)
+  val output_box : Cv_nn.Network.t -> Cv_interval.Box.t -> Cv_interval.Box.t
+
+  (** [verify net ~din ~dout] — one-shot abstract verification. *)
+  val verify :
+    Cv_nn.Network.t -> din:Cv_interval.Box.t -> dout:Cv_interval.Box.t -> bool
+
+  val name : string
+end
+
+module Box_analysis : module type of Make (Box_domain)
+
+module Symint_analysis : module type of Make (Symint)
+
+module Zonotope_analysis : module type of Make (Zonotope)
+
+module Deeppoly_analysis : module type of Make (Deeppoly)
+
+module Star_analysis : module type of Make (Starset)
+
+(** Runtime-selectable domain for CLI/benches. *)
+type domain_kind = Box | Symint | Zonotope | Deeppoly | Star
+
+(** [domain_of_string s] parses a domain name; raises [Invalid_argument]
+    on unknown names. *)
+val domain_of_string : string -> domain_kind
+
+(** [domain_name k] is the printable name. *)
+val domain_name : domain_kind -> string
+
+(** Dispatchers over {!domain_kind}. *)
+val abstractions :
+  ?widen:float ->
+  domain_kind ->
+  Cv_nn.Network.t ->
+  Cv_interval.Box.t ->
+  Cv_interval.Box.t array
+
+val output_box :
+  domain_kind -> Cv_nn.Network.t -> Cv_interval.Box.t -> Cv_interval.Box.t
+
+val verify :
+  domain_kind ->
+  Cv_nn.Network.t ->
+  din:Cv_interval.Box.t ->
+  dout:Cv_interval.Box.t ->
+  bool

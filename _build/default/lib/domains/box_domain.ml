@@ -1,0 +1,20 @@
+(** The interval (box) abstract domain.
+
+    The cheapest and least precise transformer: per-neuron lower/upper
+    bounds with no relational information. This is the "boxed
+    abstraction" the paper's Figure 2 example uses for its interval
+    analysis, and the baseline in the precision ablation. *)
+
+type t = Cv_interval.Box.t
+
+let name = "box"
+
+let of_box b = b
+
+let apply_layer (l : Cv_nn.Layer.t) b =
+  let pre = Transformer.pre_activation_box l b in
+  Array.map (Cv_nn.Activation.interval l.Cv_nn.Layer.act) pre
+
+let to_box b = b
+
+let dim = Cv_interval.Box.dim

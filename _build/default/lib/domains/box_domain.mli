@@ -1,0 +1,16 @@
+(** The interval (box) abstract domain: per-neuron lower/upper bounds
+    with no relational information — the "boxed abstraction" of the
+    paper's Figure 2 example and the baseline of the precision
+    ablation. *)
+
+type t = Cv_interval.Box.t
+
+val name : string
+
+val of_box : Cv_interval.Box.t -> t
+
+val apply_layer : Cv_nn.Layer.t -> t -> t
+
+val to_box : t -> Cv_interval.Box.t
+
+val dim : t -> int

@@ -1,0 +1,169 @@
+(** A DeepPoly-style polyhedral domain (Singh et al., POPL 2019).
+
+    Every neuron keeps one lower and one upper {e linear} bound in terms
+    of the previous node's neurons; concrete bounds are recovered by
+    backsubstituting those bounds through all earlier nodes down to the
+    input box. More precise than box and typically than zonotope on ReLU
+    networks, at higher transformer cost — the top end of the precision
+    ablation in the benches.
+
+    Internally a network layer [x ↦ act (W x + b)] contributes an affine
+    node and, for non-identity activations, an activation node. *)
+
+type node = {
+  lw : Cv_linalg.Mat.t;  (** lower-bound coefficients over previous node *)
+  lb : Cv_linalg.Vec.t;  (** lower-bound constants *)
+  uw : Cv_linalg.Mat.t;  (** upper-bound coefficients over previous node *)
+  ub : Cv_linalg.Vec.t;  (** upper-bound constants *)
+  bounds : Cv_interval.Box.t;  (** concrete bounds of this node's neurons *)
+}
+
+type t = {
+  input : Cv_interval.Box.t;
+  nodes : node list;  (** reverse order: head = most recent node *)
+}
+
+let name = "deeppoly"
+
+let current_box a =
+  match a.nodes with [] -> a.input | n :: _ -> n.bounds
+
+let dim a = Cv_interval.Box.dim (current_box a)
+
+let of_box b = { input = b; nodes = [] }
+
+let to_box a = current_box a
+
+(* Split a matrix into positive and negative parts: m = pos + neg with
+   pos >= 0 and neg <= 0 entrywise. *)
+let split_signs m =
+  ( Cv_linalg.Mat.map (fun x -> if x > 0. then x else 0.) m,
+    Cv_linalg.Mat.map (fun x -> if x < 0. then x else 0.) m )
+
+(* One backsubstitution step for an upper expression (A, c):
+   value ≤ A x_node + c  becomes a bound over the node's predecessor. *)
+let subst_upper node (a, c) =
+  let pos, neg = split_signs a in
+  let a' =
+    Cv_linalg.Mat.add (Cv_linalg.Mat.matmul pos node.uw) (Cv_linalg.Mat.matmul neg node.lw)
+  in
+  let c' =
+    Cv_linalg.Vec.add c
+      (Cv_linalg.Vec.add (Cv_linalg.Mat.matvec pos node.ub) (Cv_linalg.Mat.matvec neg node.lb))
+  in
+  (a', c')
+
+(* Dual step for a lower expression. *)
+let subst_lower node (a, c) =
+  let pos, neg = split_signs a in
+  let a' =
+    Cv_linalg.Mat.add (Cv_linalg.Mat.matmul pos node.lw) (Cv_linalg.Mat.matmul neg node.uw)
+  in
+  let c' =
+    Cv_linalg.Vec.add c
+      (Cv_linalg.Vec.add (Cv_linalg.Mat.matvec pos node.lb) (Cv_linalg.Mat.matvec neg node.ub))
+  in
+  (a', c')
+
+(* Evaluate an expression pair over the input box: upper expressions take
+   per-coefficient worst case. *)
+let eval_upper box (a, c) =
+  Array.init (Cv_linalg.Mat.rows a) (fun i ->
+      let acc = ref c.(i) in
+      for j = 0 to Cv_linalg.Mat.cols a - 1 do
+        let w = Cv_linalg.Mat.get a i j in
+        let iv = Cv_interval.Box.get box j in
+        acc :=
+          !acc
+          +.
+          if w >= 0. then w *. Cv_interval.Interval.hi iv
+          else w *. Cv_interval.Interval.lo iv
+      done;
+      !acc)
+
+let eval_lower box (a, c) =
+  Array.init (Cv_linalg.Mat.rows a) (fun i ->
+      let acc = ref c.(i) in
+      for j = 0 to Cv_linalg.Mat.cols a - 1 do
+        let w = Cv_linalg.Mat.get a i j in
+        let iv = Cv_interval.Box.get box j in
+        acc :=
+          !acc
+          +.
+          if w >= 0. then w *. Cv_interval.Interval.lo iv
+          else w *. Cv_interval.Interval.hi iv
+      done;
+      !acc)
+
+(* Concrete bounds for a candidate node appended after [nodes]: full
+   backsubstitution to the input. *)
+let concretize input nodes ~lw ~lb ~uw ~ub =
+  let rec down_upper expr = function
+    | [] -> expr
+    | node :: rest -> down_upper (subst_upper node expr) rest
+  in
+  let rec down_lower expr = function
+    | [] -> expr
+    | node :: rest -> down_lower (subst_lower node expr) rest
+  in
+  let his = eval_upper input (down_upper (uw, ub) nodes) in
+  let los = eval_lower input (down_lower (lw, lb) nodes) in
+  Array.init (Array.length los) (fun i ->
+      (* Guard against ulp-level crossing of the two relaxations. *)
+      if los.(i) > his.(i) then
+        Cv_interval.Interval.point (0.5 *. (los.(i) +. his.(i)))
+      else Cv_interval.Interval.make los.(i) his.(i))
+
+let push a ~lw ~lb ~uw ~ub =
+  let bounds = concretize a.input a.nodes ~lw ~lb ~uw ~ub in
+  { a with nodes = { lw; lb; uw; ub; bounds } :: a.nodes }
+
+let affine w bias a =
+  if Cv_linalg.Mat.cols w <> dim a then invalid_arg "Deeppoly.affine: dims";
+  push a ~lw:w ~lb:bias ~uw:w ~ub:bias
+
+(* ReLU node: per-neuron diagonal bounds chosen from the pre-activation
+   concrete range [l, u]. *)
+let relu a =
+  let pre = current_box a in
+  let n = Cv_interval.Box.dim pre in
+  let lw = Cv_linalg.Mat.zeros n n and uw = Cv_linalg.Mat.zeros n n in
+  let lb = Array.make n 0. and ub = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let iv = Cv_interval.Box.get pre i in
+    let l = Cv_interval.Interval.lo iv and u = Cv_interval.Interval.hi iv in
+    if l >= 0. then begin
+      Cv_linalg.Mat.set lw i i 1.;
+      Cv_linalg.Mat.set uw i i 1.
+    end
+    else if u <= 0. then ()
+    else begin
+      (* Upper: chord u(x − l)/(u − l). Lower: λx with λ ∈ {0,1} by the
+         smaller-area heuristic. *)
+      let s = u /. (u -. l) in
+      Cv_linalg.Mat.set uw i i s;
+      ub.(i) <- -.s *. l;
+      if u > -.l then Cv_linalg.Mat.set lw i i 1.
+    end
+  done;
+  push a ~lw ~lb ~uw ~ub
+
+(* Other activations: concrete interval node (coefficients zero). *)
+let monotone_concrete act a =
+  let pre = current_box a in
+  let imgs = Array.map (Cv_nn.Activation.interval act) pre in
+  let n = Array.length imgs in
+  let zeros = Cv_linalg.Mat.zeros n n in
+  push a ~lw:zeros
+    ~lb:(Array.map Cv_interval.Interval.lo imgs)
+    ~uw:zeros
+    ~ub:(Array.map Cv_interval.Interval.hi imgs)
+
+let apply_layer (l : Cv_nn.Layer.t) a =
+  let a = affine l.Cv_nn.Layer.weights l.Cv_nn.Layer.bias a in
+  match l.Cv_nn.Layer.act with
+  | Cv_nn.Activation.Relu -> relu a
+  | Cv_nn.Activation.Identity -> a
+  | (Cv_nn.Activation.Leaky_relu _ | Cv_nn.Activation.Sigmoid | Cv_nn.Activation.Tanh)
+    as act ->
+    monotone_concrete act a

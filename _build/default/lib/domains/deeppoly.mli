@@ -1,0 +1,16 @@
+(** A DeepPoly-style polyhedral domain (Singh et al., POPL 2019): per
+    neuron one lower and one upper linear bound over the previous node,
+    with concrete bounds recovered by backsubstitution to the input
+    box. *)
+
+type t
+
+val name : string
+
+val dim : t -> int
+
+val of_box : Cv_interval.Box.t -> t
+
+val apply_layer : Cv_nn.Layer.t -> t -> t
+
+val to_box : t -> Cv_interval.Box.t

@@ -1,0 +1,192 @@
+(** Star sets (Tran et al., FM 2019) — the fourth abstraction family the
+    paper's related work lists, implemented in its over-approximating
+    ("approx-star") variant.
+
+    A star is an affine image of a constrained predicate space:
+    [{ c + V α  |  P α ≤ q,  α ∈ αbox }]. Affine layers are exact
+    (transform [c] and [V]); an unstable ReLU adds one fresh predicate
+    variable with three linear constraints (the triangle relaxation),
+    keeping the representation exact on stable neurons. Concretisation
+    solves two LPs per neuron, which makes the domain the most precise —
+    and the most expensive — of our transformer family; the ablation
+    bench quantifies that trade-off. *)
+
+type t = {
+  center : Cv_linalg.Vec.t;  (** d *)
+  basis : Cv_linalg.Mat.t;  (** d × m *)
+  constraints : (Cv_linalg.Vec.t * float) list;  (** rows p·α ≤ q over m vars *)
+  alpha_box : Cv_interval.Box.t;  (** m-dim bounds on α *)
+}
+
+let name = "star"
+
+let dim s = Array.length s.center
+
+let num_predicates s = Cv_linalg.Mat.cols s.basis
+
+let of_box b =
+  let d = Cv_interval.Box.dim b in
+  { center = Cv_interval.Box.center b;
+    basis =
+      Cv_linalg.Mat.init d d (fun i j ->
+          if i = j then Cv_interval.Interval.radius (Cv_interval.Box.get b i)
+          else 0.);
+    constraints = [];
+    alpha_box = Cv_interval.Box.uniform d ~lo:(-1.) ~hi:1. }
+
+(* Bounds of the affine form [offset + row·α] over the predicate set,
+   via LP (falling back to interval evaluation when the LP misbehaves
+   numerically — the interval bound is always sound). *)
+let form_bounds s ~row ~offset =
+  let interval_bound () =
+    let acc = ref (Cv_interval.Interval.point offset) in
+    Array.iteri
+      (fun j r ->
+        if r <> 0. then
+          acc :=
+            Cv_interval.Interval.add !acc
+              (Cv_interval.Interval.scale r (Cv_interval.Box.get s.alpha_box j)))
+      row;
+    !acc
+  in
+  if s.constraints = [] then interval_bound ()
+  else begin
+    let m = num_predicates s in
+    let solve maximize =
+      let p = Cv_lp.Lp.create () in
+      let vars =
+        Array.init m (fun j ->
+            let iv = Cv_interval.Box.get s.alpha_box j in
+            Cv_lp.Lp.add_var p ~lo:(Cv_interval.Interval.lo iv)
+              ~hi:(Cv_interval.Interval.hi iv) ())
+      in
+      List.iter
+        (fun (coeffs, q) ->
+          let terms =
+            List.filter_map
+              (fun j -> if coeffs.(j) = 0. then None else Some (coeffs.(j), vars.(j)))
+              (List.init m Fun.id)
+          in
+          Cv_lp.Lp.add_constraint p terms Cv_lp.Lp.Le q)
+        s.constraints;
+      let terms =
+        List.filter_map
+          (fun j -> if row.(j) = 0. then None else Some (row.(j), vars.(j)))
+          (List.init m Fun.id)
+      in
+      if terms = [] then Some offset
+      else begin
+        Cv_lp.Lp.set_objective p ~maximize terms;
+        match Cv_lp.Lp.solve p with
+        | Cv_lp.Lp.Optimal sol -> Some (offset +. sol.Cv_lp.Lp.objective)
+        | _ -> None
+      end
+    in
+    match (solve false, solve true) with
+    | Some lo, Some hi when lo <= hi +. 1e-9 ->
+      Cv_interval.Interval.make (Float.min lo hi) (Float.max lo hi)
+    | _ -> interval_bound ()
+  end
+
+let neuron_interval s i =
+  form_bounds s ~row:(Cv_linalg.Mat.row s.basis i) ~offset:s.center.(i)
+
+let to_box s = Array.init (dim s) (neuron_interval s)
+
+let affine w b s =
+  if Cv_linalg.Mat.cols w <> dim s then invalid_arg "Starset.affine: dims";
+  { s with
+    center = Cv_linalg.Mat.matvec_add w s.center b;
+    basis = Cv_linalg.Mat.matmul w s.basis }
+
+(* Widen a row vector to m' columns. *)
+let pad row m' =
+  let r = Array.make m' 0. in
+  Array.blit row 0 r 0 (Array.length row);
+  r
+
+(* Approx-star ReLU: one pass, adding a predicate variable per unstable
+   neuron. *)
+let relu s =
+  let d = dim s in
+  let pre = to_box s in
+  let unstable =
+    List.filter
+      (fun i ->
+        let iv = pre.(i) in
+        Cv_interval.Interval.lo iv < 0. && Cv_interval.Interval.hi iv > 0.)
+      (List.init d Fun.id)
+  in
+  let m = num_predicates s in
+  let m' = m + List.length unstable in
+  let center = Array.copy s.center in
+  let basis = Cv_linalg.Mat.init d m' (fun i j -> if j < m then Cv_linalg.Mat.get s.basis i j else 0.) in
+  let constraints = ref (List.map (fun (p, q) -> (pad p m', q)) s.constraints) in
+  let alpha_lo = Array.make m' 0. and alpha_hi = Array.make m' 0. in
+  Array.iteri
+    (fun j iv ->
+      alpha_lo.(j) <- Cv_interval.Interval.lo iv;
+      alpha_hi.(j) <- Cv_interval.Interval.hi iv)
+    s.alpha_box;
+  let next = ref m in
+  List.iter
+    (fun i ->
+      let iv = pre.(i) in
+      let l = Cv_interval.Interval.lo iv and u = Cv_interval.Interval.hi iv in
+      let j_new = !next in
+      incr next;
+      let slope = u /. (u -. l) in
+      (* Old affine form of neuron i. *)
+      let row_i = pad (Cv_linalg.Mat.row s.basis i) m' in
+      let c_i = s.center.(i) in
+      (* y = α_new with: α_new ≥ 0 (box), α_new ≥ x_i, α_new ≤ s(x_i − l). *)
+      let ge_x =
+        (* x_i − α_new ≤ −c_i + ... : row_i·α − α_new ≤ −c_i *)
+        let p = Array.copy row_i in
+        p.(j_new) <- -1.;
+        (p, -.c_i)
+      in
+      let le_chord =
+        (* α_new − s·row_i·α ≤ s(c_i − l) − 0·... :
+           α_new ≤ s(x_i − l) = s(c_i + row_i·α − l) *)
+        let p = Array.map (fun v -> -.slope *. v) row_i in
+        p.(j_new) <- 1.;
+        (p, slope *. (c_i -. l))
+      in
+      constraints := ge_x :: le_chord :: !constraints;
+      alpha_lo.(j_new) <- 0.;
+      alpha_hi.(j_new) <- u;
+      (* Rewire neuron i to the new variable. *)
+      center.(i) <- 0.;
+      for j = 0 to m' - 1 do
+        Cv_linalg.Mat.set basis i j (if j = j_new then 1. else 0.)
+      done)
+    unstable;
+  (* Inactive neurons collapse to zero. *)
+  Array.iteri
+    (fun i iv ->
+      if Cv_interval.Interval.hi iv <= 0. then begin
+        center.(i) <- 0.;
+        for j = 0 to m' - 1 do
+          Cv_linalg.Mat.set basis i j 0.
+        done
+      end)
+    pre;
+  { center;
+    basis;
+    constraints = !constraints;
+    alpha_box = Cv_interval.Box.of_bounds alpha_lo alpha_hi }
+
+(* Other monotone activations: concretise (constant star). *)
+let monotone_concrete act s =
+  let imgs = Array.map (Cv_nn.Activation.interval act) (to_box s) in
+  of_box imgs
+
+let apply_layer (l : Cv_nn.Layer.t) s =
+  let pre = affine l.Cv_nn.Layer.weights l.Cv_nn.Layer.bias s in
+  match l.Cv_nn.Layer.act with
+  | Cv_nn.Activation.Relu -> relu pre
+  | Cv_nn.Activation.Identity -> pre
+  | (Cv_nn.Activation.Leaky_relu _ | Cv_nn.Activation.Sigmoid | Cv_nn.Activation.Tanh)
+    as act ->
+    monotone_concrete act pre

@@ -1,0 +1,21 @@
+(** Star sets (Tran et al., FM 2019), over-approximating variant:
+    [{ c + V α | P α ≤ q, α ∈ αbox }]. Affine layers are exact; an
+    unstable ReLU adds one predicate variable with the triangle
+    relaxation; concretisation solves two LPs per neuron — the most
+    precise and most expensive of the transformer family. *)
+
+type t
+
+val name : string
+
+val dim : t -> int
+
+(** [num_predicates s] is the predicate-variable count (grows by one per
+    unstable ReLU). *)
+val num_predicates : t -> int
+
+val of_box : Cv_interval.Box.t -> t
+
+val apply_layer : Cv_nn.Layer.t -> t -> t
+
+val to_box : t -> Cv_interval.Box.t

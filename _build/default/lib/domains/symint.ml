@@ -1,0 +1,177 @@
+(** Symbolic interval analysis in the style of ReluVal / Neurify.
+
+    Each neuron carries two symbolic linear expressions over the network
+    inputs — a lower and an upper bound — together with the input box
+    needed to concretise them. Affine layers propagate the expressions
+    exactly (sign-splitting per weight); unstable ReLUs relax the upper
+    expression by the standard triangle slope and drop the lower to 0.
+    This is the domain the paper's experiment uses (via the ReluVal
+    tool) to produce its per-neuron state abstractions. *)
+
+(** A symbolic linear expression [coeffs · x + const] over the inputs. *)
+type linexp = { coeffs : float array; const : float }
+
+type t = {
+  input : Cv_interval.Box.t;  (** box over which expressions concretise *)
+  lower : linexp array;  (** per-neuron symbolic lower bound *)
+  upper : linexp array;  (** per-neuron symbolic upper bound *)
+}
+
+let name = "symint"
+
+let dim a = Array.length a.lower
+
+(** Concretise a linear expression to an interval over the input box
+    (exact: split coefficients by sign). *)
+let concretize_linexp box e =
+  let lo = ref e.const and hi = ref e.const in
+  for j = 0 to Array.length e.coeffs - 1 do
+    let c = e.coeffs.(j) in
+    let iv = Cv_interval.Box.get box j in
+    if c >= 0. then begin
+      lo := !lo +. (c *. Cv_interval.Interval.lo iv);
+      hi := !hi +. (c *. Cv_interval.Interval.hi iv)
+    end
+    else begin
+      lo := !lo +. (c *. Cv_interval.Interval.hi iv);
+      hi := !hi +. (c *. Cv_interval.Interval.lo iv)
+    end
+  done;
+  Cv_interval.Interval.make !lo !hi
+
+(** Concrete interval of one neuron: lower bound of the lower expression,
+    upper bound of the upper expression. *)
+let neuron_interval a i =
+  let lo = Cv_interval.Interval.lo (concretize_linexp a.input a.lower.(i)) in
+  let hi = Cv_interval.Interval.hi (concretize_linexp a.input a.upper.(i)) in
+  (* Float relaxations can cross by a few ulps; normalise. *)
+  if lo > hi then Cv_interval.Interval.point (0.5 *. (lo +. hi))
+  else Cv_interval.Interval.make lo hi
+
+let of_box b =
+  let n = Cv_interval.Box.dim b in
+  let identity i =
+    { coeffs = Array.init n (fun j -> if i = j then 1. else 0.); const = 0. }
+  in
+  { input = b; lower = Array.init n identity; upper = Array.init n identity }
+
+(* Affine image: per output neuron, combine the input expressions picking
+   lower/upper according to the weight sign. *)
+let affine (w : Cv_linalg.Mat.t) bias a =
+  let rows = Cv_linalg.Mat.rows w and cols = Cv_linalg.Mat.cols w in
+  if cols <> dim a then invalid_arg "Symint.affine: dimension mismatch";
+  let in_dim = Cv_interval.Box.dim a.input in
+  let combine pick_lo i =
+    let coeffs = Array.make in_dim 0. in
+    let const = ref bias.(i) in
+    for j = 0 to cols - 1 do
+      let wij = Cv_linalg.Mat.get w i j in
+      if wij <> 0. then begin
+        (* For the lower expression of the output: positive weight takes
+           the input's lower expression, negative takes the upper; and
+           dually for the output's upper expression. *)
+        let src =
+          if (wij > 0. && pick_lo) || (wij < 0. && not pick_lo) then a.lower.(j)
+          else a.upper.(j)
+        in
+        for k = 0 to in_dim - 1 do
+          coeffs.(k) <- coeffs.(k) +. (wij *. src.coeffs.(k))
+        done;
+        const := !const +. (wij *. src.const)
+      end
+    done;
+    { coeffs; const = !const }
+  in
+  { input = a.input;
+    lower = Array.init rows (combine true);
+    upper = Array.init rows (combine false) }
+
+let zero_exp n = { coeffs = Array.make n 0.; const = 0. }
+
+(* ReLU on the symbolic element. *)
+let relu a =
+  let n = dim a in
+  let in_dim = Cv_interval.Box.dim a.input in
+  let lower = Array.make n (zero_exp in_dim) in
+  let upper = Array.make n (zero_exp in_dim) in
+  for i = 0 to n - 1 do
+    let lo_iv = concretize_linexp a.input a.lower.(i) in
+    let up_iv = concretize_linexp a.input a.upper.(i) in
+    let l = Cv_interval.Interval.lo lo_iv in
+    let u = Cv_interval.Interval.hi up_iv in
+    if l >= 0. then begin
+      lower.(i) <- a.lower.(i);
+      upper.(i) <- a.upper.(i)
+    end
+    else if u <= 0. then begin
+      lower.(i) <- zero_exp in_dim;
+      upper.(i) <- zero_exp in_dim
+    end
+    else begin
+      (* Unstable: lower := 0. For the upper expression, let [l_u, u] be
+         its own concrete range. ReLU(z(x)) ≤ ReLU(ub(x)); when l_u ≥ 0
+         that is just ub(x), otherwise the chord s(t − l_u) with
+         s = u/(u − l_u) over-approximates ReLU(t) on [l_u, u] (ReLU is
+         convex), applied at t = ub(x). *)
+      let l_u = Cv_interval.Interval.lo up_iv in
+      lower.(i) <- zero_exp in_dim;
+      if l_u >= 0. then upper.(i) <- a.upper.(i)
+      else begin
+        let s = if u -. l_u <= 0. then 0. else u /. (u -. l_u) in
+        upper.(i) <-
+          { coeffs = Array.map (fun c -> s *. c) a.upper.(i).coeffs;
+            const = s *. (a.upper.(i).const -. l_u) }
+      end
+    end
+  done;
+  { a with lower; upper }
+
+(* Monotone non-linearities other than ReLU: fall back to concrete
+   intervals (constant expressions). Sound, loses the symbolic part. *)
+let monotone_concrete act a =
+  let n = dim a in
+  let in_dim = Cv_interval.Box.dim a.input in
+  let lower = Array.make n (zero_exp in_dim) in
+  let upper = Array.make n (zero_exp in_dim) in
+  for i = 0 to n - 1 do
+    let iv = Cv_nn.Activation.interval act (neuron_interval a i) in
+    lower.(i) <- { coeffs = Array.make in_dim 0.; const = Cv_interval.Interval.lo iv };
+    upper.(i) <- { coeffs = Array.make in_dim 0.; const = Cv_interval.Interval.hi iv }
+  done;
+  { a with lower; upper }
+
+(* Leaky ReLU: for stable neurons exact; unstable neurons fall back to
+   concrete bounds (sound and simple; the verified head uses plain
+   ReLU). *)
+let leaky_relu slope a =
+  let n = dim a in
+  let changed = ref false in
+  for i = 0 to n - 1 do
+    let iv = neuron_interval a i in
+    if Cv_interval.Interval.lo iv < 0. && Cv_interval.Interval.hi iv > 0. then
+      changed := true
+  done;
+  if not !changed then
+    (* All neurons stable: negative ones scale by slope, positive ones
+       pass through. *)
+    let scale_if_neg i e =
+      let iv = neuron_interval a i in
+      if Cv_interval.Interval.hi iv <= 0. then
+        { coeffs = Array.map (fun c -> slope *. c) e.coeffs; const = slope *. e.const }
+      else e
+    in
+    { a with
+      lower = Array.mapi (fun i _ -> scale_if_neg i a.lower.(i)) a.lower;
+      upper = Array.mapi (fun i _ -> scale_if_neg i a.upper.(i)) a.upper }
+  else monotone_concrete (Cv_nn.Activation.Leaky_relu slope) a
+
+let apply_layer (l : Cv_nn.Layer.t) a =
+  let pre = affine l.Cv_nn.Layer.weights l.Cv_nn.Layer.bias a in
+  match l.Cv_nn.Layer.act with
+  | Cv_nn.Activation.Relu -> relu pre
+  | Cv_nn.Activation.Identity -> pre
+  | Cv_nn.Activation.Leaky_relu slope -> leaky_relu slope pre
+  | (Cv_nn.Activation.Sigmoid | Cv_nn.Activation.Tanh) as act ->
+    monotone_concrete act pre
+
+let to_box a = Array.init (dim a) (neuron_interval a)

@@ -1,0 +1,32 @@
+(** Symbolic interval analysis in the style of ReluVal / Neurify: each
+    neuron carries symbolic linear lower/upper expressions over the
+    network inputs, concretised against the input box. The domain the
+    paper's experiment uses to produce its per-neuron state
+    abstractions. *)
+
+(** A symbolic linear expression [coeffs · x + const] over the inputs. *)
+type linexp = { coeffs : float array; const : float }
+
+type t = {
+  input : Cv_interval.Box.t;  (** box over which expressions concretise *)
+  lower : linexp array;  (** per-neuron symbolic lower bound *)
+  upper : linexp array;  (** per-neuron symbolic upper bound *)
+}
+
+val name : string
+
+val dim : t -> int
+
+val of_box : Cv_interval.Box.t -> t
+
+(** [affine w b a] pushes the element through the affine map exactly
+    (sign-splitting per weight) — exposed for the MILP encoder's big-M
+    pre-analysis and the differential analyzer. *)
+val affine : Cv_linalg.Mat.t -> Cv_linalg.Vec.t -> t -> t
+
+(** [apply_layer l a] is the sound abstract image under the fused
+    affine-plus-activation layer. *)
+val apply_layer : Cv_nn.Layer.t -> t -> t
+
+(** [to_box a] concretises to per-neuron interval bounds. *)
+val to_box : t -> Cv_interval.Box.t

@@ -1,0 +1,55 @@
+(** Common signature of abstract domains over network layers.
+
+    A domain provides sound abstract transformers for the fused
+    affine-plus-activation layers of {!Cv_nn.Layer}: if the concrete
+    input [x] is contained in the concretisation of the abstract element
+    [a], then [Layer.eval l x] is contained in the concretisation of
+    [apply_layer l a]. The layer-wise analyzer ({!Analyzer}) folds a
+    domain over a network to produce the paper's state abstractions
+    [S_1..S_n] (as boxes, matching the ReluVal-style lower/upper neuron
+    valuations used in the paper's experiment). *)
+
+module type DOMAIN = sig
+  type t
+
+  (** Short name used in reports and benches ("box", "symint", ...). *)
+  val name : string
+
+  (** [of_box b] abstracts an input box exactly. *)
+  val of_box : Cv_interval.Box.t -> t
+
+  (** [apply_layer l a] is the sound abstract image of [a] under the
+      layer [l]. *)
+  val apply_layer : Cv_nn.Layer.t -> t -> t
+
+  (** [to_box a] concretises to interval bounds per neuron (sound: the
+      concrete set is contained in the box). *)
+  val to_box : t -> Cv_interval.Box.t
+
+  (** [dim a] is the dimension of the abstract element. *)
+  val dim : t -> int
+end
+
+(** [pre_activation_box l b] is the exact interval image of the affine
+    part [W x + b] over the box [b]: per row, split the weight by sign.
+    Shared by several domains and by the MILP big-M bound setup. *)
+let pre_activation_box (l : Cv_nn.Layer.t) (b : Cv_interval.Box.t) =
+  let w = l.Cv_nn.Layer.weights and bias = l.Cv_nn.Layer.bias in
+  let rows = Cv_linalg.Mat.rows w and cols = Cv_linalg.Mat.cols w in
+  if cols <> Cv_interval.Box.dim b then
+    invalid_arg "Transformer.pre_activation_box: dimension mismatch";
+  Array.init rows (fun i ->
+      let lo = ref bias.(i) and hi = ref bias.(i) in
+      for j = 0 to cols - 1 do
+        let wij = Cv_linalg.Mat.get w i j in
+        let iv = Cv_interval.Box.get b j in
+        if wij >= 0. then begin
+          lo := !lo +. (wij *. Cv_interval.Interval.lo iv);
+          hi := !hi +. (wij *. Cv_interval.Interval.hi iv)
+        end
+        else begin
+          lo := !lo +. (wij *. Cv_interval.Interval.hi iv);
+          hi := !hi +. (wij *. Cv_interval.Interval.lo iv)
+        end
+      done;
+      Cv_interval.Interval.make !lo !hi)

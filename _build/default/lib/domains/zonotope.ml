@@ -1,0 +1,145 @@
+(** The zonotope abstract domain (DeepZ-style transformers).
+
+    A zonotope is an affine image of a hypercube: [{ c + G ε | ε ∈
+    [-1,1]^m }]. Affine layers are exact; unstable ReLUs use the standard
+    minimal-area relaxation that introduces one fresh noise symbol per
+    unstable neuron. Used in the precision/cost ablation benches against
+    box and symbolic intervals, mirroring the paper's remark that "other
+    types [of] abstract transformers with better precision are used". *)
+
+type t = {
+  center : float array;  (** c, dimension d *)
+  generators : float array array;  (** list of generator rows, each of dimension d *)
+}
+
+let name = "zonotope"
+
+let dim z = Array.length z.center
+
+(** [of_box b] has one generator per non-degenerate axis. *)
+let of_box b =
+  let n = Cv_interval.Box.dim b in
+  let center = Array.init n (fun i -> Cv_interval.Interval.center (Cv_interval.Box.get b i)) in
+  let gens = ref [] in
+  for i = n - 1 downto 0 do
+    let r = Cv_interval.Interval.radius (Cv_interval.Box.get b i) in
+    if r > 0. then begin
+      let g = Array.make n 0. in
+      g.(i) <- r;
+      gens := g :: !gens
+    end
+  done;
+  { center; generators = Array.of_list !gens }
+
+(** Per-dimension deviation: sum of |generator| entries. *)
+let deviation z i =
+  Array.fold_left (fun acc g -> acc +. Float.abs g.(i)) 0. z.generators
+
+(** [to_box z] concretises to per-dimension bounds [c_i ± dev_i]. *)
+let to_box z =
+  Array.init (dim z) (fun i ->
+      let d = deviation z i in
+      Cv_interval.Interval.make (z.center.(i) -. d) (z.center.(i) +. d))
+
+let affine (w : Cv_linalg.Mat.t) bias z =
+  if Cv_linalg.Mat.cols w <> dim z then invalid_arg "Zonotope.affine: dims";
+  { center = Cv_linalg.Mat.matvec_add w z.center bias;
+    generators = Array.map (fun g -> Cv_linalg.Mat.matvec w g) z.generators }
+
+(* DeepZ ReLU: per dimension, with bounds [l, u]:
+   - l >= 0: identity; u <= 0: zero;
+   - unstable: y = λ x + μ ± μ where λ = u/(u−l), μ = −λ l / 2; realised
+     by scaling the dimension's row of every generator by λ, setting
+     center_i := λ c_i + μ, and appending a fresh generator with entry μ
+     at dimension i. *)
+let relu z =
+  let n = dim z in
+  let box = to_box z in
+  let center = Array.copy z.center in
+  let generators = Array.map Array.copy z.generators in
+  let fresh = ref [] in
+  for i = 0 to n - 1 do
+    let iv = Cv_interval.Box.get box i in
+    let l = Cv_interval.Interval.lo iv and u = Cv_interval.Interval.hi iv in
+    if u <= 0. then begin
+      center.(i) <- 0.;
+      Array.iter (fun g -> g.(i) <- 0.) generators;
+    end
+    else if l < 0. then begin
+      let lambda = u /. (u -. l) in
+      let mu = -.lambda *. l /. 2. in
+      center.(i) <- (lambda *. center.(i)) +. mu;
+      Array.iter (fun g -> g.(i) <- lambda *. g.(i)) generators;
+      let g = Array.make n 0. in
+      g.(i) <- mu;
+      fresh := g :: !fresh
+    end
+  done;
+  { center; generators = Array.append generators (Array.of_list !fresh) }
+
+(* Non-ReLU nonlinearities: concretise per dimension (drop relational
+   information). Exact for stable monotone images of the box. *)
+let monotone_concrete act z =
+  let box = to_box z in
+  let imgs = Array.map (Cv_nn.Activation.interval act) box in
+  let n = dim z in
+  let center = Array.init n (fun i -> Cv_interval.Interval.center imgs.(i)) in
+  let gens = ref [] in
+  for i = n - 1 downto 0 do
+    let r = Cv_interval.Interval.radius imgs.(i) in
+    if r > 0. then begin
+      let g = Array.make n 0. in
+      g.(i) <- r;
+      gens := g :: !gens
+    end
+  done;
+  { center; generators = Array.of_list !gens }
+
+let apply_layer (l : Cv_nn.Layer.t) z =
+  let pre = affine l.Cv_nn.Layer.weights l.Cv_nn.Layer.bias z in
+  match l.Cv_nn.Layer.act with
+  | Cv_nn.Activation.Relu -> relu pre
+  | Cv_nn.Activation.Identity -> pre
+  | (Cv_nn.Activation.Leaky_relu _ | Cv_nn.Activation.Sigmoid | Cv_nn.Activation.Tanh)
+    as act ->
+    monotone_concrete act pre
+
+(** [num_generators z] — growth diagnostic for benches. *)
+let num_generators z = Array.length z.generators
+
+(** [reduce_order ~max_generators z] performs standard order reduction:
+    when the generator count exceeds the budget, the smallest generators
+    (by 1-norm) are replaced by their box over-approximation (one
+    axis-aligned generator per dimension). Sound: the result contains
+    the original zonotope. Deep networks add one generator per unstable
+    ReLU, so unbounded growth would make late layers quadratic; the
+    analyzer stays exact until the budget is hit. *)
+let reduce_order ~max_generators z =
+  let m = Array.length z.generators in
+  if m <= max_generators then z
+  else begin
+    let d = dim z in
+    (* Keep the largest (budget − d) generators, box the rest. *)
+    let keep = max 0 (max_generators - d) in
+    let order =
+      Array.init m (fun i -> (Cv_linalg.Vec.norm1 z.generators.(i), i))
+    in
+    Array.sort (fun (a, _) (b, _) -> Float.compare b a) order;
+    let kept = Array.init keep (fun k -> z.generators.(snd order.(k))) in
+    let boxed = Array.make d 0. in
+    for k = keep to m - 1 do
+      let g = z.generators.(snd order.(k)) in
+      for i = 0 to d - 1 do
+        boxed.(i) <- boxed.(i) +. Float.abs g.(i)
+      done
+    done;
+    let axis_gens = ref [] in
+    for i = d - 1 downto 0 do
+      if boxed.(i) > 0. then begin
+        let g = Array.make d 0. in
+        g.(i) <- boxed.(i);
+        axis_gens := g :: !axis_gens
+      end
+    done;
+    { z with generators = Array.append kept (Array.of_list !axis_gens) }
+  end

@@ -1,0 +1,27 @@
+(** The zonotope abstract domain (DeepZ-style transformers): affine
+    images of hypercubes, [{ c + G ε | ε ∈ [-1,1]^m }]. Affine layers
+    are exact; unstable ReLUs use the minimal-area relaxation with one
+    fresh noise symbol per unstable neuron. *)
+
+type t = {
+  center : float array;
+  generators : float array array;
+}
+
+val name : string
+
+val dim : t -> int
+
+val of_box : Cv_interval.Box.t -> t
+
+val apply_layer : Cv_nn.Layer.t -> t -> t
+
+val to_box : t -> Cv_interval.Box.t
+
+(** [num_generators z] — growth diagnostic. *)
+val num_generators : t -> int
+
+(** [reduce_order ~max_generators z] replaces the smallest generators by
+    their box over-approximation when the budget is exceeded; sound (the
+    result contains the original zonotope). *)
+val reduce_order : max_generators:int -> t -> t

@@ -1,0 +1,1 @@
+lib/interval/box.ml: Array Cv_linalg Cv_util Float Format Interval List String

@@ -1,0 +1,1 @@
+lib/interval/box.mli: Cv_linalg Cv_util Format Interval

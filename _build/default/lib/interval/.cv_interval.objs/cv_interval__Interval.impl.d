@@ -1,0 +1,1 @@
+lib/interval/interval.ml: Cv_util Float Format Printf

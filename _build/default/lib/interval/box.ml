@@ -1,0 +1,199 @@
+(** Axis-aligned boxes: vectors of intervals.
+
+    Boxes play three roles in the reproduction, mirroring the paper:
+    the verified input domain [D_in] and its enlargement [D_in ∪ Δ_in]
+    are boxes over the monitored feature layer; the safe output set
+    [D_out] is a box; and the stored state abstractions [S_1..S_n] are
+    boxes per layer (the concretisation of ReluVal-style symbolic
+    intervals, exactly as in the paper's experiment). *)
+
+type t = Interval.t array
+
+(** [make ivs] builds a box from an interval array (copied). *)
+let make ivs = Array.copy ivs
+
+(** [of_bounds los his] zips two bound arrays into a box. *)
+let of_bounds los his =
+  if Array.length los <> Array.length his then invalid_arg "Box.of_bounds";
+  Array.init (Array.length los) (fun i -> Interval.make los.(i) his.(i))
+
+(** [of_center_radius c r] is the box [c ± r] (same radius on every
+    axis). *)
+let of_center_radius c r =
+  Array.map (fun x -> Interval.make (x -. r) (x +. r)) c
+
+(** [uniform n ~lo ~hi] is the [n]-dimensional cube [[lo, hi]^n]. *)
+let uniform n ~lo ~hi = Array.init n (fun _ -> Interval.make lo hi)
+
+(** [point v] is the degenerate box at [v]. *)
+let point v = Array.map Interval.point v
+
+(** [dim b] is the dimensionality. *)
+let dim = Array.length
+
+(** [get b i] is the interval on axis [i]. *)
+let get b i = b.(i)
+
+(** [lower b] is the vector of lower bounds. *)
+let lower b = Array.map Interval.lo b
+
+(** [upper b] is the vector of upper bounds. *)
+let upper b = Array.map Interval.hi b
+
+(** [center b] is the vector of midpoints. *)
+let center b = Array.map Interval.center b
+
+(** [is_empty b] is true when any axis is empty. *)
+let is_empty b = Array.exists Interval.is_empty b
+
+(** [mem x b] tests pointwise membership. *)
+let mem x b =
+  Array.length x = Array.length b
+  && Array.for_all2 (fun v i -> Interval.mem v i) x b
+
+(** [mem_tol ?tol x b] is {!mem} with per-axis tolerance. *)
+let mem_tol ?tol x b =
+  Array.length x = Array.length b
+  && Array.for_all2 (fun v i -> Interval.mem_tol ?tol v i) x b
+
+(** [subset a b] is componentwise inclusion. *)
+let subset a b =
+  Array.length a = Array.length b && Array.for_all2 Interval.subset a b
+
+(** [subset_tol ?tol a b] is componentwise inclusion with tolerance. *)
+let subset_tol ?tol a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Interval.subset_tol ?tol x y) a b
+
+(** [join a b] is the componentwise hull — used to enlarge [D_in] with
+    newly monitored out-of-distribution points. *)
+let join a b =
+  if Array.length a <> Array.length b then invalid_arg "Box.join";
+  Array.map2 Interval.join a b
+
+(** [meet a b] is the componentwise intersection. *)
+let meet a b =
+  if Array.length a <> Array.length b then invalid_arg "Box.meet";
+  Array.map2 Interval.meet a b
+
+(** [join_point b x] extends [b] minimally to contain the point [x]. *)
+let join_point b x = join b (point x)
+
+(** [expand r b] grows every axis by [r] on both sides (Proposition 3's
+    ℓκ output enlargement). *)
+let expand r b = Array.map (Interval.expand r) b
+
+(** [buffer frac b] grows each axis by [frac] of its own width on both
+    sides — the paper's "additional buffers" when building [D_in] from
+    observed bounds. Zero-width axes get an absolute [frac] buffer so the
+    box has interior. *)
+let buffer frac b =
+  Array.map
+    (fun iv ->
+      let w = Interval.width iv in
+      let r = if w > 0. then frac *. w else frac in
+      Interval.expand r iv)
+    b
+
+(** [max_width b] is the widest axis extent. *)
+let max_width b = Array.fold_left (fun acc iv -> Float.max acc (Interval.width iv)) 0. b
+
+(** [total_width b] is the sum of axis widths (perimeter proxy used to
+    compare abstraction tightness in the ablation benches). *)
+let total_width b = Array.fold_left (fun acc iv -> acc +. Interval.width iv) 0. b
+
+(** [widest_axis b] is the index of the widest axis (ties to the
+    smallest index) — bisection heuristic for the splitting verifier. *)
+let widest_axis b =
+  let best = ref 0 and best_w = ref (Interval.width b.(0)) in
+  Array.iteri
+    (fun i iv ->
+      let w = Interval.width iv in
+      if w > !best_w then begin
+        best := i;
+        best_w := w
+      end)
+    b;
+  !best
+
+(** [split b] bisects [b] along its widest axis. *)
+let split b =
+  let axis = widest_axis b in
+  let left_iv, right_iv = Interval.split b.(axis) in
+  let left = Array.copy b and right = Array.copy b in
+  left.(axis) <- left_iv;
+  right.(axis) <- right_iv;
+  (left, right)
+
+(** [sample rng b] draws a uniform point from a non-empty bounded box. *)
+let sample rng b = Array.map (Interval.sample rng) b
+
+(** [corners b] enumerates all [2^dim] corner points — exponential, only
+    used for exhaustive checks on tiny test networks. *)
+let corners b =
+  let n = Array.length b in
+  if n > 20 then invalid_arg "Box.corners: dimension too large";
+  let rec go i acc =
+    if i = n then [ Array.of_list (List.rev acc) ]
+    else
+      go (i + 1) (Interval.lo b.(i) :: acc) @ go (i + 1) (Interval.hi b.(i) :: acc)
+  in
+  go 0 []
+
+(** [nearest_point x b] is the point of [b] closest to [x] (componentwise
+    clamping — exact for boxes in any p-norm). *)
+let nearest_point x b =
+  if Array.length x <> Array.length b then invalid_arg "Box.nearest_point";
+  Array.init (Array.length x) (fun i ->
+      Cv_util.Float_utils.clamp ~lo:(Interval.lo b.(i)) ~hi:(Interval.hi b.(i)) x.(i))
+
+(** [dist_point_inf x b] is the ∞-norm distance from [x] to [b]. *)
+let dist_point_inf x b =
+  let p = nearest_point x b in
+  Cv_linalg.Vec.dist_inf x p
+
+(** [dist_point_l2 x b] is the Euclidean distance from [x] to [b]. *)
+let dist_point_l2 x b =
+  let p = nearest_point x b in
+  Cv_linalg.Vec.dist2 x p
+
+(** [enlargement_kappa ~norm ~old_box ~new_box] bounds the paper's κ: the
+    maximum distance from any point of [Δ_in = new_box \ old_box] to the
+    nearest point of [old_box]. Because distance-to-box is a convex
+    function maximised at a vertex of [new_box], checking the corners of
+    [new_box] is exact; for high dimensions we fall back to the sound
+    per-axis overhang bound (∞-norm: max axis overhang; L2: norm of the
+    per-axis overhang vector). [norm] is [`Linf] or [`L2]. *)
+let enlargement_kappa ~norm ~old_box ~new_box =
+  if Array.length old_box <> Array.length new_box then
+    invalid_arg "Box.enlargement_kappa";
+  let overhang i =
+    let o = new_box.(i) and b = old_box.(i) in
+    Float.max
+      (Float.max 0. (Interval.lo b -. Interval.lo o))
+      (Float.max 0. (Interval.hi o -. Interval.hi b))
+  in
+  let ov = Array.init (Array.length old_box) overhang in
+  match norm with
+  | `Linf -> Cv_util.Float_utils.max_abs ov
+  | `L2 -> Cv_linalg.Vec.norm2 ov
+
+(** [equal ?tol a b] is componentwise approximate equality. *)
+let equal ?tol a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Interval.equal ?tol x y) a b
+
+(** [pp ppf b] prints axis intervals separated by [×]. *)
+let pp ppf b =
+  Format.fprintf ppf "@[<h>%s@]"
+    (String.concat " x " (Array.to_list (Array.map Interval.to_string b)))
+
+(** [to_string b] renders {!pp}. *)
+let to_string b = Format.asprintf "%a" pp b
+
+(** [to_json b] encodes as an array of interval pairs. *)
+let to_json b = Cv_util.Json.List (Array.to_list (Array.map Interval.to_json b))
+
+(** [of_json j] decodes a box written by {!to_json}. *)
+let of_json j =
+  Cv_util.Json.to_list j |> List.map Interval.of_json |> Array.of_list

@@ -1,0 +1,102 @@
+(** Axis-aligned boxes: vectors of intervals.
+
+    Boxes play three roles, mirroring the paper: the verified input
+    domain [D_in] and its enlargement are boxes over the monitored
+    feature layer; the safe output set [D_out] is a box; and the stored
+    state abstractions [S_1..S_n] are boxes per layer. *)
+
+type t = Interval.t array
+
+(** [make ivs] builds a box from an interval array (copied). *)
+val make : Interval.t array -> t
+
+(** [of_bounds los his] zips two bound arrays into a box. *)
+val of_bounds : float array -> float array -> t
+
+(** [of_center_radius c r] is the box [c ± r]. *)
+val of_center_radius : Cv_linalg.Vec.t -> float -> t
+
+(** [uniform n ~lo ~hi] is the [n]-dimensional cube [[lo, hi]^n]. *)
+val uniform : int -> lo:float -> hi:float -> t
+
+(** [point v] is the degenerate box at [v]. *)
+val point : Cv_linalg.Vec.t -> t
+
+val dim : t -> int
+
+val get : t -> int -> Interval.t
+
+val lower : t -> float array
+
+val upper : t -> float array
+
+val center : t -> Cv_linalg.Vec.t
+
+val is_empty : t -> bool
+
+val mem : Cv_linalg.Vec.t -> t -> bool
+
+val mem_tol : ?tol:float -> Cv_linalg.Vec.t -> t -> bool
+
+val subset : t -> t -> bool
+
+val subset_tol : ?tol:float -> t -> t -> bool
+
+(** [join a b] is the componentwise hull. *)
+val join : t -> t -> t
+
+(** [meet a b] is the componentwise intersection. *)
+val meet : t -> t -> t
+
+(** [join_point b x] extends [b] minimally to contain the point [x]. *)
+val join_point : t -> Cv_linalg.Vec.t -> t
+
+(** [expand r b] grows every axis by [r] on both sides. *)
+val expand : float -> t -> t
+
+(** [buffer frac b] grows each axis by [frac] of its own width on both
+    sides (the paper's "additional buffers"); zero-width axes get an
+    absolute [frac]. *)
+val buffer : float -> t -> t
+
+val max_width : t -> float
+
+(** [total_width b] is the sum of axis widths (tightness proxy used by
+    the ablation benches). *)
+val total_width : t -> float
+
+(** [widest_axis b] is the index of the widest axis — the bisection
+    heuristic of the splitting verifier. *)
+val widest_axis : t -> int
+
+(** [split b] bisects [b] along its widest axis. *)
+val split : t -> t * t
+
+(** [sample rng b] draws a uniform point from a non-empty bounded
+    box. *)
+val sample : Cv_util.Rng.t -> t -> Cv_linalg.Vec.t
+
+(** [corners b] enumerates all [2^dim] corner points (dim ≤ 20). *)
+val corners : t -> Cv_linalg.Vec.t list
+
+(** [nearest_point x b] is the point of [b] closest to [x]. *)
+val nearest_point : Cv_linalg.Vec.t -> t -> Cv_linalg.Vec.t
+
+val dist_point_inf : Cv_linalg.Vec.t -> t -> float
+
+val dist_point_l2 : Cv_linalg.Vec.t -> t -> float
+
+(** [enlargement_kappa ~norm ~old_box ~new_box] bounds the paper's κ:
+    the maximum distance from any point of the enlarged box to the
+    original box. *)
+val enlargement_kappa : norm:[ `L2 | `Linf ] -> old_box:t -> new_box:t -> float
+
+val equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val to_json : t -> Cv_util.Json.t
+
+val of_json : Cv_util.Json.t -> t

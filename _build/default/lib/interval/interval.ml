@@ -1,0 +1,177 @@
+(** Closed real intervals [[lo, hi]].
+
+    The basic carrier of every state abstraction in the repo: boxes are
+    vectors of intervals, symbolic intervals concretise to intervals, and
+    the MILP encoder takes its big-M bounds from interval analysis.
+    Invariant: [lo <= hi] for non-empty intervals; the empty interval is
+    represented explicitly by {!empty}. *)
+
+type t = { lo : float; hi : float }
+
+(** [make lo hi] builds an interval; raises [Invalid_argument] when
+    [lo > hi] (beyond tolerance) or either bound is NaN. *)
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then invalid_arg "Interval.make: NaN";
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: lo %g > hi %g" lo hi);
+  { lo; hi }
+
+(** [point x] is the degenerate interval [[x, x]]. *)
+let point x = make x x
+
+(** The empty interval (canonical representation [+inf, -inf]). *)
+let empty = { lo = Float.infinity; hi = Float.neg_infinity }
+
+(** [is_empty i] recognises {!empty}. *)
+let is_empty i = i.lo > i.hi
+
+(** The whole real line. *)
+let top = { lo = Float.neg_infinity; hi = Float.infinity }
+
+(** [lo i] is the lower bound. *)
+let lo i = i.lo
+
+(** [hi i] is the upper bound. *)
+let hi i = i.hi
+
+(** [width i] is [hi - lo]; 0 for empty intervals. *)
+let width i = if is_empty i then 0. else i.hi -. i.lo
+
+(** [center i] is the midpoint. *)
+let center i = 0.5 *. (i.lo +. i.hi)
+
+(** [radius i] is half the width. *)
+let radius i = 0.5 *. width i
+
+(** [mem x i] tests membership (inclusive bounds). *)
+let mem x i = (not (is_empty i)) && x >= i.lo && x <= i.hi
+
+(** [mem_tol ?tol x i] tests membership with tolerance [tol] on both
+    sides — the form used when checking containment of float-computed
+    reach sets in stored abstractions. *)
+let mem_tol ?(tol = Cv_util.Float_utils.eps) x i =
+  (not (is_empty i)) && x >= i.lo -. tol && x <= i.hi +. tol
+
+(** [subset a b] is true when [a ⊆ b]. The empty interval is a subset of
+    everything. *)
+let subset a b = is_empty a || ((not (is_empty b)) && a.lo >= b.lo && a.hi <= b.hi)
+
+(** [subset_tol ?tol a b] is {!subset} with tolerance [tol] on both
+    bounds of [b]. *)
+let subset_tol ?(tol = Cv_util.Float_utils.eps) a b =
+  is_empty a
+  || ((not (is_empty b)) && a.lo >= b.lo -. tol && a.hi <= b.hi +. tol)
+
+(** [join a b] is the smallest interval containing both. *)
+let join a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+(** [meet a b] is the intersection (possibly {!empty}). *)
+let meet a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo > hi then empty else { lo; hi }
+
+(** [add a b] is the Minkowski sum. *)
+let add a b =
+  if is_empty a || is_empty b then empty
+  else { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+
+(** [neg a] reflects the interval about 0. *)
+let neg a = if is_empty a then empty else { lo = -.a.hi; hi = -.a.lo }
+
+(** [sub a b] is [add a (neg b)]. *)
+let sub a b = add a (neg b)
+
+(** [scale c a] multiplies by the scalar [c] (flipping bounds for
+    negative [c]). *)
+let scale c a =
+  if is_empty a then empty
+  else if c >= 0. then { lo = c *. a.lo; hi = c *. a.hi }
+  else { lo = c *. a.hi; hi = c *. a.lo }
+
+(** [shift c a] translates by the scalar [c]. *)
+let shift c a = if is_empty a then empty else { lo = a.lo +. c; hi = a.hi +. c }
+
+(** [mul a b] is the interval product (exact for intervals). *)
+let mul a b =
+  if is_empty a || is_empty b then empty
+  else begin
+    let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+    let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+    { lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+      hi = Float.max (Float.max p1 p2) (Float.max p3 p4) }
+  end
+
+(** [relu a] is the image of [a] under [max(0, ·)]. *)
+let relu a =
+  if is_empty a then empty
+  else { lo = Float.max 0. a.lo; hi = Float.max 0. a.hi }
+
+(** [leaky_relu slope a] is the image under [x ↦ x if x>0 else slope*x]
+    for [0 <= slope <= 1]. *)
+let leaky_relu slope a =
+  if is_empty a then empty
+  else
+    let f x = if x > 0. then x else slope *. x in
+    { lo = f a.lo; hi = f a.hi }
+
+(** [monotone_image f a] is the image of [a] under a monotone increasing
+    function [f] — used for sigmoid/tanh transformers. *)
+let monotone_image f a = if is_empty a then empty else { lo = f a.lo; hi = f a.hi }
+
+(** [expand r a] grows the interval by [r >= 0] on both sides — the
+    ℓ·κ enlargement of Proposition 3. *)
+let expand r a =
+  if r < 0. then invalid_arg "Interval.expand: negative radius";
+  if is_empty a then empty else { lo = a.lo -. r; hi = a.hi +. r }
+
+(** [dist_point x i] is the distance from [x] to the nearest point of
+    [i]; 0 when [x ∈ i]. *)
+let dist_point x i =
+  if is_empty i then Float.infinity
+  else if x < i.lo then i.lo -. x
+  else if x > i.hi then x -. i.hi
+  else 0.
+
+(** [hausdorff_directed a b] is the one-sided Hausdorff distance
+    [sup_{x∈a} dist(x, b)] — how far [a] sticks out of [b]. *)
+let hausdorff_directed a b =
+  if is_empty a then 0.
+  else if is_empty b then Float.infinity
+  else Float.max (dist_point a.lo b) (dist_point a.hi b)
+
+(** [sample rng i] draws a uniform point of a non-empty bounded
+    interval. *)
+let sample rng i =
+  if is_empty i then invalid_arg "Interval.sample: empty";
+  if width i = 0. then i.lo else Cv_util.Rng.float rng ~lo:i.lo ~hi:i.hi
+
+(** [split i] bisects at the midpoint into [(left, right)]. *)
+let split i =
+  let c = center i in
+  ({ lo = i.lo; hi = c }, { lo = c; hi = i.hi })
+
+(** [equal ?tol a b] is approximate equality of both bounds. *)
+let equal ?tol a b =
+  (is_empty a && is_empty b)
+  || (Cv_util.Float_utils.approx_eq ?tol a.lo b.lo
+     && Cv_util.Float_utils.approx_eq ?tol a.hi b.hi)
+
+(** [pp ppf i] prints as [[lo, hi]]. *)
+let pp ppf i =
+  if is_empty i then Format.fprintf ppf "[empty]"
+  else Format.fprintf ppf "[%.6g, %.6g]" i.lo i.hi
+
+(** [to_string i] renders {!pp}. *)
+let to_string i = Format.asprintf "%a" pp i
+
+(** [to_json i] encodes as a two-element array. *)
+let to_json i = Cv_util.Json.List [ Num i.lo; Num i.hi ]
+
+(** [of_json j] decodes a two-element array as an interval. *)
+let of_json j =
+  match Cv_util.Json.to_list j with
+  | [ Num lo; Num hi ] -> { lo; hi }
+  | _ -> raise (Cv_util.Json.Error "Interval.of_json")

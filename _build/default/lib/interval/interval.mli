@@ -1,0 +1,110 @@
+(** Closed real intervals [[lo, hi]] — the basic carrier of every state
+    abstraction in the repo. Invariant: [lo <= hi] for non-empty
+    intervals; the empty interval is represented explicitly by
+    {!empty}. *)
+
+type t
+
+(** [make lo hi] builds an interval; raises [Invalid_argument] when
+    [lo > hi] or either bound is NaN. *)
+val make : float -> float -> t
+
+(** [point x] is the degenerate interval [[x, x]]. *)
+val point : float -> t
+
+(** The empty interval. *)
+val empty : t
+
+(** [is_empty i] recognises {!empty}. *)
+val is_empty : t -> bool
+
+(** The whole real line. *)
+val top : t
+
+val lo : t -> float
+
+val hi : t -> float
+
+(** [width i] is [hi - lo]; 0 for empty intervals. *)
+val width : t -> float
+
+val center : t -> float
+
+val radius : t -> float
+
+(** [mem x i] tests membership (inclusive bounds). *)
+val mem : float -> t -> bool
+
+(** [mem_tol ?tol x i] tests membership with tolerance on both sides. *)
+val mem_tol : ?tol:float -> float -> t -> bool
+
+(** [subset a b] is true when [a ⊆ b]; the empty interval is a subset of
+    everything. *)
+val subset : t -> t -> bool
+
+(** [subset_tol ?tol a b] is {!subset} with tolerance on both bounds of
+    [b]. *)
+val subset_tol : ?tol:float -> t -> t -> bool
+
+(** [join a b] is the smallest interval containing both. *)
+val join : t -> t -> t
+
+(** [meet a b] is the intersection (possibly {!empty}). *)
+val meet : t -> t -> t
+
+val add : t -> t -> t
+
+val neg : t -> t
+
+val sub : t -> t -> t
+
+(** [scale c a] multiplies by the scalar [c] (flipping bounds for
+    negative [c]). *)
+val scale : float -> t -> t
+
+(** [shift c a] translates by the scalar [c]. *)
+val shift : float -> t -> t
+
+(** [mul a b] is the interval product (exact for intervals). *)
+val mul : t -> t -> t
+
+(** [relu a] is the image of [a] under [max(0, ·)]. *)
+val relu : t -> t
+
+(** [leaky_relu slope a] is the image under the leaky ReLU with the
+    given negative-side slope. *)
+val leaky_relu : float -> t -> t
+
+(** [monotone_image f a] is the image of [a] under a monotone increasing
+    function [f]. *)
+val monotone_image : (float -> float) -> t -> t
+
+(** [expand r a] grows the interval by [r >= 0] on both sides — the ℓκ
+    enlargement of Proposition 3. *)
+val expand : float -> t -> t
+
+(** [dist_point x i] is the distance from [x] to the nearest point of
+    [i]; 0 when [x ∈ i]. *)
+val dist_point : float -> t -> float
+
+(** [hausdorff_directed a b] is the one-sided Hausdorff distance
+    [sup_{x∈a} dist(x, b)]. *)
+val hausdorff_directed : t -> t -> float
+
+(** [sample rng i] draws a uniform point of a non-empty bounded
+    interval. *)
+val sample : Cv_util.Rng.t -> t -> float
+
+(** [split i] bisects at the midpoint into [(left, right)]. *)
+val split : t -> t * t
+
+(** [equal ?tol a b] is approximate equality of both bounds. *)
+val equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val to_json : t -> Cv_util.Json.t
+
+val of_json : Cv_util.Json.t -> t

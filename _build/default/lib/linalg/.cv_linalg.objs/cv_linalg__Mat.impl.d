@@ -1,0 +1,1 @@
+lib/linalg/mat.ml: Array Cv_util Float Format List Printf Vec

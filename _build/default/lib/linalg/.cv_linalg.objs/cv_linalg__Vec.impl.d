@@ -1,0 +1,1 @@
+lib/linalg/vec.ml: Array Cv_util Float Format Printf String

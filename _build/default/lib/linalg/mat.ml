@@ -1,0 +1,224 @@
+(** Dense row-major float matrices.
+
+    Backing store is a flat [float array] with explicit [rows]/[cols];
+    all the layer transformers, the Lipschitz estimators and the LP
+    tableau build on this module. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+(** [create rows cols x] is a [rows × cols] matrix filled with [x]. *)
+let create rows cols x = { rows; cols; data = Array.make (rows * cols) x }
+
+(** [zeros rows cols] is the zero matrix. *)
+let zeros rows cols = create rows cols 0.
+
+(** [init rows cols f] builds the matrix with entries [f i j]. *)
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+(** [identity n] is the [n × n] identity. *)
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+(** [rows m] is the number of rows. *)
+let rows m = m.rows
+
+(** [cols m] is the number of columns. *)
+let cols m = m.cols
+
+(** [get m i j] reads entry [(i, j)]. *)
+let get m i j = m.data.((i * m.cols) + j)
+
+(** [set m i j x] writes entry [(i, j)] in place. *)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+(** [copy m] is a deep copy. *)
+let copy m = { m with data = Array.copy m.data }
+
+(** [row m i] extracts row [i] as a fresh vector. *)
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+(** [col m j] extracts column [j] as a fresh vector. *)
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+(** [of_rows rows] builds a matrix from a non-empty list of equal-length
+    row vectors. *)
+let of_rows = function
+  | [] -> invalid_arg "Mat.of_rows: empty"
+  | first :: _ as rows_list ->
+    let cols = Array.length first in
+    let rows = List.length rows_list in
+    let m = zeros rows cols in
+    List.iteri
+      (fun i r ->
+        if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows";
+        Array.blit r 0 m.data (i * cols) cols)
+      rows_list;
+    m
+
+(** [to_rows m] is the list of row vectors. *)
+let to_rows m = List.init m.rows (row m)
+
+(** [transpose m] is the transposed matrix. *)
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+(** [matvec m v] is the matrix-vector product [m v]. *)
+let matvec m v =
+  if Array.length v <> m.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.matvec: %dx%d with vector of dim %d" m.rows m.cols
+         (Array.length v));
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + j) *. v.(j))
+      done;
+      !acc)
+
+(** [matvec_add m v b] is [m v + b], the affine map used by NN layers. *)
+let matvec_add m v b =
+  let r = matvec m v in
+  if Array.length b <> m.rows then invalid_arg "Mat.matvec_add: bias dim";
+  for i = 0 to m.rows - 1 do
+    r.(i) <- r.(i) +. b.(i)
+  done;
+  r
+
+(** [matmul a b] is the matrix product [a b]. *)
+let matmul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul: %dx%d with %dx%d" a.rows a.cols b.rows b.cols);
+  let c = zeros a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then begin
+        let base_b = k * b.cols in
+        let base_c = i * b.cols in
+        for j = 0 to b.cols - 1 do
+          c.data.(base_c + j) <- c.data.(base_c + j) +. (aik *. b.data.(base_b + j))
+        done
+      end
+    done
+  done;
+  c
+
+(** [add a b] is the entrywise sum. *)
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.add: shape";
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+
+(** [sub a b] is the entrywise difference. *)
+let sub a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.sub: shape";
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) -. b.data.(k)) }
+
+(** [scale c m] multiplies every entry by [c]. *)
+let scale c m = { m with data = Array.map (fun x -> c *. x) m.data }
+
+(** [map f m] applies [f] entrywise. *)
+let map f m = { m with data = Array.map f m.data }
+
+(** [max_abs m] is the largest absolute entry. *)
+let max_abs m = Cv_util.Float_utils.max_abs m.data
+
+(** [norm_inf m] is the operator ∞-norm: max row absolute sum. This is a
+    valid Lipschitz constant of [x ↦ m x] in the ∞-norm. *)
+let norm_inf m =
+  let best = ref 0. in
+  for i = 0 to m.rows - 1 do
+    let s = ref 0. in
+    for j = 0 to m.cols - 1 do
+      s := !s +. Float.abs m.data.((i * m.cols) + j)
+    done;
+    best := Float.max !best !s
+  done;
+  !best
+
+(** [norm1 m] is the operator 1-norm: max column absolute sum. *)
+let norm1 m =
+  let best = ref 0. in
+  for j = 0 to m.cols - 1 do
+    let s = ref 0. in
+    for i = 0 to m.rows - 1 do
+      s := !s +. Float.abs m.data.((i * m.cols) + j)
+    done;
+    best := Float.max !best !s
+  done;
+  !best
+
+(** [frobenius m] is the Frobenius norm (an upper bound on the spectral
+    norm). *)
+let frobenius m = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+
+(** [spectral_norm ?iters ?rng m] estimates the operator 2-norm (largest
+    singular value) by power iteration on [mᵀm]. The estimate converges
+    from below; callers needing a sound upper bound should prefer
+    {!frobenius} or [sqrt (norm1 m *. norm_inf m)]. *)
+let spectral_norm ?(iters = 100) ?rng m =
+  if m.rows = 0 || m.cols = 0 then 0.
+  else begin
+    let rng = match rng with Some r -> r | None -> Cv_util.Rng.create 7 in
+    let mt = transpose m in
+    let v = ref (Cv_util.Rng.uniform_array rng m.cols ~lo:(-1.) ~hi:1.) in
+    (try
+       for _ = 1 to iters do
+         let w = matvec mt (matvec m !v) in
+         let n = Vec.norm2 w in
+         if n < 1e-300 then raise Exit;
+         v := Vec.scale (1. /. n) w
+       done
+     with Exit -> ());
+    (* Rayleigh quotient at the converged vector. *)
+    let mv = matvec m !v in
+    let nv = Vec.norm2 !v in
+    if nv < 1e-300 then 0. else Vec.norm2 mv /. nv
+  end
+
+(** [sqrt_norm1_norminf m] is [sqrt (‖m‖₁ ‖m‖∞)], a cheap sound upper
+    bound on the spectral norm. *)
+let sqrt_norm1_norminf m = sqrt (norm1 m *. norm_inf m)
+
+(** [approx_eq ?tol a b] is entrywise approximate equality of same-shape
+    matrices. *)
+let approx_eq ?tol a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Cv_util.Float_utils.approx_eq ?tol x y) a.data b.data
+
+(** [random ?rng rows cols ~lo ~hi] draws entries uniformly. *)
+let random ?rng rows cols ~lo ~hi =
+  let rng = match rng with Some r -> r | None -> Cv_util.Rng.create 11 in
+  init rows cols (fun _ _ -> Cv_util.Rng.float rng ~lo ~hi)
+
+(** [xavier ?rng rows cols] draws entries from the Glorot-uniform
+    distribution for a layer with [cols] inputs and [rows] outputs. *)
+let xavier ?rng rows cols =
+  let rng = match rng with Some r -> r | None -> Cv_util.Rng.create 13 in
+  let limit = sqrt (6. /. float_of_int (rows + cols)) in
+  init rows cols (fun _ _ -> Cv_util.Rng.float rng ~lo:(-.limit) ~hi:limit)
+
+(** [pp ppf m] prints rows one per line. *)
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "%a@," Vec.pp (row m i)
+  done;
+  Format.fprintf ppf "@]"
+
+(** [to_json m] encodes shape and entries. *)
+let to_json m =
+  Cv_util.Json.Obj
+    [ ("rows", Cv_util.Json.of_int m.rows);
+      ("cols", Cv_util.Json.of_int m.cols);
+      ("data", Cv_util.Json.of_float_array m.data) ]
+
+(** [of_json j] decodes a matrix written by {!to_json}. *)
+let of_json j =
+  let open Cv_util.Json in
+  let rows = to_int (member "rows" j) in
+  let cols = to_int (member "cols" j) in
+  let data = float_array (member "data" j) in
+  if Array.length data <> rows * cols then
+    raise (Error "Mat.of_json: data length mismatch");
+  { rows; cols; data }

@@ -1,0 +1,81 @@
+(** Dense row-major float matrices (flat backing store). *)
+
+type t
+
+val create : int -> int -> float -> t
+
+val zeros : int -> int -> t
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+(** [set m i j x] writes entry [(i, j)] in place. *)
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+(** [row m i] extracts row [i] as a fresh vector. *)
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+(** [of_rows rows] builds a matrix from a non-empty list of equal-length
+    row vectors. *)
+val of_rows : Vec.t list -> t
+
+val to_rows : t -> Vec.t list
+
+val transpose : t -> t
+
+val matvec : t -> Vec.t -> Vec.t
+
+(** [matvec_add m v b] is [m v + b], the affine map of NN layers. *)
+val matvec_add : t -> Vec.t -> Vec.t -> Vec.t
+
+val matmul : t -> t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val map : (float -> float) -> t -> t
+
+val max_abs : t -> float
+
+(** [norm_inf m] is the operator ∞-norm (max row absolute sum). *)
+val norm_inf : t -> float
+
+(** [norm1 m] is the operator 1-norm (max column absolute sum). *)
+val norm1 : t -> float
+
+val frobenius : t -> float
+
+(** [spectral_norm ?iters ?rng m] estimates ‖m‖₂ by power iteration —
+    converges from below; not a sound upper bound. *)
+val spectral_norm : ?iters:int -> ?rng:Cv_util.Rng.t -> t -> float
+
+(** [sqrt_norm1_norminf m] is [sqrt (‖m‖₁ ‖m‖∞)], a cheap sound upper
+    bound on the spectral norm. *)
+val sqrt_norm1_norminf : t -> float
+
+val approx_eq : ?tol:float -> t -> t -> bool
+
+val random : ?rng:Cv_util.Rng.t -> int -> int -> lo:float -> hi:float -> t
+
+(** [xavier ?rng rows cols] draws Glorot-uniform entries. *)
+val xavier : ?rng:Cv_util.Rng.t -> int -> int -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Cv_util.Json.t
+
+val of_json : Cv_util.Json.t -> t

@@ -1,0 +1,116 @@
+(** Dense float vectors.
+
+    Thin, allocation-conscious wrappers over [float array]; the NN
+    evaluator, the abstract-domain transformers and the LP solver all
+    build on these. Vectors are not length-checked at the type level;
+    functions raise [Invalid_argument] on dimension mismatch. *)
+
+type t = float array
+
+(** [create n x] is an [n]-vector filled with [x]. *)
+let create n x = Array.make n x
+
+(** [zeros n] is the zero vector of dimension [n]. *)
+let zeros n = Array.make n 0.
+
+(** [init n f] builds the vector [| f 0; ...; f (n-1) |]. *)
+let init = Array.init
+
+(** [dim v] is the dimension of [v]. *)
+let dim = Array.length
+
+(** [copy v] is a fresh copy. *)
+let copy = Array.copy
+
+(** [of_list l] converts from a list. *)
+let of_list = Array.of_list
+
+(** [to_list v] converts to a list. *)
+let to_list = Array.to_list
+
+let check_same_dim name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length a) (Array.length b))
+
+(** [add a b] is the componentwise sum. *)
+let add a b =
+  check_same_dim "add" a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+(** [sub a b] is the componentwise difference. *)
+let sub a b =
+  check_same_dim "sub" a b;
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+(** [scale c v] multiplies every component by [c]. *)
+let scale c v = Array.map (fun x -> c *. x) v
+
+(** [neg v] is [scale (-1.) v]. *)
+let neg v = scale (-1.) v
+
+(** [mul a b] is the componentwise (Hadamard) product. *)
+let mul a b =
+  check_same_dim "mul" a b;
+  Array.init (Array.length a) (fun i -> a.(i) *. b.(i))
+
+(** [dot a b] is the inner product. *)
+let dot a b =
+  check_same_dim "dot" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+(** [axpy ~alpha x y] computes [alpha * x + y] without mutating inputs. *)
+let axpy ~alpha x y =
+  check_same_dim "axpy" x y;
+  Array.init (Array.length x) (fun i -> (alpha *. x.(i)) +. y.(i))
+
+(** [norm1 v] is the L1 norm. *)
+let norm1 v = Array.fold_left (fun acc x -> acc +. Float.abs x) 0. v
+
+(** [norm2 v] is the Euclidean norm. *)
+let norm2 v = sqrt (dot v v)
+
+(** [norm_inf v] is the max-abs (Chebyshev) norm. *)
+let norm_inf v = Cv_util.Float_utils.max_abs v
+
+(** [dist2 a b] is the Euclidean distance between [a] and [b]. *)
+let dist2 a b = norm2 (sub a b)
+
+(** [dist_inf a b] is the Chebyshev distance between [a] and [b]. *)
+let dist_inf a b =
+  check_same_dim "dist_inf" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := Float.max !acc (Float.abs (a.(i) -. b.(i)))
+  done;
+  !acc
+
+(** [map f v] applies [f] componentwise. *)
+let map = Array.map
+
+(** [map2 f a b] applies [f] pairwise; dimensions must agree. *)
+let map2 f a b =
+  check_same_dim "map2" a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+(** [approx_eq ?tol a b] is componentwise approximate equality. *)
+let approx_eq ?tol a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Cv_util.Float_utils.approx_eq ?tol x y) a b
+
+(** [concat a b] appends [b] after [a]. *)
+let concat = Array.append
+
+(** [pp ppf v] prints as [[x1; x2; ...]] with 4 significant digits. *)
+let pp ppf v =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.4g") v)))
+
+(** [to_string v] renders {!pp} to a string. *)
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,57 @@
+(** Dense float vectors: thin wrappers over [float array]. Functions
+    raise [Invalid_argument] on dimension mismatch. *)
+
+type t = float array
+
+val create : int -> float -> t
+
+val zeros : int -> t
+
+val init : int -> (int -> float) -> t
+
+val dim : t -> int
+
+val copy : t -> t
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val neg : t -> t
+
+(** [mul a b] is the componentwise (Hadamard) product. *)
+val mul : t -> t -> t
+
+val dot : t -> t -> float
+
+(** [axpy ~alpha x y] computes [alpha * x + y] without mutating
+    inputs. *)
+val axpy : alpha:float -> t -> t -> t
+
+val norm1 : t -> float
+
+val norm2 : t -> float
+
+val norm_inf : t -> float
+
+val dist2 : t -> t -> float
+
+val dist_inf : t -> t -> float
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val approx_eq : ?tol:float -> t -> t -> bool
+
+val concat : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

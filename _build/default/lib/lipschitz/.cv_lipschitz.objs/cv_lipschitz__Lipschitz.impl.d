@@ -1,0 +1,1 @@
+lib/lipschitz/lipschitz.ml: Array Cv_domains Cv_interval Cv_linalg Cv_nn Cv_util Float

@@ -1,0 +1,145 @@
+(** Lipschitz-constant estimation for feed-forward networks.
+
+    A Lipschitz constant ℓ with [|f(x₁) − f(x₂)| ≤ ℓ |x₁ − x₂|] is the
+    third proof artifact the paper reuses (Proposition 3): upon domain
+    enlargement quantified by κ, the output reach grows by at most ℓκ.
+
+    Estimators, from cheapest/loosest to tighter:
+    - the operator-norm product over layers (norm selectable);
+    - an interval-aware refinement that, over a given input box, zeroes
+      the rows of provably-inactive ReLUs and keeps only a [0,1]-scaled
+      contribution for unstable ones (a Fast-Lip-style local bound).
+
+    All estimators are {e sound upper bounds}; tests validate them
+    against sampled difference quotients. *)
+
+(** Vector norm used for both input and output spaces. *)
+type norm = L1 | L2 | Linf
+
+(** [norm_name n] is a printable label. *)
+let norm_name = function L1 -> "L1" | L2 -> "L2" | Linf -> "Linf"
+
+(** [vec_norm n v] evaluates the chosen norm on a vector. *)
+let vec_norm = function
+  | L1 -> Cv_linalg.Vec.norm1
+  | L2 -> Cv_linalg.Vec.norm2
+  | Linf -> Cv_linalg.Vec.norm_inf
+
+(* Sound operator norm of a matrix for x-norm = y-norm = n. For L2 we
+   must avoid the power-iteration underestimate, so we use
+   sqrt(‖W‖₁‖W‖∞) which dominates the spectral norm. *)
+let operator_norm n w =
+  match n with
+  | L1 -> Cv_linalg.Mat.norm1 w
+  | Linf -> Cv_linalg.Mat.norm_inf w
+  | L2 -> Cv_linalg.Mat.sqrt_norm1_norminf w
+
+(** [spectral_estimate w] is the power-iteration estimate of ‖W‖₂ —
+    {e not} a sound upper bound; exposed for diagnostics and tests. *)
+let spectral_estimate w = Cv_linalg.Mat.spectral_norm w
+
+(** [global ?norm net] is the product of per-layer operator norms times
+    activation Lipschitz factors — the classic global bound. *)
+let global ?(norm = Linf) net =
+  Array.fold_left
+    (fun acc (l : Cv_nn.Layer.t) ->
+      acc
+      *. operator_norm norm l.Cv_nn.Layer.weights
+      *. Cv_nn.Activation.lipschitz l.Cv_nn.Layer.act)
+    1.
+    (Cv_nn.Network.layers net)
+
+(* Interval-aware local refinement. Over the box, classify each ReLU
+   neuron: inactive rows contribute nothing; active rows contribute
+   fully; unstable rows contribute fully (slope ≤ 1 anyway). We rescale
+   the layer's weight rows accordingly before taking the operator
+   norm. *)
+let local_layer_norm norm (l : Cv_nn.Layer.t) pre_box =
+  let w = l.Cv_nn.Layer.weights in
+  let rows = Cv_linalg.Mat.rows w in
+  let scale_of i =
+    let iv = Cv_interval.Box.get pre_box i in
+    let lo = Cv_interval.Interval.lo iv and hi = Cv_interval.Interval.hi iv in
+    match l.Cv_nn.Layer.act with
+    | Cv_nn.Activation.Relu -> if hi <= 0. then 0. else 1.
+    | Cv_nn.Activation.Leaky_relu s ->
+      if hi <= 0. then Float.abs s
+      else if lo >= 0. then 1.
+      else Float.max 1. (Float.abs s)
+    | Cv_nn.Activation.Sigmoid ->
+      (* max |σ'| over [lo, hi]: σ' peaks at 0. *)
+      if lo <= 0. && hi >= 0. then 0.25
+      else
+        let d x =
+          let s = 1. /. (1. +. exp (-.x)) in
+          s *. (1. -. s)
+        in
+        Float.max (d lo) (d hi)
+    | Cv_nn.Activation.Tanh ->
+      if lo <= 0. && hi >= 0. then 1.
+      else
+        let d x =
+          let t = tanh x in
+          1. -. (t *. t)
+        in
+        Float.max (d lo) (d hi)
+    | Cv_nn.Activation.Identity -> 1.
+  in
+  let scaled =
+    Cv_linalg.Mat.init rows (Cv_linalg.Mat.cols w) (fun i j ->
+        scale_of i *. Cv_linalg.Mat.get w i j)
+  in
+  operator_norm norm scaled
+
+(** [local ?norm net box] is the interval-aware bound over [box]: a
+    valid Lipschitz constant for [f] restricted to [box], typically much
+    tighter than {!global} when many neurons are provably inactive. *)
+let local ?(norm = Linf) net box =
+  let acc = ref 1. in
+  let current = ref box in
+  Array.iter
+    (fun (l : Cv_nn.Layer.t) ->
+      let pre = Cv_domains.Transformer.pre_activation_box l !current in
+      acc := !acc *. local_layer_norm norm l pre;
+      current := Array.map (Cv_nn.Activation.interval l.Cv_nn.Layer.act) pre)
+    (Cv_nn.Network.layers net);
+  !acc
+
+(** [sampled_quotient ?samples ~rng ~norm net box] is the largest
+    difference quotient |f(x)−f(y)|/|x−y| over random pairs in [box] — a
+    {e lower} bound witness used by tests and the tightness ablation. *)
+let sampled_quotient ?(samples = 500) ~rng ~norm net box =
+  let best = ref 0. in
+  for _ = 1 to samples do
+    let x = Cv_interval.Box.sample rng box in
+    let y = Cv_interval.Box.sample rng box in
+    let dx = vec_norm norm (Cv_linalg.Vec.sub x y) in
+    if dx > 1e-12 then begin
+      let dy =
+        vec_norm norm
+          (Cv_linalg.Vec.sub (Cv_nn.Network.eval net x) (Cv_nn.Network.eval net y))
+      in
+      best := Float.max !best (dy /. dx)
+    end
+  done;
+  !best
+
+(** [kappa ~norm ~old_box ~new_box] is the paper's κ: a bound on the
+    distance from any point of the enlarged domain to the original
+    domain. *)
+let kappa ~norm ~old_box ~new_box =
+  let n = match norm with L2 -> `L2 | L1 | Linf -> `Linf in
+  let k = Cv_interval.Box.enlargement_kappa ~norm:n ~old_box ~new_box in
+  match norm with
+  | L1 ->
+    (* ∞-norm overhang per axis summed is a sound L1 bound. *)
+    let ov =
+      Array.init (Cv_interval.Box.dim old_box) (fun i ->
+          let o = Cv_interval.Box.get new_box i
+          and b = Cv_interval.Box.get old_box i in
+          Float.max
+            (Float.max 0. (Cv_interval.Interval.lo b -. Cv_interval.Interval.lo o))
+            (Float.max 0. (Cv_interval.Interval.hi o -. Cv_interval.Interval.hi b)))
+    in
+    Cv_util.Float_utils.sum ov
+  | L2 | Linf -> k

@@ -1,0 +1,43 @@
+(** Lipschitz-constant estimation for feed-forward networks — the third
+    proof artifact the paper reuses (Proposition 3). All estimators are
+    sound upper bounds. *)
+
+(** Vector norm used for both input and output spaces. *)
+type norm = L1 | L2 | Linf
+
+(** [norm_name n] is a printable label ("L1", "L2", "Linf"). *)
+val norm_name : norm -> string
+
+(** [vec_norm n v] evaluates the chosen norm on a vector. *)
+val vec_norm : norm -> Cv_linalg.Vec.t -> float
+
+(** [spectral_estimate w] is the power-iteration estimate of ‖W‖₂ —
+    {e not} a sound upper bound; exposed for diagnostics and tests. *)
+val spectral_estimate : Cv_linalg.Mat.t -> float
+
+(** [global ?norm net] is the product of per-layer operator norms times
+    activation Lipschitz factors — the classic global bound (default
+    norm: ∞). *)
+val global : ?norm:norm -> Cv_nn.Network.t -> float
+
+(** [local ?norm net box] is the interval-aware bound over [box]: a
+    valid Lipschitz constant for [f] restricted to [box], typically
+    tighter than {!global} when many neurons are provably inactive. *)
+val local : ?norm:norm -> Cv_nn.Network.t -> Cv_interval.Box.t -> float
+
+(** [sampled_quotient ?samples ~rng ~norm net box] is the largest
+    difference quotient over random pairs in [box] — a {e lower} bound
+    witness used by tests and the tightness ablation. *)
+val sampled_quotient :
+  ?samples:int ->
+  rng:Cv_util.Rng.t ->
+  norm:norm ->
+  Cv_nn.Network.t ->
+  Cv_interval.Box.t ->
+  float
+
+(** [kappa ~norm ~old_box ~new_box] is the paper's κ: a bound on the
+    distance from any point of the enlarged domain to the original
+    domain. *)
+val kappa :
+  norm:norm -> old_box:Cv_interval.Box.t -> new_box:Cv_interval.Box.t -> float

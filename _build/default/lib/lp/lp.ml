@@ -1,0 +1,241 @@
+(** Linear-programming model builder over {!Simplex}.
+
+    Callers declare variables with bounds, add linear constraints and an
+    objective; [solve] lowers to the standard form [min c·y, Ay = b,
+    y ≥ 0] handled by the tableau:
+    - a variable with finite lower bound [l] is shifted, [x = l + y];
+    - a variable with only a finite upper bound [u] is reflected,
+      [x = u − y];
+    - a free variable is split, [x = y⁺ − y⁻];
+    - finite upper bounds after shifting become explicit rows;
+    - [≤ / ≥ / =] rows gain slack/surplus variables, rows are sign-fixed
+      so the rhs is non-negative.
+
+    Maximisation negates the objective. *)
+
+type relop = Le | Ge | Eq
+
+type var = int
+
+type term = float * var
+
+type problem = {
+  mutable nvars : int;
+  mutable lo : float list;  (** reversed *)
+  mutable hi : float list;  (** reversed *)
+  mutable names : string list;  (** reversed *)
+  mutable constraints : (term list * relop * float) list;  (** reversed *)
+  mutable obj_terms : term list;
+  mutable maximize : bool;
+}
+
+type solution = { objective : float; values : float array }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+(** [create ()] is an empty model. *)
+let create () =
+  { nvars = 0; lo = []; hi = []; names = []; constraints = [];
+    obj_terms = []; maximize = false }
+
+(** [add_var p ?lo ?hi ?name ()] declares a variable with optional
+    bounds (defaults: free) and returns its handle. *)
+let add_var p ?(lo = Float.neg_infinity) ?(hi = Float.infinity) ?name () =
+  if lo > hi then invalid_arg "Lp.add_var: lo > hi";
+  let v = p.nvars in
+  p.nvars <- v + 1;
+  p.lo <- lo :: p.lo;
+  p.hi <- hi :: p.hi;
+  p.names <- (match name with Some n -> n | None -> Printf.sprintf "x%d" v) :: p.names;
+  v
+
+(** [add_constraint p terms op rhs] adds [Σ terms (op) rhs]. *)
+let add_constraint p terms op rhs =
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= p.nvars then invalid_arg "Lp.add_constraint: unknown var")
+    terms;
+  p.constraints <- (terms, op, rhs) :: p.constraints
+
+(** [set_objective p ~maximize terms] installs the objective. *)
+let set_objective p ~maximize terms =
+  p.obj_terms <- terms;
+  p.maximize <- maximize
+
+(** [var_count p] is the number of declared variables. *)
+let var_count p = p.nvars
+
+(** [constraint_count p] is the number of added constraints. *)
+let constraint_count p = List.length p.constraints
+
+(** [copy p] is an independent copy (shares immutable term lists). *)
+let copy p =
+  { nvars = p.nvars; lo = p.lo; hi = p.hi; names = p.names;
+    constraints = p.constraints; obj_terms = p.obj_terms;
+    maximize = p.maximize }
+
+(** [set_bounds p v ~lo ~hi] tightens the bounds of [v] in place — used
+    by branch-and-bound when fixing binaries. *)
+let set_bounds p v ~lo ~hi =
+  if v < 0 || v >= p.nvars then invalid_arg "Lp.set_bounds";
+  let rec update i = function
+    | [] -> []
+    | x :: rest -> if i = 0 then lo :: rest else x :: update (i - 1) rest
+  in
+  (* Lists are reversed: index from the back. *)
+  let idx = p.nvars - 1 - v in
+  p.lo <- update idx p.lo;
+  let rec update_hi i = function
+    | [] -> []
+    | x :: rest -> if i = 0 then hi :: rest else x :: update_hi (i - 1) rest
+  in
+  p.hi <- update_hi idx p.hi
+
+(** [bounds p v] reads the current bounds of [v]. *)
+let bounds p v =
+  let idx = p.nvars - 1 - v in
+  (List.nth p.lo idx, List.nth p.hi idx)
+
+(* Lowering bookkeeping: how an original variable maps into standard-form
+   column(s). *)
+type mapping =
+  | Shifted of int * float  (** x = l + y_col *)
+  | Reflected of int * float  (** x = u − y_col *)
+  | Split of int * int  (** x = y⁺ − y⁻ *)
+
+(** [solve p] runs two-phase simplex on the lowered model. *)
+let solve p =
+  let lo = Array.of_list (List.rev p.lo) in
+  let hi = Array.of_list (List.rev p.hi) in
+  let ncols = ref 0 in
+  let fresh () =
+    let c = !ncols in
+    ncols := c + 1;
+    c
+  in
+  let mapping =
+    Array.init p.nvars (fun j ->
+        if lo.(j) > Float.neg_infinity then Shifted (fresh (), lo.(j))
+        else if hi.(j) < Float.infinity then Reflected (fresh (), hi.(j))
+        else Split (fresh (), fresh ()))
+  in
+  (* Rows: user constraints plus upper-bound rows for shifted vars that
+     also have a finite upper bound. *)
+  let rows = ref [] (* (coeff array over std cols, relop, rhs) *) in
+  let lower_terms terms rhs0 =
+    (* Returns (coeffs over std cols, adjusted rhs delta). *)
+    let coeffs = Array.make !ncols 0. in
+    let rhs = ref rhs0 in
+    List.iter
+      (fun (c, v) ->
+        match mapping.(v) with
+        | Shifted (col, l) ->
+          coeffs.(col) <- coeffs.(col) +. c;
+          rhs := !rhs -. (c *. l)
+        | Reflected (col, u) ->
+          coeffs.(col) <- coeffs.(col) -. c;
+          rhs := !rhs -. (c *. u)
+        | Split (cp, cn) ->
+          coeffs.(cp) <- coeffs.(cp) +. c;
+          coeffs.(cn) <- coeffs.(cn) -. c)
+      terms;
+    (coeffs, !rhs)
+  in
+  List.iter
+    (fun (terms, op, rhs) ->
+      let coeffs, rhs = lower_terms terms rhs in
+      rows := (coeffs, op, rhs) :: !rows)
+    (List.rev p.constraints);
+  (* Upper-bound rows. *)
+  Array.iteri
+    (fun j m ->
+      match m with
+      | Shifted (col, l) when hi.(j) < Float.infinity ->
+        let coeffs = Array.make !ncols 0. in
+        coeffs.(col) <- 1.;
+        rows := (coeffs, Le, hi.(j) -. l) :: !rows
+      | _ -> ())
+    mapping;
+  let rows = List.rev !rows in
+  (* Slack/surplus columns and rhs sign-fixing. *)
+  let n_struct = !ncols in
+  let n_slack =
+    List.fold_left (fun acc (_, op, _) -> if op = Eq then acc else acc + 1) 0 rows
+  in
+  let total = n_struct + n_slack in
+  let m = List.length rows in
+  let a = Array.init m (fun _ -> Array.make total 0.) in
+  let b = Array.make m 0. in
+  let basis0 = Array.make m None in
+  let slack = ref n_struct in
+  List.iteri
+    (fun i (coeffs, op, rhs) ->
+      Array.blit coeffs 0 a.(i) 0 n_struct;
+      let slack_col =
+        match op with
+        | Le ->
+          a.(i).(!slack) <- 1.;
+          incr slack;
+          Some (!slack - 1)
+        | Ge ->
+          a.(i).(!slack) <- -1.;
+          incr slack;
+          Some (!slack - 1)
+        | Eq -> None
+      in
+      b.(i) <- rhs;
+      if b.(i) < 0. then begin
+        for j = 0 to total - 1 do
+          a.(i).(j) <- -.a.(i).(j)
+        done;
+        b.(i) <- -.b.(i)
+      end;
+      (* The slack can seed the basis when its final coefficient is +1
+         (Le unflipped, or Ge flipped) with a non-negative rhs. *)
+      match slack_col with
+      | Some col when a.(i).(col) = 1. -> basis0.(i) <- Some col
+      | _ -> ())
+    rows;
+  (* Objective over standard columns. *)
+  let c = Array.make total 0. in
+  let sign = if p.maximize then -1. else 1. in
+  let const_shift = ref 0. in
+  List.iter
+    (fun (coef, v) ->
+      let coef = sign *. coef in
+      match mapping.(v) with
+      | Shifted (col, l) ->
+        c.(col) <- c.(col) +. coef;
+        const_shift := !const_shift +. (coef *. l)
+      | Reflected (col, u) ->
+        c.(col) <- c.(col) -. coef;
+        const_shift := !const_shift +. (coef *. u)
+      | Split (cp, cn) ->
+        c.(cp) <- c.(cp) +. coef;
+        c.(cn) <- c.(cn) -. coef)
+    p.obj_terms;
+  match Simplex.solve ~basis0 ~a ~b ~c () with
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+  | Simplex.Optimal { objective; values } ->
+    let x = Array.make p.nvars 0. in
+    Array.iteri
+      (fun j m ->
+        match m with
+        | Shifted (col, l) -> x.(j) <- l +. values.(col)
+        | Reflected (col, u) -> x.(j) <- u -. values.(col)
+        | Split (cp, cn) -> x.(j) <- values.(cp) -. values.(cn))
+      mapping;
+    let obj = sign *. (objective +. !const_shift) in
+    Optimal { objective = obj; values = x }
+
+(** [maximize_linear p terms] sets a maximisation objective and solves —
+    convenience for the verifier's per-neuron bound queries. *)
+let maximize_linear p terms =
+  set_objective p ~maximize:true terms;
+  solve p
+
+(** [minimize_linear p terms] sets a minimisation objective and solves. *)
+let minimize_linear p terms =
+  set_objective p ~maximize:false terms;
+  solve p

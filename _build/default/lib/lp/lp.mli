@@ -1,0 +1,57 @@
+(** Linear-programming model builder over {!Simplex}.
+
+    Declare variables with bounds, add linear constraints and an
+    objective; [solve] lowers to standard form (bound shifting,
+    reflection, free-variable splitting, slack rows) and runs two-phase
+    primal simplex. *)
+
+type relop = Le | Ge | Eq
+
+type var = int
+
+type term = float * var
+
+type problem
+
+type solution = { objective : float; values : float array }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+(** [create ()] is an empty model. *)
+val create : unit -> problem
+
+(** [add_var p ?lo ?hi ?name ()] declares a variable with optional
+    bounds (defaults: free) and returns its handle. *)
+val add_var : problem -> ?lo:float -> ?hi:float -> ?name:string -> unit -> var
+
+(** [add_constraint p terms op rhs] adds [Σ terms (op) rhs]. *)
+val add_constraint : problem -> term list -> relop -> float -> unit
+
+(** [set_objective p ~maximize terms] installs the objective. *)
+val set_objective : problem -> maximize:bool -> term list -> unit
+
+val var_count : problem -> int
+
+val constraint_count : problem -> int
+
+(** [copy p] is an independent copy (cheap: shares immutable term
+    lists). *)
+val copy : problem -> problem
+
+(** [set_bounds p v ~lo ~hi] tightens the bounds of [v] in place — used
+    by branch-and-bound when fixing binaries. *)
+val set_bounds : problem -> var -> lo:float -> hi:float -> unit
+
+(** [bounds p v] reads the current bounds of [v]. *)
+val bounds : problem -> var -> float * float
+
+(** [solve p] runs two-phase simplex on the lowered model. *)
+val solve : problem -> result
+
+(** [maximize_linear p terms] sets a maximisation objective and
+    solves. *)
+val maximize_linear : problem -> term list -> result
+
+(** [minimize_linear p terms] sets a minimisation objective and
+    solves. *)
+val minimize_linear : problem -> term list -> result

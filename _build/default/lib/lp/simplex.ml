@@ -1,0 +1,232 @@
+(** Two-phase primal simplex on a dense tableau.
+
+    Solves [min c·y  s.t.  A y = b, y >= 0] with [b >= 0] assumed
+    (callers negate rows as needed). Artificial variables are appended
+    internally for phase 1. Pivoting uses Dantzig's rule with an
+    automatic switch to Bland's rule (guaranteeing termination) once the
+    iteration count passes a threshold.
+
+    This is the computational core under {!Lp} and, transitively, under
+    the branch-and-bound MILP solver that plays the role of the paper's
+    "exact methods" (big-M encodings of ReLU, cf. Equation (2)). *)
+
+type outcome =
+  | Optimal of { objective : float; values : float array }
+      (** [values] covers the structural variables only *)
+  | Infeasible
+  | Unbounded
+
+let tol = 1e-9
+
+(* Tableau layout: [m] constraint rows then one objective row; columns are
+   [n] structural + [m] artificial + 1 rhs. The objective row holds
+   reduced costs (negated convention: we minimise, entering column has
+   negative reduced cost). *)
+type tableau = {
+  mutable rows : float array array;  (** (m+1) x (n_total+1) *)
+  m : int;
+  n : int;  (** structural variable count *)
+  n_total : int;  (** structural + artificial *)
+  basis : int array;  (** basic variable per row *)
+}
+
+let rhs_col t = t.n_total
+
+(* Build the tableau. [basis0.(i) = Some j] promises that structural
+   column [j] has coefficient +1 in row [i], zero in every other row and
+   zero objective cost (a slack): it then serves as the initial basic
+   variable and row [i] needs no artificial. *)
+let make_tableau ~n a b basis0 =
+  let m = Array.length b in
+  let needs_artificial =
+    Array.init m (fun i -> match basis0.(i) with Some _ -> false | None -> true)
+  in
+  let n_art = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 needs_artificial in
+  let n_total = n + n_art in
+  let basis = Array.make m 0 in
+  let next_art = ref n in
+  let rows =
+    Array.init (m + 1) (fun i ->
+        let row = Array.make (n_total + 1) 0. in
+        if i < m then begin
+          Array.blit a.(i) 0 row 0 n;
+          (match basis0.(i) with
+          | Some j -> basis.(i) <- j
+          | None ->
+            row.(!next_art) <- 1.;
+            basis.(i) <- !next_art;
+            incr next_art);
+          row.(n_total) <- b.(i)
+        end;
+        row)
+  in
+  { rows; m; n; n_total; basis }
+
+let pivot t ~row ~col =
+  let prow = t.rows.(row) in
+  let p = prow.(col) in
+  let width = t.n_total + 1 in
+  let inv = 1. /. p in
+  for j = 0 to width - 1 do
+    prow.(j) <- prow.(j) *. inv
+  done;
+  for i = 0 to t.m do
+    if i <> row then begin
+      let r = t.rows.(i) in
+      let factor = r.(col) in
+      if Float.abs factor > 0. then
+        for j = 0 to width - 1 do
+          r.(j) <- r.(j) -. (factor *. prow.(j))
+        done
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Entering column: most negative reduced cost (Dantzig) or smallest
+   index with negative reduced cost (Bland). [allowed] filters columns. *)
+let entering t ~bland ~allowed =
+  let obj = t.rows.(t.m) in
+  if bland then begin
+    let found = ref None in
+    (try
+       for j = 0 to t.n_total - 1 do
+         if allowed j && obj.(j) < -.tol then begin
+           found := Some j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+  end
+  else begin
+    let best = ref None and best_v = ref (-.tol) in
+    for j = 0 to t.n_total - 1 do
+      if allowed j && obj.(j) < !best_v then begin
+        best_v := obj.(j);
+        best := Some j
+      end
+    done;
+    !best
+  end
+
+(* Ratio test with Bland tie-breaking on the leaving basic variable. *)
+let leaving t col =
+  let best = ref None in
+  for i = 0 to t.m - 1 do
+    let aij = t.rows.(i).(col) in
+    if aij > tol then begin
+      let ratio = t.rows.(i).(rhs_col t) /. aij in
+      match !best with
+      | None -> best := Some (i, ratio)
+      | Some (bi, br) ->
+        if
+          ratio < br -. tol
+          || (Float.abs (ratio -. br) <= tol && t.basis.(i) < t.basis.(bi))
+        then best := Some (i, ratio)
+    end
+  done;
+  Option.map fst !best
+
+(* Run simplex iterations until optimal or unbounded. *)
+let iterate t ~allowed =
+  let max_dantzig = 4 * (t.m + t.n_total) in
+  let max_total = 8000 + (64 * (t.m + t.n_total)) in
+  let rec loop iter =
+    if iter > max_total then
+      failwith "Simplex.iterate: iteration limit exceeded (numerical trouble)"
+    else begin
+      let bland = iter > max_dantzig in
+      match entering t ~bland ~allowed with
+      | None -> `Optimal
+      | Some col -> (
+        match leaving t col with
+        | None -> `Unbounded
+        | Some row ->
+          pivot t ~row ~col;
+          loop (iter + 1))
+    end
+  in
+  loop 0
+
+(* Set the objective row to minimise [c] (length n_total, artificials
+   included), expressed in terms of the current basis: reduced costs
+   r_j = c_j − c_B B⁻¹ A_j, objective value = c_B B⁻¹ b. *)
+let install_objective t c =
+  let obj = t.rows.(t.m) in
+  Array.fill obj 0 (t.n_total + 1) 0.;
+  Array.blit c 0 obj 0 (Array.length c);
+  (* Price out the basic variables. *)
+  for i = 0 to t.m - 1 do
+    let cb = if t.basis.(i) < Array.length c then c.(t.basis.(i)) else 0. in
+    if cb <> 0. then begin
+      let r = t.rows.(i) in
+      for j = 0 to t.n_total do
+        obj.(j) <- obj.(j) -. (cb *. r.(j))
+      done
+    end
+  done
+
+(** [solve ?basis0 ~a ~b ~c ()] minimises [c·y] subject to [A y = b],
+    [y >= 0]. [b] must be componentwise non-negative. [basis0.(i)], when
+    given, names a structural slack column usable as row [i]'s initial
+    basic variable (+1 there, 0 elsewhere, zero cost), letting the
+    solver skip artificials — and often all of phase 1 — for those
+    rows. Returns structural values only. *)
+let solve ?basis0 ~a ~b ~c () =
+  let m = Array.length b in
+  let n = Array.length c in
+  (if m > 0 && Array.length a.(0) <> n then invalid_arg "Simplex.solve: shape");
+  if Array.exists (fun bi -> bi < 0.) b then invalid_arg "Simplex.solve: b < 0";
+  let basis0 = match basis0 with Some x -> x | None -> Array.make m None in
+  let t = make_tableau ~n a b basis0 in
+  let has_artificials = t.n_total > t.n in
+  let phase1_obj =
+    if not has_artificials then 0.
+    else begin
+      (* Phase 1: minimise the sum of artificials. *)
+      let c1 = Array.make t.n_total 0. in
+      for j = t.n to t.n_total - 1 do
+        c1.(j) <- 1.
+      done;
+      install_objective t c1;
+      (match iterate t ~allowed:(fun _ -> true) with
+      | `Unbounded -> failwith "Simplex: phase 1 unbounded (impossible)"
+      | `Optimal -> ());
+      -.t.rows.(t.m).(rhs_col t)
+    end
+  in
+  if phase1_obj > 1e-6 then Infeasible
+  else begin
+    (* Drive out any artificial still basic at zero level. *)
+    for i = 0 to t.m - 1 do
+      if t.basis.(i) >= t.n then begin
+        let r = t.rows.(i) in
+        let found = ref None in
+        (try
+           for j = 0 to t.n - 1 do
+             if Float.abs r.(j) > 1e-7 then begin
+               found := Some j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        match !found with
+        | Some j -> pivot t ~row:i ~col:j
+        | None -> () (* redundant row; harmless to keep *)
+      end
+    done;
+    (* Phase 2: original objective, artificials barred from entering. *)
+    let c2 = Array.make t.n_total 0. in
+    Array.blit c 0 c2 0 n;
+    install_objective t c2;
+    let allowed j = j < t.n in
+    match iterate t ~allowed with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let values = Array.make n 0. in
+      for i = 0 to t.m - 1 do
+        if t.basis.(i) < n then values.(t.basis.(i)) <- t.rows.(i).(rhs_col t)
+      done;
+      let objective = -.t.rows.(t.m).(rhs_col t) in
+      Optimal { objective; values }
+  end

@@ -1,0 +1,24 @@
+(** Two-phase primal simplex on a dense tableau: solves
+    [min c·y  s.t.  A y = b, y >= 0] with [b >= 0] (callers negate rows
+    as needed). Dantzig pivoting with an automatic switch to Bland's
+    rule for termination. The computational core under {!Lp}. *)
+
+type outcome =
+  | Optimal of { objective : float; values : float array }
+      (** [values] covers the structural variables only *)
+  | Infeasible
+  | Unbounded
+
+(** [solve ?basis0 ~a ~b ~c ()] minimises [c·y] subject to [A y = b],
+    [y >= 0]. [basis0.(i)], when given, names a structural slack column
+    usable as row [i]'s initial basic variable (+1 there, 0 elsewhere,
+    zero cost), letting the solver skip artificials — and often all of
+    phase 1 — for those rows. Raises [Failure] when the iteration limit
+    is exceeded (numerical trouble). *)
+val solve :
+  ?basis0:int option array ->
+  a:float array array ->
+  b:float array ->
+  c:float array ->
+  unit ->
+  outcome

@@ -1,0 +1,1 @@
+lib/milp/milp.ml: Array Cv_lp Float List Option

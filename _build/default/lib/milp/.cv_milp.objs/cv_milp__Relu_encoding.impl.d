@@ -1,0 +1,1 @@
+lib/milp/relu_encoding.ml: Array Cv_domains Cv_interval Cv_linalg Cv_lp Cv_nn Cv_util Float Hashtbl List Milp Option Printf

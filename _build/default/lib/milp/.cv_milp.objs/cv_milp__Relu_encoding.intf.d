@@ -1,0 +1,1 @@
+lib/milp/relu_encoding.mli: Cv_interval Cv_linalg Cv_lp Cv_nn Milp

@@ -1,0 +1,185 @@
+(** Mixed-integer linear programming by branch-and-bound over {!Cv_lp}.
+
+    The integer variables are binaries (which is all the big-M ReLU
+    encoding needs). Branching is best-first on the LP relaxation bound
+    with most-fractional variable selection. An optional [cutoff] lets
+    verification queries stop early: when proving "max ≤ θ" it suffices
+    to fathom every node whose relaxation bound is ≤ θ, and to stop as
+    soon as an integer-feasible point exceeds θ. *)
+
+type solution = { objective : float; values : float array }
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Cutoff_reached of solution
+      (** an integer point beat the requested cutoff; search stopped *)
+  | Below_cutoff of float
+      (** every node was fathomed at or below the cutoff; the payload is
+          a proven upper bound on the true optimum (≤ cutoff) *)
+
+type problem = { lp : Cv_lp.Lp.problem; mutable binaries : int list }
+
+(** [create ()] is an empty MILP model. *)
+let create () = { lp = Cv_lp.Lp.create (); binaries = [] }
+
+(** [add_var p ?lo ?hi ?name ()] declares a continuous variable. *)
+let add_var p ?lo ?hi ?name () = Cv_lp.Lp.add_var p.lp ?lo ?hi ?name ()
+
+(** [add_binary p ?name ()] declares a 0/1 integer variable. *)
+let add_binary p ?name () =
+  let v = Cv_lp.Lp.add_var p.lp ~lo:0. ~hi:1. ?name () in
+  p.binaries <- v :: p.binaries;
+  v
+
+(** [add_constraint p terms op rhs] adds a linear constraint. *)
+let add_constraint p terms op rhs = Cv_lp.Lp.add_constraint p.lp terms op rhs
+
+(** [var_count p] / [constraint_count p] expose model size for
+    reports. *)
+let var_count p = Cv_lp.Lp.var_count p.lp
+
+let constraint_count p = Cv_lp.Lp.constraint_count p.lp
+
+(** [binary_count p] is the number of integer variables. *)
+let binary_count p = List.length p.binaries
+
+let int_tol = 1e-6
+
+
+
+(* Most fractional binary, or None if all integral. *)
+let pick_branch_var binaries (values : float array) =
+  let best = ref None and best_frac = ref int_tol in
+  List.iter
+    (fun v ->
+      let x = values.(v) in
+      let frac = Float.abs (x -. Float.round x) in
+      if frac > !best_frac then begin
+        best_frac := frac;
+        best := Some v
+      end)
+    binaries;
+  !best
+
+type node = { fixed : (int * float) list; bound : float }
+
+(** [maximize ?cutoff ?known_feasible ?node_limit p terms] maximises
+    [terms] over the mixed-integer feasible set. With [cutoff = Some θ]:
+    if the true optimum is ≤ θ the search proves it quickly (returns the
+    incumbent optimum or [Below_cutoff]); if some integer point exceeds θ
+    the search may return [Cutoff_reached] early without closing the gap.
+    [known_feasible] is an externally certified feasible objective value
+    (e.g. from evaluating the encoded network at a concrete input): it
+    seeds the incumbent for pruning; if the search then closes without an
+    explicit incumbent the optimum equals the seed and an [Optimal] with
+    empty [values] is returned. *)
+let maximize ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
+  Cv_lp.Lp.set_objective p.lp ~maximize:true terms;
+  let apply_fixings fixed =
+    let lp = Cv_lp.Lp.copy p.lp in
+    List.iter (fun (v, x) -> Cv_lp.Lp.set_bounds lp v ~lo:x ~hi:x) fixed;
+    lp
+  in
+  let solve_node fixed =
+    let lp = apply_fixings fixed in
+    Cv_lp.Lp.set_objective lp ~maximize:true terms;
+    Cv_lp.Lp.solve lp
+  in
+  (* Best-first queue ordered by decreasing bound: simple sorted list —
+     node counts stay small at our problem sizes. *)
+  let incumbent = ref None in
+  let incumbent_val =
+    ref (match known_feasible with Some v -> v | None -> Float.neg_infinity)
+  in
+  let better_than_cutoff s =
+    match cutoff with Some theta -> s.objective > theta +. 1e-7 | None -> false
+  in
+  match Cv_lp.Lp.solve (let lp = apply_fixings [] in
+                        Cv_lp.Lp.set_objective lp ~maximize:true terms;
+                        lp) with
+  | Cv_lp.Lp.Infeasible -> Infeasible
+  | Cv_lp.Lp.Unbounded -> Unbounded
+  | Cv_lp.Lp.Optimal root ->
+    let queue = ref [ { fixed = []; bound = root.Cv_lp.Lp.objective } ] in
+    let nodes = ref 0 in
+    let result = ref None in
+    (* Largest bound among nodes fathomed by the cutoff — a certified
+       upper bound on the optimum within the pruned regions. *)
+    let pruned_max = ref Float.neg_infinity in
+    while !result = None && !queue <> [] && !nodes < node_limit do
+      incr nodes;
+      let node = List.hd !queue in
+      queue := List.tl !queue;
+      let prune_bound =
+        match cutoff with
+        | Some theta -> Float.max !incumbent_val theta
+        | None -> !incumbent_val
+      in
+      if node.bound <= prune_bound +. 1e-9 then
+        pruned_max := Float.max !pruned_max node.bound
+      else begin
+        match solve_node node.fixed with
+        | Cv_lp.Lp.Infeasible -> ()
+        | Cv_lp.Lp.Unbounded -> result := Some Unbounded
+        | Cv_lp.Lp.Optimal sol -> (
+          let bound = sol.Cv_lp.Lp.objective in
+          if bound <= prune_bound +. 1e-9 then
+            pruned_max := Float.max !pruned_max bound
+          else
+            match pick_branch_var p.binaries sol.Cv_lp.Lp.values with
+            | None ->
+              (* Integer feasible. *)
+              let s = { objective = bound; values = sol.Cv_lp.Lp.values } in
+              if bound > !incumbent_val then begin
+                incumbent_val := bound;
+                incumbent := Some s
+              end;
+              if better_than_cutoff s then result := Some (Cutoff_reached s)
+            | Some v ->
+              let child x = { fixed = (v, x) :: node.fixed; bound } in
+              (* Insert keeping the queue sorted by decreasing bound. *)
+              let insert n q =
+                let rec go = function
+                  | [] -> [ n ]
+                  | hd :: tl when hd.bound >= n.bound -> hd :: go tl
+                  | rest -> n :: rest
+                in
+                go q
+              in
+              queue := insert (child 0.) (insert (child 1.) !queue))
+      end
+    done;
+    (match !result with
+    | Some r -> r
+    | None -> (
+      if !nodes >= node_limit && !queue <> [] then
+        failwith "Milp.maximize: node limit exceeded";
+      match (cutoff, !incumbent) with
+      | None, Some s -> Optimal s
+      | None, None -> (
+        match known_feasible with
+        | Some v when !pruned_max <= v +. 1e-9 ->
+          (* Everything was fathomed against the seed: the seed is the
+             optimum (no explicit solution vector available). *)
+          Optimal { objective = v; values = [||] }
+        | _ -> Infeasible)
+      | Some _, _ ->
+        (* Search exhausted without beating the cutoff: the optimum is
+           provably at most max(pruned bounds, incumbent). *)
+        let ub = Float.max !pruned_max !incumbent_val in
+        if ub = Float.neg_infinity then Infeasible else Below_cutoff ub))
+
+(** [minimize ?cutoff ?known_feasible ?node_limit p terms] minimises by
+    negating the objective. *)
+let minimize ?cutoff ?known_feasible ?node_limit p terms =
+  let neg_terms = List.map (fun (c, v) -> (-.c, v)) terms in
+  let neg_cutoff = Option.map (fun t -> -.t) cutoff in
+  let neg_known = Option.map (fun t -> -.t) known_feasible in
+  match maximize ?cutoff:neg_cutoff ?known_feasible:neg_known ?node_limit p neg_terms with
+  | Optimal s -> Optimal { s with objective = -.s.objective }
+  | Cutoff_reached s -> Cutoff_reached { s with objective = -.s.objective }
+  | Below_cutoff ub -> Below_cutoff (-.ub)
+  | Infeasible -> Infeasible
+  | Unbounded -> Unbounded

@@ -1,0 +1,65 @@
+(** Mixed-integer linear programming by branch-and-bound over {!Cv_lp}
+    (binary integer variables — all the big-M ReLU encoding needs).
+
+    Branching is best-first on the LP relaxation bound with
+    most-fractional selection. The optional [cutoff] turns an
+    optimisation into a decision: proving "max ≤ θ" fathoms every node
+    whose bound is ≤ θ and stops as soon as an integer point exceeds
+    θ. *)
+
+type solution = { objective : float; values : float array }
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Cutoff_reached of solution
+      (** an integer point beat the requested cutoff; search stopped *)
+  | Below_cutoff of float
+      (** every node was fathomed at or below the cutoff; the payload is
+          a proven upper bound on the true optimum (≤ cutoff) *)
+
+type problem = { lp : Cv_lp.Lp.problem; mutable binaries : int list }
+
+(** [create ()] is an empty MILP model. *)
+val create : unit -> problem
+
+(** [add_var p ?lo ?hi ?name ()] declares a continuous variable. *)
+val add_var :
+  problem -> ?lo:float -> ?hi:float -> ?name:string -> unit -> Cv_lp.Lp.var
+
+(** [add_binary p ?name ()] declares a 0/1 integer variable. *)
+val add_binary : problem -> ?name:string -> unit -> Cv_lp.Lp.var
+
+(** [add_constraint p terms op rhs] adds a linear constraint. *)
+val add_constraint :
+  problem -> Cv_lp.Lp.term list -> Cv_lp.Lp.relop -> float -> unit
+
+val var_count : problem -> int
+
+val constraint_count : problem -> int
+
+val binary_count : problem -> int
+
+(** [maximize ?cutoff ?known_feasible ?node_limit p terms] maximises
+    over the mixed-integer feasible set. [known_feasible] is an
+    externally certified feasible objective value that seeds the
+    incumbent for pruning; if the search then closes without an explicit
+    incumbent, an [Optimal] with empty [values] is returned. *)
+val maximize :
+  ?cutoff:float ->
+  ?known_feasible:float ->
+  ?node_limit:int ->
+  problem ->
+  Cv_lp.Lp.term list ->
+  result
+
+(** [minimize ?cutoff ?known_feasible ?node_limit p terms] minimises by
+    negating the objective. *)
+val minimize :
+  ?cutoff:float ->
+  ?known_feasible:float ->
+  ?node_limit:int ->
+  problem ->
+  Cv_lp.Lp.term list ->
+  result

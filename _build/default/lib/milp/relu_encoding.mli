@@ -1,0 +1,36 @@
+(** Compact big-M MILP encoding of piecewise-linear network slices —
+    the paper's "exact method" (Equation (2)). Stable neurons introduce
+    no variables (their values are carried as affine expressions over
+    inputs and unstable post-activations); big-M bounds come from a
+    symbolic-interval pre-analysis; branch-and-bound is seeded with the
+    best sampled concrete value. *)
+
+(** Affine expression over LP variables. *)
+type expr = { terms : (float * Cv_lp.Lp.var) list; const : float }
+
+type encoding = {
+  problem : Milp.problem;
+  net : Cv_nn.Network.t;
+  input_box : Cv_interval.Box.t;
+  input_vars : Cv_lp.Lp.var array;
+  outputs : expr array;  (** affine expressions of the output neurons *)
+  pre_bounds : Cv_interval.Box.t array;  (** per-layer pre-activation bounds *)
+  seeds : (float * Cv_linalg.Vec.t) array array;
+      (** per output: [(max_seed, input); (min_seed, input)] *)
+}
+
+(** [encode ~net ~input_box] builds the exact MILP of the slice [net]
+    over [input_box]. Raises [Invalid_argument] for non-piecewise-linear
+    activations. *)
+val encode : net:Cv_nn.Network.t -> input_box:Cv_interval.Box.t -> encoding
+
+(** [max_output ?cutoff enc ~output] maximises one output neuron over
+    the encoded set (exactly — the sampling seed only accelerates
+    pruning). *)
+val max_output : ?cutoff:float -> encoding -> output:int -> Milp.result
+
+(** [min_output ?cutoff enc ~output] minimises one output neuron. *)
+val min_output : ?cutoff:float -> encoding -> output:int -> Milp.result
+
+(** [stats enc] is [(vars, constraints, binaries)]. *)
+val stats : encoding -> int * int * int

@@ -1,0 +1,1 @@
+lib/monitor/monitor.ml: Array Cv_interval Cv_linalg Cv_nn Float List

@@ -1,0 +1,1 @@
+lib/monitor/monitor.mli: Cv_interval Cv_linalg Cv_nn

@@ -1,0 +1,1 @@
+lib/monitor/pattern_monitor.ml: Array Bytes Char Hashtbl List Option

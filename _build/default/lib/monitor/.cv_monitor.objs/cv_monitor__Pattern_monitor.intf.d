@@ -1,0 +1,1 @@
+lib/monitor/pattern_monitor.mli: Bytes Cv_linalg

@@ -1,0 +1,100 @@
+(** Abstraction-based runtime monitoring of neuron values.
+
+    Mirrors the paper's setup (and its refs [1], [2]): the input bound
+    [D_in] of the verified head is built by recording per-neuron min/max
+    of the monitored feature layer over the training set, plus a buffer;
+    in operation, every input whose features escape the box is an
+    out-of-distribution event, and the recorded overshoots form [Δ_in]
+    for the next verification round. *)
+
+type event = {
+  features : Cv_linalg.Vec.t;  (** the violating feature vector *)
+  overshoot : float;  (** ∞-norm distance outside the current box *)
+  index : int;  (** running sample counter at detection time *)
+}
+
+type t = {
+  mutable box : Cv_interval.Box.t;  (** current monitored bound, [D_in] *)
+  mutable seen : int;
+  mutable events : event list;  (** most recent first *)
+}
+
+(** [of_samples ?buffer features] builds the initial [D_in]: the
+    bounding box of the observed feature vectors, enlarged by [buffer]
+    (fraction of each axis width; default 0.05 — the paper's
+    "additional buffers"). *)
+let of_samples ?(buffer = 0.05) features =
+  match features with
+  | [] -> invalid_arg "Monitor.of_samples: no samples"
+  | first :: rest ->
+    let box = ref (Cv_interval.Box.point first) in
+    List.iter (fun x -> box := Cv_interval.Box.join_point !box x) rest;
+    { box = Cv_interval.Box.buffer buffer !box; seen = 0; events = [] }
+
+(** [of_box box] starts monitoring from a given bound. *)
+let of_box box = { box; seen = 0; events = [] }
+
+(** [current t] is the monitored box (the verified [D_in]). *)
+let current t = t.box
+
+(** [events t] lists recorded out-of-distribution events, newest
+    first. *)
+let events t = List.rev t.events
+
+(** [event_count t] is the number of OOD events so far. *)
+let event_count t = List.length t.events
+
+(** [observe t x] feeds one feature vector. In-distribution vectors
+    return [None]; out-of-distribution vectors are recorded and returned
+    as an event. The monitored box is {e not} changed — enlargement is an
+    explicit engineering step ({!enlarged_box}). *)
+let observe t x =
+  t.seen <- t.seen + 1;
+  if Cv_interval.Box.mem x t.box then None
+  else begin
+    let ev =
+      { features = Array.copy x;
+        overshoot = Cv_interval.Box.dist_point_inf x t.box;
+        index = t.seen }
+    in
+    t.events <- ev :: t.events;
+    Some ev
+  end
+
+(** [enlarged_box ?margin t] is [D_in ∪ Δ_in] as a box: the monitored
+    box joined with every recorded event point, each padded by [margin]
+    (absolute, default 0) so the enlargement is robust to measurement
+    noise. *)
+let enlarged_box ?(margin = 0.) t =
+  List.fold_left
+    (fun box ev ->
+      Cv_interval.Box.join box
+        (Cv_interval.Box.of_center_radius ev.features margin))
+    t.box t.events
+
+(** [commit t box] installs an enlarged box (after re-verification
+    succeeded) and clears the event log — one turn of the paper's
+    continuous-engineering loop. *)
+let commit t box =
+  if not (Cv_interval.Box.subset t.box box) then
+    invalid_arg "Monitor.commit: new box must contain the current one";
+  t.box <- box;
+  t.events <- []
+
+(** [kappa ?norm t] quantifies the pending enlargement: the maximum
+    distance from recorded events to the current box (the paper's κ for
+    Proposition 3). *)
+let kappa ?(norm = `Linf) t =
+  let dist =
+    match norm with
+    | `Linf -> Cv_interval.Box.dist_point_inf
+    | `L2 -> Cv_interval.Box.dist_point_l2
+  in
+  List.fold_left (fun acc ev -> Float.max acc (dist ev.features t.box)) 0. t.events
+
+(** [monitored_layer_features net ~layer x] extracts the feature vector
+    the monitor watches: the output of layer [layer] (0-based) of [net]
+    at input [x] — the paper monitors the "Flatten" layer output. *)
+let monitored_layer_features net ~layer x =
+  let trace = Cv_nn.Network.eval_trace net x in
+  trace.(layer)

@@ -1,0 +1,108 @@
+(** Neuron activation-pattern monitoring — the paper's reference [1]
+    (Cheng, Nührenberg, Yasuoka, "Runtime monitoring neuron activation
+    patterns", DATE 2019), complementing the box monitor in {!Monitor}.
+
+    During data collection, the binary on/off pattern of a monitored
+    ReLU layer is recorded for every training sample. In operation, an
+    input whose pattern was never seen — not even within a Hamming
+    distance budget γ — is flagged as outside the comfort zone, even
+    when its raw feature values sit inside the monitored box. The two
+    monitors are complementary: the box abstraction catches magnitude
+    novelty, the pattern abstraction catches combinatorial novelty. *)
+
+type pattern = Bytes.t
+
+type t = {
+  seen : (pattern, int) Hashtbl.t;  (** pattern -> occurrences *)
+  width : int;
+  gamma : int;  (** Hamming tolerance *)
+  mutable observations : int;
+  mutable flags : int;
+}
+
+(** [pattern_of v] encodes the activation signs of one layer output
+    (post-ReLU: strictly positive = on). *)
+let pattern_of v =
+  let n = Array.length v in
+  let b = Bytes.make ((n + 7) / 8) '\000' in
+  for i = 0 to n - 1 do
+    if v.(i) > 0. then begin
+      let byte = i / 8 and bit = i mod 8 in
+      Bytes.set b byte
+        (Char.chr (Char.code (Bytes.get b byte) lor (1 lsl bit)))
+    end
+  done;
+  b
+
+let popcount_byte c =
+  let x = Char.code c in
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+(** [hamming a b] counts differing activation bits. *)
+let hamming a b =
+  if Bytes.length a <> Bytes.length b then invalid_arg "Pattern_monitor.hamming";
+  let acc = ref 0 in
+  for i = 0 to Bytes.length a - 1 do
+    acc :=
+      !acc
+      + popcount_byte
+          (Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+  done;
+  !acc
+
+(** [create ?gamma ~width samples] builds the monitor from the feature
+    vectors of the training set. [gamma] (default 0) is the Hamming
+    tolerance: a runtime pattern within distance γ of any recorded
+    pattern counts as known. *)
+let create ?(gamma = 0) ~width samples =
+  if gamma < 0 then invalid_arg "Pattern_monitor.create: negative gamma";
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun v ->
+      if Array.length v <> width then
+        invalid_arg "Pattern_monitor.create: sample width mismatch";
+      let p = pattern_of v in
+      Hashtbl.replace seen p (1 + Option.value ~default:0 (Hashtbl.find_opt seen p)))
+    samples;
+  { seen; width; gamma; observations = 0; flags = 0 }
+
+(** [num_patterns t] is the number of distinct recorded patterns. *)
+let num_patterns t = Hashtbl.length t.seen
+
+(** [known t v] — is the activation pattern of [v] within γ of a
+    recorded one? *)
+let known t v =
+  if Array.length v <> t.width then invalid_arg "Pattern_monitor.known: width";
+  let p = pattern_of v in
+  if Hashtbl.mem t.seen p then true
+  else if t.gamma = 0 then false
+  else
+    (* Linear scan with Hamming tolerance; pattern sets stay small at
+       our layer widths. *)
+    Hashtbl.fold (fun q _ acc -> acc || hamming p q <= t.gamma) t.seen false
+
+(** [observe t v] — monitors one feature vector; [true] = flagged as a
+    novel pattern. *)
+let observe t v =
+  t.observations <- t.observations + 1;
+  let fresh = not (known t v) in
+  if fresh then t.flags <- t.flags + 1;
+  fresh
+
+(** [extend t v] records the pattern of [v] as known — the commit step
+    after an engineer vets a flagged input (or after re-verification
+    covers it). *)
+let extend t v =
+  if Array.length v <> t.width then invalid_arg "Pattern_monitor.extend: width";
+  let p = pattern_of v in
+  Hashtbl.replace t.seen p
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.seen p))
+
+(** [flag_rate t] is flags/observations so far (0 when idle). *)
+let flag_rate t =
+  if t.observations = 0 then 0.
+  else float_of_int t.flags /. float_of_int t.observations
+
+(** [stats t] is [(observations, flags, distinct_patterns)]. *)
+let stats t = (t.observations, t.flags, Hashtbl.length t.seen)

@@ -1,0 +1,41 @@
+(** Neuron activation-pattern monitoring — the paper's reference [1]
+    (Cheng, Nührenberg, Yasuoka, DATE 2019), complementing the box
+    monitor: the box abstraction catches magnitude novelty, the pattern
+    abstraction catches combinatorial novelty. *)
+
+type pattern = Bytes.t
+
+type t
+
+(** [pattern_of v] encodes the activation signs of one layer output
+    (strictly positive = on). *)
+val pattern_of : Cv_linalg.Vec.t -> pattern
+
+(** [hamming a b] counts differing activation bits. *)
+val hamming : pattern -> pattern -> int
+
+(** [create ?gamma ~width samples] builds the monitor from the feature
+    vectors of the training set; [gamma] (default 0) is the Hamming
+    tolerance. *)
+val create : ?gamma:int -> width:int -> Cv_linalg.Vec.t list -> t
+
+(** [num_patterns t] is the number of distinct recorded patterns. *)
+val num_patterns : t -> int
+
+(** [known t v] — is the activation pattern of [v] within γ of a
+    recorded one? *)
+val known : t -> Cv_linalg.Vec.t -> bool
+
+(** [observe t v] — monitors one feature vector; [true] = flagged as a
+    novel pattern. *)
+val observe : t -> Cv_linalg.Vec.t -> bool
+
+(** [extend t v] records the pattern of [v] as known — the commit step
+    after a flagged input has been vetted. *)
+val extend : t -> Cv_linalg.Vec.t -> unit
+
+(** [flag_rate t] is flags/observations so far (0 when idle). *)
+val flag_rate : t -> float
+
+(** [stats t] is [(observations, flags, distinct_patterns)]. *)
+val stats : t -> int * int * int

@@ -1,0 +1,1 @@
+lib/netabs/interval_abs.ml: Array Cv_interval Cv_linalg Cv_nn

@@ -1,0 +1,1 @@
+lib/netabs/interval_abs.mli: Cv_interval Cv_nn

@@ -1,0 +1,1 @@
+lib/netabs/merge.ml: Array Cv_linalg Cv_nn Cv_util Float Hashtbl List Netabs

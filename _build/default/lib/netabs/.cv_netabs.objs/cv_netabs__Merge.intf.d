@@ -1,0 +1,1 @@
+lib/netabs/merge.mli: Cv_linalg Cv_nn Netabs

@@ -1,0 +1,1 @@
+lib/netabs/netabs.ml: Array Cv_interval Cv_linalg Cv_nn Cv_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/netabs/netabs.mli: Cv_interval Cv_linalg Cv_nn

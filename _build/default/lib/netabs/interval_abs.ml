@@ -1,0 +1,100 @@
+(** Weight-interval network abstraction — a lightweight alternative
+    artifact for Prop. 6.
+
+    The abstraction f̂ is the original topology with every parameter
+    replaced by an interval [w ± slack]. Its semantics over an input box
+    is computed by interval arithmetic, which over-approximates {e any}
+    concrete network whose parameters lie inside the intervals. The
+    reuse check for a fine-tuned f' is therefore a pure parameter
+    containment test — no solver at all — at the price of a looser
+    output reach than the structural abstraction in {!Merge}.
+
+    This matches the continuous-engineering premise directly: when
+    fine-tuning moves parameters by less than the slack budgeted at
+    proof time, the old safety proof transfers to f' for free. *)
+
+type ilayer = {
+  w_lo : Cv_linalg.Mat.t;
+  w_hi : Cv_linalg.Mat.t;
+  b_lo : Cv_linalg.Vec.t;
+  b_hi : Cv_linalg.Vec.t;
+  act : Cv_nn.Activation.t;
+}
+
+type t = { layers : ilayer array }
+
+(** [build ~slack net] budgets the same absolute [slack] on every
+    parameter of [net]. *)
+let build ~slack net =
+  if slack < 0. then invalid_arg "Interval_abs.build: negative slack";
+  { layers =
+      Array.map
+        (fun (l : Cv_nn.Layer.t) ->
+          { w_lo = Cv_linalg.Mat.map (fun w -> w -. slack) l.Cv_nn.Layer.weights;
+            w_hi = Cv_linalg.Mat.map (fun w -> w +. slack) l.Cv_nn.Layer.weights;
+            b_lo = Array.map (fun b -> b -. slack) l.Cv_nn.Layer.bias;
+            b_hi = Array.map (fun b -> b +. slack) l.Cv_nn.Layer.bias;
+            act = l.Cv_nn.Layer.act })
+        (Cv_nn.Network.layers net) }
+
+(** [contains t net'] is the Prop. 6 reuse check: every parameter of
+    [net'] lies within the abstraction's intervals. *)
+let contains t net' =
+  let layers' = Cv_nn.Network.layers net' in
+  Array.length layers' = Array.length t.layers
+  && Array.for_all2
+       (fun il (l : Cv_nn.Layer.t) ->
+         il.act = l.Cv_nn.Layer.act
+         && Cv_linalg.Mat.rows il.w_lo = Cv_nn.Layer.out_dim l
+         && Cv_linalg.Mat.cols il.w_lo = Cv_nn.Layer.in_dim l
+         && (let ok = ref true in
+             for i = 0 to Cv_linalg.Mat.rows il.w_lo - 1 do
+               for j = 0 to Cv_linalg.Mat.cols il.w_lo - 1 do
+                 let w = Cv_linalg.Mat.get l.Cv_nn.Layer.weights i j in
+                 if
+                   w < Cv_linalg.Mat.get il.w_lo i j
+                   || w > Cv_linalg.Mat.get il.w_hi i j
+                 then ok := false
+               done;
+               let b = l.Cv_nn.Layer.bias.(i) in
+               if b < il.b_lo.(i) || b > il.b_hi.(i) then ok := false
+             done;
+             !ok))
+       t.layers layers'
+
+(* Interval affine: z_i = Σ_j [w_lo, w_hi]_{ij} · x_j + [b_lo, b_hi]_i,
+   with x_j an interval. *)
+let interval_affine il (box : Cv_interval.Box.t) =
+  let rows = Cv_linalg.Mat.rows il.w_lo in
+  let cols = Cv_linalg.Mat.cols il.w_lo in
+  Array.init rows (fun i ->
+      let acc = ref (Cv_interval.Interval.make il.b_lo.(i) il.b_hi.(i)) in
+      for j = 0 to cols - 1 do
+        let wij =
+          Cv_interval.Interval.make
+            (Cv_linalg.Mat.get il.w_lo i j)
+            (Cv_linalg.Mat.get il.w_hi i j)
+        in
+        acc :=
+          Cv_interval.Interval.add !acc
+            (Cv_interval.Interval.mul wij (Cv_interval.Box.get box j))
+      done;
+      !acc)
+
+(** [output_box t din] is the interval-arithmetic reach of the
+    abstraction over [din] — sound for every contained network. *)
+let output_box t din =
+  Array.fold_left
+    (fun box il ->
+      let pre = interval_affine il box in
+      Array.map (Cv_nn.Activation.interval il.act) pre)
+    din t.layers
+
+(** [proves_safety t ~din ~dout] — one interval sweep. *)
+let proves_safety t ~din ~dout =
+  Cv_interval.Box.subset_tol (output_box t din) dout
+
+(** [max_slack net net'] is the smallest slack that would make
+    [contains (build ~slack net) net'] true — i.e. the parameter drift
+    of a fine-tuning step. *)
+let max_slack net net' = Cv_nn.Network.param_dist_inf net net'

@@ -1,0 +1,26 @@
+(** Weight-interval network abstraction — a lightweight alternative
+    artifact for Prop. 6: the original topology with every parameter
+    replaced by an interval [w ± slack]. Reuse for a fine-tuned f' is a
+    pure parameter-containment test. *)
+
+type t
+
+(** [build ~slack net] budgets the same absolute [slack] on every
+    parameter of [net]. *)
+val build : slack:float -> Cv_nn.Network.t -> t
+
+(** [contains t net'] is the Prop. 6 reuse check: every parameter of
+    [net'] lies within the abstraction's intervals. *)
+val contains : t -> Cv_nn.Network.t -> bool
+
+(** [output_box t din] is the interval-arithmetic reach of the
+    abstraction over [din] — sound for every contained network. *)
+val output_box : t -> Cv_interval.Box.t -> Cv_interval.Box.t
+
+(** [proves_safety t ~din ~dout] — one interval sweep. *)
+val proves_safety : t -> din:Cv_interval.Box.t -> dout:Cv_interval.Box.t -> bool
+
+(** [max_slack net net'] is the smallest slack that would make
+    [contains (build ~slack net) net'] true — the parameter drift of a
+    fine-tuning step. *)
+val max_slack : Cv_nn.Network.t -> Cv_nn.Network.t -> float

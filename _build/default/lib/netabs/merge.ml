@@ -1,0 +1,296 @@
+(** Merging split neurons into an abstraction, and the Prop. 6 reuse
+    check.
+
+    Merging a group G of same-category copies in one hidden layer:
+    - incoming weights and bias: entrywise {e max} over G for inc
+      categories, {e min} for dec;
+    - outgoing weights: {e sum} over G.
+
+    Merging all layers simultaneously composes these pairwise-sound
+    steps; the merged incoming weight from previous-layer group H to G is
+    [Σ_{p∈H} agg_{a∈G} w(a, p)] (aggregate over the group first, then
+    sum over the predecessor group). The result dominates the split
+    network pointwise on non-negative inputs: [f̂(x) ≥ f(x)]. *)
+
+type t = {
+  base : Netabs.snet;  (** the exact split network of the original f *)
+  partition : int array array array;
+      (** per hidden layer: groups of copy indices (same category) *)
+  merged : Netabs.snet;  (** the abstraction f̂ *)
+}
+
+let agg_fun cat = if Netabs.is_inc cat then Float.max else Float.min
+
+let agg_init cat = if Netabs.is_inc cat then Float.neg_infinity else Float.infinity
+
+(* Aggregate one group's incoming weights over individual predecessors,
+   then sum predecessor groups. [prev_partition] = None for the first
+   hidden layer (inputs are not grouped). *)
+let merged_layer (base : Netabs.snet) level groups ~prev_partition =
+  let sl = base.Netabs.hidden.(level) in
+  let n_groups = Array.length groups in
+  let cat = Array.map (fun g -> sl.Netabs.cat.(g.(0))) groups in
+  (* Aggregate per individual predecessor column first. *)
+  let cols = Cv_linalg.Mat.cols sl.Netabs.w in
+  let agg_rows =
+    Array.mapi
+      (fun gi g ->
+        let f = agg_fun cat.(gi) and init = agg_init cat.(gi) in
+        Array.init cols (fun k ->
+            Array.fold_left
+              (fun acc a -> f acc (Cv_linalg.Mat.get sl.Netabs.w a k))
+              init g))
+      groups
+  in
+  let bias =
+    Array.mapi
+      (fun gi g ->
+        let f = agg_fun cat.(gi) and init = agg_init cat.(gi) in
+        Array.fold_left (fun acc a -> f acc sl.Netabs.b.(a)) init g)
+      groups
+  in
+  (* Then sum over predecessor groups (or keep columns as-is for the
+     input layer). *)
+  let w =
+    match prev_partition with
+    | None -> Cv_linalg.Mat.of_rows (Array.to_list agg_rows)
+    | Some prev_groups ->
+      Cv_linalg.Mat.init n_groups (Array.length prev_groups) (fun gi h ->
+          Array.fold_left (fun acc p -> acc +. agg_rows.(gi).(p)) 0. prev_groups.(h))
+  in
+  { Netabs.w; b = bias; cat }
+
+let merged_out (base : Netabs.snet) last_groups =
+  Array.map
+    (fun g -> Array.fold_left (fun acc a -> acc +. base.Netabs.out_w.(a)) 0. g)
+    last_groups
+
+let rebuild base partition =
+  let n = Array.length base.Netabs.hidden in
+  let hidden =
+    Array.init n (fun i ->
+        merged_layer base i partition.(i)
+          ~prev_partition:(if i = 0 then None else Some partition.(i - 1)))
+  in
+  let out_w = merged_out base partition.(n - 1) in
+  let sources =
+    Array.mapi
+      (fun i groups ->
+        Array.map (fun g -> base.Netabs.sources.(i).(g.(0))) groups)
+      partition
+  in
+  { base with Netabs.hidden; out_w; sources }
+
+(** [of_partition base partition] merges [base] according to
+    [partition]; every group must be non-empty and category-uniform. *)
+let of_partition base partition =
+  Array.iteri
+    (fun i groups ->
+      let sl = base.Netabs.hidden.(i) in
+      let seen = Array.make (Array.length sl.Netabs.cat) false in
+      Array.iter
+        (fun g ->
+          if Array.length g = 0 then invalid_arg "Merge.of_partition: empty group";
+          let c = sl.Netabs.cat.(g.(0)) in
+          Array.iter
+            (fun a ->
+              if seen.(a) then invalid_arg "Merge.of_partition: duplicate member";
+              seen.(a) <- true;
+              if sl.Netabs.cat.(a) <> c then
+                invalid_arg "Merge.of_partition: mixed categories in a group")
+            g)
+        groups;
+      if Array.exists not seen then
+        invalid_arg "Merge.of_partition: partition must cover the layer")
+    partition;
+  { base; partition; merged = rebuild base partition }
+
+(** [coarsest base] merges every layer down to at most one neuron per
+    category — the strongest (and least precise) abstraction. *)
+let coarsest base =
+  let partition =
+    Array.map
+      (fun (sl : Netabs.slayer) ->
+        let by_cat = Hashtbl.create 4 in
+        Array.iteri
+          (fun a c ->
+            let cur = try Hashtbl.find by_cat c with Not_found -> [] in
+            Hashtbl.replace by_cat c (a :: cur))
+          sl.Netabs.cat;
+        Hashtbl.fold (fun _ members acc -> Array.of_list (List.rev members) :: acc)
+          by_cat []
+        |> Array.of_list)
+      base.Netabs.hidden
+  in
+  of_partition base partition
+
+(** [finest base] keeps every copy separate — f̂ = split(f), no
+    information loss (useful as the refinement fixpoint). *)
+let finest base =
+  let partition =
+    Array.map
+      (fun (sl : Netabs.slayer) ->
+        Array.init (Array.length sl.Netabs.cat) (fun a -> [| a |]))
+      base.Netabs.hidden
+  in
+  of_partition base partition
+
+(** [refine t] splits the largest mergeable group (ties: earliest layer)
+    in half; [None] when the abstraction is already finest. *)
+let refine t =
+  let best = ref None in
+  Array.iteri
+    (fun i groups ->
+      Array.iteri
+        (fun gi g ->
+          let sz = Array.length g in
+          if sz > 1 then
+            match !best with
+            | Some (_, _, best_sz) when best_sz >= sz -> ()
+            | _ -> best := Some (i, gi, sz))
+        groups)
+    t.partition;
+  match !best with
+  | None -> None
+  | Some (layer, gi, sz) ->
+    let g = t.partition.(layer).(gi) in
+    let half = sz / 2 in
+    let left = Array.sub g 0 half and right = Array.sub g half (sz - half) in
+    let groups = Array.copy t.partition.(layer) in
+    groups.(gi) <- left;
+    let groups = Array.append groups [| right |] in
+    let partition = Array.copy t.partition in
+    partition.(layer) <- groups;
+    Some (of_partition t.base partition)
+
+(** [size t] is the hidden-neuron count of the merged network. *)
+let size t = Netabs.snet_size t.merged
+
+(** [merged_network t] is the abstraction as a plain network over the
+    {e shifted} inputs. *)
+let merged_network t = Netabs.to_network t.merged
+
+(** [eval t x] evaluates f̂ at an original (unshifted) input. *)
+let eval t x = Netabs.snet_eval t.merged x
+
+(* ------------------------------------------------------------------ *)
+(* Prop. 6 reuse check                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Map copy index -> group index for one layer. *)
+let group_of partition_layer n_copies =
+  let g = Array.make n_copies (-1) in
+  Array.iteri (fun gi members -> Array.iter (fun a -> g.(a) <- gi) members)
+    partition_layer;
+  g
+
+exception Not_reusable
+
+(** [reuses t f'] checks — by weight comparisons only, no solver — that
+    the abstraction [t] (built from [f] over its [D_in]) also dominates
+    the fine-tuned [f']: [f̂(x) ≥ f'(x)] on the same domain. Returns
+    [false] when any sufficient condition fails (sign flips relative to
+    the original split structure, missing copies, or dominance
+    violations). *)
+let reuses t net' =
+  let base = t.base in
+  try
+    Netabs.check_single_output_relu net';
+    if Cv_nn.Network.in_dim net' <> base.Netabs.input_dim then raise Not_reusable;
+    let layers' = Cv_nn.Network.layers net' in
+    let n_hidden = Array.length base.Netabs.hidden in
+    if Array.length layers' <> n_hidden + 1 then raise Not_reusable;
+    (* Copy lookup tables of the base split structure. *)
+    let index =
+      Array.map
+        (fun srcs ->
+          let h = Hashtbl.create 16 in
+          Array.iteri (fun c key -> Hashtbl.replace h key c) srcs;
+          h)
+        base.Netabs.sources
+    in
+    for i = 0 to n_hidden - 1 do
+      let l' = layers'.(i) in
+      let srcs = base.Netabs.sources.(i) in
+      let merged = t.merged.Netabs.hidden.(i) in
+      let groups = t.partition.(i) in
+      let grp = group_of groups (Array.length srcs) in
+      let prev_grp =
+        if i = 0 then [||]
+        else group_of t.partition.(i - 1) (Array.length base.Netabs.sources.(i - 1))
+      in
+      let n_prev_groups =
+        if i = 0 then Cv_nn.Layer.in_dim l' else Array.length t.partition.(i - 1)
+      in
+      Array.iteri
+        (fun a (j, cat) ->
+          let inc = Netabs.is_inc cat in
+          let gi = grp.(a) in
+          (* Route f'-row of source neuron j over the base copy
+             structure (by each edge's own sign), then sum per previous
+             group and compare against the merged weights. *)
+          let sums = Array.make n_prev_groups 0. in
+          if i = 0 then
+            for k = 0 to Cv_nn.Layer.in_dim l' - 1 do
+              sums.(k) <- Cv_linalg.Mat.get l'.Cv_nn.Layer.weights j k
+            done
+          else begin
+            let width' = Cv_nn.Layer.in_dim l' in
+            for j' = 0 to width' - 1 do
+              let w' = Cv_linalg.Mat.get l'.Cv_nn.Layer.weights j j' in
+              if w' <> 0. then begin
+                let need = Netabs.edge_copy_category w' ~target_inc:inc in
+                match Hashtbl.find_opt index.(i - 1) (j', need) with
+                | None -> raise Not_reusable (* copy absent in old structure *)
+                | Some c -> sums.(prev_grp.(c)) <- sums.(prev_grp.(c)) +. w'
+              end
+            done
+          end;
+          (* Dominance per previous group, and on the bias. *)
+          let tol = Cv_util.Float_utils.eps in
+          for h = 0 to n_prev_groups - 1 do
+            let m = Cv_linalg.Mat.get merged.Netabs.w gi h in
+            if inc then (if sums.(h) > m +. tol then raise Not_reusable)
+            else if sums.(h) < m -. tol then raise Not_reusable
+          done;
+          let b' =
+            if i = 0 then
+              l'.Cv_nn.Layer.bias.(j)
+              +. Cv_linalg.Vec.dot
+                   (Cv_linalg.Mat.row l'.Cv_nn.Layer.weights j)
+                   base.Netabs.input_shift
+            else l'.Cv_nn.Layer.bias.(j)
+          in
+          if inc then begin
+            if b' > merged.Netabs.b.(gi) +. tol then raise Not_reusable
+          end
+          else if b' < merged.Netabs.b.(gi) -. tol then raise Not_reusable)
+        srcs
+    done;
+    (* Output layer: per last-hidden group, the sum of routed f'-output
+       weights must not exceed the merged outgoing weight; bias must not
+       increase. *)
+    let out' = layers'.(n_hidden) in
+    let last_groups = t.partition.(n_hidden - 1) in
+    let last_grp =
+      group_of last_groups (Array.length base.Netabs.sources.(n_hidden - 1))
+    in
+    let sums = Array.make (Array.length last_groups) 0. in
+    let out_row' = Cv_linalg.Mat.row out'.Cv_nn.Layer.weights 0 in
+    Array.iteri
+      (fun j' w' ->
+        if w' <> 0. then begin
+          let need = Netabs.edge_copy_category w' ~target_inc:true in
+          match Hashtbl.find_opt index.(n_hidden - 1) (j', need) with
+          | None -> raise Not_reusable
+          | Some c -> sums.(last_grp.(c)) <- sums.(last_grp.(c)) +. w'
+        end)
+      out_row';
+    let tol = Cv_util.Float_utils.eps in
+    Array.iteri
+      (fun h s -> if s > t.merged.Netabs.out_w.(h) +. tol then raise Not_reusable)
+      sums;
+    if out'.Cv_nn.Layer.bias.(0) > t.merged.Netabs.out_b +. tol then
+      raise Not_reusable;
+    true
+  with Not_reusable | Netabs.Unsupported _ -> false

@@ -1,0 +1,45 @@
+(** Merging split neurons into a structural abstraction, and the Prop. 6
+    reuse check.
+
+    Merging a group of same-category copies: incoming weights and bias
+    take the entrywise {e max} for inc categories and {e min} for dec;
+    outgoing weights are summed. The merged network dominates the split
+    network pointwise on the (shifted) non-negative domain. *)
+
+type t = {
+  base : Netabs.snet;  (** the exact split network of the original f *)
+  partition : int array array array;
+      (** per hidden layer: groups of copy indices (same category) *)
+  merged : Netabs.snet;  (** the abstraction f̂ *)
+}
+
+(** [of_partition base partition] merges [base] according to
+    [partition]; every group must be non-empty and category-uniform and
+    the partition must cover each layer. *)
+val of_partition : Netabs.snet -> int array array array -> t
+
+(** [coarsest base] merges every layer down to at most one neuron per
+    category — the strongest (least precise) abstraction. *)
+val coarsest : Netabs.snet -> t
+
+(** [finest base] keeps every copy separate — no information loss. *)
+val finest : Netabs.snet -> t
+
+(** [refine t] splits the largest mergeable group in half; [None] when
+    the abstraction is already finest. *)
+val refine : t -> t option
+
+(** [size t] is the hidden-neuron count of the merged network. *)
+val size : t -> int
+
+(** [merged_network t] is the abstraction as a plain network over the
+    {e shifted} inputs (see {!Netabs.shifted_box}). *)
+val merged_network : t -> Cv_nn.Network.t
+
+(** [eval t x] evaluates f̂ at an original (unshifted) input. *)
+val eval : t -> Cv_linalg.Vec.t -> float
+
+(** [reuses t f'] checks — by weight comparisons only, no solver — that
+    the abstraction (built from [f] over its [D_in]) also dominates the
+    fine-tuned [f']: [f̂(x) ≥ f'(x)] on the same domain. *)
+val reuses : t -> Cv_nn.Network.t -> bool

@@ -1,0 +1,230 @@
+(** Structural network abstraction in the style of Elboher, Gottschlich
+    and Katz (CAV 2020) — the paper's third proof artifact (Prop. 6).
+
+    For a single-output ReLU network [f] and an upper-bound property
+    [f(x) ≤ c], the construction
+    + {e splits} every hidden neuron into up to four copies so each copy
+      has sign-uniform outgoing weights (pos/neg) and a uniform effect
+      direction on the output (inc/dec), then
+    + {e merges} same-category neurons within a layer (see {!Merge}):
+      inc groups take the entrywise {e max} of incoming weights and
+      biases, dec groups the {e min}; outgoing weights are summed.
+
+    The merged network [f̂] dominates the original pointwise —
+    [f̂(x) ≥ f(x)] for every x in the (normalised, non-negative) input
+    domain — so proving [max f̂ ≤ c] proves the property. Lower bounds
+    are handled by abstracting the negated network.
+
+    Inputs are normalised to be non-negative by shifting with the lower
+    bounds of [D_in] (the domination argument for merged incoming
+    weights needs non-negative predecessor values; hidden layers are
+    post-ReLU so only the input layer needs the shift). The verified
+    head of the paper's experiment takes post-ReLU "Flatten" features,
+    which are non-negative already. *)
+
+type category = Pos_inc | Pos_dec | Neg_inc | Neg_dec
+
+let category_name = function
+  | Pos_inc -> "pos/inc"
+  | Pos_dec -> "pos/dec"
+  | Neg_inc -> "neg/inc"
+  | Neg_dec -> "neg/dec"
+
+let is_inc = function Pos_inc | Neg_inc -> true | Pos_dec | Neg_dec -> false
+
+let is_pos = function Pos_inc | Pos_dec -> true | Neg_inc | Neg_dec -> false
+
+(** One split hidden layer: ReLU neurons with incoming weights from the
+    previous split layer (or the shifted inputs) and a category each. *)
+type slayer = {
+  w : Cv_linalg.Mat.t;  (** out × in *)
+  b : Cv_linalg.Vec.t;
+  cat : category array;  (** per out-neuron *)
+}
+
+(** A split network: hidden ReLU layers, then a single-output identity
+    layer [out_w · h + out_b]. Evaluation shifts the original input by
+    [input_shift] first, so the effective input domain is
+    non-negative. *)
+type snet = {
+  input_dim : int;
+  input_shift : Cv_linalg.Vec.t;  (** original x = shifted x' + input_shift *)
+  hidden : slayer array;
+  out_w : Cv_linalg.Vec.t;
+  out_b : float;
+  sources : (int * category) array array;
+      (** per hidden layer: the original neuron and category each split
+          copy came from — retained for the Prop. 6 reuse check *)
+}
+
+exception Unsupported of string
+
+let check_single_output_relu net =
+  if Cv_nn.Network.out_dim net <> 1 then
+    raise (Unsupported "Netabs: network must have a single output");
+  let layers = Cv_nn.Network.layers net in
+  let n = Array.length layers in
+  Array.iteri
+    (fun i (l : Cv_nn.Layer.t) ->
+      match (l.Cv_nn.Layer.act, i = n - 1) with
+      | Cv_nn.Activation.Relu, false -> ()
+      | Cv_nn.Activation.Identity, true -> ()
+      | act, _ ->
+        raise
+          (Unsupported
+             (Printf.sprintf "Netabs: layer %d has activation %s" (i + 1)
+                (Cv_nn.Activation.to_string act))))
+    layers;
+  if n < 2 then raise (Unsupported "Netabs: need at least one hidden layer")
+
+(* Category of the copy of a source neuron that carries an edge of
+   weight [w] into a target whose direction is [target_inc]. The output
+   neuron itself counts as inc. *)
+let edge_copy_category w ~target_inc =
+  if w >= 0. then if target_inc then Pos_inc else Pos_dec
+  else if target_inc then Neg_dec
+  else Neg_inc
+
+(** [split net ~din] produces the split network over inputs shifted by
+    the lower bounds of [din]. Splitting preserves the function exactly
+    ([snet_eval] agrees with [Network.eval]); it only prepares the
+    sign/direction-uniform structure that merging needs. Raises
+    {!Unsupported} for non-ReLU or multi-output networks. *)
+let split net ~din =
+  check_single_output_relu net;
+  let layers = Cv_nn.Network.layers net in
+  let n = Array.length layers in
+  if Cv_interval.Box.dim din <> Cv_nn.Network.in_dim net then
+    invalid_arg "Netabs.split: din dimension";
+  let input_shift = Cv_interval.Box.lower din in
+  (* Backward pass: decide the copy set of each hidden layer.
+     copies.(i) lists (source_neuron, category) in copy order;
+     index.(i) maps (source_neuron, category) to the copy position. *)
+  let copies = Array.make (n - 1) [||] in
+  let index = Array.make (n - 1) (Hashtbl.create 0) in
+  (* Neurons of the layer above the one being split: (incoming row over
+     the unsplit current layer, inc?). Initially the output neuron. *)
+  let above = ref [| (Cv_linalg.Mat.row layers.(n - 1).Cv_nn.Layer.weights 0, true) |] in
+  for i = n - 2 downto 0 do
+    let width = Cv_nn.Layer.out_dim layers.(i) in
+    let table = Hashtbl.create 16 in
+    let order = ref [] in
+    Array.iter
+      (fun (row, inc) ->
+        for j = 0 to width - 1 do
+          if row.(j) <> 0. then begin
+            let cat = edge_copy_category row.(j) ~target_inc:inc in
+            if not (Hashtbl.mem table (j, cat)) then begin
+              Hashtbl.add table (j, cat) (List.length !order);
+              order := (j, cat) :: !order
+            end
+          end
+        done)
+      !above;
+    copies.(i) <- Array.of_list (List.rev !order);
+    index.(i) <- table;
+    if i > 0 then
+      above :=
+        Array.map
+          (fun (j, cat) ->
+            (Cv_linalg.Mat.row layers.(i).Cv_nn.Layer.weights j, is_inc cat))
+          copies.(i)
+  done;
+  (* Forward build of the split layers. Each copy keeps the full
+     incoming row of its source neuron; an edge from source j' is routed
+     to the unique copy of j' whose category matches the edge sign and
+     this copy's direction (so every original edge is used exactly once
+     and the function is preserved). *)
+  let hidden =
+    Array.init (n - 1) (fun i ->
+        let l = layers.(i) in
+        let srcs = copies.(i) in
+        let n_copies = Array.length srcs in
+        let in_width =
+          if i = 0 then Cv_nn.Layer.in_dim l else Array.length copies.(i - 1)
+        in
+        let w =
+          Cv_linalg.Mat.init n_copies in_width (fun c k ->
+              let j, my_cat = srcs.(c) in
+              if i = 0 then Cv_linalg.Mat.get l.Cv_nn.Layer.weights j k
+              else begin
+                let j', k_cat = copies.(i - 1).(k) in
+                let orig = Cv_linalg.Mat.get l.Cv_nn.Layer.weights j j' in
+                if orig = 0. then 0.
+                else if
+                  k_cat = edge_copy_category orig ~target_inc:(is_inc my_cat)
+                then orig
+                else 0.
+              end)
+        in
+        let b =
+          Array.map
+            (fun (j, _) ->
+              if i = 0 then begin
+                (* Absorb the input shift into the first-layer bias. *)
+                let row = Cv_linalg.Mat.row l.Cv_nn.Layer.weights j in
+                l.Cv_nn.Layer.bias.(j) +. Cv_linalg.Vec.dot row input_shift
+              end
+              else l.Cv_nn.Layer.bias.(j))
+            srcs
+        in
+        { w; b; cat = Array.map snd srcs })
+  in
+  let last = copies.(n - 2) in
+  let out_row = Cv_linalg.Mat.row layers.(n - 1).Cv_nn.Layer.weights 0 in
+  let out_w =
+    Array.map
+      (fun (j, cat) ->
+        let orig = out_row.(j) in
+        if orig <> 0. && cat = edge_copy_category orig ~target_inc:true then orig
+        else 0.)
+      last
+  in
+  { input_dim = Cv_nn.Network.in_dim net;
+    input_shift;
+    hidden;
+    out_w;
+    out_b = layers.(n - 1).Cv_nn.Layer.bias.(0);
+    sources = copies }
+
+(** [snet_eval s x] evaluates the split network at an {e original}
+    (unshifted) input — tests confirm it agrees exactly with the source
+    network. *)
+let snet_eval s x =
+  let x' = Cv_linalg.Vec.sub x s.input_shift in
+  let v = ref x' in
+  Array.iter
+    (fun sl ->
+      v := Array.map Cv_util.Float_utils.relu (Cv_linalg.Mat.matvec_add sl.w !v sl.b))
+    s.hidden;
+  Cv_linalg.Vec.dot s.out_w !v +. s.out_b
+
+(** [snet_size s] is the total hidden-neuron count after splitting. *)
+let snet_size s = Array.fold_left (fun acc sl -> acc + Array.length sl.cat) 0 s.hidden
+
+(** [shifted_box din shift] is the non-negative input box of the split
+    network: [din] translated by [-shift]. *)
+let shifted_box din shift =
+  Array.mapi
+    (fun i iv ->
+      Cv_interval.Interval.make
+        (Cv_interval.Interval.lo iv -. shift.(i))
+        (Cv_interval.Interval.hi iv -. shift.(i)))
+    din
+
+(** [to_network s] converts a split network to a plain {!Cv_nn.Network}
+    over the {e shifted} inputs (callers shift the box with
+    {!shifted_box}). *)
+let to_network s =
+  let hidden_layers =
+    Array.to_list
+      (Array.map
+         (fun sl -> Cv_nn.Layer.make sl.w sl.b Cv_nn.Activation.Relu)
+         s.hidden)
+  in
+  let out_layer =
+    Cv_nn.Layer.make
+      (Cv_linalg.Mat.of_rows [ s.out_w ])
+      [| s.out_b |] Cv_nn.Activation.Identity
+  in
+  Cv_nn.Network.of_list (hidden_layers @ [ out_layer ])

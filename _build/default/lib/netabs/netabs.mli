@@ -1,0 +1,62 @@
+(** Structural network abstraction in the style of Elboher, Gottschlich
+    and Katz (CAV 2020) — neuron splitting by outgoing-sign and
+    output-effect direction, the preprocessing step before {!Merge}.
+    Splitting preserves the function exactly; inputs are shifted by the
+    lower bounds of [D_in] so the domination arguments apply. *)
+
+type category = Pos_inc | Pos_dec | Neg_inc | Neg_dec
+
+val category_name : category -> string
+
+val is_inc : category -> bool
+
+val is_pos : category -> bool
+
+(** One split hidden layer: ReLU neurons with incoming weights from the
+    previous split layer (or the shifted inputs) and a category each. *)
+type slayer = {
+  w : Cv_linalg.Mat.t;
+  b : Cv_linalg.Vec.t;
+  cat : category array;
+}
+
+(** A split network: hidden ReLU layers, then a single-output identity
+    layer. *)
+type snet = {
+  input_dim : int;
+  input_shift : Cv_linalg.Vec.t;  (** original x = shifted x' + input_shift *)
+  hidden : slayer array;
+  out_w : Cv_linalg.Vec.t;
+  out_b : float;
+  sources : (int * category) array array;
+      (** per hidden layer: source neuron and category of each copy *)
+}
+
+exception Unsupported of string
+
+(** [check_single_output_relu net] raises {!Unsupported} unless [net] is
+    a single-output ReLU network with an identity output layer. *)
+val check_single_output_relu : Cv_nn.Network.t -> unit
+
+(** [edge_copy_category w ~target_inc] is the category of the copy
+    carrying an edge of weight [w] into a target of the given
+    direction. *)
+val edge_copy_category : float -> target_inc:bool -> category
+
+(** [split net ~din] produces the split network (function-preserving).
+    Raises {!Unsupported} for non-ReLU or multi-output networks. *)
+val split : Cv_nn.Network.t -> din:Cv_interval.Box.t -> snet
+
+(** [snet_eval s x] evaluates at an {e original} (unshifted) input. *)
+val snet_eval : snet -> Cv_linalg.Vec.t -> float
+
+(** [snet_size s] is the total hidden-neuron count after splitting. *)
+val snet_size : snet -> int
+
+(** [shifted_box din shift] is the non-negative input box of the split
+    network. *)
+val shifted_box : Cv_interval.Box.t -> Cv_linalg.Vec.t -> Cv_interval.Box.t
+
+(** [to_network s] converts to a plain network over the {e shifted}
+    inputs. *)
+val to_network : snet -> Cv_nn.Network.t

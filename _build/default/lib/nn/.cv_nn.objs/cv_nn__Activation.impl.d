@@ -1,0 +1,1 @@
+lib/nn/activation.ml: Array Cv_interval Cv_util Float Printf

@@ -1,0 +1,1 @@
+lib/nn/conv.ml: Activation Array Cv_linalg Cv_util Layer

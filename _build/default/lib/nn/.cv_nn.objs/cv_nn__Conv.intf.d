@@ -1,0 +1,1 @@
+lib/nn/conv.mli: Activation Cv_util Layer

@@ -1,0 +1,1 @@
+lib/nn/describe.ml: Activation Array Buffer Layer List Network Printf String

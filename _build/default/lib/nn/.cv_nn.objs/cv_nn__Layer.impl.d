@@ -1,0 +1,1 @@
+lib/nn/layer.ml: Activation Array Cv_linalg Cv_util Float

@@ -1,0 +1,1 @@
+lib/nn/layer.mli: Activation Cv_linalg Cv_util

@@ -1,0 +1,1 @@
+lib/nn/network.ml: Activation Array Cv_util Float Layer List Printf

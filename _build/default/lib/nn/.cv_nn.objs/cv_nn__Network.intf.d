@@ -1,0 +1,1 @@
+lib/nn/network.mli: Activation Cv_linalg Cv_util Layer

@@ -1,0 +1,1 @@
+lib/nn/nnet.ml: Activation Array Buffer Cv_interval Cv_linalg Fun Layer List Network Printf String

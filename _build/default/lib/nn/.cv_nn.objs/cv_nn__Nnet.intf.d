@@ -1,0 +1,1 @@
+lib/nn/nnet.mli: Cv_interval Network

@@ -1,0 +1,1 @@
+lib/nn/serialize.ml: Cv_util Fun Network

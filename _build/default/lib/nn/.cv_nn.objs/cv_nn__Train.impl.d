@@ -1,0 +1,1 @@
+lib/nn/train.ml: Activation Array Cv_linalg Cv_util Layer List Network

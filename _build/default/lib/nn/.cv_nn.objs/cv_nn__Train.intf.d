@@ -1,0 +1,1 @@
+lib/nn/train.mli: Cv_linalg Network

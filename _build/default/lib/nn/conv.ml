@@ -1,0 +1,116 @@
+(** 2-D convolution lowered to dense layers.
+
+    The paper's perception network is a CNN whose convolutional part is
+    frozen and cut away before verification (Figure 4); only the dense
+    head is verified. To model that pipeline faithfully, this module
+    materialises a convolution (kernel, stride, ReLU) as an ordinary
+    {!Layer} whose weight matrix is the (sparse-in-content, dense-in-
+    representation) im2row operator — so the frozen extractor really is
+    a convolution, while remaining a plain affine layer for every
+    analysis in the repo.
+
+    Layout conventions: images are row-major flattened [height × width]
+    single-channel vectors (matching {!Cv_vehicle.Camera}); multiple
+    output channels are stacked feature-map-major. *)
+
+type spec = {
+  in_height : int;
+  in_width : int;
+  kernel : int;  (** square kernel side *)
+  stride : int;
+  out_channels : int;
+}
+
+(** [out_dims spec] is [(out_height, out_width)]. *)
+let out_dims spec =
+  if spec.kernel > spec.in_height || spec.kernel > spec.in_width then
+    invalid_arg "Conv.out_dims: kernel larger than image";
+  if spec.stride < 1 then invalid_arg "Conv.out_dims: stride";
+  ( ((spec.in_height - spec.kernel) / spec.stride) + 1,
+    ((spec.in_width - spec.kernel) / spec.stride) + 1 )
+
+(** [output_size spec] is the flattened output dimension. *)
+let output_size spec =
+  let oh, ow = out_dims spec in
+  oh * ow * spec.out_channels
+
+(** [to_layer spec ~kernels ~bias ~act] lowers the convolution to a
+    dense layer. [kernels.(c)] is channel [c]'s kernel as a
+    [kernel × kernel] row-major array; [bias.(c)] is per-channel. *)
+let to_layer spec ~kernels ~bias ~act =
+  if Array.length kernels <> spec.out_channels then
+    invalid_arg "Conv.to_layer: kernel count";
+  if Array.length bias <> spec.out_channels then
+    invalid_arg "Conv.to_layer: bias count";
+  Array.iter
+    (fun k ->
+      if Array.length k <> spec.kernel * spec.kernel then
+        invalid_arg "Conv.to_layer: kernel size")
+    kernels;
+  let oh, ow = out_dims spec in
+  let out_dim = oh * ow * spec.out_channels in
+  let in_dim = spec.in_height * spec.in_width in
+  let w = Cv_linalg.Mat.zeros out_dim in_dim in
+  let b = Array.make out_dim 0. in
+  for c = 0 to spec.out_channels - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let row = (c * oh * ow) + (oy * ow) + ox in
+        b.(row) <- bias.(c);
+        for ky = 0 to spec.kernel - 1 do
+          for kx = 0 to spec.kernel - 1 do
+            let iy = (oy * spec.stride) + ky in
+            let ix = (ox * spec.stride) + kx in
+            Cv_linalg.Mat.set w row
+              ((iy * spec.in_width) + ix)
+              kernels.(c).((ky * spec.kernel) + kx)
+          done
+        done
+      done
+    done
+  done;
+  Layer.make w b act
+
+(** [random ?rng spec ~act] draws Glorot-scaled random kernels — the
+    frozen random extractor used as the conv stand-in. *)
+let random ?rng spec ~act =
+  let rng = match rng with Some r -> r | None -> Cv_util.Rng.create 29 in
+  let fan = float_of_int (spec.kernel * spec.kernel) in
+  let limit = sqrt (3. /. fan) in
+  let kernels =
+    Array.init spec.out_channels (fun _ ->
+        Cv_util.Rng.uniform_array rng (spec.kernel * spec.kernel) ~lo:(-.limit)
+          ~hi:limit)
+  in
+  let bias =
+    Array.init spec.out_channels (fun _ -> Cv_util.Rng.float rng ~lo:0. ~hi:0.05)
+  in
+  to_layer spec ~kernels ~bias ~act
+
+(** [eval_direct spec ~kernels ~bias ~act img] computes the convolution
+    without materialising the matrix — reference implementation used by
+    the tests to validate {!to_layer}. *)
+let eval_direct spec ~kernels ~bias ~act img =
+  if Array.length img <> spec.in_height * spec.in_width then
+    invalid_arg "Conv.eval_direct: image size";
+  let oh, ow = out_dims spec in
+  let out = Array.make (oh * ow * spec.out_channels) 0. in
+  for c = 0 to spec.out_channels - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let acc = ref bias.(c) in
+        for ky = 0 to spec.kernel - 1 do
+          for kx = 0 to spec.kernel - 1 do
+            let iy = (oy * spec.stride) + ky in
+            let ix = (ox * spec.stride) + kx in
+            acc :=
+              !acc
+              +. (kernels.(c).((ky * spec.kernel) + kx)
+                 *. img.((iy * spec.in_width) + ix))
+          done
+        done;
+        out.((c * oh * ow) + (oy * ow) + ox) <- Activation.apply act !acc
+      done
+    done
+  done;
+  out

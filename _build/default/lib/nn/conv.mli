@@ -1,0 +1,42 @@
+(** 2-D convolution lowered to dense layers — the frozen conv stack of
+    the paper's perception network, represented as a plain affine layer
+    so every analysis in the repo applies unchanged. *)
+
+type spec = {
+  in_height : int;
+  in_width : int;
+  kernel : int;  (** square kernel side *)
+  stride : int;
+  out_channels : int;
+}
+
+(** [out_dims spec] is [(out_height, out_width)]. *)
+val out_dims : spec -> int * int
+
+(** [output_size spec] is the flattened output dimension. *)
+val output_size : spec -> int
+
+(** [to_layer spec ~kernels ~bias ~act] lowers the convolution to a
+    dense layer; [kernels.(c)] is channel [c]'s row-major
+    [kernel × kernel] array. *)
+val to_layer :
+  spec ->
+  kernels:float array array ->
+  bias:float array ->
+  act:Activation.t ->
+  Layer.t
+
+(** [random ?rng spec ~act] draws Glorot-scaled random kernels — the
+    frozen random extractor. *)
+val random : ?rng:Cv_util.Rng.t -> spec -> act:Activation.t -> Layer.t
+
+(** [eval_direct spec ~kernels ~bias ~act img] computes the convolution
+    without materialising the matrix — the reference implementation used
+    by tests to validate {!to_layer}. *)
+val eval_direct :
+  spec ->
+  kernels:float array array ->
+  bias:float array ->
+  act:Activation.t ->
+  float array ->
+  float array

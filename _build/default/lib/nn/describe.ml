@@ -1,0 +1,29 @@
+(** Human-readable network summaries (the paper's Figure 4 is an
+    architecture diagram of the verified head; the bench regenerates it
+    as this table). *)
+
+(** [layer_table net] renders one line per layer:
+    index, shape, activation, parameter count. *)
+let layer_table net =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s %-14s %-16s %10s\n" "layer" "shape" "activation" "params");
+  Array.iteri
+    (fun i (l : Layer.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6d %-14s %-16s %10d\n" (i + 1)
+           (Printf.sprintf "%d -> %d" (Layer.in_dim l) (Layer.out_dim l))
+           (Activation.to_string l.Layer.act)
+           (Layer.num_params l)))
+    (Network.layers net);
+  Buffer.add_string buf
+    (Printf.sprintf "total: %d layers, %d neurons, %d parameters\n"
+       (Network.num_layers net) (Network.num_neurons net)
+       (Network.num_params net));
+  Buffer.contents buf
+
+(** [shape_string net] is e.g. ["[8; 16; 16; 1]"]. *)
+let shape_string net =
+  "["
+  ^ String.concat "; " (List.map string_of_int (Network.layer_dims net))
+  ^ "]"

@@ -1,0 +1,9 @@
+(** Human-readable network summaries (the bench regenerates the paper's
+    Figure 4 architecture diagram as this table). *)
+
+(** [layer_table net] renders one line per layer: index, shape,
+    activation, parameter count, plus totals. *)
+val layer_table : Network.t -> string
+
+(** [shape_string net] is e.g. ["[8; 16; 16; 1]"]. *)
+val shape_string : Network.t -> string

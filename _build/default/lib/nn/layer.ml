@@ -1,0 +1,75 @@
+(** One fully-connected layer: [x ↦ act (W x + b)].
+
+    In the paper's notation this is one [g_k]; a network is the
+    composition [g_n ⊗ … ⊗ g_1]. *)
+
+type t = {
+  weights : Cv_linalg.Mat.t;  (** [out_dim × in_dim] *)
+  bias : Cv_linalg.Vec.t;  (** [out_dim] *)
+  act : Activation.t;
+}
+
+(** [make weights bias act] validates shapes and builds a layer. *)
+let make weights bias act =
+  if Cv_linalg.Mat.rows weights <> Cv_linalg.Vec.dim bias then
+    invalid_arg "Layer.make: bias dimension mismatch";
+  { weights; bias; act }
+
+(** [in_dim l] is the input dimension. *)
+let in_dim l = Cv_linalg.Mat.cols l.weights
+
+(** [out_dim l] is the output dimension. *)
+let out_dim l = Cv_linalg.Mat.rows l.weights
+
+(** [num_params l] counts weights plus biases. *)
+let num_params l = (in_dim l * out_dim l) + out_dim l
+
+(** [pre_activation l x] is [W x + b] (the neuron values before the
+    nonlinearity — what the MILP encoder constrains). *)
+let pre_activation l x = Cv_linalg.Mat.matvec_add l.weights x l.bias
+
+(** [eval l x] is the layer output [act (W x + b)]. *)
+let eval l x = Activation.apply_vec l.act (pre_activation l x)
+
+(** [random ?rng ~in_dim ~out_dim act] draws a Glorot-initialised
+    layer. *)
+let random ?rng ~in_dim ~out_dim act =
+  let rng = match rng with Some r -> r | None -> Cv_util.Rng.create 17 in
+  let weights = Cv_linalg.Mat.xavier ~rng out_dim in_dim in
+  let bias = Cv_util.Rng.uniform_array rng out_dim ~lo:(-0.1) ~hi:0.1 in
+  { weights; bias; act }
+
+(** [perturb ?rng ~sigma l] adds iid Gaussian noise to every parameter —
+    a crude stand-in for fine-tuning used in tests (real fine-tuning goes
+    through {!Train.fine_tune}). *)
+let perturb ?rng ~sigma l =
+  let rng = match rng with Some r -> r | None -> Cv_util.Rng.create 19 in
+  let weights =
+    Cv_linalg.Mat.map (fun w -> w +. Cv_util.Rng.gaussian rng ~mu:0. ~sigma) l.weights
+  in
+  let bias = Array.map (fun b -> b +. Cv_util.Rng.gaussian rng ~mu:0. ~sigma) l.bias in
+  { l with weights; bias }
+
+(** [param_dist_inf a b] is the max absolute parameter difference between
+    two same-shaped layers. *)
+let param_dist_inf a b =
+  if in_dim a <> in_dim b || out_dim a <> out_dim b then
+    invalid_arg "Layer.param_dist_inf: shape mismatch";
+  let dw = Cv_linalg.Mat.max_abs (Cv_linalg.Mat.sub a.weights b.weights) in
+  let db = Cv_util.Float_utils.max_abs (Cv_linalg.Vec.sub a.bias b.bias) in
+  Float.max dw db
+
+(** [to_json l] encodes the layer. *)
+let to_json l =
+  Cv_util.Json.Obj
+    [ ("weights", Cv_linalg.Mat.to_json l.weights);
+      ("bias", Cv_util.Json.of_float_array l.bias);
+      ("act", Activation.to_json l.act) ]
+
+(** [of_json j] decodes a layer written by {!to_json}. *)
+let of_json j =
+  let open Cv_util.Json in
+  make
+    (Cv_linalg.Mat.of_json (member "weights" j))
+    (float_array (member "bias" j))
+    (Activation.of_json (member "act" j))

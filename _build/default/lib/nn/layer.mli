@@ -1,0 +1,41 @@
+(** One fully-connected layer: [x ↦ act (W x + b)] — the paper's
+    [g_k]. *)
+
+type t = {
+  weights : Cv_linalg.Mat.t;  (** [out_dim × in_dim] *)
+  bias : Cv_linalg.Vec.t;  (** [out_dim] *)
+  act : Activation.t;
+}
+
+(** [make weights bias act] validates shapes and builds a layer. *)
+val make : Cv_linalg.Mat.t -> Cv_linalg.Vec.t -> Activation.t -> t
+
+val in_dim : t -> int
+
+val out_dim : t -> int
+
+(** [num_params l] counts weights plus biases. *)
+val num_params : t -> int
+
+(** [pre_activation l x] is [W x + b] (the neuron values the MILP
+    encoder constrains). *)
+val pre_activation : t -> Cv_linalg.Vec.t -> Cv_linalg.Vec.t
+
+(** [eval l x] is the layer output [act (W x + b)]. *)
+val eval : t -> Cv_linalg.Vec.t -> Cv_linalg.Vec.t
+
+(** [random ?rng ~in_dim ~out_dim act] draws a Glorot-initialised
+    layer. *)
+val random : ?rng:Cv_util.Rng.t -> in_dim:int -> out_dim:int -> Activation.t -> t
+
+(** [perturb ?rng ~sigma l] adds iid Gaussian noise to every parameter —
+    a crude fine-tuning stand-in used by tests. *)
+val perturb : ?rng:Cv_util.Rng.t -> sigma:float -> t -> t
+
+(** [param_dist_inf a b] is the max absolute parameter difference
+    between two same-shaped layers. *)
+val param_dist_inf : t -> t -> float
+
+val to_json : t -> Cv_util.Json.t
+
+val of_json : Cv_util.Json.t -> t

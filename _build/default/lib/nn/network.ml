@@ -1,0 +1,148 @@
+(** Feed-forward networks as layer sequences — the object of
+    verification.
+
+    A network [f = g_n ⊗ … ⊗ g_1] is a non-empty array of layers whose
+    dimensions chain. Slicing helpers ([prefix], [suffix], [slice])
+    extract the sub-networks that Propositions 1, 2, 4 and 5 verify
+    locally. *)
+
+type t = { layers : Layer.t array }
+
+(** [make layers] validates chaining and builds a network. *)
+let make layers =
+  if Array.length layers = 0 then invalid_arg "Network.make: no layers";
+  for i = 0 to Array.length layers - 2 do
+    if Layer.out_dim layers.(i) <> Layer.in_dim layers.(i + 1) then
+      invalid_arg
+        (Printf.sprintf "Network.make: layer %d out %d <> layer %d in %d" i
+           (Layer.out_dim layers.(i))
+           (i + 1)
+           (Layer.in_dim layers.(i + 1)))
+  done;
+  { layers = Array.copy layers }
+
+(** [of_list layers] is {!make} on a list. *)
+let of_list layers = make (Array.of_list layers)
+
+(** [layers net] is the layer array (copy). *)
+let layers net = Array.copy net.layers
+
+(** [layer net i] is the [i]-th layer (0-based). *)
+let layer net i = net.layers.(i)
+
+(** [num_layers net] is [n], the number of layers. *)
+let num_layers net = Array.length net.layers
+
+(** [in_dim net] is the input dimension of the whole network. *)
+let in_dim net = Layer.in_dim net.layers.(0)
+
+(** [out_dim net] is the output dimension of the whole network. *)
+let out_dim net = Layer.out_dim net.layers.(Array.length net.layers - 1)
+
+(** [num_params net] is the total parameter count. *)
+let num_params net =
+  Array.fold_left (fun acc l -> acc + Layer.num_params l) 0 net.layers
+
+(** [num_neurons net] is the total hidden+output neuron count. *)
+let num_neurons net =
+  Array.fold_left (fun acc l -> acc + Layer.out_dim l) 0 net.layers
+
+(** [layer_dims net] is [in_dim; out_dim of each layer] — the shape
+    vector printed by [Describe]. *)
+let layer_dims net =
+  in_dim net :: List.map Layer.out_dim (Array.to_list net.layers)
+
+(** [eval net x] runs a forward pass. *)
+let eval net x = Array.fold_left (fun acc l -> Layer.eval l acc) x net.layers
+
+(** [eval_trace net x] runs a forward pass and returns the output of
+    every layer, i.e. the concrete values the state abstractions
+    [S_1..S_n] must contain. Element [i] is the output of layer [i]. *)
+let eval_trace net x =
+  let n = Array.length net.layers in
+  let trace = Array.make n [||] in
+  let acc = ref x in
+  for i = 0 to n - 1 do
+    acc := Layer.eval net.layers.(i) !acc;
+    trace.(i) <- !acc
+  done;
+  trace
+
+(** [prefix net k] is the sub-network of the first [k >= 1] layers
+    ([g_k ⊗ … ⊗ g_1]). *)
+let prefix net k =
+  if k < 1 || k > Array.length net.layers then invalid_arg "Network.prefix";
+  { layers = Array.sub net.layers 0 k }
+
+(** [suffix net k] is the sub-network from layer [k] (0-based) to the
+    end ([g_n ⊗ … ⊗ g_{k+1}] in paper numbering). *)
+let suffix net k =
+  let n = Array.length net.layers in
+  if k < 0 || k >= n then invalid_arg "Network.suffix";
+  { layers = Array.sub net.layers k (n - k) }
+
+(** [slice net ~from_ ~to_] is layers [from_ .. to_ - 1] (0-based,
+    half-open): the local subproblem networks of Propositions 2/4/5. *)
+let slice net ~from_ ~to_ =
+  let n = Array.length net.layers in
+  if from_ < 0 || to_ > n || from_ >= to_ then invalid_arg "Network.slice";
+  { layers = Array.sub net.layers from_ (to_ - from_) }
+
+(** [compose a b] is the network running [a] then [b]. *)
+let compose a b =
+  if out_dim a <> in_dim b then invalid_arg "Network.compose: dims";
+  { layers = Array.append a.layers b.layers }
+
+(** [same_shape a b] is true when both networks have identical layer
+    dimensions and activations — the precondition for parameter-wise
+    comparison of [f] and its fine-tuned [f']. *)
+let same_shape a b =
+  Array.length a.layers = Array.length b.layers
+  && Array.for_all2
+       (fun (la : Layer.t) (lb : Layer.t) ->
+         Layer.in_dim la = Layer.in_dim lb
+         && Layer.out_dim la = Layer.out_dim lb
+         && la.Layer.act = lb.Layer.act)
+       a.layers b.layers
+
+(** [param_dist_inf a b] is the max absolute parameter difference across
+    all layers; quantifies how far a fine-tuned [f'] drifted from [f]. *)
+let param_dist_inf a b =
+  if not (same_shape a b) then invalid_arg "Network.param_dist_inf: shape";
+  Array.fold_left Float.max 0.
+    (Array.map2 Layer.param_dist_inf a.layers b.layers)
+
+(** [map_layers f net] rebuilds the network with [f] applied to each
+    layer (shape-preserving uses only). *)
+let map_layers f net = make (Array.map f net.layers)
+
+(** [random ?rng ~dims ~act ()] draws a random MLP with hidden activation
+    [act] and [Identity] output; [dims] lists all layer widths including
+    input and output, e.g. [[4; 8; 8; 1]]. *)
+let random ?rng ~dims ~act () =
+  let rng = match rng with Some r -> r | None -> Cv_util.Rng.create 23 in
+  match dims with
+  | _ :: _ :: _ ->
+    let pairs = List.combine (List.filteri (fun i _ -> i < List.length dims - 1) dims)
+                              (List.tl dims) in
+    let n = List.length pairs in
+    let layers =
+      List.mapi
+        (fun i (din, dout) ->
+          let a = if i = n - 1 then Activation.Identity else act in
+          Layer.random ~rng ~in_dim:din ~out_dim:dout a)
+        pairs
+    in
+    of_list layers
+  | _ -> invalid_arg "Network.random: need at least 2 dims"
+
+(** [to_json net] encodes the network. *)
+let to_json net =
+  Cv_util.Json.Obj
+    [ ("layers",
+       Cv_util.Json.List (Array.to_list (Array.map Layer.to_json net.layers))) ]
+
+(** [of_json j] decodes a network written by {!to_json}. *)
+let of_json j =
+  let open Cv_util.Json in
+  member "layers" j |> to_list |> List.map Layer.of_json |> of_list

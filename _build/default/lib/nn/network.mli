@@ -1,0 +1,73 @@
+(** Feed-forward networks as layer sequences — the object of
+    verification ([f = g_n ⊗ … ⊗ g_1]). Slicing helpers extract the
+    sub-networks that Propositions 1, 2, 4 and 5 verify locally. *)
+
+type t
+
+(** [make layers] validates dimension chaining and builds a network. *)
+val make : Layer.t array -> t
+
+val of_list : Layer.t list -> t
+
+(** [layers net] is the layer array (a copy). *)
+val layers : t -> Layer.t array
+
+(** [layer net i] is the [i]-th layer (0-based). *)
+val layer : t -> int -> Layer.t
+
+(** [num_layers net] is [n]. *)
+val num_layers : t -> int
+
+val in_dim : t -> int
+
+val out_dim : t -> int
+
+val num_params : t -> int
+
+(** [num_neurons net] is the total hidden+output neuron count. *)
+val num_neurons : t -> int
+
+(** [layer_dims net] lists all widths including input and output. *)
+val layer_dims : t -> int list
+
+(** [eval net x] runs a forward pass. *)
+val eval : t -> Cv_linalg.Vec.t -> Cv_linalg.Vec.t
+
+(** [eval_trace net x] returns the output of every layer — the concrete
+    values the state abstractions must contain. *)
+val eval_trace : t -> Cv_linalg.Vec.t -> Cv_linalg.Vec.t array
+
+(** [prefix net k] is the sub-network of the first [k >= 1] layers. *)
+val prefix : t -> int -> t
+
+(** [suffix net k] is the sub-network from layer [k] (0-based) to the
+    end. *)
+val suffix : t -> int -> t
+
+(** [slice net ~from_ ~to_] is layers [from_ .. to_ - 1] (0-based,
+    half-open) — the local subproblem networks. *)
+val slice : t -> from_:int -> to_:int -> t
+
+(** [compose a b] runs [a] then [b]. *)
+val compose : t -> t -> t
+
+(** [same_shape a b] — identical layer dimensions and activations (the
+    precondition for comparing [f] and a fine-tuned [f']). *)
+val same_shape : t -> t -> bool
+
+(** [param_dist_inf a b] is the max absolute parameter difference across
+    all layers. *)
+val param_dist_inf : t -> t -> float
+
+(** [map_layers f net] rebuilds the network with [f] applied to each
+    layer. *)
+val map_layers : (Layer.t -> Layer.t) -> t -> t
+
+(** [random ?rng ~dims ~act ()] draws a random MLP with hidden
+    activation [act] and [Identity] output; [dims] lists all widths,
+    e.g. [[4; 8; 8; 1]]. *)
+val random : ?rng:Cv_util.Rng.t -> dims:int list -> act:Activation.t -> unit -> t
+
+val to_json : t -> Cv_util.Json.t
+
+val of_json : Cv_util.Json.t -> t

@@ -1,0 +1,174 @@
+(** The .nnet interchange format (Stanford/Reluplex community standard,
+    used by ACAS-Xu and most NN-verification benchmarks).
+
+    Supported: the full textual format — comment header, layer sizes,
+    input bounds, normalisation means/ranges, then per layer the weight
+    rows and biases. Hidden layers are ReLU, the output layer linear,
+    exactly this library's verified-head shape; loading therefore gives
+    a ready {!Network} plus the declared input box, so external
+    benchmark networks can be dropped straight into the verification
+    pipeline. *)
+
+type t = {
+  network : Network.t;
+  input_box : Cv_interval.Box.t;  (** declared input mins/maxes *)
+  means : float array;  (** per-input means, last entry = output mean *)
+  ranges : float array;  (** per-input ranges, last entry = output range *)
+}
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let split_csv line =
+  String.split_on_char ',' line
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let floats_of_line line =
+  List.map
+    (fun s ->
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> parse_error "bad number %S" s)
+    (split_csv line)
+
+(** [parse contents] reads a .nnet document from a string. *)
+let parse contents =
+  let lines =
+    String.split_on_char '\n' contents
+    |> List.map String.trim
+    |> List.filter (fun l ->
+           l <> "" && not (String.length l >= 2 && String.sub l 0 2 = "//"))
+  in
+  let next = ref lines in
+  let take what =
+    match !next with
+    | [] -> parse_error "unexpected end of file (expecting %s)" what
+    | l :: rest ->
+      next := rest;
+      l
+  in
+  let header = floats_of_line (take "header") in
+  let num_layers, input_size, output_size =
+    match header with
+    | nl :: is :: os :: _ -> (int_of_float nl, int_of_float is, int_of_float os)
+    | _ -> parse_error "bad header"
+  in
+  let sizes = List.map int_of_float (floats_of_line (take "layer sizes")) in
+  if List.length sizes <> num_layers + 1 then
+    parse_error "expected %d layer sizes, got %d" (num_layers + 1)
+      (List.length sizes);
+  if List.hd sizes <> input_size then parse_error "input size mismatch";
+  if List.nth sizes num_layers <> output_size then
+    parse_error "output size mismatch";
+  let _flag = take "flag" in
+  let mins = Array.of_list (floats_of_line (take "input minimums")) in
+  let maxes = Array.of_list (floats_of_line (take "input maximums")) in
+  if Array.length mins <> input_size || Array.length maxes <> input_size then
+    parse_error "input bound count mismatch";
+  let means = Array.of_list (floats_of_line (take "means")) in
+  let ranges = Array.of_list (floats_of_line (take "ranges")) in
+  if Array.length means <> input_size + 1 || Array.length ranges <> input_size + 1
+  then parse_error "normalisation count mismatch";
+  let layers =
+    List.init num_layers (fun li ->
+        let rows = List.nth sizes (li + 1) in
+        let cols = List.nth sizes li in
+        let w =
+          Cv_linalg.Mat.of_rows
+            (List.init rows (fun r ->
+                 let vals = Array.of_list (floats_of_line (take "weight row")) in
+                 if Array.length vals <> cols then
+                   parse_error "layer %d row %d: expected %d weights, got %d" li
+                     r cols (Array.length vals);
+                 vals))
+        in
+        let b =
+          Array.init rows (fun _ ->
+              match floats_of_line (take "bias") with
+              | [ v ] -> v
+              | _ -> parse_error "expected one bias per line")
+        in
+        let act =
+          if li = num_layers - 1 then Activation.Identity else Activation.Relu
+        in
+        Layer.make w b act)
+  in
+  { network = Network.of_list layers;
+    input_box = Cv_interval.Box.of_bounds mins maxes;
+    means;
+    ranges }
+
+(** [load path] reads a .nnet file. *)
+let load path =
+  let ic = open_in path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse contents
+
+let csv xs =
+  String.concat "," (List.map (Printf.sprintf "%.17g") (Array.to_list xs))
+
+(** [to_string ?comment t] renders the .nnet document. *)
+let to_string ?(comment = "written by contiver") t =
+  let buf = Buffer.create 4096 in
+  let net = t.network in
+  let n = Network.num_layers net in
+  let sizes = Network.layer_dims net in
+  Buffer.add_string buf ("// " ^ comment ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%d,%d,%d,%d,\n" n (Network.in_dim net) (Network.out_dim net)
+       (List.fold_left max 0 sizes));
+  Buffer.add_string buf
+    (String.concat "," (List.map string_of_int sizes) ^ ",\n");
+  Buffer.add_string buf "0,\n";
+  Buffer.add_string buf (csv (Cv_interval.Box.lower t.input_box) ^ ",\n");
+  Buffer.add_string buf (csv (Cv_interval.Box.upper t.input_box) ^ ",\n");
+  Buffer.add_string buf (csv t.means ^ ",\n");
+  Buffer.add_string buf (csv t.ranges ^ ",\n");
+  Array.iter
+    (fun (l : Layer.t) ->
+      for r = 0 to Layer.out_dim l - 1 do
+        Buffer.add_string buf (csv (Cv_linalg.Mat.row l.Layer.weights r) ^ ",\n")
+      done;
+      Array.iter
+        (fun b -> Buffer.add_string buf (Printf.sprintf "%.17g,\n" b))
+        l.Layer.bias)
+    (Network.layers net);
+  Buffer.contents buf
+
+(** [save ?comment path t] writes the .nnet file. *)
+let save ?comment path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?comment t))
+
+(** [of_network ?input_box net] wraps a network with default (unit)
+    normalisation; the input box defaults to [[0,1]^d]. Only
+    ReLU-hidden / linear-output networks are representable. *)
+let of_network ?input_box net =
+  let n = Network.num_layers net in
+  Array.iteri
+    (fun i (l : Layer.t) ->
+      match (l.Layer.act, i = n - 1) with
+      | Activation.Relu, false | Activation.Identity, true -> ()
+      | act, _ ->
+        invalid_arg
+          (Printf.sprintf "Nnet.of_network: unsupported activation %s"
+             (Activation.to_string act)))
+    (Network.layers net);
+  let d = Network.in_dim net in
+  let input_box =
+    match input_box with
+    | Some b -> b
+    | None -> Cv_interval.Box.uniform d ~lo:0. ~hi:1.
+  in
+  { network = net;
+    input_box;
+    means = Array.make (d + 1) 0.;
+    ranges = Array.make (d + 1) 1. }

@@ -1,0 +1,29 @@
+(** The .nnet interchange format (Stanford/Reluplex community standard,
+    used by ACAS-Xu and most NN-verification benchmarks): loading gives
+    a ready {!Network} plus the declared input box. *)
+
+type t = {
+  network : Network.t;
+  input_box : Cv_interval.Box.t;  (** declared input mins/maxes *)
+  means : float array;  (** per-input means, last entry = output mean *)
+  ranges : float array;  (** per-input ranges, last entry = output range *)
+}
+
+exception Parse_error of string
+
+(** [parse contents] reads a .nnet document from a string. *)
+val parse : string -> t
+
+(** [load path] reads a .nnet file. *)
+val load : string -> t
+
+(** [to_string ?comment t] renders the .nnet document. *)
+val to_string : ?comment:string -> t -> string
+
+(** [save ?comment path t] writes the .nnet file. *)
+val save : ?comment:string -> string -> t -> unit
+
+(** [of_network ?input_box net] wraps a ReLU-hidden / linear-output
+    network with unit normalisation; the input box defaults to
+    [[0,1]^d]. *)
+val of_network : ?input_box:Cv_interval.Box.t -> Network.t -> t

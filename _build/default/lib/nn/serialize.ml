@@ -1,0 +1,51 @@
+(** Model persistence: networks to/from JSON files.
+
+    A tiny vendored format (see {!Cv_util.Json}); the CLI and the
+    artifact store use it to keep model versions [f, f', f'', …] of the
+    continuous-engineering loop on disk. *)
+
+(** Current format version; readers reject unknown versions. *)
+let format_version = 1
+
+(** [network_to_json ?name net] wraps {!Network.to_json} with metadata. *)
+let network_to_json ?(name = "network") net =
+  Cv_util.Json.Obj
+    [ ("format", Cv_util.Json.Str "contiver-model");
+      ("version", Cv_util.Json.of_int format_version);
+      ("name", Cv_util.Json.Str name);
+      ("model", Network.to_json net) ]
+
+(** [network_of_json j] reads a document written by
+    {!network_to_json}. *)
+let network_of_json j =
+  let open Cv_util.Json in
+  (match member_opt "format" j with
+  | Some (Str "contiver-model") -> ()
+  | _ -> raise (Error "Serialize: not a contiver-model document"));
+  (match member_opt "version" j with
+  | Some (Num v) when int_of_float v = format_version -> ()
+  | _ -> raise (Error "Serialize: unsupported version"));
+  Network.of_json (member "model" j)
+
+(** [save_network ?name path net] writes the model file at [path]. *)
+let save_network ?name path net =
+  let doc = network_to_json ?name net in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Cv_util.Json.to_string doc))
+
+(** [load_network path] reads a model file written by
+    {!save_network}. *)
+let load_network path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  network_of_json (Cv_util.Json.parse content)
+
+(** [roundtrip net] is [network_of_json (network_to_json net)] — used by
+    tests to check serialisation is lossless. *)
+let roundtrip net = network_of_json (network_to_json net)

@@ -1,0 +1,23 @@
+(** Model persistence: networks to/from JSON files (the library's own
+    format; see {!Nnet} for the community interchange format). *)
+
+(** Current format version; readers reject unknown versions. *)
+val format_version : int
+
+(** [network_to_json ?name net] wraps {!Network.to_json} with
+    metadata. *)
+val network_to_json : ?name:string -> Network.t -> Cv_util.Json.t
+
+(** [network_of_json j] reads a document written by {!network_to_json};
+    raises {!Cv_util.Json.Error} on format/version mismatch. *)
+val network_of_json : Cv_util.Json.t -> Network.t
+
+(** [save_network ?name path net] writes the model file at [path]. *)
+val save_network : ?name:string -> string -> Network.t -> unit
+
+(** [load_network path] reads a model file written by
+    {!save_network}. *)
+val load_network : string -> Network.t
+
+(** [roundtrip net] is [network_of_json (network_to_json net)]. *)
+val roundtrip : Network.t -> Network.t

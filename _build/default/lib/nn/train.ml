@@ -1,0 +1,165 @@
+(** SGD training and fine-tuning for the regression networks of the
+    experiment.
+
+    The paper's continuous-engineering loop produces model variants by
+    fine-tuning — continuing training from the previous parameters with a
+    very small learning rate (it cites 1e-3). We implement full
+    backpropagation for MSE regression so the fine-tuned networks in the
+    benchmark are genuine training artifacts rather than random
+    perturbations. *)
+
+type sample = { input : Cv_linalg.Vec.t; target : Cv_linalg.Vec.t }
+
+type config = {
+  learning_rate : float;
+  epochs : int;
+  batch_size : int;
+  seed : int;
+  clip_grad : float option;  (** max-abs gradient clip, [None] = off *)
+}
+
+(** Sensible defaults for initial training. *)
+let default_config =
+  { learning_rate = 1e-2; epochs = 50; batch_size = 16; seed = 42; clip_grad = Some 5. }
+
+(** Fine-tuning defaults: the paper's small-learning-rate continuation. *)
+let fine_tune_config =
+  { default_config with learning_rate = 1e-3; epochs = 5 }
+
+type gradients = {
+  d_weights : Cv_linalg.Mat.t array;
+  d_bias : Cv_linalg.Vec.t array;
+}
+
+(* Forward pass retaining pre-activations and activations per layer, as
+   needed by backprop. *)
+let forward_full net x =
+  let layers = Network.layers net in
+  let n = Array.length layers in
+  let pre = Array.make n [||] in
+  let post = Array.make n [||] in
+  let acc = ref x in
+  for i = 0 to n - 1 do
+    let z = Layer.pre_activation layers.(i) !acc in
+    pre.(i) <- z;
+    post.(i) <- Activation.apply_vec layers.(i).Layer.act z;
+    acc := post.(i)
+  done;
+  (pre, post)
+
+(** [backprop net sample] computes MSE-loss gradients for one sample:
+    loss = ‖f(x) − y‖² / 2. Returns the per-layer gradients and the
+    sample loss. *)
+let backprop net sample =
+  let layers = Network.layers net in
+  let n = Array.length layers in
+  let pre, post = forward_full net sample.input in
+  let output = post.(n - 1) in
+  if Array.length output <> Array.length sample.target then
+    invalid_arg "Train.backprop: target dimension mismatch";
+  let err = Cv_linalg.Vec.sub output sample.target in
+  let loss = 0.5 *. Cv_linalg.Vec.dot err err in
+  let d_weights = Array.make n (Cv_linalg.Mat.zeros 0 0) in
+  let d_bias = Array.make n [||] in
+  (* delta holds dL/dz for the current layer, walking backwards. *)
+  let delta = ref [||] in
+  for i = n - 1 downto 0 do
+    let l = layers.(i) in
+    let act_grad = Array.map (Activation.derivative l.Layer.act) pre.(i) in
+    let upstream =
+      if i = n - 1 then err
+      else
+        (* dL/da_i = W_{i+1}ᵀ delta_{i+1} *)
+        Cv_linalg.Mat.matvec (Cv_linalg.Mat.transpose layers.(i + 1).Layer.weights) !delta
+    in
+    let d = Cv_linalg.Vec.mul upstream act_grad in
+    delta := d;
+    let input_i = if i = 0 then sample.input else post.(i - 1) in
+    d_weights.(i) <-
+      Cv_linalg.Mat.init (Array.length d) (Array.length input_i) (fun r c ->
+          d.(r) *. input_i.(c));
+    d_bias.(i) <- Array.copy d
+  done;
+  ({ d_weights; d_bias }, loss)
+
+let clip limit g =
+  match limit with
+  | None -> g
+  | Some m ->
+    { d_weights =
+        Array.map
+          (Cv_linalg.Mat.map (Cv_util.Float_utils.clamp ~lo:(-.m) ~hi:m))
+          g.d_weights;
+      d_bias =
+        Array.map
+          (Array.map (Cv_util.Float_utils.clamp ~lo:(-.m) ~hi:m))
+          g.d_bias }
+
+let apply_gradients net ~lr grads =
+  Network.make
+    (Array.mapi
+       (fun i (l : Layer.t) ->
+         Layer.make
+           (Cv_linalg.Mat.sub l.Layer.weights
+              (Cv_linalg.Mat.scale lr grads.d_weights.(i)))
+           (Cv_linalg.Vec.sub l.Layer.bias
+              (Cv_linalg.Vec.scale lr grads.d_bias.(i)))
+           l.Layer.act)
+       (Network.layers net))
+
+let sum_gradients a b =
+  { d_weights = Array.map2 Cv_linalg.Mat.add a.d_weights b.d_weights;
+    d_bias = Array.map2 Cv_linalg.Vec.add a.d_bias b.d_bias }
+
+let scale_gradients c g =
+  { d_weights = Array.map (Cv_linalg.Mat.scale c) g.d_weights;
+    d_bias = Array.map (Cv_linalg.Vec.scale c) g.d_bias }
+
+(** [loss net samples] is the mean MSE loss over the dataset. *)
+let loss net samples =
+  match samples with
+  | [] -> 0.
+  | _ ->
+    let total =
+      List.fold_left
+        (fun acc s ->
+          let err = Cv_linalg.Vec.sub (Network.eval net s.input) s.target in
+          acc +. (0.5 *. Cv_linalg.Vec.dot err err))
+        0. samples
+    in
+    total /. float_of_int (List.length samples)
+
+(** [fit ?config net samples] trains [net] by mini-batch SGD and returns
+    the trained network together with the per-epoch training losses. *)
+let fit ?(config = default_config) net samples =
+  let rng = Cv_util.Rng.create config.seed in
+  let data = Array.of_list samples in
+  let n = Array.length data in
+  let net = ref net in
+  let history = ref [] in
+  for _epoch = 1 to if n = 0 then 0 else config.epochs do
+    Cv_util.Rng.shuffle rng data;
+    let i = ref 0 in
+    while !i < n do
+      let batch_end = min n (!i + config.batch_size) in
+      let batch_n = batch_end - !i in
+      let grads = ref None in
+      for k = !i to batch_end - 1 do
+        let g, _ = backprop !net data.(k) in
+        grads := Some (match !grads with None -> g | Some acc -> sum_gradients acc g)
+      done;
+      (match !grads with
+      | None -> ()
+      | Some g ->
+        let g = scale_gradients (1. /. float_of_int batch_n) g in
+        let g = clip config.clip_grad g in
+        net := apply_gradients !net ~lr:config.learning_rate g);
+      i := batch_end
+    done;
+    history := loss !net samples :: !history
+  done;
+  (!net, List.rev !history)
+
+(** [fine_tune ?config net samples] continues training with the paper's
+    small learning rate; the result is the [f'] of an SVbTV instance. *)
+let fine_tune ?(config = fine_tune_config) net samples = fit ~config net samples

@@ -1,0 +1,43 @@
+(** SGD training and fine-tuning for regression networks.
+
+    Full backpropagation for MSE loss, so the fine-tuned networks of the
+    benchmark are genuine training artifacts (the paper's
+    continue-training-at-small-learning-rate setting, lr 1e-3). *)
+
+type sample = { input : Cv_linalg.Vec.t; target : Cv_linalg.Vec.t }
+
+type config = {
+  learning_rate : float;
+  epochs : int;
+  batch_size : int;
+  seed : int;
+  clip_grad : float option;  (** max-abs gradient clip, [None] = off *)
+}
+
+(** Sensible defaults for initial training. *)
+val default_config : config
+
+(** Fine-tuning defaults: the paper's small-learning-rate
+    continuation. *)
+val fine_tune_config : config
+
+type gradients = {
+  d_weights : Cv_linalg.Mat.t array;
+  d_bias : Cv_linalg.Vec.t array;
+}
+
+(** [backprop net sample] computes MSE-loss gradients for one sample and
+    returns them with the sample loss. *)
+val backprop : Network.t -> sample -> gradients * float
+
+(** [loss net samples] is the mean MSE loss over the dataset. *)
+val loss : Network.t -> sample list -> float
+
+(** [fit ?config net samples] trains by mini-batch SGD; returns the
+    trained network and per-epoch training losses. *)
+val fit : ?config:config -> Network.t -> sample list -> Network.t * float list
+
+(** [fine_tune ?config net samples] continues training with the small
+    learning rate; the result is the [f'] of an SVbTV instance. *)
+val fine_tune :
+  ?config:config -> Network.t -> sample list -> Network.t * float list

@@ -1,0 +1,1 @@
+lib/util/log_setup.ml: Logs

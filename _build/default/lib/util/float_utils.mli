@@ -1,0 +1,35 @@
+(** Floating-point helpers shared across the code base. All numeric code
+    runs on IEEE doubles with explicit tolerances; these helpers
+    centralise the comparison conventions. *)
+
+(** Default absolute tolerance used by solvers and tests. *)
+val eps : float
+
+(** [approx_eq ?tol a b] — absolute (or, for large magnitudes, relative)
+    approximate equality; default tolerance {!eps}. *)
+val approx_eq : ?tol:float -> float -> float -> bool
+
+(** [leq ?tol a b] is [a <= b] up to tolerance. *)
+val leq : ?tol:float -> float -> float -> bool
+
+(** [geq ?tol a b] is [a >= b] up to tolerance. *)
+val geq : ?tol:float -> float -> float -> bool
+
+val clamp : lo:float -> hi:float -> float -> float
+
+val is_finite : float -> bool
+
+val relu : float -> float
+
+(** [lerp a b t] linearly interpolates between [a] (t=0) and [b]
+    (t=1). *)
+val lerp : float -> float -> float -> float
+
+val sum : float array -> float
+
+(** [max_abs xs] is the largest absolute value; 0 for the empty
+    array. *)
+val max_abs : float array -> float
+
+(** [sign x] is [-1.], [0.] or [1.]. *)
+val sign : float -> float

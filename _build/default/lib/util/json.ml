@@ -1,0 +1,281 @@
+(** Minimal self-contained JSON representation, printer and parser.
+
+    The container is sealed (no yojson), so proof artifacts and model
+    files (see {!Cv_artifacts} and {!Cv_nn.Serialize}) use this vendored
+    implementation. It supports the full JSON value grammar with floats
+    for all numbers, which is sufficient for our persistence needs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Raised by {!parse} and the accessor functions on malformed input. *)
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_to_string x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else if Float.is_nan x then "\"nan\""
+  else if x = Float.infinity then "\"inf\""
+  else if x = Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" x
+
+(** [to_buffer buf j] appends compact JSON for [j] to [buf]. *)
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool true -> Buffer.add_string buf "true"
+  | Bool false -> Buffer.add_string buf "false"
+  | Num x -> Buffer.add_string buf (float_to_string x)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape_string s);
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf "\":";
+        to_buffer buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+(** [to_string j] renders compact (single-line) JSON. *)
+let to_string j =
+  let buf = Buffer.create 256 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error "expected %c at %d, got %c" c st.pos c'
+  | None -> error "expected %c at %d, got end of input" c st.pos
+
+let parse_literal st lit value =
+  let n = String.length lit in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = lit then (
+    st.pos <- st.pos + n;
+    value)
+  else error "invalid literal at %d" st.pos
+
+let parse_string_raw st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error "unterminated string at %d" st.pos
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        (* Decode \uXXXX; we only emit the low byte for BMP ASCII range,
+           which is all our own writer produces. *)
+        if st.pos + 4 >= String.length st.src then error "bad \\u escape";
+        let hex = String.sub st.src (st.pos + 1) 4 in
+        let code = int_of_string ("0x" ^ hex) in
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+        st.pos <- st.pos + 4
+      | _ -> error "bad escape at %d" st.pos);
+      advance st;
+      loop ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> error "invalid number %S at %d" s start
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error "unexpected end of input"
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some '"' ->
+    let s = parse_string_raw st in
+    (* Our writer encodes non-finite floats as strings. *)
+    (match s with
+    | "nan" -> Num Float.nan
+    | "inf" -> Num Float.infinity
+    | "-inf" -> Num Float.neg_infinity
+    | _ -> Str s)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> parse_number st
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then (
+    advance st;
+    List [])
+  else
+    let rec loop acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        loop (v :: acc)
+      | Some ']' ->
+        advance st;
+        List (List.rev (v :: acc))
+      | _ -> error "expected , or ] at %d" st.pos
+    in
+    loop []
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then (
+    advance st;
+    Obj [])
+  else
+    let rec loop acc =
+      skip_ws st;
+      let k = parse_string_raw st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        loop ((k, v) :: acc)
+      | Some '}' ->
+        advance st;
+        Obj (List.rev ((k, v) :: acc))
+      | _ -> error "expected , or } at %d" st.pos
+    in
+    loop []
+
+(** [parse s] parses a complete JSON document; raises {!Error} on
+    malformed input or trailing garbage. *)
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error "trailing garbage at %d" st.pos;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [member key j] looks up [key] in an object; raises {!Error} when [j]
+    is not an object or the key is absent. *)
+let member key = function
+  | Obj kvs -> (
+    match List.assoc_opt key kvs with
+    | Some v -> v
+    | None -> error "missing key %S" key)
+  | _ -> error "not an object (looking up %S)" key
+
+(** [member_opt key j] is [Some v] when [j] is an object containing
+    [key]. *)
+let member_opt key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+(** [to_float j] extracts a number. *)
+let to_float = function Num x -> x | _ -> error "expected number"
+
+(** [to_int j] extracts a number and truncates it to an integer. *)
+let to_int = function Num x -> int_of_float x | _ -> error "expected int"
+
+(** [to_str j] extracts a string. *)
+let to_str = function Str s -> s | _ -> error "expected string"
+
+(** [to_bool j] extracts a boolean. *)
+let to_bool = function Bool b -> b | _ -> error "expected bool"
+
+(** [to_list j] extracts the elements of an array. *)
+let to_list = function List xs -> xs | _ -> error "expected list"
+
+(** [float_array j] extracts a JSON array of numbers as a float array. *)
+let float_array j = to_list j |> List.map to_float |> Array.of_list
+
+(** [of_float_array a] encodes a float array as a JSON array. *)
+let of_float_array a = List (Array.to_list a |> List.map (fun x -> Num x))
+
+(** [of_int n] encodes an integer. *)
+let of_int n = Num (float_of_int n)

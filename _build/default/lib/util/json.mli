@@ -1,0 +1,52 @@
+(** Minimal self-contained JSON representation, printer and parser
+    (vendored — the container has no yojson). All numbers are floats;
+    the writer encodes non-finite floats as the strings "nan", "inf",
+    "-inf" and the parser maps them back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Raised by {!parse} and the accessor functions on malformed input. *)
+exception Error of string
+
+(** [to_string j] renders compact (single-line) JSON. *)
+val to_string : t -> string
+
+(** [to_buffer buf j] appends compact JSON for [j] to [buf]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** [parse s] parses a complete JSON document; raises {!Error} on
+    malformed input or trailing garbage. *)
+val parse : string -> t
+
+(** [member key j] looks up [key] in an object; raises {!Error} when [j]
+    is not an object or the key is absent. *)
+val member : string -> t -> t
+
+(** [member_opt key j] is [Some v] when [j] is an object containing
+    [key]. *)
+val member_opt : string -> t -> t option
+
+val to_float : t -> float
+
+val to_int : t -> int
+
+val to_str : t -> string
+
+val to_bool : t -> bool
+
+val to_list : t -> t list
+
+(** [float_array j] extracts a JSON array of numbers. *)
+val float_array : t -> float array
+
+(** [of_float_array a] encodes a float array as a JSON array. *)
+val of_float_array : float array -> t
+
+(** [of_int n] encodes an integer. *)
+val of_int : int -> t

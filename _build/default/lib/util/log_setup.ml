@@ -1,0 +1,16 @@
+(** Logging configuration shared by the executables.
+
+    Libraries log through their own [Logs.src]; executables call
+    {!init} once to install a reporter on stderr. *)
+
+(** The top-level source used by the CLI itself. *)
+let src = Logs.Src.create "contiver" ~doc:"Continuous NN verification"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(** [init ?level ()] installs an [Fmt]-based reporter and sets the global
+    level (default [Warning] so library internals stay quiet unless
+    asked). *)
+let init ?(level = Logs.Warning) () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some level)

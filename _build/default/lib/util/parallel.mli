@@ -1,0 +1,28 @@
+(** Parallel evaluation of independent verification subproblems with
+    OCaml 5 domains (Propositions 2/4/5 decompose into independent
+    per-layer checks; under parallelisation the wall-clock cost is the
+    maximum subproblem time). *)
+
+(** Default worker-domain count: the machine's recommendation, capped to
+    8. *)
+val default_domains : int
+
+(** [map ?domains f xs] applies [f] to every element, evaluating up to
+    [domains] elements concurrently; result order matches input order;
+    exceptions from [f] are re-raised in the caller. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list ?domains f xs] is {!map} over lists. *)
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [exists ?domains pred xs] — exact result; all elements may be
+    inspected. *)
+val exists : ?domains:int -> ('a -> bool) -> 'a array -> bool
+
+val for_all : ?domains:int -> ('a -> bool) -> 'a array -> bool
+
+(** [max_time ?domains fs] runs every thunk concurrently, timing each:
+    [(results, max_individual_time, total_cpu_time)] — the paper's
+    Table I footnote 3 accounting. *)
+val max_time :
+  ?domains:int -> (unit -> 'a) array -> 'a array * float * float

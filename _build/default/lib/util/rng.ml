@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component in the repo (weight initialisation, dataset
+    synthesis, sampling-based falsification, property tests) draws from an
+    explicit [Rng.t] so experiments are reproducible from a seed recorded
+    in EXPERIMENTS.md. Wraps [Random.State] with the distributions we
+    need. *)
+
+type t = Random.State.t
+
+(** [create seed] makes a fresh generator from an integer seed. *)
+let create seed = Random.State.make [| seed |]
+
+(** [split rng] derives an independent generator; the parent advances. *)
+let split rng =
+  let seed = Random.State.bits rng in
+  Random.State.make [| seed; Random.State.bits rng |]
+
+(** [float rng ~lo ~hi] draws uniformly from [[lo, hi)]. *)
+let float rng ~lo ~hi = lo +. Random.State.float rng (hi -. lo)
+
+(** [int rng n] draws uniformly from [[0, n)]. *)
+let int rng n = Random.State.int rng n
+
+(** [bool rng] draws a fair coin. *)
+let bool rng = Random.State.bool rng
+
+(** [gaussian rng ~mu ~sigma] draws from a normal distribution using the
+    Box-Muller transform. *)
+let gaussian rng ~mu ~sigma =
+  let u1 = Float.max 1e-12 (Random.State.float rng 1.0) in
+  let u2 = Random.State.float rng 1.0 in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+(** [uniform_array rng n ~lo ~hi] draws [n] independent uniforms. *)
+let uniform_array rng n ~lo ~hi = Array.init n (fun _ -> float rng ~lo ~hi)
+
+(** [gaussian_array rng n ~mu ~sigma] draws [n] independent normals. *)
+let gaussian_array rng n ~mu ~sigma =
+  Array.init n (fun _ -> gaussian rng ~mu ~sigma)
+
+(** [shuffle rng a] permutes [a] in place (Fisher-Yates). *)
+let shuffle rng a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(** [choice rng a] picks a uniform element of the non-empty array [a]. *)
+let choice rng a = a.(Random.State.int rng (Array.length a))

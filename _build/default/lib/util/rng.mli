@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generation. Every stochastic
+    component draws from an explicit [Rng.t] so experiments are
+    reproducible from a recorded seed. *)
+
+type t
+
+(** [create seed] makes a fresh generator from an integer seed. *)
+val create : int -> t
+
+(** [split rng] derives an independent generator; the parent advances. *)
+val split : t -> t
+
+(** [float rng ~lo ~hi] draws uniformly from [[lo, hi)]. *)
+val float : t -> lo:float -> hi:float -> float
+
+(** [int rng n] draws uniformly from [[0, n)]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [gaussian rng ~mu ~sigma] draws from a normal distribution
+    (Box-Muller). *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+val uniform_array : t -> int -> lo:float -> hi:float -> float array
+
+val gaussian_array : t -> int -> mu:float -> sigma:float -> float array
+
+(** [shuffle rng a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choice rng a] picks a uniform element of the non-empty array
+    [a]. *)
+val choice : t -> 'a array -> 'a

@@ -1,0 +1,58 @@
+(** Small descriptive-statistics helpers used by the experiment harness
+    and by dataset generation. *)
+
+(** [mean xs] is the arithmetic mean; 0 for the empty array. *)
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+(** [variance xs] is the population variance. *)
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs /. float_of_int n
+
+(** [stddev xs] is the population standard deviation. *)
+let stddev xs = sqrt (variance xs)
+
+(** [min_max xs] is [(min, max)] of the non-empty array [xs]. *)
+let min_max xs =
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+(** [percentile p xs] is the [p]-th percentile (0..100) using linear
+    interpolation between order statistics; [xs] need not be sorted. *)
+let percentile p xs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    Float_utils.lerp sorted.(lo) sorted.(hi) frac
+  end
+
+(** [median xs] is the 50th percentile. *)
+let median xs = percentile 50. xs
+
+(** [mse ys yhat] is the mean squared error between two equally sized
+    arrays. *)
+let mse ys yhat =
+  let n = Array.length ys in
+  if n = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let d = ys.(i) -. yhat.(i) in
+      acc := !acc +. (d *. d)
+    done;
+    !acc /. float_of_int n
+  end

@@ -1,0 +1,23 @@
+(** Small descriptive-statistics helpers used by the experiment harness
+    and dataset generation. *)
+
+(** [mean xs] is the arithmetic mean; 0 for the empty array. *)
+val mean : float array -> float
+
+(** [variance xs] is the population variance. *)
+val variance : float array -> float
+
+val stddev : float array -> float
+
+(** [min_max xs] is [(min, max)] of the non-empty array [xs]. *)
+val min_max : float array -> float * float
+
+(** [percentile p xs] is the [p]-th percentile (0..100) with linear
+    interpolation; [xs] need not be sorted. *)
+val percentile : float -> float array -> float
+
+val median : float array -> float
+
+(** [mse ys yhat] is the mean squared error of two equal-length
+    arrays. *)
+val mse : float array -> float array -> float

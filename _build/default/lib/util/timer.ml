@@ -1,0 +1,27 @@
+(** Wall-clock timing used by the experiment harness to produce the
+    Table I style "incremental time / original time" ratios. *)
+
+(** [time f] runs [f ()] and returns [(result, elapsed_seconds)]. *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, t1 -. t0)
+
+(** [time_only f] runs [f ()] for effect and returns elapsed seconds. *)
+let time_only f = snd (time f)
+
+(** [repeat_median ~runs f] runs [f] [runs] times and returns the median
+    elapsed time together with the last result; smooths scheduler noise
+    in the reported ratios. *)
+let repeat_median ~runs f =
+  let times = Array.make (max 1 runs) 0. in
+  let result = ref None in
+  for i = 0 to max 1 runs - 1 do
+    let r, dt = time f in
+    result := Some r;
+    times.(i) <- dt
+  done;
+  match !result with
+  | Some r -> (r, Stats.median times)
+  | None -> assert false

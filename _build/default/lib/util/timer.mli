@@ -1,0 +1,12 @@
+(** Wall-clock timing used to produce the Table I style "incremental
+    time / original time" ratios. *)
+
+(** [time f] runs [f ()] and returns [(result, elapsed_seconds)]. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [time_only f] runs [f ()] for effect and returns elapsed seconds. *)
+val time_only : (unit -> 'a) -> float
+
+(** [repeat_median ~runs f] runs [f] repeatedly and returns the last
+    result with the median elapsed time. *)
+val repeat_median : runs:int -> (unit -> 'a) -> 'a * float

@@ -1,0 +1,1 @@
+lib/vehicle/camera.ml: Array Buffer Cv_util Float String Track

@@ -1,0 +1,1 @@
+lib/vehicle/camera.mli: Cv_util Track

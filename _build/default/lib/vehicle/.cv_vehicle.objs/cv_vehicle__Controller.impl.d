@@ -1,0 +1,1 @@
+lib/vehicle/controller.ml: Camera Cv_linalg Cv_monitor Cv_util Float List Perception Track

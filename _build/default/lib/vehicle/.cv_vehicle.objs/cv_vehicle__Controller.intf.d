@@ -1,0 +1,1 @@
+lib/vehicle/controller.mli: Camera Cv_linalg Cv_monitor Cv_util Perception Track

@@ -1,0 +1,1 @@
+lib/vehicle/dataset.ml: Array Camera Cv_linalg Cv_nn Cv_util List Perception Track

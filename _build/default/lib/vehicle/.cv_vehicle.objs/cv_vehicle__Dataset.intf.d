@@ -1,0 +1,1 @@
+lib/vehicle/dataset.mli: Camera Cv_linalg Cv_nn Cv_util Perception Track

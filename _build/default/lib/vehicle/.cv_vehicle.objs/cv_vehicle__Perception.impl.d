@@ -1,0 +1,1 @@
+lib/vehicle/perception.ml: Array Camera Cv_nn Cv_util Float Track

@@ -1,0 +1,1 @@
+lib/vehicle/perception.mli: Camera Cv_linalg Cv_nn Cv_util Track

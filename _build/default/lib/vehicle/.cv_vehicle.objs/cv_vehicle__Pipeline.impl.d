@@ -1,0 +1,1 @@
+lib/vehicle/pipeline.ml: Array Camera Controller Cv_domains Cv_interval Cv_monitor Cv_nn Cv_util Cv_verify Dataset List Perception Track

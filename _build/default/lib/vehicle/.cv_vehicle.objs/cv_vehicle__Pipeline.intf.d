@@ -1,0 +1,1 @@
+lib/vehicle/pipeline.mli: Cv_interval Cv_nn Cv_verify Perception Track

@@ -1,0 +1,1 @@
+lib/vehicle/track.ml: Array Buffer Cv_util Float List

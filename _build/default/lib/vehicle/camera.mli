@@ -1,0 +1,47 @@
+(** Synthetic forward-facing camera: a low-resolution grayscale
+    ground-projection of the lane, with explicit environment conditions
+    so a deployment-time shift produces genuine out-of-distribution
+    features (the paper's "black swan" trigger). *)
+
+type config = {
+  width : int;
+  height : int;
+  fov : float;  (** horizontal field of view in radians *)
+  near : float;  (** ground distance of the bottom row *)
+  far : float;  (** ground distance of the top row *)
+  lane_sigma : float;  (** ridge thickness as a fraction of image width *)
+}
+
+(** Defaults sized so the verified head stays solver-friendly. *)
+val default_config : config
+
+(** Operating conditions; shifting these simulates lighting/weather
+    changes between data collection and deployment. *)
+type conditions = {
+  brightness : float;  (** additive offset on all pixels *)
+  contrast : float;  (** multiplicative gain *)
+  noise : float;  (** iid Gaussian pixel noise σ *)
+}
+
+(** The nominal (data-collection) conditions. *)
+val nominal : conditions
+
+(** Slightly brighter, higher-gain, noisier deployment conditions that
+    provoke occasional OOD events. *)
+val shifted : conditions
+
+(** [pixels cfg] is the flattened image dimension. *)
+val pixels : config -> int
+
+(** [capture ?rng cfg cond track pose] renders the flattened grayscale
+    image seen from [pose] (deterministic without [rng]). *)
+val capture :
+  ?rng:Cv_util.Rng.t ->
+  config ->
+  conditions ->
+  Track.t ->
+  Track.pose ->
+  float array
+
+(** [ascii cfg img] renders the image with intensity characters. *)
+val ascii : config -> float array -> string

@@ -1,0 +1,88 @@
+(** Closed-loop lane following.
+
+    A kinematic bicycle model steered from the DNN's [v_out]: the visual
+    waypoint's horizontal position maps to a steering angle (waypoint at
+    image centre ⇒ straight). Used by the examples to demonstrate the
+    full monitored deployment loop, and by the pipeline to harvest
+    out-of-distribution feature events while driving under shifted
+    conditions. *)
+
+type state = {
+  pose : Track.pose;
+  speed : float;
+  steps : int;
+  off_track : int;  (** steps spent outside the lane *)
+}
+
+type config = {
+  dt : float;
+  speed : float;
+  wheelbase : float;
+  steer_gain : float;  (** v_out-to-steering-angle gain *)
+  max_steer : float;
+}
+
+(** Defaults roughly matching a 1/10-scale car at low speed. *)
+let default_config =
+  { dt = 0.05; speed = 1.2; wheelbase = 0.26; steer_gain = 1.6; max_steer = 0.5 }
+
+(** [init track ~s] places the car on the centerline at arc length
+    [s]. *)
+let init track ~s =
+  { pose = Track.pose_at track s; speed = 0.; steps = 0; off_track = 0 }
+
+(** [steer_of_vout cfg v] maps the DNN output to a steering angle:
+    [v = 0.5] is straight, 0 hard left, 1 hard right (sign per the
+    synthetic camera's column convention). *)
+let steer_of_vout cfg v =
+  Cv_util.Float_utils.clamp ~lo:(-.cfg.max_steer) ~hi:cfg.max_steer
+    ((v -. 0.5) *. 2. *. cfg.steer_gain *. cfg.max_steer)
+
+(** [step cfg track state ~steer] advances the bicycle model by one
+    tick. *)
+let step cfg track state ~steer =
+  let pose = state.pose in
+  let v = cfg.speed in
+  let yaw' = pose.Track.yaw +. (v /. cfg.wheelbase *. tan steer *. cfg.dt) in
+  let pose' =
+    { Track.px = pose.Track.px +. (v *. cos pose.Track.yaw *. cfg.dt);
+      py = pose.Track.py +. (v *. sin pose.Track.yaw *. cfg.dt);
+      yaw = Float.atan2 (sin yaw') (cos yaw') }
+  in
+  { pose = pose';
+    speed = v;
+    steps = state.steps + 1;
+    off_track = state.off_track + (if Track.on_track track pose' then 0 else 1) }
+
+(** One simulation step's telemetry. *)
+type telemetry = {
+  t_pose : Track.pose;
+  t_vout : float;
+  t_features : Cv_linalg.Vec.t;
+  t_ood : bool;  (** did the monitor flag this frame? *)
+}
+
+(** [drive ?cfg ?conditions ~rng ~track ~perception ~monitor ~steps state]
+    runs the closed loop: capture → extract features → monitor →
+    head → steer → integrate. Returns the final state and the telemetry
+    trace (monitor events are recorded in [monitor] as a side
+    effect). *)
+let drive ?(cfg = default_config) ?(conditions = Camera.nominal) ~rng ~track
+    ~perception ~monitor ~steps state =
+  let trace = ref [] in
+  let state = ref state in
+  for _ = 1 to steps do
+    let img =
+      Camera.capture ~rng perception.Perception.camera conditions track
+        !state.pose
+    in
+    let feats = Perception.features_of perception img in
+    let ood = Cv_monitor.Monitor.observe monitor feats <> None in
+    let v = Perception.v_out_features perception feats in
+    let steer = steer_of_vout cfg v in
+    trace :=
+      { t_pose = !state.pose; t_vout = v; t_features = feats; t_ood = ood }
+      :: !trace;
+    state := step cfg track !state ~steer
+  done;
+  (!state, List.rev !trace)

@@ -1,0 +1,55 @@
+(** Closed-loop lane following: a kinematic bicycle model steered from
+    the DNN's [v_out], with runtime monitoring in the loop. *)
+
+type state = {
+  pose : Track.pose;
+  speed : float;
+  steps : int;
+  off_track : int;  (** steps spent outside the lane *)
+}
+
+type config = {
+  dt : float;
+  speed : float;
+  wheelbase : float;
+  steer_gain : float;  (** v_out-to-steering-angle gain *)
+  max_steer : float;
+}
+
+(** Defaults roughly matching a 1/10-scale car at low speed. *)
+val default_config : config
+
+(** [init track ~s] places the car on the centerline at arc length
+    [s]. *)
+val init : Track.t -> s:float -> state
+
+(** [steer_of_vout cfg v] maps the DNN output to a steering angle
+    ([v = 0.5] is straight). *)
+val steer_of_vout : config -> float -> float
+
+(** [step cfg track state ~steer] advances the bicycle model one
+    tick. *)
+val step : config -> Track.t -> state -> steer:float -> state
+
+(** One simulation step's telemetry. *)
+type telemetry = {
+  t_pose : Track.pose;
+  t_vout : float;
+  t_features : Cv_linalg.Vec.t;
+  t_ood : bool;  (** did the monitor flag this frame? *)
+}
+
+(** [drive ?cfg ?conditions ~rng ~track ~perception ~monitor ~steps
+    state] runs the closed loop (capture → features → monitor → head →
+    steer → integrate); monitor events are recorded in [monitor] as a
+    side effect. *)
+val drive :
+  ?cfg:config ->
+  ?conditions:Camera.conditions ->
+  rng:Cv_util.Rng.t ->
+  track:Track.t ->
+  perception:Perception.t ->
+  monitor:Cv_monitor.Monitor.t ->
+  steps:int ->
+  state ->
+  state * telemetry list

@@ -1,0 +1,54 @@
+(** Labelled data generation on the race track.
+
+    Stand-in for the paper's "manually labeled data set collected on the
+    race track": poses are sampled along the track with lateral and
+    heading jitter, images rendered under given conditions, labels
+    computed from the geometric lookahead waypoint. *)
+
+type sample = {
+  pose : Track.pose;
+  image : Cv_linalg.Vec.t;
+  features : Cv_linalg.Vec.t;  (** frozen-extractor output *)
+  label : float;  (** ground-truth v_out *)
+}
+
+(** [generate ?conditions ~rng ~track ~perception n] draws [n] labelled
+    samples. *)
+let generate ?(conditions = Camera.nominal) ~rng ~track ~perception n =
+  List.init n (fun _ ->
+      let s = Cv_util.Rng.float rng ~lo:0. ~hi:track.Track.length in
+      let lateral =
+        Cv_util.Rng.float rng ~lo:(-0.8 *. track.Track.half_width)
+          ~hi:(0.8 *. track.Track.half_width)
+      in
+      let heading_err = Cv_util.Rng.float rng ~lo:(-0.3) ~hi:0.3 in
+      let pose = Track.pose_at ~lateral ~heading_err track s in
+      let image =
+        Camera.capture ~rng perception.Perception.camera conditions track pose
+      in
+      let features = Perception.features_of perception image in
+      let label = Perception.steering_label track pose in
+      { pose; image; features; label })
+
+(** [to_training samples] converts to the head-training format
+    (feature vector → 1-dim target). *)
+let to_training samples =
+  List.map
+    (fun s ->
+      { Cv_nn.Train.input = s.features; Cv_nn.Train.target = [| s.label |] })
+    samples
+
+(** [head_mse perception samples] is the head's prediction error on a
+    dataset — training progress metric for the examples. *)
+let head_mse perception samples =
+  let ys = Array.of_list (List.map (fun s -> s.label) samples) in
+  let yh =
+    Array.of_list
+      (List.map
+         (fun s -> Perception.v_out_features perception s.features)
+         samples)
+  in
+  Cv_util.Stats.mse ys yh
+
+(** [feature_list samples] extracts the monitored feature vectors. *)
+let feature_list samples = List.map (fun s -> s.features) samples

@@ -1,0 +1,29 @@
+(** Labelled data generation on the race track — the stand-in for the
+    paper's "manually labeled data set collected on the race track". *)
+
+type sample = {
+  pose : Track.pose;
+  image : Cv_linalg.Vec.t;
+  features : Cv_linalg.Vec.t;  (** frozen-extractor output *)
+  label : float;  (** ground-truth v_out *)
+}
+
+(** [generate ?conditions ~rng ~track ~perception n] draws [n] labelled
+    samples with lateral and heading jitter. *)
+val generate :
+  ?conditions:Camera.conditions ->
+  rng:Cv_util.Rng.t ->
+  track:Track.t ->
+  perception:Perception.t ->
+  int ->
+  sample list
+
+(** [to_training samples] converts to the head-training format. *)
+val to_training : sample list -> Cv_nn.Train.sample list
+
+(** [head_mse perception samples] is the head's prediction error on a
+    dataset. *)
+val head_mse : Perception.t -> sample list -> float
+
+(** [feature_list samples] extracts the monitored feature vectors. *)
+val feature_list : sample list -> Cv_linalg.Vec.t list

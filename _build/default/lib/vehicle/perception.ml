@@ -1,0 +1,106 @@
+(** The perception stack: frozen feature extractor + trainable head.
+
+    The paper trains a CNN by transfer learning, freezes the
+    convolutional part, and formally verifies only the dense head after
+    the "Flatten" layer (Figure 4). We mirror that split exactly:
+
+    - {b extractor}: a fixed random-projection + ReLU layer standing in
+      for the frozen convolution stack. Its output is the monitored
+      "Flatten" feature vector — non-negative, like real post-ReLU
+      activations.
+    - {b head}: a small trainable ReLU MLP ending in a single
+      identity-output neuron [v_out]; this is the network handed to the
+      verifier, and the object fine-tuning perturbs.
+
+    The visual waypoint is reconstructed from [v_out] by the paper's
+    formula [(x, y) = (int (224 · v_out), 75)] — here scaled to the
+    synthetic camera's width. *)
+
+type t = {
+  camera : Camera.config;
+  extractor : Cv_nn.Network.t;  (** frozen: pixels → features (post-ReLU) *)
+  head : Cv_nn.Network.t;  (** trainable: features → v_out ∈ [0,1] *)
+}
+
+(** [feature_dim p] is the monitored "Flatten" width. *)
+let feature_dim p = Cv_nn.Network.out_dim p.extractor
+
+(** [head_dims ~features] is the verified-head architecture used across
+    the experiment: features → 10 → 8 → 6 → 1 (sized so exact MILP
+    verification of the full head takes seconds while single-layer reuse
+    subproblems take milliseconds — the Table I cost asymmetry). *)
+let head_dims ~features = [ features; 10; 8; 6; 1 ]
+
+(** [create ?rng ?camera ?features ()] builds a stack with a fresh
+    frozen extractor and a randomly initialised head.
+
+    When [features] is a multiple of the conv output-map size, the
+    extractor is a genuine frozen convolution (kernel 4, stride 3,
+    ReLU — lowered to a dense layer by {!Cv_nn.Conv}), matching the
+    paper's frozen-CNN-then-Flatten pipeline; otherwise it falls back to
+    a frozen random dense projection. *)
+let create ?rng ?(camera = Camera.default_config) ?(features = 12) () =
+  let rng = match rng with Some r -> r | None -> Cv_util.Rng.create 2024 in
+  let spec =
+    { Cv_nn.Conv.in_height = camera.Camera.height;
+      in_width = camera.Camera.width;
+      kernel = 4;
+      stride = 3;
+      out_channels = 1 }
+  in
+  let map_size = Cv_nn.Conv.output_size spec in
+  let extractor =
+    if map_size > 0 && features mod map_size = 0 then begin
+      let spec = { spec with Cv_nn.Conv.out_channels = features / map_size } in
+      Cv_nn.Network.make
+        [| Cv_nn.Conv.random ~rng spec ~act:Cv_nn.Activation.Relu |]
+    end
+    else
+      Cv_nn.Network.make
+        [| Cv_nn.Layer.random ~rng ~in_dim:(Camera.pixels camera)
+             ~out_dim:features Cv_nn.Activation.Relu |]
+  in
+  let head =
+    Cv_nn.Network.random ~rng ~dims:(head_dims ~features)
+      ~act:Cv_nn.Activation.Relu ()
+  in
+  { camera; extractor; head }
+
+(** [features_of p img] runs the frozen extractor on a flattened
+    image. *)
+let features_of p img = Cv_nn.Network.eval p.extractor img
+
+(** [v_out p img] runs the full stack on an image. *)
+let v_out p img = (Cv_nn.Network.eval p.head (features_of p img)).(0)
+
+(** [v_out_features p feats] runs only the head. *)
+let v_out_features p feats = (Cv_nn.Network.eval p.head feats).(0)
+
+(** [with_head p head] replaces the trainable head (after training or
+    fine-tuning). *)
+let with_head p head =
+  if Cv_nn.Network.in_dim head <> feature_dim p then
+    invalid_arg "Perception.with_head: feature dimension mismatch";
+  { p with head }
+
+(** [waypoint p v] reconstructs the visual waypoint pixel from [v_out],
+    scaled to the synthetic camera: [(int (width · v), ~row 3/4 up)] —
+    the analogue of the paper's [(int (224·v), 75)]. *)
+let waypoint p v =
+  let v = Cv_util.Float_utils.clamp ~lo:0. ~hi:1. v in
+  ( int_of_float (float_of_int (p.camera.Camera.width - 1) *. v),
+    p.camera.Camera.height * 3 / 4 )
+
+(** [steering_label track pose] is the ground-truth [v_out]: where the
+    lookahead waypoint sits horizontally in the current view, normalised
+    to [0, 1] (0.5 = straight ahead). *)
+let steering_label track (pose : Track.pose) =
+  let lookahead = 1.5 in
+  let s0 = Track.nearest_s track pose in
+  let target = Track.point_at track (s0 +. lookahead) in
+  let dx = target.Track.x -. pose.Track.px
+  and dy = target.Track.y -. pose.Track.py in
+  let forward = (dx *. cos pose.Track.yaw) +. (dy *. sin pose.Track.yaw) in
+  let lateral = (-.dx *. sin pose.Track.yaw) +. (dy *. cos pose.Track.yaw) in
+  let angle = Float.atan2 lateral (Float.max 0.05 forward) in
+  Cv_util.Float_utils.clamp ~lo:0. ~hi:1. (0.5 +. (angle /. 1.2))

@@ -1,0 +1,42 @@
+(** The perception stack: frozen feature extractor + trainable head,
+    mirroring the paper's split (frozen CNN → Flatten → verified dense
+    head producing [v_out ∈ [0,1]]). *)
+
+type t = {
+  camera : Camera.config;
+  extractor : Cv_nn.Network.t;  (** frozen: pixels → features (post-ReLU) *)
+  head : Cv_nn.Network.t;  (** trainable: features → v_out *)
+}
+
+(** [feature_dim p] is the monitored "Flatten" width. *)
+val feature_dim : t -> int
+
+(** [head_dims ~features] is the verified-head architecture used across
+    the experiment. *)
+val head_dims : features:int -> int list
+
+(** [create ?rng ?camera ?features ()] builds a stack with a fresh
+    frozen extractor (a genuine convolution when [features] is a
+    multiple of the conv map size, else a random dense projection) and a
+    randomly initialised head. *)
+val create : ?rng:Cv_util.Rng.t -> ?camera:Camera.config -> ?features:int -> unit -> t
+
+(** [features_of p img] runs the frozen extractor. *)
+val features_of : t -> float array -> Cv_linalg.Vec.t
+
+(** [v_out p img] runs the full stack on an image. *)
+val v_out : t -> float array -> float
+
+(** [v_out_features p feats] runs only the head. *)
+val v_out_features : t -> Cv_linalg.Vec.t -> float
+
+(** [with_head p head] replaces the trainable head. *)
+val with_head : t -> Cv_nn.Network.t -> t
+
+(** [waypoint p v] reconstructs the visual waypoint pixel from [v_out]
+    (the analogue of the paper's [(int (224·v), 75)]). *)
+val waypoint : t -> float -> int * int
+
+(** [steering_label track pose] is the ground-truth [v_out]: where the
+    lookahead waypoint sits horizontally, normalised to [0, 1]. *)
+val steering_label : Track.t -> Track.pose -> float

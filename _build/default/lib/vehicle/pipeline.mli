@@ -1,0 +1,47 @@
+(** The end-to-end experiment generator (paper §V): train the head,
+    derive [D_in] from monitored feature bounds, choose [D_out], drive
+    under shifted conditions to collect Δ_in, and fine-tune repeatedly —
+    producing the networks and domains of the Table I reproduction. *)
+
+type experiment = {
+  track : Track.t;
+  perception : Perception.t;  (** with the originally trained head *)
+  heads : Cv_nn.Network.t array;  (** index 0 original, then fine-tuned *)
+  din : Cv_interval.Box.t;  (** initial monitored feature bounds *)
+  enlarged_din : Cv_interval.Box.t;  (** D_in ∪ Δ_in after shifted driving *)
+  dout : Cv_interval.Box.t;  (** the certified output property *)
+  ood_events : int;  (** box-monitor OOD frames while driving shifted *)
+  pattern_flags : int;  (** activation-pattern monitor flags, same drive *)
+  kappa : float;  (** measured enlargement distance (∞-norm) *)
+  train_loss : float;  (** final head training loss *)
+}
+
+type config = {
+  seed : int;
+  features : int;
+  train_samples : int;
+  train_epochs : int;
+  fine_tune_rounds : int;
+  fine_tune_samples : int;
+  fine_tune_epochs : int;
+  drive_steps : int;
+  din_buffer : float;  (** relative buffer on the monitored bounds *)
+  widen : float;  (** absolute widening of the abstraction chain *)
+  dout_margin : float;  (** extra margin of D_out beyond the chain reach *)
+}
+
+val default_config : config
+
+(** [build ?config ()] runs the whole generation pipeline
+    deterministically from [config.seed]. *)
+val build : ?config:config -> unit -> experiment
+
+(** [property exp] is the original safety property. *)
+val property : experiment -> Cv_verify.Property.t
+
+(** [enlarged_property exp] is the SVuDC target. *)
+val enlarged_property : experiment -> Cv_verify.Property.t
+
+(** [drift exp round] is the parameter distance between head [round] and
+    its predecessor (1-based). *)
+val drift : experiment -> int -> float

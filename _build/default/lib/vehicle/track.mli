@@ -1,0 +1,55 @@
+(** Race-track geometry for the 1/10-scale vehicle substitute: a closed
+    "stadium" centerline with pose queries and ASCII rendering. *)
+
+type point = { x : float; y : float }
+
+type t = {
+  centerline : point array;  (** dense closed polyline *)
+  cum_s : float array;  (** cumulative arc length per sample *)
+  length : float;  (** total lap length *)
+  half_width : float;  (** lane half-width *)
+}
+
+(** [stadium ?straight ?radius ?half_width ?samples ()] builds a stadium
+    track: two straights joined by half-circles. *)
+val stadium :
+  ?straight:float ->
+  ?radius:float ->
+  ?half_width:float ->
+  ?samples:int ->
+  unit ->
+  t
+
+(** [point_at t s] is the centerline point at arc length [s] (wraps). *)
+val point_at : t -> float -> point
+
+(** [heading_at t s] is the track tangent direction (radians). *)
+val heading_at : t -> float -> float
+
+(** [curvature_at t s] is the approximate signed curvature. *)
+val curvature_at : t -> float -> float
+
+(** A vehicle pose on the plane. *)
+type pose = { px : float; py : float; yaw : float }
+
+(** [nearest_s t pose] is the arc length of the closest centerline
+    point. *)
+val nearest_s : t -> pose -> float
+
+(** [lateral_offset t pose] is the signed distance from the centerline
+    (positive = left of travel direction). *)
+val lateral_offset : t -> pose -> float
+
+(** [relative_heading t pose] is the vehicle yaw minus the track
+    heading, wrapped to (−π, π]. *)
+val relative_heading : t -> pose -> float
+
+(** [pose_at ?lateral ?heading_err t s] places a vehicle on the track. *)
+val pose_at : ?lateral:float -> ?heading_err:float -> t -> float -> pose
+
+(** [on_track t pose] — is the vehicle inside the lane? *)
+val on_track : t -> pose -> bool
+
+(** [render ?width ?height t poses] draws an ASCII map with the poses
+    marked — the Figure 3 stand-in. *)
+val render : ?width:int -> ?height:int -> t -> pose list -> string

@@ -1,0 +1,1 @@
+lib/verify/argmax.ml: Array Containment Cv_interval Cv_linalg Cv_nn Cv_util Falsify Float Fun List Range

@@ -1,0 +1,1 @@
+lib/verify/argmax.mli: Containment Cv_interval Cv_linalg Cv_nn

@@ -1,0 +1,1 @@
+lib/verify/backward.ml: Array Cv_interval Cv_lp Cv_milp Cv_nn Float Format Fun List

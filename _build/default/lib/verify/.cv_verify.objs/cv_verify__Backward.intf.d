@@ -1,0 +1,1 @@
+lib/verify/backward.mli: Cv_interval Cv_nn Format

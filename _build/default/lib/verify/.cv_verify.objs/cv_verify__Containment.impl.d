@@ -1,0 +1,1 @@
+lib/verify/containment.ml: Array Cv_domains Cv_interval Cv_milp Cv_nn Cv_util Falsify Float Printf

@@ -1,0 +1,1 @@
+lib/verify/containment.mli: Cv_domains Cv_interval Cv_nn Falsify

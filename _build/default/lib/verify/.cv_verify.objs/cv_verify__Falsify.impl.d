@@ -1,0 +1,1 @@
+lib/verify/falsify.ml: Array Cv_interval Cv_linalg Cv_nn Float

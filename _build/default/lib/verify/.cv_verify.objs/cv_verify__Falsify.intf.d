@@ -1,0 +1,1 @@
+lib/verify/falsify.mli: Cv_interval Cv_linalg Cv_nn Cv_util

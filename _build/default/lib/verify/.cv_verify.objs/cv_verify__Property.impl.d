@@ -1,0 +1,1 @@
+lib/verify/property.ml: Cv_interval Cv_nn Cv_util Format

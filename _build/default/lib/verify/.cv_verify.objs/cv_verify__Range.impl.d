@@ -1,0 +1,1 @@
+lib/verify/range.ml: Array Containment Cv_interval Cv_milp Cv_nn Cv_util Falsify Float Property

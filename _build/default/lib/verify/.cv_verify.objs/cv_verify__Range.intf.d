@@ -1,0 +1,1 @@
+lib/verify/range.mli: Containment Cv_interval Cv_nn Property

@@ -1,0 +1,1 @@
+lib/verify/robustness.ml: Containment Cv_diffverify Cv_interval Cv_linalg Cv_nn Cv_util

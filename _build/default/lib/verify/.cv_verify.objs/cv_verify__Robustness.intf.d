@@ -1,0 +1,1 @@
+lib/verify/robustness.mli: Containment Cv_interval Cv_linalg Cv_nn

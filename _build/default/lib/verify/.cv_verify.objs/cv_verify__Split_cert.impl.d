@@ -1,0 +1,1 @@
+lib/verify/split_cert.ml: Array Cv_domains Cv_interval Cv_util List

@@ -1,0 +1,1 @@
+lib/verify/split_cert.mli: Cv_interval Cv_nn Cv_util

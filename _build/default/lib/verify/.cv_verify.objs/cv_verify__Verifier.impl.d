@@ -1,0 +1,1 @@
+lib/verify/verifier.ml: Array Containment Cv_domains Cv_interval Cv_util Property

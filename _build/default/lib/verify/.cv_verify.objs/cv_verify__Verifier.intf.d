@@ -1,0 +1,1 @@
+lib/verify/verifier.mli: Containment Cv_domains Cv_interval Cv_nn Property

@@ -1,0 +1,108 @@
+(** Argmax (advisory-style) properties over multi-output networks — the
+    query shape of the ACAS-Xu benchmark properties ("advisory i is
+    never/always maximal on region R").
+
+    All queries lower to output {e differences}: appending a linear
+    layer with rows [e_j − e_i] turns "score_j − score_i" into ordinary
+    network outputs, so every engine in the repo (abstract domains,
+    splitting, exact MILP) applies unchanged. *)
+
+(* The difference network: outputs (s_j − s_i) for all j ≠ i, in
+   ascending j order. *)
+let difference_network net ~output =
+  let d = Cv_nn.Network.out_dim net in
+  if output < 0 || output >= d then invalid_arg "Argmax.difference_network";
+  let rows =
+    List.filter_map
+      (fun j ->
+        if j = output then None
+        else
+          Some
+            (Array.init d (fun k ->
+                 if k = j then 1. else if k = output then -1. else 0.)))
+      (List.init d Fun.id)
+  in
+  let diff_layer =
+    Cv_nn.Layer.make
+      (Cv_linalg.Mat.of_rows rows)
+      (Array.make (d - 1) 0.)
+      Cv_nn.Activation.Identity
+  in
+  Cv_nn.Network.compose net (Cv_nn.Network.make [| diff_layer |])
+
+type verdict =
+  | Holds  (** proved over the whole region *)
+  | Fails of Cv_linalg.Vec.t  (** witness input *)
+  | Unknown of string
+
+(** [never_maximal engine net ~output ~region ~margin] — is advisory
+    [output] never the (strict, by [margin]) argmax on [region]? Holds
+    when some other score exceeds it everywhere; proved here via the
+    sufficient per-competitor condition [min_j (s_j − s_i) ≥ margin] for
+    a single j, checked for each j (complete when one competitor
+    dominates globally — the common ACAS situation — and reported
+    [Unknown] otherwise). *)
+let never_maximal engine net ~output ~region ~margin =
+  let diff = difference_network net ~output in
+  let d1 = Cv_nn.Network.out_dim diff in
+  (* For each competitor row r: check s_j − s_i ≥ margin everywhere. *)
+  let rec try_rows r =
+    if r = d1 then
+      Unknown "no single competitor dominates the advisory everywhere"
+    else begin
+      let target =
+        Cv_interval.Box.make
+          (Array.init d1 (fun k ->
+               if k = r then Cv_interval.Interval.make margin Float.infinity
+               else Cv_interval.Interval.top))
+      in
+      match Containment.check engine diff ~input_box:region ~target with
+      | Containment.Proved -> Holds
+      | _ -> try_rows (r + 1)
+    end
+  in
+  (* Falsification first: a point where `output` IS the argmax kills the
+     property outright. *)
+  let rng = Cv_util.Rng.create 53 in
+  let is_argmax x =
+    let s = Cv_nn.Network.eval net x in
+    Array.for_all (fun v -> s.(output) >= v) s
+  in
+  let rec sample k =
+    if k = 0 then None
+    else begin
+      let x = Cv_interval.Box.sample rng region in
+      if is_argmax x then Some x else sample (k - 1)
+    end
+  in
+  match sample 256 with
+  | Some x -> Fails x
+  | None -> try_rows 0
+
+(** [always_maximal engine net ~output ~region ~margin] — is advisory
+    [output] the argmax (by at least [margin]) everywhere on [region]?
+    Exact: all differences [s_j − s_i] must stay ≤ −margin. *)
+let always_maximal engine net ~output ~region ~margin =
+  let diff = difference_network net ~output in
+  let d1 = Cv_nn.Network.out_dim diff in
+  let target =
+    Cv_interval.Box.make
+      (Array.init d1 (fun _ ->
+           Cv_interval.Interval.make Float.neg_infinity (-.margin)))
+  in
+  match Containment.check engine diff ~input_box:region ~target with
+  | Containment.Proved -> Holds
+  | Containment.Violated v -> Fails v.Falsify.input
+  | Containment.Unknown m -> Unknown m
+
+(** [score_gap engine net ~output ~region] bounds
+    [max_region max_j (s_j − s_i)] — negative means [output] is always
+    maximal, and its magnitude is the certified decision margin. Exact
+    when [engine] is complete. *)
+let score_gap net ~output ~region =
+  let diff = difference_network net ~output in
+  let r = Range.exact_range diff ~din:region in
+  Array.fold_left
+    (fun acc iv -> Float.max acc (Cv_interval.Interval.hi iv))
+    Float.neg_infinity
+    r.Range.range

@@ -1,0 +1,43 @@
+(** Argmax (advisory-style) properties over multi-output networks — the
+    query shape of the ACAS-Xu benchmark: all queries lower to output
+    differences via an appended linear layer, so every engine applies
+    unchanged. *)
+
+(** [difference_network net ~output] appends the [e_j − e_output] rows:
+    its outputs are [s_j − s_output] for all [j ≠ output], ascending. *)
+val difference_network : Cv_nn.Network.t -> output:int -> Cv_nn.Network.t
+
+type verdict =
+  | Holds  (** proved over the whole region *)
+  | Fails of Cv_linalg.Vec.t  (** witness input *)
+  | Unknown of string
+
+(** [never_maximal engine net ~output ~region ~margin] — is advisory
+    [output] never the argmax (beaten by at least [margin]) on
+    [region]? Proved via a single globally dominating competitor;
+    [Unknown] when no single competitor dominates. *)
+val never_maximal :
+  Containment.engine ->
+  Cv_nn.Network.t ->
+  output:int ->
+  region:Cv_interval.Box.t ->
+  margin:float ->
+  verdict
+
+(** [always_maximal engine net ~output ~region ~margin] — is advisory
+    [output] the argmax (by at least [margin]) everywhere on [region]?
+    Exact with a complete engine. *)
+val always_maximal :
+  Containment.engine ->
+  Cv_nn.Network.t ->
+  output:int ->
+  region:Cv_interval.Box.t ->
+  margin:float ->
+  verdict
+
+(** [score_gap net ~output ~region] bounds
+    [max_region max_j (s_j − s_output)] exactly (MILP); negative means
+    [output] is always maximal, with |gap| the certified decision
+    margin. *)
+val score_gap :
+  Cv_nn.Network.t -> output:int -> region:Cv_interval.Box.t -> float

@@ -1,0 +1,129 @@
+(** Backward reasoning: over-approximate the inputs that could violate
+    the property — the paper's closing direction ("symbolic reasoning
+    using both forward and backward propagation in a continuous
+    verification setup").
+
+    We intersect the LP {e relaxation} of the network's big-M encoding
+    with the violation constraint (one output escaping one side of
+    [D_out]) and tighten every input coordinate by a pair of LPs. The
+    result is a sound over-approximation of the violating preimage:
+
+    - an [Infeasible] LP proves that side of the property outright
+      (bonus verification, no branching needed);
+    - otherwise the returned {e suspect box} tells the engineer — or the
+      splitting verifier — where inside [D_in ∪ Δ_in] the risk lives,
+      which is the actionable diagnostic in a continuous loop (collect
+      more data there, re-train, or split-verify just that region). *)
+
+type suspect = {
+  output : int;
+  side : [ `Upper | `Lower ];
+  region : Cv_interval.Box.t option;
+      (** [None] = that side is proved safe by the LP relaxation *)
+}
+
+(* Tighten the input box against one violation constraint using the LP
+   relaxation of the ReLU encoding (binaries relaxed to [0,1]). *)
+let tighten_side enc ~din ~output ~side ~bound =
+  let e = enc.Cv_milp.Relu_encoding.outputs.(output) in
+  let lp = Cv_lp.Lp.copy enc.Cv_milp.Relu_encoding.problem.Cv_milp.Milp.lp in
+  (* Violation constraint: y ≥ bound (Upper) or y ≤ bound (Lower),
+     with y = terms + const. *)
+  (match side with
+  | `Upper ->
+    Cv_lp.Lp.add_constraint lp e.Cv_milp.Relu_encoding.terms Cv_lp.Lp.Ge
+      (bound -. e.Cv_milp.Relu_encoding.const)
+  | `Lower ->
+    Cv_lp.Lp.add_constraint lp e.Cv_milp.Relu_encoding.terms Cv_lp.Lp.Le
+      (bound -. e.Cv_milp.Relu_encoding.const));
+  let in_dim = Array.length enc.Cv_milp.Relu_encoding.input_vars in
+  let lo = Array.make in_dim 0. and hi = Array.make in_dim 0. in
+  let feasible = ref true in
+  (try
+     for j = 0 to in_dim - 1 do
+       let v = enc.Cv_milp.Relu_encoding.input_vars.(j) in
+       let q = Cv_lp.Lp.copy lp in
+       (match Cv_lp.Lp.minimize_linear q [ (1., v) ] with
+       | Cv_lp.Lp.Optimal s -> lo.(j) <- s.Cv_lp.Lp.objective
+       | Cv_lp.Lp.Infeasible ->
+         feasible := false;
+         raise Exit
+       | Cv_lp.Lp.Unbounded ->
+         lo.(j) <- Cv_interval.Interval.lo (Cv_interval.Box.get din j));
+       let q = Cv_lp.Lp.copy lp in
+       match Cv_lp.Lp.maximize_linear q [ (1., v) ] with
+       | Cv_lp.Lp.Optimal s -> hi.(j) <- s.Cv_lp.Lp.objective
+       | Cv_lp.Lp.Infeasible ->
+         feasible := false;
+         raise Exit
+       | Cv_lp.Lp.Unbounded ->
+         hi.(j) <- Cv_interval.Interval.hi (Cv_interval.Box.get din j)
+     done
+   with Exit -> ());
+  if not !feasible then None
+  else begin
+    (* Clip against the input box (LP noise can poke out by an ulp). *)
+    let region =
+      Cv_interval.Box.meet din
+        (Cv_interval.Box.of_bounds
+           (Array.map2 (fun l h -> Float.min l h) lo hi)
+           (Array.map2 (fun l h -> Float.max l h) lo hi))
+    in
+    if Cv_interval.Box.is_empty region then None else Some region
+  end
+
+(** [suspect_regions net ~din ~dout] computes, for every output
+    coordinate and side of [dout], either a proof that no input of
+    [din] can violate it (LP-infeasible) or a suspect input box
+    containing every potential violator. *)
+let suspect_regions net ~din ~dout =
+  let enc = Cv_milp.Relu_encoding.encode ~net ~input_box:din in
+  let out_dim = Cv_nn.Network.out_dim net in
+  List.concat_map
+    (fun output ->
+      let iv = Cv_interval.Box.get dout output in
+      let upper =
+        if Cv_interval.Interval.hi iv = Float.infinity then []
+        else
+          [ { output;
+              side = `Upper;
+              region =
+                tighten_side enc ~din ~output ~side:`Upper
+                  ~bound:(Cv_interval.Interval.hi iv) } ]
+      in
+      let lower =
+        if Cv_interval.Interval.lo iv = Float.neg_infinity then []
+        else
+          [ { output;
+              side = `Lower;
+              region =
+                tighten_side enc ~din ~output ~side:`Lower
+                  ~bound:(Cv_interval.Interval.lo iv) } ]
+      in
+      upper @ lower)
+    (List.init out_dim Fun.id)
+
+(** [all_safe suspects] — true when every side came back proved. *)
+let all_safe suspects = List.for_all (fun s -> s.region = None) suspects
+
+(** [total_suspect_volume ~din suspects] is the fraction of [din]'s
+    total width covered by suspect boxes (coarse progress metric for
+    iterative loops; 0 = proved everywhere). *)
+let total_suspect_volume ~din suspects =
+  let din_w = Cv_interval.Box.total_width din in
+  if din_w <= 0. then 0.
+  else
+    List.fold_left
+      (fun acc s ->
+        match s.region with
+        | None -> acc
+        | Some r -> Float.max acc (Cv_interval.Box.total_width r /. din_w))
+      0. suspects
+
+(** [pp_suspect ppf s] prints one record. *)
+let pp_suspect ppf s =
+  Format.fprintf ppf "output %d %s: %s" s.output
+    (match s.side with `Upper -> "upper" | `Lower -> "lower")
+    (match s.region with
+    | None -> "proved safe (LP infeasible)"
+    | Some r -> "suspect region " ^ Cv_interval.Box.to_string r)

@@ -1,0 +1,35 @@
+(** Backward reasoning: over-approximate the inputs that could violate
+    the property — the paper's closing direction ("symbolic reasoning
+    using both forward and backward propagation").
+
+    The LP {e relaxation} of the network's big-M encoding is intersected
+    with each violation constraint and every input coordinate is
+    tightened by a pair of LPs; an infeasible LP proves that side of the
+    property outright. *)
+
+type suspect = {
+  output : int;
+  side : [ `Upper | `Lower ];
+  region : Cv_interval.Box.t option;
+      (** [None] = that side is proved safe by the LP relaxation *)
+}
+
+(** [suspect_regions net ~din ~dout] computes, for every output
+    coordinate and finite side of [dout], either a safety proof or a
+    suspect input box containing every potential violator. *)
+val suspect_regions :
+  Cv_nn.Network.t ->
+  din:Cv_interval.Box.t ->
+  dout:Cv_interval.Box.t ->
+  suspect list
+
+(** [all_safe suspects] — true when every side came back proved. *)
+val all_safe : suspect list -> bool
+
+(** [total_suspect_volume ~din suspects] is the largest suspect box's
+    total width as a fraction of [din]'s (coarse risk metric; 0 = proved
+    everywhere). *)
+val total_suspect_volume : din:Cv_interval.Box.t -> suspect list -> float
+
+(** [pp_suspect ppf s] prints one record. *)
+val pp_suspect : Format.formatter -> suspect -> unit

@@ -1,0 +1,158 @@
+(** The local containment check — the workhorse of proof reuse.
+
+    Every sufficient condition in the paper reduces to queries of the
+    form [∀x ∈ B : g(x) ∈ T] where [g] is a small slice of the network,
+    [B] an input box and [T] a stored state abstraction (or [D_out]).
+    This module answers such queries with a selectable engine:
+
+    - abstract one-shot (box / symint / zonotope / deeppoly): cheap,
+      incomplete — may answer [Unknown];
+    - [Symint_split]: symbolic intervals with input bisection
+      (ReluVal-style), complete for piecewise-linear slices up to the
+      split budget;
+    - [Milp]: the exact big-M encoding with per-output cutoff queries,
+      sound and complete for piecewise-linear slices. *)
+
+type engine =
+  | Abstract of Cv_domains.Analyzer.domain_kind
+  | Symint_split of int  (** max number of box splits *)
+  | Milp
+
+(** [engine_name e] is a printable engine label. *)
+let engine_name = function
+  | Abstract k -> Cv_domains.Analyzer.domain_name k
+  | Symint_split n -> Printf.sprintf "symint-split(%d)" n
+  | Milp -> "milp"
+
+type verdict =
+  | Proved
+  | Violated of Falsify.violation
+  | Unknown of string
+      (** the engine could not decide (abstract imprecision or budget) *)
+
+(** [is_proved v] is true for [Proved]. *)
+let is_proved = function Proved -> true | _ -> false
+
+let violation_from_point net target x =
+  match Falsify.violation_of net target x with
+  | Some v -> Violated v
+  | None ->
+    Unknown "solver reported a violating point the concrete check cannot confirm"
+
+(* One-shot abstract check. *)
+let check_abstract kind net ~input_box ~target =
+  let reach = Cv_domains.Analyzer.output_box kind net input_box in
+  if Cv_interval.Box.subset_tol reach target then Proved
+  else
+    Unknown
+      (Printf.sprintf "%s reach %s not within target"
+         (Cv_domains.Analyzer.domain_name kind)
+         (Cv_interval.Box.to_string reach))
+
+(* ReluVal-style bisection: prove each sub-box abstractly; sample for
+   counterexamples before splitting; stop at the split budget. *)
+let check_split budget net ~input_box ~target =
+  let rng = Cv_util.Rng.create 97 in
+  let splits = ref 0 in
+  let rec go box =
+    let reach = Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint net box in
+    if Cv_interval.Box.subset_tol reach target then Proved
+    else begin
+      (* Quick concrete disproof attempt at the center. *)
+      match Falsify.violation_of net target (Cv_interval.Box.center box) with
+      | Some v -> Violated v
+      | None ->
+        if !splits >= budget then
+          Unknown (Printf.sprintf "split budget %d exhausted" budget)
+        else if Cv_interval.Box.max_width box <= 1e-9 then
+          (* Degenerate box still not proved: treat the residual as
+             abstract imprecision. *)
+          Unknown "degenerate box not proved"
+        else begin
+          incr splits;
+          let left, right = Cv_interval.Box.split box in
+          match go left with
+          | Proved -> go right
+          | (Violated _ | Unknown _) as r -> r
+        end
+    end
+  in
+  match
+    Falsify.search ~samples:32 ~rounds:1 ~rng net ~din:input_box ~dout:target ()
+  with
+  | Some v -> Violated v
+  | None -> go input_box
+
+(* Exact MILP check: per output coordinate, bound max and min with
+   cutoff queries. *)
+let check_milp net ~input_box ~target =
+  let enc = Cv_milp.Relu_encoding.encode ~net ~input_box in
+  let out_dim = Cv_nn.Network.out_dim net in
+  if Cv_interval.Box.dim target <> out_dim then
+    invalid_arg "Containment.check_milp: target dimension";
+  let tol = 1e-7 in
+  let rec per_output i =
+    if i = out_dim then Proved
+    else begin
+      let iv = Cv_interval.Box.get target i in
+      let hi = Cv_interval.Interval.hi iv and lo = Cv_interval.Interval.lo iv in
+      let upper_ok =
+        if hi = Float.infinity then Proved
+        else
+          match Cv_milp.Relu_encoding.max_output enc ~output:i ~cutoff:(hi +. tol) with
+          | Cv_milp.Milp.Below_cutoff _ -> Proved
+          | Cv_milp.Milp.Optimal s ->
+            if s.Cv_milp.Milp.objective <= hi +. tol then Proved
+            else
+              violation_from_point net target
+                (Array.sub s.Cv_milp.Milp.values 0 (Cv_nn.Network.in_dim net))
+          | Cv_milp.Milp.Cutoff_reached s ->
+            violation_from_point net target
+              (Array.sub s.Cv_milp.Milp.values 0 (Cv_nn.Network.in_dim net))
+          | Cv_milp.Milp.Infeasible -> Unknown "MILP infeasible (numerical)"
+          | Cv_milp.Milp.Unbounded -> Unknown "MILP unbounded (numerical)"
+      in
+      match upper_ok with
+      | Proved -> (
+        let lower_ok =
+          if lo = Float.neg_infinity then Proved
+          else
+            match
+              Cv_milp.Relu_encoding.min_output enc ~output:i ~cutoff:(lo -. tol)
+            with
+            | Cv_milp.Milp.Below_cutoff _ -> Proved
+            | Cv_milp.Milp.Optimal s ->
+              if s.Cv_milp.Milp.objective >= lo -. tol then Proved
+              else
+                violation_from_point net target
+                  (Array.sub s.Cv_milp.Milp.values 0 (Cv_nn.Network.in_dim net))
+            | Cv_milp.Milp.Cutoff_reached s ->
+              violation_from_point net target
+                (Array.sub s.Cv_milp.Milp.values 0 (Cv_nn.Network.in_dim net))
+            | Cv_milp.Milp.Infeasible -> Unknown "MILP infeasible (numerical)"
+            | Cv_milp.Milp.Unbounded -> Unknown "MILP unbounded (numerical)"
+        in
+        match lower_ok with Proved -> per_output (i + 1) | r -> r)
+      | r -> r
+    end
+  in
+  (* Sampling first: a concrete counterexample skips the solver. *)
+  let rng = Cv_util.Rng.create 43 in
+  match
+    Falsify.search ~samples:64 ~rounds:1 ~rng net ~din:input_box ~dout:target ()
+  with
+  | Some v -> Violated v
+  | None -> per_output 0
+
+(** [check engine net ~input_box ~target] decides (or attempts)
+    [∀x ∈ input_box : net(x) ∈ target]. *)
+let check engine net ~input_box ~target =
+  match engine with
+  | Abstract kind -> check_abstract kind net ~input_box ~target
+  | Symint_split budget -> check_split budget net ~input_box ~target
+  | Milp -> check_milp net ~input_box ~target
+
+(** [check_timed engine net ~input_box ~target] also reports wall-clock
+    seconds — the quantity the Table I reproduction aggregates. *)
+let check_timed engine net ~input_box ~target =
+  Cv_util.Timer.time (fun () -> check engine net ~input_box ~target)

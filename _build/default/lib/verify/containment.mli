@@ -1,0 +1,45 @@
+(** The local containment check — the workhorse of proof reuse.
+
+    Every sufficient condition in the paper reduces to queries of the
+    form [∀x ∈ B : g(x) ∈ T] where [g] is a small slice of the network,
+    [B] an input box and [T] a stored state abstraction (or [D_out]).
+    This module answers such queries with a selectable engine. *)
+
+type engine =
+  | Abstract of Cv_domains.Analyzer.domain_kind
+      (** one-shot abstract interpretation: cheap, incomplete *)
+  | Symint_split of int
+      (** symbolic intervals with input bisection (ReluVal-style);
+          the payload caps the number of splits *)
+  | Milp  (** exact big-M encoding with cutoff queries; complete for
+              piecewise-linear slices *)
+
+(** [engine_name e] is a printable engine label. *)
+val engine_name : engine -> string
+
+type verdict =
+  | Proved
+  | Violated of Falsify.violation
+  | Unknown of string
+      (** the engine could not decide (abstract imprecision or budget) *)
+
+(** [is_proved v] is true for [Proved]. *)
+val is_proved : verdict -> bool
+
+(** [check engine net ~input_box ~target] decides (or attempts)
+    [∀x ∈ input_box : net(x) ∈ target]. *)
+val check :
+  engine ->
+  Cv_nn.Network.t ->
+  input_box:Cv_interval.Box.t ->
+  target:Cv_interval.Box.t ->
+  verdict
+
+(** [check_timed engine net ~input_box ~target] also reports wall-clock
+    seconds — the quantity the Table I reproduction aggregates. *)
+val check_timed :
+  engine ->
+  Cv_nn.Network.t ->
+  input_box:Cv_interval.Box.t ->
+  target:Cv_interval.Box.t ->
+  verdict * float

@@ -1,0 +1,84 @@
+(** Sampling-based falsification.
+
+    Cheap pre-checks run before any expensive solver call: random
+    sampling plus a simple coordinate-descent sharpening that pushes a
+    sample towards violating the target output box. A found
+    counterexample settles a query definitively (the property is
+    {e disproved}); failure to find one proves nothing. *)
+
+type violation = {
+  input : Cv_linalg.Vec.t;
+  output : Cv_linalg.Vec.t;
+  neuron : int;  (** violated output coordinate *)
+  side : [ `Lower | `Upper ];
+  margin : float;  (** how far outside the bound, > 0 *)
+}
+
+(* Worst (most violated or closest-to-violation) coordinate of an output
+   against a box; positive margin = violation. *)
+let worst_margin (dout : Cv_interval.Box.t) output =
+  let best = ref (0, `Upper, Float.neg_infinity) in
+  Array.iteri
+    (fun i y ->
+      let iv = Cv_interval.Box.get dout i in
+      let over = y -. Cv_interval.Interval.hi iv in
+      let under = Cv_interval.Interval.lo iv -. y in
+      let side, m = if over >= under then (`Upper, over) else (`Lower, under) in
+      let _, _, bm = !best in
+      if m > bm then best := (i, side, m))
+    output;
+  !best
+
+let violation_of net dout x =
+  let y = Cv_nn.Network.eval net x in
+  let neuron, side, margin = worst_margin dout y in
+  if margin > 0. then Some { input = x; output = y; neuron; side; margin }
+  else None
+
+(* Coordinate-descent sharpening: greedily move one input coordinate to
+   one of its interval endpoints whenever that increases the worst
+   margin. *)
+let sharpen net din dout x0 ~rounds =
+  let x = Array.copy x0 in
+  let margin_at x =
+    let _, _, m = worst_margin dout (Cv_nn.Network.eval net x) in
+    m
+  in
+  let current = ref (margin_at x) in
+  for _ = 1 to rounds do
+    for j = 0 to Array.length x - 1 do
+      let iv = Cv_interval.Box.get din j in
+      let saved = x.(j) in
+      let try_value v =
+        x.(j) <- v;
+        let m = margin_at x in
+        if m > !current then current := m else x.(j) <- saved
+      in
+      try_value (Cv_interval.Interval.lo iv);
+      if x.(j) = saved then try_value (Cv_interval.Interval.hi iv)
+    done
+  done;
+  x
+
+(** [search ?samples ?rounds ~rng net ~din ~dout ()] looks for an input
+    in [din] whose output escapes [dout]. Returns the first violation
+    found. *)
+let search ?(samples = 256) ?(rounds = 2) ~rng net ~din ~dout () =
+  let try_point x =
+    match violation_of net dout x with
+    | Some v -> Some v
+    | None ->
+      let x' = sharpen net din dout x ~rounds in
+      violation_of net dout x'
+  in
+  let rec loop k =
+    if k = 0 then None
+    else
+      match try_point (Cv_interval.Box.sample rng din) with
+      | Some v -> Some v
+      | None -> loop (k - 1)
+  in
+  (* Center and a sharpened center first: cheap and often decisive. *)
+  match try_point (Cv_interval.Box.center din) with
+  | Some v -> Some v
+  | None -> loop samples

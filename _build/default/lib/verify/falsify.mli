@@ -1,0 +1,31 @@
+(** Sampling-based falsification.
+
+    Cheap pre-checks run before any expensive solver call: random
+    sampling plus coordinate-descent sharpening. A found counterexample
+    settles a query definitively; failure to find one proves nothing. *)
+
+type violation = {
+  input : Cv_linalg.Vec.t;
+  output : Cv_linalg.Vec.t;
+  neuron : int;  (** violated output coordinate *)
+  side : [ `Lower | `Upper ];
+  margin : float;  (** how far outside the bound, > 0 *)
+}
+
+(** [violation_of net dout x] checks one concrete input against the
+    output box. *)
+val violation_of :
+  Cv_nn.Network.t -> Cv_interval.Box.t -> Cv_linalg.Vec.t -> violation option
+
+(** [search ?samples ?rounds ~rng net ~din ~dout ()] looks for an input
+    in [din] whose output escapes [dout]; the box center and sharpened
+    samples are tried first. *)
+val search :
+  ?samples:int ->
+  ?rounds:int ->
+  rng:Cv_util.Rng.t ->
+  Cv_nn.Network.t ->
+  din:Cv_interval.Box.t ->
+  dout:Cv_interval.Box.t ->
+  unit ->
+  violation option

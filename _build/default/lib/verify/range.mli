@@ -1,0 +1,21 @@
+(** Exact output-range computation.
+
+    The "sound and complete" original verification of the paper's
+    related work: compute the exact min/max of every output neuron over
+    the input box with branch-and-bound MILP (no cutoff — the solver
+    must close the optimality gap). This is the expensive full-network
+    run whose cost is the denominator of the Table I ratios. *)
+
+type t = {
+  range : Cv_interval.Box.t;  (** exact per-output [min, max] *)
+  milp_vars : int;
+  milp_binaries : int;
+}
+
+(** [exact_range net ~din] computes the exact output range of a
+    piecewise-linear network over [din]. *)
+val exact_range : Cv_nn.Network.t -> din:Cv_interval.Box.t -> t
+
+(** [verify_exact net prop] decides the property by exact range
+    computation; returns the verdict together with the range. *)
+val verify_exact : Cv_nn.Network.t -> Property.t -> Containment.verdict * t

@@ -1,0 +1,78 @@
+(** Local robustness queries — the property family of the paper's
+    related-work refs [16] (Lipschitz-margin training) and [17]
+    (reachability with provable guarantees).
+
+    For a point [x], radius ε and output budget δ, local robustness
+    holds when [∀x' : ‖x' − x‖_∞ ≤ ε → ‖f(x') − f(x)‖_∞ ≤ δ]. The query
+    lowers to a containment check over the ball, so every engine (one-
+    shot abstract, splitting, exact MILP) applies; a Lipschitz constant
+    gives the cheap sufficient condition [ℓ·ε ≤ δ]; and differential
+    analysis transfers robustness across fine-tuning:
+    [‖f'(x') − f'(x)‖ ≤ ‖f(x') − f(x)‖ + 2·max‖f' − f‖]. *)
+
+type query = {
+  x : Cv_linalg.Vec.t;  (** centre point *)
+  epsilon : float;  (** input radius (∞-norm) *)
+  delta : float;  (** allowed output deviation (∞-norm) *)
+}
+
+(** [ball q] is the input region of the query. *)
+let ball q = Cv_interval.Box.of_center_radius q.x q.epsilon
+
+(** [target net q] is the output box [f(x) ± δ]. *)
+let target net q = Cv_interval.Box.of_center_radius (Cv_nn.Network.eval net q.x) q.delta
+
+(** [check engine net q] decides the robustness query with any
+    containment engine. *)
+let check engine net q =
+  Containment.check engine net ~input_box:(ball q) ~target:(target net q)
+
+(** [check_lipschitz ~ell q] — the O(1) sufficient condition
+    [ℓ·ε ≤ δ]; [true] proves robustness (for the norm ℓ was computed
+    in), [false] proves nothing. *)
+let check_lipschitz ~ell q = Cv_util.Float_utils.leq (ell *. q.epsilon) q.delta
+
+(** [transfer_budget ~old_net ~new_net q] bounds how much of the output
+    budget survives fine-tuning: if [f] is (ε, δ′)-robust at [x] with
+    [δ′ = δ − 2·max‖f' − f‖] over the ball, then [f'] is (ε, δ)-robust
+    at [x]. Returns the residual budget δ′ (may be ≤ 0, meaning no
+    transfer). *)
+let transfer_budget ~old_net ~new_net q =
+  let eps_diff =
+    Cv_diffverify.Diffverify.max_output_delta ~old_net ~new_net (ball q)
+  in
+  q.delta -. (2. *. eps_diff)
+
+(** [check_transfer engine ~old_net ~new_net q] — robustness of the
+    fine-tuned network via the differential transfer: verify the
+    {e old} network against the residual budget. Sound; returns
+    [Unknown] when the residual budget is non-positive. *)
+let check_transfer engine ~old_net ~new_net q =
+  let residual = transfer_budget ~old_net ~new_net q in
+  if residual <= 0. then
+    Containment.Unknown "fine-tuning drift exhausts the output budget"
+  else check engine old_net { q with delta = residual }
+
+(** [certified_radius ?engine ?steps net ~x ~delta] binary-searches the
+    largest ε (within [steps] halvings) for which the query is proved —
+    a standard robustness-certification output. *)
+let certified_radius ?(engine = Containment.Milp) ?(steps = 12) net ~x ~delta =
+  let rec go lo hi k =
+    if k = 0 then lo
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      match check engine net { x; epsilon = mid; delta } with
+      | Containment.Proved -> go mid hi (k - 1)
+      | _ -> go lo mid (k - 1)
+    end
+  in
+  (* Find an upper bracket first. *)
+  let rec bracket hi k =
+    if k = 0 then hi
+    else
+      match check engine net { x; epsilon = hi; delta } with
+      | Containment.Proved -> bracket (2. *. hi) (k - 1)
+      | _ -> hi
+  in
+  let hi = bracket 0.01 8 in
+  go 0. hi steps

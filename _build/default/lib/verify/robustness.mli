@@ -1,0 +1,49 @@
+(** Local robustness queries (related-work refs [16][17]): for a point
+    [x], radius ε and output budget δ, robustness holds when
+    [∀x' : ‖x' − x‖_∞ ≤ ε → ‖f(x') − f(x)‖_∞ ≤ δ]. *)
+
+type query = {
+  x : Cv_linalg.Vec.t;  (** centre point *)
+  epsilon : float;  (** input radius (∞-norm) *)
+  delta : float;  (** allowed output deviation (∞-norm) *)
+}
+
+(** [ball q] is the input region of the query. *)
+val ball : query -> Cv_interval.Box.t
+
+(** [target net q] is the output box [f(x) ± δ]. *)
+val target : Cv_nn.Network.t -> query -> Cv_interval.Box.t
+
+(** [check engine net q] decides the robustness query with any
+    containment engine. *)
+val check : Containment.engine -> Cv_nn.Network.t -> query -> Containment.verdict
+
+(** [check_lipschitz ~ell q] — the O(1) sufficient condition
+    [ℓ·ε ≤ δ]; [false] proves nothing. *)
+val check_lipschitz : ell:float -> query -> bool
+
+(** [transfer_budget ~old_net ~new_net q] is the residual output budget
+    after fine-tuning, [δ − 2·max‖f' − f‖] over the ball (≤ 0 = no
+    transfer). *)
+val transfer_budget :
+  old_net:Cv_nn.Network.t -> new_net:Cv_nn.Network.t -> query -> float
+
+(** [check_transfer engine ~old_net ~new_net q] — robustness of the
+    fine-tuned network via the differential transfer: verify the {e old}
+    network against the residual budget. *)
+val check_transfer :
+  Containment.engine ->
+  old_net:Cv_nn.Network.t ->
+  new_net:Cv_nn.Network.t ->
+  query ->
+  Containment.verdict
+
+(** [certified_radius ?engine ?steps net ~x ~delta] binary-searches the
+    largest proved ε. *)
+val certified_radius :
+  ?engine:Containment.engine ->
+  ?steps:int ->
+  Cv_nn.Network.t ->
+  x:Cv_linalg.Vec.t ->
+  delta:float ->
+  float

@@ -1,0 +1,42 @@
+(** Split certificates: the bisection tree of a ReluVal-style proof,
+    kept as a reusable artifact. On each leaf of the partition, one-shot
+    symbolic-interval analysis suffices to prove the target; the leaf
+    list therefore supports cheap revalidation for fine-tuned networks
+    (no new splitting) and selective repair. *)
+
+type t = {
+  input_box : Cv_interval.Box.t;  (** the certified domain *)
+  target : Cv_interval.Box.t;  (** the certified output set *)
+  leaves : Cv_interval.Box.t array;  (** partition of [input_box] *)
+}
+
+(** [prove ?budget net ~input_box ~target] runs the splitting verifier
+    and, on success, returns the certificate with its leaf partition;
+    [None] when the property is not proved within the split budget. *)
+val prove :
+  ?budget:int ->
+  Cv_nn.Network.t ->
+  input_box:Cv_interval.Box.t ->
+  target:Cv_interval.Box.t ->
+  t option
+
+(** [num_leaves c] is the partition size (1 = no splitting needed). *)
+val num_leaves : t -> int
+
+(** [revalidate ?domains c net'] re-checks every leaf against the stored
+    target with one-shot symbolic intervals on [net'] — embarrassingly
+    parallel; [true] proves [∀x ∈ input_box : net'(x) ∈ target]. *)
+val revalidate : ?domains:int -> t -> Cv_nn.Network.t -> bool
+
+(** [revalidate_detailed ?domains c net'] also reports the indices of
+    failed leaves. *)
+val revalidate_detailed : ?domains:int -> t -> Cv_nn.Network.t -> int list
+
+(** [repair ?budget c net'] re-splits only the failed leaves for the new
+    network; [None] when some failed leaf cannot be re-proved within the
+    budget. *)
+val repair : ?budget:int -> t -> Cv_nn.Network.t -> t option
+
+val to_json : t -> Cv_util.Json.t
+
+val of_json : Cv_util.Json.t -> t

@@ -1,0 +1,65 @@
+(** Whole-property verification: [φ(f, D_in, D_out)].
+
+    A thin specialisation of {!Containment} to the full network, plus
+    the artifact-producing variant that returns the layer-wise state
+    abstractions alongside the verdict — the "original problem" solver
+    whose outputs the continuous-verification strategies reuse. *)
+
+type report = {
+  verdict : Containment.verdict;
+  engine : Containment.engine;
+  seconds : float;
+}
+
+(** [verify engine net prop] decides the safety property with the given
+    engine and reports timing. *)
+let verify engine net prop =
+  if not (Property.well_formed prop net) then
+    invalid_arg "Verifier.verify: property/network dimension mismatch";
+  let verdict, seconds =
+    Containment.check_timed engine net ~input_box:prop.Property.din
+      ~target:prop.Property.dout
+  in
+  { verdict; engine; seconds }
+
+(** Result of {!verify_with_abstractions}: the verdict plus, on success,
+    inductive state abstractions [S_1..S_n] proving it. *)
+type proof_result = {
+  report : report;
+  abstractions : Cv_interval.Box.t array option;
+      (** [Some] only when the abstractions themselves prove safety
+          ([S_n ⊆ D_out]) *)
+}
+
+(** [verify_with_abstractions ?domain ?fallback net prop] first tries the
+    layer-wise abstract analysis (default: symbolic intervals, as in the
+    paper's use of ReluVal): when the resulting [S_n ⊆ D_out], the
+    property is proved {e and} the abstractions form a reusable proof
+    artifact. Otherwise falls back to the exact engine (default MILP) —
+    in which case no inductive box abstraction is produced (the verdict
+    may still be [Proved]). *)
+let verify_with_abstractions ?(domain = Cv_domains.Analyzer.Symint)
+    ?(fallback = Containment.Milp) net prop =
+  if not (Property.well_formed prop net) then
+    invalid_arg "Verifier.verify_with_abstractions: dimension mismatch";
+  let (abstractions, abstract_ok), abs_seconds =
+    Cv_util.Timer.time (fun () ->
+        let s = Cv_domains.Analyzer.abstractions domain net prop.Property.din in
+        let ok =
+          Cv_interval.Box.subset_tol
+            s.(Array.length s - 1)
+            prop.Property.dout
+        in
+        (s, ok))
+  in
+  if abstract_ok then
+    { report =
+        { verdict = Containment.Proved;
+          engine = Containment.Abstract domain;
+          seconds = abs_seconds };
+      abstractions = Some abstractions }
+  else begin
+    let r = verify fallback net prop in
+    { report = { r with seconds = r.seconds +. abs_seconds };
+      abstractions = None }
+  end

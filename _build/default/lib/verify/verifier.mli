@@ -1,0 +1,33 @@
+(** Whole-property verification: [φ(f, D_in, D_out)]. *)
+
+type report = {
+  verdict : Containment.verdict;
+  engine : Containment.engine;
+  seconds : float;
+}
+
+(** [verify engine net prop] decides the safety property with the given
+    engine and reports timing. *)
+val verify : Containment.engine -> Cv_nn.Network.t -> Property.t -> report
+
+(** Result of {!verify_with_abstractions}: the verdict plus, on success,
+    inductive state abstractions [S_1..S_n] proving it. *)
+type proof_result = {
+  report : report;
+  abstractions : Cv_interval.Box.t array option;
+      (** [Some] only when the abstractions themselves prove safety
+          ([S_n ⊆ D_out]) *)
+}
+
+(** [verify_with_abstractions ?domain ?fallback net prop] first tries
+    the layer-wise abstract analysis (default: symbolic intervals, as in
+    the paper's use of ReluVal): when the resulting [S_n ⊆ D_out], the
+    property is proved {e and} the abstractions form a reusable proof
+    artifact. Otherwise falls back to the exact engine (default
+    MILP). *)
+val verify_with_abstractions :
+  ?domain:Cv_domains.Analyzer.domain_kind ->
+  ?fallback:Containment.engine ->
+  Cv_nn.Network.t ->
+  Property.t ->
+  proof_result

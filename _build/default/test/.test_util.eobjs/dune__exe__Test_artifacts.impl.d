@@ -1,0 +1,1 @@
+test/test_artifacts.ml: Alcotest Array Cv_artifacts Cv_domains Cv_interval Cv_nn Cv_util Cv_verify Filename Fun List Sys

@@ -1,0 +1,1 @@
+test/test_diffverify.ml: Alcotest Array Cv_artifacts Cv_core Cv_diffverify Cv_domains Cv_interval Cv_lipschitz Cv_nn Cv_util Cv_verify Float Printf QCheck QCheck_alcotest

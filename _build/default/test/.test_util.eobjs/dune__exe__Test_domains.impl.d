@@ -1,0 +1,1 @@
+test/test_domains.ml: Alcotest Array Cv_domains Cv_interval Cv_linalg Cv_nn Cv_util Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Cv_interval Cv_util Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cv_linalg Cv_util Float Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lipschitz.ml: Alcotest Array Cv_interval Cv_linalg Cv_lipschitz Cv_nn Cv_util Gen List Printf QCheck QCheck_alcotest

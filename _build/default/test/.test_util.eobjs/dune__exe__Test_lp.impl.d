@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Cv_lp Float Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Cv_domains Cv_interval Cv_linalg Cv_lp Cv_milp Cv_nn Cv_util Float Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Array Cv_interval Cv_linalg Cv_monitor Cv_nn Cv_util Gen List QCheck QCheck_alcotest

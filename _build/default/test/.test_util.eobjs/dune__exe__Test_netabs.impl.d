@@ -1,0 +1,1 @@
+test/test_netabs.ml: Alcotest Array Cv_domains Cv_interval Cv_linalg Cv_netabs Cv_nn Cv_util Float Printf

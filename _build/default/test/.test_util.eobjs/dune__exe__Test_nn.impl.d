@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Cv_domains Cv_interval Cv_linalg Cv_nn Cv_util Filename Float Fun Gen List Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_queries.ml: Alcotest Array Cv_interval Cv_linalg Cv_lipschitz Cv_nn Cv_util Cv_verify Float

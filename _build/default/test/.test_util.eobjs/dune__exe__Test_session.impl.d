@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Array Cv_core Cv_domains Cv_interval Cv_nn Cv_util Cv_verify List String

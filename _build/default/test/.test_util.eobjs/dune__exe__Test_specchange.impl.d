@@ -1,0 +1,1 @@
+test/test_specchange.ml: Alcotest Array Cv_artifacts Cv_core Cv_domains Cv_interval Cv_lipschitz Cv_nn Cv_util Cv_verify List Option

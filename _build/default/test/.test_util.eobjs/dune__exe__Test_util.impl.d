@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cv_util Float Fun QCheck QCheck_alcotest String

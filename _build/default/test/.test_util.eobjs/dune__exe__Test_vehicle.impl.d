@@ -1,0 +1,1 @@
+test/test_vehicle.ml: Alcotest Array Cv_domains Cv_interval Cv_monitor Cv_nn Cv_util Cv_vehicle Float List Printf String

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Cv_domains Cv_interval Cv_linalg Cv_nn Cv_util Cv_verify Float List QCheck QCheck_alcotest

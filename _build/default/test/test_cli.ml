@@ -1,0 +1,86 @@
+(* End-to-end smoke tests of the contiver CLI binary: generate →
+   describe → verify → svudc → svbtv → diff, driving the executable the
+   way a user would. *)
+
+(* Under `dune runtest` the cwd is _build/default/test; under
+   `dune exec` it is the workspace root. *)
+let exe =
+  List.find_opt Sys.file_exists
+    [ "../bin/contiver.exe"; "_build/default/bin/contiver.exe";
+      "bin/contiver.exe" ]
+  |> Option.value ~default:"../bin/contiver.exe"
+
+let tmp_dir = Filename.concat (Filename.get_temp_dir_name ()) "contiver_cli_test"
+
+let run args =
+  let cmd = Filename.quote_command exe args ^ " > /dev/null 2>&1" in
+  Sys.command cmd
+
+let check_run ?(expect = 0) name args =
+  Alcotest.(check int) name expect (run args)
+
+let test_help () =
+  check_run "--help" [ "--help" ];
+  check_run "svudc --help" [ "svudc"; "--help" ]
+
+let test_unknown_command () =
+  Alcotest.(check bool) "nonzero exit" true (run [ "frobnicate" ] <> 0)
+
+let test_generate_and_describe () =
+  ignore (Sys.command ("rm -rf " ^ Filename.quote tmp_dir));
+  check_run "generate" [ "generate"; "--out"; tmp_dir; "--seed"; "7" ];
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " exists") true
+        (Sys.file_exists (Filename.concat tmp_dir f)))
+    [ "head1.json"; "head5.json"; "property.json"; "din.json";
+      "enlarged_din.json" ];
+  check_run "describe" [ "describe"; "--model"; Filename.concat tmp_dir "head1.json" ]
+
+let test_verify_and_reuse () =
+  (* depends on test_generate_and_describe having populated tmp_dir *)
+  let path f = Filename.concat tmp_dir f in
+  check_run "verify (abstract)"
+    [ "verify"; "--model"; path "head1.json"; "--property";
+      path "property.json"; "--artifact"; path "proof.json" ];
+  Alcotest.(check bool) "artifact written" true (Sys.file_exists (path "proof.json"));
+  check_run "svudc"
+    [ "svudc"; "--model"; path "head1.json"; "--artifact"; path "proof.json";
+      "--new-din"; path "enlarged_din.json" ];
+  check_run "svbtv"
+    [ "svbtv"; "--old"; path "head1.json"; "--new"; path "head2.json";
+      "--artifact"; path "proof.json"; "--new-din"; path "enlarged_din.json" ];
+  check_run "diff"
+    [ "diff"; "--old"; path "head1.json"; "--new"; path "head2.json";
+      "--din"; path "din.json" ];
+  check_run "suspects"
+    [ "suspects"; "--model"; path "head1.json"; "--property";
+      path "property.json" ];
+  check_run "export-nnet"
+    [ "export-nnet"; "--model"; path "head1.json"; "--din"; path "din.json";
+      "--out"; path "head1.nnet" ];
+  Alcotest.(check bool) "nnet written" true (Sys.file_exists (path "head1.nnet"));
+  check_run "import-nnet"
+    [ "import-nnet"; "--nnet"; path "head1.nnet"; "--out";
+      path "head1_roundtrip.json" ];
+  Alcotest.(check bool) "model written" true
+    (Sys.file_exists (path "head1_roundtrip.json"))
+
+let test_verify_rejects_missing_file () =
+  Alcotest.(check bool) "missing model rejected" true
+    (run [ "describe"; "--model"; "/nonexistent.json" ] <> 0)
+
+let () =
+  if not (Sys.file_exists exe) then begin
+    print_endline "contiver binary not found; skipping CLI tests";
+    exit 0
+  end;
+  Alcotest.run "cv_cli"
+    [ ( "cli",
+        [ Alcotest.test_case "help" `Quick test_help;
+          Alcotest.test_case "unknown command" `Quick test_unknown_command;
+          Alcotest.test_case "generate+describe" `Quick
+            test_generate_and_describe;
+          Alcotest.test_case "verify+reuse" `Quick test_verify_and_reuse;
+          Alcotest.test_case "missing file" `Quick
+            test_verify_rejects_missing_file ] ) ]

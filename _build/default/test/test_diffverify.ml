@@ -1,0 +1,194 @@
+(* Tests for Cv_diffverify: soundness and tightness of the differential
+   interval analysis, and the prop-diff SVbTV route. *)
+
+let rng () = Cv_util.Rng.create 4242
+
+let base_net seed =
+  Cv_nn.Network.random ~rng:(Cv_util.Rng.create seed) ~dims:[ 4; 7; 5; 1 ]
+    ~act:Cv_nn.Activation.Relu ()
+
+let perturbed net sigma seed =
+  Cv_nn.Network.map_layers
+    (Cv_nn.Layer.perturb ~rng:(Cv_util.Rng.create seed) ~sigma)
+    net
+
+let box4 = Cv_interval.Box.uniform 4 ~lo:0. ~hi:1.
+
+(* Soundness: the tracked delta bound dominates sampled differences. *)
+let test_soundness () =
+  let rng = rng () in
+  for seed = 1 to 6 do
+    let old_net = base_net seed in
+    let new_net = perturbed old_net 0.01 (seed * 3) in
+    let eps =
+      Cv_diffverify.Diffverify.max_output_delta ~old_net ~new_net box4
+    in
+    for _ = 1 to 500 do
+      let x = Cv_interval.Box.sample rng box4 in
+      let d =
+        Float.abs
+          ((Cv_nn.Network.eval new_net x).(0) -. (Cv_nn.Network.eval old_net x).(0))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: %.5f <= %.5f" seed d eps)
+        true (d <= eps +. 1e-9)
+    done
+  done
+
+let test_zero_for_identical () =
+  let net = base_net 9 in
+  Alcotest.(check (float 1e-12)) "identical nets" 0.
+    (Cv_diffverify.Diffverify.max_output_delta ~old_net:net ~new_net:net box4)
+
+let test_tighter_than_naive () =
+  for seed = 1 to 5 do
+    let old_net = base_net seed in
+    let new_net = perturbed old_net 0.005 (seed * 7) in
+    let eps =
+      Cv_diffverify.Diffverify.max_output_delta ~old_net ~new_net box4
+    in
+    let naive =
+      Cv_diffverify.Diffverify.naive_bound ~old_net ~new_net box4
+    in
+    let naive_max =
+      Array.fold_left
+        (fun acc iv ->
+          Float.max acc
+            (Float.max
+               (Float.abs (Cv_interval.Interval.lo iv))
+               (Float.abs (Cv_interval.Interval.hi iv))))
+        0. naive
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "tracked %.4f <= naive %.4f" eps naive_max)
+      true (eps <= naive_max +. 1e-9)
+  done
+
+let test_delta_scales_with_drift () =
+  let old_net = base_net 5 in
+  let small = perturbed old_net 0.001 11 in
+  let large = perturbed old_net 0.05 11 in
+  let eps_small =
+    Cv_diffverify.Diffverify.max_output_delta ~old_net ~new_net:small box4
+  in
+  let eps_large =
+    Cv_diffverify.Diffverify.max_output_delta ~old_net ~new_net:large box4
+  in
+  Alcotest.(check bool) "monotone in drift" true (eps_small < eps_large)
+
+let test_shape_mismatch_rejected () =
+  let a = base_net 1 in
+  let b =
+    Cv_nn.Network.random ~rng:(Cv_util.Rng.create 2) ~dims:[ 4; 6; 5; 1 ]
+      ~act:Cv_nn.Activation.Relu ()
+  in
+  try
+    ignore (Cv_diffverify.Diffverify.analyze ~old_net:a ~new_net:b box4);
+    Alcotest.fail "should reject"
+  with Invalid_argument _ -> ()
+
+let test_layer_records () =
+  let old_net = base_net 3 in
+  let new_net = perturbed old_net 0.01 5 in
+  let layers = Cv_diffverify.Diffverify.analyze ~old_net ~new_net box4 in
+  Alcotest.(check int) "one record per layer" 3 (Array.length layers);
+  (* Old-box soundness per layer. *)
+  let rng = rng () in
+  for _ = 1 to 200 do
+    let x = Cv_interval.Box.sample rng box4 in
+    let trace = Cv_nn.Network.eval_trace old_net x in
+    Array.iteri
+      (fun i r ->
+        Alcotest.(check bool) "old box sound" true
+          (Cv_interval.Box.mem_tol ~tol:1e-6 trace.(i)
+             r.Cv_diffverify.Diffverify.old_box))
+      layers
+  done
+
+(* prop-diff route: small drift on an unchanged domain with a roomy
+   D_out transfers; and whenever it says Safe, sampling agrees. *)
+let test_prop_diff_route () =
+  let net = base_net 21 in
+  let chain =
+    Cv_domains.Analyzer.abstractions ~widen:0.02 Cv_domains.Analyzer.Symint net
+      box4
+  in
+  let s_n = chain.(Array.length chain - 1) in
+  let dout = Cv_interval.Box.expand 0.3 s_n in
+  let prop = Cv_verify.Property.make ~din:box4 ~dout in
+  let artifact =
+    Cv_artifacts.Artifacts.make ~state_abstractions:chain
+      ~lipschitz:
+        [ ("Linf", Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net) ]
+      ~property:prop ~net ~solver:"chain" ~solve_seconds:1. ()
+  in
+  let net' = perturbed net 0.002 31 in
+  let p =
+    Cv_core.Problem.svbtv ~old_net:net ~new_net:net' ~artifact ~new_din:box4
+  in
+  let a = Cv_core.Diff_reuse.prop_diff p in
+  Alcotest.(check bool) ("prop-diff: " ^ a.Cv_core.Report.detail) true
+    (Cv_core.Report.is_safe a);
+  let rng = rng () in
+  for _ = 1 to 1000 do
+    let x = Cv_interval.Box.sample rng box4 in
+    Alcotest.(check bool) "target safe" true
+      (Cv_interval.Box.mem_tol ~tol:1e-7 (Cv_nn.Network.eval net' x) dout)
+  done
+
+let test_prop_diff_rejects_big_drift () =
+  let net = base_net 23 in
+  let chain =
+    Cv_domains.Analyzer.abstractions Cv_domains.Analyzer.Symint net box4
+  in
+  let dout = chain.(Array.length chain - 1) in
+  let prop = Cv_verify.Property.make ~din:box4 ~dout in
+  let artifact =
+    Cv_artifacts.Artifacts.make ~state_abstractions:chain ~property:prop ~net
+      ~solver:"chain" ~solve_seconds:1. ()
+  in
+  let net' = perturbed net 0.5 37 in
+  let p =
+    Cv_core.Problem.svbtv ~old_net:net ~new_net:net' ~artifact ~new_din:box4
+  in
+  let a = Cv_core.Diff_reuse.prop_diff p in
+  Alcotest.(check bool) "big drift inconclusive" true
+    (not (Cv_core.Report.is_safe a))
+
+let diff_soundness_prop =
+  QCheck.Test.make ~name:"differential bound dominates random pairs" ~count:30
+    QCheck.(pair (int_range 1 200) (float_range 0.0 0.05))
+    (fun (seed, sigma) ->
+      let old_net = base_net seed in
+      let new_net = perturbed old_net sigma (seed + 1) in
+      let eps =
+        Cv_diffverify.Diffverify.max_output_delta ~old_net ~new_net box4
+      in
+      let rng = Cv_util.Rng.create (seed + 2) in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let x = Cv_interval.Box.sample rng box4 in
+        let d =
+          Float.abs
+            ((Cv_nn.Network.eval new_net x).(0)
+            -. (Cv_nn.Network.eval old_net x).(0))
+        in
+        if d > eps +. 1e-9 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "cv_diffverify"
+    [ ( "analysis",
+        [ Alcotest.test_case "soundness" `Quick test_soundness;
+          Alcotest.test_case "zero for identical" `Quick test_zero_for_identical;
+          Alcotest.test_case "tighter than naive" `Quick test_tighter_than_naive;
+          Alcotest.test_case "scales with drift" `Quick
+            test_delta_scales_with_drift;
+          Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch_rejected;
+          Alcotest.test_case "layer records" `Quick test_layer_records;
+          QCheck_alcotest.to_alcotest diff_soundness_prop ] );
+      ( "prop-diff",
+        [ Alcotest.test_case "route fires" `Quick test_prop_diff_route;
+          Alcotest.test_case "rejects big drift" `Quick
+            test_prop_diff_rejects_big_drift ] ) ]

@@ -1,0 +1,266 @@
+(* Tests for Cv_interval: interval arithmetic and boxes. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let iv lo hi = Cv_interval.Interval.make lo hi
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_make_validation () =
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Interval.make: lo 2 > hi 1") (fun () ->
+      ignore (iv 2. 1.));
+  Alcotest.check_raises "nan" (Invalid_argument "Interval.make: NaN")
+    (fun () -> ignore (iv Float.nan 1.))
+
+let test_basic_accessors () =
+  let i = iv (-1.) 3. in
+  check_float "lo" (-1.) (Cv_interval.Interval.lo i);
+  check_float "hi" 3. (Cv_interval.Interval.hi i);
+  check_float "width" 4. (Cv_interval.Interval.width i);
+  check_float "center" 1. (Cv_interval.Interval.center i);
+  check_float "radius" 2. (Cv_interval.Interval.radius i);
+  Alcotest.(check bool) "mem" true (Cv_interval.Interval.mem 0. i);
+  Alcotest.(check bool) "mem bound" true (Cv_interval.Interval.mem 3. i);
+  Alcotest.(check bool) "not mem" false (Cv_interval.Interval.mem 3.1 i)
+
+let test_empty () =
+  let e = Cv_interval.Interval.empty in
+  Alcotest.(check bool) "is_empty" true (Cv_interval.Interval.is_empty e);
+  Alcotest.(check bool) "mem" false (Cv_interval.Interval.mem 0. e);
+  Alcotest.(check bool) "subset of anything" true
+    (Cv_interval.Interval.subset e (iv 0. 1.));
+  check_float "width" 0. (Cv_interval.Interval.width e);
+  Alcotest.(check bool) "join identity" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.join e (iv 1. 2.)) (iv 1. 2.))
+
+let test_arithmetic () =
+  let a = iv 1. 2. and b = iv (-1.) 3. in
+  Alcotest.(check bool) "add" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.add a b) (iv 0. 5.));
+  Alcotest.(check bool) "sub" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.sub a b) (iv (-2.) 3.));
+  Alcotest.(check bool) "neg" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.neg b) (iv (-3.) 1.));
+  Alcotest.(check bool) "scale pos" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.scale 2. a) (iv 2. 4.));
+  Alcotest.(check bool) "scale neg" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.scale (-2.) a) (iv (-4.) (-2.)));
+  Alcotest.(check bool) "mul" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.mul a b) (iv (-2.) 6.));
+  Alcotest.(check bool) "shift" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.shift 10. a) (iv 11. 12.))
+
+let test_join_meet () =
+  let a = iv 0. 2. and b = iv 1. 3. and c = iv 5. 6. in
+  Alcotest.(check bool) "join" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.join a b) (iv 0. 3.));
+  Alcotest.(check bool) "meet" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.meet a b) (iv 1. 2.));
+  Alcotest.(check bool) "disjoint meet empty" true
+    (Cv_interval.Interval.is_empty (Cv_interval.Interval.meet a c))
+
+let test_relu_leaky () =
+  Alcotest.(check bool) "relu spanning" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.relu (iv (-2.) 3.)) (iv 0. 3.));
+  Alcotest.(check bool) "relu negative" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.relu (iv (-2.) (-1.))) (iv 0. 0.));
+  Alcotest.(check bool) "leaky" true
+    (Cv_interval.Interval.equal
+       (Cv_interval.Interval.leaky_relu 0.1 (iv (-2.) 3.))
+       (iv (-0.2) 3.))
+
+let test_expand_dist () =
+  Alcotest.(check bool) "expand" true
+    (Cv_interval.Interval.equal (Cv_interval.Interval.expand 1. (iv 0. 1.)) (iv (-1.) 2.));
+  Alcotest.check_raises "negative radius"
+    (Invalid_argument "Interval.expand: negative radius") (fun () ->
+      ignore (Cv_interval.Interval.expand (-1.) (iv 0. 1.)));
+  check_float "dist inside" 0. (Cv_interval.Interval.dist_point 0.5 (iv 0. 1.));
+  check_float "dist left" 1. (Cv_interval.Interval.dist_point (-1.) (iv 0. 1.));
+  check_float "dist right" 2. (Cv_interval.Interval.dist_point 3. (iv 0. 1.));
+  check_float "hausdorff" 2.
+    (Cv_interval.Interval.hausdorff_directed (iv 0. 3.) (iv 0. 1.))
+
+let test_split_sample () =
+  let l, r = Cv_interval.Interval.split (iv 0. 2.) in
+  Alcotest.(check bool) "left" true (Cv_interval.Interval.equal l (iv 0. 1.));
+  Alcotest.(check bool) "right" true (Cv_interval.Interval.equal r (iv 1. 2.));
+  let rng = Cv_util.Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "sample in" true
+      (Cv_interval.Interval.mem (Cv_interval.Interval.sample rng (iv 2. 5.)) (iv 2. 5.))
+  done
+
+let test_json () =
+  let i = iv (-1.25) 3.5 in
+  Alcotest.(check bool) "roundtrip" true
+    (Cv_interval.Interval.equal i
+       (Cv_interval.Interval.of_json (Cv_interval.Interval.to_json i)))
+
+let interval_add_sound_prop =
+  QCheck.Test.make ~name:"interval add soundness" ~count:300
+    QCheck.(quad (float_range (-5.) 5.) (float_range 0. 3.)
+              (float_range (-5.) 5.) (float_range 0. 3.))
+    (fun (a, wa, b, wb) ->
+      let ia = iv a (a +. wa) and ib = iv b (b +. wb) in
+      let s = Cv_interval.Interval.add ia ib in
+      (* endpoints and midpoints of the operands sum into s *)
+      List.for_all
+        (fun (x, y) -> Cv_interval.Interval.mem_tol ~tol:1e-9 (x +. y) s)
+        [ (a, b); (a +. wa, b +. wb); (a +. (wa /. 2.), b +. (wb /. 2.)) ])
+
+let interval_mul_sound_prop =
+  QCheck.Test.make ~name:"interval mul soundness" ~count:300
+    QCheck.(quad (float_range (-5.) 5.) (float_range 0. 3.)
+              (float_range (-5.) 5.) (float_range 0. 3.))
+    (fun (a, wa, b, wb) ->
+      let ia = iv a (a +. wa) and ib = iv b (b +. wb) in
+      let s = Cv_interval.Interval.mul ia ib in
+      List.for_all
+        (fun (x, y) -> Cv_interval.Interval.mem_tol ~tol:1e-6 (x *. y) s)
+        [ (a, b); (a +. wa, b); (a, b +. wb); (a +. wa, b +. wb);
+          (a +. (wa /. 2.), b +. (wb /. 2.)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Box                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let box2 = Cv_interval.Box.of_bounds [| 0.; -1. |] [| 2.; 1. |]
+
+let test_box_basics () =
+  Alcotest.(check int) "dim" 2 (Cv_interval.Box.dim box2);
+  Alcotest.(check bool) "mem" true (Cv_interval.Box.mem [| 1.; 0. |] box2);
+  Alcotest.(check bool) "not mem" false (Cv_interval.Box.mem [| 3.; 0. |] box2);
+  Alcotest.(check (array (float 1e-9))) "center" [| 1.; 0. |]
+    (Cv_interval.Box.center box2);
+  Alcotest.(check (array (float 1e-9))) "lower" [| 0.; -1. |]
+    (Cv_interval.Box.lower box2);
+  Alcotest.(check (array (float 1e-9))) "upper" [| 2.; 1. |]
+    (Cv_interval.Box.upper box2)
+
+let test_box_subset_join () =
+  let small = Cv_interval.Box.of_bounds [| 0.5; -0.5 |] [| 1.; 0.5 |] in
+  Alcotest.(check bool) "subset" true (Cv_interval.Box.subset small box2);
+  Alcotest.(check bool) "not subset" false (Cv_interval.Box.subset box2 small);
+  let j = Cv_interval.Box.join box2 (Cv_interval.Box.point [| 5.; 0. |]) in
+  Alcotest.(check bool) "join contains point" true
+    (Cv_interval.Box.mem [| 5.; 0. |] j);
+  Alcotest.(check bool) "join contains box" true (Cv_interval.Box.subset box2 j)
+
+let test_box_width_split () =
+  check_float "max_width" 2. (Cv_interval.Box.max_width box2);
+  check_float "total_width" 4. (Cv_interval.Box.total_width box2);
+  Alcotest.(check int) "widest axis" 0 (Cv_interval.Box.widest_axis box2);
+  let l, r = Cv_interval.Box.split box2 in
+  Alcotest.(check bool) "split left" true
+    (Cv_interval.Box.equal l (Cv_interval.Box.of_bounds [| 0.; -1. |] [| 1.; 1. |]));
+  Alcotest.(check bool) "split right" true
+    (Cv_interval.Box.equal r (Cv_interval.Box.of_bounds [| 1.; -1. |] [| 2.; 1. |]))
+
+let test_box_nearest_dist () =
+  Alcotest.(check (array (float 1e-9))) "nearest inside" [| 1.; 0. |]
+    (Cv_interval.Box.nearest_point [| 1.; 0. |] box2);
+  Alcotest.(check (array (float 1e-9))) "nearest clamped" [| 2.; 1. |]
+    (Cv_interval.Box.nearest_point [| 5.; 3. |] box2);
+  check_float "dist inf" 3. (Cv_interval.Box.dist_point_inf [| 5.; 3. |] box2);
+  check_float "dist l2" (sqrt 13.) (Cv_interval.Box.dist_point_l2 [| 5.; 3. |] box2)
+
+let test_box_kappa () =
+  (* Paper's Prop 3 example: D_in = [1,2]^2, enlarged [0.99, 2.01]^2:
+     per-axis overhang 0.01 -> Linf kappa 0.01, L2 kappa sqrt(2)*0.01. *)
+  let old_box = Cv_interval.Box.uniform 2 ~lo:1. ~hi:2. in
+  let new_box = Cv_interval.Box.uniform 2 ~lo:0.99 ~hi:2.01 in
+  check_float "Linf" 0.01
+    (Cv_interval.Box.enlargement_kappa ~norm:`Linf ~old_box ~new_box);
+  Alcotest.(check (float 1e-12)) "L2" (sqrt (2. *. (0.01 ** 2.)))
+    (Cv_interval.Box.enlargement_kappa ~norm:`L2 ~old_box ~new_box)
+
+let test_box_buffer_expand () =
+  let b = Cv_interval.Box.of_bounds [| 0. |] [| 2. |] in
+  let buffered = Cv_interval.Box.buffer 0.1 b in
+  Alcotest.(check bool) "buffer widens" true
+    (Cv_interval.Box.equal buffered (Cv_interval.Box.of_bounds [| -0.2 |] [| 2.2 |]));
+  let degenerate = Cv_interval.Box.point [| 1. |] in
+  let buffered_deg = Cv_interval.Box.buffer 0.1 degenerate in
+  Alcotest.(check bool) "degenerate gets absolute buffer" true
+    (Cv_interval.Box.equal buffered_deg
+       (Cv_interval.Box.of_bounds [| 0.9 |] [| 1.1 |]));
+  let e = Cv_interval.Box.expand 1. b in
+  Alcotest.(check bool) "expand" true
+    (Cv_interval.Box.equal e (Cv_interval.Box.of_bounds [| -1. |] [| 3. |]))
+
+let test_box_corners () =
+  let cs = Cv_interval.Box.corners box2 in
+  Alcotest.(check int) "4 corners" 4 (List.length cs);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "corner in box" true (Cv_interval.Box.mem c box2))
+    cs
+
+let test_box_corners_guard () =
+  let big = Cv_interval.Box.uniform 21 ~lo:0. ~hi:1. in
+  try
+    ignore (Cv_interval.Box.corners big);
+    Alcotest.fail "should reject > 20 dims"
+  with Invalid_argument _ -> ()
+
+let test_box_meet_empty () =
+  let a = Cv_interval.Box.uniform 2 ~lo:0. ~hi:1. in
+  let b = Cv_interval.Box.uniform 2 ~lo:2. ~hi:3. in
+  Alcotest.(check bool) "disjoint meet empty" true
+    (Cv_interval.Box.is_empty (Cv_interval.Box.meet a b));
+  Alcotest.(check bool) "self meet non-empty" false
+    (Cv_interval.Box.is_empty (Cv_interval.Box.meet a a))
+
+let test_box_json () =
+  Alcotest.(check bool) "roundtrip" true
+    (Cv_interval.Box.equal box2
+       (Cv_interval.Box.of_json (Cv_interval.Box.to_json box2)))
+
+let box_kappa_sound_prop =
+  QCheck.Test.make ~name:"kappa bounds sampled distances" ~count:100
+    QCheck.(pair (float_range 0. 0.5) (float_range 0. 0.5))
+    (fun (dl, dr) ->
+      let old_box = Cv_interval.Box.uniform 3 ~lo:0. ~hi:1. in
+      let new_box = Cv_interval.Box.uniform 3 ~lo:(-.dl) ~hi:(1. +. dr) in
+      let kappa =
+        Cv_interval.Box.enlargement_kappa ~norm:`Linf ~old_box ~new_box
+      in
+      let rng = Cv_util.Rng.create 11 in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let x = Cv_interval.Box.sample rng new_box in
+        if Cv_interval.Box.dist_point_inf x old_box > kappa +. 1e-9 then
+          ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "cv_interval"
+    [ ( "interval",
+        [ Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "accessors" `Quick test_basic_accessors;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "join/meet" `Quick test_join_meet;
+          Alcotest.test_case "relu/leaky" `Quick test_relu_leaky;
+          Alcotest.test_case "expand/dist" `Quick test_expand_dist;
+          Alcotest.test_case "split/sample" `Quick test_split_sample;
+          Alcotest.test_case "json" `Quick test_json;
+          QCheck_alcotest.to_alcotest interval_add_sound_prop;
+          QCheck_alcotest.to_alcotest interval_mul_sound_prop ] );
+      ( "box",
+        [ Alcotest.test_case "basics" `Quick test_box_basics;
+          Alcotest.test_case "subset/join" `Quick test_box_subset_join;
+          Alcotest.test_case "width/split" `Quick test_box_width_split;
+          Alcotest.test_case "nearest/dist" `Quick test_box_nearest_dist;
+          Alcotest.test_case "kappa (paper example)" `Quick test_box_kappa;
+          Alcotest.test_case "buffer/expand" `Quick test_box_buffer_expand;
+          Alcotest.test_case "corners" `Quick test_box_corners;
+          Alcotest.test_case "corners guard" `Quick test_box_corners_guard;
+          Alcotest.test_case "meet empty" `Quick test_box_meet_empty;
+          Alcotest.test_case "json" `Quick test_box_json;
+          QCheck_alcotest.to_alcotest box_kappa_sound_prop ] ) ]

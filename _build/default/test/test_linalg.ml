@@ -1,0 +1,147 @@
+(* Tests for Cv_linalg: vectors, matrices, norms, power iteration. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let vec = Alcotest.(array (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_arith () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  Alcotest.check vec "add" [| 5.; 7.; 9. |] (Cv_linalg.Vec.add a b);
+  Alcotest.check vec "sub" [| -3.; -3.; -3. |] (Cv_linalg.Vec.sub a b);
+  Alcotest.check vec "scale" [| 2.; 4.; 6. |] (Cv_linalg.Vec.scale 2. a);
+  Alcotest.check vec "neg" [| -1.; -2.; -3. |] (Cv_linalg.Vec.neg a);
+  Alcotest.check vec "mul" [| 4.; 10.; 18. |] (Cv_linalg.Vec.mul a b);
+  check_float "dot" 32. (Cv_linalg.Vec.dot a b);
+  Alcotest.check vec "axpy" [| 6.; 9.; 12. |] (Cv_linalg.Vec.axpy ~alpha:2. a b)
+
+let test_vec_norms () =
+  let v = [| 3.; -4. |] in
+  check_float "norm1" 7. (Cv_linalg.Vec.norm1 v);
+  check_float "norm2" 5. (Cv_linalg.Vec.norm2 v);
+  check_float "norm_inf" 4. (Cv_linalg.Vec.norm_inf v);
+  check_float "dist2" 5. (Cv_linalg.Vec.dist2 [| 0.; 0. |] v);
+  check_float "dist_inf" 4. (Cv_linalg.Vec.dist_inf [| 0.; 0. |] v)
+
+let test_vec_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Vec.add: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Cv_linalg.Vec.add [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+let norm_triangle_prop =
+  QCheck.Test.make ~name:"vec triangle inequality (norm2)" ~count:200
+    QCheck.(pair (list_of_size (Gen.return 5) (float_range (-10.) 10.))
+              (list_of_size (Gen.return 5) (float_range (-10.) 10.)))
+    (fun (la, lb) ->
+      let a = Array.of_list la and b = Array.of_list lb in
+      Cv_linalg.Vec.norm2 (Cv_linalg.Vec.add a b)
+      <= Cv_linalg.Vec.norm2 a +. Cv_linalg.Vec.norm2 b +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Mat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let m23 = Cv_linalg.Mat.of_rows [ [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] ]
+
+let test_mat_basics () =
+  Alcotest.(check int) "rows" 2 (Cv_linalg.Mat.rows m23);
+  Alcotest.(check int) "cols" 3 (Cv_linalg.Mat.cols m23);
+  check_float "get" 6. (Cv_linalg.Mat.get m23 1 2);
+  Alcotest.check vec "row" [| 4.; 5.; 6. |] (Cv_linalg.Mat.row m23 1);
+  Alcotest.check vec "col" [| 2.; 5. |] (Cv_linalg.Mat.col m23 1)
+
+let test_mat_matvec () =
+  Alcotest.check vec "matvec" [| 14.; 32. |]
+    (Cv_linalg.Mat.matvec m23 [| 1.; 2.; 3. |]);
+  Alcotest.check vec "matvec_add" [| 15.; 34. |]
+    (Cv_linalg.Mat.matvec_add m23 [| 1.; 2.; 3. |] [| 1.; 2. |])
+
+let test_mat_matmul () =
+  let a = Cv_linalg.Mat.of_rows [ [| 1.; 2. |]; [| 3.; 4. |] ] in
+  let b = Cv_linalg.Mat.of_rows [ [| 5.; 6. |]; [| 7.; 8. |] ] in
+  let c = Cv_linalg.Mat.matmul a b in
+  Alcotest.check vec "row0" [| 19.; 22. |] (Cv_linalg.Mat.row c 0);
+  Alcotest.check vec "row1" [| 43.; 50. |] (Cv_linalg.Mat.row c 1)
+
+let test_mat_transpose_identity () =
+  let t = Cv_linalg.Mat.transpose m23 in
+  Alcotest.(check int) "t rows" 3 (Cv_linalg.Mat.rows t);
+  check_float "t entry" 6. (Cv_linalg.Mat.get t 2 1);
+  let i3 = Cv_linalg.Mat.identity 3 in
+  Alcotest.(check bool) "m I = m" true
+    (Cv_linalg.Mat.approx_eq (Cv_linalg.Mat.matmul m23 i3) m23)
+
+let test_mat_norms () =
+  (* rows abs sums: 6, 15 -> inf norm 15; col abs sums: 5, 7, 9 -> 1-norm 9 *)
+  check_float "norm_inf" 15. (Cv_linalg.Mat.norm_inf m23);
+  check_float "norm1" 9. (Cv_linalg.Mat.norm1 m23);
+  check_float "frobenius" (sqrt 91.) (Cv_linalg.Mat.frobenius m23)
+
+let test_spectral_norm_diag () =
+  let d = Cv_linalg.Mat.of_rows [ [| 3.; 0. |]; [| 0.; -7. |] ] in
+  let s = Cv_linalg.Mat.spectral_norm d in
+  Alcotest.(check bool) "diag spectral = 7" true (Float.abs (s -. 7.) < 1e-6)
+
+let spectral_sound_prop =
+  QCheck.Test.make ~name:"sqrt(norm1*norminf) >= spectral estimate" ~count:50
+    QCheck.(list_of_size (Gen.return 12) (float_range (-5.) 5.))
+    (fun entries ->
+      let m =
+        Cv_linalg.Mat.init 3 4 (fun i j -> List.nth entries ((i * 4) + j))
+      in
+      Cv_linalg.Mat.sqrt_norm1_norminf m
+      >= Cv_linalg.Mat.spectral_norm m -. 1e-6)
+
+let matvec_linearity_prop =
+  QCheck.Test.make ~name:"matvec linearity" ~count:100
+    QCheck.(list_of_size (Gen.return 6) (float_range (-3.) 3.))
+    (fun entries ->
+      let m = Cv_linalg.Mat.init 2 3 (fun i j -> List.nth entries ((i * 3) + j)) in
+      let x = [| 1.; -2.; 0.5 |] and y = [| 0.; 1.; 2. |] in
+      let lhs = Cv_linalg.Mat.matvec m (Cv_linalg.Vec.add x y) in
+      let rhs =
+        Cv_linalg.Vec.add (Cv_linalg.Mat.matvec m x) (Cv_linalg.Mat.matvec m y)
+      in
+      Cv_linalg.Vec.approx_eq ~tol:1e-8 lhs rhs)
+
+let test_mat_json_roundtrip () =
+  let m = Cv_linalg.Mat.random 3 4 ~lo:(-2.) ~hi:2. in
+  let m' = Cv_linalg.Mat.of_json (Cv_linalg.Mat.to_json m) in
+  Alcotest.(check bool) "roundtrip" true (Cv_linalg.Mat.approx_eq m m')
+
+let test_mat_xavier_shape () =
+  let rng = Cv_util.Rng.create 3 in
+  let m = Cv_linalg.Mat.xavier ~rng 8 4 in
+  Alcotest.(check int) "rows" 8 (Cv_linalg.Mat.rows m);
+  let limit = sqrt (6. /. 12.) in
+  Alcotest.(check bool) "bounded" true (Cv_linalg.Mat.max_abs m <= limit)
+
+let test_mat_of_rows_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mat.of_rows: empty")
+    (fun () -> ignore (Cv_linalg.Mat.of_rows []));
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_rows: ragged rows")
+    (fun () -> ignore (Cv_linalg.Mat.of_rows [ [| 1. |]; [| 1.; 2. |] ]))
+
+let () =
+  Alcotest.run "cv_linalg"
+    [ ( "vec",
+        [ Alcotest.test_case "arithmetic" `Quick test_vec_arith;
+          Alcotest.test_case "norms" `Quick test_vec_norms;
+          Alcotest.test_case "dimension mismatch" `Quick test_vec_mismatch;
+          QCheck_alcotest.to_alcotest norm_triangle_prop ] );
+      ( "mat",
+        [ Alcotest.test_case "basics" `Quick test_mat_basics;
+          Alcotest.test_case "matvec" `Quick test_mat_matvec;
+          Alcotest.test_case "matmul" `Quick test_mat_matmul;
+          Alcotest.test_case "transpose/identity" `Quick
+            test_mat_transpose_identity;
+          Alcotest.test_case "norms" `Quick test_mat_norms;
+          Alcotest.test_case "spectral diag" `Quick test_spectral_norm_diag;
+          Alcotest.test_case "json roundtrip" `Quick test_mat_json_roundtrip;
+          Alcotest.test_case "xavier" `Quick test_mat_xavier_shape;
+          Alcotest.test_case "of_rows errors" `Quick test_mat_of_rows_errors;
+          QCheck_alcotest.to_alcotest spectral_sound_prop;
+          QCheck_alcotest.to_alcotest matvec_linearity_prop ] ) ]

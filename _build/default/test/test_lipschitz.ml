@@ -1,0 +1,146 @@
+(* Tests for Cv_lipschitz: estimator soundness and tightness ordering. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let random_net seed dims act =
+  Cv_nn.Network.random ~rng:(Cv_util.Rng.create seed) ~dims ~act ()
+
+let all_norms =
+  [ Cv_lipschitz.Lipschitz.L1; Cv_lipschitz.Lipschitz.L2; Cv_lipschitz.Lipschitz.Linf ]
+
+(* Global bound dominates sampled difference quotients, for every norm
+   and several activations. *)
+let global_sound_test norm () =
+  let rng = Cv_util.Rng.create 99 in
+  List.iter
+    (fun act ->
+      for seed = 1 to 3 do
+        let net = random_net seed [ 3; 6; 5; 2 ] act in
+        let box = Cv_interval.Box.uniform 3 ~lo:(-2.) ~hi:2. in
+        let ell = Cv_lipschitz.Lipschitz.global ~norm net in
+        let q = Cv_lipschitz.Lipschitz.sampled_quotient ~samples:400 ~rng ~norm net box in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s %s seed %d: ell %.3f >= q %.3f"
+             (Cv_lipschitz.Lipschitz.norm_name norm)
+             (Cv_nn.Activation.to_string act) seed ell q)
+          true
+          (ell >= q -. 1e-9)
+      done)
+    [ Cv_nn.Activation.Relu; Cv_nn.Activation.Tanh; Cv_nn.Activation.Sigmoid ]
+
+(* Local bound dominates sampled quotients over the box. *)
+let local_sound_test norm () =
+  let rng = Cv_util.Rng.create 7 in
+  for seed = 1 to 5 do
+    let net = random_net seed [ 3; 6; 5; 1 ] Cv_nn.Activation.Relu in
+    let box = Cv_interval.Box.uniform 3 ~lo:0. ~hi:0.5 in
+    let ell = Cv_lipschitz.Lipschitz.local ~norm net box in
+    let q = Cv_lipschitz.Lipschitz.sampled_quotient ~samples:400 ~rng ~norm net box in
+    Alcotest.(check bool)
+      (Printf.sprintf "local %s sound" (Cv_lipschitz.Lipschitz.norm_name norm))
+      true (ell >= q -. 1e-9)
+  done
+
+let test_local_tighter_than_global () =
+  (* Over a small box many ReLUs are stably off, so the local bound
+     should not exceed the global one. *)
+  for seed = 1 to 5 do
+    let net = random_net seed [ 4; 8; 6; 1 ] Cv_nn.Activation.Relu in
+    let box = Cv_interval.Box.uniform 4 ~lo:(-0.2) ~hi:0.2 in
+    let g = Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net in
+    let l = Cv_lipschitz.Lipschitz.local ~norm:Cv_lipschitz.Lipschitz.Linf net box in
+    Alcotest.(check bool) "local <= global" true (l <= g +. 1e-9)
+  done
+
+let test_linear_network_exact () =
+  (* For a 1-layer identity network the Linf bound equals ‖W‖∞. *)
+  let w = Cv_linalg.Mat.of_rows [ [| 1.; -2. |]; [| 0.5; 0.25 |] ] in
+  let net =
+    Cv_nn.Network.make
+      [| Cv_nn.Layer.make w [| 0.; 0. |] Cv_nn.Activation.Identity |]
+  in
+  check_float "linf = 3" 3.
+    (Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net);
+  check_float "l1 = 2.25" 2.25
+    (Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.L1 net)
+
+let test_sigmoid_factor () =
+  (* Sigmoid contributes its 1/4 slope bound. *)
+  let w = Cv_linalg.Mat.of_rows [ [| 4. |] ] in
+  let net =
+    Cv_nn.Network.make [| Cv_nn.Layer.make w [| 0. |] Cv_nn.Activation.Sigmoid |]
+  in
+  check_float "0.25 * 4" 1.
+    (Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net)
+
+let test_kappa_norms () =
+  let old_box = Cv_interval.Box.uniform 2 ~lo:1. ~hi:2. in
+  let new_box = Cv_interval.Box.uniform 2 ~lo:0.99 ~hi:2.01 in
+  check_float "linf" 0.01
+    (Cv_lipschitz.Lipschitz.kappa ~norm:Cv_lipschitz.Lipschitz.Linf ~old_box
+       ~new_box);
+  Alcotest.(check (float 1e-12)) "l2" (0.01 *. sqrt 2.)
+    (Cv_lipschitz.Lipschitz.kappa ~norm:Cv_lipschitz.Lipschitz.L2 ~old_box
+       ~new_box);
+  (* Per-axis worst overhang is 0.01 (one side at a time), so the worst
+     L1 distance of a corner point is 0.01 + 0.01. *)
+  check_float "l1" 0.02
+    (Cv_lipschitz.Lipschitz.kappa ~norm:Cv_lipschitz.Lipschitz.L1 ~old_box
+       ~new_box)
+
+(* Paper Prop 3 worked example: ell=100, kappa=0.02, S_n=[1,8],
+   D_out=[-10,10]: inflated [-1,10] ⊆ D_out. *)
+let test_paper_prop3_example () =
+  let s_n = Cv_interval.Box.of_bounds [| 1. |] [| 8. |] in
+  let dout = Cv_interval.Box.of_bounds [| -10. |] [| 10. |] in
+  let inflated = Cv_interval.Box.expand (100. *. 0.02) s_n in
+  Alcotest.(check bool) "inflated = [-1, 10]" true
+    (Cv_interval.Box.equal inflated (Cv_interval.Box.of_bounds [| -1. |] [| 10. |]));
+  Alcotest.(check bool) "within dout" true (Cv_interval.Box.subset inflated dout)
+
+let lipschitz_bound_prop =
+  QCheck.Test.make ~name:"global linf bound dominates random pairs" ~count:50
+    QCheck.(pair (int_range 1 500)
+              (pair (list_of_size (Gen.return 3) (float_range (-1.) 1.))
+                 (list_of_size (Gen.return 3) (float_range (-1.) 1.))))
+    (fun (seed, (lx, ly)) ->
+      let net = random_net seed [ 3; 5; 1 ] Cv_nn.Activation.Relu in
+      let x = Array.of_list lx and y = Array.of_list ly in
+      let dx = Cv_linalg.Vec.dist_inf x y in
+      if dx < 1e-9 then true
+      else begin
+        let dy =
+          Cv_linalg.Vec.dist_inf (Cv_nn.Network.eval net x)
+            (Cv_nn.Network.eval net y)
+        in
+        dy /. dx
+        <= Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net
+           +. 1e-9
+      end)
+
+let () =
+  let sound_cases =
+    List.map
+      (fun n ->
+        Alcotest.test_case
+          ("global sound " ^ Cv_lipschitz.Lipschitz.norm_name n)
+          `Quick (global_sound_test n))
+      all_norms
+    @ List.map
+        (fun n ->
+          Alcotest.test_case
+            ("local sound " ^ Cv_lipschitz.Lipschitz.norm_name n)
+            `Quick (local_sound_test n))
+        all_norms
+  in
+  Alcotest.run "cv_lipschitz"
+    [ ("soundness", sound_cases @ [ QCheck_alcotest.to_alcotest lipschitz_bound_prop ]);
+      ( "tightness",
+        [ Alcotest.test_case "local <= global" `Quick
+            test_local_tighter_than_global;
+          Alcotest.test_case "linear exact" `Quick test_linear_network_exact;
+          Alcotest.test_case "sigmoid factor" `Quick test_sigmoid_factor ] );
+      ( "kappa",
+        [ Alcotest.test_case "norm variants" `Quick test_kappa_norms;
+          Alcotest.test_case "paper Prop 3 example" `Quick
+            test_paper_prop3_example ] ) ]

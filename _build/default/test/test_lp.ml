@@ -1,0 +1,287 @@
+(* Tests for Cv_lp: the simplex solver and the LP model builder. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let solve_max p terms = Cv_lp.Lp.maximize_linear p terms
+
+(* ------------------------------------------------------------------ *)
+(* Basic LPs                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_textbook_max () =
+  (* max x+y s.t. x+2y<=4, 3x+y<=6, x,y>=0: optimum 2.8 at (1.6, 1.2) *)
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:0. () in
+  let y = Cv_lp.Lp.add_var p ~lo:0. () in
+  Cv_lp.Lp.add_constraint p [ (1., x); (2., y) ] Cv_lp.Lp.Le 4.;
+  Cv_lp.Lp.add_constraint p [ (3., x); (1., y) ] Cv_lp.Lp.Le 6.;
+  match solve_max p [ (1., x); (1., y) ] with
+  | Cv_lp.Lp.Optimal s ->
+    check_float "objective" 2.8 s.Cv_lp.Lp.objective;
+    check_float "x" 1.6 s.Cv_lp.Lp.values.(x);
+    check_float "y" 1.2 s.Cv_lp.Lp.values.(y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_minimize () =
+  (* min 2x + 3y s.t. x + y >= 4, x,y >= 0: optimum 8 at (4, 0) *)
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:0. () in
+  let y = Cv_lp.Lp.add_var p ~lo:0. () in
+  Cv_lp.Lp.add_constraint p [ (1., x); (1., y) ] Cv_lp.Lp.Ge 4.;
+  match Cv_lp.Lp.minimize_linear p [ (2., x); (3., y) ] with
+  | Cv_lp.Lp.Optimal s ->
+    check_float "objective" 8. s.Cv_lp.Lp.objective;
+    check_float "x" 4. s.Cv_lp.Lp.values.(x)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_equality_constraint () =
+  (* max x s.t. x + y = 3, y >= 1, x >= 0: optimum 2 *)
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:0. () in
+  let y = Cv_lp.Lp.add_var p ~lo:1. () in
+  Cv_lp.Lp.add_constraint p [ (1., x); (1., y) ] Cv_lp.Lp.Eq 3.;
+  match solve_max p [ (1., x) ] with
+  | Cv_lp.Lp.Optimal s -> check_float "objective" 2. s.Cv_lp.Lp.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_infeasible () =
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:0. ~hi:1. () in
+  Cv_lp.Lp.add_constraint p [ (1., x) ] Cv_lp.Lp.Ge 2.;
+  match solve_max p [ (1., x) ] with
+  | Cv_lp.Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:0. () in
+  match solve_max p [ (1., x) ] with
+  | Cv_lp.Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+(* ------------------------------------------------------------------ *)
+(* Bounds handling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_negative_lower_bounds () =
+  (* max x + y, x ∈ [-3, -1], y ∈ [-2, 5]: optimum -1 + 5 = 4 *)
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:(-3.) ~hi:(-1.) () in
+  let y = Cv_lp.Lp.add_var p ~lo:(-2.) ~hi:5. () in
+  match solve_max p [ (1., x); (1., y) ] with
+  | Cv_lp.Lp.Optimal s ->
+    check_float "objective" 4. s.Cv_lp.Lp.objective;
+    check_float "x" (-1.) s.Cv_lp.Lp.values.(x)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_free_variable () =
+  (* min x s.t. x >= -7 via constraint (x itself free): optimum -7 *)
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p () in
+  Cv_lp.Lp.add_constraint p [ (1., x) ] Cv_lp.Lp.Ge (-7.);
+  match Cv_lp.Lp.minimize_linear p [ (1., x) ] with
+  | Cv_lp.Lp.Optimal s -> check_float "objective" (-7.) s.Cv_lp.Lp.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_upper_bound_only_variable () =
+  (* max x, x <= 3 (no lower bound): optimum 3 *)
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~hi:3. () in
+  match solve_max p [ (1., x) ] with
+  | Cv_lp.Lp.Optimal s -> check_float "objective" 3. s.Cv_lp.Lp.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_fixed_variable () =
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:2. ~hi:2. () in
+  let y = Cv_lp.Lp.add_var p ~lo:0. ~hi:1. () in
+  Cv_lp.Lp.add_constraint p [ (1., x); (1., y) ] Cv_lp.Lp.Le 2.5;
+  match solve_max p [ (1., x); (1., y) ] with
+  | Cv_lp.Lp.Optimal s ->
+    check_float "objective" 2.5 s.Cv_lp.Lp.objective;
+    check_float "x pinned" 2. s.Cv_lp.Lp.values.(x)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_set_bounds_and_copy () =
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:0. ~hi:10. () in
+  let q = Cv_lp.Lp.copy p in
+  Cv_lp.Lp.set_bounds q x ~lo:1. ~hi:1.;
+  Alcotest.(check (pair (float 1e-12) (float 1e-12)))
+    "original untouched" (0., 10.) (Cv_lp.Lp.bounds p x);
+  Alcotest.(check (pair (float 1e-12) (float 1e-12)))
+    "copy updated" (1., 1.) (Cv_lp.Lp.bounds q x);
+  match solve_max q [ (1., x) ] with
+  | Cv_lp.Lp.Optimal s -> check_float "pinned optimum" 1. s.Cv_lp.Lp.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_bad_constraint_var () =
+  let p = Cv_lp.Lp.create () in
+  let _x = Cv_lp.Lp.add_var p ~lo:0. () in
+  Alcotest.check_raises "unknown var"
+    (Invalid_argument "Lp.add_constraint: unknown var") (fun () ->
+      Cv_lp.Lp.add_constraint p [ (1., 5) ] Cv_lp.Lp.Le 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized validation against brute force on box-constrained LPs    *)
+(* ------------------------------------------------------------------ *)
+
+(* For an LP with only variable bounds (no rows), the max of a linear
+   objective is attained at the appropriate corner. *)
+let lp_box_corner_prop =
+  QCheck.Test.make ~name:"bounds-only LP optimum = corner value" ~count:100
+    QCheck.(list_of_size (Gen.return 4) (pair (float_range (-3.) 3.)
+                                            (pair (float_range (-2.) 0.) (float_range 0. 2.))))
+    (fun spec ->
+      let p = Cv_lp.Lp.create () in
+      let vars =
+        List.map (fun (_, (lo, hi)) -> Cv_lp.Lp.add_var p ~lo ~hi ()) spec
+      in
+      let terms = List.map2 (fun (c, _) v -> (c, v)) spec vars in
+      let expect =
+        List.fold_left
+          (fun acc (c, (lo, hi)) -> acc +. if c >= 0. then c *. hi else c *. lo)
+          0. spec
+      in
+      match Cv_lp.Lp.maximize_linear p terms with
+      | Cv_lp.Lp.Optimal s -> Float.abs (s.Cv_lp.Lp.objective -. expect) < 1e-6
+      | _ -> false)
+
+(* Feasibility of the returned point. *)
+let lp_solution_feasible_prop =
+  QCheck.Test.make ~name:"returned point satisfies all constraints" ~count:100
+    QCheck.(pair (list_of_size (Gen.return 6) (float_range (-2.) 2.))
+              (list_of_size (Gen.return 3) (float_range 0.5 4.)))
+    (fun (coefs, rhss) ->
+      let p = Cv_lp.Lp.create () in
+      let x = Cv_lp.Lp.add_var p ~lo:0. ~hi:5. () in
+      let y = Cv_lp.Lp.add_var p ~lo:(-5.) ~hi:5. () in
+      let rows =
+        List.mapi
+          (fun i rhs ->
+            let a = List.nth coefs (2 * i) and b = List.nth coefs ((2 * i) + 1) in
+            (a, b, rhs))
+          rhss
+      in
+      List.iter
+        (fun (a, b, rhs) ->
+          Cv_lp.Lp.add_constraint p [ (a, x); (b, y) ] Cv_lp.Lp.Le rhs)
+        rows;
+      match Cv_lp.Lp.maximize_linear p [ (1., x); (1., y) ] with
+      | Cv_lp.Lp.Optimal s ->
+        let vx = s.Cv_lp.Lp.values.(x) and vy = s.Cv_lp.Lp.values.(y) in
+        vx >= -1e-7 && vx <= 5. +. 1e-7 && vy >= -5. -. 1e-7 && vy <= 5. +. 1e-7
+        && List.for_all
+             (fun (a, b, rhs) -> (a *. vx) +. (b *. vy) <= rhs +. 1e-6)
+             rows
+      | Cv_lp.Lp.Infeasible -> false (* box origin... x=0,y=0 may violate? *)
+      | Cv_lp.Lp.Unbounded -> false
+      | exception _ -> false)
+
+
+(* Exact validation on random 2-variable LPs: the optimum of a bounded
+   feasible LP lies at a vertex of the feasible polygon; enumerate all
+   candidate vertices (pairwise constraint/bound intersections), filter
+   by feasibility, and compare. *)
+let lp_vertex_enumeration_prop =
+  QCheck.Test.make ~name:"2-var LP matches vertex enumeration" ~count:80
+    QCheck.(pair (list_of_size (Gen.return 9) (float_range (-2.) 2.))
+              (pair (float_range 0.5 3.) (float_range 0.5 3.)))
+    (fun (coefs, (cx, cy)) ->
+      (* Three <= constraints a x + b y <= c over the box [0,2]^2. *)
+      let cons =
+        List.init 3 (fun i ->
+            ( List.nth coefs (3 * i),
+              List.nth coefs ((3 * i) + 1),
+              (* keep rhs >= 0 so the origin stays feasible *)
+              Float.abs (List.nth coefs ((3 * i) + 2)) ))
+      in
+      let feasible (x, y) =
+        x >= -1e-9 && x <= 2. +. 1e-9 && y >= -1e-9 && y <= 2. +. 1e-9
+        && List.for_all (fun (a, b, c) -> (a *. x) +. (b *. y) <= c +. 1e-7) cons
+      in
+      (* Candidate vertices: intersections of all boundary pairs. *)
+      let lines =
+        (* constraint lines plus the four box edges *)
+        List.map (fun (a, b, c) -> (a, b, c)) cons
+        @ [ (1., 0., 0.); (1., 0., 2.); (0., 1., 0.); (0., 1., 2.) ]
+      in
+      let candidates = ref [ (0., 0.) ] in
+      List.iteri
+        (fun i (a1, b1, c1) ->
+          List.iteri
+            (fun j (a2, b2, c2) ->
+              if j > i then begin
+                let det = (a1 *. b2) -. (a2 *. b1) in
+                if Float.abs det > 1e-9 then
+                  candidates :=
+                    ( ((c1 *. b2) -. (c2 *. b1)) /. det,
+                      ((a1 *. c2) -. (a2 *. c1)) /. det )
+                    :: !candidates
+              end)
+            lines)
+        lines;
+      let best =
+        List.fold_left
+          (fun acc (x, y) ->
+            if feasible (x, y) then Float.max acc ((cx *. x) +. (cy *. y))
+            else acc)
+          Float.neg_infinity !candidates
+      in
+      let p = Cv_lp.Lp.create () in
+      let x = Cv_lp.Lp.add_var p ~lo:0. ~hi:2. () in
+      let y = Cv_lp.Lp.add_var p ~lo:0. ~hi:2. () in
+      List.iter
+        (fun (a, b, c) ->
+          Cv_lp.Lp.add_constraint p [ (a, x); (b, y) ] Cv_lp.Lp.Le c)
+        cons;
+      match Cv_lp.Lp.maximize_linear p [ (cx, x); (cy, y) ] with
+      | Cv_lp.Lp.Optimal s -> Float.abs (s.Cv_lp.Lp.objective -. best) < 1e-5
+      | _ -> false)
+
+(* Degenerate LP that historically cycles without Bland's rule. *)
+let test_degenerate_no_cycle () =
+  (* Beale's example of cycling. *)
+  let p = Cv_lp.Lp.create () in
+  let x1 = Cv_lp.Lp.add_var p ~lo:0. () in
+  let x2 = Cv_lp.Lp.add_var p ~lo:0. () in
+  let x3 = Cv_lp.Lp.add_var p ~lo:0. () in
+  let x4 = Cv_lp.Lp.add_var p ~lo:0. () in
+  Cv_lp.Lp.add_constraint p
+    [ (0.25, x1); (-8., x2); (-1., x3); (9., x4) ]
+    Cv_lp.Lp.Le 0.;
+  Cv_lp.Lp.add_constraint p
+    [ (0.5, x1); (-12., x2); (-0.5, x3); (3., x4) ]
+    Cv_lp.Lp.Le 0.;
+  Cv_lp.Lp.add_constraint p [ (1., x3) ] Cv_lp.Lp.Le 1.;
+  match
+    Cv_lp.Lp.maximize_linear p
+      [ (0.75, x1); (-20., x2); (0.5, x3); (-6., x4) ]
+  with
+  | Cv_lp.Lp.Optimal s -> check_float "Beale optimum" 1.25 s.Cv_lp.Lp.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let () =
+  Alcotest.run "cv_lp"
+    [ ( "basic",
+        [ Alcotest.test_case "textbook max" `Quick test_textbook_max;
+          Alcotest.test_case "minimize" `Quick test_minimize;
+          Alcotest.test_case "equality" `Quick test_equality_constraint;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "degenerate (Beale)" `Quick
+            test_degenerate_no_cycle ] );
+      ( "bounds",
+        [ Alcotest.test_case "negative lower bounds" `Quick
+            test_negative_lower_bounds;
+          Alcotest.test_case "free variable" `Quick test_free_variable;
+          Alcotest.test_case "upper-bound-only" `Quick
+            test_upper_bound_only_variable;
+          Alcotest.test_case "fixed variable" `Quick test_fixed_variable;
+          Alcotest.test_case "set_bounds/copy" `Quick test_set_bounds_and_copy;
+          Alcotest.test_case "constraint validation" `Quick
+            test_bad_constraint_var ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest lp_box_corner_prop;
+          QCheck_alcotest.to_alcotest lp_solution_feasible_prop;
+          QCheck_alcotest.to_alcotest lp_vertex_enumeration_prop ] ) ]

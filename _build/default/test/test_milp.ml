@@ -1,0 +1,265 @@
+(* Tests for Cv_milp: branch-and-bound and the big-M ReLU encoding. *)
+
+let check_float = Alcotest.(check (float 1e-5))
+
+(* ------------------------------------------------------------------ *)
+(* Branch & bound on hand-made MILPs                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_knapsack () =
+  (* max 10a + 13b + 7c  s.t. 3a + 4b + 2c <= 5, binary: optimum 17
+     (a=1, c=1; the 23-profit pair a+b needs weight 7 > 5). *)
+  let p = Cv_milp.Milp.create () in
+  let a = Cv_milp.Milp.add_binary p () in
+  let b = Cv_milp.Milp.add_binary p () in
+  let c = Cv_milp.Milp.add_binary p () in
+  Cv_milp.Milp.add_constraint p [ (3., a); (4., b); (2., c) ] Cv_lp.Lp.Le 5.;
+  match Cv_milp.Milp.maximize p [ (10., a); (13., b); (7., c) ] with
+  | Cv_milp.Milp.Optimal s ->
+    check_float "objective" 17. s.Cv_milp.Milp.objective;
+    check_float "a" 1. s.Cv_milp.Milp.values.(a);
+    check_float "b" 0. s.Cv_milp.Milp.values.(b);
+    check_float "c" 1. s.Cv_milp.Milp.values.(c)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_mixed_integer () =
+  (* max x + 10d s.t. x <= 3 + 2d, x ∈ [0, 10], d binary: optimum x=5,d=1 → 15 *)
+  let p = Cv_milp.Milp.create () in
+  let x = Cv_milp.Milp.add_var p ~lo:0. ~hi:10. () in
+  let d = Cv_milp.Milp.add_binary p () in
+  Cv_milp.Milp.add_constraint p [ (1., x); (-2., d) ] Cv_lp.Lp.Le 3.;
+  match Cv_milp.Milp.maximize p [ (1., x); (10., d) ] with
+  | Cv_milp.Milp.Optimal s -> check_float "objective" 15. s.Cv_milp.Milp.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_milp_infeasible () =
+  let p = Cv_milp.Milp.create () in
+  let d = Cv_milp.Milp.add_binary p () in
+  Cv_milp.Milp.add_constraint p [ (1., d) ] Cv_lp.Lp.Ge 2.;
+  match Cv_milp.Milp.maximize p [ (1., d) ] with
+  | Cv_milp.Milp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_cutoff_below () =
+  (* optimum 17; cutoff 30 → Below_cutoff with bound in [17, 30]. *)
+  let p = Cv_milp.Milp.create () in
+  let a = Cv_milp.Milp.add_binary p () in
+  let b = Cv_milp.Milp.add_binary p () in
+  let c = Cv_milp.Milp.add_binary p () in
+  Cv_milp.Milp.add_constraint p [ (3., a); (4., b); (2., c) ] Cv_lp.Lp.Le 5.;
+  match
+    Cv_milp.Milp.maximize ~cutoff:30. p [ (10., a); (13., b); (7., c) ]
+  with
+  | Cv_milp.Milp.Below_cutoff ub ->
+    Alcotest.(check bool) "bound within [17, 30]" true
+      (ub >= 17. -. 1e-5 && ub <= 30. +. 1e-6)
+  | Cv_milp.Milp.Optimal s when s.Cv_milp.Milp.objective <= 30. -> ()
+  | _ -> Alcotest.fail "expected below-cutoff style result"
+
+let test_cutoff_reached () =
+  (* optimum 17; cutoff 10 → some integer point above 10 must surface. *)
+  let p = Cv_milp.Milp.create () in
+  let a = Cv_milp.Milp.add_binary p () in
+  let b = Cv_milp.Milp.add_binary p () in
+  let c = Cv_milp.Milp.add_binary p () in
+  Cv_milp.Milp.add_constraint p [ (3., a); (4., b); (2., c) ] Cv_lp.Lp.Le 5.;
+  match
+    Cv_milp.Milp.maximize ~cutoff:10. p [ (10., a); (13., b); (7., c) ]
+  with
+  | Cv_milp.Milp.Cutoff_reached s ->
+    Alcotest.(check bool) "above cutoff" true (s.Cv_milp.Milp.objective > 10.)
+  | _ -> Alcotest.fail "expected cutoff reached"
+
+let test_minimize_milp () =
+  (* min a + b s.t. a + b >= 1, binary: optimum 1. *)
+  let p = Cv_milp.Milp.create () in
+  let a = Cv_milp.Milp.add_binary p () in
+  let b = Cv_milp.Milp.add_binary p () in
+  Cv_milp.Milp.add_constraint p [ (1., a); (1., b) ] Cv_lp.Lp.Ge 1.;
+  match Cv_milp.Milp.minimize p [ (1., a); (1., b) ] with
+  | Cv_milp.Milp.Optimal s -> check_float "objective" 1. s.Cv_milp.Milp.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Randomized: MILP optimum equals brute-force enumeration over binaries. *)
+let milp_vs_bruteforce_prop =
+  QCheck.Test.make ~name:"b&b matches brute force on binary programs"
+    ~count:60
+    QCheck.(pair (list_of_size (Gen.return 4) (float_range (-5.) 5.))
+              (list_of_size (Gen.return 4) (float_range 0.5 3.)))
+    (fun (profits, weights) ->
+      let capacity = 4. in
+      let p = Cv_milp.Milp.create () in
+      let vars = List.map (fun _ -> Cv_milp.Milp.add_binary p ()) profits in
+      Cv_milp.Milp.add_constraint p
+        (List.map2 (fun w v -> (w, v)) weights vars)
+        Cv_lp.Lp.Le capacity;
+      let terms = List.map2 (fun c v -> (c, v)) profits vars in
+      let best = ref Float.neg_infinity in
+      for mask = 0 to 15 do
+        let bit i = if mask land (1 lsl i) <> 0 then 1. else 0. in
+        let w = List.fold_left ( +. ) 0. (List.mapi (fun i wi -> wi *. bit i) weights) in
+        if w <= capacity +. 1e-9 then begin
+          let v =
+            List.fold_left ( +. ) 0. (List.mapi (fun i c -> c *. bit i) profits)
+          in
+          best := Float.max !best v
+        end
+      done;
+      match Cv_milp.Milp.maximize p terms with
+      | Cv_milp.Milp.Optimal s -> Float.abs (s.Cv_milp.Milp.objective -. !best) < 1e-5
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* ReLU encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_net () =
+  Cv_nn.Network.of_list
+    [ Cv_nn.Layer.make
+        (Cv_linalg.Mat.of_rows [ [| 1.; -2. |]; [| -2.; 1. |]; [| 1.; -1. |] ])
+        [| 0.; 0.; 0. |] Cv_nn.Activation.Relu;
+      Cv_nn.Layer.make
+        (Cv_linalg.Mat.of_rows [ [| 2.; 2.; -1. |] ])
+        [| 0. |] Cv_nn.Activation.Relu ]
+
+(* The paper's Figure 2 example: exact max of n4 over the enlarged
+   domain is 6.2 (< the interval bound 12.4). *)
+let test_paper_example_62 () =
+  let net = fig2_net () in
+  let box = Cv_interval.Box.uniform 2 ~lo:(-1.) ~hi:1.1 in
+  let enc = Cv_milp.Relu_encoding.encode ~net ~input_box:box in
+  match Cv_milp.Relu_encoding.max_output enc ~output:0 with
+  | Cv_milp.Milp.Optimal s -> check_float "max n4 = 6.2" 6.2 s.Cv_milp.Milp.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_encoding_exact_vs_sampling () =
+  (* Exact bounds must dominate sampled values and be attained nearby. *)
+  let rng = Cv_util.Rng.create 77 in
+  for seed = 1 to 4 do
+    let net =
+      Cv_nn.Network.random ~rng:(Cv_util.Rng.create seed) ~dims:[ 3; 6; 4; 1 ]
+        ~act:Cv_nn.Activation.Relu ()
+    in
+    let box = Cv_interval.Box.uniform 3 ~lo:(-1.) ~hi:1. in
+    let enc = Cv_milp.Relu_encoding.encode ~net ~input_box:box in
+    let hi =
+      match Cv_milp.Relu_encoding.max_output enc ~output:0 with
+      | Cv_milp.Milp.Optimal s -> s.Cv_milp.Milp.objective
+      | _ -> Alcotest.fail "max failed"
+    in
+    let lo =
+      match Cv_milp.Relu_encoding.min_output enc ~output:0 with
+      | Cv_milp.Milp.Optimal s -> s.Cv_milp.Milp.objective
+      | _ -> Alcotest.fail "min failed"
+    in
+    let sampled_max = ref Float.neg_infinity and sampled_min = ref Float.infinity in
+    for _ = 1 to 2000 do
+      let y = (Cv_nn.Network.eval net (Cv_interval.Box.sample rng box)).(0) in
+      sampled_max := Float.max !sampled_max y;
+      sampled_min := Float.min !sampled_min y
+    done;
+    Alcotest.(check bool) "exact max >= sampled" true (hi >= !sampled_max -. 1e-6);
+    Alcotest.(check bool) "exact min <= sampled" true (lo <= !sampled_min +. 1e-6);
+    (* Exact bounds are inside the symint reach. *)
+    let reach =
+      Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint net box
+    in
+    Alcotest.(check bool) "within symint reach" true
+      (Cv_interval.Interval.subset_tol ~tol:1e-6
+         (Cv_interval.Interval.make lo hi)
+         (Cv_interval.Box.get reach 0))
+  done
+
+let test_encoding_identity_and_stable () =
+  (* A purely linear network: exact range = interval arithmetic. *)
+  let net =
+    Cv_nn.Network.of_list
+      [ Cv_nn.Layer.make
+          (Cv_linalg.Mat.of_rows [ [| 2.; -1. |] ])
+          [| 3. |] Cv_nn.Activation.Identity ]
+  in
+  let box = Cv_interval.Box.uniform 2 ~lo:0. ~hi:1. in
+  let enc = Cv_milp.Relu_encoding.encode ~net ~input_box:box in
+  let _, _, binaries = Cv_milp.Relu_encoding.stats enc in
+  Alcotest.(check int) "no binaries for linear net" 0 binaries;
+  (match Cv_milp.Relu_encoding.max_output enc ~output:0 with
+  | Cv_milp.Milp.Optimal s -> check_float "max 5" 5. s.Cv_milp.Milp.objective
+  | _ -> Alcotest.fail "max failed");
+  match Cv_milp.Relu_encoding.min_output enc ~output:0 with
+  | Cv_milp.Milp.Optimal s -> check_float "min 2" 2. s.Cv_milp.Milp.objective
+  | _ -> Alcotest.fail "min failed"
+
+let test_encoding_leaky_relu () =
+  let rng = Cv_util.Rng.create 31 in
+  let net =
+    Cv_nn.Network.random ~rng:(Cv_util.Rng.create 21) ~dims:[ 2; 5; 1 ]
+      ~act:(Cv_nn.Activation.Leaky_relu 0.2) ()
+  in
+  let box = Cv_interval.Box.uniform 2 ~lo:(-1.) ~hi:1. in
+  let enc = Cv_milp.Relu_encoding.encode ~net ~input_box:box in
+  let hi =
+    match Cv_milp.Relu_encoding.max_output enc ~output:0 with
+    | Cv_milp.Milp.Optimal s -> s.Cv_milp.Milp.objective
+    | _ -> Alcotest.fail "max failed"
+  in
+  let sampled = ref Float.neg_infinity in
+  for _ = 1 to 3000 do
+    let y = (Cv_nn.Network.eval net (Cv_interval.Box.sample rng box)).(0) in
+    sampled := Float.max !sampled y
+  done;
+  Alcotest.(check bool) "leaky exact >= sampled" true (hi >= !sampled -. 1e-6);
+  Alcotest.(check bool) "leaky exact close to sampled" true
+    (hi <= !sampled +. 0.5)
+
+let test_encoding_rejects_sigmoid () =
+  let net =
+    Cv_nn.Network.random ~rng:(Cv_util.Rng.create 1) ~dims:[ 2; 3; 1 ]
+      ~act:Cv_nn.Activation.Sigmoid ()
+  in
+  try
+    ignore
+      (Cv_milp.Relu_encoding.encode ~net
+         ~input_box:(Cv_interval.Box.uniform 2 ~lo:0. ~hi:1.));
+    Alcotest.fail "should reject sigmoid"
+  with Invalid_argument _ -> ()
+
+let test_cutoff_decision_queries () =
+  (* Decision-style use as in Containment: max <= theta? *)
+  let net = fig2_net () in
+  let box = Cv_interval.Box.uniform 2 ~lo:(-1.) ~hi:1.1 in
+  let enc = Cv_milp.Relu_encoding.encode ~net ~input_box:box in
+  (match Cv_milp.Relu_encoding.max_output enc ~output:0 ~cutoff:12. with
+  | Cv_milp.Milp.Below_cutoff ub ->
+    Alcotest.(check bool) "ub <= 12" true (ub <= 12. +. 1e-6)
+  | Cv_milp.Milp.Optimal s ->
+    Alcotest.(check bool) "optimal <= 12" true (s.Cv_milp.Milp.objective <= 12.)
+  | _ -> Alcotest.fail "expected proof below cutoff");
+  match Cv_milp.Relu_encoding.max_output enc ~output:0 ~cutoff:5. with
+  | Cv_milp.Milp.Cutoff_reached s ->
+    Alcotest.(check bool) "witness above 5" true (s.Cv_milp.Milp.objective > 5.)
+  | Cv_milp.Milp.Optimal s ->
+    Alcotest.(check bool) "optimum above 5" true (s.Cv_milp.Milp.objective > 5.)
+  | _ -> Alcotest.fail "expected cutoff reached"
+
+let () =
+  Alcotest.run "cv_milp"
+    [ ( "branch-and-bound",
+        [ Alcotest.test_case "knapsack" `Quick test_knapsack;
+          Alcotest.test_case "mixed integer" `Quick test_mixed_integer;
+          Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
+          Alcotest.test_case "cutoff below" `Quick test_cutoff_below;
+          Alcotest.test_case "cutoff reached" `Quick test_cutoff_reached;
+          Alcotest.test_case "minimize" `Quick test_minimize_milp;
+          QCheck_alcotest.to_alcotest milp_vs_bruteforce_prop ] );
+      ( "relu-encoding",
+        [ Alcotest.test_case "paper fig2: max = 6.2" `Quick
+            test_paper_example_62;
+          Alcotest.test_case "exact vs sampling" `Quick
+            test_encoding_exact_vs_sampling;
+          Alcotest.test_case "linear network" `Quick
+            test_encoding_identity_and_stable;
+          Alcotest.test_case "leaky relu" `Quick test_encoding_leaky_relu;
+          Alcotest.test_case "rejects sigmoid" `Quick
+            test_encoding_rejects_sigmoid;
+          Alcotest.test_case "cutoff decision queries" `Quick
+            test_cutoff_decision_queries ] ) ]

@@ -1,0 +1,288 @@
+(* Tests for Cv_netabs: splitting exactness, merge domination, Prop 6
+   reuse checks, refinement, and the interval abstraction. *)
+
+let rng () = Cv_util.Rng.create 555
+
+let single_out_net seed dims =
+  Cv_nn.Network.random ~rng:(Cv_util.Rng.create seed) ~dims
+    ~act:Cv_nn.Activation.Relu ()
+
+let nonneg_box n = Cv_interval.Box.uniform n ~lo:0. ~hi:1.
+
+(* ------------------------------------------------------------------ *)
+(* Splitting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_preserves_function () =
+  let rng = rng () in
+  for seed = 1 to 6 do
+    let net = single_out_net seed [ 3; 7; 5; 1 ] in
+    let din = Cv_interval.Box.uniform 3 ~lo:(-1.) ~hi:1. in
+    let s = Cv_netabs.Netabs.split net ~din in
+    for _ = 1 to 200 do
+      let x = Cv_interval.Box.sample rng din in
+      let y = (Cv_nn.Network.eval net x).(0) in
+      let ys = Cv_netabs.Netabs.snet_eval s x in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d exact" seed)
+        true
+        (Float.abs (y -. ys) < 1e-9)
+    done
+  done
+
+let test_split_size_bounded () =
+  let net = single_out_net 2 [ 3; 8; 6; 1 ] in
+  let din = nonneg_box 3 in
+  let s = Cv_netabs.Netabs.split net ~din in
+  let orig_hidden = 14 in
+  let sz = Cv_netabs.Netabs.snet_size s in
+  Alcotest.(check bool) "at most 4x" true (sz <= 4 * orig_hidden);
+  Alcotest.(check bool) "at least original (reachable neurons)" true (sz >= 1)
+
+let test_split_rejects_multi_output () =
+  let net = single_out_net 3 [ 3; 5; 2 ] in
+  try
+    ignore (Cv_netabs.Netabs.split net ~din:(nonneg_box 3));
+    Alcotest.fail "should reject"
+  with Cv_netabs.Netabs.Unsupported _ -> ()
+
+let test_split_rejects_sigmoid () =
+  let net =
+    Cv_nn.Network.random ~rng:(Cv_util.Rng.create 1) ~dims:[ 2; 4; 1 ]
+      ~act:Cv_nn.Activation.Sigmoid ()
+  in
+  try
+    ignore (Cv_netabs.Netabs.split net ~din:(nonneg_box 2));
+    Alcotest.fail "should reject"
+  with Cv_netabs.Netabs.Unsupported _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Merging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let domination_test seed () =
+  let rng = rng () in
+  let net = single_out_net seed [ 3; 7; 5; 1 ] in
+  (* Domination holds on the shifted-nonnegative domain; use a mixed box
+     to exercise the shift logic too. *)
+  let din = Cv_interval.Box.of_bounds [| -0.5; 0.; -1. |] [| 1.; 2.; 0.5 |] in
+  let s = Cv_netabs.Netabs.split net ~din in
+  let ab = Cv_netabs.Merge.coarsest s in
+  for _ = 1 to 400 do
+    let x = Cv_interval.Box.sample rng din in
+    let y = (Cv_nn.Network.eval net x).(0) in
+    let yh = Cv_netabs.Merge.eval ab x in
+    Alcotest.(check bool) "f_hat >= f" true (yh >= y -. 1e-7)
+  done
+
+let test_finest_is_exact () =
+  let rng = rng () in
+  let net = single_out_net 11 [ 3; 6; 4; 1 ] in
+  let din = nonneg_box 3 in
+  let fin = Cv_netabs.Merge.finest (Cv_netabs.Netabs.split net ~din) in
+  for _ = 1 to 100 do
+    let x = Cv_interval.Box.sample rng din in
+    Alcotest.(check bool) "finest exact" true
+      (Float.abs (Cv_netabs.Merge.eval fin x -. (Cv_nn.Network.eval net x).(0))
+      < 1e-9)
+  done
+
+let test_refinement_monotone () =
+  let rng = rng () in
+  let net = single_out_net 13 [ 3; 8; 6; 1 ] in
+  let din = nonneg_box 3 in
+  let ab0 = Cv_netabs.Merge.coarsest (Cv_netabs.Netabs.split net ~din) in
+  (* Refinement chain terminates at the finest partition and sizes grow. *)
+  let rec walk ab steps last_size =
+    Alcotest.(check bool) "size monotone" true
+      (Cv_netabs.Merge.size ab >= last_size);
+    (* Each refinement step keeps domination. *)
+    for _ = 1 to 50 do
+      let x = Cv_interval.Box.sample rng din in
+      Alcotest.(check bool) "refined still dominates" true
+        (Cv_netabs.Merge.eval ab x >= (Cv_nn.Network.eval net x).(0) -. 1e-7)
+    done;
+    match Cv_netabs.Merge.refine ab with
+    | Some ab' when steps < 100 -> walk ab' (steps + 1) (Cv_netabs.Merge.size ab)
+    | _ -> steps
+  in
+  let steps = walk ab0 0 0 in
+  Alcotest.(check bool) "terminates" true (steps < 100)
+
+let test_refinement_tightens_reach () =
+  let net = single_out_net 17 [ 3; 8; 6; 1 ] in
+  let din = nonneg_box 3 in
+  let split = Cv_netabs.Netabs.split net ~din in
+  let reach ab =
+    let mnet = Cv_netabs.Merge.merged_network ab in
+    let shifted =
+      Cv_netabs.Netabs.shifted_box din
+        ab.Cv_netabs.Merge.merged.Cv_netabs.Netabs.input_shift
+    in
+    Cv_interval.Interval.hi
+      (Cv_interval.Box.get
+         (Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint mnet shifted)
+         0)
+  in
+  let coarse = Cv_netabs.Merge.coarsest split in
+  let fine = Cv_netabs.Merge.finest split in
+  Alcotest.(check bool) "finest upper bound <= coarsest" true
+    (reach fine <= reach coarse +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Prop 6 reuse                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_reuses_self_and_scaled () =
+  let net = single_out_net 19 [ 3; 6; 4; 1 ] in
+  let din = nonneg_box 3 in
+  let ab = Cv_netabs.Merge.coarsest (Cv_netabs.Netabs.split net ~din) in
+  Alcotest.(check bool) "self reusable" true (Cv_netabs.Merge.reuses ab net);
+  (* Lowering the output bias strictly decreases f', so domination is
+     preserved and the check must accept it. (Scaling output weights
+     toward zero is NOT sound for negative weights — it raises the
+     output — and the check rightly rejects that.) *)
+  let layers = Cv_nn.Network.layers net in
+  let n = Array.length layers in
+  let out = layers.(n - 1) in
+  layers.(n - 1) <-
+    Cv_nn.Layer.make out.Cv_nn.Layer.weights
+      (Array.map (fun b -> b -. 0.05) out.Cv_nn.Layer.bias)
+      out.Cv_nn.Layer.act;
+  let lowered = Cv_nn.Network.make layers in
+  Alcotest.(check bool) "lowered output bias reusable" true
+    (Cv_netabs.Merge.reuses ab lowered)
+
+let test_reuse_rejects_large_drift () =
+  let net = single_out_net 23 [ 3; 6; 4; 1 ] in
+  let din = nonneg_box 3 in
+  let ab = Cv_netabs.Merge.coarsest (Cv_netabs.Netabs.split net ~din) in
+  let big =
+    Cv_nn.Network.map_layers
+      (Cv_nn.Layer.perturb ~rng:(Cv_util.Rng.create 3) ~sigma:1.0)
+      net
+  in
+  Alcotest.(check bool) "large drift rejected" false
+    (Cv_netabs.Merge.reuses ab big)
+
+let test_reuse_soundness_when_accepted () =
+  (* Whenever reuses says yes for a perturbed net, domination must hold
+     empirically. *)
+  let rng = rng () in
+  let accepted = ref 0 in
+  for seed = 1 to 30 do
+    let net = single_out_net seed [ 3; 6; 4; 1 ] in
+    let din = nonneg_box 3 in
+    let ab = Cv_netabs.Merge.coarsest (Cv_netabs.Netabs.split net ~din) in
+    let net' =
+      Cv_nn.Network.map_layers
+        (Cv_nn.Layer.perturb ~rng:(Cv_util.Rng.create (seed * 7)) ~sigma:0.001)
+        net
+    in
+    if Cv_netabs.Merge.reuses ab net' then begin
+      incr accepted;
+      for _ = 1 to 200 do
+        let x = Cv_interval.Box.sample rng din in
+        Alcotest.(check bool) "accepted reuse dominates" true
+          (Cv_netabs.Merge.eval ab x >= (Cv_nn.Network.eval net' x).(0) -. 1e-7)
+      done
+    end
+  done;
+  (* the check is conservative; it must at least accept some tiny
+     perturbations or it would be useless *)
+  Alcotest.(check bool) "accepts at least one small perturbation" true
+    (!accepted >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Interval abstraction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_contains () =
+  let net = single_out_net 29 [ 3; 6; 1 ] in
+  let abs = Cv_netabs.Interval_abs.build ~slack:0.05 net in
+  Alcotest.(check bool) "contains self" true
+    (Cv_netabs.Interval_abs.contains abs net);
+  let near =
+    Cv_nn.Network.map_layers
+      (fun l ->
+        Cv_nn.Layer.make
+          (Cv_linalg.Mat.map (fun w -> w +. 0.04) l.Cv_nn.Layer.weights)
+          l.Cv_nn.Layer.bias l.Cv_nn.Layer.act)
+      net
+  in
+  Alcotest.(check bool) "contains +0.04" true
+    (Cv_netabs.Interval_abs.contains abs near);
+  let far =
+    Cv_nn.Network.map_layers
+      (fun l ->
+        Cv_nn.Layer.make
+          (Cv_linalg.Mat.map (fun w -> w +. 0.06) l.Cv_nn.Layer.weights)
+          l.Cv_nn.Layer.bias l.Cv_nn.Layer.act)
+      net
+  in
+  Alcotest.(check bool) "rejects +0.06" false
+    (Cv_netabs.Interval_abs.contains abs far)
+
+let test_interval_output_sound () =
+  let rng = rng () in
+  let net = single_out_net 31 [ 3; 5; 1 ] in
+  let slack = 0.03 in
+  let abs = Cv_netabs.Interval_abs.build ~slack net in
+  let din = Cv_interval.Box.uniform 3 ~lo:(-1.) ~hi:1. in
+  let reach = Cv_netabs.Interval_abs.output_box abs din in
+  (* Any network within the slack must stay inside the reach. *)
+  for trial = 1 to 10 do
+    let net' =
+      Cv_nn.Network.map_layers
+        (fun l ->
+          let bump = Cv_util.Rng.float rng ~lo:(-.slack) ~hi:slack in
+          Cv_nn.Layer.make
+            (Cv_linalg.Mat.map (fun w -> w +. bump) l.Cv_nn.Layer.weights)
+            (Array.map (fun b -> b +. bump) l.Cv_nn.Layer.bias)
+            l.Cv_nn.Layer.act)
+        net
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d contained" trial)
+      true
+      (Cv_netabs.Interval_abs.contains abs net');
+    for _ = 1 to 100 do
+      let x = Cv_interval.Box.sample rng din in
+      Alcotest.(check bool) "output within reach" true
+        (Cv_interval.Box.mem_tol ~tol:1e-7 (Cv_nn.Network.eval net' x) reach)
+    done
+  done
+
+let test_max_slack () =
+  let net = single_out_net 37 [ 2; 4; 1 ] in
+  Alcotest.(check (float 1e-12)) "self drift 0" 0.
+    (Cv_netabs.Interval_abs.max_slack net net)
+
+let () =
+  Alcotest.run "cv_netabs"
+    [ ( "split",
+        [ Alcotest.test_case "preserves function" `Quick
+            test_split_preserves_function;
+          Alcotest.test_case "size bounded" `Quick test_split_size_bounded;
+          Alcotest.test_case "rejects multi-output" `Quick
+            test_split_rejects_multi_output;
+          Alcotest.test_case "rejects sigmoid" `Quick test_split_rejects_sigmoid ] );
+      ( "merge",
+        [ Alcotest.test_case "domination seed 5" `Quick (domination_test 5);
+          Alcotest.test_case "domination seed 7" `Quick (domination_test 7);
+          Alcotest.test_case "domination seed 9" `Quick (domination_test 9);
+          Alcotest.test_case "finest exact" `Quick test_finest_is_exact;
+          Alcotest.test_case "refinement monotone" `Quick
+            test_refinement_monotone;
+          Alcotest.test_case "refinement tightens reach" `Quick
+            test_refinement_tightens_reach ] );
+      ( "prop6-reuse",
+        [ Alcotest.test_case "self & scaled" `Quick test_reuses_self_and_scaled;
+          Alcotest.test_case "rejects large drift" `Quick
+            test_reuse_rejects_large_drift;
+          Alcotest.test_case "sound when accepted" `Quick
+            test_reuse_soundness_when_accepted ] );
+      ( "interval-abs",
+        [ Alcotest.test_case "containment" `Quick test_interval_contains;
+          Alcotest.test_case "output soundness" `Quick test_interval_output_sound;
+          Alcotest.test_case "max_slack" `Quick test_max_slack ] ) ]

@@ -1,0 +1,218 @@
+(* Tests for the query modules on top of containment: local robustness
+   (Cv_verify.Robustness) and argmax/advisory properties
+   (Cv_verify.Argmax). *)
+
+let net3 seed =
+  Cv_nn.Network.random ~rng:(Cv_util.Rng.create seed) ~dims:[ 3; 6; 5; 1 ]
+    ~act:Cv_nn.Activation.Relu ()
+
+(* ------------------------------------------------------------------ *)
+(* Robustness                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_robustness_holds_small_eps () =
+  let net = net3 3 in
+  let x = [| 0.5; 0.5; 0.5 |] in
+  let q = { Cv_verify.Robustness.x; epsilon = 1e-4; delta = 0.5 } in
+  (match Cv_verify.Robustness.check Cv_verify.Containment.Milp net q with
+  | Cv_verify.Containment.Proved -> ()
+  | _ -> Alcotest.fail "tiny ball must be robust");
+  (* Sampling confirms. *)
+  let rng = Cv_util.Rng.create 5 in
+  let y = (Cv_nn.Network.eval net x).(0) in
+  for _ = 1 to 500 do
+    let x' = Cv_interval.Box.sample rng (Cv_verify.Robustness.ball q) in
+    Alcotest.(check bool) "within delta" true
+      (Float.abs ((Cv_nn.Network.eval net x').(0) -. y) <= q.Cv_verify.Robustness.delta)
+  done
+
+let test_robustness_fails_large_eps () =
+  let net = net3 3 in
+  let q =
+    { Cv_verify.Robustness.x = [| 0.5; 0.5; 0.5 |]; epsilon = 5.; delta = 1e-6 }
+  in
+  match Cv_verify.Robustness.check Cv_verify.Containment.Milp net q with
+  | Cv_verify.Containment.Proved -> Alcotest.fail "must not be robust"
+  | _ -> ()
+
+let test_robustness_lipschitz_condition () =
+  let net = net3 3 in
+  let ell = Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net in
+  let q =
+    { Cv_verify.Robustness.x = [| 0.5; 0.5; 0.5 |];
+      epsilon = 0.001;
+      delta = ell *. 0.001 *. 1.01 }
+  in
+  Alcotest.(check bool) "ell*eps <= delta" true
+    (Cv_verify.Robustness.check_lipschitz ~ell q);
+  Alcotest.(check bool) "fails when budget below ell*eps" false
+    (Cv_verify.Robustness.check_lipschitz ~ell
+       { q with Cv_verify.Robustness.delta = ell *. 0.001 /. 2. })
+
+let test_robustness_transfer () =
+  let net = net3 7 in
+  let net' =
+    Cv_nn.Network.map_layers
+      (Cv_nn.Layer.perturb ~rng:(Cv_util.Rng.create 9) ~sigma:0.0005)
+      net
+  in
+  let q =
+    { Cv_verify.Robustness.x = [| 0.5; 0.5; 0.5 |]; epsilon = 0.01; delta = 0.5 }
+  in
+  let residual = Cv_verify.Robustness.transfer_budget ~old_net:net ~new_net:net' q in
+  Alcotest.(check bool) "residual below delta" true
+    (residual < q.Cv_verify.Robustness.delta);
+  Alcotest.(check bool) "residual positive for small drift" true (residual > 0.);
+  match
+    Cv_verify.Robustness.check_transfer Cv_verify.Containment.Milp ~old_net:net
+      ~new_net:net' q
+  with
+  | Cv_verify.Containment.Proved ->
+    (* Then f' really is robust: sample check. *)
+    let rng = Cv_util.Rng.create 11 in
+    let y = (Cv_nn.Network.eval net' q.Cv_verify.Robustness.x).(0) in
+    for _ = 1 to 500 do
+      let x' = Cv_interval.Box.sample rng (Cv_verify.Robustness.ball q) in
+      Alcotest.(check bool) "transferred robustness sound" true
+        (Float.abs ((Cv_nn.Network.eval net' x').(0) -. y)
+        <= q.Cv_verify.Robustness.delta +. 1e-9)
+    done
+  | _ -> () (* transfer may honestly fail *)
+
+let test_certified_radius () =
+  let net = net3 13 in
+  let x = [| 0.5; 0.5; 0.5 |] in
+  let delta = 0.2 in
+  let r = Cv_verify.Robustness.certified_radius net ~x ~delta in
+  Alcotest.(check bool) "positive radius" true (r > 0.);
+  (* The certified radius must itself verify. *)
+  match
+    Cv_verify.Robustness.check Cv_verify.Containment.Milp net
+      { Cv_verify.Robustness.x; epsilon = r; delta }
+  with
+  | Cv_verify.Containment.Proved -> ()
+  | _ -> Alcotest.fail "certified radius must verify"
+
+(* ------------------------------------------------------------------ *)
+(* Argmax                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-made 2-in 3-out network where output ordering is controlled:
+   s = W x + b with no hidden layer. *)
+let linear_scores w b =
+  Cv_nn.Network.make
+    [| Cv_nn.Layer.make (Cv_linalg.Mat.of_rows w) b Cv_nn.Activation.Identity |]
+
+let region2 = Cv_interval.Box.uniform 2 ~lo:0. ~hi:1.
+
+let test_difference_network () =
+  let net =
+    linear_scores [ [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] ] [| 0.; 0.; 0. |]
+  in
+  let diff = Cv_verify.Argmax.difference_network net ~output:0 in
+  Alcotest.(check int) "two differences" 2 (Cv_nn.Network.out_dim diff);
+  let d = Cv_nn.Network.eval diff [| 0.3; 0.4 |] in
+  (* s = (0.3, 0.4, 0.7): s1−s0 = 0.1, s2−s0 = 0.4 *)
+  Alcotest.(check (float 1e-9)) "d0" 0.1 d.(0);
+  Alcotest.(check (float 1e-9)) "d1" 0.4 d.(1)
+
+let test_always_maximal () =
+  (* s2 = x0 + x1 + 10 dominates everywhere on [0,1]^2. *)
+  let net =
+    linear_scores [ [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] ] [| 0.; 0.; 10. |]
+  in
+  (match
+     Cv_verify.Argmax.always_maximal Cv_verify.Containment.Milp net ~output:2
+       ~region:region2 ~margin:1.
+   with
+  | Cv_verify.Argmax.Holds -> ()
+  | _ -> Alcotest.fail "s2 dominates");
+  match
+    Cv_verify.Argmax.always_maximal Cv_verify.Containment.Milp net ~output:0
+      ~region:region2 ~margin:0.
+  with
+  | Cv_verify.Argmax.Fails x ->
+    Alcotest.(check bool) "witness in region" true
+      (Cv_interval.Box.mem_tol ~tol:1e-9 x region2)
+  | _ -> Alcotest.fail "s0 does not dominate"
+
+let test_never_maximal () =
+  let net =
+    linear_scores [ [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] ] [| 0.; 0.; 10. |]
+  in
+  (* s0 can never beat s2 (gap at least 9). *)
+  (match
+     Cv_verify.Argmax.never_maximal Cv_verify.Containment.Milp net ~output:0
+       ~region:region2 ~margin:1.
+   with
+  | Cv_verify.Argmax.Holds -> ()
+  | _ -> Alcotest.fail "s0 never maximal");
+  (* s2 IS maximal somewhere (everywhere): Fails with witness. *)
+  match
+    Cv_verify.Argmax.never_maximal Cv_verify.Containment.Milp net ~output:2
+      ~region:region2 ~margin:0.
+  with
+  | Cv_verify.Argmax.Fails _ -> ()
+  | _ -> Alcotest.fail "s2 is maximal somewhere"
+
+let test_score_gap () =
+  let net =
+    linear_scores [ [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] ] [| 0.; 0.; 10. |]
+  in
+  (* For output 2: max_j≠2 (s_j − s_2) = max(x0, x1) − (x0+x1) − 10 ≤ −10. *)
+  let gap = Cv_verify.Argmax.score_gap net ~output:2 ~region:region2 in
+  Alcotest.(check bool) "certified margin ~ -10" true
+    (gap <= -9.99 && gap >= -10.01);
+  (* For output 0 the gap is large and positive. *)
+  let gap0 = Cv_verify.Argmax.score_gap net ~output:0 ~region:region2 in
+  Alcotest.(check bool) "positive gap for dominated advisory" true (gap0 > 9.)
+
+let test_argmax_on_relu_net () =
+  (* Sanity on a nonlinear multi-output net: verdicts must be consistent
+     with sampling. *)
+  let net =
+    Cv_nn.Network.random ~rng:(Cv_util.Rng.create 21) ~dims:[ 3; 6; 3 ]
+      ~act:Cv_nn.Activation.Relu ()
+  in
+  let region = Cv_interval.Box.uniform 3 ~lo:0. ~hi:1. in
+  for output = 0 to 2 do
+    match
+      Cv_verify.Argmax.never_maximal Cv_verify.Containment.Milp net ~output
+        ~region ~margin:0.
+    with
+    | Cv_verify.Argmax.Holds ->
+      (* sampling must find no argmax point *)
+      let rng = Cv_util.Rng.create 23 in
+      for _ = 1 to 1000 do
+        let x = Cv_interval.Box.sample rng region in
+        let s = Cv_nn.Network.eval net x in
+        Alcotest.(check bool) "never argmax confirmed" false
+          (Array.for_all (fun v -> s.(output) >= v) s)
+      done
+    | Cv_verify.Argmax.Fails x ->
+      let s = Cv_nn.Network.eval net x in
+      Alcotest.(check bool) "witness really argmax" true
+        (Array.for_all (fun v -> s.(output) >= v) s)
+    | Cv_verify.Argmax.Unknown _ -> ()
+  done
+
+let () =
+  Alcotest.run "cv_queries"
+    [ ( "robustness",
+        [ Alcotest.test_case "holds small eps" `Quick
+            test_robustness_holds_small_eps;
+          Alcotest.test_case "fails large eps" `Quick
+            test_robustness_fails_large_eps;
+          Alcotest.test_case "lipschitz condition" `Quick
+            test_robustness_lipschitz_condition;
+          Alcotest.test_case "transfer across fine-tuning" `Quick
+            test_robustness_transfer;
+          Alcotest.test_case "certified radius" `Quick test_certified_radius ] );
+      ( "argmax",
+        [ Alcotest.test_case "difference network" `Quick
+            test_difference_network;
+          Alcotest.test_case "always maximal" `Quick test_always_maximal;
+          Alcotest.test_case "never maximal" `Quick test_never_maximal;
+          Alcotest.test_case "score gap" `Quick test_score_gap;
+          Alcotest.test_case "relu net consistency" `Quick
+            test_argmax_on_relu_net ] ) ]

@@ -1,0 +1,125 @@
+(* Tests for Cv_core.Specchange (SVuSC — specification evolution). *)
+
+let scenario () =
+  let net =
+    Cv_nn.Network.random ~rng:(Cv_util.Rng.create 15) ~dims:[ 4; 6; 5; 1 ]
+      ~act:Cv_nn.Activation.Relu ()
+  in
+  let din = Cv_interval.Box.uniform 4 ~lo:0. ~hi:1. in
+  let chain =
+    Cv_domains.Analyzer.abstractions ~widen:0.02 Cv_domains.Analyzer.Symint net
+      din
+  in
+  let dout = Cv_interval.Box.expand 0.1 (chain.(Array.length chain - 1)) in
+  let prop = Cv_verify.Property.make ~din ~dout in
+  let ell =
+    Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net
+  in
+  let artifact =
+    Cv_artifacts.Artifacts.make ~state_abstractions:chain
+      ~lipschitz:[ ("Linf", ell) ]
+      ~property:prop ~net ~solver:"chain" ~solve_seconds:1. ()
+  in
+  (net, din, dout, chain, artifact)
+
+let test_validation () =
+  let net, _, dout, _, artifact = scenario () in
+  let other =
+    Cv_nn.Network.random ~rng:(Cv_util.Rng.create 99) ~dims:[ 4; 6; 5; 1 ]
+      ~act:Cv_nn.Activation.Relu ()
+  in
+  (try
+     ignore (Cv_core.Specchange.make ~net:other ~artifact ~new_dout:dout ());
+     Alcotest.fail "foreign artifact"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Cv_core.Specchange.make ~net ~artifact
+         ~new_dout:(Cv_interval.Box.uniform 2 ~lo:0. ~hi:1.)
+         ());
+    Alcotest.fail "wrong dout dimension"
+  with Invalid_argument _ -> ()
+
+let test_trivial_relaxation () =
+  let net, _, dout, _, artifact = scenario () in
+  let relaxed = Cv_interval.Box.expand 1.0 dout in
+  let p = Cv_core.Specchange.make ~net ~artifact ~new_dout:relaxed () in
+  let a = Cv_core.Specchange.trivial p in
+  Alcotest.(check bool) "relaxation trivially safe" true (Cv_core.Report.is_safe a)
+
+let test_chain_under_mild_tightening () =
+  (* D_out was built with a 0.1 margin over S_n; tightening it to the
+     0.05 margin keeps S_n inside, so the chain route fires without any
+     solver. *)
+  let net, _, _, chain, artifact = scenario () in
+  let s_n = chain.(Array.length chain - 1) in
+  let tightened = Cv_interval.Box.expand 0.05 s_n in
+  let p = Cv_core.Specchange.make ~net ~artifact ~new_dout:tightened () in
+  let a = Cv_core.Specchange.trivial p in
+  Alcotest.(check bool) "not trivial (spec tightened)" true
+    (not (Cv_core.Report.is_safe a));
+  let a2 = Cv_core.Specchange.chain p in
+  Alcotest.(check bool) ("chain: " ^ a2.Cv_core.Report.detail) true
+    (Cv_core.Report.is_safe a2)
+
+let test_chain_with_enlargement () =
+  let net, din, _, chain, artifact = scenario () in
+  let s_n = chain.(Array.length chain - 1) in
+  (* enlarge the domain a hair and widen the spec by more than ℓκ *)
+  let ell =
+    Option.get (Cv_artifacts.Artifacts.lipschitz_for artifact "Linf")
+  in
+  let kappa = 0.0005 in
+  let new_din = Cv_interval.Box.expand kappa din in
+  let new_dout = Cv_interval.Box.expand (2. *. ell *. kappa) s_n in
+  let p = Cv_core.Specchange.make ~net ~artifact ~new_dout ~new_din () in
+  let a = Cv_core.Specchange.chain p in
+  Alcotest.(check bool) ("chain+κ: " ^ a.Cv_core.Report.detail) true
+    (Cv_core.Report.is_safe a)
+
+let test_solve_pipeline_and_soundness () =
+  let net, din, _, chain, artifact = scenario () in
+  let s_n = chain.(Array.length chain - 1) in
+  let tightened = Cv_interval.Box.expand 0.01 s_n in
+  let p = Cv_core.Specchange.make ~net ~artifact ~new_dout:tightened () in
+  let r = Cv_core.Specchange.solve p in
+  (match r.Cv_core.Report.verdict with
+  | Cv_core.Report.Safe -> ()
+  | v -> Alcotest.failf "expected safe: %s" (Cv_core.Report.outcome_string v));
+  (* Safe claim must hold empirically. *)
+  let rng = Cv_util.Rng.create 808 in
+  for _ = 1 to 2000 do
+    let x = Cv_interval.Box.sample rng din in
+    Alcotest.(check bool) "empirically safe" true
+      (Cv_interval.Box.mem_tol ~tol:1e-7 (Cv_nn.Network.eval net x) tightened)
+  done
+
+let test_solve_falls_back_on_hard_tightening () =
+  let net, _, _, chain, artifact = scenario () in
+  let s_n = chain.(Array.length chain - 1) in
+  (* Shrink the spec strictly inside S_n: the chain cannot prove it and
+     the full fallback must run (and may prove or refute). *)
+  let iv = Cv_interval.Box.get s_n 0 in
+  let c = Cv_interval.Interval.center iv in
+  let tightened =
+    Cv_interval.Box.make
+      [| Cv_interval.Interval.make (c -. 1e-4) (c +. 1e-4) |]
+  in
+  let p = Cv_core.Specchange.make ~net ~artifact ~new_dout:tightened () in
+  let r = Cv_core.Specchange.solve p in
+  Alcotest.(check bool) "fallback ran" true
+    (List.exists (fun a -> a.Cv_core.Report.name = "full") r.Cv_core.Report.attempts)
+
+let () =
+  Alcotest.run "cv_specchange"
+    [ ( "svusc",
+        [ Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "trivial relaxation" `Quick test_trivial_relaxation;
+          Alcotest.test_case "chain under tightening" `Quick
+            test_chain_under_mild_tightening;
+          Alcotest.test_case "chain with enlargement" `Quick
+            test_chain_with_enlargement;
+          Alcotest.test_case "solve pipeline" `Quick
+            test_solve_pipeline_and_soundness;
+          Alcotest.test_case "fallback on hard tightening" `Quick
+            test_solve_falls_back_on_hard_tightening ] ) ]
