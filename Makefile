@@ -1,8 +1,14 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench
+.PHONY: all build test bench examples clean doc quickbench ci fmt
 
 all: build
+
+# What CI runs: full build, test suite, formatting gate.
+ci: build test fmt
+
+fmt:
+	dune build @fmt
 
 build:
 	dune build @all

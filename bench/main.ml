@@ -80,6 +80,7 @@ let table1 () =
       | Cv_core.Report.Safe -> "safe"
       | Cv_core.Report.Unsafe _ -> "UNSAFE"
       | Cv_core.Report.Inconclusive _ -> "inconclusive"
+      | Cv_core.Report.Exhausted _ -> "exhausted"
     in
     Printf.printf "%-8d %-13.3f %-28s %-28s\n" case orig_t
       (Printf.sprintf "%.3f%% (%s, paper %.2f%%)"
@@ -425,7 +426,8 @@ let ablation_prop_order () =
         (match a.Cv_core.Report.outcome with
         | Cv_core.Report.Safe -> "safe"
         | Cv_core.Report.Unsafe _ -> "unsafe"
-        | Cv_core.Report.Inconclusive _ -> "inconclusive")
+        | Cv_core.Report.Inconclusive _ -> "inconclusive"
+        | Cv_core.Report.Exhausted _ -> "exhausted")
         (a.Cv_core.Report.timing.Cv_core.Report.wall *. 1000.)
         a.Cv_core.Report.detail)
     [ ("trivial", fun () -> Cv_core.Svudc.trivial svudc);
@@ -445,7 +447,8 @@ let ablation_prop_order () =
         (match a.Cv_core.Report.outcome with
         | Cv_core.Report.Safe -> "safe"
         | Cv_core.Report.Unsafe _ -> "unsafe"
-        | Cv_core.Report.Inconclusive _ -> "inconclusive")
+        | Cv_core.Report.Inconclusive _ -> "inconclusive"
+        | Cv_core.Report.Exhausted _ -> "exhausted")
         (a.Cv_core.Report.timing.Cv_core.Report.wall *. 1000.)
         a.Cv_core.Report.detail)
     [ ("prop4", fun () -> Cv_core.Svbtv.prop4 svbtv);

@@ -17,6 +17,23 @@
 
 open Cmdliner
 
+(* User-facing failure (missing/unreadable/corrupt input files): caught
+   by [run] below and rendered as a one-line error plus a nonzero exit
+   code, never a backtrace. *)
+exception Cli_error of string
+
+let cli_fail fmt = Printf.ksprintf (fun s -> raise (Cli_error s)) fmt
+
+(* Wrap a command body: its normal result is the exit code. *)
+let run f =
+  try f () with
+  | Cli_error msg ->
+    prerr_endline ("contiver: error: " ^ msg);
+    Cmd.Exit.some_error
+  | Sys_error msg ->
+    prerr_endline ("contiver: error: " ^ msg);
+    Cmd.Exit.some_error
+
 let read_file path =
   let ic = open_in path in
   Fun.protect
@@ -27,13 +44,34 @@ let write_file path content =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
 
-let load_box path = Cv_interval.Box.of_json (Cv_util.Json.parse (read_file path))
+let load_json path =
+  match Cv_util.Json.parse (read_file path) with
+  | j -> j
+  | exception Sys_error msg -> cli_fail "%s" msg
+  | exception Cv_util.Json.Error msg -> cli_fail "%s: %s" path msg
+
+let load_network path =
+  match Cv_nn.Serialize.load_network_result path with
+  | Ok net -> net
+  | Error e -> cli_fail "%s" (Cv_nn.Serialize.load_error_message e)
+
+let load_artifact path =
+  match Cv_artifacts.Artifacts.load_result path with
+  | Ok a -> a
+  | Error e -> cli_fail "%s" (Cv_artifacts.Artifacts.load_error_message e)
+
+let load_box path =
+  match Cv_interval.Box.of_json_result (load_json path) with
+  | Ok b -> b
+  | Error msg -> cli_fail "%s: %s" path msg
 
 let save_box path box =
   write_file path (Cv_util.Json.to_string (Cv_interval.Box.to_json box))
 
 let load_property path =
-  Cv_verify.Property.of_json (Cv_util.Json.parse (read_file path))
+  match Cv_verify.Property.of_json_result (load_json path) with
+  | Ok p -> p
+  | Error msg -> cli_fail "%s: %s" path msg
 
 let save_property path prop =
   write_file path (Cv_util.Json.to_string (Cv_verify.Property.to_json prop))
@@ -43,6 +81,7 @@ let save_property path prop =
 (* ------------------------------------------------------------------ *)
 
 let setup_logs verbose =
+  Cv_util.Fault.init_from_env ();
   Cv_util.Log_setup.init ~level:(if verbose then Logs.Info else Logs.Warning) ()
 
 let verbose_arg =
@@ -88,11 +127,24 @@ let engine_arg =
            abstract domain ($(b,box), $(b,symint), $(b,zonotope), \
            $(b,deeppoly), $(b,star)).")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Verification budget in seconds. On expiry the run degrades \
+           gracefully to a structured UNKNOWN verdict (with the best bound \
+           salvaged so far) instead of running to completion.")
+
+let deadline_of = Option.map (fun seconds -> Cv_util.Deadline.make ~seconds)
+
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let generate verbose out seed =
+  run @@ fun () ->
   setup_logs verbose;
   let config = { Cv_vehicle.Pipeline.default_config with Cv_vehicle.Pipeline.seed } in
   let exp = Cv_vehicle.Pipeline.build ~config () in
@@ -115,7 +167,8 @@ let generate verbose out seed =
     "wrote %d heads, property, din and enlarged_din to %s\n(train loss %.5f, %d OOD events, kappa %.4f)\n"
     (Array.length exp.Cv_vehicle.Pipeline.heads)
     out exp.Cv_vehicle.Pipeline.train_loss exp.Cv_vehicle.Pipeline.ood_events
-    exp.Cv_vehicle.Pipeline.kappa
+    exp.Cv_vehicle.Pipeline.kappa;
+  Cmd.Exit.ok
 
 let generate_cmd =
   let out =
@@ -136,11 +189,13 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let describe verbose model =
+  run @@ fun () ->
   setup_logs verbose;
-  let net = Cv_nn.Serialize.load_network model in
+  let net = load_network model in
   print_string (Cv_nn.Describe.layer_table net);
   Printf.printf "global Lipschitz (Linf): %.4g\n"
-    (Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net)
+    (Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net);
+  Cmd.Exit.ok
 
 let describe_cmd =
   Cmd.v
@@ -151,21 +206,32 @@ let describe_cmd =
 (* verify                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let verify verbose model property artifact_out exact widen =
+let string_of_unknown (u : Cv_verify.Containment.unknown) =
+  Printf.sprintf "UNKNOWN (%s): %s%s"
+    (Cv_verify.Containment.reason_name u.Cv_verify.Containment.reason)
+    u.Cv_verify.Containment.message
+    (match u.Cv_verify.Containment.best_bound with
+    | None -> ""
+    | Some b -> Printf.sprintf " [best bound %.6g]" b)
+
+let verify verbose model property artifact_out exact widen timeout =
+  run @@ fun () ->
   setup_logs verbose;
-  let net = Cv_nn.Serialize.load_network model in
+  let net = load_network model in
   let prop = load_property property in
+  let deadline = deadline_of timeout in
   let original =
-    if exact then Cv_core.Strategy.solve_original_exact ~widen net prop
-    else Cv_core.Strategy.solve_original net prop
+    if exact then Cv_core.Strategy.solve_original_exact ?deadline ~widen net prop
+    else Cv_core.Strategy.solve_original ?deadline net prop
   in
+  let verdict = original.Cv_core.Strategy.report.Cv_verify.Verifier.verdict in
   Printf.printf "verdict: %s\n"
-    (match original.Cv_core.Strategy.report.Cv_verify.Verifier.verdict with
+    (match verdict with
     | Cv_verify.Containment.Proved -> "PROVED"
     | Cv_verify.Containment.Violated v ->
       Printf.sprintf "VIOLATED (output %d, margin %.4g)"
         v.Cv_verify.Falsify.neuron v.Cv_verify.Falsify.margin
-    | Cv_verify.Containment.Unknown m -> "UNKNOWN: " ^ m);
+    | Cv_verify.Containment.Unknown u -> string_of_unknown u);
   Printf.printf "time: %.3fs  solver: %s\n"
     original.Cv_core.Strategy.artifact.Cv_artifacts.Artifacts.solve_seconds
     original.Cv_core.Strategy.artifact.Cv_artifacts.Artifacts.solver;
@@ -174,7 +240,14 @@ let verify verbose model property artifact_out exact widen =
     Printf.printf "proof artifacts written to %s\n" artifact_out
   end
   else Printf.printf "no artifact written (property not proved)\n";
-  if not original.Cv_core.Strategy.proved then exit 1
+  (* A budget expiry is a structured, expected outcome of a bounded run,
+     not a failure of the tool: exit 0. Everything else unproved is 1. *)
+  match verdict with
+  | Cv_verify.Containment.Proved -> Cmd.Exit.ok
+  | Cv_verify.Containment.Unknown
+      { Cv_verify.Containment.reason = Cv_verify.Containment.Timeout; _ } ->
+    Cmd.Exit.ok
+  | _ -> 1
 
 let verify_cmd =
   let property =
@@ -202,7 +275,7 @@ let verify_cmd =
        ~doc:"Verify a safety property from scratch and record proof artifacts.")
     Term.(
       const verify $ verbose_arg $ model_arg () $ property
-      $ artifact_arg ~mode:`Out $ exact $ widen)
+      $ artifact_arg ~mode:`Out $ exact $ widen $ timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* svudc / svbtv                                                       *)
@@ -215,17 +288,23 @@ let print_report report original_seconds =
     *. Cv_core.Strategy.ratio ~incremental:report.Cv_core.Report.total_wall
          ~original:original_seconds);
   match report.Cv_core.Report.verdict with
-  | Cv_core.Report.Safe -> ()
-  | _ -> exit 1
+  | Cv_core.Report.Safe -> Cmd.Exit.ok
+  | Cv_core.Report.Exhausted _ ->
+    (* Budget expiry is a structured, expected outcome of a bounded run. *)
+    Cmd.Exit.ok
+  | _ -> 1
 
-let svudc verbose model artifact new_din engine =
+let svudc verbose model artifact new_din engine timeout =
+  run @@ fun () ->
   setup_logs verbose;
-  let net = Cv_nn.Serialize.load_network model in
-  let artifact = Cv_artifacts.Artifacts.load artifact in
+  let net = load_network model in
+  let artifact = load_artifact artifact in
   let new_din = load_box new_din in
   let p = Cv_core.Problem.svudc ~net ~artifact ~new_din in
   let config = { Cv_core.Strategy.default_config with Cv_core.Strategy.engine } in
-  let report = Cv_core.Strategy.solve_svudc ~config p in
+  let report =
+    Cv_core.Strategy.solve_svudc ?deadline:(deadline_of timeout) ~config p
+  in
   print_report report artifact.Cv_artifacts.Artifacts.solve_seconds
 
 let svudc_cmd =
@@ -242,13 +321,14 @@ let svudc_cmd =
           property on an enlarged input domain by reusing proof artifacts.")
     Term.(
       const svudc $ verbose_arg $ model_arg () $ artifact_arg ~mode:`In
-      $ new_din $ engine_arg)
+      $ new_din $ engine_arg $ timeout_arg)
 
-let svbtv verbose old_model new_model artifact new_din engine slack =
+let svbtv verbose old_model new_model artifact new_din engine slack timeout =
+  run @@ fun () ->
   setup_logs verbose;
-  let old_net = Cv_nn.Serialize.load_network old_model in
-  let new_net = Cv_nn.Serialize.load_network new_model in
-  let artifact = Cv_artifacts.Artifacts.load artifact in
+  let old_net = load_network old_model in
+  let new_net = load_network new_model in
+  let artifact = load_artifact artifact in
   let new_din =
     match new_din with
     | Some path -> load_box path
@@ -261,7 +341,9 @@ let svbtv verbose old_model new_model artifact new_din engine slack =
       Cv_core.Strategy.engine;
       interval_slack = slack }
   in
-  let report = Cv_core.Strategy.solve_svbtv ~config p in
+  let report =
+    Cv_core.Strategy.solve_svbtv ?deadline:(deadline_of timeout) ~config p
+  in
   print_report report artifact.Cv_artifacts.Artifacts.solve_seconds
 
 let svbtv_cmd =
@@ -288,21 +370,23 @@ let svbtv_cmd =
           network to its fine-tuned successor.")
     Term.(
       const svbtv $ verbose_arg $ old_model $ new_model
-      $ artifact_arg ~mode:`In $ new_din $ engine_arg $ slack)
+      $ artifact_arg ~mode:`In $ new_din $ engine_arg $ slack $ timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* range                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let range verbose model din =
+  run @@ fun () ->
   setup_logs verbose;
-  let net = Cv_nn.Serialize.load_network model in
+  let net = load_network model in
   let din = load_box din in
   let r, dt = Cv_util.Timer.time (fun () -> Cv_verify.Range.exact_range net ~din) in
   Printf.printf "exact output range: %s\n"
     (Cv_interval.Box.to_string r.Cv_verify.Range.range);
   Printf.printf "MILP: %d vars, %d binaries; %.3fs\n" r.Cv_verify.Range.milp_vars
-    r.Cv_verify.Range.milp_binaries dt
+    r.Cv_verify.Range.milp_binaries dt;
+  Cmd.Exit.ok
 
 let range_cmd =
   let din =
@@ -321,9 +405,10 @@ let range_cmd =
 (* ------------------------------------------------------------------ *)
 
 let diff verbose old_model new_model din =
+  run @@ fun () ->
   setup_logs verbose;
-  let old_net = Cv_nn.Serialize.load_network old_model in
-  let new_net = Cv_nn.Serialize.load_network new_model in
+  let old_net = load_network old_model in
+  let new_net = load_network new_model in
   let box = load_box din in
   Printf.printf "parameter drift (Linf): %.5g\n"
     (Cv_nn.Network.param_dist_inf old_net new_net);
@@ -334,7 +419,8 @@ let diff verbose old_model new_model din =
   Printf.printf "differential output bound (f' - f) over the box: %s (%.4fs)\n"
     (Cv_interval.Box.to_string delta) dt;
   Printf.printf "max |f' - f| <= %.5g\n"
-    (Cv_diffverify.Diffverify.max_output_delta ~old_net ~new_net box)
+    (Cv_diffverify.Diffverify.max_output_delta ~old_net ~new_net box);
+  Cmd.Exit.ok
 
 let diff_cmd =
   let old_model = model_arg ~names:[ "old" ] () in
@@ -357,8 +443,9 @@ let diff_cmd =
 (* ------------------------------------------------------------------ *)
 
 let suspects verbose model property =
+  run @@ fun () ->
   setup_logs verbose;
-  let net = Cv_nn.Serialize.load_network model in
+  let net = load_network model in
   let prop = load_property property in
   let result, dt =
     Cv_util.Timer.time (fun () ->
@@ -370,7 +457,8 @@ let suspects verbose model property =
     (if Cv_verify.Backward.all_safe result then
        "all output bounds proved by the LP relaxation"
      else "suspect regions remain — consider split-verifying or collecting data there")
-    dt
+    dt;
+  Cmd.Exit.ok
 
 let suspects_cmd =
   let property =
@@ -391,6 +479,7 @@ let suspects_cmd =
 (* ------------------------------------------------------------------ *)
 
 let import_nnet verbose nnet out =
+  run @@ fun () ->
   setup_logs verbose;
   let doc = Cv_nn.Nnet.load nnet in
   Cv_nn.Serialize.save_network ~name:(Filename.basename nnet) out
@@ -398,7 +487,8 @@ let import_nnet verbose nnet out =
   let box_path = Filename.remove_extension out ^ ".din.json" in
   save_box box_path doc.Cv_nn.Nnet.input_box;
   Printf.printf "imported %s -> %s (input box: %s)\n" nnet out box_path;
-  print_string (Cv_nn.Describe.layer_table doc.Cv_nn.Nnet.network)
+  print_string (Cv_nn.Describe.layer_table doc.Cv_nn.Nnet.network);
+  Cmd.Exit.ok
 
 let import_nnet_cmd =
   let nnet =
@@ -421,12 +511,14 @@ let import_nnet_cmd =
     Term.(const import_nnet $ verbose_arg $ nnet $ out)
 
 let export_nnet verbose model din out =
+  run @@ fun () ->
   setup_logs verbose;
-  let net = Cv_nn.Serialize.load_network model in
+  let net = load_network model in
   let input_box = Option.map load_box din in
   let doc = Cv_nn.Nnet.of_network ?input_box net in
   Cv_nn.Nnet.save out doc;
-  Printf.printf "exported %s -> %s\n" model out
+  Printf.printf "exported %s -> %s\n" model out;
+  Cmd.Exit.ok
 
 let export_nnet_cmd =
   let din =
@@ -452,6 +544,7 @@ let export_nnet_cmd =
 (* ------------------------------------------------------------------ *)
 
 let simulate verbose steps shifted seed =
+  run @@ fun () ->
   setup_logs verbose;
   let exp = Cv_vehicle.Pipeline.build () in
   let track = exp.Cv_vehicle.Pipeline.track in
@@ -477,7 +570,8 @@ let simulate verbose steps shifted seed =
     (if shifted then "shifted" else "nominal")
     final.Cv_vehicle.Controller.off_track
     (Cv_monitor.Monitor.event_count monitor)
-    (Cv_monitor.Monitor.kappa monitor)
+    (Cv_monitor.Monitor.kappa monitor);
+  Cmd.Exit.ok
 
 let simulate_cmd =
   let steps =
@@ -507,7 +601,7 @@ let () =
   let doc = "continuous safety verification of neural networks" in
   let info = Cmd.info "contiver" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [ generate_cmd; describe_cmd; verify_cmd; svudc_cmd; svbtv_cmd;
             range_cmd; diff_cmd; suspects_cmd; simulate_cmd; import_nnet_cmd;

@@ -83,7 +83,8 @@ let () =
     (match pdiff.Cv_core.Report.outcome with
     | Cv_core.Report.Safe -> "safe"
     | Cv_core.Report.Unsafe _ -> "unsafe"
-    | Cv_core.Report.Inconclusive m -> "inconclusive: " ^ m)
+    | Cv_core.Report.Inconclusive m -> "inconclusive: " ^ m
+    | Cv_core.Report.Exhausted m -> "exhausted: " ^ m)
     pdiff.Cv_core.Report.detail;
   let r2 = Cv_core.Strategy.solve_svbtv svbtv in
   Printf.printf "SVbTV strategy: %s, decided by %s (%s)\n"

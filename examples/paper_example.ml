@@ -61,7 +61,8 @@ let () =
     (match verdict with
     | Cv_verify.Containment.Proved -> "PROVED — proof reused, no full re-verification"
     | Cv_verify.Containment.Violated _ -> "violated"
-    | Cv_verify.Containment.Unknown m -> "unknown: " ^ m);
+    | Cv_verify.Containment.Unknown u ->
+      "unknown: " ^ u.Cv_verify.Containment.message);
 
   section "Proposition 3: Lipschitz-based proof reuse";
   let d_in = Cv_interval.Box.uniform 2 ~lo:1. ~hi:2. in

@@ -118,19 +118,97 @@ let of_json j =
     solver = to_str (member "solver" j);
     solve_seconds = to_float (member "solve_seconds" j) }
 
-(** [save path t] writes the artifact bundle as JSON. *)
-let save path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Cv_util.Json.to_string (to_json t)))
+(* On-disk envelope (format version 2): the version-1 document becomes
+   the [payload] member, protected by an MD5 checksum of its canonical
+   serialisation. Version-1 files (bare documents without an envelope)
+   are still accepted on load, without integrity checking. *)
+let envelope_version = 2
 
-(** [load path] reads an artifact bundle written by {!save}. *)
-let load path =
-  let ic = open_in path in
-  let content =
+let checksum_of payload = Digest.to_hex (Digest.string (Cv_util.Json.to_string payload))
+
+let envelope t =
+  let payload = to_json t in
+  Cv_util.Json.Obj
+    [ ("format", Cv_util.Json.Str "contiver-proof");
+      ("version", Cv_util.Json.of_int envelope_version);
+      ("checksum", Cv_util.Json.Str (checksum_of payload));
+      ("payload", payload) ]
+
+(** [save path t] writes the artifact bundle as checksummed JSON,
+    atomically: the document goes to a temporary file in the same
+    directory which is then renamed over [path], so a crash mid-write
+    never leaves a half-written artifact under the real name. *)
+let save path t =
+  let doc = Cv_util.Json.to_string (envelope t) in
+  let doc =
+    (* Fault injection: simulate a corrupted write (non-atomic writer or
+       disk fault) by emitting a truncated document. *)
+    if Cv_util.Fault.enabled Cv_util.Fault.Truncate_artifact then
+      String.sub doc 0 (String.length doc / 2)
+    else doc
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc);
+  Sys.rename tmp path
+
+type load_error =
+  | File_error of string  (** the file cannot be opened or read *)
+  | Corrupt of string
+      (** malformed JSON, checksum mismatch, or schema violation *)
+
+(** [load_error_message e] renders a one-line diagnosis. *)
+let load_error_message = function
+  | File_error msg -> msg
+  | Corrupt msg -> msg
+
+(** [load_result path] reads an artifact bundle written by {!save},
+    returning a typed error instead of raising: [File_error] for I/O
+    problems, [Corrupt] for malformed/truncated JSON, a checksum
+    mismatch, or a schema violation. Bare version-1 documents (no
+    envelope) are accepted without integrity checking. *)
+let load_result path =
+  match
+    let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  of_json (Cv_util.Json.parse content)
+  with
+  | exception Sys_error msg -> Error (File_error msg)
+  | content -> (
+    match Cv_util.Json.parse content with
+    | exception Cv_util.Json.Error msg ->
+      Error (Corrupt (Printf.sprintf "%s: malformed JSON (%s)" path msg))
+    | j -> (
+      try
+        match Cv_util.Json.member_opt "payload" j with
+        | Some payload ->
+          let version = Cv_util.Json.to_int (Cv_util.Json.member "version" j) in
+          if version <> envelope_version then
+            Error
+              (Corrupt
+                 (Printf.sprintf "%s: unsupported artifact format version %d"
+                    path version))
+          else begin
+            let stored = Cv_util.Json.to_str (Cv_util.Json.member "checksum" j) in
+            let actual = checksum_of payload in
+            if not (String.equal stored actual) then
+              Error
+                (Corrupt
+                   (Printf.sprintf
+                      "%s: checksum mismatch (stored %s, computed %s)" path
+                      stored actual))
+            else Ok (of_json payload)
+          end
+        | None ->
+          (* Bare version-1 document. *)
+          Ok (of_json j)
+      with Cv_util.Json.Error msg -> Error (Corrupt (path ^ ": " ^ msg))))
+
+(** [load path] reads an artifact bundle, raising on any failure —
+    prefer {!load_result} for typed error handling. *)
+let load path =
+  match load_result path with
+  | Ok t -> t
+  | Error (File_error msg) -> raise (Sys_error msg)
+  | Error (Corrupt msg) -> raise (Cv_util.Json.Error msg)

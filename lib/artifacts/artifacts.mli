@@ -53,7 +53,26 @@ val to_json : t -> Cv_util.Json.t
 
 val of_json : Cv_util.Json.t -> t
 
-(** [save path t] / [load path] persist the bundle on disk. *)
+(** [save path t] writes the bundle as checksummed JSON (format
+    version 2), atomically: temp file + rename, so a crash mid-write
+    never leaves a half-written artifact under the real name. *)
 val save : string -> t -> unit
 
+(** Typed failure of {!load_result}. *)
+type load_error =
+  | File_error of string  (** the file cannot be opened or read *)
+  | Corrupt of string
+      (** malformed JSON, checksum mismatch, or schema violation *)
+
+(** [load_error_message e] renders a one-line diagnosis. *)
+val load_error_message : load_error -> string
+
+(** [load_result path] reads a bundle written by {!save}: the envelope
+    checksum is validated, and all failures come back as typed errors
+    instead of exceptions. Bare version-1 documents are accepted without
+    integrity checking. *)
+val load_result : string -> (t, load_error) result
+
+(** [load path] reads a bundle, raising on any failure ([Sys_error] or
+    {!Cv_util.Json.Error}) — prefer {!load_result}. *)
 val load : string -> t

@@ -18,9 +18,10 @@ type diagnosis = {
   sub_times : float array;  (** per-layer diagnostic times *)
 }
 
-(** [diagnose ?engine ?domains p] runs the n independent Prop.-4
-    subproblems and reports which layers fail. *)
-let diagnose ?(engine = Cv_verify.Containment.Milp) ?domains (p : Problem.svbtv) =
+(** [diagnose ?deadline ?engine ?domains p] runs the n independent
+    Prop.-4 subproblems and reports which layers fail. *)
+let diagnose ?deadline ?(engine = Cv_verify.Containment.Milp) ?domains
+    (p : Problem.svbtv) =
   match Svbtv.get_abstractions p with
   | None -> None
   | Some s ->
@@ -36,7 +37,8 @@ let diagnose ?(engine = Cv_verify.Containment.Milp) ?domains (p : Problem.svbtv)
       Cv_util.Parallel.map ?domains
         (fun (i, input_box, target) ->
           let slice = Cv_nn.Network.slice net ~from_:i ~to_:(i + 1) in
-          Cv_verify.Containment.check_timed engine slice ~input_box ~target)
+          Cv_verify.Containment.check_timed ?deadline engine slice ~input_box
+            ~target)
         specs
     in
     let failing = ref [] in
@@ -51,7 +53,7 @@ let diagnose ?(engine = Cv_verify.Containment.Milp) ?domains (p : Problem.svbtv)
     when containment is re-established (possibly only at the output
     check), [Inconclusive] when the propagation reaches the output
     without ever being recaptured. *)
-let fix ?(engine = Cv_verify.Containment.Milp)
+let fix ?deadline ?(engine = Cv_verify.Containment.Milp)
     ?(domain = Cv_domains.Analyzer.Symint) (p : Problem.svbtv) ~failing_layer =
   match Svbtv.get_abstractions p with
   | None ->
@@ -91,7 +93,10 @@ let fix ?(engine = Cv_verify.Containment.Milp)
           (* Exact handoff attempt into the stored S_{k+1}. *)
           let slice = Cv_nn.Network.slice net ~from_:k ~to_:(k + 1) in
           let target = if k + 1 = n then Svbtv.dout p else s.(k) in
-          match Cv_verify.Containment.check engine slice ~input_box:s'_k ~target with
+          match
+            Cv_verify.Containment.check ?deadline engine slice ~input_box:s'_k
+              ~target
+          with
           | Cv_verify.Containment.Proved ->
             if k + 1 = n then
               (Report.Safe, Printf.sprintf "handoff S'_%d → D_out" k)
@@ -113,12 +118,12 @@ let fix ?(engine = Cv_verify.Containment.Milp)
         (if detail = "" then Printf.sprintf "failing layer %d" failing_layer
          else Printf.sprintf "failing layer %d: %s" failing_layer detail) }
 
-(** [repair ?engine ?domain ?domains p] — diagnose, then fix when the
-    failure is localised to a single layer (the case §IV-C treats);
-    multi-layer failures are reported inconclusive for the strategy to
-    fall back on. *)
-let repair ?engine ?domain ?domains (p : Problem.svbtv) =
-  match diagnose ?engine ?domains p with
+(** [repair ?deadline ?engine ?domain ?domains p] — diagnose, then fix
+    when the failure is localised to a single layer (the case §IV-C
+    treats); multi-layer failures are reported inconclusive for the
+    strategy to fall back on. *)
+let repair ?deadline ?engine ?domain ?domains (p : Problem.svbtv) =
+  match diagnose ?deadline ?engine ?domains p with
   | None ->
     { Report.name = "fixer";
       outcome = Report.Inconclusive "artifact carries no state abstractions";
@@ -137,7 +142,7 @@ let repair ?engine ?domain ?domains (p : Problem.svbtv) =
       detail = "no failing layer (Prop 4 holds)" }
   | Some { failing = [ layer ]; sub_times } ->
     let diag_wall = Array.fold_left ( +. ) 0. sub_times in
-    let attempt = fix ?engine ?domain p ~failing_layer:layer in
+    let attempt = fix ?deadline ?engine ?domain p ~failing_layer:layer in
     { attempt with
       Report.timing =
         { attempt.Report.timing with

@@ -15,6 +15,7 @@ type diagnosis = {
     subproblems and reports which layers fail; [None] when the artifact
     carries no state abstractions. *)
 val diagnose :
+  ?deadline:Cv_util.Deadline.t ->
   ?engine:Cv_verify.Containment.engine ->
   ?domains:int ->
   Problem.svbtv ->
@@ -25,6 +26,7 @@ val diagnose :
     (free box inclusion first, exact handoff second), succeed on
     recapture or on a final [D_out] check. *)
 val fix :
+  ?deadline:Cv_util.Deadline.t ->
   ?engine:Cv_verify.Containment.engine ->
   ?domain:Cv_domains.Analyzer.domain_kind ->
   Problem.svbtv ->
@@ -36,6 +38,7 @@ val fix :
     a clean diagnosis is Proposition 4 itself, and multi-layer failures
     are reported inconclusive for the strategy to fall back on. *)
 val repair :
+  ?deadline:Cv_util.Deadline.t ->
   ?engine:Cv_verify.Containment.engine ->
   ?domain:Cv_domains.Analyzer.domain_kind ->
   ?domains:int ->

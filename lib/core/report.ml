@@ -11,6 +11,9 @@ type outcome =
       (** a concrete counterexample to the {e target} property *)
   | Inconclusive of string
       (** the sufficient condition failed without a counterexample *)
+  | Exhausted of string
+      (** the resource budget (deadline/fuel) ran out before the attempt
+          could decide; the property's status is unchanged *)
 
 type timing = {
   wall : float;  (** actual wall-clock seconds of the attempt *)
@@ -46,7 +49,8 @@ type t = {
 
 (** [conclude attempts] folds attempts into a run report: the verdict is
     the first non-inconclusive outcome, or the last attempt's
-    inconclusive message. *)
+    inconclusive/exhausted message. An [Exhausted] attempt ends the run
+    — once the budget is gone no later attempt could have run. *)
 let conclude attempts =
   let total_wall = List.fold_left (fun acc a -> acc +. a.timing.wall) 0. attempts in
   let rec settle = function
@@ -55,6 +59,7 @@ let conclude attempts =
       match a.outcome with
       | Safe -> (Safe, Some a.name)
       | Unsafe v -> (Unsafe v, Some a.name)
+      | Exhausted _ -> (a.outcome, None)
       | Inconclusive _ when rest = [] -> (a.outcome, None)
       | Inconclusive _ -> settle rest)
   in
@@ -71,6 +76,7 @@ let outcome_string = function
       | `Lower -> "below bound")
       v.Cv_verify.Falsify.margin
   | Inconclusive msg -> "INCONCLUSIVE: " ^ msg
+  | Exhausted msg -> "UNKNOWN (budget exhausted): " ^ msg
 
 (** [pp ppf t] prints the run: one line per attempt plus the verdict. *)
 let pp ppf t =
@@ -82,7 +88,8 @@ let pp ppf t =
         (match a.outcome with
         | Safe -> "safe"
         | Unsafe _ -> "unsafe"
-        | Inconclusive _ -> "inconclusive")
+        | Inconclusive _ -> "inconclusive"
+        | Exhausted _ -> "exhausted")
         a.timing.wall a.timing.parallel a.timing.subproblems a.detail)
     t.attempts;
   Format.fprintf ppf "verdict: %s (%.4fs total%s)@]" (outcome_string t.verdict)

@@ -11,6 +11,9 @@ type outcome =
       (** a concrete counterexample to the {e target} property *)
   | Inconclusive of string
       (** the sufficient condition failed without a counterexample *)
+  | Exhausted of string
+      (** the resource budget (deadline/fuel) ran out before the attempt
+          could decide; the property's status is unchanged *)
 
 type timing = {
   wall : float;  (** actual wall-clock seconds of the attempt *)
@@ -45,7 +48,8 @@ type t = {
 
 (** [conclude attempts] folds attempts into a run report: the verdict is
     the first non-inconclusive outcome, or the last attempt's
-    inconclusive message. *)
+    inconclusive/exhausted message. An [Exhausted] attempt ends the
+    run. *)
 val conclude : attempt list -> t
 
 (** [outcome_string o] is a short printable verdict. *)

@@ -28,6 +28,9 @@ type event =
   | Version_rejected of Report.t
   | Spec_changed of Report.t
   | Spec_rejected of Report.t
+  | Budget_exhausted of Report.t
+      (** a transition ran out of verification budget; the session is
+          unchanged and the old certificate keeps standing *)
 
 type t = {
   mutable net : Cv_nn.Network.t;
@@ -38,12 +41,15 @@ type t = {
   mutable history : event list;  (** newest first *)
 }
 
-(** [certify ?config ?widen net prop] runs the original (exact)
-    verification and opens a session; [Error] with the failure report
-    when the property does not hold. *)
-let certify ?(config = Strategy.default_config) ?(widen = 0.03) net prop =
+(** [certify ?deadline ?config ?widen net prop] runs the original
+    (exact) verification and opens a session; [Error] with the failure
+    report when the property does not hold or the budget expires (the
+    report's verdict distinguishes the two). *)
+let certify ?deadline ?(config = Strategy.default_config) ?(widen = 0.03) net
+    prop =
   let original =
-    Strategy.solve_original_exact ~config ~widen ~with_split_cert:true net prop
+    Strategy.solve_original_exact ?deadline ~config ~widen
+      ~with_split_cert:true net prop
   in
   if not original.Strategy.proved then Error original.Strategy.report
   else
@@ -69,6 +75,34 @@ let resume ?(config = Strategy.default_config) ?(widen = 0.03) net artifact =
     config;
     widen;
     history = [ Certified artifact.Cv_artifacts.Artifacts.solver ] }
+
+(** Typed failure of {!resume_file}. *)
+type resume_error =
+  | Corrupt_artifact of string
+      (** the file is unreadable, truncated, fails its checksum, or
+          violates the artifact schema *)
+  | Artifact_mismatch of string
+      (** the artifact was produced for a different network *)
+
+(** [resume_error_message e] renders a one-line diagnosis. *)
+let resume_error_message = function
+  | Corrupt_artifact msg -> msg
+  | Artifact_mismatch msg -> msg
+
+(** [resume_file ?config ?widen net path] opens a session from an
+    artifact file, returning a typed error — never an exception — when
+    the file is corrupt or was produced for a different network. *)
+let resume_file ?config ?widen net path =
+  match Cv_artifacts.Artifacts.load_result path with
+  | Error e ->
+    Error (Corrupt_artifact (Cv_artifacts.Artifacts.load_error_message e))
+  | Ok artifact ->
+    if not (Cv_artifacts.Artifacts.matches artifact net) then
+      Error
+        (Artifact_mismatch
+           (Printf.sprintf
+              "%s: artifact fingerprint does not match this network" path))
+    else Ok (resume ?config ?widen net artifact)
 
 (** [network s] is the currently certified network. *)
 let network s = s.net
@@ -138,48 +172,51 @@ let refresh_artifact s net din =
     ?split_cert ~lipschitz ~property:prop ~net ~solver:"session-refresh"
     ~solve_seconds:s.artifact.Cv_artifacts.Artifacts.solve_seconds ()
 
-(** [absorb_enlargement ?margin s] solves the pending SVuDC instance for
-    the monitored enlargement. On success the enlarged domain is
-    committed, the artifact refreshed, and the OOD log cleared; on
-    failure the session is unchanged. Returns the reuse report either
-    way. *)
-let absorb_enlargement ?(margin = 0.005) s =
+(** [absorb_enlargement ?deadline ?margin s] solves the pending SVuDC
+    instance for the monitored enlargement. On success the enlarged
+    domain is committed, the artifact refreshed, and the OOD log
+    cleared; on failure or budget expiry the session is unchanged.
+    Returns the reuse report either way. *)
+let absorb_enlargement ?deadline ?(margin = 0.005) s =
   let new_din = Cv_monitor.Monitor.enlarged_box ~margin s.monitor in
   let p = Problem.svudc ~net:s.net ~artifact:s.artifact ~new_din in
-  let report = Strategy.solve_svudc ~config:s.config p in
+  let report = Strategy.solve_svudc ?deadline ~config:s.config p in
   (match report.Report.verdict with
   | Report.Safe ->
     Cv_monitor.Monitor.commit s.monitor new_din;
     s.artifact <- refresh_artifact s s.net new_din;
     s.history <- Domain_enlarged report :: s.history
+  | Report.Exhausted _ -> s.history <- Budget_exhausted report :: s.history
   | _ -> s.history <- Domain_rejected report :: s.history);
   report
 
-(** [adopt ?netabs s candidate] solves the SVbTV instance for a
-    fine-tuned candidate network (over the certified domain). On success
-    the candidate becomes the certified network and the artifact is
-    refreshed; on failure the old version keeps running. *)
-let adopt ?netabs s candidate =
+(** [adopt ?deadline ?netabs s candidate] solves the SVbTV instance for
+    a fine-tuned candidate network (over the certified domain). On
+    success the candidate becomes the certified network and the artifact
+    is refreshed; on failure or budget expiry the old version keeps
+    running. *)
+let adopt ?deadline ?netabs s candidate =
   let din = (property s).Cv_verify.Property.din in
   let p =
     Problem.svbtv ~old_net:s.net ~new_net:candidate ~artifact:s.artifact
       ~new_din:din
   in
-  let report = Strategy.solve_svbtv ~config:s.config ?netabs p in
+  let report = Strategy.solve_svbtv ?deadline ~config:s.config ?netabs p in
   (match report.Report.verdict with
   | Report.Safe ->
     s.net <- candidate;
     s.artifact <- refresh_artifact s candidate din;
     s.history <- Version_adopted report :: s.history
+  | Report.Exhausted _ -> s.history <- Budget_exhausted report :: s.history
   | _ -> s.history <- Version_rejected report :: s.history);
   report
 
-(** [retarget s new_dout] solves the SVuSC instance for an evolved
-    specification; on success the artifact is rebuilt against the new
-    [D_out]. *)
-let retarget s new_dout =
+(** [retarget ?deadline s new_dout] solves the SVuSC instance for an
+    evolved specification; on success the artifact is rebuilt against
+    the new [D_out]; on budget expiry the session is unchanged. *)
+let retarget ?deadline s new_dout =
   let p = Specchange.make ~net:s.net ~artifact:s.artifact ~new_dout () in
-  let report = Specchange.solve ~config:s.config p in
+  let report = Specchange.solve ?deadline ~config:s.config p in
   (match report.Report.verdict with
   | Report.Safe ->
     let din = (property s).Cv_verify.Property.din in
@@ -198,6 +235,7 @@ let retarget s new_dout =
         ~net:s.net ~solver:"session-retarget"
         ~solve_seconds:s.artifact.Cv_artifacts.Artifacts.solve_seconds ();
     s.history <- Spec_changed report :: s.history
+  | Report.Exhausted _ -> s.history <- Budget_exhausted report :: s.history
   | _ -> s.history <- Spec_rejected report :: s.history);
   report
 
@@ -217,3 +255,6 @@ let event_string = function
     Printf.sprintf "specification changed via %s"
       (Option.value ~default:"?" r.Report.decisive)
   | Spec_rejected _ -> "specification change rejected"
+  | Budget_exhausted r ->
+    Printf.sprintf "transition abandoned: %s"
+      (Report.outcome_string r.Report.verdict)

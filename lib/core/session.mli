@@ -14,13 +14,17 @@ type event =
   | Version_rejected of Report.t
   | Spec_changed of Report.t
   | Spec_rejected of Report.t
+  | Budget_exhausted of Report.t
+      (** a transition ran out of verification budget; the session is
+          unchanged and the old certificate keeps standing *)
 
 type t
 
-(** [certify ?config ?widen net prop] runs the original (exact)
-    verification and opens a session; [Error] with the failure report
-    when the property does not hold. *)
+(** [certify ?deadline ?config ?widen net prop] runs the original
+    (exact) verification and opens a session; [Error] with the failure
+    report when the property does not hold or the budget expires. *)
 val certify :
+  ?deadline:Cv_util.Deadline.t ->
   ?config:Strategy.config ->
   ?widen:float ->
   Cv_nn.Network.t ->
@@ -35,6 +39,27 @@ val resume :
   Cv_nn.Network.t ->
   Cv_artifacts.Artifacts.t ->
   t
+
+(** Typed failure of {!resume_file}. *)
+type resume_error =
+  | Corrupt_artifact of string
+      (** the file is unreadable, truncated, fails its checksum, or
+          violates the artifact schema *)
+  | Artifact_mismatch of string
+      (** the artifact was produced for a different network *)
+
+(** [resume_error_message e] renders a one-line diagnosis. *)
+val resume_error_message : resume_error -> string
+
+(** [resume_file ?config ?widen net path] opens a session from an
+    artifact file, returning a typed error — never an exception — when
+    the file is corrupt or was produced for a different network. *)
+val resume_file :
+  ?config:Strategy.config ->
+  ?widen:float ->
+  Cv_nn.Network.t ->
+  string ->
+  (t, resume_error) result
 
 (** [network s] is the currently certified network. *)
 val network : t -> Cv_nn.Network.t
@@ -56,20 +81,29 @@ val pending_ood : t -> int
     OOD event when it escapes the certified domain. *)
 val observe : t -> Cv_linalg.Vec.t -> Cv_monitor.Monitor.event option
 
-(** [absorb_enlargement ?margin s] solves the pending SVuDC instance;
-    on success the enlarged domain is committed, the artifact refreshed
-    and the OOD log cleared. *)
-val absorb_enlargement : ?margin:float -> t -> Report.t
+(** [absorb_enlargement ?deadline ?margin s] solves the pending SVuDC
+    instance; on success the enlarged domain is committed, the artifact
+    refreshed and the OOD log cleared. On budget expiry the session is
+    unchanged and a {!Budget_exhausted} event is recorded. *)
+val absorb_enlargement :
+  ?deadline:Cv_util.Deadline.t -> ?margin:float -> t -> Report.t
 
-(** [adopt ?netabs s candidate] solves the SVbTV instance for a
-    fine-tuned candidate; on success the candidate becomes the certified
-    network. *)
-val adopt : ?netabs:Netabs_reuse.t -> t -> Cv_nn.Network.t -> Report.t
+(** [adopt ?deadline ?netabs s candidate] solves the SVbTV instance for
+    a fine-tuned candidate; on success the candidate becomes the
+    certified network. On budget expiry the session is unchanged and a
+    {!Budget_exhausted} event is recorded. *)
+val adopt :
+  ?deadline:Cv_util.Deadline.t ->
+  ?netabs:Netabs_reuse.t ->
+  t ->
+  Cv_nn.Network.t ->
+  Report.t
 
-(** [retarget s new_dout] solves the SVuSC instance for an evolved
-    specification; on success the artifact is rebuilt against the new
-    [D_out]. *)
-val retarget : t -> Cv_interval.Box.t -> Report.t
+(** [retarget ?deadline s new_dout] solves the SVuSC instance for an
+    evolved specification; on success the artifact is rebuilt against
+    the new [D_out]. On budget expiry the session is unchanged and a
+    {!Budget_exhausted} event is recorded. *)
+val retarget : ?deadline:Cv_util.Deadline.t -> t -> Cv_interval.Box.t -> Report.t
 
 (** [event_string e] is a one-line audit entry. *)
 val event_string : event -> string

@@ -97,20 +97,23 @@ let chain ?(norm = Cv_lipschitz.Lipschitz.Linf) p =
     timing = Report.sequential_timing wall;
     detail }
 
-(** [solve ?config p] runs the SVuSC pipeline: trivial → chain → full
-    re-verification of the new property. *)
-let solve ?(config = Strategy.default_config) p =
+(** [solve ?deadline ?config p] runs the SVuSC pipeline: trivial →
+    chain → full re-verification of the new property. Budget expiry ends
+    the run with an [Exhausted] verdict. *)
+let solve ?deadline ?(config = Strategy.default_config) p =
   let attempts =
     [ (fun () -> trivial p);
       (fun () -> chain ~norm:config.Strategy.lipschitz_norm p);
-      (fun () -> Strategy.full_verify ~config p.net (target_property p)) ]
+      (fun () ->
+        Strategy.full_verify ?deadline ~config p.net (target_property p)) ]
   in
   let rec go acc = function
     | [] -> Report.conclude (List.rev acc)
     | thunk :: rest -> (
       let attempt = thunk () in
       match attempt.Report.outcome with
-      | Report.Safe | Report.Unsafe _ -> Report.conclude (List.rev (attempt :: acc))
+      | Report.Safe | Report.Unsafe _ | Report.Exhausted _ ->
+        Report.conclude (List.rev (attempt :: acc))
       | Report.Inconclusive _ -> go (attempt :: acc) rest)
   in
   go [] attempts

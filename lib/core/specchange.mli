@@ -33,6 +33,7 @@ val trivial : t -> Report.attempt
     also grew, fits the new specification. *)
 val chain : ?norm:Cv_lipschitz.Lipschitz.norm -> t -> Report.attempt
 
-(** [solve ?config p] runs the SVuSC pipeline: trivial → chain → full
-    re-verification of the new property. *)
-val solve : ?config:Strategy.config -> t -> Report.t
+(** [solve ?deadline ?config p] runs the SVuSC pipeline: trivial →
+    chain → full re-verification of the new property. Budget expiry ends
+    the run with an [Exhausted] verdict. *)
+val solve : ?deadline:Cv_util.Deadline.t -> ?config:Strategy.config -> t -> Report.t

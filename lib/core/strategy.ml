@@ -42,17 +42,18 @@ type original = {
   proved : bool;
 }
 
-(** [solve_original ?config net prop] verifies [φ(f, D_in, D_out)] from
-    scratch — abstract analysis first, exact fallback — and packages the
-    proof artifacts (state abstractions when the abstract proof
-    succeeded, Lipschitz constants always). The reported time is the
-    denominator of the Table I ratios. *)
-let solve_original ?(config = default_config) net prop =
+(** [solve_original ?deadline ?config net prop] verifies
+    [φ(f, D_in, D_out)] from scratch — abstract analysis first, exact
+    fallback — and packages the proof artifacts (state abstractions when
+    the abstract proof succeeded, Lipschitz constants always). The
+    reported time is the denominator of the Table I ratios. Deadline
+    expiry degrades the verdict to [Unknown {reason = Timeout; _}]. *)
+let solve_original ?deadline ?(config = default_config) net prop =
   let result, wall =
     Cv_util.Timer.time (fun () ->
         let pr =
-          Cv_verify.Verifier.verify_with_abstractions ~domain:config.domain
-            ~fallback:config.engine net prop
+          Cv_verify.Verifier.verify_with_abstractions ?deadline
+            ~domain:config.domain ~fallback:config.engine net prop
         in
         let ell_inf = Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net in
         let ell_l2 = Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.L2 net in
@@ -82,33 +83,45 @@ let solve_original ?(config = default_config) net prop =
     Lipschitz constants. The widening leaves slack for later
     fine-tuning, the same practice as the paper's input-bound buffers.
     Raises on non-piecewise-linear networks. *)
-let solve_original_exact ?(config = default_config) ?(widen = 0.02)
+let solve_original_exact ?deadline ?(config = default_config) ?(widen = 0.02)
     ?(with_split_cert = false) net prop =
+  let lipschitz () =
+    let ell_inf =
+      Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net
+    in
+    let ell_l2 =
+      Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.L2 net
+    in
+    [ ("Linf", ell_inf); ("L2", ell_l2) ]
+  in
+  let body () =
+    let verdict, _range = Cv_verify.Range.verify_exact ?deadline net prop in
+    let split_cert =
+      if with_split_cert && verdict = Cv_verify.Containment.Proved then
+        Cv_verify.Split_cert.prove ?deadline net
+          ~input_box:prop.Cv_verify.Property.din
+          ~target:prop.Cv_verify.Property.dout
+      else None
+    in
+    let s =
+      Cv_domains.Analyzer.abstractions ?deadline ~widen config.domain net
+        prop.Cv_verify.Property.din
+    in
+    let chain_proves =
+      Cv_interval.Box.subset_tol s.(Array.length s - 1)
+        prop.Cv_verify.Property.dout
+    in
+    (verdict, (if chain_proves then Some s else None), lipschitz (), split_cert)
+  in
   let result, wall =
     Cv_util.Timer.time (fun () ->
-        let verdict, _range = Cv_verify.Range.verify_exact net prop in
-        let split_cert =
-          if with_split_cert && verdict = Cv_verify.Containment.Proved then
-            Cv_verify.Split_cert.prove net ~input_box:prop.Cv_verify.Property.din
-              ~target:prop.Cv_verify.Property.dout
-          else None
-        in
-        let s =
-          Cv_domains.Analyzer.abstractions ~widen config.domain net
-            prop.Cv_verify.Property.din
-        in
-        let chain_proves =
-          Cv_interval.Box.subset_tol s.(Array.length s - 1)
-            prop.Cv_verify.Property.dout
-        in
-        let ell_inf =
-          Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net
-        in
-        let ell_l2 =
-          Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.L2 net
-        in
-        (verdict, (if chain_proves then Some s else None),
-         [ ("Linf", ell_inf); ("L2", ell_l2) ], split_cert))
+        try body ()
+        with Cv_util.Deadline.Expired msg ->
+          (* Exactness admits no partial answer: degrade the whole solve
+             to a structured Unknown (Lipschitz constants are cheap and
+             still recorded). *)
+          ( Cv_verify.Containment.unknown Cv_verify.Containment.Timeout msg,
+            None, lipschitz (), None ))
   in
   let verdict, abstractions, lipschitz, split_cert = result in
   { artifact =
@@ -126,34 +139,70 @@ let solve_original_exact ?(config = default_config) ?(widen = 0.02)
 (* Fallback                                                            *)
 (* ------------------------------------------------------------------ *)
 
-(** [full_verify ?config net prop] — complete re-verification of the
-    target property, as a strategy attempt. *)
-let full_verify ?(config = default_config) net prop =
-  let pr, wall =
+(** [full_verify ?deadline ?config net prop] — complete re-verification
+    of the target property, as a strategy attempt. Without a deadline
+    this is the abstract-then-exact solver; with one it runs the
+    {!Cv_verify.Verifier.verify_graceful} escalation chain, so the
+    attempt degrades to [Exhausted] (with any salvaged bound in the
+    message) instead of hanging when the budget runs out. *)
+let full_verify ?deadline ?(config = default_config) net prop =
+  let report, wall =
     Cv_util.Timer.time (fun () ->
-        Cv_verify.Verifier.verify_with_abstractions ~domain:config.domain
-          ~fallback:config.engine net prop)
+        match deadline with
+        | Some _ -> Cv_verify.Verifier.verify_graceful ?deadline net prop
+        | None ->
+          (Cv_verify.Verifier.verify_with_abstractions ~domain:config.domain
+             ~fallback:config.engine net prop)
+            .Cv_verify.Verifier.report)
   in
   let outcome =
-    match pr.Cv_verify.Verifier.report.Cv_verify.Verifier.verdict with
+    match report.Cv_verify.Verifier.verdict with
     | Cv_verify.Containment.Proved -> Report.Safe
     | Cv_verify.Containment.Violated v -> Report.Unsafe v
-    | Cv_verify.Containment.Unknown msg -> Report.Inconclusive msg
+    | Cv_verify.Containment.Unknown
+        { Cv_verify.Containment.reason = Cv_verify.Containment.Timeout;
+          message;
+          _ } ->
+      Report.Exhausted message
+    | Cv_verify.Containment.Unknown u ->
+      Report.Inconclusive u.Cv_verify.Containment.message
   in
   { Report.name = "full";
     outcome;
     timing = Report.sequential_timing wall;
-    detail = "complete re-verification (no reuse)" }
+    detail =
+      (match deadline with
+      | Some _ -> "graceful escalation chain (budgeted)"
+      | None -> "complete re-verification (no reuse)") }
 
-(* Run attempts lazily in order, stopping at the first decisive one. *)
-let run_until_decisive attempts =
+(* Run attempts lazily in order, stopping at the first decisive one.
+   Budget expiry — either observed before launching an attempt or
+   escaping one as Deadline.Expired — ends the run with a structured
+   Exhausted outcome instead of an exception. *)
+let run_until_decisive ?deadline attempts =
+  let exhausted_attempt msg =
+    { Report.name = "budget";
+      outcome = Report.Exhausted msg;
+      timing = Report.sequential_timing 0.;
+      detail = "deadline expired; remaining attempts skipped" }
+  in
   let rec go acc = function
     | [] -> Report.conclude (List.rev acc)
-    | thunk :: rest -> (
-      let attempt = thunk () in
-      match attempt.Report.outcome with
-      | Report.Safe | Report.Unsafe _ -> Report.conclude (List.rev (attempt :: acc))
-      | Report.Inconclusive _ -> go (attempt :: acc) rest)
+    | thunk :: rest ->
+      if Cv_util.Deadline.expired_opt deadline then
+        Report.conclude
+          (List.rev
+             (exhausted_attempt "verification budget exhausted" :: acc))
+      else begin
+        let attempt =
+          try thunk ()
+          with Cv_util.Deadline.Expired msg -> exhausted_attempt msg
+        in
+        match attempt.Report.outcome with
+        | Report.Safe | Report.Unsafe _ | Report.Exhausted _ ->
+          Report.conclude (List.rev (attempt :: acc))
+        | Report.Inconclusive _ -> go (attempt :: acc) rest
+      end
   in
   go [] attempts
 
@@ -161,27 +210,31 @@ let run_until_decisive attempts =
 (* SVuDC                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(** [solve_svudc ?config p] — the full SVuDC pipeline. *)
-let solve_svudc ?(config = default_config) (p : Problem.svudc) =
-  run_until_decisive
+(** [solve_svudc ?deadline ?config p] — the full SVuDC pipeline. *)
+let solve_svudc ?deadline ?(config = default_config) (p : Problem.svudc) =
+  run_until_decisive ?deadline
     [ (fun () -> Svudc.trivial p);
       (fun () -> Svudc.prop3 ~norm:config.lipschitz_norm p);
-      (fun () -> Svudc.prop1 ~engine:config.engine p);
+      (fun () -> Svudc.prop1 ?deadline ~engine:config.engine p);
       (fun () ->
-        Svudc.prop2 ~domain:config.domain ~engine:config.engine
+        Svudc.prop2 ?deadline ~domain:config.domain ~engine:config.engine
           ?domains:config.domains p);
       (fun () ->
-        Svudc.delta_cover ~engine:config.engine ?domains:config.domains p);
-      (fun () -> full_verify ~config p.Problem.net (Problem.svudc_property p)) ]
+        Svudc.delta_cover ?deadline ~engine:config.engine
+          ?domains:config.domains p);
+      (fun () ->
+        full_verify ?deadline ~config p.Problem.net (Problem.svudc_property p))
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* SVbTV                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(** [solve_svbtv ?config ?netabs p] — the full SVbTV pipeline. The
-    optional [netabs] is a stored Prop. 6 abstraction pair built for the
-    old network. *)
-let solve_svbtv ?(config = default_config) ?netabs (p : Problem.svbtv) =
+(** [solve_svbtv ?deadline ?config ?netabs p] — the full SVbTV pipeline.
+    The optional [netabs] is a stored Prop. 6 abstraction pair built for
+    the old network. *)
+let solve_svbtv ?deadline ?(config = default_config) ?netabs
+    (p : Problem.svbtv) =
   let prop6_attempts =
     (match netabs with
     | Some t -> [ (fun () -> Netabs_reuse.prop6 t p) ]
@@ -191,13 +244,13 @@ let solve_svbtv ?(config = default_config) ?netabs (p : Problem.svbtv) =
     | Some slack -> [ (fun () -> Netabs_reuse.prop6_interval ~slack p) ]
     | None -> []
   in
-  run_until_decisive
+  run_until_decisive ?deadline
     (prop6_attempts
-    @ [ (fun () -> Svbtv.leaf_reuse ?domains:config.domains p);
+    @ [ (fun () -> Svbtv.leaf_reuse ?deadline ?domains:config.domains p);
         (fun () ->
           (* The paper's own routes next (Prop 4 with §IV-C fixing);
              the differential extension backs them up below. *)
-          Fixer.repair ~engine:config.engine ~domain:config.domain
+          Fixer.repair ?deadline ~engine:config.engine ~domain:config.domain
             ?domains:config.domains p);
         (fun () -> Diff_reuse.prop_diff ~norm:config.lipschitz_norm p);
         (fun () ->
@@ -213,9 +266,11 @@ let solve_svbtv ?(config = default_config) ?netabs (p : Problem.svbtv) =
               timing = Report.sequential_timing 0.;
               detail = "" }
           else
-            Svbtv.prop5 ~engine:config.engine ?domains:config.domains ~anchors p);
+            Svbtv.prop5 ?deadline ~engine:config.engine
+              ?domains:config.domains ~anchors p);
         (fun () ->
-          full_verify ~config p.Problem.new_net (Problem.svbtv_property p)) ])
+          full_verify ?deadline ~config p.Problem.new_net
+            (Problem.svbtv_property p)) ])
 
 (** [ratio ~incremental ~original] is the Table I quantity:
     incremental time as a fraction of the original solve time. *)

@@ -30,19 +30,27 @@ type original = {
   proved : bool;
 }
 
-(** [solve_original ?config net prop] verifies [φ(f, D_in, D_out)] from
-    scratch — abstract analysis first, exact fallback — and packages the
-    proof artifacts (state abstractions when the abstract proof
-    succeeded, Lipschitz constants always). *)
+(** [solve_original ?deadline ?config net prop] verifies
+    [φ(f, D_in, D_out)] from scratch — abstract analysis first, exact
+    fallback — and packages the proof artifacts (state abstractions when
+    the abstract proof succeeded, Lipschitz constants always). Deadline
+    expiry degrades the verdict to [Unknown {reason = Timeout; _}]. *)
 val solve_original :
-  ?config:config -> Cv_nn.Network.t -> Cv_verify.Property.t -> original
+  ?deadline:Cv_util.Deadline.t ->
+  ?config:config ->
+  Cv_nn.Network.t ->
+  Cv_verify.Property.t ->
+  original
 
-(** [solve_original_exact ?config ?widen net prop] — the Table I
-    "original problem": a sound-and-complete full-network run (exact
-    MILP output range, no cutoffs) {e plus} artifact recording: the
-    widened inductive abstraction chain (default slack 0.02) and
-    Lipschitz constants. Raises on non-piecewise-linear networks. *)
+(** [solve_original_exact ?deadline ?config ?widen net prop] — the
+    Table I "original problem": a sound-and-complete full-network run
+    (exact MILP output range, no cutoffs) {e plus} artifact recording:
+    the widened inductive abstraction chain (default slack 0.02) and
+    Lipschitz constants. Raises on non-piecewise-linear networks;
+    deadline expiry degrades the verdict to
+    [Unknown {reason = Timeout; _}] (no partial artifacts). *)
 val solve_original_exact :
+  ?deadline:Cv_util.Deadline.t ->
   ?config:config ->
   ?widen:float ->
   ?with_split_cert:bool ->
@@ -50,19 +58,33 @@ val solve_original_exact :
   Cv_verify.Property.t ->
   original
 
-(** [full_verify ?config net prop] — complete re-verification of the
-    target property, as a strategy attempt. *)
+(** [full_verify ?deadline ?config net prop] — complete re-verification
+    of the target property, as a strategy attempt. With a deadline, runs
+    the {!Cv_verify.Verifier.verify_graceful} escalation chain and
+    degrades to [Exhausted] on budget expiry. *)
 val full_verify :
-  ?config:config -> Cv_nn.Network.t -> Cv_verify.Property.t -> Report.attempt
+  ?deadline:Cv_util.Deadline.t ->
+  ?config:config ->
+  Cv_nn.Network.t ->
+  Cv_verify.Property.t ->
+  Report.attempt
 
-(** [solve_svudc ?config p] — the full SVuDC pipeline. *)
-val solve_svudc : ?config:config -> Problem.svudc -> Report.t
+(** [solve_svudc ?deadline ?config p] — the full SVuDC pipeline. On
+    budget expiry the run ends with a structured [Exhausted] verdict
+    instead of raising. *)
+val solve_svudc :
+  ?deadline:Cv_util.Deadline.t -> ?config:config -> Problem.svudc -> Report.t
 
-(** [solve_svbtv ?config ?netabs p] — the full SVbTV pipeline. The
-    optional [netabs] is a stored Prop. 6 abstraction pair built for the
-    old network. *)
+(** [solve_svbtv ?deadline ?config ?netabs p] — the full SVbTV pipeline.
+    The optional [netabs] is a stored Prop. 6 abstraction pair built for
+    the old network. On budget expiry the run ends with a structured
+    [Exhausted] verdict instead of raising. *)
 val solve_svbtv :
-  ?config:config -> ?netabs:Netabs_reuse.t -> Problem.svbtv -> Report.t
+  ?deadline:Cv_util.Deadline.t ->
+  ?config:config ->
+  ?netabs:Netabs_reuse.t ->
+  Problem.svbtv ->
+  Report.t
 
 (** [ratio ~incremental ~original] is the Table I quantity: incremental
     time as a fraction of the original solve time ([nan] when the

@@ -19,9 +19,9 @@ let dout (p : Problem.svbtv) =
 
 (* One subproblem: layers [from_, to_) of f' over [input_box] into
    [target]. *)
-let subproblem engine net ~from_ ~to_ ~input_box ~target =
+let subproblem ?deadline engine net ~from_ ~to_ ~input_box ~target =
   let slice = Cv_nn.Network.slice net ~from_ ~to_ in
-  Cv_verify.Containment.check_timed engine slice ~input_box ~target
+  Cv_verify.Containment.check_timed ?deadline engine slice ~input_box ~target
 
 type sub_result = {
   label : string;
@@ -29,11 +29,11 @@ type sub_result = {
   seconds : float;
 }
 
-let run_subproblems ?domains engine net specs =
+let run_subproblems ?deadline ?domains engine net specs =
   Cv_util.Parallel.map ?domains
     (fun (label, from_, to_, input_box, target) ->
       let verdict, seconds =
-        subproblem engine net ~from_ ~to_ ~input_box ~target
+        subproblem ?deadline engine net ~from_ ~to_ ~input_box ~target
       in
       { label; verdict; seconds })
     specs
@@ -46,13 +46,26 @@ let summarize name engine results ~wall =
     Array.to_list results
     |> List.filter (fun r -> not (Cv_verify.Containment.is_proved r.verdict))
   in
+  let timed_out =
+    List.exists
+      (fun r ->
+        match r.verdict with
+        | Cv_verify.Containment.Unknown
+            { Cv_verify.Containment.reason = Cv_verify.Containment.Timeout; _ }
+          ->
+          true
+        | _ -> false)
+      failures
+  in
   let outcome =
     if failures = [] then Report.Safe
     else
-      Report.Inconclusive
-        (Printf.sprintf "%d/%d subproblems failed (%s)" (List.length failures)
-           (Array.length results)
-           (String.concat ", " (List.map (fun r -> r.label) failures)))
+      let msg =
+        Printf.sprintf "%d/%d subproblems failed (%s)" (List.length failures)
+          (Array.length results)
+          (String.concat ", " (List.map (fun r -> r.label) failures))
+      in
+      if timed_out then Report.Exhausted msg else Report.Inconclusive msg
   in
   { Report.name;
     outcome;
@@ -66,7 +79,8 @@ let summarize name engine results ~wall =
     abstraction: [g'_1] over the enlarged domain into [S_1], each
     [g'_{i+1}] over [S_i] into [S_{i+1}], and [g'_n] over [S_{n-1}] into
     [D_out]. All subproblems are independent and run in parallel. *)
-let prop4 ?(engine = Cv_verify.Containment.Milp) ?domains (p : Problem.svbtv) =
+let prop4 ?deadline ?(engine = Cv_verify.Containment.Milp) ?domains
+    (p : Problem.svbtv) =
   match get_abstractions p with
   | None ->
     { Report.name = "prop4";
@@ -83,7 +97,8 @@ let prop4 ?(engine = Cv_verify.Containment.Milp) ?domains (p : Problem.svbtv) =
           (Printf.sprintf "layer%d" (i + 1), i, i + 1, input_box, target))
     in
     let results, wall =
-      Cv_util.Timer.time (fun () -> run_subproblems ?domains engine net specs)
+      Cv_util.Timer.time (fun () ->
+          run_subproblems ?deadline ?domains engine net specs)
     in
     summarize "prop4" engine results ~wall
 
@@ -91,7 +106,7 @@ let prop4 ?(engine = Cv_verify.Containment.Milp) ?domains (p : Problem.svbtv) =
     anchor layers [⟨α_1⟩ < … < ⟨α_l⟩] (paper-style 1-based indices with
     [1 < α < n]): subproblems run f' from one anchor's abstraction to
     the next. Fewer but harder subproblems than {!prop4}. *)
-let prop5 ?(engine = Cv_verify.Containment.Milp) ?domains ~anchors
+let prop5 ?deadline ?(engine = Cv_verify.Containment.Milp) ?domains ~anchors
     (p : Problem.svbtv) =
   match get_abstractions p with
   | None ->
@@ -127,7 +142,8 @@ let prop5 ?(engine = Cv_verify.Containment.Milp) ?domains ~anchors
         |> Array.of_list
       in
       let results, wall =
-        Cv_util.Timer.time (fun () -> run_subproblems ?domains engine net specs)
+        Cv_util.Timer.time (fun () ->
+            run_subproblems ?deadline ?domains engine net specs)
       in
       summarize "prop5" engine results ~wall
     end
@@ -145,7 +161,7 @@ let default_anchors n =
     abstraction tight there, so small parameter drift usually passes.
     Covers the certificate's domain; any genuine enlargement beyond it
     is checked with the splitting engine on the new network. *)
-let leaf_reuse ?domains (p : Problem.svbtv) =
+let leaf_reuse ?deadline ?domains (p : Problem.svbtv) =
   match p.Problem.artifact.Cv_artifacts.Artifacts.split_cert with
   | None ->
     { Report.name = "leaf-reuse";
@@ -189,8 +205,8 @@ let leaf_reuse ?domains (p : Problem.svbtv) =
           let all_ok =
             Array.for_all
               (fun (_, slab) ->
-                Cv_verify.Split_cert.prove ~budget:512 p.Problem.new_net
-                  ~input_box:slab ~target:dout_box
+                Cv_verify.Split_cert.prove ?deadline ~budget:512
+                  p.Problem.new_net ~input_box:slab ~target:dout_box
                 <> None)
               slabs
           in

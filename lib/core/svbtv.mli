@@ -15,6 +15,7 @@ val dout : Problem.svbtv -> Cv_interval.Box.t
     parallel; the reported parallel time is the maximum subproblem time
     (Table I, footnote 3). *)
 val prop4 :
+  ?deadline:Cv_util.Deadline.t ->
   ?engine:Cv_verify.Containment.engine ->
   ?domains:int ->
   Problem.svbtv ->
@@ -26,6 +27,7 @@ val prop4 :
     anchor's abstraction to the next. Fewer but harder subproblems than
     {!prop4}. *)
 val prop5 :
+  ?deadline:Cv_util.Deadline.t ->
   ?engine:Cv_verify.Containment.engine ->
   ?domains:int ->
   anchors:int list ->
@@ -41,4 +43,5 @@ val default_anchors : int -> int list
     network: one-shot symbolic intervals per leaf, no new splitting,
     embarrassingly parallel; genuine enlargement beyond the certified
     domain is covered by freshly split slabs. *)
-val leaf_reuse : ?domains:int -> Problem.svbtv -> Report.attempt
+val leaf_reuse :
+  ?deadline:Cv_util.Deadline.t -> ?domains:int -> Problem.svbtv -> Report.attempt

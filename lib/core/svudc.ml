@@ -22,14 +22,21 @@ let old_property (p : Problem.svudc) =
   p.Problem.artifact.Cv_artifacts.Artifacts.property
 
 (* Map a containment verdict on a *subproblem* to an attempt outcome:
-   only Proved transfers; everything else is inconclusive. *)
+   only Proved transfers; everything else is inconclusive — except a
+   timeout, which exhausts the whole run's budget. *)
 let subproblem_outcome = function
   | Cv_verify.Containment.Proved -> Report.Safe
   | Cv_verify.Containment.Violated v ->
     Report.Inconclusive
       (Printf.sprintf "reuse condition violated (margin %.4g at output %d)"
          v.Cv_verify.Falsify.margin v.Cv_verify.Falsify.neuron)
-  | Cv_verify.Containment.Unknown msg -> Report.Inconclusive msg
+  | Cv_verify.Containment.Unknown
+      { Cv_verify.Containment.reason = Cv_verify.Containment.Timeout;
+        message;
+        _ } ->
+    Report.Exhausted message
+  | Cv_verify.Containment.Unknown u ->
+    Report.Inconclusive u.Cv_verify.Containment.message
 
 (** [trivial p] — the degenerate shortcut: if the "enlarged" domain is
     in fact contained in the proved [D_in], the old proof applies
@@ -47,10 +54,10 @@ let trivial (p : Problem.svudc) =
     timing = Report.sequential_timing wall;
     detail = "new D_in ⊆ old D_in?" }
 
-(** [prop1 ?engine p] — proof reuse at layers 1 and 2: check
+(** [prop1 ?deadline ?engine p] — proof reuse at layers 1 and 2: check
     [∀x ∈ D_in ∪ Δ_in, g₂(g₁(x)) ∈ S₂] on the two-layer prefix with an
     exact engine (default MILP). *)
-let prop1 ?(engine = Cv_verify.Containment.Milp) (p : Problem.svudc) =
+let prop1 ?deadline ?(engine = Cv_verify.Containment.Milp) (p : Problem.svudc) =
   match get_abstractions p with
   | None ->
     { Report.name = "prop1";
@@ -67,7 +74,7 @@ let prop1 ?(engine = Cv_verify.Containment.Milp) (p : Problem.svudc) =
     else begin
       let prefix = Cv_nn.Network.prefix p.Problem.net 2 in
       let verdict, wall =
-        Cv_verify.Containment.check_timed engine prefix
+        Cv_verify.Containment.check_timed ?deadline engine prefix
           ~input_box:p.Problem.new_din ~target:s.(1)
       in
       { Report.name = "prop1";
@@ -85,7 +92,7 @@ let prop1 ?(engine = Cv_verify.Containment.Milp) (p : Problem.svudc) =
     The handoff is first tried as a free box-inclusion test
     ([S'_j ⊆ S_j]), then with the exact engine on the single-layer
     slice. *)
-let prop2 ?(domain = Cv_domains.Analyzer.Symint)
+let prop2 ?deadline ?(domain = Cv_domains.Analyzer.Symint)
     ?(engine = Cv_verify.Containment.Milp) ?domains (p : Problem.svudc) =
   match get_abstractions p with
   | None ->
@@ -98,7 +105,10 @@ let prop2 ?(domain = Cv_domains.Analyzer.Symint)
     let n = Cv_nn.Network.num_layers net in
     let result, wall =
       Cv_util.Timer.time (fun () ->
-          let s' = Cv_domains.Analyzer.abstractions domain net p.Problem.new_din in
+          let s' =
+            Cv_domains.Analyzer.abstractions ?deadline domain net
+              p.Problem.new_din
+          in
           (* Handoff candidates: j = 1 .. n-1 (0-based S' index j-1,
              target S_{j+1} = s.(j)). *)
           let candidates = Array.init (max 0 (n - 1)) (fun k -> k + 1) in
@@ -108,7 +118,7 @@ let prop2 ?(domain = Cv_domains.Analyzer.Symint)
                   (Cv_verify.Containment.Proved, `Subset)
                 else begin
                   let slice = Cv_nn.Network.slice net ~from_:j ~to_:(j + 1) in
-                  ( Cv_verify.Containment.check engine slice
+                  ( Cv_verify.Containment.check ?deadline engine slice
                       ~input_box:s'.(j - 1) ~target:s.(j),
                     `Exact )
                 end)
@@ -172,7 +182,7 @@ let enlargement_slabs ~old_box ~new_box =
   done;
   Array.of_list (List.rev !slabs)
 
-let delta_cover ?(engine = Cv_verify.Containment.Milp) ?domains
+let delta_cover ?deadline ?(engine = Cv_verify.Containment.Milp) ?domains
     (p : Problem.svudc) =
   let old_prop = old_property p in
   let old_din = old_prop.Cv_verify.Property.din in
@@ -189,7 +199,7 @@ let delta_cover ?(engine = Cv_verify.Containment.Milp) ?domains
           Cv_util.Parallel.map ?domains
             (fun (label, slab) ->
               let verdict, seconds =
-                Cv_verify.Containment.check_timed engine p.Problem.net
+                Cv_verify.Containment.check_timed ?deadline engine p.Problem.net
                   ~input_box:slab ~target:dout
               in
               (label, verdict, seconds))

@@ -16,7 +16,10 @@ val trivial : Problem.svudc -> Report.attempt
     check [∀x ∈ D_in ∪ Δ_in, g₂(g₁(x)) ∈ S₂] on the two-layer prefix
     with an exact engine (default MILP). *)
 val prop1 :
-  ?engine:Cv_verify.Containment.engine -> Problem.svudc -> Report.attempt
+  ?deadline:Cv_util.Deadline.t ->
+  ?engine:Cv_verify.Containment.engine ->
+  Problem.svudc ->
+  Report.attempt
 
 (** [prop2 ?domain ?engine ?domains p] — proof reuse at layer [j+1]
     (Proposition 2): rebuild [S'] on the enlarged domain with the
@@ -25,6 +28,7 @@ val prop1 :
     [∀x ∈ S'_j, g_{j+1}(x) ∈ S_{j+1}] holds (free box inclusion first,
     then the exact engine on the single-layer slice). *)
 val prop2 :
+  ?deadline:Cv_util.Deadline.t ->
   ?domain:Cv_domains.Analyzer.domain_kind ->
   ?engine:Cv_verify.Containment.engine ->
   ?domains:int ->
@@ -51,6 +55,7 @@ val enlargement_slabs :
     one of the paper's numbered propositions, but a direct consequence
     of its observation that only Δ_in is new. *)
 val delta_cover :
+  ?deadline:Cv_util.Deadline.t ->
   ?engine:Cv_verify.Containment.engine ->
   ?domains:int ->
   Problem.svudc ->

@@ -26,11 +26,12 @@ module Make (D : Transformer.DOMAIN) = struct
       leaving room for the parameter drift of later fine-tuning, the
       same engineering practice as the paper's "additional buffers" on
       [D_in]. *)
-  let abstractions ?(widen = 0.) net din =
+  let abstractions ?deadline ?(widen = 0.) net din =
     let n = Cv_nn.Network.num_layers net in
     let result = Array.make n [||] in
     let box = ref din in
     for i = 0 to n - 1 do
+      Cv_util.Deadline.check_opt deadline;
       let s = D.to_box (D.apply_layer (Cv_nn.Network.layer net i) (D.of_box !box)) in
       let s = if widen > 0. then Cv_interval.Box.expand widen s else s in
       result.(i) <- s;
@@ -55,18 +56,20 @@ module Make (D : Transformer.DOMAIN) = struct
   (** [output_box net din] is the concretised network output reach
       (relational value carried through — the tightest this domain
       offers). *)
-  let output_box net din =
+  let output_box ?deadline net din =
     let a =
       Array.fold_left
-        (fun acc l -> D.apply_layer l acc)
+        (fun acc l ->
+          Cv_util.Deadline.check_opt deadline;
+          D.apply_layer l acc)
         (D.of_box din) (Cv_nn.Network.layers net)
     in
     D.to_box a
 
   (** [verify net ~din ~dout] is [true] when the carried-through output
       reach is contained in [dout] — one-shot abstract verification. *)
-  let verify net ~din ~dout =
-    Cv_interval.Box.subset_tol (output_box net din) dout
+  let verify ?deadline net ~din ~dout =
+    Cv_interval.Box.subset_tol (output_box ?deadline net din) dout
 
   let name = D.name
 end
@@ -97,30 +100,30 @@ let domain_name = function
   | Deeppoly -> "deeppoly"
   | Star -> "star"
 
-(** [abstractions ?widen kind net din] dispatches
+(** [abstractions ?deadline ?widen kind net din] dispatches
     {!Make.abstractions}. *)
-let abstractions ?widen kind net din =
+let abstractions ?deadline ?widen kind net din =
   match kind with
-  | Box -> Box_analysis.abstractions ?widen net din
-  | Symint -> Symint_analysis.abstractions ?widen net din
-  | Zonotope -> Zonotope_analysis.abstractions ?widen net din
-  | Deeppoly -> Deeppoly_analysis.abstractions ?widen net din
-  | Star -> Star_analysis.abstractions ?widen net din
+  | Box -> Box_analysis.abstractions ?deadline ?widen net din
+  | Symint -> Symint_analysis.abstractions ?deadline ?widen net din
+  | Zonotope -> Zonotope_analysis.abstractions ?deadline ?widen net din
+  | Deeppoly -> Deeppoly_analysis.abstractions ?deadline ?widen net din
+  | Star -> Star_analysis.abstractions ?deadline ?widen net din
 
-(** [output_box kind net din] dispatches {!Make.output_box}. *)
-let output_box kind net din =
+(** [output_box ?deadline kind net din] dispatches {!Make.output_box}. *)
+let output_box ?deadline kind net din =
   match kind with
-  | Box -> Box_analysis.output_box net din
-  | Symint -> Symint_analysis.output_box net din
-  | Zonotope -> Zonotope_analysis.output_box net din
-  | Deeppoly -> Deeppoly_analysis.output_box net din
-  | Star -> Star_analysis.output_box net din
+  | Box -> Box_analysis.output_box ?deadline net din
+  | Symint -> Symint_analysis.output_box ?deadline net din
+  | Zonotope -> Zonotope_analysis.output_box ?deadline net din
+  | Deeppoly -> Deeppoly_analysis.output_box ?deadline net din
+  | Star -> Star_analysis.output_box ?deadline net din
 
-(** [verify kind net ~din ~dout] dispatches {!Make.verify}. *)
-let verify kind net ~din ~dout =
+(** [verify ?deadline kind net ~din ~dout] dispatches {!Make.verify}. *)
+let verify ?deadline kind net ~din ~dout =
   match kind with
-  | Box -> Box_analysis.verify net ~din ~dout
-  | Symint -> Symint_analysis.verify net ~din ~dout
-  | Zonotope -> Zonotope_analysis.verify net ~din ~dout
-  | Deeppoly -> Deeppoly_analysis.verify net ~din ~dout
-  | Star -> Star_analysis.verify net ~din ~dout
+  | Box -> Box_analysis.verify ?deadline net ~din ~dout
+  | Symint -> Symint_analysis.verify ?deadline net ~din ~dout
+  | Zonotope -> Zonotope_analysis.verify ?deadline net ~din ~dout
+  | Deeppoly -> Deeppoly_analysis.verify ?deadline net ~din ~dout
+  | Star -> Star_analysis.verify ?deadline net ~din ~dout

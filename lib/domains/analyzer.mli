@@ -6,13 +6,19 @@
     paper's experiment). See DESIGN.md for the inductivity subtlety. *)
 
 module Make (D : Transformer.DOMAIN) : sig
-  (** [abstractions ?widen net din] computes inductive state
+  (** [abstractions ?deadline ?widen net din] computes inductive state
       abstractions [S_1..S_n] as boxes: [S_{i+1}] is the domain's image
       of the box [S_i], optionally widened by the absolute slack
       [widen] per neuron (default 0). Widening keeps the chain inductive
-      while leaving room for fine-tuning drift. *)
+      while leaving room for fine-tuning drift. The optional [deadline]
+      is polled once per layer; raises {!Cv_util.Deadline.Expired} on
+      budget exhaustion. *)
   val abstractions :
-    ?widen:float -> Cv_nn.Network.t -> Cv_interval.Box.t -> Cv_interval.Box.t array
+    ?deadline:Cv_util.Deadline.t ->
+    ?widen:float ->
+    Cv_nn.Network.t ->
+    Cv_interval.Box.t ->
+    Cv_interval.Box.t array
 
   (** [abstractions_through net din] carries the abstract value through
       all layers (tighter boxes, but only end-to-end containment is
@@ -20,13 +26,23 @@ module Make (D : Transformer.DOMAIN) : sig
   val abstractions_through :
     Cv_nn.Network.t -> Cv_interval.Box.t -> Cv_interval.Box.t array
 
-  (** [output_box net din] is the concretised network output reach
-      (relational value carried through). *)
-  val output_box : Cv_nn.Network.t -> Cv_interval.Box.t -> Cv_interval.Box.t
+  (** [output_box ?deadline net din] is the concretised network output
+      reach (relational value carried through; [deadline] polled per
+      layer). *)
+  val output_box :
+    ?deadline:Cv_util.Deadline.t ->
+    Cv_nn.Network.t ->
+    Cv_interval.Box.t ->
+    Cv_interval.Box.t
 
-  (** [verify net ~din ~dout] — one-shot abstract verification. *)
+  (** [verify ?deadline net ~din ~dout] — one-shot abstract
+      verification. *)
   val verify :
-    Cv_nn.Network.t -> din:Cv_interval.Box.t -> dout:Cv_interval.Box.t -> bool
+    ?deadline:Cv_util.Deadline.t ->
+    Cv_nn.Network.t ->
+    din:Cv_interval.Box.t ->
+    dout:Cv_interval.Box.t ->
+    bool
 
   val name : string
 end
@@ -53,6 +69,7 @@ val domain_name : domain_kind -> string
 
 (** Dispatchers over {!domain_kind}. *)
 val abstractions :
+  ?deadline:Cv_util.Deadline.t ->
   ?widen:float ->
   domain_kind ->
   Cv_nn.Network.t ->
@@ -60,9 +77,14 @@ val abstractions :
   Cv_interval.Box.t array
 
 val output_box :
-  domain_kind -> Cv_nn.Network.t -> Cv_interval.Box.t -> Cv_interval.Box.t
+  ?deadline:Cv_util.Deadline.t ->
+  domain_kind ->
+  Cv_nn.Network.t ->
+  Cv_interval.Box.t ->
+  Cv_interval.Box.t
 
 val verify :
+  ?deadline:Cv_util.Deadline.t ->
   domain_kind ->
   Cv_nn.Network.t ->
   din:Cv_interval.Box.t ->

@@ -197,3 +197,10 @@ let to_json b = Cv_util.Json.List (Array.to_list (Array.map Interval.to_json b))
 (** [of_json j] decodes a box written by {!to_json}. *)
 let of_json j =
   Cv_util.Json.to_list j |> List.map Interval.of_json |> Array.of_list
+
+(** [of_json_result j] is {!of_json} with a typed error instead of an
+    exception. *)
+let of_json_result j =
+  match of_json j with
+  | b -> Ok b
+  | exception Cv_util.Json.Error msg -> Error msg

@@ -103,8 +103,9 @@ type mapping =
   | Reflected of int * float  (** x = u − y_col *)
   | Split of int * int  (** x = y⁺ − y⁻ *)
 
-(** [solve p] runs two-phase simplex on the lowered model. *)
-let solve p =
+(** [solve ?deadline p] runs two-phase simplex on the lowered model;
+    raises {!Cv_util.Deadline.Expired} when the budget runs out. *)
+let solve ?deadline p =
   let lo = Array.of_list (List.rev p.lo) in
   let hi = Array.of_list (List.rev p.hi) in
   let ncols = ref 0 in
@@ -214,7 +215,7 @@ let solve p =
         c.(cp) <- c.(cp) +. coef;
         c.(cn) <- c.(cn) -. coef)
     p.obj_terms;
-  match Simplex.solve ~basis0 ~a ~b ~c () with
+  match Simplex.solve ?deadline ~basis0 ~a ~b ~c () with
   | Simplex.Infeasible -> Infeasible
   | Simplex.Unbounded -> Unbounded
   | Simplex.Optimal { objective; values } ->

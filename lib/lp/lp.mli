@@ -45,8 +45,9 @@ val set_bounds : problem -> var -> lo:float -> hi:float -> unit
 (** [bounds p v] reads the current bounds of [v]. *)
 val bounds : problem -> var -> float * float
 
-(** [solve p] runs two-phase simplex on the lowered model. *)
-val solve : problem -> result
+(** [solve ?deadline p] runs two-phase simplex on the lowered model;
+    raises {!Cv_util.Deadline.Expired} when the budget runs out. *)
+val solve : ?deadline:Cv_util.Deadline.t -> problem -> result
 
 (** [maximize_linear p terms] sets a maximisation objective and
     solves. *)

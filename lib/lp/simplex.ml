@@ -127,11 +127,13 @@ let leaving t col =
   done;
   Option.map fst !best
 
-(* Run simplex iterations until optimal or unbounded. *)
-let iterate t ~allowed =
+(* Run simplex iterations until optimal or unbounded. The deadline is
+   polled every 32 pivots — cheap relative to a pivot's O(m·n) work. *)
+let iterate ?deadline t ~allowed =
   let max_dantzig = 4 * (t.m + t.n_total) in
   let max_total = 8000 + (64 * (t.m + t.n_total)) in
   let rec loop iter =
+    Cv_util.Deadline.check_every ~mask:31 iter deadline;
     if iter > max_total then
       failwith "Simplex.iterate: iteration limit exceeded (numerical trouble)"
     else begin
@@ -171,8 +173,11 @@ let install_objective t c =
     given, names a structural slack column usable as row [i]'s initial
     basic variable (+1 there, 0 elsewhere, zero cost), letting the
     solver skip artificials — and often all of phase 1 — for those
-    rows. Returns structural values only. *)
-let solve ?basis0 ~a ~b ~c () =
+    rows. Returns structural values only. Raises
+    {!Cv_util.Deadline.Expired} when [deadline] runs out mid-solve. *)
+let solve ?deadline ?basis0 ~a ~b ~c () =
+  Cv_util.Fault.trip Cv_util.Fault.Solver_failure;
+  Cv_util.Deadline.check_opt deadline;
   let m = Array.length b in
   let n = Array.length c in
   (if m > 0 && Array.length a.(0) <> n then invalid_arg "Simplex.solve: shape");
@@ -189,7 +194,7 @@ let solve ?basis0 ~a ~b ~c () =
         c1.(j) <- 1.
       done;
       install_objective t c1;
-      (match iterate t ~allowed:(fun _ -> true) with
+      (match iterate ?deadline t ~allowed:(fun _ -> true) with
       | `Unbounded -> failwith "Simplex: phase 1 unbounded (impossible)"
       | `Optimal -> ());
       -.t.rows.(t.m).(rhs_col t)
@@ -220,7 +225,7 @@ let solve ?basis0 ~a ~b ~c () =
     Array.blit c 0 c2 0 n;
     install_objective t c2;
     let allowed j = j < t.n in
-    match iterate t ~allowed with
+    match iterate ?deadline t ~allowed with
     | `Unbounded -> Unbounded
     | `Optimal ->
       let values = Array.make n 0. in

@@ -14,8 +14,10 @@ type outcome =
     usable as row [i]'s initial basic variable (+1 there, 0 elsewhere,
     zero cost), letting the solver skip artificials — and often all of
     phase 1 — for those rows. Raises [Failure] when the iteration limit
-    is exceeded (numerical trouble). *)
+    is exceeded (numerical trouble) and {!Cv_util.Deadline.Expired} when
+    [deadline] runs out mid-solve (polled every 32 pivots). *)
 val solve :
+  ?deadline:Cv_util.Deadline.t ->
   ?basis0:int option array ->
   a:float array array ->
   b:float array ->

@@ -18,6 +18,13 @@ type result =
   | Below_cutoff of float
       (** every node was fathomed at or below the cutoff; the payload is
           a proven upper bound on the true optimum (≤ cutoff) *)
+  | Timeout of { bound : float; incumbent : solution option }
+      (** the deadline or node budget expired before the gap closed;
+          [bound] is a certified bound on the true optimum from the
+          unfathomed relaxations (an {e upper} bound when maximising, a
+          lower bound when minimising; infinite when even the root
+          relaxation did not finish) and [incumbent] the best
+          integer-feasible point found so far *)
 
 type problem = { lp : Cv_lp.Lp.problem; mutable binaries : int list }
 
@@ -75,7 +82,7 @@ type node = { fixed : (int * float) list; bound : float }
     seeds the incumbent for pruning; if the search then closes without an
     explicit incumbent the optimum equals the seed and an [Optimal] with
     empty [values] is returned. *)
-let maximize ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
+let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
   Cv_lp.Lp.set_objective p.lp ~maximize:true terms;
   let apply_fixings fixed =
     let lp = Cv_lp.Lp.copy p.lp in
@@ -85,7 +92,7 @@ let maximize ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
   let solve_node fixed =
     let lp = apply_fixings fixed in
     Cv_lp.Lp.set_objective lp ~maximize:true terms;
-    Cv_lp.Lp.solve lp
+    Cv_lp.Lp.solve ?deadline lp
   in
   (* Best-first queue ordered by decreasing bound: simple sorted list —
      node counts stay small at our problem sizes. *)
@@ -96,66 +103,103 @@ let maximize ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
   let better_than_cutoff s =
     match cutoff with Some theta -> s.objective > theta +. 1e-7 | None -> false
   in
-  match Cv_lp.Lp.solve (let lp = apply_fixings [] in
-                        Cv_lp.Lp.set_objective lp ~maximize:true terms;
-                        lp) with
-  | Cv_lp.Lp.Infeasible -> Infeasible
-  | Cv_lp.Lp.Unbounded -> Unbounded
-  | Cv_lp.Lp.Optimal root ->
+  match
+    (try
+       `Root
+         (Cv_lp.Lp.solve ?deadline
+            (let lp = apply_fixings [] in
+             Cv_lp.Lp.set_objective lp ~maximize:true terms;
+             lp))
+     with Cv_util.Deadline.Expired _ ->
+       (* Even the root relaxation did not finish: no certified bound. *)
+       `Expired)
+  with
+  | `Expired -> Timeout { bound = Float.infinity; incumbent = None }
+  | `Root Cv_lp.Lp.Infeasible -> Infeasible
+  | `Root Cv_lp.Lp.Unbounded -> Unbounded
+  | `Root (Cv_lp.Lp.Optimal root) ->
     let queue = ref [ { fixed = []; bound = root.Cv_lp.Lp.objective } ] in
     let nodes = ref 0 in
     let result = ref None in
     (* Largest bound among nodes fathomed by the cutoff — a certified
        upper bound on the optimum within the pruned regions. *)
     let pruned_max = ref Float.neg_infinity in
-    while !result = None && !queue <> [] && !nodes < node_limit do
-      incr nodes;
-      let node = List.hd !queue in
-      queue := List.tl !queue;
-      let prune_bound =
-        match cutoff with
-        | Some theta -> Float.max !incumbent_val theta
-        | None -> !incumbent_val
+    (* Budget expiry mid-search: the queue is sorted by decreasing
+       relaxation bound, so [max (head bound) incumbent] is a certified
+       upper bound on the true optimum. *)
+    let timeout_now () =
+      let queue_bound =
+        match !queue with [] -> Float.neg_infinity | hd :: _ -> hd.bound
       in
-      if node.bound <= prune_bound +. 1e-9 then
-        pruned_max := Float.max !pruned_max node.bound
+      let bound =
+        Float.max queue_bound (Float.max !pruned_max !incumbent_val)
+      in
+      result := Some (Timeout { bound; incumbent = !incumbent })
+    in
+    while !result = None && !queue <> [] && !nodes < node_limit do
+      if Cv_util.Deadline.expired_opt deadline then timeout_now ()
       else begin
-        match solve_node node.fixed with
-        | Cv_lp.Lp.Infeasible -> ()
-        | Cv_lp.Lp.Unbounded -> result := Some Unbounded
-        | Cv_lp.Lp.Optimal sol -> (
-          let bound = sol.Cv_lp.Lp.objective in
-          if bound <= prune_bound +. 1e-9 then
-            pruned_max := Float.max !pruned_max bound
-          else
-            match pick_branch_var p.binaries sol.Cv_lp.Lp.values with
-            | None ->
-              (* Integer feasible. *)
-              let s = { objective = bound; values = sol.Cv_lp.Lp.values } in
-              if bound > !incumbent_val then begin
-                incumbent_val := bound;
-                incumbent := Some s
-              end;
-              if better_than_cutoff s then result := Some (Cutoff_reached s)
-            | Some v ->
-              let child x = { fixed = (v, x) :: node.fixed; bound } in
-              (* Insert keeping the queue sorted by decreasing bound. *)
-              let insert n q =
-                let rec go = function
-                  | [] -> [ n ]
-                  | hd :: tl when hd.bound >= n.bound -> hd :: go tl
-                  | rest -> n :: rest
+        incr nodes;
+        let node = List.hd !queue in
+        queue := List.tl !queue;
+        let prune_bound =
+          match cutoff with
+          | Some theta -> Float.max !incumbent_val theta
+          | None -> !incumbent_val
+        in
+        if node.bound <= prune_bound +. 1e-9 then
+          pruned_max := Float.max !pruned_max node.bound
+        else begin
+          match
+            try `Sol (solve_node node.fixed)
+            with Cv_util.Deadline.Expired _ -> `Expired
+          with
+          | `Expired ->
+            (* The interrupted node's own bound keeps the estimate
+               sound: put it back before summarising. *)
+            queue := node :: !queue;
+            timeout_now ()
+          | `Sol Cv_lp.Lp.Infeasible -> ()
+          | `Sol Cv_lp.Lp.Unbounded -> result := Some Unbounded
+          | `Sol (Cv_lp.Lp.Optimal sol) -> (
+            let bound = sol.Cv_lp.Lp.objective in
+            if bound <= prune_bound +. 1e-9 then
+              pruned_max := Float.max !pruned_max bound
+            else
+              match pick_branch_var p.binaries sol.Cv_lp.Lp.values with
+              | None ->
+                (* Integer feasible. *)
+                let s = { objective = bound; values = sol.Cv_lp.Lp.values } in
+                if bound > !incumbent_val then begin
+                  incumbent_val := bound;
+                  incumbent := Some s
+                end;
+                if better_than_cutoff s then result := Some (Cutoff_reached s)
+              | Some v ->
+                let child x = { fixed = (v, x) :: node.fixed; bound } in
+                (* Insert keeping the queue sorted by decreasing bound. *)
+                let insert n q =
+                  let rec go = function
+                    | [] -> [ n ]
+                    | hd :: tl when hd.bound >= n.bound -> hd :: go tl
+                    | rest -> n :: rest
+                  in
+                  go q
                 in
-                go q
-              in
-              queue := insert (child 0.) (insert (child 1.) !queue))
+                queue := insert (child 0.) (insert (child 1.) !queue))
+        end
       end
     done;
     (match !result with
     | Some r -> r
     | None -> (
-      if !nodes >= node_limit && !queue <> [] then
-        failwith "Milp.maximize: node limit exceeded";
+      if !nodes >= node_limit && !queue <> [] then begin
+        (* Node budget exhausted: degrade to the certified bound instead
+           of dying — same contract as a wall-clock timeout. *)
+        timeout_now ();
+        match !result with Some r -> r | None -> assert false
+      end
+      else
       match (cutoff, !incumbent) with
       | None, Some s -> Optimal s
       | None, None -> (
@@ -173,13 +217,21 @@ let maximize ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
 
 (** [minimize ?cutoff ?known_feasible ?node_limit p terms] minimises by
     negating the objective. *)
-let minimize ?cutoff ?known_feasible ?node_limit p terms =
+let minimize ?deadline ?cutoff ?known_feasible ?node_limit p terms =
   let neg_terms = List.map (fun (c, v) -> (-.c, v)) terms in
   let neg_cutoff = Option.map (fun t -> -.t) cutoff in
   let neg_known = Option.map (fun t -> -.t) known_feasible in
-  match maximize ?cutoff:neg_cutoff ?known_feasible:neg_known ?node_limit p neg_terms with
+  match
+    maximize ?deadline ?cutoff:neg_cutoff ?known_feasible:neg_known ?node_limit
+      p neg_terms
+  with
   | Optimal s -> Optimal { s with objective = -.s.objective }
   | Cutoff_reached s -> Cutoff_reached { s with objective = -.s.objective }
   | Below_cutoff ub -> Below_cutoff (-.ub)
   | Infeasible -> Infeasible
   | Unbounded -> Unbounded
+  | Timeout { bound; incumbent } ->
+    Timeout
+      { bound = -.bound;
+        incumbent =
+          Option.map (fun s -> { s with objective = -.s.objective }) incumbent }

@@ -18,6 +18,13 @@ type result =
   | Below_cutoff of float
       (** every node was fathomed at or below the cutoff; the payload is
           a proven upper bound on the true optimum (≤ cutoff) *)
+  | Timeout of { bound : float; incumbent : solution option }
+      (** the deadline or node budget expired before the gap closed;
+          [bound] is a certified bound on the true optimum from the
+          unfathomed relaxations (an {e upper} bound when maximising, a
+          lower bound when minimising; infinite when even the root
+          relaxation did not finish) and [incumbent] the best
+          integer-feasible point found so far *)
 
 type problem = { lp : Cv_lp.Lp.problem; mutable binaries : int list }
 
@@ -41,12 +48,15 @@ val constraint_count : problem -> int
 
 val binary_count : problem -> int
 
-(** [maximize ?cutoff ?known_feasible ?node_limit p terms] maximises
-    over the mixed-integer feasible set. [known_feasible] is an
-    externally certified feasible objective value that seeds the
+(** [maximize ?deadline ?cutoff ?known_feasible ?node_limit p terms]
+    maximises over the mixed-integer feasible set. [known_feasible] is
+    an externally certified feasible objective value that seeds the
     incumbent for pruning; if the search then closes without an explicit
-    incumbent, an [Optimal] with empty [values] is returned. *)
+    incumbent, an [Optimal] with empty [values] is returned. On deadline
+    or node-budget exhaustion the search returns [Timeout] with the
+    certified incumbent bound instead of hanging or raising. *)
 val maximize :
+  ?deadline:Cv_util.Deadline.t ->
   ?cutoff:float ->
   ?known_feasible:float ->
   ?node_limit:int ->
@@ -54,9 +64,10 @@ val maximize :
   Cv_lp.Lp.term list ->
   result
 
-(** [minimize ?cutoff ?known_feasible ?node_limit p terms] minimises by
-    negating the objective. *)
+(** [minimize ?deadline ?cutoff ?known_feasible ?node_limit p terms]
+    minimises by negating the objective. *)
 val minimize :
+  ?deadline:Cv_util.Deadline.t ->
   ?cutoff:float ->
   ?known_feasible:float ->
   ?node_limit:int ->

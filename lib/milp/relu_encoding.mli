@@ -24,13 +24,25 @@ type encoding = {
     activations. *)
 val encode : net:Cv_nn.Network.t -> input_box:Cv_interval.Box.t -> encoding
 
-(** [max_output ?cutoff enc ~output] maximises one output neuron over
-    the encoded set (exactly — the sampling seed only accelerates
-    pruning). *)
-val max_output : ?cutoff:float -> encoding -> output:int -> Milp.result
+(** [max_output ?deadline ?cutoff enc ~output] maximises one output
+    neuron over the encoded set (exactly — the sampling seed only
+    accelerates pruning). On budget exhaustion returns [Milp.Timeout]
+    with the certified incumbent bound. *)
+val max_output :
+  ?deadline:Cv_util.Deadline.t ->
+  ?cutoff:float ->
+  encoding ->
+  output:int ->
+  Milp.result
 
-(** [min_output ?cutoff enc ~output] minimises one output neuron. *)
-val min_output : ?cutoff:float -> encoding -> output:int -> Milp.result
+(** [min_output ?deadline ?cutoff enc ~output] minimises one output
+    neuron. *)
+val min_output :
+  ?deadline:Cv_util.Deadline.t ->
+  ?cutoff:float ->
+  encoding ->
+  output:int ->
+  Milp.result
 
 (** [stats enc] is [(vars, constraints, binaries)]. *)
 val stats : encoding -> int * int * int

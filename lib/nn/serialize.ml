@@ -35,16 +35,35 @@ let save_network ?name path net =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Cv_util.Json.to_string doc))
 
-(** [load_network path] reads a model file written by
-    {!save_network}. *)
-let load_network path =
-  let ic = open_in path in
-  let content =
+(** Typed failure of {!load_network_result}. *)
+type load_error =
+  | File_error of string  (** the file cannot be opened or read *)
+  | Malformed of string  (** not a valid contiver-model document *)
+
+(** [load_error_message e] renders a one-line diagnosis. *)
+let load_error_message = function File_error msg | Malformed msg -> msg
+
+(** [load_network_result path] reads a model file written by
+    {!save_network}, returning a typed error instead of raising. *)
+let load_network_result path =
+  match
+    let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  network_of_json (Cv_util.Json.parse content)
+  with
+  | exception Sys_error msg -> Error (File_error msg)
+  | content -> (
+    try Ok (network_of_json (Cv_util.Json.parse content))
+    with Cv_util.Json.Error msg -> Error (Malformed (path ^ ": " ^ msg)))
+
+(** [load_network path] reads a model file written by {!save_network},
+    raising on failure — prefer {!load_network_result}. *)
+let load_network path =
+  match load_network_result path with
+  | Ok net -> net
+  | Error (File_error msg) -> raise (Sys_error msg)
+  | Error (Malformed msg) -> raise (Cv_util.Json.Error msg)
 
 (** [roundtrip net] is [network_of_json (network_to_json net)] — used by
     tests to check serialisation is lossless. *)

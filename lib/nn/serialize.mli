@@ -15,8 +15,21 @@ val network_of_json : Cv_util.Json.t -> Network.t
 (** [save_network ?name path net] writes the model file at [path]. *)
 val save_network : ?name:string -> string -> Network.t -> unit
 
-(** [load_network path] reads a model file written by
-    {!save_network}. *)
+(** Typed failure of {!load_network_result}. *)
+type load_error =
+  | File_error of string  (** the file cannot be opened or read *)
+  | Malformed of string  (** not a valid contiver-model document *)
+
+(** [load_error_message e] renders a one-line diagnosis. *)
+val load_error_message : load_error -> string
+
+(** [load_network_result path] reads a model file written by
+    {!save_network}, returning a typed error instead of raising. *)
+val load_network_result : string -> (Network.t, load_error) result
+
+(** [load_network path] reads a model file written by {!save_network},
+    raising ([Sys_error] or {!Cv_util.Json.Error}) on failure — prefer
+    {!load_network_result}. *)
 val load_network : string -> Network.t
 
 (** [roundtrip net] is [network_of_json (network_to_json net)]. *)

@@ -1,0 +1,75 @@
+(** Fault injection for robustness testing.
+
+    The continuous-verification loop must degrade gracefully when a
+    solver dies, a deadline collapses to zero, or an artifact write is
+    interrupted mid-flight. Those conditions are hard to provoke
+    organically, so the modules involved poll this registry at the
+    matching fault point and simulate the failure when the point is
+    armed. Tier-1 tests arm points programmatically; operators can arm
+    them for a whole run via the [CONTIVER_FAULTS] environment variable
+    (comma-separated point names, e.g.
+    [CONTIVER_FAULTS=truncate-artifact,solver-failure]).
+
+    The registry is global, mutable state — intended for tests and
+    chaos drills, never for production configuration. *)
+
+(** Raised by a fault hook standing in for an unexpected engine death
+    (distinct from [Failure] so tests can assert the injected origin). *)
+exception Injected of string
+
+type point =
+  | Solver_failure  (** simplex raises mid-solve, as on numerical death *)
+  | Truncate_artifact  (** artifact writes stop halfway through *)
+  | Deadline_zero  (** every new deadline is created already expired *)
+
+let all_points = [ Solver_failure; Truncate_artifact; Deadline_zero ]
+
+(** [point_name p] / [point_of_string s] name fault points for the
+    environment variable and log lines. *)
+let point_name = function
+  | Solver_failure -> "solver-failure"
+  | Truncate_artifact -> "truncate-artifact"
+  | Deadline_zero -> "deadline-zero"
+
+let point_of_string s =
+  List.find_opt (fun p -> String.equal (point_name p) s) all_points
+
+let armed : (point, unit) Hashtbl.t = Hashtbl.create 4
+
+(** [enable p] / [disable p] arm and disarm a fault point. *)
+let enable p = Hashtbl.replace armed p ()
+
+let disable p = Hashtbl.remove armed p
+
+(** [reset ()] disarms every point (tests call this in teardown). *)
+let reset () = Hashtbl.reset armed
+
+(** [enabled p] is true when the point is armed. *)
+let enabled p = Hashtbl.mem armed p
+
+(** [trip p] raises {!Injected} when [p] is armed; fault points that
+    simulate a crash call this. *)
+let trip p = if enabled p then raise (Injected (point_name p ^ " (injected)"))
+
+(** [with_fault p f] runs [f] with [p] armed, disarming it afterwards
+    even on exceptions — the test-suite idiom. *)
+let with_fault p f =
+  enable p;
+  Fun.protect ~finally:(fun () -> disable p) f
+
+(** [init_from_env ()] arms the points listed in [CONTIVER_FAULTS];
+    unknown names are ignored with a note on stderr. Called by the CLI
+    at startup. *)
+let init_from_env () =
+  match Sys.getenv_opt "CONTIVER_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec ->
+    String.split_on_char ',' spec
+    |> List.iter (fun name ->
+           let name = String.trim name in
+           if name <> "" then
+             match point_of_string name with
+             | Some p -> enable p
+             | None ->
+               Printf.eprintf "contiver: unknown fault point %S ignored\n%!"
+                 name)

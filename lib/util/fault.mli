@@ -1,0 +1,40 @@
+(** Fault injection for robustness testing: a global registry of
+    armable failure points polled by the solver stack and the artifact
+    store. Intended for tests and chaos drills. *)
+
+(** Raised by a fault hook standing in for an unexpected engine death. *)
+exception Injected of string
+
+type point =
+  | Solver_failure  (** simplex raises mid-solve, as on numerical death *)
+  | Truncate_artifact  (** artifact writes stop halfway through *)
+  | Deadline_zero  (** every new deadline is created already expired *)
+
+(** [point_name p] / [point_of_string s] name fault points for the
+    [CONTIVER_FAULTS] environment variable and log lines. *)
+val point_name : point -> string
+
+val point_of_string : string -> point option
+
+(** [enable p] / [disable p] arm and disarm a fault point. *)
+val enable : point -> unit
+
+val disable : point -> unit
+
+(** [reset ()] disarms every point. *)
+val reset : unit -> unit
+
+(** [enabled p] is true when the point is armed. *)
+val enabled : point -> bool
+
+(** [trip p] raises {!Injected} when [p] is armed. *)
+val trip : point -> unit
+
+(** [with_fault p f] runs [f] with [p] armed, disarming it afterwards
+    even on exceptions. *)
+val with_fault : point -> (unit -> 'a) -> 'a
+
+(** [init_from_env ()] arms the points listed in the comma-separated
+    [CONTIVER_FAULTS] environment variable; unknown names are reported
+    on stderr and ignored. *)
+val init_from_env : unit -> unit

@@ -93,7 +93,7 @@ let always_maximal engine net ~output ~region ~margin =
   match Containment.check engine diff ~input_box:region ~target with
   | Containment.Proved -> Holds
   | Containment.Violated v -> Fails v.Falsify.input
-  | Containment.Unknown m -> Unknown m
+  | Containment.Unknown u -> Unknown u.Containment.message
 
 (** [score_gap engine net ~output ~region] bounds
     [max_region max_j (s_j − s_i)] — negative means [output] is always

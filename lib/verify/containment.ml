@@ -11,7 +11,11 @@
       (ReluVal-style), complete for piecewise-linear slices up to the
       split budget;
     - [Milp]: the exact big-M encoding with per-output cutoff queries,
-      sound and complete for piecewise-linear slices. *)
+      sound and complete for piecewise-linear slices.
+
+    Budget exhaustion never raises out of {!check}: a deadline expiring
+    mid-query degrades the verdict to [Unknown { reason = Timeout; _ }],
+    keeping any certified partial bound the engine salvaged. *)
 
 type engine =
   | Abstract of Cv_domains.Analyzer.domain_kind
@@ -24,11 +28,28 @@ let engine_name = function
   | Symint_split n -> Printf.sprintf "symint-split(%d)" n
   | Milp -> "milp"
 
-type verdict =
-  | Proved
-  | Violated of Falsify.violation
-  | Unknown of string
-      (** the engine could not decide (abstract imprecision or budget) *)
+(** Why an engine answered [Unknown]. *)
+type unknown_reason = Imprecise | Budget | Timeout | Numerical
+
+(** Structured payload of an [Unknown] verdict. *)
+type unknown = {
+  reason : unknown_reason;
+  message : string;
+  best_bound : float option;
+      (** certified partial bound salvaged before giving up *)
+}
+
+type verdict = Proved | Violated of Falsify.violation | Unknown of unknown
+
+(** [reason_name r] is a printable label. *)
+let reason_name = function
+  | Imprecise -> "imprecise"
+  | Budget -> "budget"
+  | Timeout -> "timeout"
+  | Numerical -> "numerical"
+
+(** [unknown ?best_bound reason message] builds an [Unknown] verdict. *)
+let unknown ?best_bound reason message = Unknown { reason; message; best_bound }
 
 (** [is_proved v] is true for [Proved]. *)
 let is_proved = function Proved -> true | _ -> false
@@ -37,24 +58,26 @@ let violation_from_point net target x =
   match Falsify.violation_of net target x with
   | Some v -> Violated v
   | None ->
-    Unknown "solver reported a violating point the concrete check cannot confirm"
+    unknown Numerical
+      "solver reported a violating point the concrete check cannot confirm"
 
 (* One-shot abstract check. *)
-let check_abstract kind net ~input_box ~target =
-  let reach = Cv_domains.Analyzer.output_box kind net input_box in
+let check_abstract ?deadline kind net ~input_box ~target =
+  let reach = Cv_domains.Analyzer.output_box ?deadline kind net input_box in
   if Cv_interval.Box.subset_tol reach target then Proved
   else
-    Unknown
+    unknown Imprecise
       (Printf.sprintf "%s reach %s not within target"
          (Cv_domains.Analyzer.domain_name kind)
          (Cv_interval.Box.to_string reach))
 
 (* ReluVal-style bisection: prove each sub-box abstractly; sample for
    counterexamples before splitting; stop at the split budget. *)
-let check_split budget net ~input_box ~target =
+let check_split ?deadline budget net ~input_box ~target =
   let rng = Cv_util.Rng.create 97 in
   let splits = ref 0 in
   let rec go box =
+    Cv_util.Deadline.check_opt deadline;
     let reach = Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint net box in
     if Cv_interval.Box.subset_tol reach target then Proved
     else begin
@@ -63,11 +86,11 @@ let check_split budget net ~input_box ~target =
       | Some v -> Violated v
       | None ->
         if !splits >= budget then
-          Unknown (Printf.sprintf "split budget %d exhausted" budget)
+          unknown Budget (Printf.sprintf "split budget %d exhausted" budget)
         else if Cv_interval.Box.max_width box <= 1e-9 then
           (* Degenerate box still not proved: treat the residual as
              abstract imprecision. *)
-          Unknown "degenerate box not proved"
+          unknown Imprecise "degenerate box not proved"
         else begin
           incr splits;
           let left, right = Cv_interval.Box.split box in
@@ -85,7 +108,7 @@ let check_split budget net ~input_box ~target =
 
 (* Exact MILP check: per output coordinate, bound max and min with
    cutoff queries. *)
-let check_milp net ~input_box ~target =
+let check_milp ?deadline net ~input_box ~target =
   let enc = Cv_milp.Relu_encoding.encode ~net ~input_box in
   let out_dim = Cv_nn.Network.out_dim net in
   if Cv_interval.Box.dim target <> out_dim then
@@ -99,7 +122,10 @@ let check_milp net ~input_box ~target =
       let upper_ok =
         if hi = Float.infinity then Proved
         else
-          match Cv_milp.Relu_encoding.max_output enc ~output:i ~cutoff:(hi +. tol) with
+          match
+            Cv_milp.Relu_encoding.max_output ?deadline enc ~output:i
+              ~cutoff:(hi +. tol)
+          with
           | Cv_milp.Milp.Below_cutoff _ -> Proved
           | Cv_milp.Milp.Optimal s ->
             if s.Cv_milp.Milp.objective <= hi +. tol then Proved
@@ -109,8 +135,13 @@ let check_milp net ~input_box ~target =
           | Cv_milp.Milp.Cutoff_reached s ->
             violation_from_point net target
               (Array.sub s.Cv_milp.Milp.values 0 (Cv_nn.Network.in_dim net))
-          | Cv_milp.Milp.Infeasible -> Unknown "MILP infeasible (numerical)"
-          | Cv_milp.Milp.Unbounded -> Unknown "MILP unbounded (numerical)"
+          | Cv_milp.Milp.Infeasible -> unknown Numerical "MILP infeasible"
+          | Cv_milp.Milp.Unbounded -> unknown Numerical "MILP unbounded"
+          | Cv_milp.Milp.Timeout { bound; _ } ->
+            unknown Timeout ~best_bound:bound
+              (Printf.sprintf
+                 "budget expired bounding output %d from above (certified ≤ %g, need ≤ %g)"
+                 i bound hi)
       in
       match upper_ok with
       | Proved -> (
@@ -118,7 +149,8 @@ let check_milp net ~input_box ~target =
           if lo = Float.neg_infinity then Proved
           else
             match
-              Cv_milp.Relu_encoding.min_output enc ~output:i ~cutoff:(lo -. tol)
+              Cv_milp.Relu_encoding.min_output ?deadline enc ~output:i
+                ~cutoff:(lo -. tol)
             with
             | Cv_milp.Milp.Below_cutoff _ -> Proved
             | Cv_milp.Milp.Optimal s ->
@@ -129,8 +161,13 @@ let check_milp net ~input_box ~target =
             | Cv_milp.Milp.Cutoff_reached s ->
               violation_from_point net target
                 (Array.sub s.Cv_milp.Milp.values 0 (Cv_nn.Network.in_dim net))
-            | Cv_milp.Milp.Infeasible -> Unknown "MILP infeasible (numerical)"
-            | Cv_milp.Milp.Unbounded -> Unknown "MILP unbounded (numerical)"
+            | Cv_milp.Milp.Infeasible -> unknown Numerical "MILP infeasible"
+            | Cv_milp.Milp.Unbounded -> unknown Numerical "MILP unbounded"
+            | Cv_milp.Milp.Timeout { bound; _ } ->
+              unknown Timeout ~best_bound:bound
+                (Printf.sprintf
+                   "budget expired bounding output %d from below (certified ≥ %g, need ≥ %g)"
+                   i bound lo)
         in
         match lower_ok with Proved -> per_output (i + 1) | r -> r)
       | r -> r
@@ -144,15 +181,19 @@ let check_milp net ~input_box ~target =
   | Some v -> Violated v
   | None -> per_output 0
 
-(** [check engine net ~input_box ~target] decides (or attempts)
-    [∀x ∈ input_box : net(x) ∈ target]. *)
-let check engine net ~input_box ~target =
-  match engine with
-  | Abstract kind -> check_abstract kind net ~input_box ~target
-  | Symint_split budget -> check_split budget net ~input_box ~target
-  | Milp -> check_milp net ~input_box ~target
+(** [check ?deadline engine net ~input_box ~target] decides (or
+    attempts) [∀x ∈ input_box : net(x) ∈ target]. Deadline expiry
+    degrades to [Unknown {reason = Timeout; _}] instead of raising. *)
+let check ?deadline engine net ~input_box ~target =
+  try
+    match engine with
+    | Abstract kind -> check_abstract ?deadline kind net ~input_box ~target
+    | Symint_split budget -> check_split ?deadline budget net ~input_box ~target
+    | Milp -> check_milp ?deadline net ~input_box ~target
+  with Cv_util.Deadline.Expired msg -> unknown Timeout msg
 
-(** [check_timed engine net ~input_box ~target] also reports wall-clock
-    seconds — the quantity the Table I reproduction aggregates. *)
-let check_timed engine net ~input_box ~target =
-  Cv_util.Timer.time (fun () -> check engine net ~input_box ~target)
+(** [check_timed ?deadline engine net ~input_box ~target] also reports
+    wall-clock seconds — the quantity the Table I reproduction
+    aggregates. *)
+let check_timed ?deadline engine net ~input_box ~target =
+  Cv_util.Timer.time (fun () -> check ?deadline engine net ~input_box ~target)

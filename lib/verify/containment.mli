@@ -17,27 +17,51 @@ type engine =
 (** [engine_name e] is a printable engine label. *)
 val engine_name : engine -> string
 
-type verdict =
-  | Proved
-  | Violated of Falsify.violation
-  | Unknown of string
-      (** the engine could not decide (abstract imprecision or budget) *)
+(** Why an engine answered [Unknown]. *)
+type unknown_reason =
+  | Imprecise  (** abstract over-approximation too coarse *)
+  | Budget  (** split/node budget exhausted *)
+  | Timeout  (** wall-clock deadline expired *)
+  | Numerical  (** solver anomaly (infeasible/unbounded relaxation) *)
+
+(** Structured payload of an [Unknown] verdict. *)
+type unknown = {
+  reason : unknown_reason;
+  message : string;  (** human-readable diagnosis *)
+  best_bound : float option;
+      (** certified partial bound salvaged before giving up (e.g. the
+          branch-and-bound incumbent bound at deadline expiry) *)
+}
+
+type verdict = Proved | Violated of Falsify.violation | Unknown of unknown
+
+(** [reason_name r] is a printable label for an {!unknown_reason}. *)
+val reason_name : unknown_reason -> string
+
+(** [unknown ?best_bound reason message] builds an [Unknown] verdict. *)
+val unknown : ?best_bound:float -> unknown_reason -> string -> verdict
 
 (** [is_proved v] is true for [Proved]. *)
 val is_proved : verdict -> bool
 
-(** [check engine net ~input_box ~target] decides (or attempts)
-    [∀x ∈ input_box : net(x) ∈ target]. *)
+(** [check ?deadline engine net ~input_box ~target] decides (or
+    attempts) [∀x ∈ input_box : net(x) ∈ target]. Never raises on budget
+    exhaustion: when the optional [deadline] expires mid-query the
+    verdict degrades to [Unknown { reason = Timeout; _ }], carrying any
+    certified partial bound the engine salvaged. *)
 val check :
+  ?deadline:Cv_util.Deadline.t ->
   engine ->
   Cv_nn.Network.t ->
   input_box:Cv_interval.Box.t ->
   target:Cv_interval.Box.t ->
   verdict
 
-(** [check_timed engine net ~input_box ~target] also reports wall-clock
-    seconds — the quantity the Table I reproduction aggregates. *)
+(** [check_timed ?deadline engine net ~input_box ~target] also reports
+    wall-clock seconds — the quantity the Table I reproduction
+    aggregates. *)
 val check_timed :
+  ?deadline:Cv_util.Deadline.t ->
   engine ->
   Cv_nn.Network.t ->
   input_box:Cv_interval.Box.t ->

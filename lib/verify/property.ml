@@ -41,3 +41,10 @@ let of_json j =
   let open Cv_util.Json in
   { din = Cv_interval.Box.of_json (member "din" j);
     dout = Cv_interval.Box.of_json (member "dout" j) }
+
+(** [of_json_result j] is {!of_json} with a typed error instead of an
+    exception. *)
+let of_json_result j =
+  match of_json j with
+  | p -> Ok p
+  | exception Cv_util.Json.Error msg -> Error msg

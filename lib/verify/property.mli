@@ -30,3 +30,7 @@ val to_json : t -> Cv_util.Json.t
 
 (** [of_json j] decodes a property written by {!to_json}. *)
 val of_json : Cv_util.Json.t -> t
+
+(** [of_json_result j] is {!of_json} with a typed error instead of an
+    exception. *)
+val of_json_result : Cv_util.Json.t -> (t, string) result

@@ -12,10 +12,19 @@ type t = {
   milp_binaries : int;
 }
 
-(** [exact_range net ~din] computes the exact output range of a
-    piecewise-linear network over [din]. *)
-val exact_range : Cv_nn.Network.t -> din:Cv_interval.Box.t -> t
+(** [exact_range ?deadline net ~din] computes the exact output range of
+    a piecewise-linear network over [din]. Raises
+    {!Cv_util.Deadline.Expired} when the budget runs out before every
+    optimality gap closes — exactness admits no partial answer here;
+    callers needing degradation catch the exception. *)
+val exact_range :
+  ?deadline:Cv_util.Deadline.t -> Cv_nn.Network.t -> din:Cv_interval.Box.t -> t
 
-(** [verify_exact net prop] decides the property by exact range
-    computation; returns the verdict together with the range. *)
-val verify_exact : Cv_nn.Network.t -> Property.t -> Containment.verdict * t
+(** [verify_exact ?deadline net prop] decides the property by exact
+    range computation; returns the verdict together with the range.
+    Raises {!Cv_util.Deadline.Expired} on budget exhaustion. *)
+val verify_exact :
+  ?deadline:Cv_util.Deadline.t ->
+  Cv_nn.Network.t ->
+  Property.t ->
+  Containment.verdict * t

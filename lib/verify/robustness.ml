@@ -50,7 +50,8 @@ let transfer_budget ~old_net ~new_net q =
 let check_transfer engine ~old_net ~new_net q =
   let residual = transfer_budget ~old_net ~new_net q in
   if residual <= 0. then
-    Containment.Unknown "fine-tuning drift exhausts the output budget"
+    Containment.unknown Containment.Budget
+      "fine-tuning drift exhausts the output budget"
   else check engine old_net { q with delta = residual }
 
 (** [certified_radius ?engine ?steps net ~x ~delta] binary-searches the

@@ -16,15 +16,19 @@ type t = {
   leaves : Cv_interval.Box.t array;  (** partition of [input_box] *)
 }
 
-(** [prove ?budget net ~input_box ~target] runs the splitting verifier
-    and, on success, returns the certificate with its leaf partition.
-    [None] when the property is not proved within the split budget (or
-    is falsified). *)
-let prove ?(budget = 4096) net ~input_box ~target =
+(** [prove ?deadline ?budget net ~input_box ~target] runs the splitting
+    verifier and, on success, returns the certificate with its leaf
+    partition. [None] when the property is not proved within the split
+    budget (or is falsified), or when the optional [deadline] — polled
+    once per split — expires mid-proof: an interrupted proof attempt has
+    produced nothing reusable, so expiry degrades to [None] rather than
+    raising. *)
+let prove ?deadline ?(budget = 4096) net ~input_box ~target =
   let splits = ref 0 in
   let leaves = ref [] in
   let exception Failed in
   let rec go box =
+    Cv_util.Deadline.check_opt deadline;
     let reach =
       Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint net box
     in
@@ -41,6 +45,7 @@ let prove ?(budget = 4096) net ~input_box ~target =
   match go input_box with
   | () -> Some { input_box; target; leaves = Array.of_list !leaves }
   | exception Failed -> None
+  | exception Cv_util.Deadline.Expired _ -> None
 
 (** [num_leaves c] is the partition size (1 = no splitting was
     needed). *)
@@ -73,11 +78,12 @@ let revalidate_detailed ?domains c net' =
   Array.iteri (fun i ok -> if not ok then failed := i :: !failed) results;
   List.rev !failed
 
-(** [repair ?budget c net'] re-splits only the failed leaves for the new
-    network, returning an updated certificate for [net'] ([None] when
-    some failed leaf cannot be re-proved within the budget). Cheap when
-    fine-tuning invalidated only a few leaves. *)
-let repair ?(budget = 1024) c net' =
+(** [repair ?deadline ?budget c net'] re-splits only the failed leaves
+    for the new network, returning an updated certificate for [net']
+    ([None] when some failed leaf cannot be re-proved within the budget
+    or before the deadline). Cheap when fine-tuning invalidated only a
+    few leaves. *)
+let repair ?deadline ?(budget = 1024) c net' =
   let failed = revalidate_detailed c net' in
   let is_failed = Array.make (Array.length c.leaves) false in
   List.iter (fun i -> is_failed.(i) <- true) failed;
@@ -87,7 +93,9 @@ let repair ?(budget = 1024) c net' =
   let rec reprove acc = function
     | [] -> Some acc
     | idx :: rest -> (
-      match prove ~budget net' ~input_box:c.leaves.(idx) ~target:c.target with
+      match
+        prove ?deadline ~budget net' ~input_box:c.leaves.(idx) ~target:c.target
+      with
       | Some sub -> reprove (Array.to_list sub.leaves @ acc) rest
       | None -> None)
   in

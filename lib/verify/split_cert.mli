@@ -10,10 +10,14 @@ type t = {
   leaves : Cv_interval.Box.t array;  (** partition of [input_box] *)
 }
 
-(** [prove ?budget net ~input_box ~target] runs the splitting verifier
-    and, on success, returns the certificate with its leaf partition;
-    [None] when the property is not proved within the split budget. *)
+(** [prove ?deadline ?budget net ~input_box ~target] runs the splitting
+    verifier and, on success, returns the certificate with its leaf
+    partition; [None] when the property is not proved within the split
+    budget, or when [deadline] (polled per split) expires — an
+    interrupted attempt yields nothing reusable, so expiry degrades to
+    [None] rather than raising. *)
 val prove :
+  ?deadline:Cv_util.Deadline.t ->
   ?budget:int ->
   Cv_nn.Network.t ->
   input_box:Cv_interval.Box.t ->
@@ -32,10 +36,11 @@ val revalidate : ?domains:int -> t -> Cv_nn.Network.t -> bool
     failed leaves. *)
 val revalidate_detailed : ?domains:int -> t -> Cv_nn.Network.t -> int list
 
-(** [repair ?budget c net'] re-splits only the failed leaves for the new
-    network; [None] when some failed leaf cannot be re-proved within the
-    budget. *)
-val repair : ?budget:int -> t -> Cv_nn.Network.t -> t option
+(** [repair ?deadline ?budget c net'] re-splits only the failed leaves
+    for the new network; [None] when some failed leaf cannot be
+    re-proved within the budget or before the deadline. *)
+val repair :
+  ?deadline:Cv_util.Deadline.t -> ?budget:int -> t -> Cv_nn.Network.t -> t option
 
 val to_json : t -> Cv_util.Json.t
 

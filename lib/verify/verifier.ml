@@ -3,7 +3,8 @@
     A thin specialisation of {!Containment} to the full network, plus
     the artifact-producing variant that returns the layer-wise state
     abstractions alongside the verdict — the "original problem" solver
-    whose outputs the continuous-verification strategies reuse. *)
+    whose outputs the continuous-verification strategies reuse — and
+    {!verify_graceful}, the budget-aware escalation chain. *)
 
 type report = {
   verdict : Containment.verdict;
@@ -11,16 +12,94 @@ type report = {
   seconds : float;
 }
 
-(** [verify engine net prop] decides the safety property with the given
-    engine and reports timing. *)
-let verify engine net prop =
+(** [verify ?deadline engine net prop] decides the safety property with
+    the given engine and reports timing. Deadline expiry degrades the
+    verdict to [Unknown {reason = Timeout; _}] (see
+    {!Containment.check}). *)
+let verify ?deadline engine net prop =
   if not (Property.well_formed prop net) then
     invalid_arg "Verifier.verify: property/network dimension mismatch";
   let verdict, seconds =
-    Containment.check_timed engine net ~input_box:prop.Property.din
+    Containment.check_timed ?deadline engine net ~input_box:prop.Property.din
       ~target:prop.Property.dout
   in
   { verdict; engine; seconds }
+
+(** [verify_graceful ?deadline net prop] — the escalation chain with
+    graceful degradation: cheap abstract domains first (symint →
+    deeppoly → zonotope), then ReluVal-style splitting, and the exact
+    MILP engine only with remaining budget (and only for
+    piecewise-linear networks). A decisive verdict short-circuits the
+    chain; when the budget runs out the report carries
+    [Unknown {reason = Timeout; _}] with the best certified bound any
+    rung salvaged — it never hangs and never raises on expiry. *)
+let verify_graceful ?deadline net prop =
+  if not (Property.well_formed prop net) then
+    invalid_arg "Verifier.verify_graceful: property/network dimension mismatch";
+  let piecewise_linear =
+    Array.for_all
+      (fun (l : Cv_nn.Layer.t) ->
+        Cv_nn.Activation.is_piecewise_linear l.Cv_nn.Layer.act)
+      (Cv_nn.Network.layers net)
+  in
+  let ladder =
+    [ Containment.Abstract Cv_domains.Analyzer.Symint;
+      Containment.Abstract Cv_domains.Analyzer.Deeppoly;
+      Containment.Abstract Cv_domains.Analyzer.Zonotope;
+      Containment.Symint_split 2048 ]
+    @ (if piecewise_linear then [ Containment.Milp ] else [])
+  in
+  let seconds = ref 0. in
+  (* Most informative inconclusive answer seen so far: an unknown
+     carrying a certified bound beats one without. *)
+  let best_unknown = ref None in
+  let note engine (u : Containment.unknown) =
+    match !best_unknown with
+    | Some ((prev : Containment.unknown), _)
+      when prev.Containment.best_bound <> None
+           && u.Containment.best_bound = None ->
+      ()
+    | _ -> best_unknown := Some (u, engine)
+  in
+  let degraded engine =
+    let best_bound =
+      match !best_unknown with
+      | Some (u, _) -> u.Containment.best_bound
+      | None -> None
+    in
+    { verdict =
+        Containment.Unknown
+          { Containment.reason = Containment.Timeout;
+            message =
+              "verification budget exhausted before the escalation chain \
+               completed";
+            best_bound };
+      engine;
+      seconds = !seconds }
+  in
+  let rec escalate = function
+    | [] -> (
+      match !best_unknown with
+      | Some (u, engine) ->
+        { verdict = Containment.Unknown u; engine; seconds = !seconds }
+      | None -> assert false (* the ladder is never empty *))
+    | engine :: rest ->
+      if Cv_util.Deadline.expired_opt deadline then degraded engine
+      else begin
+        let verdict, s =
+          Containment.check_timed ?deadline engine net
+            ~input_box:prop.Property.din ~target:prop.Property.dout
+        in
+        seconds := !seconds +. s;
+        match verdict with
+        | Containment.Proved | Containment.Violated _ ->
+          { verdict; engine; seconds = !seconds }
+        | Containment.Unknown u ->
+          note engine u;
+          escalate rest
+      end
+  in
+  escalate ladder
 
 (** Result of {!verify_with_abstractions}: the verdict plus, on success,
     inductive state abstractions [S_1..S_n] proving it. *)
@@ -31,35 +110,40 @@ type proof_result = {
           ([S_n ⊆ D_out]) *)
 }
 
-(** [verify_with_abstractions ?domain ?fallback net prop] first tries the
-    layer-wise abstract analysis (default: symbolic intervals, as in the
-    paper's use of ReluVal): when the resulting [S_n ⊆ D_out], the
-    property is proved {e and} the abstractions form a reusable proof
-    artifact. Otherwise falls back to the exact engine (default MILP) —
-    in which case no inductive box abstraction is produced (the verdict
-    may still be [Proved]). *)
-let verify_with_abstractions ?(domain = Cv_domains.Analyzer.Symint)
+(** [verify_with_abstractions ?deadline ?domain ?fallback net prop]
+    first tries the layer-wise abstract analysis (default: symbolic
+    intervals, as in the paper's use of ReluVal): when the resulting
+    [S_n ⊆ D_out], the property is proved {e and} the abstractions form
+    a reusable proof artifact. Otherwise falls back to the exact engine
+    (default MILP) — in which case no inductive box abstraction is
+    produced (the verdict may still be [Proved]). *)
+let verify_with_abstractions ?deadline ?(domain = Cv_domains.Analyzer.Symint)
     ?(fallback = Containment.Milp) net prop =
   if not (Property.well_formed prop net) then
     invalid_arg "Verifier.verify_with_abstractions: dimension mismatch";
   let (abstractions, abstract_ok), abs_seconds =
     Cv_util.Timer.time (fun () ->
-        let s = Cv_domains.Analyzer.abstractions domain net prop.Property.din in
-        let ok =
-          Cv_interval.Box.subset_tol
-            s.(Array.length s - 1)
-            prop.Property.dout
-        in
-        (s, ok))
+        match
+          Cv_domains.Analyzer.abstractions ?deadline domain net
+            prop.Property.din
+        with
+        | s ->
+          let ok =
+            Cv_interval.Box.subset_tol
+              s.(Array.length s - 1)
+              prop.Property.dout
+          in
+          (Some s, ok)
+        | exception Cv_util.Deadline.Expired _ -> (None, false))
   in
   if abstract_ok then
     { report =
         { verdict = Containment.Proved;
           engine = Containment.Abstract domain;
           seconds = abs_seconds };
-      abstractions = Some abstractions }
+      abstractions }
   else begin
-    let r = verify fallback net prop in
+    let r = verify ?deadline fallback net prop in
     { report = { r with seconds = r.seconds +. abs_seconds };
       abstractions = None }
   end

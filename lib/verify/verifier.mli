@@ -6,9 +6,25 @@ type report = {
   seconds : float;
 }
 
-(** [verify engine net prop] decides the safety property with the given
-    engine and reports timing. *)
-val verify : Containment.engine -> Cv_nn.Network.t -> Property.t -> report
+(** [verify ?deadline engine net prop] decides the safety property with
+    the given engine and reports timing. Deadline expiry degrades the
+    verdict to [Unknown {reason = Timeout; _}]. *)
+val verify :
+  ?deadline:Cv_util.Deadline.t ->
+  Containment.engine ->
+  Cv_nn.Network.t ->
+  Property.t ->
+  report
+
+(** [verify_graceful ?deadline net prop] — escalation chain with
+    graceful degradation: cheap abstract domains first (symint →
+    deeppoly → zonotope), then ReluVal-style splitting, then exact MILP
+    only with remaining budget (and only for piecewise-linear networks).
+    Decisive verdicts short-circuit; budget exhaustion yields
+    [Unknown {reason = Timeout; _}] with the best salvaged certified
+    bound — never hangs, never raises on expiry. *)
+val verify_graceful :
+  ?deadline:Cv_util.Deadline.t -> Cv_nn.Network.t -> Property.t -> report
 
 (** Result of {!verify_with_abstractions}: the verdict plus, on success,
     inductive state abstractions [S_1..S_n] proving it. *)
@@ -19,13 +35,14 @@ type proof_result = {
           ([S_n ⊆ D_out]) *)
 }
 
-(** [verify_with_abstractions ?domain ?fallback net prop] first tries
-    the layer-wise abstract analysis (default: symbolic intervals, as in
-    the paper's use of ReluVal): when the resulting [S_n ⊆ D_out], the
-    property is proved {e and} the abstractions form a reusable proof
-    artifact. Otherwise falls back to the exact engine (default
-    MILP). *)
+(** [verify_with_abstractions ?deadline ?domain ?fallback net prop]
+    first tries the layer-wise abstract analysis (default: symbolic
+    intervals, as in the paper's use of ReluVal): when the resulting
+    [S_n ⊆ D_out], the property is proved {e and} the abstractions form
+    a reusable proof artifact. Otherwise falls back to the exact engine
+    (default MILP). *)
 val verify_with_abstractions :
+  ?deadline:Cv_util.Deadline.t ->
   ?domain:Cv_domains.Analyzer.domain_kind ->
   ?fallback:Containment.engine ->
   Cv_nn.Network.t ->

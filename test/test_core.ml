@@ -186,7 +186,7 @@ let test_delta_cover_detects_violation () =
     (* possible if the network saturates; then it must truly be safe *)
     Alcotest.(check bool) "claimed safe must hold" true
       (sample_check_safe net ~din:(big_enlargement din) ~dout ~samples:3000)
-  | Cv_core.Report.Inconclusive _ -> ()
+  | Cv_core.Report.Inconclusive _ | Cv_core.Report.Exhausted _ -> ()
 
 
 let test_prop2_other_domains () =
@@ -435,7 +435,7 @@ let test_repair_multi_failure_inconclusive () =
   let p = Cv_core.Problem.svbtv ~old_net:net ~new_net:net' ~artifact ~new_din:din in
   let a = Cv_core.Fixer.repair p in
   match a.Cv_core.Report.outcome with
-  | Cv_core.Report.Inconclusive _ -> ()
+  | Cv_core.Report.Inconclusive _ | Cv_core.Report.Exhausted _ -> ()
   | Cv_core.Report.Safe ->
     (* possible if the perturbation happens to stay within widening;
        verify empirically *)

@@ -149,6 +149,127 @@ let test_resume_from_artifact () =
     Alcotest.fail "should reject mismatch"
   with Invalid_argument _ -> ()
 
+let temp_artifact_path () =
+  Filename.temp_file "contiver-test-artifact" ".json"
+
+let test_resume_file_roundtrip () =
+  let s, net, _ = certified_session () in
+  let path = temp_artifact_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cv_artifacts.Artifacts.save path (Cv_core.Session.artifact s);
+      (match Cv_core.Session.resume_file net path with
+      | Ok s2 -> Alcotest.(check int) "resumed" 0 (Cv_core.Session.pending_ood s2)
+      | Error e ->
+        Alcotest.failf "resume_file should succeed: %s"
+          (Cv_core.Session.resume_error_message e));
+      (* A different network is a typed mismatch, not an exception. *)
+      match Cv_core.Session.resume_file (small_net 77) path with
+      | Error (Cv_core.Session.Artifact_mismatch _) -> ()
+      | Error e ->
+        Alcotest.failf "expected mismatch: %s"
+          (Cv_core.Session.resume_error_message e)
+      | Ok _ -> Alcotest.fail "mismatched network must be rejected")
+
+let test_resume_file_truncated_artifact () =
+  (* Fault injection: the artifact write stops halfway through, as if
+     the process died mid-save with a non-atomic writer. Resume must
+     fail with a typed Corrupt_artifact — and a fresh certification must
+     still succeed afterwards (the session layer recovers). *)
+  let s, net, prop = certified_session () in
+  let path = temp_artifact_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cv_util.Fault.with_fault Cv_util.Fault.Truncate_artifact (fun () ->
+          Cv_artifacts.Artifacts.save path (Cv_core.Session.artifact s));
+      (match Cv_core.Session.resume_file net path with
+      | Error (Cv_core.Session.Corrupt_artifact _) -> ()
+      | Error e ->
+        Alcotest.failf "expected Corrupt_artifact: %s"
+          (Cv_core.Session.resume_error_message e)
+      | Ok _ -> Alcotest.fail "truncated artifact must not resume");
+      (* Recovery: re-certify from scratch and persist a good artifact. *)
+      match Cv_core.Session.certify ~widen:0.05 net prop with
+      | Error _ -> Alcotest.fail "re-certification should succeed"
+      | Ok s2 -> (
+        Cv_artifacts.Artifacts.save path (Cv_core.Session.artifact s2);
+        match Cv_core.Session.resume_file net path with
+        | Ok _ -> ()
+        | Error e ->
+          Alcotest.failf "clean save should resume: %s"
+            (Cv_core.Session.resume_error_message e)))
+
+let test_resume_file_checksum_mismatch () =
+  let s, net, _ = certified_session () in
+  let path = temp_artifact_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cv_artifacts.Artifacts.save path (Cv_core.Session.artifact s);
+      (* Flip one digit inside the payload: the document still parses,
+         but the stored checksum no longer matches. *)
+      let ic = open_in_bin path in
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let corrupted =
+        match String.index_opt content '7' with
+        | Some i ->
+          String.mapi (fun j c -> if j = i then '8' else c) content
+        | None -> (
+          match String.index_opt content '3' with
+          | Some i -> String.mapi (fun j c -> if j = i then '4' else c) content
+          | None -> Alcotest.fail "artifact should contain a digit")
+      in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc corrupted);
+      match Cv_core.Session.resume_file net path with
+      | Error (Cv_core.Session.Corrupt_artifact msg) ->
+        Alcotest.(check bool) "mentions the checksum" true
+          (String.length msg > 0)
+      | Error e ->
+        Alcotest.failf "expected Corrupt_artifact: %s"
+          (Cv_core.Session.resume_error_message e)
+      | Ok _ -> Alcotest.fail "bit-flipped artifact must not resume")
+
+let test_adopt_budget_exhausted () =
+  (* A spent budget during adopt must leave the session unchanged and
+     record a Budget_exhausted event — the old certificate keeps
+     standing. *)
+  let s, net, prop = certified_session () in
+  let artifact_before = Cv_core.Session.artifact s in
+  let candidate =
+    Cv_nn.Network.map_layers
+      (Cv_nn.Layer.perturb ~rng:(Cv_util.Rng.create 9) ~sigma:0.001)
+      net
+  in
+  let report =
+    Cv_core.Session.adopt
+      ~deadline:(Cv_util.Deadline.make ~seconds:(-1.))
+      s candidate
+  in
+  (match report.Cv_core.Report.verdict with
+  | Cv_core.Report.Exhausted _ -> ()
+  | v ->
+    Alcotest.failf "expected Exhausted: %s" (Cv_core.Report.outcome_string v));
+  Alcotest.(check (float 1e-12)) "old network kept" 0.
+    (Cv_nn.Network.param_dist_inf (Cv_core.Session.network s) net);
+  Alcotest.(check bool) "artifact untouched" true
+    (Cv_core.Session.artifact s == artifact_before);
+  Alcotest.(check bool) "property unchanged" true
+    (Cv_interval.Box.equal
+       (Cv_core.Session.property s).Cv_verify.Property.din
+       prop.Cv_verify.Property.din);
+  match List.rev (Cv_core.Session.history s) with
+  | Cv_core.Session.Budget_exhausted _ :: _ -> ()
+  | _ -> Alcotest.fail "newest event should be Budget_exhausted"
+
 let () =
   Alcotest.run "cv_session"
     [ ( "session",
@@ -162,4 +283,13 @@ let () =
             test_adopt_rejects_wild_candidate;
           Alcotest.test_case "retarget" `Quick test_retarget;
           Alcotest.test_case "history" `Quick test_history_accumulates;
-          Alcotest.test_case "resume" `Quick test_resume_from_artifact ] ) ]
+          Alcotest.test_case "resume" `Quick test_resume_from_artifact ] );
+      ( "robustness",
+        [ Alcotest.test_case "resume_file roundtrip" `Quick
+            test_resume_file_roundtrip;
+          Alcotest.test_case "truncated artifact" `Quick
+            test_resume_file_truncated_artifact;
+          Alcotest.test_case "checksum mismatch" `Quick
+            test_resume_file_checksum_mismatch;
+          Alcotest.test_case "adopt exhausts budget" `Quick
+            test_adopt_budget_exhausted ] ) ]

@@ -101,7 +101,8 @@ let containment_engine_test engine () =
       (Cv_verify.Containment.engine_name engine)
       (match v with
       | Cv_verify.Containment.Violated _ -> "violated"
-      | Cv_verify.Containment.Unknown m -> "unknown: " ^ m
+      | Cv_verify.Containment.Unknown u ->
+        "unknown: " ^ u.Cv_verify.Containment.message
       | _ -> "?"));
   let violated = Cv_interval.Box.of_bounds [| -1. |] [| 3. |] in
   match Cv_verify.Containment.check engine net ~input_box ~target:violated with
@@ -142,7 +143,8 @@ let test_split_engine_refines () =
       ~input_box ~target
   with
   | Cv_verify.Containment.Proved -> ()
-  | Cv_verify.Containment.Unknown m -> Alcotest.failf "split exhausted: %s" m
+  | Cv_verify.Containment.Unknown u ->
+    Alcotest.failf "split exhausted: %s" u.Cv_verify.Containment.message
   | Cv_verify.Containment.Violated _ -> Alcotest.fail "6.3 is not violated"
 
 (* Agreement between complete engines on random instances. *)
