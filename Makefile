@@ -4,8 +4,9 @@
 
 all: build
 
-# What CI runs: full build, test suite, formatting gate.
-ci: build test fmt
+# What CI runs: full build, test suite, formatting gate, bench smoke
+# (writes the BENCH_PR3.json perf trajectory).
+ci: build test fmt quickbench
 
 fmt:
 	dune build @fmt

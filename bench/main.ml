@@ -169,6 +169,97 @@ let table1_splitcert () =
     \ the dramatic Table-I ratios above additionally change engine class)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable perf trajectory                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot vs SVuDC vs SVbTV wall-clock per case, with the headline
+   effort counters of each phase (Cv_util.Metrics snapshot), written to
+   BENCH_PR3.json in the working directory. CI runs the quick variant,
+   validates the JSON and archives it, so perf regressions leave a
+   comparable artifact per commit. *)
+let bench_trajectory () =
+  banner "Perf trajectory (BENCH_PR3.json)";
+  let exp = Lazy.force exp in
+  let heads = exp.Cv_vehicle.Pipeline.heads in
+  let prop = Cv_vehicle.Pipeline.property exp in
+  let new_din = exp.Cv_vehicle.Pipeline.enlarged_din in
+  let phase f =
+    Cv_util.Metrics.reset ();
+    let result, seconds = Cv_util.Timer.time f in
+    (result, seconds, Cv_util.Metrics.to_json ())
+  in
+  let report_verdict (r : Cv_core.Report.t) =
+    match r.Cv_core.Report.verdict with
+    | Cv_core.Report.Safe -> "safe"
+    | Cv_core.Report.Unsafe _ -> "unsafe"
+    | Cv_core.Report.Inconclusive _ -> "inconclusive"
+    | Cv_core.Report.Exhausted _ -> "exhausted"
+  in
+  let entry ~seconds ~verdict ~metrics =
+    Cv_util.Json.Obj
+      [ ("seconds", Cv_util.Json.Num seconds);
+        ("verdict", Cv_util.Json.Str verdict);
+        ("metrics", metrics) ]
+  in
+  let cases = if quick then 1 else Array.length heads - 1 in
+  let case_rows =
+    List.init cases (fun i ->
+        let case = i + 1 in
+        let old_net = heads.(case - 1) and new_net = heads.(case) in
+        let original, orig_t, orig_m =
+          phase (fun () -> Cv_core.Strategy.solve_original_exact old_net prop)
+        in
+        let artifact =
+          { original.Cv_core.Strategy.artifact with
+            Cv_artifacts.Artifacts.solve_seconds = orig_t }
+        in
+        let svudc_report, svudc_t, svudc_m =
+          phase (fun () ->
+              Cv_core.Strategy.solve_svudc
+                (Cv_core.Problem.svudc ~net:old_net ~artifact ~new_din))
+        in
+        let svbtv_report, svbtv_t, svbtv_m =
+          phase (fun () ->
+              Cv_core.Strategy.solve_svbtv
+                (Cv_core.Problem.svbtv ~old_net ~new_net ~artifact ~new_din))
+        in
+        Printf.printf
+          "case %d: original %.3fs, svudc %.4fs (%s), svbtv %.4fs (%s)\n" case
+          orig_t svudc_t
+          (report_verdict svudc_report)
+          svbtv_t
+          (report_verdict svbtv_report);
+        Cv_util.Json.Obj
+          [ ("case", Cv_util.Json.Num (float_of_int case));
+            ( "original",
+              entry ~seconds:orig_t
+                ~verdict:
+                  (if original.Cv_core.Strategy.proved then "safe"
+                   else "not-proved")
+                ~metrics:orig_m );
+            ( "svudc",
+              entry ~seconds:svudc_t
+                ~verdict:(report_verdict svudc_report)
+                ~metrics:svudc_m );
+            ( "svbtv",
+              entry ~seconds:svbtv_t
+                ~verdict:(report_verdict svbtv_report)
+                ~metrics:svbtv_m ) ])
+  in
+  let json =
+    Cv_util.Json.Obj
+      [ ("schema", Cv_util.Json.Str "contiver-bench-pr3-v1");
+        ("quick", Cv_util.Json.Bool quick);
+        ("cases", Cv_util.Json.List case_rows) ]
+  in
+  let path = "BENCH_PR3.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Cv_util.Json.to_string json));
+  Printf.printf "trajectory written to %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Figure 1                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -613,6 +704,7 @@ let micro () =
 let () =
   table1 ();
   table1_splitcert ();
+  bench_trajectory ();
   fig1 ();
   fig2 ();
   fig3 ();

@@ -139,6 +139,43 @@ let timeout_arg =
 
 let deadline_of = Option.map (fun seconds -> Cv_util.Deadline.make ~seconds)
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "After the run, print the solver-effort counters and timers \
+           (simplex pivots, branch-and-bound nodes, bisection splits, \
+           abstract-domain calls, ...) to standard error, grouped per \
+           engine.")
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Record hierarchical timed spans of the run (strategy attempts, \
+           escalation rungs, containment queries) and write the span tree \
+           to $(docv) as JSON.")
+
+(* Zero the metrics registry, optionally enable span recording, run the
+   command body, then emit the requested observability outputs — also on
+   error paths, so a failed run still reports where its effort went. *)
+let with_observability ~stats ~trace_json f =
+  Cv_util.Metrics.reset ();
+  if trace_json <> None then Cv_util.Trace.enable ();
+  let finish () =
+    (match trace_json with
+    | None -> ()
+    | Some path ->
+      Cv_util.Trace.disable ();
+      write_file path (Cv_util.Json.to_string (Cv_util.Trace.to_json ()));
+      Printf.eprintf "trace written to %s\n%!" path);
+    if stats then prerr_string (Cv_util.Metrics.table ())
+  in
+  Fun.protect ~finally:finish f
+
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -214,9 +251,11 @@ let string_of_unknown (u : Cv_verify.Containment.unknown) =
     | None -> ""
     | Some b -> Printf.sprintf " [best bound %.6g]" b)
 
-let verify verbose model property artifact_out exact widen timeout =
+let verify verbose model property artifact_out exact widen timeout stats
+    trace_json =
   run @@ fun () ->
   setup_logs verbose;
+  with_observability ~stats ~trace_json @@ fun () ->
   let net = load_network model in
   let prop = load_property property in
   let deadline = deadline_of timeout in
@@ -275,7 +314,8 @@ let verify_cmd =
        ~doc:"Verify a safety property from scratch and record proof artifacts.")
     Term.(
       const verify $ verbose_arg $ model_arg () $ property
-      $ artifact_arg ~mode:`Out $ exact $ widen $ timeout_arg)
+      $ artifact_arg ~mode:`Out $ exact $ widen $ timeout_arg $ stats_arg
+      $ trace_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* svudc / svbtv                                                       *)
@@ -294,9 +334,10 @@ let print_report report original_seconds =
     Cmd.Exit.ok
   | _ -> 1
 
-let svudc verbose model artifact new_din engine timeout =
+let svudc verbose model artifact new_din engine timeout stats trace_json =
   run @@ fun () ->
   setup_logs verbose;
+  with_observability ~stats ~trace_json @@ fun () ->
   let net = load_network model in
   let artifact = load_artifact artifact in
   let new_din = load_box new_din in
@@ -321,11 +362,13 @@ let svudc_cmd =
           property on an enlarged input domain by reusing proof artifacts.")
     Term.(
       const svudc $ verbose_arg $ model_arg () $ artifact_arg ~mode:`In
-      $ new_din $ engine_arg $ timeout_arg)
+      $ new_din $ engine_arg $ timeout_arg $ stats_arg $ trace_json_arg)
 
-let svbtv verbose old_model new_model artifact new_din engine slack timeout =
+let svbtv verbose old_model new_model artifact new_din engine slack timeout
+    stats trace_json =
   run @@ fun () ->
   setup_logs verbose;
+  with_observability ~stats ~trace_json @@ fun () ->
   let old_net = load_network old_model in
   let new_net = load_network new_model in
   let artifact = load_artifact artifact in
@@ -370,7 +413,8 @@ let svbtv_cmd =
           network to its fine-tuned successor.")
     Term.(
       const svbtv $ verbose_arg $ old_model $ new_model
-      $ artifact_arg ~mode:`In $ new_din $ engine_arg $ slack $ timeout_arg)
+      $ artifact_arg ~mode:`In $ new_din $ engine_arg $ slack $ timeout_arg
+      $ stats_arg $ trace_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* range                                                               *)

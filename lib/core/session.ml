@@ -32,6 +32,26 @@ type event =
       (** a transition ran out of verification budget; the session is
           unchanged and the old certificate keeps standing *)
 
+(* Session-lifecycle accounting: one counter per transition kind, so a
+   long-running deployment can report how often each continuous-
+   engineering event fired (surfaced by `contiver --stats`). *)
+let m_event = function
+  | Certified _ -> Cv_util.Metrics.counter "core.session.certified"
+  | Ood_event _ -> Cv_util.Metrics.counter "core.session.ood_events"
+  | Domain_enlarged _ -> Cv_util.Metrics.counter "core.session.enlargements"
+  | Domain_rejected _ ->
+    Cv_util.Metrics.counter "core.session.enlargements_rejected"
+  | Version_adopted _ -> Cv_util.Metrics.counter "core.session.adoptions"
+  | Version_rejected _ ->
+    Cv_util.Metrics.counter "core.session.adoptions_rejected"
+  | Spec_changed _ -> Cv_util.Metrics.counter "core.session.spec_changes"
+  | Spec_rejected _ ->
+    Cv_util.Metrics.counter "core.session.spec_changes_rejected"
+  | Budget_exhausted _ ->
+    Cv_util.Metrics.counter "core.session.budget_exhausted"
+
+let record_event e = Cv_util.Metrics.incr (m_event e)
+
 type t = {
   mutable net : Cv_nn.Network.t;
   mutable artifact : Cv_artifacts.Artifacts.t;
@@ -40,6 +60,10 @@ type t = {
   widen : float;
   mutable history : event list;  (** newest first *)
 }
+
+let push s e =
+  record_event e;
+  s.history <- e :: s.history
 
 (** [certify ?deadline ?config ?widen net prop] runs the original
     (exact) verification and opens a session; [Error] with the failure
@@ -52,14 +76,17 @@ let certify ?deadline ?(config = Strategy.default_config) ?(widen = 0.03) net
       ~with_split_cert:true net prop
   in
   if not original.Strategy.proved then Error original.Strategy.report
-  else
+  else begin
+    let e = Certified original.Strategy.artifact.Cv_artifacts.Artifacts.solver in
+    record_event e;
     Ok
       { net;
         artifact = original.Strategy.artifact;
         monitor = Cv_monitor.Monitor.of_box prop.Cv_verify.Property.din;
         config;
         widen;
-        history = [ Certified original.Strategy.artifact.Cv_artifacts.Artifacts.solver ] }
+        history = [ e ] }
+  end
 
 (** [resume ?config ?widen net artifact] opens a session from a
     persisted artifact without re-verifying; raises [Invalid_argument]
@@ -67,6 +94,8 @@ let certify ?deadline ?(config = Strategy.default_config) ?(widen = 0.03) net
 let resume ?(config = Strategy.default_config) ?(widen = 0.03) net artifact =
   if not (Cv_artifacts.Artifacts.matches artifact net) then
     invalid_arg "Session.resume: artifact/network mismatch";
+  let e = Certified artifact.Cv_artifacts.Artifacts.solver in
+  record_event e;
   { net;
     artifact;
     monitor =
@@ -74,7 +103,7 @@ let resume ?(config = Strategy.default_config) ?(widen = 0.03) net artifact =
         artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.din;
     config;
     widen;
-    history = [ Certified artifact.Cv_artifacts.Artifacts.solver ] }
+    history = [ e ] }
 
 (** Typed failure of {!resume_file}. *)
 type resume_error =
@@ -125,8 +154,7 @@ let pending_ood s = Cv_monitor.Monitor.event_count s.monitor
 let observe s features =
   let r = Cv_monitor.Monitor.observe s.monitor features in
   (match r with
-  | Some _ ->
-    s.history <- Ood_event (Cv_monitor.Monitor.event_count s.monitor) :: s.history
+  | Some _ -> push s (Ood_event (Cv_monitor.Monitor.event_count s.monitor))
   | None -> ());
   r
 
@@ -158,7 +186,9 @@ let refresh_artifact s net din =
     match s.artifact.Cv_artifacts.Artifacts.split_cert with
     | None -> None
     | Some cert -> (
-      match Cv_verify.Split_cert.repair cert net with
+      match
+        Cv_verify.Split_cert.repair ?domains:s.config.Strategy.domains cert net
+      with
       | Some cert' when
           Cv_interval.Box.subset_tol din cert'.Cv_verify.Split_cert.input_box
         ->
@@ -185,9 +215,9 @@ let absorb_enlargement ?deadline ?(margin = 0.005) s =
   | Report.Safe ->
     Cv_monitor.Monitor.commit s.monitor new_din;
     s.artifact <- refresh_artifact s s.net new_din;
-    s.history <- Domain_enlarged report :: s.history
-  | Report.Exhausted _ -> s.history <- Budget_exhausted report :: s.history
-  | _ -> s.history <- Domain_rejected report :: s.history);
+    push s (Domain_enlarged report)
+  | Report.Exhausted _ -> push s (Budget_exhausted report)
+  | _ -> push s (Domain_rejected report));
   report
 
 (** [adopt ?deadline ?netabs s candidate] solves the SVbTV instance for
@@ -206,9 +236,9 @@ let adopt ?deadline ?netabs s candidate =
   | Report.Safe ->
     s.net <- candidate;
     s.artifact <- refresh_artifact s candidate din;
-    s.history <- Version_adopted report :: s.history
-  | Report.Exhausted _ -> s.history <- Budget_exhausted report :: s.history
-  | _ -> s.history <- Version_rejected report :: s.history);
+    push s (Version_adopted report)
+  | Report.Exhausted _ -> push s (Budget_exhausted report)
+  | _ -> push s (Version_rejected report));
   report
 
 (** [retarget ?deadline s new_dout] solves the SVuSC instance for an
@@ -234,9 +264,9 @@ let retarget ?deadline s new_dout =
         ~property:(Cv_verify.Property.make ~din ~dout:new_dout)
         ~net:s.net ~solver:"session-retarget"
         ~solve_seconds:s.artifact.Cv_artifacts.Artifacts.solve_seconds ();
-    s.history <- Spec_changed report :: s.history
-  | Report.Exhausted _ -> s.history <- Budget_exhausted report :: s.history
-  | _ -> s.history <- Spec_rejected report :: s.history);
+    push s (Spec_changed report)
+  | Report.Exhausted _ -> push s (Budget_exhausted report)
+  | _ -> push s (Spec_rejected report));
   report
 
 (** [event_string e] is a one-line audit entry. *)

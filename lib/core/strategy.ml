@@ -49,6 +49,7 @@ type original = {
     reported time is the denominator of the Table I ratios. Deadline
     expiry degrades the verdict to [Unknown {reason = Timeout; _}]. *)
 let solve_original ?deadline ?(config = default_config) net prop =
+  Cv_util.Trace.with_span "strategy.original" @@ fun () ->
   let result, wall =
     Cv_util.Timer.time (fun () ->
         let pr =
@@ -85,6 +86,7 @@ let solve_original ?deadline ?(config = default_config) net prop =
     Raises on non-piecewise-linear networks. *)
 let solve_original_exact ?deadline ?(config = default_config) ?(widen = 0.02)
     ?(with_split_cert = false) net prop =
+  Cv_util.Trace.with_span "strategy.original_exact" @@ fun () ->
   let lipschitz () =
     let ell_inf =
       Cv_lipschitz.Lipschitz.global ~norm:Cv_lipschitz.Lipschitz.Linf net
@@ -175,6 +177,12 @@ let full_verify ?deadline ?(config = default_config) net prop =
       | Some _ -> "graceful escalation chain (budgeted)"
       | None -> "complete re-verification (no reuse)") }
 
+(* Strategy-level accounting: how many reuse attempts ran and how many
+   settled their instance (surfaced by `contiver --stats`). *)
+let m_attempts = Cv_util.Metrics.counter "core.attempts"
+
+let m_decisive = Cv_util.Metrics.counter "core.decisive"
+
 (* Run attempts lazily in order, stopping at the first decisive one.
    Budget expiry — either observed before launching an attempt or
    escaping one as Deadline.Expired — ends the run with a structured
@@ -195,11 +203,20 @@ let run_until_decisive ?deadline attempts =
              (exhausted_attempt "verification budget exhausted" :: acc))
       else begin
         let attempt =
-          try thunk ()
-          with Cv_util.Deadline.Expired msg -> exhausted_attempt msg
+          Cv_util.Trace.with_span "strategy.attempt" @@ fun () ->
+          Cv_util.Metrics.incr m_attempts;
+          let attempt =
+            try thunk ()
+            with Cv_util.Deadline.Expired msg -> exhausted_attempt msg
+          in
+          Cv_util.Trace.add_attr "name" attempt.Report.name;
+          Cv_util.Trace.add_attr "outcome"
+            (Report.outcome_string attempt.Report.outcome);
+          attempt
         in
         match attempt.Report.outcome with
         | Report.Safe | Report.Unsafe _ | Report.Exhausted _ ->
+          Cv_util.Metrics.incr m_decisive;
           Report.conclude (List.rev (attempt :: acc))
         | Report.Inconclusive _ -> go (attempt :: acc) rest
       end
@@ -212,6 +229,7 @@ let run_until_decisive ?deadline attempts =
 
 (** [solve_svudc ?deadline ?config p] — the full SVuDC pipeline. *)
 let solve_svudc ?deadline ?(config = default_config) (p : Problem.svudc) =
+  Cv_util.Trace.with_span "strategy.svudc" @@ fun () ->
   run_until_decisive ?deadline
     [ (fun () -> Svudc.trivial p);
       (fun () -> Svudc.prop3 ~norm:config.lipschitz_norm p);
@@ -235,6 +253,7 @@ let solve_svudc ?deadline ?(config = default_config) (p : Problem.svudc) =
     the old network. *)
 let solve_svbtv ?deadline ?(config = default_config) ?netabs
     (p : Problem.svbtv) =
+  Cv_util.Trace.with_span "strategy.svbtv" @@ fun () ->
   let prop6_attempts =
     (match netabs with
     | Some t -> [ (fun () -> Netabs_reuse.prop6 t p) ]

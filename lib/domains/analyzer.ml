@@ -18,6 +18,15 @@
     need the former while falsification diagnostics favour the latter. *)
 
 module Make (D : Transformer.DOMAIN) = struct
+  (* Per-domain effort accounting under "domains.<name>.*": one [calls]
+     tick per analysis entry point, one [layers] tick per layer
+     transformer application, wall-clock accumulated in [seconds]. *)
+  let m_calls = Cv_util.Metrics.counter ("domains." ^ D.name ^ ".calls")
+
+  let m_layers = Cv_util.Metrics.counter ("domains." ^ D.name ^ ".layers")
+
+  let t_seconds = Cv_util.Metrics.timer ("domains." ^ D.name ^ ".seconds")
+
   (** [abstractions ?widen net din] computes inductive state
       abstractions [S_1..S_n] as boxes: [S_{i+1}] is the domain's image
       of the box [S_i], optionally widened by the absolute slack
@@ -27,11 +36,14 @@ module Make (D : Transformer.DOMAIN) = struct
       same engineering practice as the paper's "additional buffers" on
       [D_in]. *)
   let abstractions ?deadline ?(widen = 0.) net din =
+    Cv_util.Metrics.incr m_calls;
+    Cv_util.Metrics.time t_seconds @@ fun () ->
     let n = Cv_nn.Network.num_layers net in
     let result = Array.make n [||] in
     let box = ref din in
     for i = 0 to n - 1 do
       Cv_util.Deadline.check_opt deadline;
+      Cv_util.Metrics.incr m_layers;
       let s = D.to_box (D.apply_layer (Cv_nn.Network.layer net i) (D.of_box !box)) in
       let s = if widen > 0. then Cv_interval.Box.expand widen s else s in
       result.(i) <- s;
@@ -44,10 +56,13 @@ module Make (D : Transformer.DOMAIN) = struct
       only the end-to-end containment [eval x ∈ S_i] is guaranteed, not
       the per-layer box induction. *)
   let abstractions_through net din =
+    Cv_util.Metrics.incr m_calls;
+    Cv_util.Metrics.time t_seconds @@ fun () ->
     let n = Cv_nn.Network.num_layers net in
     let result = Array.make n [||] in
     let a = ref (D.of_box din) in
     for i = 0 to n - 1 do
+      Cv_util.Metrics.incr m_layers;
       a := D.apply_layer (Cv_nn.Network.layer net i) !a;
       result.(i) <- D.to_box !a
     done;
@@ -57,10 +72,13 @@ module Make (D : Transformer.DOMAIN) = struct
       (relational value carried through — the tightest this domain
       offers). *)
   let output_box ?deadline net din =
+    Cv_util.Metrics.incr m_calls;
+    Cv_util.Metrics.time t_seconds @@ fun () ->
     let a =
       Array.fold_left
         (fun acc l ->
           Cv_util.Deadline.check_opt deadline;
+          Cv_util.Metrics.incr m_layers;
           D.apply_layer l acc)
         (D.of_box din) (Cv_nn.Network.layers net)
     in

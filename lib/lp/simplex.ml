@@ -32,6 +32,17 @@ type tableau = {
 
 let rhs_col t = t.n_total
 
+(* Effort accounting: every tableau pivot and iterate() loop turn is
+   counted, so a verification run can report exactly where its simplex
+   time went (surfaced by `contiver --stats` and the bench trajectory). *)
+let m_solves = Cv_util.Metrics.counter "lp.solves"
+
+let m_pivots = Cv_util.Metrics.counter "lp.pivots"
+
+let m_iterations = Cv_util.Metrics.counter "lp.iterations"
+
+let t_seconds = Cv_util.Metrics.timer "lp.seconds"
+
 (* Build the tableau. [basis0.(i) = Some j] promises that structural
    column [j] has coefficient +1 in row [i], zero in every other row and
    zero objective cost (a slack): it then serves as the initial basic
@@ -63,6 +74,7 @@ let make_tableau ~n a b basis0 =
   { rows; m; n; n_total; basis }
 
 let pivot t ~row ~col =
+  Cv_util.Metrics.incr m_pivots;
   let prow = t.rows.(row) in
   let p = prow.(col) in
   let width = t.n_total + 1 in
@@ -133,6 +145,7 @@ let iterate ?deadline t ~allowed =
   let max_dantzig = 4 * (t.m + t.n_total) in
   let max_total = 8000 + (64 * (t.m + t.n_total)) in
   let rec loop iter =
+    Cv_util.Metrics.incr m_iterations;
     Cv_util.Deadline.check_every ~mask:31 iter deadline;
     if iter > max_total then
       failwith "Simplex.iterate: iteration limit exceeded (numerical trouble)"
@@ -178,6 +191,8 @@ let install_objective t c =
 let solve ?deadline ?basis0 ~a ~b ~c () =
   Cv_util.Fault.trip Cv_util.Fault.Solver_failure;
   Cv_util.Deadline.check_opt deadline;
+  Cv_util.Metrics.incr m_solves;
+  Cv_util.Metrics.time t_seconds @@ fun () ->
   let m = Array.length b in
   let n = Array.length c in
   (if m > 0 && Array.length a.(0) <> n then invalid_arg "Simplex.solve: shape");

@@ -54,6 +54,20 @@ let binary_count p = List.length p.binaries
 
 let int_tol = 1e-6
 
+(* Branch-and-bound effort accounting (surfaced by `contiver --stats`
+   and the bench trajectory). *)
+let m_solves = Cv_util.Metrics.counter "milp.solves"
+
+let m_nodes = Cv_util.Metrics.counter "milp.nodes"
+
+let m_fathomed = Cv_util.Metrics.counter "milp.fathomed"
+
+let m_incumbents = Cv_util.Metrics.counter "milp.incumbents"
+
+let m_timeouts = Cv_util.Metrics.counter "milp.timeouts"
+
+let t_seconds = Cv_util.Metrics.timer "milp.seconds"
+
 
 
 (* Most fractional binary, or None if all integral. *)
@@ -83,6 +97,8 @@ type node = { fixed : (int * float) list; bound : float }
     explicit incumbent the optimum equals the seed and an [Optimal] with
     empty [values] is returned. *)
 let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
+  Cv_util.Metrics.incr m_solves;
+  Cv_util.Metrics.time t_seconds @@ fun () ->
   Cv_lp.Lp.set_objective p.lp ~maximize:true terms;
   let apply_fixings fixed =
     let lp = Cv_lp.Lp.copy p.lp in
@@ -134,12 +150,14 @@ let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
       let bound =
         Float.max queue_bound (Float.max !pruned_max !incumbent_val)
       in
+      Cv_util.Metrics.incr m_timeouts;
       result := Some (Timeout { bound; incumbent = !incumbent })
     in
     while !result = None && !queue <> [] && !nodes < node_limit do
       if Cv_util.Deadline.expired_opt deadline then timeout_now ()
       else begin
         incr nodes;
+        Cv_util.Metrics.incr m_nodes;
         let node = List.hd !queue in
         queue := List.tl !queue;
         let prune_bound =
@@ -147,8 +165,10 @@ let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
           | Some theta -> Float.max !incumbent_val theta
           | None -> !incumbent_val
         in
-        if node.bound <= prune_bound +. 1e-9 then
+        if node.bound <= prune_bound +. 1e-9 then begin
+          Cv_util.Metrics.incr m_fathomed;
           pruned_max := Float.max !pruned_max node.bound
+        end
         else begin
           match
             try `Sol (solve_node node.fixed)
@@ -163,14 +183,17 @@ let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
           | `Sol Cv_lp.Lp.Unbounded -> result := Some Unbounded
           | `Sol (Cv_lp.Lp.Optimal sol) -> (
             let bound = sol.Cv_lp.Lp.objective in
-            if bound <= prune_bound +. 1e-9 then
+            if bound <= prune_bound +. 1e-9 then begin
+              Cv_util.Metrics.incr m_fathomed;
               pruned_max := Float.max !pruned_max bound
+            end
             else
               match pick_branch_var p.binaries sol.Cv_lp.Lp.values with
               | None ->
                 (* Integer feasible. *)
                 let s = { objective = bound; values = sol.Cv_lp.Lp.values } in
                 if bound > !incumbent_val then begin
+                  Cv_util.Metrics.incr m_incumbents;
                   incumbent_val := bound;
                   incumbent := Some s
                 end;

@@ -1,0 +1,21 @@
+(** Process-wide monotonic time source (see the interface for the
+    contract). *)
+
+external monotonic_ns : unit -> int64 = "cv_clock_monotonic_ns"
+
+let default () = Int64.to_float (monotonic_ns ()) /. 1e9
+
+(* An [Atomic] so installing a fake clock from a test is visible to
+   worker domains spawned by [Parallel]. *)
+let source : (unit -> float) Atomic.t = Atomic.make default
+
+let now () = (Atomic.get source) ()
+
+let set_source f = Atomic.set source f
+
+let reset_source () = Atomic.set source default
+
+let with_source f body =
+  let prev = Atomic.get source in
+  Atomic.set source f;
+  Fun.protect ~finally:(fun () -> Atomic.set source prev) body

@@ -1,0 +1,26 @@
+(** The process-wide time source behind deadlines, timers and trace
+    spans.
+
+    [now] reads CLOCK_MONOTONIC (via a vendored C stub), so budget
+    arithmetic is immune to NTP steps, [settimeofday] and suspend-time
+    wall-clock adjustments. The origin is arbitrary (boot time on
+    Linux): values are only meaningful as differences.
+
+    The source is a seam: tests install a fake clock with {!set_source}
+    to drive deadline expiry deterministically. *)
+
+(** [now ()] is the current monotonic time in seconds (arbitrary
+    origin; use differences only). *)
+val now : unit -> float
+
+(** [set_source f] replaces the time source — test seam. The
+    replacement must be monotonic (non-decreasing) for deadline
+    semantics to hold. *)
+val set_source : (unit -> float) -> unit
+
+(** [reset_source ()] restores the default CLOCK_MONOTONIC source. *)
+val reset_source : unit -> unit
+
+(** [with_source f body] runs [body] under the fake clock [f] and
+    restores the previous source afterwards, exception-safe. *)
+val with_source : (unit -> float) -> (unit -> 'a) -> 'a

@@ -1,0 +1,19 @@
+/* Monotonic time source for Cv_util.Clock.
+
+   CLOCK_MONOTONIC is immune to NTP steps and settimeofday, which is
+   what the deadline layer needs: a wall-clock adjustment must neither
+   spuriously expire nor extend a verification budget. */
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value cv_clock_monotonic_ns(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  CAMLreturn(caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
+                             + (int64_t)ts.tv_nsec));
+}

@@ -12,7 +12,9 @@
     deployment.
 
     A value combines two budgets, either of which may be absent:
-    - a wall-clock deadline (absolute time, best-effort monotonic);
+    - a wall-clock deadline (absolute time on the {e monotonic}
+      timeline of {!Clock} — immune to NTP steps and suspend-time
+      wall-clock adjustments);
     - a fuel counter (iteration cap), decremented by {!burn}.
 
     Clock reads cost a syscall, so hot loops poll through {!check_every}
@@ -21,8 +23,12 @@
 (** Raised by {!check} / {!burn} once the budget is exhausted. *)
 exception Expired of string
 
+(** [now ()] is the deadline layer's time source: monotonic seconds
+    from {!Clock} (seam — tests swap it via {!Clock.set_source}). *)
+let now () = Clock.now ()
+
 type t = {
-  expires_at : float option;  (** absolute [Unix.gettimeofday] time *)
+  expires_at : float option;  (** absolute monotonic {!now} time *)
   seconds : float;  (** originally requested budget, for messages *)
   mutable fuel : int option;  (** remaining iterations, when capped *)
 }
@@ -35,8 +41,7 @@ let no_budget = { expires_at = None; seconds = Float.infinity; fuel = None }
 let make ~seconds =
   let seconds = if Fault.enabled Fault.Deadline_zero then 0. else seconds in
   let expires_at =
-    if seconds <= 0. then Float.neg_infinity
-    else Unix.gettimeofday () +. seconds
+    if seconds <= 0. then Float.neg_infinity else now () +. seconds
   in
   { expires_at = Some expires_at; seconds; fuel = None }
 
@@ -49,14 +54,12 @@ let with_fuel t n = { t with fuel = Some n }
 (** [remaining t] is the wall-clock budget left, in seconds
     ([infinity] when no deadline is set, negative once expired). *)
 let remaining t =
-  match t.expires_at with
-  | None -> Float.infinity
-  | Some at -> at -. Unix.gettimeofday ()
+  match t.expires_at with None -> Float.infinity | Some at -> at -. now ()
 
 (** [expired t] polls both budgets without raising. *)
 let expired t =
   (match t.fuel with Some f when f <= 0 -> true | _ -> false)
-  || match t.expires_at with None -> false | Some at -> Unix.gettimeofday () > at
+  || match t.expires_at with None -> false | Some at -> now () > at
 
 (** [expired_opt d] is [expired] lifted to the [option] threaded through
     the solvers ([None] = unlimited). *)

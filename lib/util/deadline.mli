@@ -10,14 +10,20 @@
     payload is a human-readable description of which budget ran out. *)
 exception Expired of string
 
+(** [now ()] is the deadline layer's time source: monotonic seconds
+    from {!Clock}, immune to NTP steps and [settimeofday]. The origin
+    is arbitrary — use differences only. Tests redirect it with
+    {!Clock.set_source}. *)
+val now : unit -> float
+
 type t
 
 (** A value with no budget at all: never expires. *)
 val no_budget : t
 
-(** [make ~seconds] is a deadline [seconds] from now (best-effort
-    monotonic; a non-positive budget is already expired). The armed
-    {!Fault.Deadline_zero} fault forces the budget to zero. *)
+(** [make ~seconds] is a deadline [seconds] from now on the monotonic
+    {!now} timeline (a non-positive budget is already expired). The
+    armed {!Fault.Deadline_zero} fault forces the budget to zero. *)
 val make : seconds:float -> t
 
 (** [of_fuel n] is a pure iteration budget: [n] calls to {!burn}. *)

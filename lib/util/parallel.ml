@@ -50,14 +50,54 @@ let map_list ?domains f xs =
   Array.to_list (map ?domains f (Array.of_list xs))
 
 (** [exists ?domains pred xs] checks whether any element satisfies
-    [pred], evaluating elements concurrently; the result is exact but, in
-    contrast to [List.exists], all elements may be inspected. *)
-let exists ?domains pred xs = Array.exists (fun b -> b) (map ?domains pred xs)
+    [pred], evaluating elements concurrently with early exit: once a
+    witness is found, remaining elements are abandoned — workers stop
+    claiming new indices (an element already being evaluated on another
+    domain still runs to completion). When the witness settles the
+    answer, a concurrently raised exception is suppressed along with
+    the rest of the abandoned work; with no witness, the first
+    exception is re-raised in the caller. *)
+let exists ?(domains = default_domains) pred xs =
+  let n = Array.length xs in
+  if n = 0 then false
+  else if domains <= 1 || n = 1 then begin
+    (* Sequential path short-circuits too: elements after the witness
+       are never forced. *)
+    let rec go i = i < n && (pred xs.(i) || go (i + 1)) in
+    go 0
+  end
+  else begin
+    let found = Atomic.make false in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        if (not (Atomic.get found)) && Atomic.get failure = None then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (try if pred xs.(i) then Atomic.set found true
+             with exn ->
+               ignore (Atomic.compare_and_set failure None (Some exn)));
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Atomic.get found
+    || (match Atomic.get failure with Some exn -> raise exn | None -> false)
+  end
 
 (** [for_all ?domains pred xs] checks whether every element satisfies
-    [pred], evaluating elements concurrently. *)
+    [pred], evaluating elements concurrently with early exit on the
+    first counterexample (same abandonment contract as {!exists}). *)
 let for_all ?domains pred xs =
-  Array.for_all (fun b -> b) (map ?domains pred xs)
+  not (exists ?domains (fun x -> not (pred x)) xs)
 
 (** [max_time ?domains fs] runs every thunk in [fs] concurrently, timing
     each, and returns [(results, max_individual_time, total_cpu_time)].

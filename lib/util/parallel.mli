@@ -15,10 +15,16 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_list ?domains f xs] is {!map} over lists. *)
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
-(** [exists ?domains pred xs] — exact result; all elements may be
-    inspected. *)
+(** [exists ?domains pred xs] — exact result with early exit: once a
+    witness is found, remaining elements are abandoned (never forced on
+    the sequential path; no longer claimed by workers on the parallel
+    path). With a witness, concurrent exceptions are suppressed with
+    the rest of the abandoned work; otherwise the first exception is
+    re-raised. *)
 val exists : ?domains:int -> ('a -> bool) -> 'a array -> bool
 
+(** [for_all ?domains pred xs] — early exit on the first
+    counterexample; same abandonment contract as {!exists}. *)
 val for_all : ?domains:int -> ('a -> bool) -> 'a array -> bool
 
 (** [max_time ?domains fs] runs every thunk concurrently, timing each:

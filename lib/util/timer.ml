@@ -1,11 +1,13 @@
 (** Wall-clock timing used by the experiment harness to produce the
     Table I style "incremental time / original time" ratios. *)
 
-(** [time f] runs [f ()] and returns [(result, elapsed_seconds)]. *)
+(** [time f] runs [f ()] and returns [(result, elapsed_seconds)].
+    Durations come from the monotonic {!Clock}, so a wall-clock step
+    mid-measurement cannot produce negative or inflated timings. *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let result = f () in
-  let t1 = Unix.gettimeofday () in
+  let t1 = Clock.now () in
   (result, t1 -. t0)
 
 (** [time_only f] runs [f ()] for effect and returns elapsed seconds. *)

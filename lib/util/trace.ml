@@ -1,0 +1,96 @@
+(** Hierarchical timed spans (see the interface for the contract and
+    JSON schema). *)
+
+type span = {
+  name : string;
+  start_s : float;  (** relative to the trace epoch *)
+  mutable attrs : (string * string) list;  (** reversed insertion order *)
+  mutable dur_s : float;
+  mutable children : span list;  (** reversed completion order *)
+}
+
+let enabled_flag = Atomic.make false
+
+let epoch = Atomic.make 0.
+
+(* Completed roots, newest first. Worker domains push here too, so the
+   list is mutex-protected; pushes happen once per root span, not per
+   span. *)
+let roots : span list ref = ref []
+
+let roots_mutex = Mutex.create ()
+
+(* The open-span stack of the current domain, innermost first. *)
+let stack_key : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let enable () =
+  Mutex.lock roots_mutex;
+  roots := [];
+  Mutex.unlock roots_mutex;
+  Atomic.set epoch (Clock.now ());
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let enabled () = Atomic.get enabled_flag
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let t0 = Clock.now () in
+    let span =
+      { name;
+        start_s = t0 -. Atomic.get epoch;
+        attrs = List.rev attrs;
+        dur_s = 0.;
+        children = [] }
+    in
+    let parent = match !stack with [] -> None | p :: _ -> Some p in
+    stack := span :: !stack;
+    let finish () =
+      span.dur_s <- Clock.now () -. t0;
+      (match !stack with
+      | s :: rest when s == span -> stack := rest
+      | _ -> () (* unbalanced exit via effects/exceptions: leave intact *));
+      match parent with
+      | Some p -> p.children <- span :: p.children
+      | None ->
+        let domain_id = (Domain.self () :> int) in
+        if domain_id <> 0 then
+          span.attrs <- ("domain", string_of_int domain_id) :: span.attrs;
+        Mutex.lock roots_mutex;
+        roots := span :: !roots;
+        Mutex.unlock roots_mutex
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let add_attr key value =
+  if Atomic.get enabled_flag then
+    match !(Domain.DLS.get stack_key) with
+    | [] -> ()
+    | span :: _ -> span.attrs <- (key, value) :: span.attrs
+
+let rec span_to_json s =
+  Json.Obj
+    ([ ("name", Json.Str s.name);
+       ("start_s", Json.Num s.start_s);
+       ("dur_s", Json.Num s.dur_s) ]
+    @ (match s.attrs with
+      | [] -> []
+      | attrs ->
+        [ ( "attrs",
+            Json.Obj (List.rev_map (fun (k, v) -> (k, Json.Str v)) attrs) ) ])
+    @
+    match s.children with
+    | [] -> []
+    | children ->
+      [ ("children", Json.List (List.rev_map span_to_json children)) ])
+
+let to_json () =
+  Mutex.lock roots_mutex;
+  let rs = !roots in
+  Mutex.unlock roots_mutex;
+  Json.Obj [ ("trace", Json.List (List.rev_map span_to_json rs)) ]

@@ -1,0 +1,51 @@
+(** Hierarchical timed spans over the solver stack, with a JSON sink.
+
+    A span covers one dynamic region — a verification run, one
+    escalation rung, one containment query, one strategy attempt — and
+    nests: a span opened while another is active on the same domain
+    becomes its child. Timing uses the monotonic {!Clock}, so spans are
+    immune to wall-clock steps.
+
+    Tracing is off by default and {!with_span} is a plain call to its
+    body then (no allocation, one atomic read), so instrumentation can
+    stay in place permanently. The CLI's [--trace-json FILE] enables it
+    for the run and writes {!to_json} to [FILE].
+
+    Domain behaviour: the current-span context is per-domain
+    (domain-local storage). Spans opened on a {!Parallel} worker domain
+    have no ambient parent there and are recorded as additional roots,
+    tagged with their domain id.
+
+    JSON schema (documented in DESIGN.md):
+    {v
+    {"trace": [span*]}
+    span = {"name": string, "start_s": num, "dur_s": num,
+            "attrs": {string: string, ...},   (absent when empty)
+            "children": [span*]}              (absent when empty)
+    v}
+    [start_s] is relative to the {!enable} call. *)
+
+(** [enable ()] clears any previous trace and starts recording, with
+    the epoch set to now. *)
+val enable : unit -> unit
+
+(** [disable ()] stops recording (the collected spans remain readable
+    until the next {!enable}). *)
+val disable : unit -> unit
+
+(** [enabled ()] is true while recording. *)
+val enabled : unit -> bool
+
+(** [with_span ?attrs name f] runs [f ()]; while tracing, the region is
+    recorded as a span (closed also on exception). *)
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** [add_attr key value] attaches an attribute to the innermost open
+    span of the calling domain, if any — lets a region record data only
+    known mid-flight (the chosen engine, a verdict). No-op when
+    tracing is off or no span is open. *)
+val add_attr : string -> string -> unit
+
+(** [to_json ()] is the completed span forest (open spans are not
+    included). *)
+val to_json : unit -> Json.t

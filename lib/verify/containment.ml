@@ -71,6 +71,10 @@ let check_abstract ?deadline kind net ~input_box ~target =
          (Cv_domains.Analyzer.domain_name kind)
          (Cv_interval.Box.to_string reach))
 
+let m_checks = Cv_util.Metrics.counter "verify.checks"
+
+let m_splits = Cv_util.Metrics.counter "verify.splits"
+
 (* ReluVal-style bisection: prove each sub-box abstractly; sample for
    counterexamples before splitting; stop at the split budget. *)
 let check_split ?deadline budget net ~input_box ~target =
@@ -93,6 +97,7 @@ let check_split ?deadline budget net ~input_box ~target =
           unknown Imprecise "degenerate box not proved"
         else begin
           incr splits;
+          Cv_util.Metrics.incr m_splits;
           let left, right = Cv_interval.Box.split box in
           match go left with
           | Proved -> go right
@@ -184,13 +189,27 @@ let check_milp ?deadline net ~input_box ~target =
 (** [check ?deadline engine net ~input_box ~target] decides (or
     attempts) [∀x ∈ input_box : net(x) ∈ target]. Deadline expiry
     degrades to [Unknown {reason = Timeout; _}] instead of raising. *)
+let verdict_label = function
+  | Proved -> "proved"
+  | Violated _ -> "violated"
+  | Unknown u -> "unknown:" ^ reason_name u.reason
+
 let check ?deadline engine net ~input_box ~target =
-  try
-    match engine with
-    | Abstract kind -> check_abstract ?deadline kind net ~input_box ~target
-    | Symint_split budget -> check_split ?deadline budget net ~input_box ~target
-    | Milp -> check_milp ?deadline net ~input_box ~target
-  with Cv_util.Deadline.Expired msg -> unknown Timeout msg
+  Cv_util.Metrics.incr m_checks;
+  Cv_util.Trace.with_span "containment.check"
+    ~attrs:[ ("engine", engine_name engine) ]
+  @@ fun () ->
+  let v =
+    try
+      match engine with
+      | Abstract kind -> check_abstract ?deadline kind net ~input_box ~target
+      | Symint_split budget ->
+        check_split ?deadline budget net ~input_box ~target
+      | Milp -> check_milp ?deadline net ~input_box ~target
+    with Cv_util.Deadline.Expired msg -> unknown Timeout msg
+  in
+  Cv_util.Trace.add_attr "verdict" (verdict_label v);
+  v
 
 (** [check_timed ?deadline engine net ~input_box ~target] also reports
     wall-clock seconds — the quantity the Table I reproduction

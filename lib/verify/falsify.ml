@@ -63,8 +63,13 @@ let sharpen net din dout x0 ~rounds =
 (** [search ?samples ?rounds ~rng net ~din ~dout ()] looks for an input
     in [din] whose output escapes [dout]. Returns the first violation
     found. *)
+let m_samples = Cv_util.Metrics.counter "verify.falsify.samples"
+
+let m_hits = Cv_util.Metrics.counter "verify.falsify.hits"
+
 let search ?(samples = 256) ?(rounds = 2) ~rng net ~din ~dout () =
   let try_point x =
+    Cv_util.Metrics.incr m_samples;
     match violation_of net dout x with
     | Some v -> Some v
     | None ->
@@ -79,6 +84,10 @@ let search ?(samples = 256) ?(rounds = 2) ~rng net ~din ~dout () =
       | None -> loop (k - 1)
   in
   (* Center and a sharpened center first: cheap and often decisive. *)
-  match try_point (Cv_interval.Box.center din) with
-  | Some v -> Some v
-  | None -> loop samples
+  let result =
+    match try_point (Cv_interval.Box.center din) with
+    | Some v -> Some v
+    | None -> loop samples
+  in
+  if Option.is_some result then Cv_util.Metrics.incr m_hits;
+  result

@@ -16,14 +16,13 @@ type t = {
   leaves : Cv_interval.Box.t array;  (** partition of [input_box] *)
 }
 
-(** [prove ?deadline ?budget net ~input_box ~target] runs the splitting
-    verifier and, on success, returns the certificate with its leaf
-    partition. [None] when the property is not proved within the split
-    budget (or is falsified), or when the optional [deadline] — polled
-    once per split — expires mid-proof: an interrupted proof attempt has
-    produced nothing reusable, so expiry degrades to [None] rather than
-    raising. *)
-let prove ?deadline ?(budget = 4096) net ~input_box ~target =
+let m_splits = Cv_util.Metrics.counter "splitcert.splits"
+
+let m_leaves_checked = Cv_util.Metrics.counter "splitcert.leaves_checked"
+
+(* Core splitting proof, also reporting how many splits were spent —
+   [repair] uses this to share one budget across several re-proofs. *)
+let prove_counted ?deadline ~budget net ~input_box ~target =
   let splits = ref 0 in
   let leaves = ref [] in
   let exception Failed in
@@ -37,15 +36,28 @@ let prove ?deadline ?(budget = 4096) net ~input_box ~target =
       raise Failed
     else begin
       incr splits;
+      Cv_util.Metrics.incr m_splits;
       let left, right = Cv_interval.Box.split box in
       go left;
       go right
     end
   in
   match go input_box with
-  | () -> Some { input_box; target; leaves = Array.of_list !leaves }
+  | () -> Some (Array.of_list !leaves, !splits)
   | exception Failed -> None
   | exception Cv_util.Deadline.Expired _ -> None
+
+(** [prove ?deadline ?budget net ~input_box ~target] runs the splitting
+    verifier and, on success, returns the certificate with its leaf
+    partition. [None] when the property is not proved within the split
+    budget (or is falsified), or when the optional [deadline] — polled
+    once per split — expires mid-proof: an interrupted proof attempt has
+    produced nothing reusable, so expiry degrades to [None] rather than
+    raising. *)
+let prove ?deadline ?(budget = 4096) net ~input_box ~target =
+  match prove_counted ?deadline ~budget net ~input_box ~target with
+  | Some (leaves, _) -> Some { input_box; target; leaves }
+  | None -> None
 
 (** [num_leaves c] is the partition size (1 = no splitting was
     needed). *)
@@ -58,6 +70,7 @@ let num_leaves c = Array.length c.leaves
 let revalidate ?domains c net' =
   Cv_util.Parallel.for_all ?domains
     (fun leaf ->
+      Cv_util.Metrics.incr m_leaves_checked;
       Cv_interval.Box.subset_tol
         (Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint net' leaf)
         c.target)
@@ -69,6 +82,7 @@ let revalidate_detailed ?domains c net' =
   let results =
     Cv_util.Parallel.map ?domains
       (fun leaf ->
+        Cv_util.Metrics.incr m_leaves_checked;
         Cv_interval.Box.subset_tol
           (Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint net' leaf)
           c.target)
@@ -78,28 +92,34 @@ let revalidate_detailed ?domains c net' =
   Array.iteri (fun i ok -> if not ok then failed := i :: !failed) results;
   List.rev !failed
 
-(** [repair ?deadline ?budget c net'] re-splits only the failed leaves
-    for the new network, returning an updated certificate for [net']
-    ([None] when some failed leaf cannot be re-proved within the budget
-    or before the deadline). Cheap when fine-tuning invalidated only a
-    few leaves. *)
-let repair ?deadline ?(budget = 1024) c net' =
-  let failed = revalidate_detailed c net' in
+(** [repair ?deadline ?budget ?domains c net'] re-splits only the failed
+    leaves for the new network, returning an updated certificate for
+    [net'] ([None] when the failed leaves cannot all be re-proved within
+    the budget or before the deadline). [budget] is shared across every
+    re-proof — the total number of new splits a repair may spend,
+    however many leaves failed — so the worst case stays [budget] rather
+    than growing with the failure count. [domains] parallelises the
+    initial revalidation sweep. Cheap when fine-tuning invalidated only
+    a few leaves. *)
+let repair ?deadline ?(budget = 1024) ?domains c net' =
+  let failed = revalidate_detailed ?domains c net' in
   let is_failed = Array.make (Array.length c.leaves) false in
   List.iter (fun i -> is_failed.(i) <- true) failed;
   let keep = ref [] in
   Array.iteri (fun i leaf -> if not is_failed.(i) then keep := leaf :: !keep)
     c.leaves;
-  let rec reprove acc = function
+  let rec reprove remaining acc = function
     | [] -> Some acc
     | idx :: rest -> (
       match
-        prove ?deadline ~budget net' ~input_box:c.leaves.(idx) ~target:c.target
+        prove_counted ?deadline ~budget:remaining net'
+          ~input_box:c.leaves.(idx) ~target:c.target
       with
-      | Some sub -> reprove (Array.to_list sub.leaves @ acc) rest
+      | Some (leaves, used) ->
+        reprove (remaining - used) (Array.to_list leaves @ acc) rest
       | None -> None)
   in
-  match reprove !keep failed with
+  match reprove budget !keep failed with
   | Some leaves -> Some { c with leaves = Array.of_list leaves }
   | None -> None
 

@@ -36,11 +36,19 @@ val revalidate : ?domains:int -> t -> Cv_nn.Network.t -> bool
     failed leaves. *)
 val revalidate_detailed : ?domains:int -> t -> Cv_nn.Network.t -> int list
 
-(** [repair ?deadline ?budget c net'] re-splits only the failed leaves
-    for the new network; [None] when some failed leaf cannot be
-    re-proved within the budget or before the deadline. *)
+(** [repair ?deadline ?budget ?domains c net'] re-splits only the
+    failed leaves for the new network; [None] when the failed leaves
+    cannot all be re-proved within the budget or before the deadline.
+    [budget] is the {e total} number of new splits the repair may spend,
+    shared across all failed leaves; [domains] parallelises the initial
+    revalidation sweep. *)
 val repair :
-  ?deadline:Cv_util.Deadline.t -> ?budget:int -> t -> Cv_nn.Network.t -> t option
+  ?deadline:Cv_util.Deadline.t ->
+  ?budget:int ->
+  ?domains:int ->
+  t ->
+  Cv_nn.Network.t ->
+  t option
 
 val to_json : t -> Cv_util.Json.t
 

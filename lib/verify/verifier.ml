@@ -25,6 +25,24 @@ let verify ?deadline engine net prop =
   in
   { verdict; engine; seconds }
 
+let m_rungs = Cv_util.Metrics.counter "verify.graceful.rungs"
+
+(** [prefer_unknown prev u engine] — which inconclusive answer to keep
+    across escalation rungs. An unknown carrying a certified bound beats
+    one without, and between two certified bounds the {e tighter}
+    (smaller) one wins: a later, coarser rung must never overwrite an
+    earlier rung's tighter certificate. Between two bound-less unknowns
+    the later one wins (deeper engines leave more informative
+    messages). *)
+let prefer_unknown prev (u : Containment.unknown) engine =
+  match prev with
+  | None -> Some (u, engine)
+  | Some ((p : Containment.unknown), _) -> (
+    match (p.Containment.best_bound, u.Containment.best_bound) with
+    | Some _, None -> prev
+    | Some pb, Some ub when ub >= pb -> prev
+    | (Some _ | None), _ -> Some (u, engine))
+
 (** [verify_graceful ?deadline net prop] — the escalation chain with
     graceful degradation: cheap abstract domains first (symint →
     deeppoly → zonotope), then ReluVal-style splitting, and the exact
@@ -49,17 +67,14 @@ let verify_graceful ?deadline net prop =
       Containment.Symint_split 2048 ]
     @ (if piecewise_linear then [ Containment.Milp ] else [])
   in
+  Cv_util.Trace.with_span "verify_graceful" @@ fun () ->
   let seconds = ref 0. in
-  (* Most informative inconclusive answer seen so far: an unknown
-     carrying a certified bound beats one without. *)
+  (* Most informative inconclusive answer seen so far (see
+     {!prefer_unknown}): a certified bound beats none, and tighter
+     certified bounds are never overwritten by looser ones. *)
   let best_unknown = ref None in
   let note engine (u : Containment.unknown) =
-    match !best_unknown with
-    | Some ((prev : Containment.unknown), _)
-      when prev.Containment.best_bound <> None
-           && u.Containment.best_bound = None ->
-      ()
-    | _ -> best_unknown := Some (u, engine)
+    best_unknown := prefer_unknown !best_unknown u engine
   in
   let degraded engine =
     let best_bound =
@@ -86,7 +101,11 @@ let verify_graceful ?deadline net prop =
     | engine :: rest ->
       if Cv_util.Deadline.expired_opt deadline then degraded engine
       else begin
+        Cv_util.Metrics.incr m_rungs;
         let verdict, s =
+          Cv_util.Trace.with_span "verify_graceful.rung"
+            ~attrs:[ ("engine", Containment.engine_name engine) ]
+          @@ fun () ->
           Containment.check_timed ?deadline engine net
             ~input_box:prop.Property.din ~target:prop.Property.dout
         in

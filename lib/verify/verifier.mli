@@ -16,6 +16,17 @@ val verify :
   Property.t ->
   report
 
+(** [prefer_unknown prev u engine] — which inconclusive answer
+    {!verify_graceful} keeps across escalation rungs: a certified bound
+    beats none; between two certified bounds the tighter (smaller) wins;
+    between two bound-less unknowns the later one wins. Exposed for
+    testing. *)
+val prefer_unknown :
+  (Containment.unknown * Containment.engine) option ->
+  Containment.unknown ->
+  Containment.engine ->
+  (Containment.unknown * Containment.engine) option
+
 (** [verify_graceful ?deadline net prop] — escalation chain with
     graceful degradation: cheap abstract domains first (symint →
     deeppoly → zonotope), then ReluVal-style splitting, then exact MILP

@@ -53,6 +53,45 @@ let test_sub_budget () =
     (Cv_util.Deadline.remaining child2 <= 1800.)
 
 (* ------------------------------------------------------------------ *)
+(* Monotonic clock seam                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: deadlines used to read Unix.gettimeofday, so a wall-clock
+   step (NTP, DST) could expire a budget early or resurrect a spent one.
+   They now read Cv_util.Clock — monotonic in production, swappable
+   here — so expiry is a pure function of elapsed source time. *)
+let test_fake_clock_deadline () =
+  let t = ref 1000. in
+  Cv_util.Clock.with_source
+    (fun () -> !t)
+    (fun () ->
+      let d = Cv_util.Deadline.make ~seconds:10. in
+      Alcotest.(check bool) "fresh" false (Cv_util.Deadline.expired d);
+      t := 1005.;
+      Alcotest.(check (float 1e-9)) "remaining tracks the source" 5.
+        (Cv_util.Deadline.remaining d);
+      t := 1010.5;
+      Alcotest.(check bool) "expired past the horizon" true
+        (Cv_util.Deadline.expired d);
+      (try
+         Cv_util.Deadline.check d;
+         Alcotest.fail "check should raise on the fake timeline"
+       with Cv_util.Deadline.Expired _ -> ());
+      Alcotest.(check (float 1e-9)) "Deadline.now follows the source" 1010.5
+        (Cv_util.Deadline.now ()));
+  Alcotest.(check bool) "real source restored" false
+    (Cv_util.Deadline.expired (Cv_util.Deadline.make ~seconds:3600.))
+
+let test_clock_monotonic () =
+  (* The production source must never step backwards. *)
+  let prev = ref (Cv_util.Clock.now ()) in
+  for _ = 1 to 1000 do
+    let t = Cv_util.Clock.now () in
+    Alcotest.(check bool) "non-decreasing" true (t >= !prev);
+    prev := t
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Simplex / MILP                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -149,6 +188,41 @@ let test_verify_graceful_unhurried () =
   | Cv_verify.Containment.Proved -> ()
   | _ -> Alcotest.fail "easy property should be proved within a huge budget"
 
+(* Regression: verify_graceful's bookkeeping used to let a later rung's
+   looser certified bound overwrite an earlier rung's tighter one. *)
+let test_prefer_unknown_keeps_tightest () =
+  let unk bound =
+    { Cv_verify.Containment.reason = Cv_verify.Containment.Timeout;
+      message = "t";
+      best_bound = bound }
+  in
+  let e1 = Cv_verify.Containment.Abstract Cv_domains.Analyzer.Symint in
+  let e2 = Cv_verify.Containment.Milp in
+  let bound_of = function
+    | Some (u, _) -> u.Cv_verify.Containment.best_bound
+    | None -> Alcotest.fail "expected a kept unknown"
+  in
+  (* A certified bound beats none. *)
+  let kept =
+    Cv_verify.Verifier.prefer_unknown
+      (Cv_verify.Verifier.prefer_unknown None (unk None) e1)
+      (unk (Some 3.)) e2
+  in
+  Alcotest.(check (option (float 1e-9))) "bound beats none" (Some 3.)
+    (bound_of kept);
+  (* A later rung returning a looser bound must not overwrite. *)
+  let kept = Cv_verify.Verifier.prefer_unknown kept (unk (Some 7.)) e1 in
+  Alcotest.(check (option (float 1e-9))) "looser bound ignored" (Some 3.)
+    (bound_of kept);
+  (* A later bound-less unknown must not erase the certificate. *)
+  let kept = Cv_verify.Verifier.prefer_unknown kept (unk None) e1 in
+  Alcotest.(check (option (float 1e-9))) "bound survives bound-less rung"
+    (Some 3.) (bound_of kept);
+  (* A tighter bound does replace. *)
+  let kept = Cv_verify.Verifier.prefer_unknown kept (unk (Some 1.5)) e2 in
+  Alcotest.(check (option (float 1e-9))) "tighter bound adopted" (Some 1.5)
+    (bound_of kept)
+
 let test_analyzer_expiry () =
   let net = relu_net 7 [ 3; 6; 4; 1 ] in
   let din = Cv_interval.Box.uniform 3 ~lo:0. ~hi:1. in
@@ -230,7 +304,9 @@ let () =
     [ ( "deadline",
         [ Alcotest.test_case "fuel" `Quick test_fuel;
           Alcotest.test_case "wall clock" `Quick test_wall_clock;
-          Alcotest.test_case "sub budget" `Quick test_sub_budget ] );
+          Alcotest.test_case "sub budget" `Quick test_sub_budget;
+          Alcotest.test_case "fake clock" `Quick test_fake_clock_deadline;
+          Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic ] );
       ( "solvers",
         [ Alcotest.test_case "simplex expiry" `Quick test_simplex_expiry;
           Alcotest.test_case "milp deadline timeout" `Quick
@@ -246,6 +322,8 @@ let () =
             test_verify_graceful_degrades;
           Alcotest.test_case "graceful chain proves" `Quick
             test_verify_graceful_unhurried;
+          Alcotest.test_case "prefer_unknown tightest bound" `Quick
+            test_prefer_unknown_keeps_tightest;
           Alcotest.test_case "analyzer expiry" `Quick test_analyzer_expiry;
           Alcotest.test_case "split cert degrades" `Quick
             test_split_cert_degrades;

@@ -101,6 +101,74 @@ let test_repair () =
            tight_target)
     done
 
+(* Fig. 2 network with the first layer's weights scaled by [f]: ReLU is
+   positively homogeneous, so every output scales by exactly [f] — a
+   deterministic drift that fails precisely the leaves whose output
+   bound sat close to the target. *)
+let fig2_net_scaled f =
+  Cv_nn.Network.of_list
+    [ Cv_nn.Layer.make
+        (Cv_linalg.Mat.of_rows
+           [ [| f; -2. *. f |]; [| -2. *. f; f |]; [| f; -.f |] ])
+        [| 0.; 0.; 0. |] Cv_nn.Activation.Relu;
+      Cv_nn.Layer.make
+        (Cv_linalg.Mat.of_rows [ [| 2.; 2.; -1. |] ])
+        [| 0. |] Cv_nn.Activation.Relu ]
+
+(* Regression: repair used to grant each failed leaf the full split
+   budget (worst case |failed| x budget). The budget is now shared: the
+   whole repair may spend at most [budget] new splits, observable via
+   the splitcert.splits counter. *)
+let test_repair_shares_budget () =
+  let net = fig2_net () in
+  (* Exact max over the box is 6; the near-exact target needs real
+     splitting and leaves no slack for drift. *)
+  let target = Cv_interval.Box.of_bounds [| -0.01 |] [| 6.05 |] in
+  let cert =
+    Option.get (Cv_verify.Split_cert.prove net ~input_box:fig2_box ~target)
+  in
+  Alcotest.(check bool) "multi-leaf certificate" true
+    (Cv_verify.Split_cert.num_leaves cert > 2);
+  (* Scaling by 1.02 pushes the true max to 6.12 > 6.05: the property is
+     genuinely false for net', so every failed leaf would, under the old
+     per-leaf grant, burn a full budget of its own. *)
+  let net' = fig2_net_scaled 1.02 in
+  let failed = Cv_verify.Split_cert.revalidate_detailed cert net' in
+  Alcotest.(check bool) "drift fails several leaves" true
+    (List.length failed >= 2);
+  let c_splits = Cv_util.Metrics.counter "splitcert.splits" in
+  let budget = 3 in
+  let before = Cv_util.Metrics.value c_splits in
+  let result = Cv_verify.Split_cert.repair ~budget ~domains:1 cert net' in
+  let spent = Cv_util.Metrics.value c_splits - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "spent %d <= shared budget %d" spent budget)
+    true (spent <= budget);
+  (* Unprovable for net', so a shared-budget repair must give up. *)
+  Alcotest.(check bool) "repair gives up within budget" true (result = None)
+
+let test_repair_parallel_revalidation () =
+  (* ?domains now reaches the internal revalidation sweep; the verdict
+     must not depend on the worker count. *)
+  let net = fig2_net () in
+  let cert =
+    Option.get
+      (Cv_verify.Split_cert.prove net ~input_box:fig2_box ~target:tight_target)
+  in
+  (* Scaled max 6.3 still fits tight_target's 6.5 bound: one leaf fails
+     and the repair is genuinely provable. *)
+  let net' = fig2_net_scaled 1.05 in
+  Alcotest.(check bool) "drift fails a leaf" true
+    (Cv_verify.Split_cert.revalidate_detailed cert net' <> []);
+  let leaves = function
+    | None -> -1
+    | Some c -> Cv_verify.Split_cert.num_leaves c
+  in
+  let r1 = Cv_verify.Split_cert.repair ~domains:1 cert net' in
+  let r4 = Cv_verify.Split_cert.repair ~domains:4 cert net' in
+  Alcotest.(check bool) "repair succeeds" true (r1 <> None);
+  Alcotest.(check int) "same outcome at domains 1 and 4" (leaves r1) (leaves r4)
+
 let test_json_roundtrip () =
   let net = fig2_net () in
   let cert =
@@ -218,6 +286,10 @@ let () =
           Alcotest.test_case "revalidate soundness" `Quick
             test_revalidate_perturbed_soundness;
           Alcotest.test_case "repair" `Quick test_repair;
+          Alcotest.test_case "repair shares budget" `Quick
+            test_repair_shares_budget;
+          Alcotest.test_case "repair parallel revalidation" `Quick
+            test_repair_parallel_revalidation;
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip ] );
       ( "leaf-reuse",
         [ Alcotest.test_case "small drift" `Quick test_leaf_reuse_small_drift;

@@ -227,6 +227,33 @@ let test_parallel_predicates () =
   Alcotest.(check bool) "not for_all" false
     (Cv_util.Parallel.for_all ~domains:3 (fun x -> x < 19) xs)
 
+(* Regression: exists/for_all used to force every element even after a
+   witness settled the answer. A poisoned element after the witness must
+   never run on the sequential path. *)
+let test_parallel_exists_early_exit () =
+  let poison i =
+    if i = 0 then true else Alcotest.failf "element %d was forced" i
+  in
+  Alcotest.(check bool) "witness first, poison abandoned" true
+    (Cv_util.Parallel.exists ~domains:1 poison (Array.init 8 Fun.id));
+  let poison_forall i =
+    if i = 0 then false else Alcotest.failf "element %d was forced" i
+  in
+  Alcotest.(check bool) "counterexample first, poison abandoned" false
+    (Cv_util.Parallel.for_all ~domains:1 poison_forall (Array.init 8 Fun.id))
+
+let test_parallel_exists_witness_wins () =
+  (* Parallel path: a found witness settles the answer even when other
+     elements raise concurrently. *)
+  let xs = Array.init 64 Fun.id in
+  Alcotest.(check bool) "all witnesses" true
+    (Cv_util.Parallel.exists ~domains:4 (fun _ -> true) xs);
+  (* No witness at all: the exception must still propagate. *)
+  (try
+     ignore (Cv_util.Parallel.exists ~domains:4 (fun _ -> failwith "boom") xs);
+     Alcotest.fail "should raise without a witness"
+   with Failure msg -> Alcotest.(check string) "propagated" "boom" msg)
+
 let test_parallel_max_time () =
   let thunks = Array.init 4 (fun i () -> i * 2) in
   let results, max_t, sum_t = Cv_util.Parallel.max_time ~domains:2 thunks in
@@ -269,4 +296,8 @@ let () =
           Alcotest.test_case "exception propagation" `Quick
             test_parallel_exception;
           Alcotest.test_case "predicates" `Quick test_parallel_predicates;
+          Alcotest.test_case "exists early exit" `Quick
+            test_parallel_exists_early_exit;
+          Alcotest.test_case "exists witness wins" `Quick
+            test_parallel_exists_witness_wins;
           Alcotest.test_case "max_time" `Quick test_parallel_max_time ] ) ]
