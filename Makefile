@@ -5,7 +5,7 @@
 all: build
 
 # What CI runs: full build, test suite, formatting gate, bench smoke
-# (writes the BENCH_PR3.json perf trajectory).
+# (writes the BENCH_PR4.json perf trajectory).
 ci: build test fmt quickbench
 
 fmt:

@@ -173,12 +173,14 @@ let table1_splitcert () =
 (* ------------------------------------------------------------------ *)
 
 (* One-shot vs SVuDC vs SVbTV wall-clock per case, with the headline
-   effort counters of each phase (Cv_util.Metrics snapshot), written to
-   BENCH_PR3.json in the working directory. CI runs the quick variant,
-   validates the JSON and archives it, so perf regressions leave a
-   comparable artifact per commit. *)
+   effort counters of each phase (Cv_util.Metrics snapshot, now
+   including the lp.warmstart.* and lp.phase1.skipped counters), written
+   to BENCH_PR4.json in the working directory. CI runs the quick
+   variant, validates the JSON, compares its verdicts against the
+   committed BENCH_PR3.json baseline and archives it, so perf
+   regressions leave a comparable artifact per commit. *)
 let bench_trajectory () =
-  banner "Perf trajectory (BENCH_PR3.json)";
+  banner "Perf trajectory (BENCH_PR4.json)";
   let exp = Lazy.force exp in
   let heads = exp.Cv_vehicle.Pipeline.heads in
   let prop = Cv_vehicle.Pipeline.property exp in
@@ -248,11 +250,11 @@ let bench_trajectory () =
   in
   let json =
     Cv_util.Json.Obj
-      [ ("schema", Cv_util.Json.Str "contiver-bench-pr3-v1");
+      [ ("schema", Cv_util.Json.Str "contiver-bench-pr4-v1");
         ("quick", Cv_util.Json.Bool quick);
         ("cases", Cv_util.Json.List case_rows) ]
   in
-  let path = "BENCH_PR3.json" in
+  let path = "BENCH_PR4.json" in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

@@ -420,12 +420,15 @@ let svbtv_cmd =
 (* range                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let range verbose model din =
+let range verbose model din domains =
   run @@ fun () ->
   setup_logs verbose;
   let net = load_network model in
   let din = load_box din in
-  let r, dt = Cv_util.Timer.time (fun () -> Cv_verify.Range.exact_range net ~din) in
+  let r, dt =
+    Cv_util.Timer.time (fun () ->
+        Cv_verify.Range.exact_range ~domains net ~din)
+  in
   Printf.printf "exact output range: %s\n"
     (Cv_interval.Box.to_string r.Cv_verify.Range.range);
   Printf.printf "MILP: %d vars, %d binaries; %.3fs\n" r.Cv_verify.Range.milp_vars
@@ -439,10 +442,18 @@ let range_cmd =
       & opt (some file) None
       & info [ "din" ] ~docv:"FILE" ~doc:"Input domain (JSON box).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "milp-domains" ] ~docv:"N"
+          ~doc:
+            "Run branch-and-bound dives on $(docv) parallel domains \
+             (deterministic verdicts; 1 = sequential).")
+  in
   Cmd.v
     (Cmd.info "range"
        ~doc:"Compute the exact output range of a model over an input box.")
-    Term.(const range $ verbose_arg $ model_arg () $ din)
+    Term.(const range $ verbose_arg $ model_arg () $ din $ domains)
 
 (* ------------------------------------------------------------------ *)
 (* diff                                                                *)

@@ -8,10 +8,17 @@
       [x = u − y];
     - a free variable is split, [x = y⁺ − y⁻];
     - finite upper bounds after shifting become explicit rows;
-    - [≤ / ≥ / =] rows gain slack/surplus variables, rows are sign-fixed
-      so the rhs is non-negative.
+    - [≤ / ≥ / =] rows gain slack/surplus variables (sign-fixing happens
+      inside {!Simplex}).
 
-    Maximisation negates the objective. *)
+    Maximisation negates the objective.
+
+    The incremental interface ([compile] / [set_bounds_compiled] /
+    [solve_compiled]) lowers the model {e once} into a reusable
+    {!compiled} form in which re-bounding a declared [fixable] variable
+    is a pair of O(m) right-hand-side updates against the previous
+    optimal basis — the branch-and-bound hot path — instead of a [copy]
+    plus a full re-lowering of the constraint list. *)
 
 type relop = Le | Ge | Eq
 
@@ -25,17 +32,18 @@ type problem = {
   mutable hi : float list;  (** reversed *)
   mutable names : string list;  (** reversed *)
   mutable constraints : (term list * relop * float) list;  (** reversed *)
+  mutable ncons : int;  (** cached [List.length constraints] *)
   mutable obj_terms : term list;
   mutable maximize : bool;
 }
 
 type solution = { objective : float; values : float array }
 
-type result = Optimal of solution | Infeasible | Unbounded
+type result = Optimal of solution | Infeasible | Unbounded | Stalled
 
 (** [create ()] is an empty model. *)
 let create () =
-  { nvars = 0; lo = []; hi = []; names = []; constraints = [];
+  { nvars = 0; lo = []; hi = []; names = []; constraints = []; ncons = 0;
     obj_terms = []; maximize = false }
 
 (** [add_var p ?lo ?hi ?name ()] declares a variable with optional
@@ -55,7 +63,8 @@ let add_constraint p terms op rhs =
     (fun (_, v) ->
       if v < 0 || v >= p.nvars then invalid_arg "Lp.add_constraint: unknown var")
     terms;
-  p.constraints <- (terms, op, rhs) :: p.constraints
+  p.constraints <- (terms, op, rhs) :: p.constraints;
+  p.ncons <- p.ncons + 1
 
 (** [set_objective p ~maximize terms] installs the objective. *)
 let set_objective p ~maximize terms =
@@ -65,17 +74,18 @@ let set_objective p ~maximize terms =
 (** [var_count p] is the number of declared variables. *)
 let var_count p = p.nvars
 
-(** [constraint_count p] is the number of added constraints. *)
-let constraint_count p = List.length p.constraints
+(** [constraint_count p] is the cached number of added constraints. *)
+let constraint_count p = p.ncons
 
 (** [copy p] is an independent copy (shares immutable term lists). *)
 let copy p =
   { nvars = p.nvars; lo = p.lo; hi = p.hi; names = p.names;
-    constraints = p.constraints; obj_terms = p.obj_terms;
+    constraints = p.constraints; ncons = p.ncons; obj_terms = p.obj_terms;
     maximize = p.maximize }
 
-(** [set_bounds p v ~lo ~hi] tightens the bounds of [v] in place — used
-    by branch-and-bound when fixing binaries. *)
+(** [set_bounds p v ~lo ~hi] tightens the bounds of [v] in place — the
+    model-level path (forces a fresh lowering; branch-and-bound uses
+    {!set_bounds_compiled} instead). *)
 let set_bounds p v ~lo ~hi =
   if v < 0 || v >= p.nvars then invalid_arg "Lp.set_bounds";
   let rec update i = function
@@ -103,11 +113,37 @@ type mapping =
   | Reflected of int * float  (** x = u − y_col *)
   | Split of int * int  (** x = y⁺ − y⁻ *)
 
-(** [solve ?deadline p] runs two-phase simplex on the lowered model;
-    raises {!Cv_util.Deadline.Expired} when the budget runs out. *)
-let solve ?deadline p =
+(* Bound-row bookkeeping for a fixable variable [x = l + y]: row
+   [f_row_ub] is [y + p = hi − l] and row [f_row_lb] is [y − q = lo − l]
+   (markers p/q), so re-bounding x within its compiled box is two rhs
+   writes. *)
+type fix_info = { f_l : float; f_u : float; f_row_ub : int; f_row_lb : int }
+
+type compiled = {
+  c_state : Simplex.state;
+  c_mapping : mapping array;
+  c_sign : float;
+  c_const_shift : float;
+  c_nvars : int;
+  c_fix : (var, fix_info) Hashtbl.t;
+}
+
+(** [compile ?fixable p] lowers the model to standard form once. Each
+    [fixable] variable (finite bounds required) gets a pair of bound
+    rows whose right-hand sides encode its current box, so
+    {!set_bounds_compiled} can re-bound it without re-lowering. The
+    objective is captured as currently set. *)
+let compile ?(fixable = []) p =
   let lo = Array.of_list (List.rev p.lo) in
   let hi = Array.of_list (List.rev p.hi) in
+  let is_fixable = Hashtbl.create (List.length fixable) in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= p.nvars then invalid_arg "Lp.compile: unknown fixable var";
+      if lo.(v) = Float.neg_infinity || hi.(v) = Float.infinity then
+        invalid_arg "Lp.compile: fixable var needs finite bounds";
+      Hashtbl.replace is_fixable v ())
+    fixable;
   let ncols = ref 0 in
   let fresh () =
     let c = !ncols in
@@ -120,11 +156,19 @@ let solve ?deadline p =
         else if hi.(j) < Float.infinity then Reflected (fresh (), hi.(j))
         else Split (fresh (), fresh ()))
   in
-  (* Rows: user constraints plus upper-bound rows for shifted vars that
-     also have a finite upper bound. *)
+  (* Rows: user constraints, then upper-bound rows for shifted vars with
+     a finite upper bound, then lower/upper bound-row pairs for the
+     fixable vars. Collected in reverse with a running index. *)
   let rows = ref [] (* (coeff array over std cols, relop, rhs) *) in
+  let nrows = ref 0 in
+  let push_row r =
+    rows := r :: !rows;
+    let i = !nrows in
+    nrows := i + 1;
+    i
+  in
   let lower_terms terms rhs0 =
-    (* Returns (coeffs over std cols, adjusted rhs delta). *)
+    (* Returns (coeffs over std cols, adjusted rhs). *)
     let coeffs = Array.make !ncols 0. in
     let rhs = ref rhs0 in
     List.iter
@@ -145,20 +189,31 @@ let solve ?deadline p =
   List.iter
     (fun (terms, op, rhs) ->
       let coeffs, rhs = lower_terms terms rhs in
-      rows := (coeffs, op, rhs) :: !rows)
+      ignore (push_row (coeffs, op, rhs)))
     (List.rev p.constraints);
-  (* Upper-bound rows. *)
+  let c_fix = Hashtbl.create (Hashtbl.length is_fixable) in
+  (* Bound rows. *)
   Array.iteri
     (fun j m ->
       match m with
+      | Shifted (col, l) when Hashtbl.mem is_fixable j ->
+        let unit_row () =
+          let coeffs = Array.make !ncols 0. in
+          coeffs.(col) <- 1.;
+          coeffs
+        in
+        let f_row_ub = push_row (unit_row (), Le, hi.(j) -. l) in
+        let f_row_lb = push_row (unit_row (), Ge, lo.(j) -. l) in
+        Hashtbl.replace c_fix j { f_l = l; f_u = hi.(j); f_row_ub; f_row_lb }
       | Shifted (col, l) when hi.(j) < Float.infinity ->
         let coeffs = Array.make !ncols 0. in
         coeffs.(col) <- 1.;
-        rows := (coeffs, Le, hi.(j) -. l) :: !rows
+        ignore (push_row (coeffs, Le, hi.(j) -. l))
       | _ -> ())
     mapping;
   let rows = List.rev !rows in
-  (* Slack/surplus columns and rhs sign-fixing. *)
+  (* Slack/surplus columns; they double as basis-seeding markers (sign
+     −1 for surplus rows — {!Simplex} handles the sign-fixing). *)
   let n_struct = !ncols in
   let n_slack =
     List.fold_left (fun acc (_, op, _) -> if op = Eq then acc else acc + 1) 0 rows
@@ -172,30 +227,17 @@ let solve ?deadline p =
   List.iteri
     (fun i (coeffs, op, rhs) ->
       Array.blit coeffs 0 a.(i) 0 n_struct;
-      let slack_col =
-        match op with
-        | Le ->
-          a.(i).(!slack) <- 1.;
-          incr slack;
-          Some (!slack - 1)
-        | Ge ->
-          a.(i).(!slack) <- -1.;
-          incr slack;
-          Some (!slack - 1)
-        | Eq -> None
-      in
-      b.(i) <- rhs;
-      if b.(i) < 0. then begin
-        for j = 0 to total - 1 do
-          a.(i).(j) <- -.a.(i).(j)
-        done;
-        b.(i) <- -.b.(i)
-      end;
-      (* The slack can seed the basis when its final coefficient is +1
-         (Le unflipped, or Ge flipped) with a non-negative rhs. *)
-      match slack_col with
-      | Some col when a.(i).(col) = 1. -> basis0.(i) <- Some col
-      | _ -> ())
+      (match op with
+      | Le ->
+        a.(i).(!slack) <- 1.;
+        basis0.(i) <- Some (!slack, 1.);
+        incr slack
+      | Ge ->
+        a.(i).(!slack) <- -1.;
+        basis0.(i) <- Some (!slack, -1.);
+        incr slack
+      | Eq -> ());
+      b.(i) <- rhs)
     rows;
   (* Objective over standard columns. *)
   let c = Array.make total 0. in
@@ -215,20 +257,64 @@ let solve ?deadline p =
         c.(cp) <- c.(cp) +. coef;
         c.(cn) <- c.(cn) -. coef)
     p.obj_terms;
-  match Simplex.solve ?deadline ~basis0 ~a ~b ~c () with
+  {
+    c_state = Simplex.make ~a ~b ~c ~basis0;
+    c_mapping = mapping;
+    c_sign = sign;
+    c_const_shift = !const_shift;
+    c_nvars = p.nvars;
+    c_fix;
+  }
+
+(** [copy_compiled c] is an independent compiled instance sharing the
+    immutable lowering; branch-and-bound workers each get one. *)
+let copy_compiled c = { c with c_state = Simplex.copy_state c.c_state }
+
+(** [set_bounds_compiled c v ~lo ~hi] re-bounds fixable variable [v]
+    within its compiled box [f_l, f_u] — two rhs writes, preserving the
+    warm basis. *)
+let set_bounds_compiled c v ~lo ~hi =
+  match Hashtbl.find_opt c.c_fix v with
+  | None -> invalid_arg "Lp.set_bounds_compiled: var was not compiled fixable"
+  | Some fi ->
+    if lo > hi || lo < fi.f_l -. 1e-9 || hi > fi.f_u +. 1e-9 then
+      invalid_arg "Lp.set_bounds_compiled: bounds outside compiled box";
+    Simplex.set_rhs c.c_state ~row:fi.f_row_ub (hi -. fi.f_l);
+    Simplex.set_rhs c.c_state ~row:fi.f_row_lb (lo -. fi.f_l)
+
+(** [solve_compiled c] solves the compiled model's current system (warm
+    dual restart when possible) and lifts the outcome back to original
+    variables. [bound_cutoff] stops a warm solve early once weak duality
+    proves the objective cannot beat the cutoff (≤ it when maximising,
+    ≥ it when minimising): the returned [Optimal] then carries that
+    certified bound rather than the optimum — enough for
+    branch-and-bound fathoming. Raises {!Cv_util.Deadline.Expired} when
+    the budget runs out. *)
+let solve_compiled ?deadline ?max_iters ?bound_cutoff c =
+  (* The internal form always minimises: objective = sign·(o + shift),
+     so "no better than the cutoff" reads o ≥ sign·cutoff − shift. *)
+  let obj_limit =
+    Option.map (fun b -> (c.c_sign *. b) -. c.c_const_shift) bound_cutoff
+  in
+  match Simplex.resolve ?deadline ?max_iters ?obj_limit c.c_state with
   | Simplex.Infeasible -> Infeasible
   | Simplex.Unbounded -> Unbounded
+  | Simplex.Stalled -> Stalled
   | Simplex.Optimal { objective; values } ->
-    let x = Array.make p.nvars 0. in
+    let x = Array.make c.c_nvars 0. in
     Array.iteri
       (fun j m ->
         match m with
         | Shifted (col, l) -> x.(j) <- l +. values.(col)
         | Reflected (col, u) -> x.(j) <- u -. values.(col)
         | Split (cp, cn) -> x.(j) <- values.(cp) -. values.(cn))
-      mapping;
-    let obj = sign *. (objective +. !const_shift) in
+      c.c_mapping;
+    let obj = c.c_sign *. (objective +. c.c_const_shift) in
     Optimal { objective = obj; values = x }
+
+(** [solve ?deadline p] lowers and solves in one shot; raises
+    {!Cv_util.Deadline.Expired} when the budget runs out. *)
+let solve ?deadline ?max_iters p = solve_compiled ?deadline ?max_iters (compile p)
 
 (** [maximize_linear p terms] sets a maximisation objective and solves —
     convenience for the verifier's per-neuron bound queries. *)

@@ -3,7 +3,10 @@
     Declare variables with bounds, add linear constraints and an
     objective; [solve] lowers to standard form (bound shifting,
     reflection, free-variable splitting, slack rows) and runs two-phase
-    primal simplex. *)
+    primal simplex. The [compile]d interface lowers once and makes
+    re-bounding a declared fixable variable an O(m) right-hand-side
+    update solved by a warm dual-simplex restart — the branch-and-bound
+    hot path. *)
 
 type relop = Le | Ge | Eq
 
@@ -15,7 +18,13 @@ type problem
 
 type solution = { objective : float; values : float array }
 
-type result = Optimal of solution | Infeasible | Unbounded
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Stalled
+      (** the simplex iteration limit was exceeded (numerical trouble);
+          callers degrade as they would for a timeout *)
 
 (** [create ()] is an empty model. *)
 val create : unit -> problem
@@ -32,22 +41,63 @@ val set_objective : problem -> maximize:bool -> term list -> unit
 
 val var_count : problem -> int
 
+(** [constraint_count p] is the number of added constraints (cached, not
+    recomputed per call). *)
 val constraint_count : problem -> int
 
 (** [copy p] is an independent copy (cheap: shares immutable term
     lists). *)
 val copy : problem -> problem
 
-(** [set_bounds p v ~lo ~hi] tightens the bounds of [v] in place — used
-    by branch-and-bound when fixing binaries. *)
+(** [set_bounds p v ~lo ~hi] tightens the bounds of [v] in place — the
+    model-level path (the next [solve] re-lowers; branch-and-bound uses
+    {!set_bounds_compiled}). *)
 val set_bounds : problem -> var -> lo:float -> hi:float -> unit
 
 (** [bounds p v] reads the current bounds of [v]. *)
 val bounds : problem -> var -> float * float
 
-(** [solve ?deadline p] runs two-phase simplex on the lowered model;
-    raises {!Cv_util.Deadline.Expired} when the budget runs out. *)
-val solve : ?deadline:Cv_util.Deadline.t -> problem -> result
+(** A model lowered to standard form once, with reusable solver state:
+    repeated solves after {!set_bounds_compiled} warm-start from the
+    previous optimal basis instead of re-lowering and re-running
+    phase 1. *)
+type compiled
+
+(** [compile ?fixable p] lowers the model (objective as currently set).
+    Each [fixable] variable — finite bounds required — gets a pair of
+    bound rows so its box can later be changed in O(m) without
+    re-lowering. *)
+val compile : ?fixable:var list -> problem -> compiled
+
+(** [copy_compiled c] is an independent compiled instance sharing the
+    immutable lowering; parallel branch-and-bound workers each get
+    one. *)
+val copy_compiled : compiled -> compiled
+
+(** [set_bounds_compiled c v ~lo ~hi] re-bounds fixable variable [v];
+    [lo]/[hi] must stay within the box [v] was compiled with. *)
+val set_bounds_compiled : compiled -> var -> lo:float -> hi:float -> unit
+
+(** [solve_compiled c] solves the compiled model's current system (dual
+    warm restart when the previous basis is reusable) and lifts the
+    outcome back to original variables. [max_iters] caps simplex
+    iterations per phase ({!Stalled} beyond it). [bound_cutoff] lets a
+    warm solve stop early once weak duality certifies the objective is
+    no better than the cutoff (≤ for a maximisation objective, ≥ for
+    minimisation); the returned [Optimal] then carries that certified
+    bound rather than the optimum — exactly what branch-and-bound
+    fathoming needs. Raises {!Cv_util.Deadline.Expired} when the budget
+    runs out. *)
+val solve_compiled :
+  ?deadline:Cv_util.Deadline.t ->
+  ?max_iters:int ->
+  ?bound_cutoff:float ->
+  compiled ->
+  result
+
+(** [solve ?deadline p] lowers and solves in one shot; raises
+    {!Cv_util.Deadline.Expired} when the budget runs out. *)
+val solve : ?deadline:Cv_util.Deadline.t -> ?max_iters:int -> problem -> result
 
 (** [maximize_linear p terms] sets a maximisation objective and
     solves. *)

@@ -1,23 +1,74 @@
-(** Two-phase primal simplex on a dense tableau: solves
-    [min c·y  s.t.  A y = b, y >= 0] with [b >= 0] (callers negate rows
-    as needed). Dantzig pivoting with an automatic switch to Bland's
-    rule for termination. The computational core under {!Lp}. *)
+(** Two-phase primal simplex with dual-simplex warm restarts on a dense
+    flat (row-major) tableau: solves [min c·y  s.t.  A y = b, y >= 0]
+    (rows are sign-fixed internally). Dantzig pivoting with an automatic
+    switch to Bland's rule for termination. The computational core under
+    {!Lp}. *)
 
 type outcome =
   | Optimal of { objective : float; values : float array }
       (** [values] covers the structural variables only *)
   | Infeasible
   | Unbounded
+  | Stalled
+      (** the iteration limit was exceeded (numerical trouble); callers
+          degrade to a timeout-style Unknown instead of crashing *)
+
+(** Reusable solver state for a family of solves differing only in
+    right-hand sides (branch-and-bound node relaxations). Holds the
+    pristine system plus one working tableau; after an optimal solve the
+    basis warm-starts subsequent {!resolve} calls via dual simplex. *)
+type state
+
+(** [make ~a ~b ~c ~basis0] captures the system [min c·y, Ay = b, y ≥ 0]
+    without solving. [basis0.(i) = Some (j, s)] promises that structural
+    column [j] has coefficient [s] (±1) in row [i] only, with zero
+    objective cost (a slack/surplus "marker"): it seeds row [i]'s basis
+    when [s·b.(i) ≥ 0] and enables O(m) rhs updates against a warm
+    basis in {!set_rhs}. *)
+val make :
+  a:float array array ->
+  b:float array ->
+  c:float array ->
+  basis0:(int * float) option array ->
+  state
+
+(** [copy_state st] is an independent state (shares the immutable
+    pristine system, copies the working tableau and warm basis). *)
+val copy_state : state -> state
+
+(** [set_rhs st ~row v] replaces row [row]'s raw right-hand side. On a
+    warm state with a marker for [row] this is a rank-one update that
+    preserves the warm basis; otherwise the next {!resolve} runs cold. *)
+val set_rhs : state -> row:int -> float -> unit
+
+(** [resolve st] solves the current system: dual-simplex restart from
+    the previous optimal basis when warm (counted as
+    [lp.warmstart.hits]; stalls fall back to the cold path as
+    [lp.warmstart.fallbacks]), two-phase primal otherwise
+    ([lp.warmstart.misses]). [max_iters] caps the per-phase iteration
+    count (default: a size-scaled limit); exceeding it yields
+    {!Stalled}. [obj_limit] stops a warm dual solve early once weak
+    duality certifies the (minimisation) objective is ≥ the limit — the
+    returned [Optimal] then carries that certified bound, not
+    necessarily the optimum (branch-and-bound fathoming needs nothing
+    more). Raises {!Cv_util.Deadline.Expired} when [deadline] runs out
+    mid-solve (polled every 32 pivots). *)
+val resolve :
+  ?deadline:Cv_util.Deadline.t ->
+  ?max_iters:int ->
+  ?obj_limit:float ->
+  state ->
+  outcome
 
 (** [solve ?basis0 ~a ~b ~c ()] minimises [c·y] subject to [A y = b],
-    [y >= 0]. [basis0.(i)], when given, names a structural slack column
-    usable as row [i]'s initial basic variable (+1 there, 0 elsewhere,
-    zero cost), letting the solver skip artificials — and often all of
-    phase 1 — for those rows. Raises [Failure] when the iteration limit
-    is exceeded (numerical trouble) and {!Cv_util.Deadline.Expired} when
-    [deadline] runs out mid-solve (polled every 32 pivots). *)
+    [y >= 0] — the one-shot entry point (a fresh cold state).
+    [basis0.(i)], when given, names a structural slack column usable as
+    row [i]'s initial basic variable (+1 there, 0 elsewhere, zero cost),
+    letting the solver skip artificials — and often all of phase 1 —
+    for those rows. *)
 val solve :
   ?deadline:Cv_util.Deadline.t ->
+  ?max_iters:int ->
   ?basis0:int option array ->
   a:float array array ->
   b:float array ->

@@ -2,10 +2,26 @@
 
     The integer variables are binaries (which is all the big-M ReLU
     encoding needs). Branching is best-first on the LP relaxation bound
-    with most-fractional variable selection. An optional [cutoff] lets
-    verification queries stop early: when proving "max ≤ θ" it suffices
-    to fathom every node whose relaxation bound is ≤ θ, and to stop as
-    soon as an integer-feasible point exceeds θ. *)
+    — the frontier is a binary max-heap ({!Cv_util.Heap}), not a sorted
+    list — with most-fractional variable selection. An optional [cutoff]
+    lets verification queries stop early: when proving "max ≤ θ" it
+    suffices to fathom every node whose relaxation bound is ≤ θ, and to
+    stop as soon as an integer-feasible point exceeds θ.
+
+    The model is lowered {e once} per solve ({!Cv_lp.Lp.compile} with
+    the binaries fixable): each node relaxation is then a handful of
+    rhs updates plus a dual-simplex warm restart from the previous
+    node's optimal basis — the objective is fixed for the whole search,
+    so any node's optimal basis is dual-feasible for every other node.
+    Popped nodes are {e plunged}: the search dives depth-first towards
+    the relaxation's rounding (consecutive solves differ by one fixing,
+    keeping warm restarts to a few pivots) while the passed-over
+    siblings join the best-first frontier; each node LP also stops early
+    once weak duality certifies it fathomable ([bound_cutoff]). With
+    [?domains > 1], batches of frontier nodes are dived on parallel
+    domains (one compiled solver state per slot) and their effects
+    replayed in deterministic batch order, so verdicts match the
+    sequential search. *)
 
 type solution = { objective : float; values : float array }
 
@@ -19,17 +35,21 @@ type result =
       (** every node was fathomed at or below the cutoff; the payload is
           a proven upper bound on the true optimum (≤ cutoff) *)
   | Timeout of { bound : float; incumbent : solution option }
-      (** the deadline or node budget expired before the gap closed;
-          [bound] is a certified bound on the true optimum from the
-          unfathomed relaxations (an {e upper} bound when maximising, a
-          lower bound when minimising; infinite when even the root
-          relaxation did not finish) and [incumbent] the best
-          integer-feasible point found so far *)
+      (** the deadline, node budget or simplex iteration budget expired
+          before the gap closed; [bound] is a certified bound on the
+          true optimum from the unfathomed relaxations (an {e upper}
+          bound when maximising, a lower bound when minimising; infinite
+          when even the root relaxation did not finish) and [incumbent]
+          the best integer-feasible point found so far *)
 
-type problem = { lp : Cv_lp.Lp.problem; mutable binaries : int list }
+type problem = {
+  lp : Cv_lp.Lp.problem;
+  mutable binaries : int list;
+  mutable nbin : int;  (** cached [List.length binaries] *)
+}
 
 (** [create ()] is an empty MILP model. *)
-let create () = { lp = Cv_lp.Lp.create (); binaries = [] }
+let create () = { lp = Cv_lp.Lp.create (); binaries = []; nbin = 0 }
 
 (** [add_var p ?lo ?hi ?name ()] declares a continuous variable. *)
 let add_var p ?lo ?hi ?name () = Cv_lp.Lp.add_var p.lp ?lo ?hi ?name ()
@@ -38,6 +58,7 @@ let add_var p ?lo ?hi ?name () = Cv_lp.Lp.add_var p.lp ?lo ?hi ?name ()
 let add_binary p ?name () =
   let v = Cv_lp.Lp.add_var p.lp ~lo:0. ~hi:1. ?name () in
   p.binaries <- v :: p.binaries;
+  p.nbin <- p.nbin + 1;
   v
 
 (** [add_constraint p terms op rhs] adds a linear constraint. *)
@@ -49,8 +70,8 @@ let var_count p = Cv_lp.Lp.var_count p.lp
 
 let constraint_count p = Cv_lp.Lp.constraint_count p.lp
 
-(** [binary_count p] is the number of integer variables. *)
-let binary_count p = List.length p.binaries
+(** [binary_count p] is the cached number of integer variables. *)
+let binary_count p = p.nbin
 
 let int_tol = 1e-6
 
@@ -68,8 +89,6 @@ let m_timeouts = Cv_util.Metrics.counter "milp.timeouts"
 
 let t_seconds = Cv_util.Metrics.timer "milp.seconds"
 
-
-
 (* Most fractional binary, or None if all integral. *)
 let pick_branch_var binaries (values : float array) =
   let best = ref None and best_frac = ref int_tol in
@@ -84,34 +103,63 @@ let pick_branch_var binaries (values : float array) =
     binaries;
   !best
 
-type node = { fixed : (int * float) list; bound : float }
+(* One branch-and-bound solver slot: a compiled LP plus the binary
+   fixings currently applied to it. Slot [i] is only ever touched by
+   batch item [i], so parallel batches need no locking. *)
+type worker = {
+  wc : Cv_lp.Lp.compiled;
+  mutable wfixed : (int * float) list;
+}
 
-(** [maximize ?cutoff ?known_feasible ?node_limit p terms] maximises
-    [terms] over the mixed-integer feasible set. With [cutoff = Some θ]:
-    if the true optimum is ≤ θ the search proves it quickly (returns the
-    incumbent optimum or [Below_cutoff]); if some integer point exceeds θ
-    the search may return [Cutoff_reached] early without closing the gap.
-    [known_feasible] is an externally certified feasible objective value
-    (e.g. from evaluating the encoded network at a concrete input): it
-    seeds the incumbent for pruning; if the search then closes without an
-    explicit incumbent the optimum equals the seed and an [Optimal] with
-    empty [values] is returned. *)
-let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
+(* Move a worker's compiled LP from its current fixings to [fixed]:
+   release binaries no longer fixed back to [0,1] (their declared box),
+   then apply the new/changed fixings. Each change is an O(m) rhs
+   update, warm-start preserving. *)
+let move_to w fixed =
+  List.iter
+    (fun (v, _) ->
+      if not (List.mem_assoc v fixed) then
+        Cv_lp.Lp.set_bounds_compiled w.wc v ~lo:0. ~hi:1.)
+    w.wfixed;
+  List.iter
+    (fun (v, x) ->
+      match List.assoc_opt v w.wfixed with
+      | Some x' when x' = x -> ()
+      | _ -> Cv_lp.Lp.set_bounds_compiled w.wc v ~lo:x ~hi:x)
+    fixed;
+  w.wfixed <- fixed
+
+(* Effects a dive wants to apply to the shared search state. Dives run
+   on private worker slots and only *record* what happened; the driver
+   replays the events in deterministic batch order, so verdicts are
+   independent of the domain count. *)
+type dive_event =
+  | Epush of float * (int * float) list
+      (** a sibling (or budget-stopped node) for the frontier *)
+  | Efathom of float  (** a subtree fathomed at this certified bound *)
+  | Eincumbent of solution  (** an integer-feasible point *)
+  | Eunbounded
+  | Estop of float * (int * float) list
+      (** deadline/stall hit this in-flight node: re-queue it and flag a
+          timeout *)
+
+(** [maximize ?cutoff ?known_feasible ?node_limit ?domains p terms]
+    maximises [terms] over the mixed-integer feasible set. With
+    [cutoff = Some θ]: if the true optimum is ≤ θ the search proves it
+    quickly (returns the incumbent optimum or [Below_cutoff]); if some
+    integer point exceeds θ the search may return [Cutoff_reached] early
+    without closing the gap. [known_feasible] is an externally certified
+    feasible objective value (e.g. from evaluating the encoded network
+    at a concrete input): it seeds the incumbent for pruning; if the
+    search then closes without an explicit incumbent the optimum equals
+    the seed and an [Optimal] with empty [values] is returned.
+    [domains > 1] solves frontier nodes in parallel batches. *)
+let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000)
+    ?(domains = 1) ?max_iters p terms =
   Cv_util.Metrics.incr m_solves;
   Cv_util.Metrics.time t_seconds @@ fun () ->
   Cv_lp.Lp.set_objective p.lp ~maximize:true terms;
-  let apply_fixings fixed =
-    let lp = Cv_lp.Lp.copy p.lp in
-    List.iter (fun (v, x) -> Cv_lp.Lp.set_bounds lp v ~lo:x ~hi:x) fixed;
-    lp
-  in
-  let solve_node fixed =
-    let lp = apply_fixings fixed in
-    Cv_lp.Lp.set_objective lp ~maximize:true terms;
-    Cv_lp.Lp.solve ?deadline lp
-  in
-  (* Best-first queue ordered by decreasing bound: simple sorted list —
-     node counts stay small at our problem sizes. *)
+  let nworkers = max 1 domains in
   let incumbent = ref None in
   let incumbent_val =
     ref (match known_feasible with Some v -> v | None -> Float.neg_infinity)
@@ -121,132 +169,236 @@ let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000) p terms =
   in
   match
     (try
-       `Root
-         (Cv_lp.Lp.solve ?deadline
-            (let lp = apply_fixings [] in
-             Cv_lp.Lp.set_objective lp ~maximize:true terms;
-             lp))
+       let c0 = Cv_lp.Lp.compile ~fixable:p.binaries p.lp in
+       `Root (c0, Cv_lp.Lp.solve_compiled ?deadline ?max_iters c0)
      with Cv_util.Deadline.Expired _ ->
        (* Even the root relaxation did not finish: no certified bound. *)
        `Expired)
   with
   | `Expired -> Timeout { bound = Float.infinity; incumbent = None }
-  | `Root Cv_lp.Lp.Infeasible -> Infeasible
-  | `Root Cv_lp.Lp.Unbounded -> Unbounded
-  | `Root (Cv_lp.Lp.Optimal root) ->
-    let queue = ref [ { fixed = []; bound = root.Cv_lp.Lp.objective } ] in
+  | `Root (_, Cv_lp.Lp.Infeasible) -> Infeasible
+  | `Root (_, Cv_lp.Lp.Unbounded) -> Unbounded
+  | `Root (_, Cv_lp.Lp.Stalled) ->
+    (* Numerical stall on the root: degrade exactly like a root
+       timeout. *)
+    Cv_util.Metrics.incr m_timeouts;
+    Timeout { bound = Float.infinity; incumbent = None }
+  | `Root (c0, Cv_lp.Lp.Optimal root) ->
+    (* Workers clone the root's compiled state, inheriting its warm
+       optimal basis. Slot 0 reuses the root solver itself. *)
+    let workers =
+      Array.init nworkers (fun i ->
+          { wc = (if i = 0 then c0 else Cv_lp.Lp.copy_compiled c0);
+            wfixed = [] })
+    in
+    (* Best-first frontier keyed by the parent relaxation bound. *)
+    let frontier = Cv_util.Heap.create () in
+    Cv_util.Heap.push frontier root.Cv_lp.Lp.objective [];
     let nodes = ref 0 in
     let result = ref None in
     (* Largest bound among nodes fathomed by the cutoff — a certified
        upper bound on the optimum within the pruned regions. *)
     let pruned_max = ref Float.neg_infinity in
-    (* Budget expiry mid-search: the queue is sorted by decreasing
-       relaxation bound, so [max (head bound) incumbent] is a certified
-       upper bound on the true optimum. *)
+    (* Budget expiry mid-search: the frontier is bound-ordered, so
+       [max (top bound) (pruned bounds) incumbent] is a certified upper
+       bound on the true optimum. *)
     let timeout_now () =
-      let queue_bound =
-        match !queue with [] -> Float.neg_infinity | hd :: _ -> hd.bound
+      let frontier_bound =
+        match Cv_util.Heap.peek frontier with
+        | None -> Float.neg_infinity
+        | Some (b, _) -> b
       in
       let bound =
-        Float.max queue_bound (Float.max !pruned_max !incumbent_val)
+        Float.max frontier_bound (Float.max !pruned_max !incumbent_val)
       in
       Cv_util.Metrics.incr m_timeouts;
       result := Some (Timeout { bound; incumbent = !incumbent })
     in
-    while !result = None && !queue <> [] && !nodes < node_limit do
-      if Cv_util.Deadline.expired_opt deadline then timeout_now ()
-      else begin
-        incr nodes;
-        Cv_util.Metrics.incr m_nodes;
-        let node = List.hd !queue in
-        queue := List.tl !queue;
-        let prune_bound =
-          match cutoff with
-          | Some theta -> Float.max !incumbent_val theta
-          | None -> !incumbent_val
-        in
-        if node.bound <= prune_bound +. 1e-9 then begin
-          Cv_util.Metrics.incr m_fathomed;
-          pruned_max := Float.max !pruned_max node.bound
+    let prune_bound () =
+      match cutoff with
+      | Some theta -> Float.max !incumbent_val theta
+      | None -> !incumbent_val
+    in
+    (* One depth-first dive from a popped frontier node, exploring the
+       whole subtree on a local LIFO stack. Consecutive solves differ by
+       one or two binary fixings, so the dual warm restart needs only a
+       few pivots; passed-over siblings stay on the dive's own stack
+       rather than the global frontier, because a frontier round-trip
+       almost never fathoms them but turns their solve into a distant
+       warm restart (many bound moves ⇒ ~7× the pivots — measured).
+       Each LP runs with [bound_cutoff]: weak duality stops it as soon
+       as the node is provably fathomable. All shared-state effects are
+       returned as ordered events, applied later by the driver. *)
+    let dive slot budget pb0 node0 =
+      let w = workers.(slot) in
+      let events = ref [] in
+      let emit e = events := e :: !events in
+      (* Incumbents found on this dive prune the rest of it immediately;
+         the global incumbent catches up at replay time. *)
+      let local_inc = ref Float.neg_infinity in
+      let pb () = Float.max pb0 !local_inc in
+      let count = ref 0 in
+      let stack = ref [ node0 ] in
+      (* On an early stop, unprocessed subtree roots go back to the
+         frontier so their bounds keep the certified estimate sound. *)
+      let flush () =
+        List.iter (fun (b, f) -> emit (Epush (b, f))) !stack;
+        stack := []
+      in
+      while !stack <> [] do
+        let bound, fixed = List.hd !stack in
+        stack := List.tl !stack;
+        if bound <= pb () +. 1e-9 then begin
+          incr count;
+          emit (Efathom bound)
         end
+        else if !count >= budget then
+          (* Node budget spent: hand the node back unprocessed. *)
+          emit (Epush (bound, fixed))
         else begin
-          match
-            try `Sol (solve_node node.fixed)
+          incr count;
+          move_to w fixed;
+          let bc = pb () in
+          let out =
+            try
+              `Sol
+                (if Float.is_finite bc then
+                   Cv_lp.Lp.solve_compiled ?deadline ?max_iters
+                     ~bound_cutoff:bc w.wc
+                 else Cv_lp.Lp.solve_compiled ?deadline ?max_iters w.wc)
             with Cv_util.Deadline.Expired _ -> `Expired
-          with
-          | `Expired ->
-            (* The interrupted node's own bound keeps the estimate
-               sound: put it back before summarising. *)
-            queue := node :: !queue;
-            timeout_now ()
+          in
+          match out with
+          | `Expired | `Sol Cv_lp.Lp.Stalled ->
+            (* Deadline or numerical stall: re-queue this node so its
+               bound keeps the certified estimate sound. *)
+            emit (Estop (bound, fixed));
+            flush ()
+          | `Sol Cv_lp.Lp.Unbounded ->
+            emit Eunbounded;
+            flush ()
           | `Sol Cv_lp.Lp.Infeasible -> ()
-          | `Sol Cv_lp.Lp.Unbounded -> result := Some Unbounded
-          | `Sol (Cv_lp.Lp.Optimal sol) -> (
-            let bound = sol.Cv_lp.Lp.objective in
-            if bound <= prune_bound +. 1e-9 then begin
-              Cv_util.Metrics.incr m_fathomed;
-              pruned_max := Float.max !pruned_max bound
-            end
-            else
+          | `Sol (Cv_lp.Lp.Optimal sol) ->
+            let b = sol.Cv_lp.Lp.objective in
+            if b <= pb () +. 1e-9 then
+              (* Also the landing spot of a [bound_cutoff] early stop:
+                 [b] is then just a certified bound (the basis may be
+                 primal-infeasible), which is all fathoming reads. *)
+              emit (Efathom b)
+            else (
               match pick_branch_var p.binaries sol.Cv_lp.Lp.values with
               | None ->
-                (* Integer feasible. *)
-                let s = { objective = bound; values = sol.Cv_lp.Lp.values } in
-                if bound > !incumbent_val then begin
-                  Cv_util.Metrics.incr m_incumbents;
-                  incumbent_val := bound;
-                  incumbent := Some s
-                end;
-                if better_than_cutoff s then result := Some (Cutoff_reached s)
+                if b > !local_inc then local_inc := b;
+                emit (Eincumbent { objective = b; values = sol.Cv_lp.Lp.values })
               | Some v ->
-                let child x = { fixed = (v, x) :: node.fixed; bound } in
-                (* Insert keeping the queue sorted by decreasing bound. *)
-                let insert n q =
-                  let rec go = function
-                    | [] -> [ n ]
-                    | hd :: tl when hd.bound >= n.bound -> hd :: go tl
-                    | rest -> n :: rest
-                  in
-                  go q
-                in
-                queue := insert (child 0.) (insert (child 1.) !queue))
+                (* Plunge towards the relaxation's rounding; the sibling
+                   waits right below on the stack. *)
+                let first = if sol.Cv_lp.Lp.values.(v) >= 0.5 then 1. else 0. in
+                stack :=
+                  (b, (v, first) :: fixed)
+                  :: (b, (v, 1. -. first) :: fixed)
+                  :: !stack)
         end
+      done;
+      (!count, List.rev !events)
+    in
+    while
+      !result = None
+      && (not (Cv_util.Heap.is_empty frontier))
+      && !nodes < node_limit
+    do
+      if Cv_util.Deadline.expired_opt deadline then timeout_now ()
+      else begin
+        let pb0 = prune_bound () in
+        (* Pop up to [nworkers] dive roots; each dive re-checks bounds
+           itself, so no fathom test here. *)
+        let batch = ref [] and k = ref 0 in
+        while !k < nworkers && not (Cv_util.Heap.is_empty frontier) do
+          match Cv_util.Heap.pop frontier with
+          | None -> ()
+          | Some node ->
+            batch := node :: !batch;
+            incr k
+        done;
+        let batch = List.rev !batch in
+        let budget = max 1 ((node_limit - !nodes) / max 1 !k) in
+        let dives =
+          match batch with
+          | [] -> []
+          | [ node ] -> [ dive 0 budget pb0 node ]
+          | _ ->
+            Cv_util.Parallel.map_list ~domains:nworkers
+              (fun (slot, node) -> dive slot budget pb0 node)
+              (List.mapi (fun i node -> (i, node)) batch)
+        in
+        (* Replay dive effects in batch order — the deterministic part:
+           incumbent and bound updates happen in the same order whatever
+           the domain count. *)
+        let stopped = ref false in
+        List.iter
+          (fun (count, events) ->
+            nodes := !nodes + count;
+            Cv_util.Metrics.add m_nodes count;
+            List.iter
+              (fun ev ->
+                match ev with
+                | Epush (b, f) -> Cv_util.Heap.push frontier b f
+                | Efathom b ->
+                  Cv_util.Metrics.incr m_fathomed;
+                  pruned_max := Float.max !pruned_max b
+                | Eincumbent s ->
+                  if s.objective > !incumbent_val then begin
+                    Cv_util.Metrics.incr m_incumbents;
+                    incumbent_val := s.objective;
+                    incumbent := Some s
+                  end;
+                  if !result = None && better_than_cutoff s then
+                    result := Some (Cutoff_reached s)
+                | Eunbounded ->
+                  if !result = None then result := Some Unbounded
+                | Estop (b, f) ->
+                  Cv_util.Heap.push frontier b f;
+                  stopped := true)
+              events)
+          dives;
+        if !result = None && !stopped then timeout_now ()
       end
     done;
     (match !result with
     | Some r -> r
     | None -> (
-      if !nodes >= node_limit && !queue <> [] then begin
+      if !nodes >= node_limit && not (Cv_util.Heap.is_empty frontier) then begin
         (* Node budget exhausted: degrade to the certified bound instead
            of dying — same contract as a wall-clock timeout. *)
         timeout_now ();
         match !result with Some r -> r | None -> assert false
       end
       else
-      match (cutoff, !incumbent) with
-      | None, Some s -> Optimal s
-      | None, None -> (
-        match known_feasible with
-        | Some v when !pruned_max <= v +. 1e-9 ->
-          (* Everything was fathomed against the seed: the seed is the
-             optimum (no explicit solution vector available). *)
-          Optimal { objective = v; values = [||] }
-        | _ -> Infeasible)
-      | Some _, _ ->
-        (* Search exhausted without beating the cutoff: the optimum is
-           provably at most max(pruned bounds, incumbent). *)
-        let ub = Float.max !pruned_max !incumbent_val in
-        if ub = Float.neg_infinity then Infeasible else Below_cutoff ub))
+        match (cutoff, !incumbent) with
+        | None, Some s -> Optimal s
+        | None, None -> (
+          match known_feasible with
+          | Some v when !pruned_max <= v +. 1e-9 ->
+            (* Everything was fathomed against the seed: the seed is the
+               optimum (no explicit solution vector available). *)
+            Optimal { objective = v; values = [||] }
+          | _ -> Infeasible)
+        | Some _, _ ->
+          (* Search exhausted without beating the cutoff: the optimum is
+             provably at most max(pruned bounds, incumbent). *)
+          let ub = Float.max !pruned_max !incumbent_val in
+          if ub = Float.neg_infinity then Infeasible else Below_cutoff ub))
 
-(** [minimize ?cutoff ?known_feasible ?node_limit p terms] minimises by
-    negating the objective. *)
-let minimize ?deadline ?cutoff ?known_feasible ?node_limit p terms =
+(** [minimize ?cutoff ?known_feasible ?node_limit ?domains p terms]
+    minimises by negating the objective. *)
+let minimize ?deadline ?cutoff ?known_feasible ?node_limit ?domains ?max_iters p
+    terms =
   let neg_terms = List.map (fun (c, v) -> (-.c, v)) terms in
   let neg_cutoff = Option.map (fun t -> -.t) cutoff in
   let neg_known = Option.map (fun t -> -.t) known_feasible in
   match
     maximize ?deadline ?cutoff:neg_cutoff ?known_feasible:neg_known ?node_limit
-      p neg_terms
+      ?domains ?max_iters p neg_terms
   with
   | Optimal s -> Optimal { s with objective = -.s.objective }
   | Cutoff_reached s -> Cutoff_reached { s with objective = -.s.objective }

@@ -1,11 +1,13 @@
 (** Mixed-integer linear programming by branch-and-bound over {!Cv_lp}
     (binary integer variables — all the big-M ReLU encoding needs).
 
-    Branching is best-first on the LP relaxation bound with
-    most-fractional selection. The optional [cutoff] turns an
-    optimisation into a decision: proving "max ≤ θ" fathoms every node
-    whose bound is ≤ θ and stops as soon as an integer point exceeds
-    θ. *)
+    Branching is best-first on the LP relaxation bound (a binary
+    max-heap frontier) with most-fractional selection. The model is
+    lowered once per solve; node relaxations are rhs updates solved by
+    dual-simplex warm restarts from the previous optimal basis. The
+    optional [cutoff] turns an optimisation into a decision: proving
+    "max ≤ θ" fathoms every node whose bound is ≤ θ and stops as soon
+    as an integer point exceeds θ. *)
 
 type solution = { objective : float; values : float array }
 
@@ -19,14 +21,18 @@ type result =
       (** every node was fathomed at or below the cutoff; the payload is
           a proven upper bound on the true optimum (≤ cutoff) *)
   | Timeout of { bound : float; incumbent : solution option }
-      (** the deadline or node budget expired before the gap closed;
-          [bound] is a certified bound on the true optimum from the
-          unfathomed relaxations (an {e upper} bound when maximising, a
-          lower bound when minimising; infinite when even the root
-          relaxation did not finish) and [incumbent] the best
-          integer-feasible point found so far *)
+      (** the deadline, node budget or simplex iteration budget expired
+          before the gap closed; [bound] is a certified bound on the
+          true optimum from the unfathomed relaxations (an {e upper}
+          bound when maximising, a lower bound when minimising; infinite
+          when even the root relaxation did not finish) and [incumbent]
+          the best integer-feasible point found so far *)
 
-type problem = { lp : Cv_lp.Lp.problem; mutable binaries : int list }
+type problem = {
+  lp : Cv_lp.Lp.problem;
+  mutable binaries : int list;
+  mutable nbin : int;  (** cached [List.length binaries] *)
+}
 
 (** [create ()] is an empty MILP model. *)
 val create : unit -> problem
@@ -46,31 +52,40 @@ val var_count : problem -> int
 
 val constraint_count : problem -> int
 
+(** [binary_count p] is the cached number of integer variables. *)
 val binary_count : problem -> int
 
-(** [maximize ?deadline ?cutoff ?known_feasible ?node_limit p terms]
-    maximises over the mixed-integer feasible set. [known_feasible] is
-    an externally certified feasible objective value that seeds the
-    incumbent for pruning; if the search then closes without an explicit
-    incumbent, an [Optimal] with empty [values] is returned. On deadline
-    or node-budget exhaustion the search returns [Timeout] with the
-    certified incumbent bound instead of hanging or raising. *)
+(** [maximize ?deadline ?cutoff ?known_feasible ?node_limit ?domains
+    ?max_iters p terms] maximises over the mixed-integer feasible set.
+    [known_feasible] is an externally certified feasible objective value
+    that seeds the incumbent for pruning; if the search then closes
+    without an explicit incumbent, an [Optimal] with empty [values] is
+    returned. [domains > 1] solves frontier nodes in parallel batches
+    on {!Cv_util.Parallel} domains, merging results in deterministic
+    batch order. [max_iters] caps simplex iterations per LP phase
+    (stalls degrade to [Timeout]). On deadline or node-budget
+    exhaustion the search returns [Timeout] with the certified
+    incumbent bound instead of hanging or raising. *)
 val maximize :
   ?deadline:Cv_util.Deadline.t ->
   ?cutoff:float ->
   ?known_feasible:float ->
   ?node_limit:int ->
+  ?domains:int ->
+  ?max_iters:int ->
   problem ->
   Cv_lp.Lp.term list ->
   result
 
-(** [minimize ?deadline ?cutoff ?known_feasible ?node_limit p terms]
-    minimises by negating the objective. *)
+(** [minimize ?deadline ?cutoff ?known_feasible ?node_limit ?domains
+    ?max_iters p terms] minimises by negating the objective. *)
 val minimize :
   ?deadline:Cv_util.Deadline.t ->
   ?cutoff:float ->
   ?known_feasible:float ->
   ?node_limit:int ->
+  ?domains:int ->
+  ?max_iters:int ->
   problem ->
   Cv_lp.Lp.term list ->
   result

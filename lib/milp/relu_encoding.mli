@@ -24,22 +24,25 @@ type encoding = {
     activations. *)
 val encode : net:Cv_nn.Network.t -> input_box:Cv_interval.Box.t -> encoding
 
-(** [max_output ?deadline ?cutoff enc ~output] maximises one output
-    neuron over the encoded set (exactly — the sampling seed only
-    accelerates pruning). On budget exhaustion returns [Milp.Timeout]
-    with the certified incumbent bound. *)
+(** [max_output ?deadline ?cutoff ?domains enc ~output] maximises one
+    output neuron over the encoded set (exactly — the sampling seed only
+    accelerates pruning). [domains > 1] runs the branch-and-bound dives
+    on parallel domains with deterministic merging. On budget exhaustion
+    returns [Milp.Timeout] with the certified incumbent bound. *)
 val max_output :
   ?deadline:Cv_util.Deadline.t ->
   ?cutoff:float ->
+  ?domains:int ->
   encoding ->
   output:int ->
   Milp.result
 
-(** [min_output ?deadline ?cutoff enc ~output] minimises one output
-    neuron. *)
+(** [min_output ?deadline ?cutoff ?domains enc ~output] minimises one
+    output neuron. *)
 val min_output :
   ?deadline:Cv_util.Deadline.t ->
   ?cutoff:float ->
+  ?domains:int ->
   encoding ->
   output:int ->
   Milp.result

@@ -1,0 +1,70 @@
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { prio = [||]; data = [||]; len = 0 }
+let size h = h.len
+let is_empty h = h.len = 0
+
+let grow h x =
+  let cap = Array.length h.prio in
+  if h.len = cap then begin
+    let cap' = max 16 (2 * cap) in
+    let prio' = Array.make cap' 0. in
+    let data' = Array.make cap' x in
+    Array.blit h.prio 0 prio' 0 h.len;
+    Array.blit h.data 0 data' 0 h.len;
+    h.prio <- prio';
+    h.data <- data'
+  end
+
+let swap h i j =
+  let p = h.prio.(i) and d = h.data.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.data.(i) <- h.data.(j);
+  h.prio.(j) <- p;
+  h.data.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prio.(parent) < h.prio.(i) then begin
+      swap h parent i;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = if l < h.len && h.prio.(l) > h.prio.(i) then l else i in
+  let largest =
+    if r < h.len && h.prio.(r) > h.prio.(largest) then r else largest
+  in
+  if largest <> i then begin
+    swap h i largest;
+    sift_down h largest
+  end
+
+let push h priority x =
+  grow h x;
+  h.prio.(h.len) <- priority;
+  h.data.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek h = if h.len = 0 then None else Some (h.prio.(0), h.data.(0))
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let p = h.prio.(0) and d = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.prio.(0) <- h.prio.(h.len);
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (p, d)
+  end

@@ -1,0 +1,27 @@
+(** Binary max-heap priority queue keyed by float priority.
+
+    Replaces the O(n)-insert sorted-list frontier of best-first
+    branch-and-bound: [push]/[pop] are O(log n), [peek] is O(1). Not
+    thread-safe — confine a heap to one domain (the MILP driver owns
+    its frontier; worker domains only solve node LPs). *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** [size h] is the number of queued elements. *)
+val size : 'a t -> int
+
+(** [is_empty h] is [size h = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [push h priority x] queues [x] with [priority]. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [peek h] is the entry with the largest priority, not removed. Ties
+    are broken arbitrarily (heap order). *)
+val peek : 'a t -> (float * 'a) option
+
+(** [pop h] removes and returns the entry with the largest priority. *)
+val pop : 'a t -> (float * 'a) option

@@ -48,7 +48,9 @@ let tighten_side enc ~din ~output ~side ~bound =
        | Cv_lp.Lp.Infeasible ->
          feasible := false;
          raise Exit
-       | Cv_lp.Lp.Unbounded ->
+       | Cv_lp.Lp.Unbounded | Cv_lp.Lp.Stalled ->
+         (* No certified tightening (unbounded relaxation or simplex
+            stall): keep the full input-box bound — sound, just loose. *)
          lo.(j) <- Cv_interval.Interval.lo (Cv_interval.Box.get din j));
        let q = Cv_lp.Lp.copy lp in
        match Cv_lp.Lp.maximize_linear q [ (1., v) ] with
@@ -56,7 +58,7 @@ let tighten_side enc ~din ~output ~side ~bound =
        | Cv_lp.Lp.Infeasible ->
          feasible := false;
          raise Exit
-       | Cv_lp.Lp.Unbounded ->
+       | Cv_lp.Lp.Unbounded | Cv_lp.Lp.Stalled ->
          hi.(j) <- Cv_interval.Interval.hi (Cv_interval.Box.get din j)
      done
    with Exit -> ());

@@ -113,7 +113,7 @@ let check_split ?deadline budget net ~input_box ~target =
 
 (* Exact MILP check: per output coordinate, bound max and min with
    cutoff queries. *)
-let check_milp ?deadline net ~input_box ~target =
+let check_milp ?deadline ?domains net ~input_box ~target =
   let enc = Cv_milp.Relu_encoding.encode ~net ~input_box in
   let out_dim = Cv_nn.Network.out_dim net in
   if Cv_interval.Box.dim target <> out_dim then
@@ -128,7 +128,7 @@ let check_milp ?deadline net ~input_box ~target =
         if hi = Float.infinity then Proved
         else
           match
-            Cv_milp.Relu_encoding.max_output ?deadline enc ~output:i
+            Cv_milp.Relu_encoding.max_output ?deadline ?domains enc ~output:i
               ~cutoff:(hi +. tol)
           with
           | Cv_milp.Milp.Below_cutoff _ -> Proved
@@ -154,7 +154,7 @@ let check_milp ?deadline net ~input_box ~target =
           if lo = Float.neg_infinity then Proved
           else
             match
-              Cv_milp.Relu_encoding.min_output ?deadline enc ~output:i
+              Cv_milp.Relu_encoding.min_output ?deadline ?domains enc ~output:i
                 ~cutoff:(lo -. tol)
             with
             | Cv_milp.Milp.Below_cutoff _ -> Proved
@@ -194,7 +194,7 @@ let verdict_label = function
   | Violated _ -> "violated"
   | Unknown u -> "unknown:" ^ reason_name u.reason
 
-let check ?deadline engine net ~input_box ~target =
+let check ?deadline ?domains engine net ~input_box ~target =
   Cv_util.Metrics.incr m_checks;
   Cv_util.Trace.with_span "containment.check"
     ~attrs:[ ("engine", engine_name engine) ]
@@ -205,14 +205,15 @@ let check ?deadline engine net ~input_box ~target =
       | Abstract kind -> check_abstract ?deadline kind net ~input_box ~target
       | Symint_split budget ->
         check_split ?deadline budget net ~input_box ~target
-      | Milp -> check_milp ?deadline net ~input_box ~target
+      | Milp -> check_milp ?deadline ?domains net ~input_box ~target
     with Cv_util.Deadline.Expired msg -> unknown Timeout msg
   in
   Cv_util.Trace.add_attr "verdict" (verdict_label v);
   v
 
-(** [check_timed ?deadline engine net ~input_box ~target] also reports
-    wall-clock seconds — the quantity the Table I reproduction
+(** [check_timed ?deadline ?domains engine net ~input_box ~target] also
+    reports wall-clock seconds — the quantity the Table I reproduction
     aggregates. *)
-let check_timed ?deadline engine net ~input_box ~target =
-  Cv_util.Timer.time (fun () -> check ?deadline engine net ~input_box ~target)
+let check_timed ?deadline ?domains engine net ~input_box ~target =
+  Cv_util.Timer.time (fun () ->
+      check ?deadline ?domains engine net ~input_box ~target)

@@ -44,24 +44,28 @@ val unknown : ?best_bound:float -> unknown_reason -> string -> verdict
 (** [is_proved v] is true for [Proved]. *)
 val is_proved : verdict -> bool
 
-(** [check ?deadline engine net ~input_box ~target] decides (or
-    attempts) [∀x ∈ input_box : net(x) ∈ target]. Never raises on budget
-    exhaustion: when the optional [deadline] expires mid-query the
-    verdict degrades to [Unknown { reason = Timeout; _ }], carrying any
-    certified partial bound the engine salvaged. *)
+(** [check ?deadline ?domains engine net ~input_box ~target] decides (or
+    attempts) [∀x ∈ input_box : net(x) ∈ target]. [domains > 1] runs the
+    [Milp] engine's branch-and-bound dives on parallel domains (other
+    engines ignore it); verdicts stay deterministic. Never raises on
+    budget exhaustion: when the optional [deadline] expires mid-query
+    the verdict degrades to [Unknown { reason = Timeout; _ }], carrying
+    any certified partial bound the engine salvaged. *)
 val check :
   ?deadline:Cv_util.Deadline.t ->
+  ?domains:int ->
   engine ->
   Cv_nn.Network.t ->
   input_box:Cv_interval.Box.t ->
   target:Cv_interval.Box.t ->
   verdict
 
-(** [check_timed ?deadline engine net ~input_box ~target] also reports
-    wall-clock seconds — the quantity the Table I reproduction
+(** [check_timed ?deadline ?domains engine net ~input_box ~target] also
+    reports wall-clock seconds — the quantity the Table I reproduction
     aggregates. *)
 val check_timed :
   ?deadline:Cv_util.Deadline.t ->
+  ?domains:int ->
   engine ->
   Cv_nn.Network.t ->
   input_box:Cv_interval.Box.t ->

@@ -14,13 +14,15 @@ type t = {
   milp_binaries : int;
 }
 
-(** [exact_range ?deadline net ~din] computes the exact output range of
-    a piecewise-linear network over [din]. Exactness means a timed-out
-    query has no usable answer here, so deadline expiry (including a
-    solver degrading to [Milp.Timeout]) raises
-    {!Cv_util.Deadline.Expired} — callers that need graceful degradation
-    catch it and fall back to a partial verdict. *)
-let exact_range ?deadline net ~din =
+(** [exact_range ?deadline ?domains net ~din] computes the exact output
+    range of a piecewise-linear network over [din], with [domains > 1]
+    running each query's branch-and-bound dives on parallel domains
+    (deterministic verdicts). Exactness means a timed-out query has no
+    usable answer here, so deadline expiry (including a solver degrading
+    to [Milp.Timeout]) raises {!Cv_util.Deadline.Expired} — callers that
+    need graceful degradation catch it and fall back to a partial
+    verdict. *)
+let exact_range ?deadline ?domains net ~din =
   let enc = Cv_milp.Relu_encoding.encode ~net ~input_box:din in
   let out_dim = Cv_nn.Network.out_dim net in
   let expired dir i =
@@ -32,13 +34,17 @@ let exact_range ?deadline net ~din =
   let range =
     Array.init out_dim (fun i ->
         let hi =
-          match Cv_milp.Relu_encoding.max_output ?deadline enc ~output:i with
+          match
+            Cv_milp.Relu_encoding.max_output ?deadline ?domains enc ~output:i
+          with
           | Cv_milp.Milp.Optimal s -> s.Cv_milp.Milp.objective
           | Cv_milp.Milp.Timeout _ -> expired "max" i
           | _ -> failwith "Range.exact_range: max query failed"
         in
         let lo =
-          match Cv_milp.Relu_encoding.min_output ?deadline enc ~output:i with
+          match
+            Cv_milp.Relu_encoding.min_output ?deadline ?domains enc ~output:i
+          with
           | Cv_milp.Milp.Optimal s -> s.Cv_milp.Milp.objective
           | Cv_milp.Milp.Timeout _ -> expired "min" i
           | _ -> failwith "Range.exact_range: min query failed"
@@ -48,11 +54,11 @@ let exact_range ?deadline net ~din =
   let vars, _, binaries = Cv_milp.Relu_encoding.stats enc in
   { range; milp_vars = vars; milp_binaries = binaries }
 
-(** [verify_exact ?deadline net prop] decides the property by exact
-    range computation; returns the verdict together with the range.
-    Raises {!Cv_util.Deadline.Expired} on budget exhaustion. *)
-let verify_exact ?deadline net (prop : Property.t) =
-  let r = exact_range ?deadline net ~din:prop.Property.din in
+(** [verify_exact ?deadline ?domains net prop] decides the property by
+    exact range computation; returns the verdict together with the
+    range. Raises {!Cv_util.Deadline.Expired} on budget exhaustion. *)
+let verify_exact ?deadline ?domains net (prop : Property.t) =
+  let r = exact_range ?deadline ?domains net ~din:prop.Property.din in
   let verdict =
     if Cv_interval.Box.subset_tol r.range prop.Property.dout then
       Containment.Proved

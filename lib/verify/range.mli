@@ -12,19 +12,26 @@ type t = {
   milp_binaries : int;
 }
 
-(** [exact_range ?deadline net ~din] computes the exact output range of
-    a piecewise-linear network over [din]. Raises
-    {!Cv_util.Deadline.Expired} when the budget runs out before every
-    optimality gap closes — exactness admits no partial answer here;
-    callers needing degradation catch the exception. *)
+(** [exact_range ?deadline ?domains net ~din] computes the exact output
+    range of a piecewise-linear network over [din]; [domains > 1] runs
+    each MILP query's branch-and-bound dives on parallel domains with
+    deterministic verdicts. Raises {!Cv_util.Deadline.Expired} when the
+    budget runs out before every optimality gap closes — exactness
+    admits no partial answer here; callers needing degradation catch the
+    exception. *)
 val exact_range :
-  ?deadline:Cv_util.Deadline.t -> Cv_nn.Network.t -> din:Cv_interval.Box.t -> t
+  ?deadline:Cv_util.Deadline.t ->
+  ?domains:int ->
+  Cv_nn.Network.t ->
+  din:Cv_interval.Box.t ->
+  t
 
-(** [verify_exact ?deadline net prop] decides the property by exact
-    range computation; returns the verdict together with the range.
-    Raises {!Cv_util.Deadline.Expired} on budget exhaustion. *)
+(** [verify_exact ?deadline ?domains net prop] decides the property by
+    exact range computation; returns the verdict together with the
+    range. Raises {!Cv_util.Deadline.Expired} on budget exhaustion. *)
 val verify_exact :
   ?deadline:Cv_util.Deadline.t ->
+  ?domains:int ->
   Cv_nn.Network.t ->
   Property.t ->
   Containment.verdict * t

@@ -175,7 +175,7 @@ let lp_solution_feasible_prop =
              (fun (a, b, rhs) -> (a *. vx) +. (b *. vy) <= rhs +. 1e-6)
              rows
       | Cv_lp.Lp.Infeasible -> false (* box origin... x=0,y=0 may violate? *)
-      | Cv_lp.Lp.Unbounded -> false
+      | Cv_lp.Lp.Unbounded | Cv_lp.Lp.Stalled -> false
       | exception _ -> false)
 
 
@@ -261,6 +261,139 @@ let test_degenerate_no_cycle () =
   | Cv_lp.Lp.Optimal s -> check_float "Beale optimum" 1.25 s.Cv_lp.Lp.objective
   | _ -> Alcotest.fail "expected optimal"
 
+(* ------------------------------------------------------------------ *)
+(* Fixing via set_bounds across the four lowering paths                *)
+(* ------------------------------------------------------------------ *)
+
+(* One variable per lowering path — shift (lo only), reflect (hi only),
+   split (free), finite box (shift + upper-bound row). Fixing any of
+   them to a point (lo = hi) must pin its value in the re-lowered
+   solve. *)
+let test_set_bounds_fixing_paths () =
+  let mk () =
+    let p = Cv_lp.Lp.create () in
+    let shift = Cv_lp.Lp.add_var p ~lo:1. () in
+    let refl = Cv_lp.Lp.add_var p ~hi:5. () in
+    let free = Cv_lp.Lp.add_var p () in
+    let box = Cv_lp.Lp.add_var p ~lo:0. ~hi:4. () in
+    (* Couple everything so no variable is trivially at a bound. *)
+    Cv_lp.Lp.add_constraint p
+      [ (1., shift); (1., refl); (1., free); (1., box) ]
+      Cv_lp.Lp.Le 10.;
+    Cv_lp.Lp.add_constraint p [ (1., free) ] Cv_lp.Lp.Ge (-3.);
+    (p, [| shift; refl; free; box |])
+  in
+  let fixes = [| 2.5; -1.5; -2.; 3. |] in
+  Array.iteri
+    (fun i x ->
+      let p, vars = mk () in
+      Cv_lp.Lp.set_bounds p vars.(i) ~lo:x ~hi:x;
+      match
+        Cv_lp.Lp.maximize_linear p
+          (Array.to_list (Array.map (fun v -> (1., v)) vars))
+      with
+      | Cv_lp.Lp.Optimal s ->
+        check_float
+          (Printf.sprintf "path %d fixed value" i)
+          x
+          s.Cv_lp.Lp.values.(vars.(i));
+        check_float (Printf.sprintf "path %d objective" i) 10.
+          s.Cv_lp.Lp.objective
+      | _ -> Alcotest.fail "expected optimal")
+    fixes
+
+(* ------------------------------------------------------------------ *)
+(* Compiled interface: warm restarts vs fresh solves                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-bounding a compiled fixable variable must agree with re-lowering
+   from scratch, and after the first solve the re-solves must hit the
+   dual warm-start path. *)
+let test_compiled_matches_fresh () =
+  let build () =
+    let p = Cv_lp.Lp.create () in
+    let x = Cv_lp.Lp.add_var p ~lo:0. ~hi:1. () in
+    let y = Cv_lp.Lp.add_var p ~lo:0. ~hi:1. () in
+    let z = Cv_lp.Lp.add_var p ~lo:0. ~hi:3. () in
+    Cv_lp.Lp.add_constraint p [ (2., x); (1., y); (1., z) ] Cv_lp.Lp.Le 3.5;
+    Cv_lp.Lp.add_constraint p [ (1., x); (-1., y) ] Cv_lp.Lp.Ge (-0.5);
+    (p, x, y, z)
+  in
+  let p, x, y, _z = build () in
+  Cv_lp.Lp.set_objective p ~maximize:true [ (3., x); (2., y); (1., _z) ];
+  let c = Cv_lp.Lp.compile ~fixable:[ x; y ] p in
+  let hits0 = Cv_util.Metrics.value (Cv_util.Metrics.counter "lp.warmstart.hits") in
+  let boxes =
+    [ [ (x, 0., 0.) ];
+      [ (x, 0., 0.); (y, 1., 1.) ];
+      [ (x, 1., 1.); (y, 1., 1.) ];
+      [ (x, 1., 1.) ];
+      [] ]
+  in
+  List.iter
+    (fun fixing ->
+      List.iter (fun v -> Cv_lp.Lp.set_bounds_compiled c v ~lo:0. ~hi:1.) [ x; y ];
+      List.iter
+        (fun (v, lo, hi) -> Cv_lp.Lp.set_bounds_compiled c v ~lo ~hi)
+        fixing;
+      let fresh =
+        let p', x', y', z' = build () in
+        let map v = if v = x then x' else if v = y then y' else v in
+        List.iter
+          (fun (v, lo, hi) -> Cv_lp.Lp.set_bounds p' (map v) ~lo ~hi)
+          fixing;
+        Cv_lp.Lp.maximize_linear p' [ (3., x'); (2., y'); (1., z') ]
+      in
+      match (Cv_lp.Lp.solve_compiled c, fresh) with
+      | Cv_lp.Lp.Optimal sc, Cv_lp.Lp.Optimal sf ->
+        check_float "compiled = fresh objective" sf.Cv_lp.Lp.objective
+          sc.Cv_lp.Lp.objective
+      | Cv_lp.Lp.Infeasible, Cv_lp.Lp.Infeasible -> ()
+      | _ -> Alcotest.fail "compiled and fresh solves disagree")
+    boxes;
+  let hits1 = Cv_util.Metrics.value (Cv_util.Metrics.counter "lp.warmstart.hits") in
+  Alcotest.(check bool) "warm-start hits recorded" true (hits1 > hits0)
+
+(* The gadget row pair must support fixing at both ends of each of the
+   compile-time boxes (degenerate lo = hi included). *)
+let test_compiled_fixing_validation () =
+  let p = Cv_lp.Lp.create () in
+  let b = Cv_lp.Lp.add_var p ~lo:0. ~hi:1. () in
+  let free = Cv_lp.Lp.add_var p () in
+  Cv_lp.Lp.add_constraint p [ (1., b); (1., free) ] Cv_lp.Lp.Le 2.;
+  Cv_lp.Lp.set_objective p ~maximize:true [ (1., b); (1., free) ];
+  (match Cv_lp.Lp.compile ~fixable:[ free ] p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "compile must reject unbounded fixable variables");
+  let c = Cv_lp.Lp.compile ~fixable:[ b ] p in
+  (match Cv_lp.Lp.set_bounds_compiled c b ~lo:(-1.) ~hi:1. with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "re-bound outside the compiled box must be rejected");
+  Cv_lp.Lp.set_bounds_compiled c b ~lo:1. ~hi:1.;
+  match Cv_lp.Lp.solve_compiled c with
+  | Cv_lp.Lp.Optimal s -> check_float "b fixed at 1" 1. s.Cv_lp.Lp.values.(b)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Iteration-limit degradation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A starved simplex must surface [Stalled] (a structured outcome the
+   callers degrade on) instead of raising. *)
+let test_stalled_on_iteration_limit () =
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:0. () in
+  let y = Cv_lp.Lp.add_var p ~lo:0. () in
+  Cv_lp.Lp.add_constraint p [ (1., x); (2., y) ] Cv_lp.Lp.Le 4.;
+  Cv_lp.Lp.add_constraint p [ (3., x); (1., y) ] Cv_lp.Lp.Le 6.;
+  Cv_lp.Lp.set_objective p ~maximize:true [ (1., x); (1., y) ];
+  (match Cv_lp.Lp.solve ~max_iters:1 p with
+  | Cv_lp.Lp.Stalled -> ()
+  | _ -> Alcotest.fail "expected Stalled under max_iters:1");
+  match Cv_lp.Lp.solve p with
+  | Cv_lp.Lp.Optimal s -> check_float "unstarved optimum" 2.8 s.Cv_lp.Lp.objective
+  | _ -> Alcotest.fail "expected optimal without the iteration cap"
+
 let () =
   Alcotest.run "cv_lp"
     [ ( "basic",
@@ -280,7 +413,16 @@ let () =
           Alcotest.test_case "fixed variable" `Quick test_fixed_variable;
           Alcotest.test_case "set_bounds/copy" `Quick test_set_bounds_and_copy;
           Alcotest.test_case "constraint validation" `Quick
-            test_bad_constraint_var ] );
+            test_bad_constraint_var;
+          Alcotest.test_case "fixing across lowering paths" `Quick
+            test_set_bounds_fixing_paths ] );
+      ( "compiled",
+        [ Alcotest.test_case "matches fresh solves" `Quick
+            test_compiled_matches_fresh;
+          Alcotest.test_case "fixing validation" `Quick
+            test_compiled_fixing_validation;
+          Alcotest.test_case "stalled on iteration limit" `Quick
+            test_stalled_on_iteration_limit ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest lp_box_corner_prop;
           QCheck_alcotest.to_alcotest lp_solution_feasible_prop;

@@ -241,6 +241,60 @@ let test_cutoff_decision_queries () =
     Alcotest.(check bool) "optimum above 5" true (s.Cv_milp.Milp.objective > 5.)
   | _ -> Alcotest.fail "expected cutoff reached"
 
+(* ------------------------------------------------------------------ *)
+(* Parallel dives and iteration-limit degradation                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallel node-batch mode must reproduce the sequential verdicts
+   and objectives exactly (deterministic event replay). *)
+let test_parallel_matches_sequential () =
+  let knapsack () =
+    let p = Cv_milp.Milp.create () in
+    let vars = Array.init 8 (fun _ -> Cv_milp.Milp.add_binary p ()) in
+    let weights = [| 3.; 4.; 2.; 5.; 1.; 6.; 2.; 3. |] in
+    let profits = [| 10.; 13.; 7.; 11.; 2.; 15.; 5.; 8. |] in
+    Cv_milp.Milp.add_constraint p
+      (Array.to_list (Array.mapi (fun i v -> (weights.(i), v)) vars))
+      Cv_lp.Lp.Le 12.;
+    (p, Array.to_list (Array.mapi (fun i v -> (profits.(i), v)) vars))
+  in
+  let solve domains =
+    let p, terms = knapsack () in
+    Cv_milp.Milp.maximize ~domains p terms
+  in
+  (match (solve 1, solve 3) with
+  | Cv_milp.Milp.Optimal s1, Cv_milp.Milp.Optimal s3 ->
+    check_float "parallel = sequential optimum" s1.Cv_milp.Milp.objective
+      s3.Cv_milp.Milp.objective
+  | _ -> Alcotest.fail "expected optimal from both searches");
+  (* Figure 2 exact query, sequential vs 2 domains. *)
+  let fig2_max domains =
+    let net = fig2_net () in
+    let box = Cv_interval.Box.uniform 2 ~lo:(-1.) ~hi:1.1 in
+    let enc = Cv_milp.Relu_encoding.encode ~net ~input_box:box in
+    Cv_milp.Relu_encoding.max_output ~domains enc ~output:0
+  in
+  match (fig2_max 1, fig2_max 2) with
+  | Cv_milp.Milp.Optimal s1, Cv_milp.Milp.Optimal s2 ->
+    check_float "fig2 sequential" 6.2 s1.Cv_milp.Milp.objective;
+    check_float "fig2 parallel" 6.2 s2.Cv_milp.Milp.objective
+  | _ -> Alcotest.fail "expected optimal fig2 maxima"
+
+(* A simplex iteration budget small enough to stall every node must
+   degrade to [Timeout] (with an infinite bound — nothing certified),
+   never raise. *)
+let test_stalled_root_times_out () =
+  let p = Cv_milp.Milp.create () in
+  let a = Cv_milp.Milp.add_binary p () in
+  let b = Cv_milp.Milp.add_binary p () in
+  let c = Cv_milp.Milp.add_binary p () in
+  Cv_milp.Milp.add_constraint p [ (3., a); (4., b); (2., c) ] Cv_lp.Lp.Le 5.;
+  match Cv_milp.Milp.maximize ~max_iters:1 p [ (10., a); (13., b); (7., c) ] with
+  | Cv_milp.Milp.Timeout { bound; incumbent } ->
+    Alcotest.(check bool) "no certified bound" true (bound = Float.infinity);
+    Alcotest.(check bool) "no incumbent" true (incumbent = None)
+  | _ -> Alcotest.fail "expected Timeout when the root solve stalls"
+
 let () =
   Alcotest.run "cv_milp"
     [ ( "branch-and-bound",
@@ -250,6 +304,10 @@ let () =
           Alcotest.test_case "cutoff below" `Quick test_cutoff_below;
           Alcotest.test_case "cutoff reached" `Quick test_cutoff_reached;
           Alcotest.test_case "minimize" `Quick test_minimize_milp;
+          Alcotest.test_case "parallel matches sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "stalled root times out" `Quick
+            test_stalled_root_times_out;
           QCheck_alcotest.to_alcotest milp_vs_bruteforce_prop ] );
       ( "relu-encoding",
         [ Alcotest.test_case "paper fig2: max = 6.2" `Quick

@@ -260,6 +260,55 @@ let test_parallel_max_time () =
   Alcotest.(check (array int)) "results" [| 0; 2; 4; 6 |] results;
   Alcotest.(check bool) "max<=sum" true (max_t <= sum_t +. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Cv_util.Heap.create () in
+  Alcotest.(check bool) "empty" true (Cv_util.Heap.is_empty h);
+  Alcotest.(check (option (pair (float 0.) string))) "peek empty" None
+    (Cv_util.Heap.peek h);
+  Cv_util.Heap.push h 1.5 "b";
+  Cv_util.Heap.push h 3.0 "a";
+  Cv_util.Heap.push h 0.5 "c";
+  Alcotest.(check int) "size" 3 (Cv_util.Heap.size h);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "peek max" (Some (3.0, "a")) (Cv_util.Heap.peek h);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "pop max" (Some (3.0, "a")) (Cv_util.Heap.pop h);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "pop next" (Some (1.5, "b")) (Cv_util.Heap.pop h);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "pop last" (Some (0.5, "c")) (Cv_util.Heap.pop h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop empty" None
+    (Cv_util.Heap.pop h)
+
+(* Interleaved pushes and pops drain in non-increasing priority order
+   (the invariant the best-first frontier relies on), across the
+   internal growth threshold. *)
+let test_heap_ordering () =
+  let h = Cv_util.Heap.create () in
+  let rng = Cv_util.Rng.create 7 in
+  for i = 0 to 199 do
+    Cv_util.Heap.push h (Cv_util.Rng.float rng ~lo:0. ~hi:100.) i;
+    if i mod 3 = 0 then ignore (Cv_util.Heap.pop h)
+  done;
+  let last = ref Float.infinity in
+  let n = ref 0 in
+  let rec drain () =
+    match Cv_util.Heap.pop h with
+    | None -> ()
+    | Some (p, _) ->
+      Alcotest.(check bool) "non-increasing" true (p <= !last);
+      last := p;
+      incr n;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check int) "drained all" (200 - 67) !n;
+  Alcotest.(check bool) "empty after drain" true (Cv_util.Heap.is_empty h)
+
 let () =
   Alcotest.run "cv_util"
     [ ( "float_utils",
@@ -300,4 +349,7 @@ let () =
             test_parallel_exists_early_exit;
           Alcotest.test_case "exists witness wins" `Quick
             test_parallel_exists_witness_wins;
-          Alcotest.test_case "max_time" `Quick test_parallel_max_time ] ) ]
+          Alcotest.test_case "max_time" `Quick test_parallel_max_time ] );
+      ( "heap",
+        [ Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "ordering" `Quick test_heap_ordering ] ) ]
