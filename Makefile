@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench ci fmt
+.PHONY: all build test bench examples clean doc quickbench ci fmt chaos
 
 all: build
 
@@ -25,6 +25,11 @@ bench:
 
 quickbench:
 	dune exec bench/main.exe -- --quick
+
+# Seeded fault-injection campaign: verdicts may degrade under faults,
+# never flip. CI runs this for three seeds (chaos-matrix job).
+chaos:
+	dune exec bin/contiver.exe -- chaos --seed 1 --rounds 8
 
 examples:
 	dune exec examples/quickstart.exe

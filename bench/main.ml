@@ -17,6 +17,10 @@
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
+(* Arm CONTIVER_FAULTS so the CI chaos matrix can run the whole bench
+   under injected solver faults and diff the verdicts. *)
+let () = Cv_util.Fault.init_from_env ()
+
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -180,7 +184,15 @@ let table1_splitcert () =
    committed BENCH_PR3.json baseline and archives it, so perf
    regressions leave a comparable artifact per commit. *)
 let bench_trajectory () =
-  banner "Perf trajectory (BENCH_PR4.json)";
+  (* BENCH_OUT lets CI write side-by-side trajectories (e.g. one per
+     chaos-campaign fault spec) without clobbering the committed
+     baseline. *)
+  let out_path =
+    match Sys.getenv_opt "BENCH_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_PR4.json"
+  in
+  banner (Printf.sprintf "Perf trajectory (%s)" out_path);
   let exp = Lazy.force exp in
   let heads = exp.Cv_vehicle.Pipeline.heads in
   let prop = Cv_vehicle.Pipeline.property exp in
@@ -254,7 +266,7 @@ let bench_trajectory () =
         ("quick", Cv_util.Json.Bool quick);
         ("cases", Cv_util.Json.List case_rows) ]
   in
-  let path = "BENCH_PR4.json" in
+  let path = out_path in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

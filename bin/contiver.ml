@@ -24,7 +24,10 @@ exception Cli_error of string
 
 let cli_fail fmt = Printf.ksprintf (fun s -> raise (Cli_error s)) fmt
 
-(* Wrap a command body: its normal result is the exit code. *)
+(* Wrap a command body: its normal result is the exit code. Injected
+   faults, budget expiry and malformed JSON that escape the library's
+   own degradation layers are still rendered as one-line errors, never
+   a backtrace. *)
 let run f =
   try f () with
   | Cli_error msg ->
@@ -32,6 +35,15 @@ let run f =
     Cmd.Exit.some_error
   | Sys_error msg ->
     prerr_endline ("contiver: error: " ^ msg);
+    Cmd.Exit.some_error
+  | Cv_util.Json.Error msg ->
+    prerr_endline ("contiver: error: malformed JSON: " ^ msg);
+    Cmd.Exit.some_error
+  | Cv_util.Deadline.Expired msg ->
+    prerr_endline ("contiver: error: budget expired: " ^ msg);
+    Cmd.Exit.some_error
+  | Cv_util.Fault.Injected msg ->
+    prerr_endline ("contiver: error: injected fault: " ^ msg);
     Cmd.Exit.some_error
 
 let read_file path =
@@ -159,19 +171,75 @@ let trace_json_arg =
            escalation rungs, containment queries) and write the span tree \
            to $(docv) as JSON.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Periodically snapshot the run's search state to $(docv) \
+           (atomic write, checksummed envelope), so a killed run can be \
+           restarted with $(b,--resume-checkpoint).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt float 5.
+    & info [ "checkpoint-every" ] ~docv:"SECONDS"
+        ~doc:
+          "Minimum seconds between periodic checkpoint snapshots \
+           (default 5; 0 snapshots at every safe point).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "resume-checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Restart from a checkpoint written by a previous (killed) run \
+           of the same command on the same network. The file's run kind \
+           and network fingerprint are validated before resuming. \
+           Unless $(b,--checkpoint) says otherwise, the run keeps \
+           checkpointing to the same file.")
+
+(* Resolve the checkpoint flags into a cadenced sink plus the validated
+   resume payload. [--resume-checkpoint] without [--checkpoint] keeps
+   checkpointing to the resumed file. *)
+let setup_checkpointing ~kind ~fingerprint ~checkpoint ~every ~resume =
+  let resume_payload =
+    match resume with
+    | None -> None
+    | Some path -> (
+      match Cv_core.Runstate.load ~path ~kind ~fingerprint with
+      | Ok payload -> Some payload
+      | Error e -> cli_fail "%s" (Cv_core.Runstate.resume_error_message e))
+  in
+  let sink_path = match checkpoint with Some _ -> checkpoint | None -> resume in
+  let sink =
+    Option.map
+      (fun path ->
+        Cv_util.Checkpoint.create ~every (fun payload ->
+            Cv_core.Runstate.save ~path ~kind ~fingerprint payload))
+      sink_path
+  in
+  (sink, resume_payload)
+
 (* Zero the metrics registry, optionally enable span recording, run the
    command body, then emit the requested observability outputs — also on
-   error paths, so a failed run still reports where its effort went. *)
+   error paths, so a failed run still reports where its effort went. A
+   failing trace write must not mask the body's own result, so it
+   degrades to a warning. *)
 let with_observability ~stats ~trace_json f =
   Cv_util.Metrics.reset ();
   if trace_json <> None then Cv_util.Trace.enable ();
   let finish () =
     (match trace_json with
     | None -> ()
-    | Some path ->
+    | Some path -> (
       Cv_util.Trace.disable ();
-      write_file path (Cv_util.Json.to_string (Cv_util.Trace.to_json ()));
-      Printf.eprintf "trace written to %s\n%!" path);
+      match write_file path (Cv_util.Json.to_string (Cv_util.Trace.to_json ())) with
+      | () -> Printf.eprintf "trace written to %s\n%!" path
+      | exception Sys_error msg ->
+        Printf.eprintf "contiver: warning: trace not written: %s\n%!" msg));
     if stats then prerr_string (Cv_util.Metrics.table ())
   in
   Fun.protect ~finally:finish f
@@ -252,15 +320,26 @@ let string_of_unknown (u : Cv_verify.Containment.unknown) =
     | Some b -> Printf.sprintf " [best bound %.6g]" b)
 
 let verify verbose model property artifact_out exact widen timeout stats
-    trace_json =
+    trace_json checkpoint checkpoint_every resume =
   run @@ fun () ->
   setup_logs verbose;
   with_observability ~stats ~trace_json @@ fun () ->
   let net = load_network model in
   let prop = load_property property in
+  if (checkpoint <> None || resume <> None) && not exact then
+    cli_fail
+      "--checkpoint/--resume-checkpoint require --exact (only the exact \
+       branch-and-bound search has resumable state)";
+  let checkpoint, resume =
+    setup_checkpointing ~kind:Cv_core.Runstate.Verify
+      ~fingerprint:(Cv_artifacts.Artifacts.fingerprint net)
+      ~checkpoint ~every:checkpoint_every ~resume
+  in
   let deadline = deadline_of timeout in
   let original =
-    if exact then Cv_core.Strategy.solve_original_exact ?deadline ~widen net prop
+    if exact then
+      Cv_core.Strategy.solve_original_exact ?deadline ~widen ?checkpoint
+        ?resume net prop
     else Cv_core.Strategy.solve_original ?deadline net prop
   in
   let verdict = original.Cv_core.Strategy.report.Cv_verify.Verifier.verdict in
@@ -315,7 +394,7 @@ let verify_cmd =
     Term.(
       const verify $ verbose_arg $ model_arg () $ property
       $ artifact_arg ~mode:`Out $ exact $ widen $ timeout_arg $ stats_arg
-      $ trace_json_arg)
+      $ trace_json_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* svudc / svbtv                                                       *)
@@ -334,17 +413,24 @@ let print_report report original_seconds =
     Cmd.Exit.ok
   | _ -> 1
 
-let svudc verbose model artifact new_din engine timeout stats trace_json =
+let svudc verbose model artifact new_din engine timeout stats trace_json
+    checkpoint checkpoint_every resume =
   run @@ fun () ->
   setup_logs verbose;
   with_observability ~stats ~trace_json @@ fun () ->
   let net = load_network model in
   let artifact = load_artifact artifact in
   let new_din = load_box new_din in
+  let checkpoint, resume =
+    setup_checkpointing ~kind:Cv_core.Runstate.Svudc
+      ~fingerprint:(Cv_artifacts.Artifacts.fingerprint net)
+      ~checkpoint ~every:checkpoint_every ~resume
+  in
   let p = Cv_core.Problem.svudc ~net ~artifact ~new_din in
   let config = { Cv_core.Strategy.default_config with Cv_core.Strategy.engine } in
   let report =
-    Cv_core.Strategy.solve_svudc ?deadline:(deadline_of timeout) ~config p
+    Cv_core.Strategy.solve_svudc ?deadline:(deadline_of timeout) ~config
+      ?checkpoint ?resume p
   in
   print_report report artifact.Cv_artifacts.Artifacts.solve_seconds
 
@@ -362,10 +448,11 @@ let svudc_cmd =
           property on an enlarged input domain by reusing proof artifacts.")
     Term.(
       const svudc $ verbose_arg $ model_arg () $ artifact_arg ~mode:`In
-      $ new_din $ engine_arg $ timeout_arg $ stats_arg $ trace_json_arg)
+      $ new_din $ engine_arg $ timeout_arg $ stats_arg $ trace_json_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 let svbtv verbose old_model new_model artifact new_din engine slack timeout
-    stats trace_json =
+    stats trace_json checkpoint checkpoint_every resume =
   run @@ fun () ->
   setup_logs verbose;
   with_observability ~stats ~trace_json @@ fun () ->
@@ -377,6 +464,13 @@ let svbtv verbose old_model new_model artifact new_din engine slack timeout
     | Some path -> load_box path
     | None -> artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.din
   in
+  (* The checkpoint is bound to the network under verification: the
+     fine-tuned successor. *)
+  let checkpoint, resume =
+    setup_checkpointing ~kind:Cv_core.Runstate.Svbtv
+      ~fingerprint:(Cv_artifacts.Artifacts.fingerprint new_net)
+      ~checkpoint ~every:checkpoint_every ~resume
+  in
   let p = Cv_core.Problem.svbtv ~old_net ~new_net ~artifact ~new_din in
   Printf.printf "parameter drift (Linf): %.5g\n" (Cv_core.Problem.drift p);
   let config =
@@ -385,7 +479,8 @@ let svbtv verbose old_model new_model artifact new_din engine slack timeout
       interval_slack = slack }
   in
   let report =
-    Cv_core.Strategy.solve_svbtv ?deadline:(deadline_of timeout) ~config p
+    Cv_core.Strategy.solve_svbtv ?deadline:(deadline_of timeout) ~config
+      ?checkpoint ?resume p
   in
   print_report report artifact.Cv_artifacts.Artifacts.solve_seconds
 
@@ -414,7 +509,175 @@ let svbtv_cmd =
     Term.(
       const svbtv $ verbose_arg $ old_model $ new_model
       $ artifact_arg ~mode:`In $ new_din $ engine_arg $ slack $ timeout_arg
-      $ stats_arg $ trace_json_arg)
+      $ stats_arg $ trace_json_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The Fig. 2 toy network: small enough that every chaos round is
+   instant, rich enough (two ReLU layers, exact max ≈ 6.2 on [-1,1]²)
+   that both a provable and a falsifiable property exist. *)
+let chaos_net () =
+  Cv_nn.Network.of_list
+    [ Cv_nn.Layer.make
+        (Cv_linalg.Mat.of_rows [ [| 1.; -2. |]; [| -2.; 1. |]; [| 1.; -1. |] ])
+        [| 0.; 0.; 0. |] Cv_nn.Activation.Relu;
+      Cv_nn.Layer.make
+        (Cv_linalg.Mat.of_rows [ [| 2.; 2.; -1. |] ])
+        [| 0. |] Cv_nn.Activation.Relu ]
+
+(* Collapse a verdict (or an escaped exception) into the three-way
+   outcome the soundness invariant speaks about. *)
+type chaos_outcome = C_safe | C_unsafe | C_degraded of string
+
+let chaos_outcome_name = function
+  | C_safe -> "safe"
+  | C_unsafe -> "unsafe"
+  | C_degraded why -> "degraded (" ^ why ^ ")"
+
+let chaos_run_scenario net ~input_box ~target =
+  match
+    Cv_verify.Containment.check Cv_verify.Containment.Milp net ~input_box
+      ~target
+  with
+  | Cv_verify.Containment.Proved -> C_safe
+  | Cv_verify.Containment.Violated _ -> C_unsafe
+  | Cv_verify.Containment.Unknown u ->
+    C_degraded (Cv_verify.Containment.reason_name u.Cv_verify.Containment.reason)
+  | exception exn -> C_degraded ("escaped: " ^ Printexc.to_string exn)
+
+(* A verdict flip is Safe↔Unsafe in either direction; degradation to
+   Unknown (or a crash) is an acceptable loss of progress, never of
+   soundness. *)
+let chaos_is_flip ~baseline ~faulty =
+  match (baseline, faulty) with
+  | C_safe, C_unsafe | C_unsafe, C_safe -> true
+  | _ -> false
+
+let chaos verbose seed rounds =
+  run @@ fun () ->
+  setup_logs verbose;
+  (* The baseline must be fault-free even under CONTIVER_FAULTS. *)
+  Cv_util.Fault.reset ();
+  let net = chaos_net () in
+  let input_box = Cv_interval.Box.uniform 2 ~lo:(-1.) ~hi:1. in
+  let scenarios =
+    [ ("provable", Cv_interval.Box.of_bounds [| -1. |] [| 13. |]);
+      ("falsifiable", Cv_interval.Box.of_bounds [| -1. |] [| 5. |]) ]
+  in
+  let baseline =
+    List.map
+      (fun (name, target) -> (name, chaos_run_scenario net ~input_box ~target))
+      scenarios
+  in
+  List.iter
+    (fun (name, outcome) ->
+      Printf.printf "baseline %-11s -> %s\n" name (chaos_outcome_name outcome))
+    baseline;
+  (match List.assoc "provable" baseline with
+  | C_safe -> ()
+  | o ->
+    cli_fail "fault-free baseline did not prove the provable scenario (%s)"
+      (chaos_outcome_name o));
+  (match List.assoc "falsifiable" baseline with
+  | C_unsafe -> ()
+  | o ->
+    cli_fail "fault-free baseline did not falsify the falsifiable scenario (%s)"
+      (chaos_outcome_name o));
+  (* A live checkpoint sink, so kill-mid-checkpoint and
+     truncate-artifact have a write path to strike. *)
+  let ck_path = Filename.temp_file "contiver_chaos" ".ck.json" in
+  let fingerprint = Cv_artifacts.Artifacts.fingerprint net in
+  let ck_save round =
+    Cv_core.Runstate.save ~path:ck_path ~kind:Cv_core.Runstate.Verify
+      ~fingerprint
+      (Cv_util.Json.Obj [ ("round", Cv_util.Json.Num (float_of_int round)) ])
+  in
+  ck_save 0;
+  let campaign =
+    Cv_util.Fault.plan ~seed ~rounds ~points:Cv_util.Fault.all_points
+  in
+  let flips = ref 0 and degradations = ref 0 in
+  List.iteri
+    (fun i faults ->
+      let round = i + 1 in
+      let armed =
+        String.concat ", "
+          (List.map
+             (fun (p, m) ->
+               Printf.sprintf "%s:%s" (Cv_util.Fault.point_name p)
+                 (Cv_util.Fault.mode_name m))
+             faults)
+      in
+      Printf.printf "round %2d  faults: %s\n" round armed;
+      List.iter (fun (p, m) -> Cv_util.Fault.enable ~mode:m p) faults;
+      List.iter
+        (fun (name, target) ->
+          let outcome = chaos_run_scenario net ~input_box ~target in
+          let base = List.assoc name baseline in
+          let flip = chaos_is_flip ~baseline:base ~faulty:outcome in
+          if flip then incr flips;
+          (match outcome with C_degraded _ -> incr degradations | _ -> ());
+          Printf.printf "          %-11s -> %s%s\n" name
+            (chaos_outcome_name outcome)
+            (if flip then "  ** VERDICT FLIP **" else ""))
+        scenarios;
+      (* Exercise the checkpoint write path under the same faults. A
+         kill mid-write must leave the previous checkpoint intact; any
+         other damage must be detected at load, never silently
+         resumed. *)
+      (match ck_save round with
+      | () -> ()
+      | exception Cv_util.Fault.Injected _ -> (
+        match
+          Cv_core.Runstate.load ~path:ck_path ~kind:Cv_core.Runstate.Verify
+            ~fingerprint
+        with
+        | Ok _ -> Printf.printf "          checkpoint   -> previous intact\n"
+        | Error e ->
+          incr flips;
+          Printf.printf
+            "          checkpoint   -> ** LOST AFTER KILL ** (%s)\n"
+            (Cv_core.Runstate.resume_error_message e)));
+      Cv_util.Fault.reset ();
+      (match
+         Cv_core.Runstate.load ~path:ck_path ~kind:Cv_core.Runstate.Verify
+           ~fingerprint
+       with
+      | Ok _ -> ()
+      | Error _ ->
+        (* Detected (checksum-caught) damage from a truncation fault:
+           a degradation, not a soundness failure. Reseed for the next
+           round. *)
+        incr degradations;
+        Printf.printf "          checkpoint   -> corrupted but detected\n");
+      ck_save 0)
+    campaign;
+  (try Sys.remove ck_path with Sys_error _ -> ());
+  Printf.printf "chaos: %d rounds, %d degradations, %d verdict flips\n" rounds
+    !degradations !flips;
+  if !flips = 0 then Cmd.Exit.ok else 1
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 8
+      & info [ "rounds" ] ~docv:"K" ~doc:"Number of fault rounds to run.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded fault-injection campaign against the verifier and \
+          assert soundness: under injected solver crashes, worker deaths, \
+          allocation failures and killed checkpoint writes, verdicts may \
+          degrade to UNKNOWN but must never flip between safe and unsafe. \
+          Exits nonzero on any flip.")
+    Term.(const chaos $ verbose_arg $ seed $ rounds)
 
 (* ------------------------------------------------------------------ *)
 (* range                                                               *)
@@ -659,5 +922,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ generate_cmd; describe_cmd; verify_cmd; svudc_cmd; svbtv_cmd;
-            range_cmd; diff_cmd; suspects_cmd; simulate_cmd; import_nnet_cmd;
-            export_nnet_cmd ]))
+            chaos_cmd; range_cmd; diff_cmd; suspects_cmd; simulate_cmd;
+            import_nnet_cmd; export_nnet_cmd ]))

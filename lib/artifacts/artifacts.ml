@@ -126,31 +126,61 @@ let envelope_version = 2
 
 let checksum_of payload = Digest.to_hex (Digest.string (Cv_util.Json.to_string payload))
 
-let envelope t =
-  let payload = to_json t in
+let envelope_doc ~format payload =
   Cv_util.Json.Obj
-    [ ("format", Cv_util.Json.Str "contiver-proof");
+    [ ("format", Cv_util.Json.Str format);
       ("version", Cv_util.Json.of_int envelope_version);
       ("checksum", Cv_util.Json.Str (checksum_of payload));
       ("payload", payload) ]
 
-(** [save path t] writes the artifact bundle as checksummed JSON,
-    atomically: the document goes to a temporary file in the same
-    directory which is then renamed over [path], so a crash mid-write
-    never leaves a half-written artifact under the real name. *)
-let save path t =
-  let doc = Cv_util.Json.to_string (envelope t) in
+(* Distinguishes concurrent writers targeting the same path from within
+   one process (e.g. a checkpointer on a worker and the final artifact
+   save): the pid alone is not unique enough. *)
+let tmp_counter = Atomic.make 0
+
+(** [save_doc ~format path payload] writes any JSON payload inside the
+    checksummed envelope, atomically and durably: the document goes to
+    a temporary file {e unique to this process and call} in the same
+    directory, is fsynced, and only then renamed over [path] — a crash
+    mid-write never leaves a half-written document under the real name,
+    and two concurrent writers never clobber each other's tmp file. *)
+let save_doc ~format path payload =
+  let doc = Cv_util.Json.to_string (envelope_doc ~format payload) in
   let doc =
     (* Fault injection: simulate a corrupted write (non-atomic writer or
        disk fault) by emitting a truncated document. *)
-    if Cv_util.Fault.enabled Cv_util.Fault.Truncate_artifact then
+    if Cv_util.Fault.fires Cv_util.Fault.Truncate_artifact then
       String.sub doc 0 (String.length doc / 2)
     else doc
   in
-  let tmp = path ^ ".tmp" in
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
   let oc = open_out_bin tmp in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc);
+  (try
+     if Cv_util.Fault.fires Cv_util.Fault.Kill_mid_checkpoint then begin
+       (* Simulate the process dying mid-write: half the bytes land in
+          the tmp file, which is abandoned; the target path — and with
+          it the previous checkpoint — stays intact. *)
+       output_string oc (String.sub doc 0 (String.length doc / 2));
+       close_out_noerr oc;
+       raise (Cv_util.Fault.Injected "kill-mid-checkpoint (injected)")
+     end;
+     output_string oc doc;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (match e with
+     | Cv_util.Fault.Injected _ -> () (* a dead process cleans nothing *)
+     | _ -> ( try Sys.remove tmp with Sys_error _ -> ()));
+     raise e);
   Sys.rename tmp path
+
+(** [save path t] writes the artifact bundle via {!save_doc}. *)
+let save path t = save_doc ~format:"contiver-proof" path (to_json t)
 
 type load_error =
   | File_error of string  (** the file cannot be opened or read *)
@@ -162,12 +192,13 @@ let load_error_message = function
   | File_error msg -> msg
   | Corrupt msg -> msg
 
-(** [load_result path] reads an artifact bundle written by {!save},
-    returning a typed error instead of raising: [File_error] for I/O
-    problems, [Corrupt] for malformed/truncated JSON, a checksum
-    mismatch, or a schema violation. Bare version-1 documents (no
-    envelope) are accepted without integrity checking. *)
-let load_result path =
+(** [load_doc_result ~format path] reads a document written by
+    {!save_doc}, validating the envelope (version, declared format, MD5
+    checksum) and returning the payload. Bare documents without an
+    envelope come back whole, without integrity checking — the caller's
+    schema parse is their only guard (the version-1 artifact
+    behaviour). *)
+let load_doc_result ~format path =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -184,11 +215,19 @@ let load_result path =
         match Cv_util.Json.member_opt "payload" j with
         | Some payload ->
           let version = Cv_util.Json.to_int (Cv_util.Json.member "version" j) in
+          let declared =
+            Cv_util.Json.to_str (Cv_util.Json.member "format" j)
+          in
           if version <> envelope_version then
             Error
               (Corrupt
-                 (Printf.sprintf "%s: unsupported artifact format version %d"
-                    path version))
+                 (Printf.sprintf "%s: unsupported envelope version %d" path
+                    version))
+          else if not (String.equal declared format) then
+            Error
+              (Corrupt
+                 (Printf.sprintf "%s: expected a %s document, found %s" path
+                    format declared))
           else begin
             let stored = Cv_util.Json.to_str (Cv_util.Json.member "checksum" j) in
             let actual = checksum_of payload in
@@ -198,12 +237,24 @@ let load_result path =
                    (Printf.sprintf
                       "%s: checksum mismatch (stored %s, computed %s)" path
                       stored actual))
-            else Ok (of_json payload)
+            else Ok payload
           end
         | None ->
           (* Bare version-1 document. *)
-          Ok (of_json j)
+          Ok j
       with Cv_util.Json.Error msg -> Error (Corrupt (path ^ ": " ^ msg))))
+
+(** [load_result path] reads an artifact bundle written by {!save},
+    returning a typed error instead of raising: [File_error] for I/O
+    problems, [Corrupt] for malformed/truncated JSON, a checksum
+    mismatch, or a schema violation. Bare version-1 documents (no
+    envelope) are accepted without integrity checking. *)
+let load_result path =
+  match load_doc_result ~format:"contiver-proof" path with
+  | Error _ as e -> e
+  | Ok payload -> (
+    try Ok (of_json payload)
+    with Cv_util.Json.Error msg -> Error (Corrupt (path ^ ": " ^ msg)))
 
 (** [load path] reads an artifact bundle, raising on any failure —
     prefer {!load_result} for typed error handling. *)

@@ -53,9 +53,15 @@ val to_json : t -> Cv_util.Json.t
 
 val of_json : Cv_util.Json.t -> t
 
-(** [save path t] writes the bundle as checksummed JSON (format
-    version 2), atomically: temp file + rename, so a crash mid-write
-    never leaves a half-written artifact under the real name. *)
+(** [save_doc ~format path payload] writes any JSON payload inside the
+    checksummed envelope (format version 2), atomically and durably:
+    unique per-process/per-call temp file, fsync, then rename — a crash
+    mid-write never leaves a half-written document under the real name,
+    and concurrent writers to one path never clobber each other. Used
+    for proof artifacts and search checkpoints alike. *)
+val save_doc : format:string -> string -> Cv_util.Json.t -> unit
+
+(** [save path t] writes the bundle via {!save_doc}. *)
 val save : string -> t -> unit
 
 (** Typed failure of {!load_result}. *)
@@ -66,6 +72,13 @@ type load_error =
 
 (** [load_error_message e] renders a one-line diagnosis. *)
 val load_error_message : load_error -> string
+
+(** [load_doc_result ~format path] reads a document written by
+    {!save_doc}, validating version, declared format, and checksum, and
+    returns the payload; bare (version-1) documents come back whole
+    without integrity checking. *)
+val load_doc_result :
+  format:string -> string -> (Cv_util.Json.t, load_error) result
 
 (** [load_result path] reads a bundle written by {!save}: the envelope
     checksum is validated, and all failures come back as typed errors

@@ -1,0 +1,76 @@
+(** Durable run checkpoints: the on-disk envelope for a suspended
+    verification run.
+
+    A checkpoint file pairs a command-specific progress payload (a
+    {!Cv_verify.Range} progress document for [verify --exact], a
+    {!Strategy.run_until_decisive} attempt log for [svudc]/[svbtv])
+    with the run's {e kind} and the verified network's fingerprint, all
+    inside the checksummed atomic envelope of
+    {!Cv_artifacts.Artifacts.save_doc}. Load validates all three —
+    checksum, kind, fingerprint — through typed errors (mirroring
+    {!Session.resume_file}), so a checkpoint can never silently resume
+    the wrong run or the wrong network. *)
+
+let format = "contiver-checkpoint"
+
+type kind = Verify | Svudc | Svbtv
+
+let kind_name = function
+  | Verify -> "verify"
+  | Svudc -> "svudc"
+  | Svbtv -> "svbtv"
+
+type resume_error =
+  | Corrupt_checkpoint of string
+      (** unreadable file, malformed JSON, checksum mismatch, or schema
+          violation *)
+  | Checkpoint_mismatch of string
+      (** a valid checkpoint for a different command or network *)
+
+(** [resume_error_message e] renders a one-line diagnosis. *)
+let resume_error_message = function
+  | Corrupt_checkpoint msg -> msg
+  | Checkpoint_mismatch msg -> msg
+
+(** [save ~path ~kind ~fingerprint payload] writes a checkpoint
+    atomically and durably (unique tmp + fsync + rename — see
+    {!Cv_artifacts.Artifacts.save_doc}). *)
+let save ~path ~kind ~fingerprint payload =
+  Cv_artifacts.Artifacts.save_doc ~format path
+    (Cv_util.Json.Obj
+       [ ("kind", Cv_util.Json.Str (kind_name kind));
+         ("fingerprint", Cv_util.Json.Str fingerprint);
+         ("payload", payload) ])
+
+(** [load ~path ~kind ~fingerprint] reads a checkpoint back, validating
+    the envelope checksum, the run kind and the network fingerprint;
+    returns the progress payload. *)
+let load ~path ~kind ~fingerprint =
+  match Cv_artifacts.Artifacts.load_doc_result ~format path with
+  | Error e ->
+    Error
+      (Corrupt_checkpoint (Cv_artifacts.Artifacts.load_error_message e))
+  | Ok doc -> (
+    match
+      ( Cv_util.Json.to_str (Cv_util.Json.member "kind" doc),
+        Cv_util.Json.to_str (Cv_util.Json.member "fingerprint" doc),
+        Cv_util.Json.member "payload" doc )
+    with
+    | exception Cv_util.Json.Error msg ->
+      Error (Corrupt_checkpoint (path ^ ": " ^ msg))
+    | stored_kind, stored_fp, payload ->
+      if not (String.equal stored_kind (kind_name kind)) then
+        Error
+          (Checkpoint_mismatch
+             (Printf.sprintf
+                "%s: checkpoint belongs to a %s run, not %s — refusing to \
+                 resume"
+                path stored_kind (kind_name kind)))
+      else if not (String.equal stored_fp fingerprint) then
+        Error
+          (Checkpoint_mismatch
+             (Printf.sprintf
+                "%s: checkpoint was taken for a different network \
+                 (fingerprint %s, expected %s) — refusing to resume"
+                path stored_fp fingerprint))
+      else Ok payload)

@@ -1,0 +1,34 @@
+(** Durable run checkpoints: a command-specific progress payload paired
+    with the run kind and the network fingerprint, inside the
+    checksummed atomic artifact envelope. Load validates all three
+    through typed errors, so a checkpoint never silently resumes the
+    wrong run or the wrong network. *)
+
+type kind = Verify | Svudc | Svbtv
+
+(** [kind_name k] is the printable command name. *)
+val kind_name : kind -> string
+
+type resume_error =
+  | Corrupt_checkpoint of string
+      (** unreadable file, malformed JSON, checksum mismatch, or schema
+          violation *)
+  | Checkpoint_mismatch of string
+      (** a valid checkpoint for a different command or network *)
+
+(** [resume_error_message e] renders a one-line diagnosis. *)
+val resume_error_message : resume_error -> string
+
+(** [save ~path ~kind ~fingerprint payload] writes a checkpoint
+    atomically and durably. *)
+val save :
+  path:string -> kind:kind -> fingerprint:string -> Cv_util.Json.t -> unit
+
+(** [load ~path ~kind ~fingerprint] reads a checkpoint back, validating
+    checksum, run kind and network fingerprint; returns the progress
+    payload. *)
+val load :
+  path:string ->
+  kind:kind ->
+  fingerprint:string ->
+  (Cv_util.Json.t, resume_error) result

@@ -85,7 +85,7 @@ let solve_original ?deadline ?(config = default_config) net prop =
     fine-tuning, the same practice as the paper's input-bound buffers.
     Raises on non-piecewise-linear networks. *)
 let solve_original_exact ?deadline ?(config = default_config) ?(widen = 0.02)
-    ?(with_split_cert = false) net prop =
+    ?(with_split_cert = false) ?checkpoint ?resume net prop =
   Cv_util.Trace.with_span "strategy.original_exact" @@ fun () ->
   let lipschitz () =
     let ell_inf =
@@ -97,7 +97,9 @@ let solve_original_exact ?deadline ?(config = default_config) ?(widen = 0.02)
     [ ("Linf", ell_inf); ("L2", ell_l2) ]
   in
   let body () =
-    let verdict, _range = Cv_verify.Range.verify_exact ?deadline net prop in
+    let verdict, _range =
+      Cv_verify.Range.verify_exact ?deadline ?checkpoint ?resume net prop
+    in
     let split_cert =
       if with_split_cert && verdict = Cv_verify.Containment.Proved then
         Cv_verify.Split_cert.prove ?deadline net
@@ -117,13 +119,23 @@ let solve_original_exact ?deadline ?(config = default_config) ?(widen = 0.02)
   in
   let result, wall =
     Cv_util.Timer.time (fun () ->
-        try body ()
-        with Cv_util.Deadline.Expired msg ->
-          (* Exactness admits no partial answer: degrade the whole solve
-             to a structured Unknown (Lipschitz constants are cheap and
-             still recorded). *)
-          ( Cv_verify.Containment.unknown Cv_verify.Containment.Timeout msg,
-            None, lipschitz (), None ))
+        (* Supervised: transient solver failures (spurious errors,
+           allocation faults) are retried; a persistent crash degrades
+           to a structured Unknown instead of escaping. *)
+        Cv_util.Supervisor.protect ~name:"strategy.original_exact"
+          ~fallback:(fun exn ->
+            ( Cv_verify.Containment.unknown Cv_verify.Containment.Crash
+                ("exact solve crashed: " ^ Printexc.to_string exn),
+              None, lipschitz (), None ))
+          (fun () ->
+            try body ()
+            with Cv_util.Deadline.Expired msg ->
+              (* Exactness admits no partial answer: degrade the whole
+                 solve to a structured Unknown (Lipschitz constants are
+                 cheap and still recorded). *)
+              ( Cv_verify.Containment.unknown Cv_verify.Containment.Timeout
+                  msg,
+                None, lipschitz (), None )))
   in
   let verdict, abstractions, lipschitz, split_cert = result in
   { artifact =
@@ -186,13 +198,39 @@ let m_decisive = Cv_util.Metrics.counter "core.decisive"
 (* Run attempts lazily in order, stopping at the first decisive one.
    Budget expiry — either observed before launching an attempt or
    escaping one as Deadline.Expired — ends the run with a structured
-   Exhausted outcome instead of an exception. *)
-let run_until_decisive ?deadline attempts =
+   Exhausted outcome instead of an exception.
+
+   Checkpointing is attempt-granular: after every inconclusive attempt
+   the accumulated (non-decisive) attempts are written through the sink,
+   and [resume] replays them — skipping that many thunks — so a killed
+   SVuDC/SVbTV run re-enters the chain exactly where it stopped. The
+   attempt list is a deterministic function of the problem and config,
+   which makes the positional skip sound. Each attempt also runs
+   supervised: a crashed attempt (beyond retries) becomes Inconclusive
+   and the chain continues with the next, coarser route. *)
+let run_until_decisive ?deadline ?checkpoint ?resume attempts =
   let exhausted_attempt msg =
     { Report.name = "budget";
       outcome = Report.Exhausted msg;
       timing = Report.sequential_timing 0.;
       detail = "deadline expired; remaining attempts skipped" }
+  in
+  let prior =
+    match resume with
+    | None -> []
+    | Some doc ->
+      Cv_util.Json.to_list (Cv_util.Json.member "attempts" doc)
+      |> List.map Report.attempt_of_json
+  in
+  (* [acc] is most-recent-first; the written "attempts" list is
+     oldest-first. *)
+  let progress acc () =
+    Cv_util.Json.Obj
+      [ ("attempts", Cv_util.Json.List (List.rev_map Report.attempt_to_json acc))
+      ]
+  in
+  let rec drop n l =
+    if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
   in
   let rec go acc = function
     | [] -> Report.conclude (List.rev acc)
@@ -206,8 +244,17 @@ let run_until_decisive ?deadline attempts =
           Cv_util.Trace.with_span "strategy.attempt" @@ fun () ->
           Cv_util.Metrics.incr m_attempts;
           let attempt =
-            try thunk ()
-            with Cv_util.Deadline.Expired msg -> exhausted_attempt msg
+            Cv_util.Supervisor.protect ~name:"strategy.attempt"
+              ~fallback:(fun exn ->
+                { Report.name = "crashed";
+                  outcome =
+                    Report.Inconclusive
+                      ("attempt crashed: " ^ Printexc.to_string exn);
+                  timing = Report.sequential_timing 0.;
+                  detail = "supervised retries exhausted; trying next route" })
+              (fun () ->
+                try thunk ()
+                with Cv_util.Deadline.Expired msg -> exhausted_attempt msg)
           in
           Cv_util.Trace.add_attr "name" attempt.Report.name;
           Cv_util.Trace.add_attr "outcome"
@@ -218,19 +265,25 @@ let run_until_decisive ?deadline attempts =
         | Report.Safe | Report.Unsafe _ | Report.Exhausted _ ->
           Cv_util.Metrics.incr m_decisive;
           Report.conclude (List.rev (attempt :: acc))
-        | Report.Inconclusive _ -> go (attempt :: acc) rest
+        | Report.Inconclusive _ ->
+          let acc = attempt :: acc in
+          Cv_util.Checkpoint.save_opt checkpoint (progress acc);
+          go acc rest
       end
   in
-  go [] attempts
+  go (List.rev prior) (drop (List.length prior) attempts)
 
 (* ------------------------------------------------------------------ *)
 (* SVuDC                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(** [solve_svudc ?deadline ?config p] — the full SVuDC pipeline. *)
-let solve_svudc ?deadline ?(config = default_config) (p : Problem.svudc) =
+(** [solve_svudc ?deadline ?config p] — the full SVuDC pipeline.
+    [checkpoint]/[resume] persist and restore attempt-level progress
+    (see {!run_until_decisive}). *)
+let solve_svudc ?deadline ?(config = default_config) ?checkpoint ?resume
+    (p : Problem.svudc) =
   Cv_util.Trace.with_span "strategy.svudc" @@ fun () ->
-  run_until_decisive ?deadline
+  run_until_decisive ?deadline ?checkpoint ?resume
     [ (fun () -> Svudc.trivial p);
       (fun () -> Svudc.prop3 ~norm:config.lipschitz_norm p);
       (fun () -> Svudc.prop1 ?deadline ~engine:config.engine p);
@@ -251,8 +304,8 @@ let solve_svudc ?deadline ?(config = default_config) (p : Problem.svudc) =
 (** [solve_svbtv ?deadline ?config ?netabs p] — the full SVbTV pipeline.
     The optional [netabs] is a stored Prop. 6 abstraction pair built for
     the old network. *)
-let solve_svbtv ?deadline ?(config = default_config) ?netabs
-    (p : Problem.svbtv) =
+let solve_svbtv ?deadline ?(config = default_config) ?netabs ?checkpoint
+    ?resume (p : Problem.svbtv) =
   Cv_util.Trace.with_span "strategy.svbtv" @@ fun () ->
   let prop6_attempts =
     (match netabs with
@@ -263,7 +316,7 @@ let solve_svbtv ?deadline ?(config = default_config) ?netabs
     | Some slack -> [ (fun () -> Netabs_reuse.prop6_interval ~slack p) ]
     | None -> []
   in
-  run_until_decisive ?deadline
+  run_until_decisive ?deadline ?checkpoint ?resume
     (prop6_attempts
     @ [ (fun () -> Svbtv.leaf_reuse ?deadline ?domains:config.domains p);
         (fun () ->

@@ -48,12 +48,20 @@ val solve_original :
     the widened inductive abstraction chain (default slack 0.02) and
     Lipschitz constants. Raises on non-piecewise-linear networks;
     deadline expiry degrades the verdict to
-    [Unknown {reason = Timeout; _}] (no partial artifacts). *)
+    [Unknown {reason = Timeout; _}] (no partial artifacts), a
+    persistent crash (beyond supervised retries) to
+    [Unknown {reason = Crash; _}]. [checkpoint]/[resume] persist and
+    restore the range computation's progress (completed query optima
+    plus the in-flight branch-and-bound snapshot — see
+    {!Cv_verify.Range.exact_range}), so a killed run resumes with the
+    identical verdict. *)
 val solve_original_exact :
   ?deadline:Cv_util.Deadline.t ->
   ?config:config ->
   ?widen:float ->
   ?with_split_cert:bool ->
+  ?checkpoint:Cv_util.Checkpoint.t ->
+  ?resume:Cv_util.Json.t ->
   Cv_nn.Network.t ->
   Cv_verify.Property.t ->
   original
@@ -69,20 +77,43 @@ val full_verify :
   Cv_verify.Property.t ->
   Report.attempt
 
+(** [run_until_decisive ?deadline ?checkpoint ?resume attempts] runs
+    attempt thunks lazily in order, stopping at the first decisive one.
+    Attempts run supervised (a crash beyond retries becomes
+    [Inconclusive] and the chain continues); checkpointing is
+    attempt-granular, and [resume] replays the recorded non-decisive
+    attempts, skipping that many thunks. *)
+val run_until_decisive :
+  ?deadline:Cv_util.Deadline.t ->
+  ?checkpoint:Cv_util.Checkpoint.t ->
+  ?resume:Cv_util.Json.t ->
+  (unit -> Report.attempt) list ->
+  Report.t
+
 (** [solve_svudc ?deadline ?config p] — the full SVuDC pipeline. On
     budget expiry the run ends with a structured [Exhausted] verdict
-    instead of raising. *)
+    instead of raising. [checkpoint]/[resume] persist and restore
+    attempt-level progress (see {!run_until_decisive}). *)
 val solve_svudc :
-  ?deadline:Cv_util.Deadline.t -> ?config:config -> Problem.svudc -> Report.t
+  ?deadline:Cv_util.Deadline.t ->
+  ?config:config ->
+  ?checkpoint:Cv_util.Checkpoint.t ->
+  ?resume:Cv_util.Json.t ->
+  Problem.svudc ->
+  Report.t
 
 (** [solve_svbtv ?deadline ?config ?netabs p] — the full SVbTV pipeline.
     The optional [netabs] is a stored Prop. 6 abstraction pair built for
     the old network. On budget expiry the run ends with a structured
-    [Exhausted] verdict instead of raising. *)
+    [Exhausted] verdict instead of raising. [checkpoint]/[resume]
+    persist and restore attempt-level progress (see
+    {!run_until_decisive}). *)
 val solve_svbtv :
   ?deadline:Cv_util.Deadline.t ->
   ?config:config ->
   ?netabs:Netabs_reuse.t ->
+  ?checkpoint:Cv_util.Checkpoint.t ->
+  ?resume:Cv_util.Json.t ->
   Problem.svbtv ->
   Report.t
 

@@ -134,6 +134,10 @@ type compiled = {
     {!set_bounds_compiled} can re-bound it without re-lowering. The
     objective is captured as currently set. *)
 let compile ?(fixable = []) p =
+  (* Fault injection: arena allocation fails, as under memory
+     pressure. Raises so the supervisor's retry/fallback ladder — not
+     this module — decides how to degrade. *)
+  Cv_util.Fault.trip Cv_util.Fault.Alloc_failure;
   let lo = Array.of_list (List.rev p.lo) in
   let hi = Array.of_list (List.rev p.hi) in
   let is_fixable = Hashtbl.create (List.length fixable) in

@@ -872,6 +872,11 @@ let resolve ?deadline ?max_iters ?obj_limit st =
   in
   if st.warm && st.since_cold < warm_refresh_limit then begin
     let verdict =
+      (* Fault injection: a spurious warm-restart failure. Escalates
+         through the normal stall path — the cold solve below recomputes
+         from scratch, so the verdict is unchanged, only slower. *)
+      if Cv_util.Fault.fires Cv_util.Fault.Spurious_solver_error then None
+      else
       match Cv_util.Metrics.time t_dual (fun () -> dual_iterate ?deadline ?max_iters ?obj_limit st) with
       | `Stalled -> None
       | `Optimal -> Some `Optimal

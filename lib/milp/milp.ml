@@ -87,7 +87,15 @@ let m_incumbents = Cv_util.Metrics.counter "milp.incumbents"
 
 let m_timeouts = Cv_util.Metrics.counter "milp.timeouts"
 
+let m_crashes = Cv_util.Metrics.counter "milp.dive_crashes"
+
 let t_seconds = Cv_util.Metrics.timer "milp.seconds"
+
+(* A crashed worker domain degrades the solve to a certified [Timeout]
+   once it has struck this many times — the frontier stays sound (the
+   crashed dive's root is re-queued), so retry-forever is the only
+   other option, and a poisoned subproblem would then hang the run. *)
+let max_dive_crashes = 5
 
 (* Most fractional binary, or None if all integral. *)
 let pick_branch_var binaries (values : float array) =
@@ -143,6 +151,77 @@ type dive_event =
       (** deadline/stall hit this in-flight node: re-queue it and flag a
           timeout *)
 
+(* ------------------------------------------------------------------ *)
+(* Search-state snapshots                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A checkpoint captures everything the batch loop owns: the frontier
+   (node bounds and binary fixings), the incumbent, the fathomed-bound
+   high-water mark and the node count. It deliberately does NOT capture
+   solver-internal state (bases, rhs) — on resume the root is re-solved
+   and every frontier node is re-derived by rhs updates, so a snapshot
+   is small and valid across processes. Best-first branch-and-bound is
+   exact whatever the exploration order, so resuming from a snapshot
+   yields the same verdict as the uninterrupted run. *)
+
+let solution_to_json (s : solution) =
+  Cv_util.Json.Obj
+    [ ("objective", Cv_util.Json.Num s.objective);
+      ("values", Cv_util.Json.of_float_array s.values) ]
+
+let solution_of_json j =
+  { objective = Cv_util.Json.to_float (Cv_util.Json.member "objective" j);
+    values = Cv_util.Json.float_array (Cv_util.Json.member "values" j) }
+
+let snapshot_to_json ~nodes ~pruned_max ~incumbent ~incumbent_val frontier_list
+    =
+  let open Cv_util.Json in
+  Obj
+    [ ("nodes", of_int nodes);
+      ("pruned_max", Num pruned_max);
+      ("incumbent_val", Num incumbent_val);
+      ( "incumbent",
+        match incumbent with None -> Null | Some s -> solution_to_json s );
+      ( "frontier",
+        List
+          (List.map
+             (fun (b, fixed) ->
+               Obj
+                 [ ("bound", Num b);
+                   ( "fixed",
+                     List
+                       (List.map
+                          (fun (v, x) -> List [ of_int v; Num x ])
+                          fixed) ) ])
+             frontier_list) ) ]
+
+(* Raises {!Cv_util.Json.Error} on a malformed snapshot — callers
+   surface that as a corrupt checkpoint. *)
+let snapshot_of_json j =
+  let open Cv_util.Json in
+  let nodes = to_int (member "nodes" j) in
+  let pruned_max = to_float (member "pruned_max" j) in
+  let incumbent_val = to_float (member "incumbent_val" j) in
+  let incumbent =
+    match member "incumbent" j with
+    | Null -> None
+    | s -> Some (solution_of_json s)
+  in
+  let frontier =
+    to_list (member "frontier" j)
+    |> List.map (fun n ->
+           let b = to_float (member "bound" n) in
+           let fixed =
+             to_list (member "fixed" n)
+             |> List.map (fun pair ->
+                    match to_list pair with
+                    | [ v; x ] -> (to_int v, to_float x)
+                    | _ -> raise (Error "Milp: bad fixing in snapshot"))
+           in
+           (b, fixed))
+  in
+  (nodes, pruned_max, incumbent, incumbent_val, frontier)
+
 (** [maximize ?cutoff ?known_feasible ?node_limit ?domains p terms]
     maximises [terms] over the mixed-integer feasible set. With
     [cutoff = Some θ]: if the true optimum is ≤ θ the search proves it
@@ -153,9 +232,20 @@ type dive_event =
     at a concrete input): it seeds the incumbent for pruning; if the
     search then closes without an explicit incumbent the optimum equals
     the seed and an [Optimal] with empty [values] is returned.
-    [domains > 1] solves frontier nodes in parallel batches. *)
+    [domains > 1] solves frontier nodes in parallel batches.
+
+    [checkpoint] snapshots the search state (frontier, incumbent,
+    fathomed bounds) at the sink's cadence; [resume] restores such a
+    snapshot instead of starting from the root node — the root LP is
+    still re-solved (snapshots carry no solver-internal state), after
+    which the search continues exactly where the snapshot left off and
+    reaches the same verdict as an uninterrupted run. A crashed worker
+    dive (including injected {!Cv_util.Fault.Worker_crash}) re-queues
+    its node and rebuilds the slot from a pristine solver copy; repeated
+    crashes degrade to a certified [Timeout] instead of killing the
+    solve. *)
 let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000)
-    ?(domains = 1) ?max_iters p terms =
+    ?(domains = 1) ?max_iters ?checkpoint ?resume p terms =
   Cv_util.Metrics.incr m_solves;
   Cv_util.Metrics.time t_seconds @@ fun () ->
   Cv_lp.Lp.set_objective p.lp ~maximize:true terms;
@@ -191,14 +281,39 @@ let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000)
           { wc = (if i = 0 then c0 else Cv_lp.Lp.copy_compiled c0);
             wfixed = [] })
     in
+    (* Pristine unfixed solver state, cloned before any dive mutates a
+       slot. A crashed dive can leave its slot's rhs out of sync with
+       [wfixed]; a binary silently left fixed over-constrains later
+       nodes and could unsoundly lower their bounds, so a crashed slot
+       is rebuilt from this copy rather than trusted. *)
+    let pristine = Cv_lp.Lp.copy_compiled c0 in
+    let crashes = ref 0 in
     (* Best-first frontier keyed by the parent relaxation bound. *)
     let frontier = Cv_util.Heap.create () in
-    Cv_util.Heap.push frontier root.Cv_lp.Lp.objective [];
     let nodes = ref 0 in
     let result = ref None in
     (* Largest bound among nodes fathomed by the cutoff — a certified
        upper bound on the optimum within the pruned regions. *)
     let pruned_max = ref Float.neg_infinity in
+    (match resume with
+    | None -> Cv_util.Heap.push frontier root.Cv_lp.Lp.objective []
+    | Some snap ->
+      let n0, pm, inc, inc_val, front = snapshot_of_json snap in
+      nodes := n0;
+      pruned_max := pm;
+      (match inc with
+      | Some s ->
+        incumbent := Some s;
+        if better_than_cutoff s && !result = None then
+          result := Some (Cutoff_reached s)
+      | None -> ());
+      incumbent_val := Float.max !incumbent_val inc_val;
+      List.iter (fun (b, f) -> Cv_util.Heap.push frontier b f) front);
+    let snapshot () =
+      snapshot_to_json ~nodes:!nodes ~pruned_max:!pruned_max
+        ~incumbent:!incumbent ~incumbent_val:!incumbent_val
+        (Cv_util.Heap.to_list frontier)
+    in
     (* Budget expiry mid-search: the frontier is bound-ordered, so
        [max (top bound) (pruned bounds) incumbent] is a certified upper
        bound on the true optimum. *)
@@ -230,6 +345,7 @@ let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000)
        as the node is provably fathomable. All shared-state effects are
        returned as ordered events, applied later by the driver. *)
     let dive slot budget pb0 node0 =
+      Cv_util.Fault.trip Cv_util.Fault.Worker_crash;
       let w = workers.(slot) in
       let events = ref [] in
       let emit e = events := e :: !events in
@@ -309,6 +425,9 @@ let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000)
     do
       if Cv_util.Deadline.expired_opt deadline then timeout_now ()
       else begin
+        (* Snapshot at the top of the batch loop: no dive is in flight,
+           so the frontier + incumbent are the complete search state. *)
+        Cv_util.Checkpoint.tick_opt checkpoint snapshot;
         let pb0 = prune_bound () in
         (* Pop up to [nworkers] dive roots; each dive re-checks bounds
            itself, so no fathom test here. *)
@@ -322,12 +441,15 @@ let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000)
         done;
         let batch = List.rev !batch in
         let budget = max 1 ((node_limit - !nodes) / max 1 !k) in
+        (* Each dive is crash-isolated: an exception (a poisoned worker,
+           an injected fault) becomes [Error] for that slot only. *)
         let dives =
           match batch with
           | [] -> []
-          | [ node ] -> [ dive 0 budget pb0 node ]
+          | [ node ] -> (
+            [ (try Ok (dive 0 budget pb0 node) with exn -> Error exn) ])
           | _ ->
-            Cv_util.Parallel.map_list ~domains:nworkers
+            Cv_util.Parallel.map_results_list ~domains:nworkers
               (fun (slot, node) -> dive slot budget pb0 node)
               (List.mapi (fun i node -> (i, node)) batch)
         in
@@ -335,32 +457,59 @@ let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000)
            incumbent and bound updates happen in the same order whatever
            the domain count. *)
         let stopped = ref false in
-        List.iter
-          (fun (count, events) ->
-            nodes := !nodes + count;
-            Cv_util.Metrics.add m_nodes count;
-            List.iter
-              (fun ev ->
-                match ev with
-                | Epush (b, f) -> Cv_util.Heap.push frontier b f
-                | Efathom b ->
-                  Cv_util.Metrics.incr m_fathomed;
-                  pruned_max := Float.max !pruned_max b
-                | Eincumbent s ->
-                  if s.objective > !incumbent_val then begin
-                    Cv_util.Metrics.incr m_incumbents;
-                    incumbent_val := s.objective;
-                    incumbent := Some s
-                  end;
-                  if !result = None && better_than_cutoff s then
-                    result := Some (Cutoff_reached s)
-                | Eunbounded ->
-                  if !result = None then result := Some Unbounded
-                | Estop (b, f) ->
-                  Cv_util.Heap.push frontier b f;
-                  stopped := true)
-              events)
+        List.iteri
+          (fun slot outcome ->
+            match outcome with
+            | Error (Cv_util.Deadline.Expired _) ->
+              (* Dives catch expiry themselves; one escaping here means
+                 it fired outside the solve call — treat as a stop. *)
+              let b, f = List.nth batch slot in
+              Cv_util.Heap.push frontier b f;
+              stopped := true
+            | Error exn ->
+              (* The dive died: its node goes back to the frontier (the
+                 bound keeps the certified estimate sound) and its slot
+                 is rebuilt from the pristine copy — a crashed [move_to]
+                 can leave rhs and [wfixed] out of sync, and a silently
+                 stuck fixing could unsoundly lower later bounds. *)
+              Cv_util.Metrics.incr m_crashes;
+              Logs.warn (fun m ->
+                  m "milp: worker dive crashed (%s); node re-queued"
+                    (Printexc.to_string exn));
+              incr crashes;
+              let b, f = List.nth batch slot in
+              Cv_util.Heap.push frontier b f;
+              workers.(slot) <-
+                { wc = Cv_lp.Lp.copy_compiled pristine; wfixed = [] }
+            | Ok (count, events) ->
+              nodes := !nodes + count;
+              Cv_util.Metrics.add m_nodes count;
+              List.iter
+                (fun ev ->
+                  match ev with
+                  | Epush (b, f) -> Cv_util.Heap.push frontier b f
+                  | Efathom b ->
+                    Cv_util.Metrics.incr m_fathomed;
+                    pruned_max := Float.max !pruned_max b
+                  | Eincumbent s ->
+                    if s.objective > !incumbent_val then begin
+                      Cv_util.Metrics.incr m_incumbents;
+                      incumbent_val := s.objective;
+                      incumbent := Some s
+                    end;
+                    if !result = None && better_than_cutoff s then
+                      result := Some (Cutoff_reached s)
+                  | Eunbounded ->
+                    if !result = None then result := Some Unbounded
+                  | Estop (b, f) ->
+                    Cv_util.Heap.push frontier b f;
+                    stopped := true)
+                events)
           dives;
+        if !result = None && !crashes > max_dive_crashes then
+          (* Persistently poisoned workers: degrade to the certified
+             bound instead of spinning on re-queued nodes forever. *)
+          timeout_now ();
         if !result = None && !stopped then timeout_now ()
       end
     done;
@@ -390,15 +539,17 @@ let maximize ?deadline ?cutoff ?known_feasible ?(node_limit = 200_000)
           if ub = Float.neg_infinity then Infeasible else Below_cutoff ub))
 
 (** [minimize ?cutoff ?known_feasible ?node_limit ?domains p terms]
-    minimises by negating the objective. *)
-let minimize ?deadline ?cutoff ?known_feasible ?node_limit ?domains ?max_iters p
-    terms =
+    minimises by negating the objective. Snapshots stay in the internal
+    (negated) objective space, so a [checkpoint] written by a minimise
+    call resumes correctly through [resume] of another minimise call. *)
+let minimize ?deadline ?cutoff ?known_feasible ?node_limit ?domains ?max_iters
+    ?checkpoint ?resume p terms =
   let neg_terms = List.map (fun (c, v) -> (-.c, v)) terms in
   let neg_cutoff = Option.map (fun t -> -.t) cutoff in
   let neg_known = Option.map (fun t -> -.t) known_feasible in
   match
     maximize ?deadline ?cutoff:neg_cutoff ?known_feasible:neg_known ?node_limit
-      ?domains ?max_iters p neg_terms
+      ?domains ?max_iters ?checkpoint ?resume p neg_terms
   with
   | Optimal s -> Optimal { s with objective = -.s.objective }
   | Cutoff_reached s -> Cutoff_reached { s with objective = -.s.objective }

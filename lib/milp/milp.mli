@@ -65,7 +65,15 @@ val binary_count : problem -> int
     batch order. [max_iters] caps simplex iterations per LP phase
     (stalls degrade to [Timeout]). On deadline or node-budget
     exhaustion the search returns [Timeout] with the certified
-    incumbent bound instead of hanging or raising. *)
+    incumbent bound instead of hanging or raising.
+
+    [checkpoint] snapshots the search state (frontier bounds/fixings,
+    incumbent, fathomed-bound high-water mark) at the sink's cadence;
+    [resume] restores such a snapshot instead of starting from the root
+    node, reaching the same verdict as an uninterrupted run. A crashed
+    worker dive re-queues its node and rebuilds its solver slot from a
+    pristine copy; repeated crashes degrade to a certified
+    [Timeout]. *)
 val maximize :
   ?deadline:Cv_util.Deadline.t ->
   ?cutoff:float ->
@@ -73,12 +81,16 @@ val maximize :
   ?node_limit:int ->
   ?domains:int ->
   ?max_iters:int ->
+  ?checkpoint:Cv_util.Checkpoint.t ->
+  ?resume:Cv_util.Json.t ->
   problem ->
   Cv_lp.Lp.term list ->
   result
 
 (** [minimize ?deadline ?cutoff ?known_feasible ?node_limit ?domains
-    ?max_iters p terms] minimises by negating the objective. *)
+    ?max_iters p terms] minimises by negating the objective; snapshots
+    stay in the internal negated space, so checkpoint and resume
+    compose across minimise calls. *)
 val minimize :
   ?deadline:Cv_util.Deadline.t ->
   ?cutoff:float ->
@@ -86,6 +98,8 @@ val minimize :
   ?node_limit:int ->
   ?domains:int ->
   ?max_iters:int ->
+  ?checkpoint:Cv_util.Checkpoint.t ->
+  ?resume:Cv_util.Json.t ->
   problem ->
   Cv_lp.Lp.term list ->
   result

@@ -198,7 +198,7 @@ let lift_result e ~seed_input ~in_dim = function
     output neuron over the encoded set (exactly — the sampling seed only
     accelerates pruning). [domains > 1] parallelises the
     branch-and-bound dives. *)
-let max_output ?deadline ?cutoff ?domains enc ~output =
+let max_output ?deadline ?cutoff ?domains ?checkpoint ?resume enc ~output =
   let e = enc.outputs.(output) in
   let seed_val, seed_input = enc.seeds.(output).(0) in
   let cutoff' = Option.map (fun t -> t -. e.const) cutoff in
@@ -206,18 +206,18 @@ let max_output ?deadline ?cutoff ?domains enc ~output =
      it via the cutoff mechanism only when it does not weaken the
      caller's query semantics (no user cutoff → use seed as a pruning
      floor through known_feasible). *)
-  Milp.maximize ?deadline ?cutoff:cutoff' ?domains
+  Milp.maximize ?deadline ?cutoff:cutoff' ?domains ?checkpoint ?resume
     ~known_feasible:(seed_val -. e.const)
     enc.problem e.terms
   |> lift_result e ~seed_input ~in_dim:(Array.length enc.input_vars)
 
 (** [min_output ?deadline ?cutoff ?domains enc ~output] minimises one
     output neuron. *)
-let min_output ?deadline ?cutoff ?domains enc ~output =
+let min_output ?deadline ?cutoff ?domains ?checkpoint ?resume enc ~output =
   let e = enc.outputs.(output) in
   let seed_val, seed_input = enc.seeds.(output).(1) in
   let cutoff' = Option.map (fun t -> t -. e.const) cutoff in
-  Milp.minimize ?deadline ?cutoff:cutoff' ?domains
+  Milp.minimize ?deadline ?cutoff:cutoff' ?domains ?checkpoint ?resume
     ~known_feasible:(seed_val -. e.const)
     enc.problem e.terms
   |> lift_result e ~seed_input ~in_dim:(Array.length enc.input_vars)

@@ -28,11 +28,17 @@ val encode : net:Cv_nn.Network.t -> input_box:Cv_interval.Box.t -> encoding
     output neuron over the encoded set (exactly — the sampling seed only
     accelerates pruning). [domains > 1] runs the branch-and-bound dives
     on parallel domains with deterministic merging. On budget exhaustion
-    returns [Milp.Timeout] with the certified incumbent bound. *)
+    returns [Milp.Timeout] with the certified incumbent bound.
+    [checkpoint]/[resume] snapshot and restore the branch-and-bound
+    state (see {!Milp.maximize}); snapshots are in the encoded
+    (constant-stripped) objective space, so they only resume the same
+    query on the same encoding. *)
 val max_output :
   ?deadline:Cv_util.Deadline.t ->
   ?cutoff:float ->
   ?domains:int ->
+  ?checkpoint:Cv_util.Checkpoint.t ->
+  ?resume:Cv_util.Json.t ->
   encoding ->
   output:int ->
   Milp.result
@@ -43,6 +49,8 @@ val min_output :
   ?deadline:Cv_util.Deadline.t ->
   ?cutoff:float ->
   ?domains:int ->
+  ?checkpoint:Cv_util.Checkpoint.t ->
+  ?resume:Cv_util.Json.t ->
   encoding ->
   output:int ->
   Milp.result

@@ -1,0 +1,53 @@
+(** Cadence-governed checkpoint sinks.
+
+    A checkpoint sink couples a JSON writer with a wall-clock cadence:
+    long-running searches call {!tick} at convenient safe points (the
+    top of the branch-and-bound loop, between range queries) and the
+    sink decides — against the monotonic {!Clock} — whether enough time
+    has passed to pay for another snapshot. Layers compose with {!wrap}:
+    the MILP loop produces a bare frontier snapshot, the range layer
+    wraps it with per-output progress, the CLI wraps that in the
+    checksummed checkpoint envelope; all layers share one cadence so a
+    deep loop cannot spam the disk. *)
+
+type t = {
+  every : float;  (** minimum seconds between timed snapshots *)
+  last : float ref;  (** {!Clock.now} of the last write, shared by wraps *)
+  write : Json.t -> unit;
+}
+
+let m_saves = Metrics.counter "checkpoint.saves"
+
+(** [create ~every write] makes a sink that persists snapshots via
+    [write] at most every [every] seconds ([every <= 0.] fires on every
+    tick — the test configuration). *)
+let create ~every write = { every; last = ref (Clock.now ()); write }
+
+(** [wrap t f] layers a JSON transformer under the sink: the returned
+    sink carries the same cadence state, so a [tick] at any depth
+    counts against the shared budget, but snapshots pass through [f]
+    (typically embedding them in an outer progress document) before
+    reaching the writer. *)
+let wrap t f = { t with write = (fun j -> t.write (f j)) }
+
+(** [save t mk] writes a snapshot unconditionally and resets the
+    cadence — used at natural commit points (a completed subquery)
+    where a durable record is worth the write regardless of timing. *)
+let save t mk =
+  t.last := Clock.now ();
+  Metrics.incr m_saves;
+  t.write (mk ())
+
+(** [tick t mk] writes a snapshot if the cadence allows, forcing [mk]
+    only when it will actually be written. *)
+let tick t mk =
+  if Clock.now () -. !(t.last) >= t.every then save t mk
+
+(** [tick_opt t mk] — [tick] through an optional sink; the common call
+    shape inside search loops that run with or without checkpointing. *)
+let tick_opt t mk = Option.iter (fun t -> tick t mk) t
+
+let save_opt t mk = Option.iter (fun t -> save t mk) t
+
+(** [wrap_opt t f] — [wrap] through an optional sink. *)
+let wrap_opt t f = Option.map (fun t -> wrap t f) t

@@ -1,0 +1,33 @@
+(** Cadence-governed checkpoint sinks: long-running searches call
+    {!tick} at safe points and the sink snapshots their JSON state at
+    most once per cadence interval, against the monotonic {!Clock}.
+    Layers compose with {!wrap} and share one cadence. *)
+
+type t = {
+  every : float;  (** minimum seconds between timed snapshots *)
+  last : float ref;  (** {!Clock.now} of the last write, shared by wraps *)
+  write : Json.t -> unit;
+}
+
+(** [create ~every write] — a sink writing at most every [every]
+    seconds ([every <= 0.] fires on every tick). *)
+val create : every:float -> (Json.t -> unit) -> t
+
+(** [wrap t f] layers a snapshot transformer under the sink, sharing
+    its cadence state. *)
+val wrap : t -> (Json.t -> Json.t) -> t
+
+(** [save t mk] writes unconditionally and resets the cadence. *)
+val save : t -> (unit -> Json.t) -> unit
+
+(** [tick t mk] writes if the cadence allows; [mk] is forced only when
+    writing. *)
+val tick : t -> (unit -> Json.t) -> unit
+
+(** Optional-sink conveniences for search loops that run with or
+    without checkpointing. *)
+val tick_opt : t option -> (unit -> Json.t) -> unit
+
+val save_opt : t option -> (unit -> Json.t) -> unit
+
+val wrap_opt : t option -> (Json.t -> Json.t) -> t option

@@ -39,7 +39,7 @@ let no_budget = { expires_at = None; seconds = Float.infinity; fuel = None }
     budget (or an armed {!Fault.Deadline_zero} fault) is already
     expired. *)
 let make ~seconds =
-  let seconds = if Fault.enabled Fault.Deadline_zero then 0. else seconds in
+  let seconds = if Fault.fires Fault.Deadline_zero then 0. else seconds in
   let expires_at =
     if seconds <= 0. then Float.neg_infinity else now () +. seconds
   in

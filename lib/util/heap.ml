@@ -56,6 +56,8 @@ let push h priority x =
 
 let peek h = if h.len = 0 then None else Some (h.prio.(0), h.data.(0))
 
+let to_list h = List.init h.len (fun i -> (h.prio.(i), h.data.(i)))
+
 let pop h =
   if h.len = 0 then None
   else begin

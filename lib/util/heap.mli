@@ -25,3 +25,8 @@ val peek : 'a t -> (float * 'a) option
 
 (** [pop h] removes and returns the entry with the largest priority. *)
 val pop : 'a t -> (float * 'a) option
+
+(** [to_list h] is every queued [(priority, element)] in unspecified
+    order, without disturbing the heap — the checkpoint snapshot of a
+    branch-and-bound frontier. *)
+val to_list : 'a t -> (float * 'a) list

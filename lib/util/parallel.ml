@@ -49,6 +49,17 @@ let map ?(domains = default_domains) f xs =
 let map_list ?domains f xs =
   Array.to_list (map ?domains f (Array.of_list xs))
 
+(** [map_results ?domains f xs] is {!map} with per-element crash
+    isolation: an exception from [f xs.(i)] becomes [Error exn] at slot
+    [i] instead of killing the whole batch — one poisoned subproblem
+    must not take down its siblings. *)
+let map_results ?domains f xs =
+  map ?domains (fun x -> try Ok (f x) with exn -> Error exn) xs
+
+(** [map_results_list ?domains f xs] is {!map_results} over lists. *)
+let map_results_list ?domains f xs =
+  Array.to_list (map_results ?domains f (Array.of_list xs))
+
 (** [exists ?domains pred xs] checks whether any element satisfies
     [pred], evaluating elements concurrently with early exit: once a
     witness is found, remaining elements are abandoned — workers stop

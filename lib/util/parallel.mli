@@ -15,6 +15,16 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_list ?domains f xs] is {!map} over lists. *)
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [map_results ?domains f xs] is {!map} with per-element crash
+    isolation: an exception from [f xs.(i)] becomes [Error exn] at slot
+    [i] instead of killing the batch. *)
+val map_results :
+  ?domains:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+
+(** [map_results_list ?domains f xs] is {!map_results} over lists. *)
+val map_results_list :
+  ?domains:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
 (** [exists ?domains pred xs] — exact result with early exit: once a
     witness is found, remaining elements are abandoned (never forced on
     the sequential path; no longer claimed by workers on the parallel

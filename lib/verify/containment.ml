@@ -29,7 +29,7 @@ let engine_name = function
   | Milp -> "milp"
 
 (** Why an engine answered [Unknown]. *)
-type unknown_reason = Imprecise | Budget | Timeout | Numerical
+type unknown_reason = Imprecise | Budget | Timeout | Numerical | Crash
 
 (** Structured payload of an [Unknown] verdict. *)
 type unknown = {
@@ -47,6 +47,7 @@ let reason_name = function
   | Budget -> "budget"
   | Timeout -> "timeout"
   | Numerical -> "numerical"
+  | Crash -> "crash"
 
 (** [unknown ?best_bound reason message] builds an [Unknown] verdict. *)
 let unknown ?best_bound reason message = Unknown { reason; message; best_bound }
@@ -200,13 +201,27 @@ let check ?deadline ?domains engine net ~input_box ~target =
     ~attrs:[ ("engine", engine_name engine) ]
   @@ fun () ->
   let v =
-    try
-      match engine with
-      | Abstract kind -> check_abstract ?deadline kind net ~input_box ~target
-      | Symint_split budget ->
-        check_split ?deadline budget net ~input_box ~target
-      | Milp -> check_milp ?deadline ?domains net ~input_box ~target
-    with Cv_util.Deadline.Expired msg -> unknown Timeout msg
+    (* Every engine runs supervised: transient failures (spurious solver
+       errors, allocation faults, injected chaos) are retried with
+       backoff, and an engine that keeps dying yields a structured
+       [Unknown {reason = Crash; _}] — weaker than any real verdict but
+       never wrong — so one poisoned query degrades instead of killing
+       the whole verification run. *)
+    Cv_util.Supervisor.protect
+      ~name:("containment." ^ engine_name engine)
+      ~fallback:(fun exn ->
+        unknown Crash
+          (Printf.sprintf "%s engine crashed: %s" (engine_name engine)
+             (Printexc.to_string exn)))
+      (fun () ->
+        try
+          match engine with
+          | Abstract kind ->
+            check_abstract ?deadline kind net ~input_box ~target
+          | Symint_split budget ->
+            check_split ?deadline budget net ~input_box ~target
+          | Milp -> check_milp ?deadline ?domains net ~input_box ~target
+        with Cv_util.Deadline.Expired msg -> unknown Timeout msg)
   in
   Cv_util.Trace.add_attr "verdict" (verdict_label v);
   v

@@ -23,6 +23,9 @@ type unknown_reason =
   | Budget  (** split/node budget exhausted *)
   | Timeout  (** wall-clock deadline expired *)
   | Numerical  (** solver anomaly (infeasible/unbounded relaxation) *)
+  | Crash
+      (** the engine died repeatedly despite supervised retries; the
+          query degrades instead of killing the run *)
 
 (** Structured payload of an [Unknown] verdict. *)
 type unknown = {

@@ -18,20 +18,33 @@ type t = {
     deterministic verdicts. Raises {!Cv_util.Deadline.Expired} when the
     budget runs out before every optimality gap closes — exactness
     admits no partial answer here; callers needing degradation catch the
-    exception. *)
+    exception.
+
+    [checkpoint] persists progress — the exact optima of completed
+    queries plus the in-flight query's branch-and-bound snapshot —
+    through the given sink; [resume] restores such a document, skipping
+    completed queries and resuming the interrupted search mid-frontier,
+    with a final range identical to the uninterrupted run's. Raises
+    {!Cv_util.Json.Error} on a malformed resume document. *)
 val exact_range :
   ?deadline:Cv_util.Deadline.t ->
   ?domains:int ->
+  ?checkpoint:Cv_util.Checkpoint.t ->
+  ?resume:Cv_util.Json.t ->
   Cv_nn.Network.t ->
   din:Cv_interval.Box.t ->
   t
 
 (** [verify_exact ?deadline ?domains net prop] decides the property by
     exact range computation; returns the verdict together with the
-    range. Raises {!Cv_util.Deadline.Expired} on budget exhaustion. *)
+    range. Raises {!Cv_util.Deadline.Expired} on budget exhaustion.
+    [checkpoint]/[resume] persist and restore progress (see
+    {!exact_range}). *)
 val verify_exact :
   ?deadline:Cv_util.Deadline.t ->
   ?domains:int ->
+  ?checkpoint:Cv_util.Checkpoint.t ->
+  ?resume:Cv_util.Json.t ->
   Cv_nn.Network.t ->
   Property.t ->
   Containment.verdict * t

@@ -142,18 +142,24 @@ let verify_with_abstractions ?deadline ?(domain = Cv_domains.Analyzer.Symint)
     invalid_arg "Verifier.verify_with_abstractions: dimension mismatch";
   let (abstractions, abstract_ok), abs_seconds =
     Cv_util.Timer.time (fun () ->
-        match
-          Cv_domains.Analyzer.abstractions ?deadline domain net
-            prop.Property.din
-        with
-        | s ->
-          let ok =
-            Cv_interval.Box.subset_tol
-              s.(Array.length s - 1)
-              prop.Property.dout
-          in
-          (Some s, ok)
-        | exception Cv_util.Deadline.Expired _ -> (None, false))
+        (* Supervised: a transiently crashing analyzer is retried, and a
+           persistent crash falls through to the exact engine below —
+           the proof artifact just loses its inductive abstraction. *)
+        Cv_util.Supervisor.protect ~name:"verifier.abstractions"
+          ~fallback:(fun _ -> (None, false))
+          (fun () ->
+            match
+              Cv_domains.Analyzer.abstractions ?deadline domain net
+                prop.Property.din
+            with
+            | s ->
+              let ok =
+                Cv_interval.Box.subset_tol
+                  s.(Array.length s - 1)
+                  prop.Property.dout
+              in
+              (Some s, ok)
+            | exception Cv_util.Deadline.Expired _ -> (None, false)))
   in
   if abstract_ok then
     { report =

@@ -16,6 +16,25 @@ let run args =
   let cmd = Filename.quote_command exe args ^ " > /dev/null 2>&1" in
   Sys.command cmd
 
+(* Run and capture stdout, for asserting on the verdict line. *)
+let run_out args =
+  let out = Filename.temp_file "contiver_cli" ".out" in
+  let cmd =
+    Filename.quote_command exe args
+    ^ " > " ^ Filename.quote out ^ " 2> /dev/null"
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let verdict_line text =
+  String.split_on_char '\n' text
+  |> List.find_opt (fun l -> String.length l > 8 && String.sub l 0 8 = "verdict:")
+  |> Option.value ~default:"<no verdict line>"
+
 let check_run ?(expect = 0) name args =
   Alcotest.(check int) name expect (run args)
 
@@ -70,6 +89,93 @@ let test_verify_rejects_missing_file () =
   Alcotest.(check bool) "missing model rejected" true
     (run [ "describe"; "--model"; "/nonexistent.json" ] <> 0)
 
+(* The tentpole's end-to-end claim: SIGKILL a checkpointing exact run
+   mid-search, resume from the snapshot, and get the identical
+   verdict. *)
+let test_kill_and_resume () =
+  let path f = Filename.concat tmp_dir f in
+  let verify_args artifact extra =
+    [ "verify"; "--exact"; "--model"; path "head1.json"; "--property";
+      path "property.json"; "--artifact"; path artifact ]
+    @ extra
+  in
+  let code, text = run_out (verify_args "proof_exact.json" []) in
+  Alcotest.(check int) "exact baseline exits 0" 0 code;
+  let baseline = verdict_line text in
+  Alcotest.(check bool) "baseline verdict found" true
+    (baseline <> "<no verdict line>");
+  (* Launch the same run with tight-cadence checkpointing, wait for the
+     first snapshot to land, then SIGKILL it mid-search. *)
+  let ck = path "ck.json" in
+  if Sys.file_exists ck then Sys.remove ck;
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let argv =
+    Array.of_list
+      (exe
+      :: verify_args "proof_killed.json"
+           [ "--checkpoint"; ck; "--checkpoint-every"; "0.02" ])
+  in
+  let pid = Unix.create_process exe argv Unix.stdin dev_null dev_null in
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec wait_for_checkpoint () =
+    if Sys.file_exists ck then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      (* Bail out early if the run finished before checkpointing. *)
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        Unix.sleepf 0.01;
+        wait_for_checkpoint ()
+      | _ -> Sys.file_exists ck
+    end
+  in
+  let saw_checkpoint = wait_for_checkpoint () in
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+  Unix.close dev_null;
+  Alcotest.(check bool) "checkpoint written before the kill" true
+    saw_checkpoint;
+  (* Resume from the snapshot: identical verdict, exit 0. *)
+  let code, text =
+    run_out (verify_args "proof_resumed.json" [ "--resume-checkpoint"; ck ])
+  in
+  Alcotest.(check int) "resumed run exits 0" 0 code;
+  Alcotest.(check string) "resumed verdict identical" baseline
+    (verdict_line text);
+  Alcotest.(check bool) "resumed run writes the proof artifact" true
+    (Sys.file_exists (path "proof_resumed.json"))
+
+let test_checkpoint_flag_validation () =
+  let path f = Filename.concat tmp_dir f in
+  (* Checkpointing without --exact is a usage error. *)
+  Alcotest.(check bool) "--checkpoint without --exact rejected" true
+    (run
+       [ "verify"; "--model"; path "head1.json"; "--property";
+         path "property.json"; "--artifact"; path "p.json"; "--checkpoint";
+         path "ck2.json" ]
+    <> 0);
+  (* A verify checkpoint cannot resume an svudc run. *)
+  Alcotest.(check bool) "wrong-kind resume rejected" true
+    (run
+       [ "svudc"; "--model"; path "head1.json"; "--artifact";
+         path "proof.json"; "--new-din"; path "enlarged_din.json";
+         "--resume-checkpoint"; path "ck.json" ]
+    <> 0);
+  (* A corrupt checkpoint is refused with a typed error, not resumed. *)
+  let corrupt = path "ck_corrupt.json" in
+  let oc = open_out corrupt in
+  output_string oc "{\"format\":\"contiver-checkpoint\",\"version\":2";
+  close_out oc;
+  Alcotest.(check bool) "corrupt resume rejected" true
+    (run
+       [ "verify"; "--exact"; "--model"; path "head1.json"; "--property";
+         path "property.json"; "--artifact"; path "p.json";
+         "--resume-checkpoint"; corrupt ]
+    <> 0)
+
+let test_chaos_campaign () =
+  check_run "chaos campaign is sound" [ "chaos"; "--seed"; "2"; "--rounds"; "3" ]
+
 let () =
   if not (Sys.file_exists exe) then begin
     print_endline "contiver binary not found; skipping CLI tests";
@@ -83,4 +189,8 @@ let () =
             test_generate_and_describe;
           Alcotest.test_case "verify+reuse" `Quick test_verify_and_reuse;
           Alcotest.test_case "missing file" `Quick
-            test_verify_rejects_missing_file ] ) ]
+            test_verify_rejects_missing_file;
+          Alcotest.test_case "kill and resume" `Quick test_kill_and_resume;
+          Alcotest.test_case "checkpoint flag validation" `Quick
+            test_checkpoint_flag_validation;
+          Alcotest.test_case "chaos campaign" `Quick test_chaos_campaign ] ) ]
