@@ -274,6 +274,121 @@ let bench_trajectory () =
   Printf.printf "trajectory written to %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Batch throughput                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR 7 headline: N queries sharing one network through the batch
+   scheduler (content-addressed artifact cache + worker pool) against N
+   cold one-shot invocations. The abstract chain is built once and hit
+   N-1 times, so the batch wall-clock must land strictly below the
+   summed one-shot baseline. Written to BENCH_PR7.json; CI validates
+   the schema, the verdict agreement and the speedup, then archives
+   it. *)
+let bench_batch () =
+  let out_path =
+    match Sys.getenv_opt "BENCH_PR7_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_PR7.json"
+  in
+  banner (Printf.sprintf "Batch throughput (%s)" out_path);
+  (* The paper's continuous-verification scenario: every CI run
+     re-checks many output properties of the same deployed network.
+     The head is wide enough that one symbolic-interval chain build
+     dominates per-query overhead by orders of magnitude. *)
+  let rng = Cv_util.Rng.create 11 in
+  let net =
+    Cv_nn.Network.random ~rng ~dims:[ 32; 256; 256; 256; 1 ]
+      ~act:Cv_nn.Activation.Relu ()
+  in
+  let din = Cv_interval.Box.uniform 32 ~lo:(-1.) ~hi:1. in
+  let chain =
+    Cv_domains.Analyzer.abstractions Cv_domains.Analyzer.Symint net din
+  in
+  let last = chain.(Array.length chain - 1) in
+  let env_int name default =
+    match Sys.getenv_opt name with
+    | Some s -> (try int_of_string s with _ -> default)
+    | _ -> default
+  in
+  let queries = env_int "BENCH_PR7_QUERIES" 8 in
+  let workers = env_int "BENCH_PR7_WORKERS" 4 in
+  (* Distinct provable properties over one (net, D_in): each widens the
+     chain's own output box by a different margin, so every query is
+     decided by the cached abstraction and only the first pays for the
+     build. *)
+  let jobs =
+    List.init queries (fun i ->
+        let dout =
+          Cv_interval.Box.expand (0.05 +. (0.01 *. float_of_int i)) last
+        in
+        let prop = Cv_verify.Property.make ~din ~dout in
+        { Cv_core.Batch.id = Printf.sprintf "q%d" (i + 1);
+          spec =
+            Cv_core.Batch.Verify
+              { net; prop; exact = false; artifact_out = None };
+          timeout = None })
+  in
+  let verdicts t =
+    List.map
+      (fun (r : Cv_core.Batch.job_result) ->
+        Cv_core.Batch.verdict_name r.Cv_core.Batch.verdict)
+      t.Cv_core.Batch.results
+  in
+  (* Cold baseline: every query is its own batch of one, no cache. *)
+  let one_shot =
+    List.map
+      (fun job ->
+        let t = Cv_core.Batch.run ~config:Cv_core.Batch.default_config [ job ] in
+        (List.hd (verdicts t), t.Cv_core.Batch.wall_seconds))
+      jobs
+  in
+  let one_shot_seconds = List.fold_left (fun a (_, s) -> a +. s) 0. one_shot in
+  let cache = Cv_artifacts.Cache.create () in
+  let config =
+    { Cv_core.Batch.default_config with
+      Cv_core.Batch.jobs = workers;
+      cache = Some cache }
+  in
+  let batch = Cv_core.Batch.run ~config jobs in
+  let stats =
+    match batch.Cv_core.Batch.cache_stats with
+    | Some s -> s
+    | None -> { Cv_artifacts.Cache.hits = 0; misses = 0; evictions = 0 }
+  in
+  let verdicts_match =
+    List.equal String.equal (List.map fst one_shot) (verdicts batch)
+  in
+  let speedup =
+    one_shot_seconds /. Float.max 1e-9 batch.Cv_core.Batch.wall_seconds
+  in
+  Printf.printf
+    "%d queries, %d workers: one-shot sum %.4fs, batch %.4fs (%.1fx)\n\
+     cache: %d hits, %d misses; verdicts %s\n"
+    queries workers one_shot_seconds batch.Cv_core.Batch.wall_seconds speedup
+    stats.Cv_artifacts.Cache.hits stats.Cv_artifacts.Cache.misses
+    (if verdicts_match then "match" else "DIVERGE");
+  let json =
+    Cv_util.Json.Obj
+      [ ("schema", Cv_util.Json.Str "contiver-bench-pr7-v1");
+        ("quick", Cv_util.Json.Bool quick);
+        ("queries", Cv_util.Json.of_int queries);
+        ("jobs", Cv_util.Json.of_int workers);
+        ("one_shot_seconds", Cv_util.Json.Num one_shot_seconds);
+        ("batch_seconds", Cv_util.Json.Num batch.Cv_core.Batch.wall_seconds);
+        ("speedup", Cv_util.Json.Num speedup);
+        ("cache", Cv_artifacts.Cache.stats_to_json stats);
+        ( "verdicts",
+          Cv_util.Json.List
+            (List.map (fun v -> Cv_util.Json.Str v) (verdicts batch)) );
+        ("verdicts_match", Cv_util.Json.Bool verdicts_match) ]
+  in
+  let oc = open_out out_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Cv_util.Json.to_string json));
+  Printf.printf "batch throughput written to %s\n" out_path
+
+(* ------------------------------------------------------------------ *)
 (* Figure 1                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -716,9 +831,16 @@ let micro () =
     (List.sort compare !rows)
 
 let () =
+  (* Regenerate just the batch-throughput figure (BENCH_PR7.json)
+     without paying for the full suite. *)
+  if Array.exists (fun a -> a = "--only-batch") Sys.argv then begin
+    bench_batch ();
+    exit 0
+  end;
   table1 ();
   table1_splitcert ();
   bench_trajectory ();
+  bench_batch ();
   fig1 ();
   fig2 ();
   fig3 ();

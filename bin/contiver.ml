@@ -912,6 +912,232 @@ let simulate_cmd =
     Term.(const simulate $ verbose_arg $ steps $ shifted $ seed)
 
 (* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One manifest entry. Files are loaded here (missing/corrupt input
+   files are manifest authoring errors and abort the batch up front);
+   semantic validation — artifact/network fingerprints, domain
+   containment, shape agreement — happens inside the job, where a bad
+   entry degrades to one crashed job instead of poisoning the run. *)
+let parse_batch_job ~resolve index j =
+  let str key = Cv_util.Json.to_str (Cv_util.Json.member key j) in
+  let opt_str key =
+    match Cv_util.Json.member_opt key j with
+    | None | Some Cv_util.Json.Null -> None
+    | Some v -> Some (Cv_util.Json.to_str v)
+  in
+  let id =
+    match opt_str "id" with
+    | Some id -> id
+    | None -> cli_fail "batch manifest: job %d has no \"id\"" index
+  in
+  let timeout =
+    match Cv_util.Json.member_opt "timeout" j with
+    | None | Some Cv_util.Json.Null -> None
+    | Some v -> Some (Cv_util.Json.to_float v)
+  in
+  let mode = Option.value ~default:"verify" (opt_str "mode") in
+  let spec =
+    match mode with
+    | "verify" | "verify-exact" ->
+      let net = load_network (resolve (str "model")) in
+      let prop = load_property (resolve (str "property")) in
+      let exact =
+        String.equal mode "verify-exact"
+        ||
+        match Cv_util.Json.member_opt "exact" j with
+        | Some v -> Cv_util.Json.to_bool v
+        | None -> false
+      in
+      let artifact_out = Option.map resolve (opt_str "artifact_out") in
+      Cv_core.Batch.Verify { net; prop; exact; artifact_out }
+    | "svudc" ->
+      Cv_core.Batch.Svudc
+        { net = load_network (resolve (str "model"));
+          artifact = load_artifact (resolve (str "artifact"));
+          new_din = load_box (resolve (str "new_din")) }
+    | "svbtv" ->
+      let artifact = load_artifact (resolve (str "artifact")) in
+      let new_din =
+        match opt_str "new_din" with
+        | Some path -> load_box (resolve path)
+        | None ->
+          artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.din
+      in
+      Cv_core.Batch.Svbtv
+        { old_net = load_network (resolve (str "old"));
+          new_net = load_network (resolve (str "new"));
+          artifact;
+          new_din }
+    | m -> cli_fail "batch manifest: job %s: unknown mode %S" id m
+  in
+  { Cv_core.Batch.id; spec; timeout }
+
+let load_manifest path =
+  let dir = Filename.dirname path in
+  let resolve p = if Filename.is_relative p then Filename.concat dir p else p in
+  match Cv_util.Json.to_list (Cv_util.Json.member "jobs" (load_json path)) with
+  | [] -> cli_fail "batch manifest: no jobs"
+  | jobs -> List.mapi (parse_batch_job ~resolve) jobs
+  | exception Cv_util.Json.Error msg -> cli_fail "%s: %s" path msg
+
+let batch verbose manifest jobs timeout engine no_cache cache_dir
+    cache_capacity checkpoint_dir checkpoint_every report_out stats trace_json
+    =
+  run @@ fun () ->
+  setup_logs verbose;
+  with_observability ~stats ~trace_json @@ fun () ->
+  let manifest_jobs = load_manifest manifest in
+  let cache =
+    if no_cache then None
+    else Some (Cv_artifacts.Cache.create ~capacity:cache_capacity ?dir:cache_dir ())
+  in
+  let config =
+    { Cv_core.Batch.jobs;
+      job_timeout = timeout;
+      strategy =
+        { Cv_core.Strategy.default_config with Cv_core.Strategy.engine };
+      cache;
+      checkpoint_dir;
+      checkpoint_every }
+  in
+  let t = Cv_core.Batch.run ~config manifest_jobs in
+  List.iter
+    (fun (r : Cv_core.Batch.job_result) ->
+      Printf.printf "%-16s %-12s %-12s %-20s %8.3fs%s\n" r.Cv_core.Batch.job_id
+        r.Cv_core.Batch.mode
+        (Cv_core.Batch.verdict_name r.Cv_core.Batch.verdict)
+        (Option.value ~default:"-" r.Cv_core.Batch.decisive)
+        r.Cv_core.Batch.seconds
+        (if r.Cv_core.Batch.resumed then "  (resumed)" else ""))
+    t.Cv_core.Batch.results;
+  let count v =
+    List.length
+      (List.filter
+         (fun (r : Cv_core.Batch.job_result) -> r.Cv_core.Batch.verdict = v)
+         t.Cv_core.Batch.results)
+  in
+  Printf.printf
+    "batch: %d jobs  %d safe  %d unsafe  %d inconclusive  %d exhausted  %d crashed  (wall %.3fs)\n"
+    (List.length t.Cv_core.Batch.results)
+    (count Cv_core.Batch.Safe) (count Cv_core.Batch.Unsafe)
+    (count Cv_core.Batch.Inconclusive)
+    (count Cv_core.Batch.Exhausted)
+    (count Cv_core.Batch.Crashed) t.Cv_core.Batch.wall_seconds;
+  (match t.Cv_core.Batch.cache_stats with
+  | None -> ()
+  | Some s ->
+    Printf.printf "cache: %d hits  %d misses  %d evictions\n"
+      s.Cv_artifacts.Cache.hits s.Cv_artifacts.Cache.misses
+      s.Cv_artifacts.Cache.evictions);
+  (match report_out with
+  | None -> ()
+  | Some path ->
+    write_file path
+      (Cv_util.Json.to_string (Cv_core.Batch.report_to_json t));
+    Printf.printf "batch report written to %s\n" path);
+  (* Mirror the single-shot commands' exit discipline: proved and
+     budget-expired runs are expected outcomes of a bounded batch; an
+     unsafe, inconclusive or crashed job makes the batch exit
+     nonzero. *)
+  if
+    List.for_all
+      (fun (r : Cv_core.Batch.job_result) ->
+        match r.Cv_core.Batch.verdict with
+        | Cv_core.Batch.Safe | Cv_core.Batch.Exhausted -> true
+        | _ -> false)
+      t.Cv_core.Batch.results
+  then Cmd.Exit.ok
+  else 1
+
+let batch_cmd =
+  let manifest =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Batch manifest: a JSON object with a $(b,jobs) array. Each job \
+             has an $(b,id), a $(b,mode) ($(b,verify), $(b,verify-exact), \
+             $(b,svudc), $(b,svbtv); default $(b,verify)), the mode's input \
+             files ($(b,model)/$(b,property), or \
+             $(b,model)/$(b,artifact)/$(b,new_din), or \
+             $(b,old)/$(b,new)/$(b,artifact)), and optionally a per-job \
+             $(b,timeout) and an $(b,artifact_out) path. Relative paths are \
+             resolved against the manifest's directory.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains. Admission is fair FIFO in manifest order; \
+             verdicts are independent of $(docv).")
+  in
+  let job_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Default per-job budget, started when the job is admitted (a \
+             job's own $(b,timeout) field takes precedence). On expiry the \
+             job degrades to a structured exhausted verdict.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the proof-artifact cache (every job builds cold).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Back the artifact cache with durable entries in $(docv) \
+             (created if missing), so later batches reuse this one's \
+             artifacts.")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"In-memory cache entries before LRU eviction (default 256).")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Per-job checkpointing: search state snapshots to \
+             $(docv)/<id>.ck.json and completed results to \
+             $(docv)/<id>.done.json. Re-running the same manifest replays \
+             completed jobs and resumes interrupted ones.")
+  in
+  let report_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the consolidated JSON batch report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a manifest of verification queries on a bounded worker pool, \
+          reusing proof artifacts (state abstractions, Lipschitz constants, \
+          network abstractions) across jobs through a content-addressed \
+          cache.")
+    Term.(
+      const batch $ verbose_arg $ manifest $ jobs $ job_timeout $ engine_arg
+      $ no_cache $ cache_dir $ cache_capacity $ checkpoint_dir
+      $ checkpoint_every_arg $ report_out $ stats_arg $ trace_json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -921,6 +1147,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; describe_cmd; verify_cmd; svudc_cmd; svbtv_cmd;
-            chaos_cmd; range_cmd; diff_cmd; suspects_cmd; simulate_cmd;
-            import_nnet_cmd; export_nnet_cmd ]))
+          [ generate_cmd; describe_cmd; verify_cmd; batch_cmd; svudc_cmd;
+            svbtv_cmd; chaos_cmd; range_cmd; diff_cmd; suspects_cmd;
+            simulate_cmd; import_nnet_cmd; export_nnet_cmd ]))

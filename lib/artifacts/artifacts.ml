@@ -24,23 +24,31 @@ type t = {
 }
 
 (** [fingerprint net] is a stable hash of a network's architecture and
-    parameters, used to detect artifact/network mismatches. *)
+    parameters, used to detect artifact/network mismatches. Weights are
+    hashed as raw IEEE-754 bit patterns — exact, and an order of
+    magnitude faster than decimal formatting, which matters because the
+    fingerprint is recomputed per query as the artifact-cache key.
+    Layer shapes are part of the digest so two layers with the same
+    flattened weight stream but different dimensions cannot collide. *)
 let fingerprint net =
-  let buf = Buffer.create 1024 in
+  let buf = Buffer.create 4096 in
   Array.iter
     (fun (l : Cv_nn.Layer.t) ->
       Buffer.add_string buf (Cv_nn.Activation.to_string l.Cv_nn.Layer.act);
       let w = l.Cv_nn.Layer.weights in
-      for i = 0 to Cv_linalg.Mat.rows w - 1 do
-        for j = 0 to Cv_linalg.Mat.cols w - 1 do
-          Buffer.add_string buf (Printf.sprintf "%.12g," (Cv_linalg.Mat.get w i j))
+      let rows = Cv_linalg.Mat.rows w and cols = Cv_linalg.Mat.cols w in
+      Buffer.add_int64_le buf (Int64.of_int rows);
+      Buffer.add_int64_le buf (Int64.of_int cols);
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          Buffer.add_int64_le buf (Int64.bits_of_float (Cv_linalg.Mat.get w i j))
         done
       done;
       Array.iter
-        (fun b -> Buffer.add_string buf (Printf.sprintf "%.12g;" b))
+        (fun b -> Buffer.add_int64_le buf (Int64.bits_of_float b))
         l.Cv_nn.Layer.bias)
     (Cv_nn.Network.layers net);
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes buf))
 
 (** [make ~property ~net ~solver ~solve_seconds ()] builds an artifact
     bundle; state abstractions and Lipschitz constants are optional and
@@ -133,51 +141,13 @@ let envelope_doc ~format payload =
       ("checksum", Cv_util.Json.Str (checksum_of payload));
       ("payload", payload) ]
 
-(* Distinguishes concurrent writers targeting the same path from within
-   one process (e.g. a checkpointer on a worker and the final artifact
-   save): the pid alone is not unique enough. *)
-let tmp_counter = Atomic.make 0
-
 (** [save_doc ~format path payload] writes any JSON payload inside the
-    checksummed envelope, atomically and durably: the document goes to
-    a temporary file {e unique to this process and call} in the same
-    directory, is fsynced, and only then renamed over [path] — a crash
-    mid-write never leaves a half-written document under the real name,
-    and two concurrent writers never clobber each other's tmp file. *)
+    checksummed envelope through the store's one atomic durable writer
+    ({!Atomic_write.write}: unique tmp file, fsync, rename — crash
+    mid-write never damages the target, concurrent writers never clobber
+    each other). *)
 let save_doc ~format path payload =
-  let doc = Cv_util.Json.to_string (envelope_doc ~format payload) in
-  let doc =
-    (* Fault injection: simulate a corrupted write (non-atomic writer or
-       disk fault) by emitting a truncated document. *)
-    if Cv_util.Fault.fires Cv_util.Fault.Truncate_artifact then
-      String.sub doc 0 (String.length doc / 2)
-    else doc
-  in
-  let tmp =
-    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
-      (Atomic.fetch_and_add tmp_counter 1)
-  in
-  let oc = open_out_bin tmp in
-  (try
-     if Cv_util.Fault.fires Cv_util.Fault.Kill_mid_checkpoint then begin
-       (* Simulate the process dying mid-write: half the bytes land in
-          the tmp file, which is abandoned; the target path — and with
-          it the previous checkpoint — stays intact. *)
-       output_string oc (String.sub doc 0 (String.length doc / 2));
-       close_out_noerr oc;
-       raise (Cv_util.Fault.Injected "kill-mid-checkpoint (injected)")
-     end;
-     output_string oc doc;
-     flush oc;
-     Unix.fsync (Unix.descr_of_out_channel oc);
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (match e with
-     | Cv_util.Fault.Injected _ -> () (* a dead process cleans nothing *)
-     | _ -> ( try Sys.remove tmp with Sys_error _ -> ()));
-     raise e);
-  Sys.rename tmp path
+  Atomic_write.write path (Cv_util.Json.to_string (envelope_doc ~format payload))
 
 (** [save path t] writes the artifact bundle via {!save_doc}. *)
 let save path t = save_doc ~format:"contiver-proof" path (to_json t)

@@ -1,0 +1,297 @@
+(** Content-addressed proof-artifact cache (see the interface for the
+    keying, single-flight and durability contract). *)
+
+let cache_format = "contiver-cache"
+
+(* Global effort accounting, alongside the per-cache counters: the
+   batch scheduler and --stats read these. *)
+let m_hits = Cv_util.Metrics.counter "cache.hits"
+let m_misses = Cv_util.Metrics.counter "cache.misses"
+let m_evictions = Cv_util.Metrics.counter "cache.evictions"
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type entry = { payload : Cv_util.Json.t; mutable tick : int }
+
+type t = {
+  capacity : int;
+  dir : string option;
+  lock : Mutex.t;
+  settled : Condition.t;  (** signalled when an in-flight build ends *)
+  table : (string, entry) Hashtbl.t;
+  building : (string, unit) Hashtbl.t;  (** keys with an in-flight build *)
+  mutable clock : int;  (** LRU tick source, guarded by [lock] *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let create ?(capacity = 256) ?dir () =
+  (match dir with
+  | None -> ()
+  | Some d -> (
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()));
+  { capacity = max 1 capacity;
+    dir;
+    lock = Mutex.create ();
+    settled = Condition.create ();
+    table = Hashtbl.create 64;
+    building = Hashtbl.create 8;
+    clock = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0 }
+
+let box_hash b = Digest.to_hex (Digest.string (Cv_util.Json.to_string (Cv_interval.Box.to_json b)))
+
+let no_box = "-"
+
+let key_string ~fingerprint ~box_hash ~kind =
+  String.concat "\x00" [ fingerprint; box_hash; kind ]
+
+(* Disk entries are named by the key digest and record the full key, so
+   a load validates content addressing end to end: the envelope checksum
+   guards the bytes, the recorded key guards against digest collisions
+   and — the invalidation story — against any fingerprint mismatch. *)
+let disk_path dir ~fingerprint ~box_hash ~kind =
+  Filename.concat dir
+    (Digest.to_hex (Digest.string (key_string ~fingerprint ~box_hash ~kind))
+    ^ ".cache.json")
+
+let disk_doc ~fingerprint ~box_hash ~kind payload =
+  Cv_util.Json.Obj
+    [ ( "key",
+        Cv_util.Json.Obj
+          [ ("fingerprint", Cv_util.Json.Str fingerprint);
+            ("box_hash", Cv_util.Json.Str box_hash);
+            ("kind", Cv_util.Json.Str kind) ] );
+      ("value", payload) ]
+
+let disk_load dir ~fingerprint ~box_hash ~kind =
+  let path = disk_path dir ~fingerprint ~box_hash ~kind in
+  if not (Sys.file_exists path) then None
+  else
+    match Artifacts.load_doc_result ~format:cache_format path with
+    | Error _ -> None (* corrupt entries degrade to a rebuild *)
+    | Ok doc -> (
+      match
+        let open Cv_util.Json in
+        let k = member "key" doc in
+        ( to_str (member "fingerprint" k),
+          to_str (member "box_hash" k),
+          to_str (member "kind" k),
+          member "value" doc )
+      with
+      | f, b, k, v
+        when String.equal f fingerprint
+             && String.equal b box_hash && String.equal k kind ->
+        Some v
+      | _ -> None (* key mismatch: never serve a wrong artifact *)
+      | exception Cv_util.Json.Error _ -> None)
+
+let count_hit t =
+  Atomic.incr t.hits;
+  Cv_util.Metrics.incr m_hits
+
+let count_miss t =
+  Atomic.incr t.misses;
+  Cv_util.Metrics.incr m_misses
+
+(* All [locked_*] helpers assume [t.lock] is held. *)
+
+let locked_touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+let locked_find_memory t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e ->
+    locked_touch t e;
+    Some e.payload
+
+(* Evict least-recently-used entries down to capacity. The backing
+   directory is not touched: disk is the durable store, memory the
+   bounded working set — an evicted entry re-enters from disk as a
+   hit. *)
+let locked_evict t =
+  while Hashtbl.length t.table > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, tick) when tick <= e.tick -> acc
+          | _ -> Some (key, e.tick))
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      Atomic.incr t.evictions;
+      Cv_util.Metrics.incr m_evictions
+  done
+
+let locked_insert t key payload =
+  t.clock <- t.clock + 1;
+  Hashtbl.replace t.table key { payload; tick = t.clock };
+  locked_evict t
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t ~fingerprint ~box_hash ~kind =
+  let key = key_string ~fingerprint ~box_hash ~kind in
+  let from_memory = with_lock t (fun () -> locked_find_memory t key) in
+  match from_memory with
+  | Some payload ->
+    count_hit t;
+    Some payload
+  | None -> (
+    match t.dir with
+    | None ->
+      count_miss t;
+      None
+    | Some dir -> (
+      match disk_load dir ~fingerprint ~box_hash ~kind with
+      | Some payload ->
+        (* Promote into the working set: the build was skipped. *)
+        with_lock t (fun () -> locked_insert t key payload);
+        count_hit t;
+        Some payload
+      | None ->
+        count_miss t;
+        None))
+
+let persist t ~fingerprint ~box_hash ~kind payload =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    Artifacts.save_doc ~format:cache_format
+      (disk_path dir ~fingerprint ~box_hash ~kind)
+      (disk_doc ~fingerprint ~box_hash ~kind payload)
+
+let store t ~fingerprint ~box_hash ~kind payload =
+  (* Durability first: a failed write caches nothing, so memory never
+     claims an entry the disk lost. *)
+  persist t ~fingerprint ~box_hash ~kind payload;
+  let key = key_string ~fingerprint ~box_hash ~kind in
+  with_lock t (fun () -> locked_insert t key payload)
+
+let find_or_build t ~fingerprint ~box_hash ~kind build =
+  let key = key_string ~fingerprint ~box_hash ~kind in
+  (* Returns [Ok payload] on a hit, [Error ()] once this caller holds
+     the build slot for [key]. *)
+  let rec claim () =
+    match locked_find_memory t key with
+    | Some payload -> Ok payload
+    | None ->
+      if Hashtbl.mem t.building key then begin
+        (* Single-flight: somebody else is building this exact
+           artifact; wait for them instead of duplicating the work. *)
+        Condition.wait t.settled t.lock;
+        claim ()
+      end
+      else begin
+        Hashtbl.add t.building key ();
+        Error ()
+      end
+  in
+  match with_lock t claim with
+  | Ok payload ->
+    count_hit t;
+    payload
+  | Error () -> (
+    let release () =
+      with_lock t (fun () ->
+          Hashtbl.remove t.building key;
+          Condition.broadcast t.settled)
+    in
+    (* Holding the build slot; check the backing store before paying
+       for a build. *)
+    match
+      match t.dir with
+      | None -> None
+      | Some dir -> disk_load dir ~fingerprint ~box_hash ~kind
+    with
+    | Some payload ->
+      with_lock t (fun () -> locked_insert t key payload);
+      release ();
+      count_hit t;
+      payload
+    | None -> (
+      count_miss t;
+      match build () with
+      | payload ->
+        (match persist t ~fingerprint ~box_hash ~kind payload with
+        | () -> with_lock t (fun () -> locked_insert t key payload)
+        | exception e ->
+          release ();
+          raise e);
+        release ();
+        payload
+      | exception e ->
+        (* A failed build caches nothing; a waiter retries (and takes
+           over the slot). *)
+        release ();
+        raise e))
+
+(* ------------------------------------------------------------------ *)
+(* Typed payloads                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* JSON round-trips are exact (the writer prints %.17g), so a decoded
+   artifact is bit-identical to the built one — cache hits can never
+   shift a verdict. A disk entry that fails to decode (foreign bytes
+   under our key) degrades to a rebuild through the store. *)
+
+let boxes_to_json boxes =
+  Cv_util.Json.List (Array.to_list (Array.map Cv_interval.Box.to_json boxes))
+
+let boxes_of_json j =
+  Cv_util.Json.to_list j |> List.map Cv_interval.Box.of_json |> Array.of_list
+
+let rebuild_and_store t ~fingerprint ~box_hash ~kind ~encode build =
+  let value = build () in
+  store t ~fingerprint ~box_hash ~kind (encode value);
+  value
+
+let boxes_or_build t ~fingerprint ~box_hash ~kind build =
+  match
+    boxes_of_json
+      (find_or_build t ~fingerprint ~box_hash ~kind (fun () ->
+           boxes_to_json (build ())))
+  with
+  | boxes -> boxes
+  | exception Cv_util.Json.Error _ ->
+    rebuild_and_store t ~fingerprint ~box_hash ~kind ~encode:boxes_to_json build
+
+let float_or_build t ~fingerprint ~box_hash ~kind build =
+  match
+    Cv_util.Json.to_float
+      (find_or_build t ~fingerprint ~box_hash ~kind (fun () ->
+           Cv_util.Json.Num (build ())))
+  with
+  | v -> v
+  | exception Cv_util.Json.Error _ ->
+    rebuild_and_store t ~fingerprint ~box_hash ~kind
+      ~encode:(fun v -> Cv_util.Json.Num v)
+      build
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let stats t =
+  { hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions }
+
+let stats_to_json (s : stats) =
+  Cv_util.Json.Obj
+    [ ("hits", Cv_util.Json.of_int s.hits);
+      ("misses", Cv_util.Json.of_int s.misses);
+      ("evictions", Cv_util.Json.of_int s.evictions) ]
+
+let size t = with_lock t (fun () -> Hashtbl.length t.table)

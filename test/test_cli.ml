@@ -176,6 +176,102 @@ let test_checkpoint_flag_validation () =
 let test_chaos_campaign () =
   check_run "chaos campaign is sound" [ "chaos"; "--seed"; "2"; "--rounds"; "3" ]
 
+(* ------------------------------------------------------------------ *)
+(* batch: golden-file check of the consolidated JSON report            *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+(* Timings are the only nondeterministic members of the report: zero the
+   numeric value after every "seconds"/"wall_seconds" key, byte-for-byte
+   otherwise — so the golden comparison also pins the schema and the
+   field order. *)
+let normalize_report text =
+  let n = String.length text in
+  let buf = Buffer.create n in
+  let starts k pos =
+    pos + String.length k <= n && String.equal (String.sub text pos (String.length k)) k
+  in
+  let i = ref 0 in
+  while !i < n do
+    let key =
+      List.find_opt (fun k -> starts k !i) [ "\"seconds\":"; "\"wall_seconds\":" ]
+    in
+    match key with
+    | Some k ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '0';
+      i := !i + String.length k;
+      while
+        !i < n
+        &&
+        match text.[!i] with
+        | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr i
+      done
+    | None ->
+      Buffer.add_char buf text.[!i];
+      incr i
+  done;
+  Buffer.contents buf
+
+let golden_report =
+  List.find_opt Sys.file_exists
+    [ "golden/batch_report.golden.json"; "test/golden/batch_report.golden.json" ]
+
+(* Covers every job mode, a deterministic cache hit (two identical
+   verify queries share one chain build) and a poisoned entry (artifact
+   from another network) that must crash alone. Depends on
+   test_generate_and_describe and test_verify_and_reuse having
+   populated tmp_dir. *)
+let test_batch_golden () =
+  let path f = Filename.concat tmp_dir f in
+  let manifest = path "batch_manifest.json" in
+  let oc = open_out manifest in
+  output_string oc
+    {|{"jobs":[
+  {"id":"v1","mode":"verify","model":"head1.json","property":"property.json"},
+  {"id":"v2","mode":"verify","model":"head1.json","property":"property.json"},
+  {"id":"u1","mode":"svudc","model":"head1.json","artifact":"proof.json","new_din":"enlarged_din.json"},
+  {"id":"b1","mode":"svbtv","old":"head1.json","new":"head2.json","artifact":"proof.json","new_din":"enlarged_din.json"},
+  {"id":"poisoned","mode":"svudc","model":"head2.json","artifact":"proof.json","new_din":"enlarged_din.json"}
+]}|};
+  close_out oc;
+  let report = path "batch_report.json" in
+  let code =
+    run [ "batch"; "--manifest"; manifest; "--jobs"; "2"; "--report"; report ]
+  in
+  (* The poisoned job makes the batch exit nonzero — while the other
+     four still complete. *)
+  Alcotest.(check int) "batch exit reflects crashed job" 1 code;
+  let actual = normalize_report (read_file report) in
+  match golden_report with
+  | None -> Alcotest.fail "golden/batch_report.golden.json not found"
+  | Some g ->
+    Alcotest.(check string) "batch report matches golden" (read_file g) actual
+
+(* Verdicts must not depend on the concurrency level (the CI
+   batch-matrix job re-checks this across full runs). *)
+let test_batch_jobs_invariance () =
+  let path f = Filename.concat tmp_dir f in
+  let manifest = path "batch_manifest.json" in
+  let report_for jobs =
+    let report = path (Printf.sprintf "batch_report_j%d.json" jobs) in
+    ignore
+      (run
+         [ "batch"; "--manifest"; manifest; "--jobs"; string_of_int jobs;
+           "--report"; report ]);
+    normalize_report (read_file report)
+  in
+  let r1 = report_for 1 in
+  Alcotest.(check string) "jobs=4 report identical" r1 (report_for 4)
+
 let () =
   if not (Sys.file_exists exe) then begin
     print_endline "contiver binary not found; skipping CLI tests";
@@ -193,4 +289,7 @@ let () =
           Alcotest.test_case "kill and resume" `Quick test_kill_and_resume;
           Alcotest.test_case "checkpoint flag validation" `Quick
             test_checkpoint_flag_validation;
-          Alcotest.test_case "chaos campaign" `Quick test_chaos_campaign ] ) ]
+          Alcotest.test_case "chaos campaign" `Quick test_chaos_campaign;
+          Alcotest.test_case "batch golden report" `Quick test_batch_golden;
+          Alcotest.test_case "batch jobs invariance" `Quick
+            test_batch_jobs_invariance ] ) ]

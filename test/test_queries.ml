@@ -196,6 +196,146 @@ let test_argmax_on_relu_net () =
     | Cv_verify.Argmax.Unknown _ -> ()
   done
 
+(* ------------------------------------------------------------------ *)
+(* Metamorphic oracles: domain-change monotonicity                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The sound directions of the D_in metamorphic relation:
+
+   - abstract domains never report false-unsafe, so a property proved
+     on a widened D_in must hold for the {e true} behaviour on every
+     sub-box: widening can only weaken verdicts (safe → safe|unknown),
+     never flip safe → unsafe;
+   - for inclusion-isotone domains (box, symint, zonotope — transformers
+     built on interval evaluation) the abstract verdict itself is
+     monotone: proved on a widened D_in implies proved on any sub-box
+     (shrinking only strengthens). DeepPoly is deliberately excluded
+     from the strict direction: its relaxation-slope choice flips with
+     the pre-activation bounds, so a narrower input can get a looser
+     bound — only the soundness direction is a theorem there;
+   - for the exact engine, a counterexample on a narrow D_in lives in
+     every wider D_in, so Violated can only persist under widening
+     (unsafe never heals into safe). *)
+
+let meta_domains =
+  [ Cv_domains.Analyzer.Symint;
+    Cv_domains.Analyzer.Zonotope;
+    Cv_domains.Analyzer.Deeppoly ]
+
+let isotone_domains =
+  [ Cv_domains.Analyzer.Box;
+    Cv_domains.Analyzer.Symint;
+    Cv_domains.Analyzer.Zonotope ]
+
+let meta_gen =
+  (* network seed, box placement, widening amounts: din ⊆ wide1 ⊆ wide2 *)
+  QCheck.(
+    quad (int_range 0 1000)
+      (float_range (-0.5) 0.5)
+      (float_range 0.01 0.3) (float_range 0.01 0.3))
+
+let abstract_widening_never_unsafe_prop =
+  QCheck.Test.make
+    ~name:"abstract: proved on widened D_in is truly safe on every sub-box"
+    ~count:25 meta_gen
+    (fun (seed, center, w1, w2) ->
+      let net = net3 seed in
+      let din = Cv_interval.Box.uniform 3 ~lo:(center -. 0.3) ~hi:(center +. 0.3) in
+      let wider = Cv_interval.Box.expand (w1 +. w2) din in
+      List.for_all
+        (fun domain ->
+          let dout =
+            Cv_interval.Box.expand 0.05
+              (Cv_domains.Analyzer.output_box domain net wider)
+          in
+          (not (Cv_domains.Analyzer.verify domain net ~din:wider ~dout))
+          ||
+          (* Ground truth on the widened box — and with it every
+             sub-box — must agree: sampling may never find a
+             counterexample to a proved property. *)
+          let rng = Cv_util.Rng.create (seed + 1) in
+          List.for_all
+            (fun box ->
+              List.for_all
+                (fun _ ->
+                  let x = Cv_interval.Box.sample rng box in
+                  Cv_interval.Box.mem_tol ~tol:1e-9 (Cv_nn.Network.eval net x)
+                    dout)
+                (List.init 100 Fun.id))
+            [ din; wider ])
+        meta_domains)
+
+let abstract_shrink_strengthens_prop =
+  QCheck.Test.make
+    ~name:"abstract: proved on widened D_in implies proved on sub-box"
+    ~count:25 meta_gen
+    (fun (seed, center, w1, w2) ->
+      let net = net3 seed in
+      let din = Cv_interval.Box.uniform 3 ~lo:(center -. 0.3) ~hi:(center +. 0.3) in
+      let wide = Cv_interval.Box.expand w1 din in
+      let wider = Cv_interval.Box.expand (w1 +. w2) din in
+      List.for_all
+        (fun domain ->
+          (* A dout proved on the widest box (its own over-approximation
+             plus slack) must be proved on every sub-box. *)
+          let dout =
+            Cv_interval.Box.expand 0.05
+              (Cv_domains.Analyzer.output_box domain net wider)
+          in
+          List.for_all
+            (fun narrow ->
+              (not (Cv_domains.Analyzer.verify domain net ~din:wider ~dout))
+              || Cv_domains.Analyzer.verify domain net ~din:narrow ~dout)
+            [ din; wide ])
+        isotone_domains)
+
+let abstract_reach_monotone_prop =
+  QCheck.Test.make
+    ~name:"abstract: reachable set monotone under D_in widening" ~count:25
+    meta_gen
+    (fun (seed, center, w1, w2) ->
+      let net = net3 seed in
+      let din = Cv_interval.Box.uniform 3 ~lo:(center -. 0.3) ~hi:(center +. 0.3) in
+      let wide = Cv_interval.Box.expand w1 din in
+      let wider = Cv_interval.Box.expand (w1 +. w2) din in
+      List.for_all
+        (fun domain ->
+          let reach b = Cv_domains.Analyzer.output_box domain net b in
+          Cv_interval.Box.subset_tol ~tol:1e-9 (reach din) (reach wide)
+          && Cv_interval.Box.subset_tol ~tol:1e-9 (reach wide) (reach wider))
+        isotone_domains)
+
+let exact_widen_keeps_counterexample_prop =
+  QCheck.Test.make
+    ~name:"exact: violated on narrow D_in stays violated when widened"
+    ~count:10
+    QCheck.(pair (int_range 0 1000) (float_range 0.01 0.25))
+    (fun (seed, w) ->
+      let net = net3 seed in
+      let din = Cv_interval.Box.uniform 3 ~lo:0. ~hi:1. in
+      (* A target strictly inside the exact range is falsifiable. *)
+      let r = (Cv_verify.Range.exact_range net ~din).Cv_verify.Range.range in
+      let lo = (Cv_interval.Box.lower r).(0)
+      and hi = (Cv_interval.Box.upper r).(0) in
+      QCheck.assume (hi -. lo > 1e-6);
+      let c = (lo +. hi) /. 2. and q = (hi -. lo) /. 8. in
+      let target = Cv_interval.Box.of_bounds [| c -. q |] [| c +. q |] in
+      let check box =
+        Cv_verify.Containment.check Cv_verify.Containment.Milp net
+          ~input_box:box ~target
+      in
+      match check din with
+      | Cv_verify.Containment.Violated v ->
+        (* The recorded witness carries over verbatim ... *)
+        let wide = Cv_interval.Box.expand w din in
+        Cv_interval.Box.mem_tol ~tol:1e-9 v.Cv_verify.Falsify.input wide
+        &&
+        (* ... and the widened query agrees. *)
+        (match check wide with
+        | Cv_verify.Containment.Violated _ -> true
+        | _ -> false)
+      | _ -> QCheck.assume_fail ())
+
 let () =
   Alcotest.run "cv_queries"
     [ ( "robustness",
@@ -215,4 +355,9 @@ let () =
           Alcotest.test_case "never maximal" `Quick test_never_maximal;
           Alcotest.test_case "score gap" `Quick test_score_gap;
           Alcotest.test_case "relu net consistency" `Quick
-            test_argmax_on_relu_net ] ) ]
+            test_argmax_on_relu_net ] );
+      ( "metamorphic",
+        [ QCheck_alcotest.to_alcotest abstract_widening_never_unsafe_prop;
+          QCheck_alcotest.to_alcotest abstract_shrink_strengthens_prop;
+          QCheck_alcotest.to_alcotest abstract_reach_monotone_prop;
+          QCheck_alcotest.to_alcotest exact_widen_keeps_counterexample_prop ] ) ]
