@@ -196,20 +196,25 @@ let resume_arg =
     & info [ "resume-checkpoint" ] ~docv:"FILE"
         ~doc:
           "Restart from a checkpoint written by a previous (killed) run \
-           of the same command on the same network. The file's run kind \
-           and network fingerprint are validated before resuming. \
-           Unless $(b,--checkpoint) says otherwise, the run keeps \
-           checkpointing to the same file.")
+           of the same command on the same network. The file's run \
+           kind, network fingerprint and property are validated before \
+           resuming. Unless $(b,--checkpoint) says otherwise, the run \
+           keeps checkpointing to the same file.")
 
 (* Resolve the checkpoint flags into a cadenced sink plus the validated
    resume payload. [--resume-checkpoint] without [--checkpoint] keeps
-   checkpointing to the resumed file. *)
-let setup_checkpointing ~kind ~fingerprint ~checkpoint ~every ~resume =
+   checkpointing to the resumed file. The scope binds the checkpoint to
+   the property under verification: resuming an exact search recorded
+   for a different D_in would replay completed query optima computed on
+   the wrong domain, so a scope mismatch refuses to resume. *)
+let setup_checkpointing ~kind ~fingerprint ~scope ~checkpoint ~every ~resume =
   let resume_payload =
     match resume with
     | None -> None
     | Some path -> (
-      match Cv_core.Runstate.load ~path ~kind ~fingerprint with
+      match
+        Cv_core.Runstate.load ~path ~kind ~fingerprint ~scope:(Some scope)
+      with
       | Ok payload -> Some payload
       | Error e -> cli_fail "%s" (Cv_core.Runstate.resume_error_message e))
   in
@@ -218,7 +223,7 @@ let setup_checkpointing ~kind ~fingerprint ~checkpoint ~every ~resume =
     Option.map
       (fun path ->
         Cv_util.Checkpoint.create ~every (fun payload ->
-            Cv_core.Runstate.save ~path ~kind ~fingerprint payload))
+            Cv_core.Runstate.save ~scope ~path ~kind ~fingerprint payload))
       sink_path
   in
   (sink, resume_payload)
@@ -333,6 +338,9 @@ let verify verbose model property artifact_out exact widen timeout stats
   let checkpoint, resume =
     setup_checkpointing ~kind:Cv_core.Runstate.Verify
       ~fingerprint:(Cv_artifacts.Artifacts.fingerprint net)
+      ~scope:
+        (Cv_core.Runstate.property_scope ~din:prop.Cv_verify.Property.din
+           ~dout:prop.Cv_verify.Property.dout ())
       ~checkpoint ~every:checkpoint_every ~resume
   in
   let deadline = deadline_of timeout in
@@ -424,6 +432,11 @@ let svudc verbose model artifact new_din engine timeout stats trace_json
   let checkpoint, resume =
     setup_checkpointing ~kind:Cv_core.Runstate.Svudc
       ~fingerprint:(Cv_artifacts.Artifacts.fingerprint net)
+      ~scope:
+        (Cv_core.Runstate.property_scope ~din:new_din
+           ~dout:
+             artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.dout
+           ())
       ~checkpoint ~every:checkpoint_every ~resume
   in
   let p = Cv_core.Problem.svudc ~net ~artifact ~new_din in
@@ -464,11 +477,19 @@ let svbtv verbose old_model new_model artifact new_din engine slack timeout
     | Some path -> load_box path
     | None -> artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.din
   in
-  (* The checkpoint is bound to the network under verification: the
-     fine-tuned successor. *)
+  (* The checkpoint is bound to the network under verification — the
+     fine-tuned successor — and, via the scope, to the reference
+     network the artifact speaks about. *)
   let checkpoint, resume =
     setup_checkpointing ~kind:Cv_core.Runstate.Svbtv
       ~fingerprint:(Cv_artifacts.Artifacts.fingerprint new_net)
+      ~scope:
+        (Cv_core.Runstate.property_scope
+           ~old_fingerprint:(Cv_artifacts.Artifacts.fingerprint old_net)
+           ~din:new_din
+           ~dout:
+             artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.dout
+           ())
       ~checkpoint ~every:checkpoint_every ~resume
   in
   let p = Cv_core.Problem.svbtv ~old_net ~new_net ~artifact ~new_din in
@@ -633,7 +654,7 @@ let chaos verbose seed rounds =
       | exception Cv_util.Fault.Injected _ -> (
         match
           Cv_core.Runstate.load ~path:ck_path ~kind:Cv_core.Runstate.Verify
-            ~fingerprint
+            ~fingerprint ~scope:None
         with
         | Ok _ -> Printf.printf "          checkpoint   -> previous intact\n"
         | Error e ->
@@ -644,7 +665,7 @@ let chaos verbose seed rounds =
       Cv_util.Fault.reset ();
       (match
          Cv_core.Runstate.load ~path:ck_path ~kind:Cv_core.Runstate.Verify
-           ~fingerprint
+           ~fingerprint ~scope:None
        with
       | Ok _ -> ()
       | Error _ ->

@@ -29,7 +29,14 @@ type t = {
     magnitude faster than decimal formatting, which matters because the
     fingerprint is recomputed per query as the artifact-cache key.
     Layer shapes are part of the digest so two layers with the same
-    flattened weight stream but different dimensions cannot collide. *)
+    flattened weight stream but different dimensions cannot collide.
+
+    The result carries a scheme-version prefix ([v2:]): the raw-bits
+    hash deliberately differs from the decimal-rendering scheme it
+    replaced, so artifacts and checkpoints recorded under the old
+    scheme fail to match and must be regenerated — the prefix makes
+    that an explicit version break rather than apparent network
+    drift. *)
 let fingerprint net =
   let buf = Buffer.create 4096 in
   Array.iter
@@ -48,7 +55,7 @@ let fingerprint net =
         (fun b -> Buffer.add_int64_le buf (Int64.bits_of_float b))
         l.Cv_nn.Layer.bias)
     (Cv_nn.Network.layers net);
-  Digest.to_hex (Digest.bytes (Buffer.to_bytes buf))
+  "v2:" ^ Digest.to_hex (Digest.bytes (Buffer.to_bytes buf))
 
 (** [make ~property ~net ~solver ~solve_seconds ()] builds an artifact
     bundle; state abstractions and Lipschitz constants are optional and

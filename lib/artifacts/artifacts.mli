@@ -17,7 +17,10 @@ type t = {
 }
 
 (** [fingerprint net] is a stable hash of a network's architecture and
-    parameters, used to detect artifact/network mismatches. *)
+    parameters, used to detect artifact/network mismatches. The value
+    carries a hashing-scheme version prefix (currently [v2:]), so a
+    scheme change invalidates stored artifacts as an explicit version
+    break rather than apparent network drift. *)
 val fingerprint : Cv_nn.Network.t -> string
 
 (** [make ?state_abstractions ?lipschitz ~property ~net ~solver

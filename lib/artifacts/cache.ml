@@ -243,8 +243,35 @@ let find_or_build t ~fingerprint ~box_hash ~kind build =
 
 (* JSON round-trips are exact (the writer prints %.17g), so a decoded
    artifact is bit-identical to the built one — cache hits can never
-   shift a verdict. A disk entry that fails to decode (foreign bytes
-   under our key) degrades to a rebuild through the store. *)
+   shift a verdict. A cached payload that fails to decode (foreign
+   bytes under our key) degrades to a rebuild through the store. Only
+   decode failures do: a [Json.Error] raised by [build] itself is a
+   build failure and propagates as-is, never triggering a second build
+   (which would skew the deterministic hit/miss accounting). The
+   [Build_failed] wrapper keeps the two apart. *)
+
+exception Build_failed of exn * Printexc.raw_backtrace
+
+let rebuild_and_store t ~fingerprint ~box_hash ~kind ~encode build =
+  let value = build () in
+  store t ~fingerprint ~box_hash ~kind (encode value);
+  value
+
+(* [find_or_build] with a typed codec: [decode] failures on a cached
+   payload rebuild; [build] failures re-raise the original exception. *)
+let typed_or_build t ~fingerprint ~box_hash ~kind ~encode ~decode build =
+  let guarded_build () =
+    match encode (build ()) with
+    | payload -> payload
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      raise (Build_failed (e, bt))
+  in
+  match decode (find_or_build t ~fingerprint ~box_hash ~kind guarded_build) with
+  | v -> v
+  | exception Build_failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | exception Cv_util.Json.Error _ ->
+    rebuild_and_store t ~fingerprint ~box_hash ~kind ~encode build
 
 let boxes_to_json boxes =
   Cv_util.Json.List (Array.to_list (Array.map Cv_interval.Box.to_json boxes))
@@ -252,32 +279,14 @@ let boxes_to_json boxes =
 let boxes_of_json j =
   Cv_util.Json.to_list j |> List.map Cv_interval.Box.of_json |> Array.of_list
 
-let rebuild_and_store t ~fingerprint ~box_hash ~kind ~encode build =
-  let value = build () in
-  store t ~fingerprint ~box_hash ~kind (encode value);
-  value
-
 let boxes_or_build t ~fingerprint ~box_hash ~kind build =
-  match
-    boxes_of_json
-      (find_or_build t ~fingerprint ~box_hash ~kind (fun () ->
-           boxes_to_json (build ())))
-  with
-  | boxes -> boxes
-  | exception Cv_util.Json.Error _ ->
-    rebuild_and_store t ~fingerprint ~box_hash ~kind ~encode:boxes_to_json build
+  typed_or_build t ~fingerprint ~box_hash ~kind ~encode:boxes_to_json
+    ~decode:boxes_of_json build
 
 let float_or_build t ~fingerprint ~box_hash ~kind build =
-  match
-    Cv_util.Json.to_float
-      (find_or_build t ~fingerprint ~box_hash ~kind (fun () ->
-           Cv_util.Json.Num (build ())))
-  with
-  | v -> v
-  | exception Cv_util.Json.Error _ ->
-    rebuild_and_store t ~fingerprint ~box_hash ~kind
-      ~encode:(fun v -> Cv_util.Json.Num v)
-      build
+  typed_or_build t ~fingerprint ~box_hash ~kind
+    ~encode:(fun v -> Cv_util.Json.Num v)
+    ~decode:Cv_util.Json.to_float build
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

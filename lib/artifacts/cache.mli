@@ -78,8 +78,10 @@ val find_or_build :
 
 (** [boxes_or_build t ~fingerprint ~box_hash ~kind build] —
     {!find_or_build} specialised to box arrays (state-abstraction
-    chains). A cached entry that fails to decode degrades to a
-    rebuild. *)
+    chains). A cached entry that fails to decode degrades to a rebuild;
+    an exception raised by [build] itself (including
+    {!Cv_util.Json.Error}) propagates as-is without running the build a
+    second time. *)
 val boxes_or_build :
   t -> fingerprint:string -> box_hash:string -> kind:string ->
   (unit -> Cv_interval.Box.t array) -> Cv_interval.Box.t array

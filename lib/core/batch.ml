@@ -219,9 +219,9 @@ let ensure_dir d =
   try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
 (* Job ids name checkpoint files; anything shell-hostile flattens to
-   '_' (ids stay unique in spirit — collisions after sanitising are the
-   manifest author's problem and only blur checkpoint reuse, never
-   results). *)
+   '_'. [validate_ids] rejects manifests in which two distinct ids
+   sanitise to the same filename, so distinct jobs never share
+   checkpoint or done-file paths. *)
 let sanitize id =
   String.map
     (fun c ->
@@ -234,9 +234,44 @@ let done_path dir job = Filename.concat dir (sanitize job.id ^ ".done.json")
 
 let ck_path dir job = Filename.concat dir (sanitize job.id ^ ".ck.json")
 
+let spec_kind_fingerprint = function
+  | Verify { net; _ } -> (Runstate.Verify, Artifacts.fingerprint net)
+  | Svudc { net; _ } -> (Runstate.Svudc, Artifacts.fingerprint net)
+  | Svbtv { new_net; _ } -> (Runstate.Svbtv, Artifacts.fingerprint new_net)
+
+(* Digest of what the job verifies: the property's domains, plus (for
+   svbtv) the reference network the artifact speaks about. Together
+   with the network fingerprint and the mode this pins a done-file or
+   checkpoint to one exact verification question — a retrained network
+   or an edited property under a reused --checkpoint-dir must re-run,
+   never replay the stale verdict. *)
+let spec_scope = function
+  | Verify { prop; _ } ->
+    Runstate.property_scope ~din:prop.Property.din ~dout:prop.Property.dout ()
+  | Svudc { artifact; new_din; _ } ->
+    Runstate.property_scope ~din:new_din
+      ~dout:artifact.Artifacts.property.Property.dout ()
+  | Svbtv { old_net; artifact; new_din; _ } ->
+    Runstate.property_scope
+      ~old_fingerprint:(Artifacts.fingerprint old_net)
+      ~din:new_din ~dout:artifact.Artifacts.property.Property.dout ()
+
+(* The done-file wraps the result row with the job's identity
+   (fingerprint + property scope); replay validates id, mode,
+   fingerprint and scope before trusting the recorded verdict. *)
+let done_doc job result =
+  let _, fingerprint = spec_kind_fingerprint job.spec in
+  Json.Obj
+    [ ("fingerprint", Json.Str fingerprint);
+      ("scope", Json.Str (spec_scope job.spec));
+      ("result", job_result_to_json result) ]
+
 (* A valid done-file short-circuits the whole job: the batch was killed
    after this job completed, so its recorded result is replayed
-   (verbatim, seconds included) instead of re-verifying. *)
+   (verbatim, seconds included) instead of re-verifying — but only when
+   it records the {e same} verification question. A stale file (same id,
+   different network/property/mode — e.g. a retrained network under a
+   reused --checkpoint-dir) is ignored and the job runs fresh. *)
 let replay_done config job =
   match config.checkpoint_dir with
   | None -> None
@@ -251,18 +286,23 @@ let replay_done config job =
               (Artifacts.load_error_message e));
         None
       | Ok payload -> (
-        match job_result_of_json payload with
-        | r when String.equal r.job_id job.id ->
+        let _, fingerprint = spec_kind_fingerprint job.spec in
+        match
+          ( Json.to_str (Json.member "fingerprint" payload),
+            Json.to_str (Json.member "scope" payload),
+            job_result_of_json (Json.member "result" payload) )
+        with
+        | fp, scope, r
+          when String.equal r.job_id job.id
+               && String.equal r.mode (mode_name job.spec)
+               && String.equal fp fingerprint
+               && String.equal scope (spec_scope job.spec) ->
           Some { r with resumed = true }
         | _ | (exception Json.Error _) ->
           Log.warn (fun m ->
-              m "job %s: ignoring mismatched done-file" job.id);
+              m "job %s: ignoring done-file for a different \
+                 network/property — re-verifying" job.id);
           None))
-
-let spec_kind_fingerprint = function
-  | Verify { net; _ } -> (Runstate.Verify, Artifacts.fingerprint net)
-  | Svudc { net; _ } -> (Runstate.Svudc, Artifacts.fingerprint net)
-  | Svbtv { new_net; _ } -> (Runstate.Svbtv, Artifacts.fingerprint new_net)
 
 (* (checkpoint sink, resume payload, was a checkpoint found). *)
 let job_checkpointing config job =
@@ -270,11 +310,12 @@ let job_checkpointing config job =
   | None -> (None, None, false)
   | Some dir ->
     let kind, fingerprint = spec_kind_fingerprint job.spec in
+    let scope = spec_scope job.spec in
     let path = ck_path dir job in
     let resume =
       if not (Sys.file_exists path) then None
       else
-        match Runstate.load ~path ~kind ~fingerprint with
+        match Runstate.load ~path ~kind ~fingerprint ~scope:(Some scope) with
         | Ok payload ->
           Log.info (fun m -> m "job %s: resuming from %s" job.id path);
           Some payload
@@ -286,7 +327,7 @@ let job_checkpointing config job =
     in
     let sink =
       Checkpoint.create ~every:config.checkpoint_every (fun payload ->
-          Runstate.save ~path ~kind ~fingerprint payload)
+          Runstate.save ~scope ~path ~kind ~fingerprint payload)
     in
     (Some sink, resume, Option.is_some resume)
 
@@ -296,7 +337,7 @@ let record_done config job result =
   | Some dir ->
     (try
        Artifacts.save_doc ~format:done_format (done_path dir job)
-         (job_result_to_json result)
+         (done_doc job result)
      with e ->
        Log.warn (fun m ->
            m "job %s: could not record done-file (%s)" job.id
@@ -513,12 +554,26 @@ let run_job ~config ~memo job =
 
 let validate_ids jobs =
   let seen = Hashtbl.create 16 in
+  let seen_file = Hashtbl.create 16 in
   List.iter
     (fun j ->
       if String.length j.id = 0 then invalid_arg "Batch.run: empty job id";
       if Hashtbl.mem seen j.id then
         invalid_arg (Printf.sprintf "Batch.run: duplicate job id %S" j.id);
-      Hashtbl.add seen j.id ())
+      Hashtbl.add seen j.id ();
+      (* Distinct ids must also stay distinct as filenames, or two jobs
+         would share checkpoint/done-file paths and clobber each
+         other's state in a parallel run. *)
+      let file = sanitize j.id in
+      (match Hashtbl.find_opt seen_file file with
+      | Some other ->
+        invalid_arg
+          (Printf.sprintf
+             "Batch.run: job ids %S and %S collide after filename \
+              sanitisation (%S)"
+             other j.id file)
+      | None -> ());
+      Hashtbl.add seen_file file j.id)
     jobs
 
 let run ?(config = default_config) jobs =

@@ -63,7 +63,11 @@ type config = {
   checkpoint_dir : string option;
       (** per-job search checkpoints ([<id>.ck.json]) and completed-job
           results ([<id>.done.json]); an existing valid done-file lets a
-          re-run skip the job, an existing checkpoint resumes it *)
+          re-run skip the job, an existing checkpoint resumes it. Both
+          are bound to the job's network fingerprint, mode and property
+          — a file recorded for a different verification question
+          (e.g. a retrained network under a reused directory) is
+          ignored and the job runs fresh *)
   checkpoint_every : float;  (** checkpoint cadence, seconds *)
 }
 
@@ -95,8 +99,9 @@ type t = {
 }
 
 (** [run ?config jobs] schedules and runs the whole manifest. Raises
-    [Invalid_argument] on duplicate or empty job ids (a manifest
-    authoring error, not a job failure). *)
+    [Invalid_argument] on duplicate or empty job ids, or on distinct
+    ids that collide after filename sanitisation (a manifest authoring
+    error, not a job failure). *)
 val run : ?config:config -> job list -> t
 
 (** [report_to_json t] is the consolidated batch report
@@ -106,7 +111,9 @@ val report_to_json : t -> Cv_util.Json.t
 
 (** [job_result_to_json r] / [job_result_of_json j] encode one job's
     result row (stable field order: id, mode, verdict, decisive,
-    attempts, seconds, resumed, detail) — also the done-file payload.
+    attempts, seconds, resumed, detail) — also the [result] member of
+    the done-file payload (alongside the job's fingerprint and
+    property scope).
     [job_result_of_json] raises {!Cv_util.Json.Error} on malformed
     input. *)
 val job_result_to_json : job_result -> Cv_util.Json.t

@@ -200,6 +200,43 @@ let test_cache_disk_backing () =
   let c'' = Cache.create ~dir () in
   Alcotest.(check bool) "corrupt entry is a miss" true (find_k c'' key_a = None)
 
+(* A Json.Error raised by the builder itself is a build failure, not a
+   decode failure: it propagates as-is, without a second build. *)
+let test_build_error_not_retried () =
+  let c = Cache.create () in
+  let builds = ref 0 in
+  let build () : Box.t array =
+    incr builds;
+    raise (Json.Error "builder failed")
+  in
+  (match
+     Cache.boxes_or_build c ~fingerprint:"f" ~box_hash:Cache.no_box ~kind:"k"
+       build
+   with
+  | _ -> Alcotest.fail "builder failure must escape"
+  | exception Json.Error _ -> ());
+  Alcotest.(check int) "build ran exactly once" 1 !builds
+
+(* A cached payload that fails to decode (foreign bytes under the key)
+   rebuilds through the store and repairs the entry. *)
+let test_decode_failure_rebuilds () =
+  let c = Cache.create () in
+  store_k c ("f", Cache.no_box, "boxes") (Json.Str "garbage");
+  let builds = ref 0 in
+  let boxes = [| Box.uniform 2 ~lo:0. ~hi:1. |] in
+  let build () =
+    incr builds;
+    boxes
+  in
+  let get () =
+    Cache.boxes_or_build c ~fingerprint:"f" ~box_hash:Cache.no_box
+      ~kind:"boxes" build
+  in
+  Alcotest.(check bool) "rebuilt value served" true (get () = boxes);
+  Alcotest.(check int) "rebuilt once" 1 !builds;
+  Alcotest.(check bool) "repaired entry round-trips" true (get () = boxes);
+  Alcotest.(check int) "second lookup is a pure hit" 1 !builds
+
 (* find_or_build: the builder runs once; a second call is a pure hit. *)
 let test_find_or_build () =
   let c = Cache.create () in
@@ -284,6 +321,13 @@ let test_duplicate_ids_rejected () =
   | _ -> Alcotest.fail "duplicate ids must be rejected"
   | exception Invalid_argument _ -> ()
 
+(* Distinct ids that sanitise to the same filename would share
+   checkpoint/done-file paths; the manifest is rejected up front. *)
+let test_colliding_ids_rejected () =
+  match Batch.run [ verify_job "a/b" safe_prop; verify_job "a:b" unsafe_prop ] with
+  | _ -> Alcotest.fail "sanitise-colliding ids must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let rm_rf dir =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir
@@ -321,6 +365,47 @@ let test_done_file_resume () =
     (verdict_map t1 = verdict_map t3);
   rm_rf dir
 
+(* The continuous-verification hazard: the same job id, re-run under a
+   reused --checkpoint-dir after the mode, the property, or the network
+   changed. The recorded done-file is stale for the new question and
+   must be ignored — never replayed as the verdict of something it
+   never verified. *)
+let test_stale_done_file_ignored () =
+  let dir = Filename.temp_file "cv_batch_stale" "" in
+  Sys.remove dir;
+  let config = { Batch.default_config with Batch.checkpoint_dir = Some dir } in
+  let job ?(net = net) ?(exact = false) prop =
+    { Batch.id = "x";
+      spec = Batch.Verify { net; prop; exact; artifact_out = None };
+      timeout = None }
+  in
+  let run_one j =
+    match (Batch.run ~config [ j ]).Batch.results with
+    | [ r ] -> r
+    | _ -> assert false
+  in
+  let r = run_one (job safe_prop) in
+  Alcotest.(check string) "baseline verdict" "safe"
+    (Batch.verdict_name r.Batch.verdict);
+  (* Same network and property, different mode. *)
+  let r = run_one (job ~exact:true safe_prop) in
+  Alcotest.(check bool) "mode change re-runs" false r.Batch.resumed;
+  (* Same network and mode, different property: the recorded "safe"
+     must not leak onto a property that is in fact violated. *)
+  let r = run_one (job unsafe_prop) in
+  Alcotest.(check bool) "property change re-runs" false r.Batch.resumed;
+  Alcotest.(check string) "re-verified verdict" "unsafe"
+    (Batch.verdict_name r.Batch.verdict);
+  (* Same property and mode, retrained network. *)
+  let r = run_one (job ~net:other_net unsafe_prop) in
+  Alcotest.(check bool) "network change re-runs" false r.Batch.resumed;
+  (* Unchanged question: now the done-file is valid and replays. *)
+  let r' = run_one (job ~net:other_net unsafe_prop) in
+  Alcotest.(check bool) "identical re-run replays" true r'.Batch.resumed;
+  Alcotest.(check bool) "replayed verdict preserved" true
+    (r'.Batch.verdict = r.Batch.verdict);
+  rm_rf dir
+
 let test_job_result_json_roundtrip () =
   let r =
     { Batch.job_id = "j1";
@@ -343,7 +428,11 @@ let () =
             test_poisoned_job_isolated;
           Alcotest.test_case "duplicate ids rejected" `Quick
             test_duplicate_ids_rejected;
+          Alcotest.test_case "colliding ids rejected" `Quick
+            test_colliding_ids_rejected;
           Alcotest.test_case "done-file resume" `Quick test_done_file_resume;
+          Alcotest.test_case "stale done-file ignored" `Quick
+            test_stale_done_file_ignored;
           Alcotest.test_case "job result json round-trip" `Quick
             test_job_result_json_roundtrip ] );
       ( "cache",
@@ -353,6 +442,10 @@ let () =
           Alcotest.test_case "disk backing" `Quick test_cache_disk_backing;
           Alcotest.test_case "find_or_build builds once" `Quick
             test_find_or_build;
+          Alcotest.test_case "build error not retried" `Quick
+            test_build_error_not_retried;
+          Alcotest.test_case "decode failure rebuilds" `Quick
+            test_decode_failure_rebuilds;
           Alcotest.test_case "crash during cache write" `Quick
             test_crash_during_cache_write;
           Alcotest.test_case "truncated entry detected" `Quick

@@ -160,12 +160,13 @@ let test_resume_strategy_attempts () =
 
 let fp = "deadbeef"
 
-let save_ck path payload =
-  Cv_core.Runstate.save ~path ~kind:Cv_core.Runstate.Verify ~fingerprint:fp
-    payload
+let save_ck ?scope path payload =
+  Cv_core.Runstate.save ?scope ~path ~kind:Cv_core.Runstate.Verify
+    ~fingerprint:fp payload
 
-let load_ck ?(kind = Cv_core.Runstate.Verify) ?(fingerprint = fp) path =
-  Cv_core.Runstate.load ~path ~kind ~fingerprint
+let load_ck ?(kind = Cv_core.Runstate.Verify) ?(fingerprint = fp)
+    ?(scope = None) path =
+  Cv_core.Runstate.load ~path ~kind ~fingerprint ~scope
 
 let test_runstate_roundtrip () =
   let path = tmp_file () in
@@ -194,6 +195,30 @@ let test_runstate_mismatches () =
   (match load_ck ~fingerprint:"cafef00d" path with
   | Error (Cv_core.Runstate.Checkpoint_mismatch _) -> ()
   | _ -> Alcotest.fail "wrong-network checkpoint must be refused");
+  Sys.remove path
+
+(* Scope validation: a checkpoint is bound to the property it was taken
+   for. A loader expecting a scope refuses both a different scope and a
+   scope-less file; a loader without expectations still reads both. *)
+let test_runstate_scope () =
+  let path = tmp_file () in
+  save_ck ~scope:"prop-a" path J.Null;
+  (match load_ck ~scope:(Some "prop-a") path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Cv_core.Runstate.resume_error_message e));
+  (match load_ck ~scope:(Some "prop-b") path with
+  | Error (Cv_core.Runstate.Checkpoint_mismatch _) -> ()
+  | _ -> Alcotest.fail "wrong-property checkpoint must be refused");
+  (* A caller without a scope expectation (legacy paths) still loads. *)
+  (match load_ck path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Cv_core.Runstate.resume_error_message e));
+  (* An unscoped file cannot prove what it was taken for. *)
+  save_ck path J.Null;
+  (match load_ck ~scope:(Some "prop-a") path with
+  | Error (Cv_core.Runstate.Checkpoint_mismatch _) -> ()
+  | _ -> Alcotest.fail "scope-less checkpoint must be refused when a scope \
+                        is expected");
   Sys.remove path
 
 let test_runstate_corruption () =
@@ -291,6 +316,7 @@ let () =
       ( "runstate",
         [ Alcotest.test_case "roundtrip" `Quick test_runstate_roundtrip;
           Alcotest.test_case "mismatches" `Quick test_runstate_mismatches;
+          Alcotest.test_case "property scope" `Quick test_runstate_scope;
           Alcotest.test_case "corruption" `Quick test_runstate_corruption ] );
       ( "artifact-writer",
         [ Alcotest.test_case "concurrent saves" `Quick
