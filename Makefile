@@ -1,12 +1,12 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench ci fmt chaos
+.PHONY: all build test bench examples clean doc quickbench ci fmt chaos servesmoke
 
 all: build
 
 # What CI runs: full build, test suite, formatting gate, bench smoke
-# (writes the BENCH_PR4.json perf trajectory).
-ci: build test fmt quickbench
+# (writes the BENCH_PR4.json perf trajectory), serve smoke.
+ci: build test fmt quickbench servesmoke
 
 fmt:
 	dune build @fmt
@@ -30,6 +30,13 @@ quickbench:
 # never flip. CI runs this for three seeds (chaos-matrix job).
 chaos:
 	dune exec bin/contiver.exe -- chaos --seed 1 --rounds 8
+
+# Serve smoke: a bounded self-driving serve session must complete two
+# monitored OOD -> SVuDC -> commit rounds under a deadline and emit a
+# valid contiver-serve-status-v1 stream with artifact-cache hits.
+servesmoke:
+	timeout 120 dune exec bin/contiver.exe -- serve --drive --rounds 2 > SERVE_SMOKE.ndjson
+	python3 scripts/check_serve_status.py SERVE_SMOKE.ndjson 2
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1159,6 +1159,369 @@ let batch_cmd =
       $ checkpoint_every_arg $ report_out $ stats_arg $ trace_json_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The continuous-verification daemon: monitored observations stream in
+   (NDJSON on stdin, or the simulated vehicle with --drive), OOD events
+   debounce into SVuDC rounds, a watched network file fingerprint change
+   triggers SVbTV. Status records (contiver-serve-status-v1) go to
+   stdout one JSON object per line; human-readable logs go to stderr. *)
+let serve verbose model artifact_path artifact_out drive drive_steps drive_seed
+    drive_burst drive_ramp max_rounds margin trigger_events trigger_kappa quiet
+    queue_capacity engine widen timeout checkpoint_dir checkpoint_every resume
+    status_every no_cache cache_dir cache_capacity watch no_watch stats
+    trace_json =
+  run @@ fun () ->
+  setup_logs verbose;
+  with_observability ~stats ~trace_json @@ fun () ->
+  let stop_requested = Atomic.make false in
+  List.iter
+    (fun signal ->
+      Sys.set_signal signal
+        (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)))
+    [ Sys.sigterm; Sys.sigint ];
+  let cache =
+    if no_cache then None
+    else
+      Some (Cv_artifacts.Cache.create ~capacity:cache_capacity ?dir:cache_dir ())
+  in
+  let strategy =
+    { Cv_core.Strategy.default_config with Cv_core.Strategy.engine }
+  in
+  let net, artifact, stream, watch_path =
+    if drive then begin
+      let exp = Cv_vehicle.Pipeline.build () in
+      let head = exp.Cv_vehicle.Pipeline.heads.(0) in
+      let prop = Cv_vehicle.Pipeline.property exp in
+      let original = Cv_core.Strategy.solve_original ~config:strategy head prop in
+      if not original.Cv_core.Strategy.proved then
+        cli_fail "serve --drive: could not certify the original property";
+      let stream =
+        Cv_vehicle.Stream.create ~ramp:drive_ramp
+          ~rng:(Cv_util.Rng.create drive_seed)
+          ~track:exp.Cv_vehicle.Pipeline.track
+          ~perception:exp.Cv_vehicle.Pipeline.perception ~steps:drive_steps ()
+      in
+      (head, original.Cv_core.Strategy.artifact, Some stream, watch)
+    end
+    else begin
+      let model =
+        match model with
+        | Some m -> m
+        | None -> cli_fail "serve: --model is required unless --drive is given"
+      in
+      let artifact_path =
+        match artifact_path with
+        | Some a -> a
+        | None -> cli_fail "serve: --artifact is required unless --drive is given"
+      in
+      let net = load_network model in
+      let artifact = load_artifact artifact_path in
+      if not (Cv_artifacts.Artifacts.matches artifact net) then
+        cli_fail "serve: artifact %s was not produced for network %s"
+          artifact_path model;
+      let watch_path =
+        if no_watch then None
+        else Some (Option.value watch ~default:model)
+      in
+      (net, artifact, None, watch_path)
+    end
+  in
+  let fingerprint = Cv_artifacts.Artifacts.fingerprint net in
+  let restored =
+    if not resume then None
+    else
+      match checkpoint_dir with
+      | None -> cli_fail "serve: --resume-checkpoint needs --checkpoint-dir"
+      | Some dir -> (
+        match Cv_serve.Serve.load_state ~dir ~fingerprint with
+        | Ok state -> state
+        | Error e -> cli_fail "%s" (Cv_core.Runstate.resume_error_message e))
+  in
+  let source =
+    match stream with
+    | Some stream ->
+      (* Replay the frames a previous run already consumed, so the
+         resumed daemon continues at the exact frame it last saw. *)
+      (match restored with
+      | Some state -> Cv_vehicle.Stream.skip stream state.Cv_serve.Serve.p_consumed
+      | None -> ());
+      Cv_serve.Source.of_stream ~burst:drive_burst stream
+    | None -> Cv_serve.Source.stdin_ndjson ()
+  in
+  let config =
+    { Cv_serve.Serve.margin;
+      trigger_events;
+      trigger_kappa =
+        (match trigger_kappa with None -> infinity | Some k -> k);
+      quiet_events = quiet;
+      queue_capacity;
+      max_rounds;
+      widen;
+      strategy;
+      round_timeout = timeout;
+      checkpoint_dir;
+      checkpoint_every;
+      resume = restored;
+      cache;
+      status_every;
+      watch = watch_path;
+      artifact_out;
+      status =
+        (fun j ->
+          print_endline (Cv_util.Json.to_string j);
+          flush stdout);
+      on_round =
+        (fun r ->
+          Printf.eprintf "round %04d %s: %s%s%s  (%.3fs, %d events, kappa %.4f)\n%!"
+            r.Cv_serve.Serve.number
+            (Cv_serve.Serve.round_kind_name r.Cv_serve.Serve.kind)
+            (Cv_core.Batch.verdict_name r.Cv_serve.Serve.verdict)
+            (if r.Cv_serve.Serve.committed then ", committed" else "")
+            (if r.Cv_serve.Serve.resumed then " (resumed)" else "")
+            r.Cv_serve.Serve.seconds r.Cv_serve.Serve.trigger_events
+            r.Cv_serve.Serve.kappa);
+      should_stop = (fun () -> Atomic.get stop_requested) }
+  in
+  let t = Cv_serve.Serve.run ~config ~net ~artifact ~source () in
+  Printf.eprintf
+    "serve: stopped (%s) after %d rounds  %d commits  %d seen  %d ood  %d \
+     dropped  %d rejected  %d pending\n\
+     %!"
+    (Cv_serve.Serve.stop_reason_name t.Cv_serve.Serve.stop)
+    t.Cv_serve.Serve.round_count t.Cv_serve.Serve.commits t.Cv_serve.Serve.seen
+    t.Cv_serve.Serve.ood t.Cv_serve.Serve.dropped t.Cv_serve.Serve.rejected
+    t.Cv_serve.Serve.pending;
+  (* Mirror the batch exit discipline: proved and budget-exhausted
+     rounds are expected outcomes; unsafe, inconclusive or crashed
+     rounds make the service exit nonzero. *)
+  if
+    List.for_all
+      (fun (r : Cv_serve.Serve.round) ->
+        match r.Cv_serve.Serve.verdict with
+        | Cv_core.Batch.Safe | Cv_core.Batch.Exhausted -> true
+        | _ -> false)
+      t.Cv_serve.Serve.rounds
+  then Cmd.Exit.ok
+  else 1
+
+let serve_cmd =
+  let model =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:
+            "Model file (contiver JSON format). Required unless \
+             $(b,--drive) is given.")
+  in
+  let artifact =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "artifact" ] ~docv:"FILE"
+          ~doc:
+            "Proof artifact of the property over the monitored box. \
+             Required unless $(b,--drive) is given.")
+  in
+  let artifact_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifact-out" ] ~docv:"FILE"
+          ~doc:
+            "After every committed round, write the refreshed proof \
+             artifact (enlarged domain, rebuilt abstractions) to $(docv).")
+  in
+  let drive =
+    Arg.(
+      value & flag
+      & info [ "drive" ]
+          ~doc:
+            "Self-contained demo source: build the synthetic vehicle \
+             experiment, certify the original property, then stream \
+             features from the closed loop driving under drifting shifted \
+             conditions.")
+  in
+  let drive_steps =
+    Arg.(
+      value & opt int 400
+      & info [ "drive-steps" ] ~docv:"N"
+          ~doc:"Frames to drive before the stream ends (default 400).")
+  in
+  let drive_seed =
+    Arg.(
+      value & opt int 123
+      & info [ "drive-seed" ] ~docv:"N"
+          ~doc:"Random seed of the drive source (default 123).")
+  in
+  let drive_burst =
+    Arg.(
+      value & opt int 8
+      & info [ "drive-burst" ] ~docv:"N"
+          ~doc:"Frames ingested per poll of the drive source (default 8).")
+  in
+  let drive_ramp =
+    Arg.(
+      value & opt float 0.005
+      & info [ "drive-ramp" ] ~docv:"DELTA"
+          ~doc:
+            "Per-frame brightness drift of the drive source, so fresh \
+             out-of-distribution events keep arriving (default 0.005).")
+  in
+  let max_rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"Stop after $(docv) verification rounds.")
+  in
+  let margin =
+    Arg.(
+      value & opt float 0.005
+      & info [ "margin" ] ~docv:"DELTA"
+          ~doc:
+            "Padding added around each OOD event when enlarging the \
+             monitored box (default 0.005).")
+  in
+  let trigger_events =
+    Arg.(
+      value & opt int 3
+      & info [ "ood-events" ] ~docv:"N"
+          ~doc:
+            "Fire a re-verification round once this many OOD events are \
+             pending (default 3).")
+  in
+  let trigger_kappa =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "kappa" ] ~docv:"K"
+          ~doc:
+            "Also fire a round as soon as the enlargement distance κ \
+             reaches $(docv) (off by default).")
+  in
+  let quiet =
+    Arg.(
+      value & opt int 0
+      & info [ "quiet" ] ~docv:"N"
+          ~doc:
+            "Debounce: wait for $(docv) consecutive in-distribution \
+             observations after the last OOD event before firing (waived \
+             when the source is idle or has ended; default 0).")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded ingestion queue capacity; on overflow the oldest \
+             observation is dropped and counted (default 1024).")
+  in
+  let widen =
+    Arg.(
+      value & opt float 0.04
+      & info [ "widen" ] ~docv:"SLACK"
+          ~doc:
+            "Widening slack of the abstraction chain rebuilt for a \
+             committed box (default 0.04).")
+  in
+  let round_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-round verification budget; on expiry the round degrades \
+             to a structured exhausted verdict and the box is not \
+             committed.")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable serving state: the loop state (serve.state.json) \
+             plus per-round search checkpoints and done-files, so a \
+             killed daemon restarted with $(b,--resume-checkpoint) \
+             replays finished rounds instead of re-verifying.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume-checkpoint" ]
+          ~doc:
+            "Resume from the state saved under $(b,--checkpoint-dir): \
+             restore the monitored box, pending events and counters, \
+             skip already-consumed drive frames, and replay completed \
+             rounds from their done-files.")
+  in
+  let status_every =
+    Arg.(
+      value & opt float 10.
+      & info [ "status-every" ] ~docv:"SECONDS"
+          ~doc:
+            "Minimum seconds between periodic status records on stdout \
+             (one JSON object per line, schema \
+             contiver-serve-status-v1); a record is also emitted after \
+             every round and at shutdown (default 10).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the proof-artifact cache (every round builds cold).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Back the artifact cache with durable entries in $(docv), so \
+             restarted daemons reuse earlier rounds' artifacts.")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"In-memory cache entries before LRU eviction (default 256).")
+  in
+  let watch =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "watch" ] ~docv:"FILE"
+          ~doc:
+            "Network file to watch; a content-fingerprint change (a \
+             fine-tuned model dropped in place) triggers an SVbTV round. \
+             Defaults to $(b,--model).")
+  in
+  let no_watch =
+    Arg.(
+      value & flag
+      & info [ "no-watch" ] ~doc:"Do not watch any network file.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the continuous-verification service: ingest monitored \
+          feature observations (NDJSON on stdin, or the simulated vehicle \
+          with $(b,--drive)), debounce out-of-distribution events into \
+          SVuDC re-verification rounds, watch for fine-tuned networks to \
+          trigger SVbTV rounds, and commit enlarged domains back to the \
+          monitor only on proved verdicts.")
+    Term.(
+      const serve $ verbose_arg $ model $ artifact $ artifact_out $ drive
+      $ drive_steps $ drive_seed $ drive_burst $ drive_ramp $ max_rounds
+      $ margin $ trigger_events $ trigger_kappa $ quiet $ queue_capacity
+      $ engine_arg $ widen $ round_timeout $ checkpoint_dir
+      $ checkpoint_every_arg $ resume $ status_every $ no_cache $ cache_dir
+      $ cache_capacity $ watch $ no_watch $ stats_arg $ trace_json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1168,6 +1531,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; describe_cmd; verify_cmd; batch_cmd; svudc_cmd;
-            svbtv_cmd; chaos_cmd; range_cmd; diff_cmd; suspects_cmd;
-            simulate_cmd; import_nnet_cmd; export_nnet_cmd ]))
+          [ generate_cmd; describe_cmd; verify_cmd; batch_cmd; serve_cmd;
+            svudc_cmd; svbtv_cmd; chaos_cmd; range_cmd; diff_cmd;
+            suspects_cmd; simulate_cmd; import_nnet_cmd; export_nnet_cmd ]))

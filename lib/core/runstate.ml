@@ -14,12 +14,13 @@
 
 let format = "contiver-checkpoint"
 
-type kind = Verify | Svudc | Svbtv
+type kind = Verify | Svudc | Svbtv | Serve
 
 let kind_name = function
   | Verify -> "verify"
   | Svudc -> "svudc"
   | Svbtv -> "svbtv"
+  | Serve -> "serve"
 
 type resume_error =
   | Corrupt_checkpoint of string

@@ -4,7 +4,7 @@
     of them through typed errors, so a checkpoint never silently resumes
     the wrong run, the wrong network, or the wrong property. *)
 
-type kind = Verify | Svudc | Svbtv
+type kind = Verify | Svudc | Svbtv | Serve
 
 (** [kind_name k] is the printable command name. *)
 val kind_name : kind -> string

@@ -5,7 +5,13 @@
     of the monitored feature layer over the training set, plus a buffer;
     in operation, every input whose features escape the box is an
     out-of-distribution event, and the recorded overshoots form [Δ_in]
-    for the next verification round. *)
+    for the next verification round.
+
+    The monitor is shared mutable state between the serving path
+    ({!observe}) and a background verification loop
+    ({!enlarged_box}/{!kappa}/{!commit}), so every operation takes the
+    monitor's mutex — snapshots are consistent and no event is lost to a
+    racing update. *)
 
 type event = {
   features : Cv_linalg.Vec.t;  (** the violating feature vector *)
@@ -13,11 +19,36 @@ type event = {
   index : int;  (** running sample counter at detection time *)
 }
 
+type observation =
+  | In_distribution
+  | Ood of event
+  | Rejected
+      (** the vector had a non-finite component: counted, never
+          recorded — a NaN overshoot would poison κ forever *)
+
 type t = {
+  lock : Mutex.t;
   mutable box : Cv_interval.Box.t;  (** current monitored bound, [D_in] *)
   mutable seen : int;
   mutable events : event list;  (** most recent first *)
+  mutable n_events : int;  (** [List.length events], maintained O(1) *)
+  mutable rejected : int;  (** non-finite observations discarded *)
 }
+
+let m_ood = Cv_util.Metrics.counter "monitor.ood"
+let m_rejected = Cv_util.Metrics.counter "monitor.rejected"
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let make box =
+  { lock = Mutex.create ();
+    box;
+    seen = 0;
+    events = [];
+    n_events = 0;
+    rejected = 0 }
 
 (** [of_samples ?buffer features] builds the initial [D_in]: the
     bounding box of the observed feature vectors, enlarged by [buffer]
@@ -29,28 +60,45 @@ let of_samples ?(buffer = 0.05) features =
   | first :: rest ->
     let box = ref (Cv_interval.Box.point first) in
     List.iter (fun x -> box := Cv_interval.Box.join_point !box x) rest;
-    { box = Cv_interval.Box.buffer buffer !box; seen = 0; events = [] }
+    make (Cv_interval.Box.buffer buffer !box)
 
 (** [of_box box] starts monitoring from a given bound. *)
-let of_box box = { box; seen = 0; events = [] }
+let of_box box = make box
 
 (** [current t] is the monitored box (the verified [D_in]). *)
-let current t = t.box
+let current t = with_lock t (fun () -> t.box)
 
-(** [events t] lists recorded out-of-distribution events, newest
+(** [events t] lists recorded out-of-distribution events, oldest
     first. *)
-let events t = List.rev t.events
+let events t = with_lock t (fun () -> List.rev t.events)
 
-(** [event_count t] is the number of OOD events so far. *)
-let event_count t = List.length t.events
+(** [event_count t] is the number of pending OOD events. *)
+let event_count t = with_lock t (fun () -> t.n_events)
 
-(** [observe t x] feeds one feature vector. In-distribution vectors
-    return [None]; out-of-distribution vectors are recorded and returned
-    as an event. The monitored box is {e not} changed — enlargement is an
-    explicit engineering step ({!enlarged_box}). *)
-let observe t x =
+(** [rejected_count t] is the number of non-finite observations
+    discarded so far. *)
+let rejected_count t = with_lock t (fun () -> t.rejected)
+
+let vec_finite x =
+  let ok = ref true in
+  Array.iter (fun v -> if not (Float.is_finite v) then ok := false) x;
+  !ok
+
+(** [observe_class t x] feeds one feature vector and classifies it.
+    Non-finite vectors are rejected (counted, never recorded);
+    in-distribution vectors pass; out-of-distribution vectors are
+    recorded and returned as an event. The monitored box is {e not}
+    changed — enlargement is an explicit engineering step
+    ({!enlarged_box}). *)
+let observe_class t x =
+  with_lock t @@ fun () ->
   t.seen <- t.seen + 1;
-  if Cv_interval.Box.mem x t.box then None
+  if not (vec_finite x) then begin
+    t.rejected <- t.rejected + 1;
+    Cv_util.Metrics.incr m_rejected;
+    Rejected
+  end
+  else if Cv_interval.Box.mem x t.box then In_distribution
   else begin
     let ev =
       { features = Array.copy x;
@@ -58,14 +106,25 @@ let observe t x =
         index = t.seen }
     in
     t.events <- ev :: t.events;
-    Some ev
+    t.n_events <- t.n_events + 1;
+    Cv_util.Metrics.incr m_ood;
+    Ood ev
   end
+
+(** [observe t x] is {!observe_class} collapsed to the historical
+    interface: [Some ev] for an out-of-distribution vector, [None] for
+    in-distribution {e and} rejected ones. *)
+let observe t x =
+  match observe_class t x with
+  | Ood ev -> Some ev
+  | In_distribution | Rejected -> None
 
 (** [enlarged_box ?margin t] is [D_in ∪ Δ_in] as a box: the monitored
     box joined with every recorded event point, each padded by [margin]
     (absolute, default 0) so the enlargement is robust to measurement
     noise. *)
 let enlarged_box ?(margin = 0.) t =
+  with_lock t @@ fun () ->
   List.fold_left
     (fun box ev ->
       Cv_interval.Box.join box
@@ -73,18 +132,26 @@ let enlarged_box ?(margin = 0.) t =
     t.box t.events
 
 (** [commit t box] installs an enlarged box (after re-verification
-    succeeded) and clears the event log — one turn of the paper's
-    continuous-engineering loop. *)
+    succeeded) and clears the events it covers — one turn of the paper's
+    continuous-engineering loop. Events observed {e after} the enlarged
+    box was computed may lie outside it; those stay pending so they can
+    trigger the next round instead of being silently discarded. *)
 let commit t box =
+  with_lock t @@ fun () ->
   if not (Cv_interval.Box.subset t.box box) then
     invalid_arg "Monitor.commit: new box must contain the current one";
   t.box <- box;
-  t.events <- []
+  let kept =
+    List.filter (fun ev -> not (Cv_interval.Box.mem ev.features box)) t.events
+  in
+  t.events <- kept;
+  t.n_events <- List.length kept
 
 (** [kappa ?norm t] quantifies the pending enlargement: the maximum
     distance from recorded events to the current box (the paper's κ for
     Proposition 3). *)
 let kappa ?(norm = `Linf) t =
+  with_lock t @@ fun () ->
   let dist =
     match norm with
     | `Linf -> Cv_interval.Box.dist_point_inf

@@ -2,13 +2,26 @@
     monitored "Flatten" bounds): build [D_in] from observed feature
     ranges plus a buffer, flag out-of-distribution feature vectors in
     operation, and turn the recorded events into [D_in ∪ Δ_in] and κ for
-    the next verification round. *)
+    the next verification round.
+
+    All operations are thread-safe: the monitor is meant to be shared
+    between a serving thread calling {!observe} and a background
+    verification loop calling {!enlarged_box}/{!kappa}/{!commit}. *)
 
 type event = {
   features : Cv_linalg.Vec.t;  (** the violating feature vector *)
   overshoot : float;  (** ∞-norm distance outside the current box *)
   index : int;  (** running sample counter at detection time *)
 }
+
+(** Classification of one observation. *)
+type observation =
+  | In_distribution  (** inside the monitored box: nothing recorded *)
+  | Ood of event  (** outside the box: recorded as a pending event *)
+  | Rejected
+      (** the vector had a NaN or infinite component: counted via
+          {!rejected_count}, never recorded — a non-finite overshoot
+          would poison {!kappa} forever *)
 
 type t
 
@@ -23,15 +36,26 @@ val of_box : Cv_interval.Box.t -> t
 (** [current t] is the monitored box (the verified [D_in]). *)
 val current : t -> Cv_interval.Box.t
 
-(** [events t] lists recorded out-of-distribution events, oldest
+(** [events t] lists pending out-of-distribution events, oldest
     first. *)
 val events : t -> event list
 
-(** [event_count t] is the number of OOD events so far. *)
+(** [event_count t] is the number of pending OOD events (O(1)). *)
 val event_count : t -> int
 
-(** [observe t x] feeds one feature vector; out-of-distribution vectors
-    are recorded and returned as an event. *)
+(** [rejected_count t] is the number of non-finite observations
+    discarded so far. *)
+val rejected_count : t -> int
+
+(** [observe_class t x] feeds one feature vector and classifies it:
+    non-finite vectors are rejected and only counted, in-distribution
+    vectors pass, out-of-distribution vectors are recorded and returned
+    as an event. *)
+val observe_class : t -> Cv_linalg.Vec.t -> observation
+
+(** [observe t x] is {!observe_class} collapsed to the historical
+    interface: [Some ev] for an out-of-distribution vector, [None] for
+    in-distribution {e and} rejected ones. *)
 val observe : t -> Cv_linalg.Vec.t -> event option
 
 (** [enlarged_box ?margin t] is [D_in ∪ Δ_in] as a box: the monitored
@@ -40,8 +64,10 @@ val observe : t -> Cv_linalg.Vec.t -> event option
 val enlarged_box : ?margin:float -> t -> Cv_interval.Box.t
 
 (** [commit t box] installs an enlarged box (after re-verification
-    succeeded) and clears the event log. Raises [Invalid_argument] when
-    [box] does not contain the current one. *)
+    succeeded) and clears the events it covers; events outside [box] —
+    observed after the enlargement was computed — stay pending so they
+    can trigger the next round. Raises [Invalid_argument] when [box]
+    does not contain the current one. *)
 val commit : t -> Cv_interval.Box.t -> unit
 
 (** [kappa ?norm t] quantifies the pending enlargement: the maximum

@@ -1,0 +1,35 @@
+(** Bounded drop-oldest queue (see the interface). *)
+
+type 'a t = {
+  lock : Mutex.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable dropped : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Event_queue.create: capacity must be >= 1";
+  { lock = Mutex.create (); items = Queue.create (); capacity; dropped = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t x =
+  with_lock t @@ fun () ->
+  let evicted =
+    if Queue.length t.items >= t.capacity then begin
+      t.dropped <- t.dropped + 1;
+      Some (Queue.pop t.items)
+    end
+    else None
+  in
+  Queue.add x t.items;
+  evicted
+
+let pop t =
+  with_lock t @@ fun () -> Queue.take_opt t.items
+
+let length t = with_lock t (fun () -> Queue.length t.items)
+let dropped t = with_lock t (fun () -> t.dropped)
+let capacity t = t.capacity

@@ -1,0 +1,31 @@
+(** Bounded in-memory observation queue with explicit backpressure.
+
+    Ingestion must never grow without bound while a verification round
+    holds the loop: when the queue is full, {!push} drops the {e oldest}
+    element (fresh evidence matters more to the monitor than stale) and
+    counts the drop, so lost observations are always accounted for
+    ([serve.events.dropped]) instead of silently vanishing. Safe for
+    concurrent use. *)
+
+type 'a t
+
+(** [create ~capacity ()] — a queue holding at most [capacity] elements.
+    Raises [Invalid_argument] when [capacity < 1]. *)
+val create : capacity:int -> unit -> 'a t
+
+(** [push q x] enqueues [x]. On overflow the oldest element is dropped
+    (and counted) to make room, and returned as [Some _]; [None] means
+    nothing was lost. *)
+val push : 'a t -> 'a -> 'a option
+
+(** [pop q] dequeues the oldest element. *)
+val pop : 'a t -> 'a option
+
+(** [length q] is the current number of queued elements. *)
+val length : 'a t -> int
+
+(** [dropped q] is the total number of elements dropped so far. *)
+val dropped : 'a t -> int
+
+(** [capacity q] is the configured bound. *)
+val capacity : 'a t -> int

@@ -1,0 +1,547 @@
+(** The continuous-verification service loop (see the interface). *)
+
+module Json = Cv_util.Json
+module Metrics = Cv_util.Metrics
+module Checkpoint = Cv_util.Checkpoint
+module Box = Cv_interval.Box
+module Monitor = Cv_monitor.Monitor
+module Artifacts = Cv_artifacts.Artifacts
+module Cache = Cv_artifacts.Cache
+module Batch = Cv_core.Batch
+module Strategy = Cv_core.Strategy
+module Runstate = Cv_core.Runstate
+module Lipschitz = Cv_lipschitz.Lipschitz
+module Analyzer = Cv_domains.Analyzer
+
+let src = Logs.Src.create "cv.serve.loop" ~doc:"Continuous verification loop"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_rounds = Metrics.counter "serve.rounds"
+let m_commits = Metrics.counter "serve.commits"
+let m_seen = Metrics.counter "serve.events.seen"
+let m_ood = Metrics.counter "serve.events.ood"
+let m_dropped = Metrics.counter "serve.events.dropped"
+let m_rejected = Metrics.counter "serve.events.rejected"
+
+type round_kind = Svudc | Svbtv
+
+let round_kind_name = function Svudc -> "svudc" | Svbtv -> "svbtv"
+
+type round = {
+  number : int;
+  kind : round_kind;
+  verdict : Batch.verdict;
+  committed : bool;
+  seconds : float;
+  resumed : bool;
+  trigger_events : int;
+  kappa : float;
+}
+
+type stop_reason = Eof | Rounds_limit | Stopped
+
+let stop_reason_name = function
+  | Eof -> "eof"
+  | Rounds_limit -> "rounds-limit"
+  | Stopped -> "signal"
+
+type persisted = {
+  p_round : int;
+  p_commits : int;
+  p_seen : int;
+  p_ood : int;
+  p_dropped : int;
+  p_rejected : int;
+  p_consumed : int;
+  p_box : Box.t;
+  p_pending : Cv_linalg.Vec.t list;
+  p_failed_at : int option;
+}
+
+type config = {
+  margin : float;
+  trigger_events : int;
+  trigger_kappa : float;
+  quiet_events : int;
+  queue_capacity : int;
+  max_rounds : int option;
+  widen : float;
+  strategy : Strategy.config;
+  round_timeout : float option;
+  checkpoint_dir : string option;
+  checkpoint_every : float;
+  resume : persisted option;
+  cache : Cache.t option;
+  status_every : float;
+  watch : string option;
+  artifact_out : string option;
+  status : Json.t -> unit;
+  on_round : round -> unit;
+  should_stop : unit -> bool;
+}
+
+let default_config =
+  { margin = 0.005;
+    trigger_events = 3;
+    trigger_kappa = infinity;
+    quiet_events = 0;
+    queue_capacity = 1024;
+    max_rounds = None;
+    widen = 0.04;
+    strategy = Strategy.default_config;
+    round_timeout = None;
+    checkpoint_dir = None;
+    checkpoint_every = 5.;
+    resume = None;
+    cache = None;
+    status_every = 10.;
+    watch = None;
+    artifact_out = None;
+    status = ignore;
+    on_round = ignore;
+    should_stop = (fun () -> false) }
+
+type t = {
+  rounds : round list;
+  round_count : int;
+  commits : int;
+  seen : int;
+  ood : int;
+  dropped : int;
+  rejected : int;
+  pending : int;
+  consumed : int;
+  box : Box.t;
+  stop : stop_reason;
+  net : Cv_nn.Network.t;
+  artifact : Artifacts.t;
+  cache_stats : Cache.stats option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Loop-state persistence                                              *)
+
+let state_path ~dir = Filename.concat dir "serve.state.json"
+
+let persisted_to_json p =
+  Json.Obj
+    [ ("round", Json.of_int p.p_round);
+      ("commits", Json.of_int p.p_commits);
+      ("seen", Json.of_int p.p_seen);
+      ("ood", Json.of_int p.p_ood);
+      ("dropped", Json.of_int p.p_dropped);
+      ("rejected", Json.of_int p.p_rejected);
+      ("consumed", Json.of_int p.p_consumed);
+      ("box", Box.to_json p.p_box);
+      ("pending", Json.List (List.map Json.of_float_array p.p_pending));
+      ( "failed_at",
+        match p.p_failed_at with
+        | None -> Json.Null
+        | Some n -> Json.of_int n ) ]
+
+let persisted_of_json j =
+  let box =
+    match Box.of_json_result (Json.member "box" j) with
+    | Ok b -> b
+    | Error msg -> raise (Json.Error msg)
+  in
+  { p_round = Json.to_int (Json.member "round" j);
+    p_commits = Json.to_int (Json.member "commits" j);
+    p_seen = Json.to_int (Json.member "seen" j);
+    p_ood = Json.to_int (Json.member "ood" j);
+    p_dropped = Json.to_int (Json.member "dropped" j);
+    p_rejected = Json.to_int (Json.member "rejected" j);
+    p_consumed = Json.to_int (Json.member "consumed" j);
+    p_box = box;
+    p_pending =
+      List.map Json.float_array (Json.to_list (Json.member "pending" j));
+    p_failed_at =
+      (match Json.member "failed_at" j with
+      | Json.Null -> None
+      | v -> Some (Json.to_int v)) }
+
+let load_state ~dir ~fingerprint =
+  let path = state_path ~dir in
+  if not (Sys.file_exists path) then Ok None
+  else
+    match Runstate.load ~path ~kind:Runstate.Serve ~fingerprint ~scope:None with
+    | Error e -> Error e
+    | Ok payload -> (
+      match persisted_of_json payload with
+      | p -> Ok (Some p)
+      | exception Json.Error msg ->
+        Error (Runstate.Corrupt_checkpoint (path ^ ": " ^ msg)))
+
+(* ------------------------------------------------------------------ *)
+(* The service loop                                                    *)
+
+let run ?(config = default_config) ~net ~artifact ~source () =
+  let current_net = ref net in
+  let current_artifact = ref artifact in
+  Option.iter
+    (fun dir ->
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    config.checkpoint_dir;
+  (* Committed rounds refresh the artifact in memory; a copy lives under
+     the checkpoint directory so a resumed daemon continues from the
+     refreshed proof (enlarged domain, rebuilt abstractions) instead of
+     the original one — keeping an interrupted round's re-run identical
+     to the uninterrupted schedule. *)
+  let saved_artifact_path =
+    Option.map
+      (fun dir -> Filename.concat dir "artifact.json")
+      config.checkpoint_dir
+  in
+  (match (config.resume, saved_artifact_path) with
+  | Some p, Some path when Sys.file_exists path -> (
+    match Artifacts.load_result path with
+    | Ok saved
+      when String.equal saved.Artifacts.network_fingerprint
+             (Artifacts.fingerprint net)
+           (* A kill can land between a commit's artifact refresh and
+              the next state snapshot; an artifact whose domain is not
+              contained in the persisted box is from that window —
+              ahead of the snapshot — and must not enlarge the resumed
+              monitor, or the OOD schedule would drift. *)
+           && Box.subset saved.Artifacts.property.Cv_verify.Property.din
+                p.p_box ->
+      current_artifact := saved
+    | Ok _ | Error _ -> ())
+  | _ -> ());
+  (* Counters carry over from a restored state; queue drops are tracked
+     by the queue itself on top of the restored base. *)
+  let base_dropped, round_count, commits, seen, ood, rejected, consumed =
+    match config.resume with
+    | None -> (0, ref 0, ref 0, ref 0, ref 0, ref 0, ref 0)
+    | Some p ->
+      ( p.p_dropped,
+        ref p.p_round,
+        ref p.p_commits,
+        ref p.p_seen,
+        ref p.p_ood,
+        ref p.p_rejected,
+        ref p.p_consumed )
+  in
+  let failed_at =
+    ref (match config.resume with None -> None | Some p -> p.p_failed_at)
+  in
+  let artifact_din () =
+    (!current_artifact).Artifacts.property.Cv_verify.Property.din
+  in
+  let monitor =
+    match config.resume with
+    | None -> Monitor.of_box (artifact_din ())
+    | Some p ->
+      (* Both boxes were proved; the monitor resumes from their join and
+         re-records the events that were still pending. *)
+      let m = Monitor.of_box (Box.join p.p_box (artifact_din ())) in
+      List.iter (fun feats -> ignore (Monitor.observe m feats)) p.p_pending;
+      m
+  in
+  let queue = Event_queue.create ~capacity:config.queue_capacity () in
+  let dropped () = base_dropped + Event_queue.dropped queue in
+  let quiet_run = ref 0 in
+  let eof = ref false in
+  let idle = ref false in
+  let stop = ref None in
+  let rounds = ref [] in
+  let stats () = Option.map Cache.stats config.cache in
+  let status_json ~final () =
+    Json.Obj
+      ([ ("schema", Json.Str "contiver-serve-status-v1");
+         ("rounds", Json.of_int !round_count);
+         ("commits", Json.of_int !commits);
+         ( "events",
+           Json.Obj
+             [ ("seen", Json.of_int !seen);
+               ("ood", Json.of_int !ood);
+               ("pending", Json.of_int (Monitor.event_count monitor));
+               ("dropped", Json.of_int (dropped ()));
+               ("rejected", Json.of_int !rejected) ] );
+         ("kappa", Json.Num (Monitor.kappa monitor));
+         ("box_width", Json.Num (Box.total_width (Monitor.current monitor)));
+         ( "cache",
+           match stats () with
+           | None -> Json.Null
+           | Some s -> Cache.stats_to_json s );
+         ("final", Json.Bool final) ]
+      @
+      match !stop with
+      | None -> []
+      | Some reason -> [ ("stop", Json.Str (stop_reason_name reason)) ])
+  in
+  let status_sink = Checkpoint.create ~every:config.status_every config.status in
+  let state_json () =
+    persisted_to_json
+      { p_round = !round_count;
+        p_commits = !commits;
+        p_seen = !seen;
+        p_ood = !ood;
+        p_dropped = dropped ();
+        p_rejected = !rejected;
+        p_consumed = !consumed;
+        p_box = Monitor.current monitor;
+        p_pending = List.map (fun ev -> ev.Monitor.features) (Monitor.events monitor);
+        p_failed_at = !failed_at }
+  in
+  let state_sink =
+    Option.map
+      (fun dir ->
+        Checkpoint.create ~every:config.checkpoint_every (fun payload ->
+            Runstate.save
+              ~path:(state_path ~dir)
+              ~kind:Runstate.Serve
+              ~fingerprint:(Artifacts.fingerprint !current_net)
+              payload))
+      config.checkpoint_dir
+  in
+  (* On a proved round the artifact is refreshed for the committed box:
+     abstraction chain and Lipschitz constants go through the cache
+     (content-addressed), so a second round against the same network
+     reuses them. A failed chain rebuild degrades to an artifact without
+     abstractions — the next round just starts from a cheaper route. *)
+  let refresh_artifact box =
+    let net = !current_net in
+    let fingerprint = Artifacts.fingerprint net in
+    let domain = config.strategy.Strategy.domain in
+    let build_chain () =
+      Analyzer.abstractions ~widen:config.widen domain net box
+    in
+    let chain =
+      let build () =
+        match config.cache with
+        | None -> build_chain ()
+        | Some c ->
+          Cache.boxes_or_build c ~fingerprint ~box_hash:(Cache.box_hash box)
+            ~kind:
+              (Printf.sprintf "abstractions:%s:w=%g"
+                 (Analyzer.domain_name domain)
+                 config.widen)
+            build_chain
+      in
+      match Cv_util.Supervisor.run ~name:"serve.refresh-chain" build with
+      | Ok chain -> Some chain
+      | Error _ -> None
+      | exception _ -> None
+    in
+    let lip name norm =
+      let build () = Lipschitz.global ~norm net in
+      match config.cache with
+      | None -> build ()
+      | Some c ->
+        Cache.float_or_build c ~fingerprint ~box_hash:Cache.no_box
+          ~kind:("lipschitz:" ^ name) build
+    in
+    let property =
+      Cv_verify.Property.make ~din:box
+        ~dout:(!current_artifact).Artifacts.property.Cv_verify.Property.dout
+    in
+    let refreshed =
+      Artifacts.make
+        ?state_abstractions:chain
+        ~lipschitz:[ ("Linf", lip "Linf" Lipschitz.Linf); ("L2", lip "L2" Lipschitz.L2) ]
+        ~property ~net ~solver:"serve-transfer"
+        ~solve_seconds:(!current_artifact).Artifacts.solve_seconds ()
+    in
+    current_artifact := refreshed;
+    Option.iter (fun path -> Artifacts.save path refreshed) config.artifact_out;
+    Option.iter (fun path -> Artifacts.save path refreshed) saved_artifact_path
+  in
+  let run_round kind =
+    let number = !round_count + 1 in
+    let trigger_events = Monitor.event_count monitor in
+    let kappa = Monitor.kappa monitor in
+    let enlarged = Monitor.enlarged_box ~margin:config.margin monitor in
+    (* Persist the exact pre-round state: a daemon killed mid-round
+       resumes here and re-derives the identical round (same id, same
+       enlarged box), so the round's done-file replays. *)
+    Checkpoint.save_opt state_sink state_json;
+    let id =
+      Printf.sprintf "round-%04d-%s" number
+        (round_kind_name
+           (match kind with `Svudc -> Svudc | `Svbtv _ -> Svbtv))
+    in
+    Log.info (fun m ->
+        m "%s: %d pending events, kappa %.4f" id trigger_events kappa);
+    let spec =
+      match kind with
+      | `Svudc ->
+        Batch.Svudc
+          { net = !current_net; artifact = !current_artifact; new_din = enlarged }
+      | `Svbtv new_net ->
+        Batch.Svbtv
+          { old_net = !current_net;
+            new_net;
+            artifact = !current_artifact;
+            new_din = enlarged }
+    in
+    let batch_config =
+      { Batch.default_config with
+        strategy = config.strategy;
+        job_timeout = config.round_timeout;
+        cache = config.cache;
+        checkpoint_dir = config.checkpoint_dir;
+        checkpoint_every = config.checkpoint_every }
+    in
+    let batch =
+      Batch.run ~config:batch_config [ { Batch.id; spec; timeout = None } ]
+    in
+    let result = List.hd batch.Batch.results in
+    round_count := number;
+    Metrics.incr m_rounds;
+    let committed = result.Batch.verdict = Batch.Safe in
+    if committed then begin
+      (match kind with `Svbtv new_net -> current_net := new_net | `Svudc -> ());
+      Monitor.commit monitor enlarged;
+      refresh_artifact enlarged;
+      incr commits;
+      Metrics.incr m_commits;
+      failed_at := None
+    end
+    else
+      (* Debounce gate: don't re-fire until new evidence arrives. *)
+      failed_at := Some trigger_events;
+    let round =
+      { number;
+        kind = (match kind with `Svudc -> Svudc | `Svbtv _ -> Svbtv);
+        verdict = result.Batch.verdict;
+        committed;
+        seconds = result.Batch.seconds;
+        resumed = result.Batch.resumed;
+        trigger_events;
+        kappa }
+    in
+    rounds := round :: !rounds;
+    Log.info (fun m ->
+        m "%s: %s%s%s" id
+          (Batch.verdict_name result.Batch.verdict)
+          (if committed then ", committed" else "")
+          (if result.Batch.resumed then " (resumed)" else ""));
+    config.on_round round;
+    Checkpoint.save_opt state_sink state_json;
+    Checkpoint.save status_sink (status_json ~final:false)
+  in
+  let watch_mtime =
+    ref
+      (match config.watch with
+      | None -> neg_infinity
+      | Some path -> (
+        try (Unix.stat path).Unix.st_mtime with Unix.Unix_error _ -> neg_infinity))
+  in
+  (* A touched watch file whose content fingerprint actually changed is
+     a fine-tuned network: run SVbTV against it. *)
+  let check_watch () =
+    match config.watch with
+    | None -> ()
+    | Some path ->
+      let mtime =
+        try (Unix.stat path).Unix.st_mtime
+        with Unix.Unix_error _ -> !watch_mtime
+      in
+      if mtime <> !watch_mtime then begin
+        watch_mtime := mtime;
+        match Cv_nn.Serialize.load_network_result path with
+        | Error e ->
+          Log.warn (fun m ->
+              m "watch %s: cannot reload network: %s" path
+                (Cv_nn.Serialize.load_error_message e))
+        | Ok reloaded ->
+          if
+            not
+              (String.equal
+                 (Artifacts.fingerprint reloaded)
+                 (Artifacts.fingerprint !current_net))
+          then run_round (`Svbtv reloaded)
+      end
+  in
+  let drain () =
+    let rec go () =
+      match Event_queue.pop queue with
+      | None -> ()
+      | Some feats ->
+        incr seen;
+        Metrics.incr m_seen;
+        (match Monitor.observe_class monitor feats with
+        | Monitor.In_distribution -> incr quiet_run
+        | Monitor.Ood _ ->
+          incr ood;
+          Metrics.incr m_ood;
+          quiet_run := 0
+        | Monitor.Rejected ->
+          incr rejected;
+          Metrics.incr m_rejected);
+        go ()
+    in
+    go ()
+  in
+  let pull () =
+    if not !eof then
+      match source () with
+      | Source.Eof ->
+        eof := true;
+        idle := true
+      | Source.Idle -> idle := true
+      | Source.Burst items ->
+        idle := false;
+        List.iter
+          (fun feats ->
+            incr consumed;
+            match Event_queue.push queue feats with
+            | Some _lost -> Metrics.incr m_dropped
+            | None -> ())
+          items
+  in
+  while !stop = None do
+    drain ();
+    check_watch ();
+    let ran_round =
+      let pending = Monitor.event_count monitor in
+      let fresh =
+        match !failed_at with None -> pending > 0 | Some n -> pending > n
+      in
+      let loud =
+        pending >= config.trigger_events
+        || Monitor.kappa monitor >= config.trigger_kappa
+        || (!eof && pending > 0)
+      in
+      let settled = !quiet_run >= config.quiet_events || !idle in
+      if fresh && loud && settled then begin
+        run_round `Svudc;
+        true
+      end
+      else false
+    in
+    if config.should_stop () then stop := Some Stopped
+    else if
+      match config.max_rounds with
+      | Some n -> !round_count >= n
+      | None -> false
+    then stop := Some Rounds_limit
+    else if !eof && (not ran_round) && Event_queue.length queue = 0 then
+      stop := Some Eof
+    else begin
+      (* Tick before pulling: the queue is empty here (drained at the
+         top of the iteration), so a state snapshot never counts frames
+         as consumed that the monitor has not observed yet. *)
+      Checkpoint.tick_opt state_sink state_json;
+      Checkpoint.tick status_sink (status_json ~final:false);
+      pull ()
+    end
+  done;
+  Checkpoint.save_opt state_sink state_json;
+  Checkpoint.save status_sink (status_json ~final:true);
+  { rounds = List.rev !rounds;
+    round_count = !round_count;
+    commits = !commits;
+    seen = !seen;
+    ood = !ood;
+    dropped = dropped ();
+    rejected = !rejected;
+    pending = Monitor.event_count monitor;
+    consumed = !consumed;
+    box = Monitor.current monitor;
+    stop = (match !stop with Some r -> r | None -> Eof);
+    net = !current_net;
+    artifact = !current_artifact;
+    cache_stats = stats () }

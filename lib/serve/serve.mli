@@ -1,0 +1,138 @@
+(** The continuous-verification service: the paper's
+    monitor→Δ_in→SVuDC / fine-tune→SVbTV engineering loop as a
+    long-running, event-driven daemon (promoted from
+    [examples/continuous_loop.ml]).
+
+    One single-threaded event loop per service: poll the {!Source},
+    push observations through a bounded {!Event_queue} (drop-oldest
+    backpressure, every drop counted), drain them into the hardened
+    {!Cv_monitor.Monitor}, and debounce pending OOD events — by count,
+    by κ threshold, and by a quiet period — into SVuDC re-verification
+    rounds executed as {!Cv_core.Batch} jobs (supervised, per-round
+    deadline, {!Cv_artifacts.Cache} reuse). A watched network file whose
+    content fingerprint changes triggers an SVbTV round against the
+    fine-tuned network. The enlarged box is committed back to the
+    monitor {e only} on a proved verdict; on success the proof artifact
+    is refreshed for the committed box so the next round starts from it.
+
+    Durability: the loop state (counters, monitored box, pending events,
+    consumed-frame count) is checkpointed under [checkpoint_dir] as a
+    {!Cv_core.Runstate} document of kind [Serve], and each round is a
+    batch job with its own done-file — a killed daemon restarted with
+    the saved state replays finished rounds from their done-files
+    instead of re-verifying, and reaches the identical verdict.
+
+    Observability: [serve.*] metrics counters, a periodic one-line JSON
+    status record ([contiver-serve-status-v1]) through [status], and a
+    final flushed record on shutdown ([should_stop], e.g. SIGTERM). *)
+
+type round_kind = Svudc | Svbtv
+
+val round_kind_name : round_kind -> string
+
+type round = {
+  number : int;  (** 1-based, monotonic across resumes *)
+  kind : round_kind;
+  verdict : Cv_core.Batch.verdict;
+  committed : bool;  (** verdict was [Safe]: the box was enlarged *)
+  seconds : float;
+  resumed : bool;  (** replayed from a done-file or checkpoint *)
+  trigger_events : int;  (** pending OOD events when the round fired *)
+  kappa : float;  (** κ when the round fired *)
+}
+
+type stop_reason =
+  | Eof  (** the source ended and pending events were flushed *)
+  | Rounds_limit  (** [max_rounds] reached *)
+  | Stopped  (** [should_stop] fired (signal) *)
+
+val stop_reason_name : stop_reason -> string
+
+(** Loop state restored from a checkpoint (see {!load_state}). *)
+type persisted = {
+  p_round : int;
+  p_commits : int;
+  p_seen : int;
+  p_ood : int;
+  p_dropped : int;
+  p_rejected : int;
+  p_consumed : int;  (** source frames consumed; feed to [Stream.skip] *)
+  p_box : Cv_interval.Box.t;  (** committed monitored box *)
+  p_pending : Cv_linalg.Vec.t list;  (** events not yet covered *)
+  p_failed_at : int option;  (** debounce gate after a failed round *)
+}
+
+type config = {
+  margin : float;  (** event padding for the enlarged box *)
+  trigger_events : int;  (** fire a round at this many pending events *)
+  trigger_kappa : float;  (** ... or when κ reaches this (infinity = off) *)
+  quiet_events : int;
+      (** debounce: require this many consecutive in-distribution
+          observations since the last OOD before firing (waived when the
+          source is idle or ended — nothing newer is coming) *)
+  queue_capacity : int;  (** bounded ingestion queue *)
+  max_rounds : int option;  (** stop after this many rounds *)
+  widen : float;  (** abstraction slack when refreshing the artifact *)
+  strategy : Cv_core.Strategy.config;
+  round_timeout : float option;  (** per-round deadline, seconds *)
+  checkpoint_dir : string option;
+      (** loop state ([serve.state.json]) + per-round batch files *)
+  checkpoint_every : float;
+  resume : persisted option;  (** state from {!load_state} *)
+  cache : Cv_artifacts.Cache.t option;
+  status_every : float;  (** seconds between periodic status records *)
+  watch : string option;  (** network file to watch for fine-tuning *)
+  artifact_out : string option;  (** persist the refreshed artifact *)
+  status : Cv_util.Json.t -> unit;  (** status-record sink *)
+  on_round : round -> unit;  (** called after every round *)
+  should_stop : unit -> bool;  (** polled once per loop tick *)
+}
+
+(** Conservative defaults: trigger at 3 events, κ trigger off, no
+    deadline, no cache, no checkpointing, silent sinks. *)
+val default_config : config
+
+(** Final report of one service run. [rounds] lists only the rounds
+    executed by this process (oldest first); the counters include
+    restored state. *)
+type t = {
+  rounds : round list;
+  round_count : int;
+  commits : int;
+  seen : int;
+  ood : int;
+  dropped : int;
+  rejected : int;
+  pending : int;
+  consumed : int;
+  box : Cv_interval.Box.t;
+  stop : stop_reason;
+  net : Cv_nn.Network.t;  (** current network (possibly fine-tuned) *)
+  artifact : Cv_artifacts.Artifacts.t;  (** artifact for [box] and [net] *)
+  cache_stats : Cv_artifacts.Cache.stats option;
+}
+
+(** [state_path ~dir] is where the loop state lives under a checkpoint
+    directory. *)
+val state_path : dir:string -> string
+
+(** [load_state ~dir ~fingerprint] reads the loop state back, validating
+    envelope, kind and network fingerprint; [Ok None] when no state file
+    exists yet. *)
+val load_state :
+  dir:string ->
+  fingerprint:string ->
+  (persisted option, Cv_core.Runstate.resume_error) result
+
+(** [run ?config ~net ~artifact ~source ()] runs the service loop until
+    the source ends, [max_rounds] is reached, or [should_stop] fires.
+    [artifact] must be a proof of the property over the monitored box
+    for [net] (the monitor starts from [artifact.property.din], joined
+    with the restored box when resuming). *)
+val run :
+  ?config:config ->
+  net:Cv_nn.Network.t ->
+  artifact:Cv_artifacts.Artifacts.t ->
+  source:Source.t ->
+  unit ->
+  t

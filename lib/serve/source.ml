@@ -1,0 +1,102 @@
+(** Observation sources (see the interface). *)
+
+let src = Logs.Src.create "cv.serve" ~doc:"Continuous verification service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type pull = Burst of Cv_linalg.Vec.t list | Idle | Eof
+type t = unit -> pull
+
+let of_bursts bursts =
+  let remaining = ref bursts in
+  fun () ->
+    match !remaining with
+    | [] -> Eof
+    | burst :: rest ->
+      remaining := rest;
+      Burst burst
+
+let of_stream ?(burst = 8) stream =
+  if burst < 1 then invalid_arg "Source.of_stream: burst must be >= 1";
+  fun () ->
+    let rec take n acc =
+      if n = 0 then List.rev acc
+      else
+        match Cv_vehicle.Stream.next stream with
+        | None -> List.rev acc
+        | Some feats -> take (n - 1) (feats :: acc)
+    in
+    match take burst [] with [] -> Eof | items -> Burst items
+
+let m_malformed = Cv_util.Metrics.counter "serve.events.malformed"
+
+(* One NDJSON line; accepts [1,2] or {"features":[1,2]}. *)
+let features_of_line line =
+  let doc = Cv_util.Json.parse line in
+  let arr =
+    match doc with
+    | Cv_util.Json.Obj _ -> Cv_util.Json.member "features" doc
+    | other -> other
+  in
+  Cv_util.Json.float_array arr
+
+let stdin_ndjson ?(poll = 0.05) ?(max_burst = 256) () =
+  if max_burst < 1 then invalid_arg "Source.stdin_ndjson: max_burst must be >= 1";
+  (* Raw-fd line reader: [input_line stdin] would buffer lines that
+     [Unix.select] can then no longer see, stalling whole bursts behind
+     the poll timeout. *)
+  let partial = Buffer.create 4096 in
+  let lines = Queue.create () in
+  let eof = ref false in
+  let chunk = Bytes.create 65536 in
+  (* Reads once if data is ready within [timeout]; true when it makes
+     progress (so the caller can slurp a burst with zero-timeout
+     retries). *)
+  let fill timeout =
+    if !eof then false
+    else
+      match Unix.select [ Unix.stdin ] [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      | [], _, _ -> false
+      | _ -> (
+        match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+        | 0 ->
+          eof := true;
+          if Buffer.length partial > 0 then begin
+            (* final line without a trailing newline *)
+            Queue.add (Buffer.contents partial) lines;
+            Buffer.clear partial
+          end;
+          false
+        | n ->
+          for i = 0 to n - 1 do
+            match Bytes.get chunk i with
+            | '\n' ->
+              Queue.add (Buffer.contents partial) lines;
+              Buffer.clear partial
+            | c -> Buffer.add_char partial c
+          done;
+          true)
+  in
+  fun () ->
+    if Queue.is_empty lines then begin
+      if fill poll then while fill 0. do () done
+    end
+    else while fill 0. do () done;
+    let rec take n acc =
+      if n = 0 || Queue.is_empty lines then List.rev acc
+      else
+        let line = String.trim (Queue.pop lines) in
+        if line = "" then take n acc
+        else
+          match features_of_line line with
+          | feats -> take (n - 1) (feats :: acc)
+          | exception Cv_util.Json.Error msg ->
+            Cv_util.Metrics.incr m_malformed;
+            Log.warn (fun m -> m "skipping malformed input line (%s)" msg);
+            take n acc
+    in
+    match take max_burst [] with
+    | [] -> if !eof && Queue.is_empty lines then Eof else Idle
+    | items -> Burst items

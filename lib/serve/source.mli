@@ -1,0 +1,29 @@
+(** Observation sources for the serving loop: where feature vectors come
+    from. A source is polled; each poll hands back whatever burst of
+    observations arrived since the last one, [Idle] when nothing is
+    available right now, or [Eof] when the stream has ended. *)
+
+(** One poll's worth of input. *)
+type pull =
+  | Burst of Cv_linalg.Vec.t list  (** observations, arrival order *)
+  | Idle  (** nothing available right now; poll again *)
+  | Eof  (** the stream has ended *)
+
+type t = unit -> pull
+
+(** [of_bursts bursts] — a scripted source for tests: each poll yields
+    the next burst, then [Eof]. *)
+val of_bursts : Cv_linalg.Vec.t list list -> t
+
+(** [of_stream ?burst stream] — the simulated vehicle source: each poll
+    advances the closed loop by up to [burst] frames (default 8). *)
+val of_stream : ?burst:int -> Cv_vehicle.Stream.t -> t
+
+(** [stdin_ndjson ?poll ?max_burst ()] — NDJSON on stdin: each line is
+    either a bare JSON array of numbers or an object
+    [{"features": [...]}]. Waits up to [poll] seconds (default 0.05) for
+    input before reporting [Idle]; hands back at most [max_burst] lines
+    per poll (default 256). Malformed lines are logged, counted
+    ([serve.events.malformed]) and skipped — one bad producer must not
+    take the daemon down. *)
+val stdin_ndjson : ?poll:float -> ?max_burst:int -> unit -> t

@@ -1,0 +1,53 @@
+(** Deterministic closed-loop feature stream (see the interface). *)
+
+type t = {
+  cfg : Controller.config;
+  base : Camera.conditions;
+  ramp : float;
+  rng : Cv_util.Rng.t;
+  track : Track.t;
+  perception : Perception.t;
+  total : int;
+  mutable state : Controller.state;
+  mutable produced : int;
+}
+
+let create ?(cfg = Controller.default_config) ?(conditions = Camera.shifted)
+    ?(ramp = 0.) ~rng ~track ~perception ~steps () =
+  { cfg;
+    base = conditions;
+    ramp;
+    rng;
+    track;
+    perception;
+    total = steps;
+    state = Controller.init track ~s:0.;
+    produced = 0 }
+
+let conditions_at t frame =
+  { t.base with
+    Camera.brightness = t.base.Camera.brightness +. (t.ramp *. float_of_int frame)
+  }
+
+let next t =
+  if t.produced >= t.total then None
+  else begin
+    let img =
+      Camera.capture ~rng:t.rng t.perception.Perception.camera
+        (conditions_at t t.produced) t.track t.state.Controller.pose
+    in
+    let feats = Perception.features_of t.perception img in
+    let v = Perception.v_out_features t.perception feats in
+    let steer = Controller.steer_of_vout t.cfg v in
+    t.state <- Controller.step t.cfg t.track t.state ~steer;
+    t.produced <- t.produced + 1;
+    Some feats
+  end
+
+let skip t n =
+  for _ = 1 to n do
+    ignore (next t)
+  done
+
+let produced t = t.produced
+let remaining t = max 0 (t.total - t.produced)

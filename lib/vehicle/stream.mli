@@ -1,0 +1,42 @@
+(** Deterministic closed-loop feature stream for the serving loop: the
+    {!Controller} capture→features→head→steer cycle packaged as a pull
+    source that hands out one monitored feature vector per frame, with
+    no monitor attached — classification is the consumer's job.
+
+    Conditions can drift over time ([ramp] adds to the camera brightness
+    every frame), so a long-running consumer keeps meeting fresh
+    out-of-distribution events even after it enlarges its monitored box.
+    Everything is driven by the caller-supplied {!Cv_util.Rng.t}, so two
+    streams built with the same arguments produce the same frames —
+    {!skip} replays dynamics for an exact resume. *)
+
+type t
+
+(** [create ?cfg ?conditions ?ramp ~rng ~track ~perception ~steps ()]
+    places the car on the centerline and prepares a stream of [steps]
+    frames under [conditions] (default {!Camera.shifted}), with
+    brightness increasing by [ramp] (default 0) each frame. *)
+val create :
+  ?cfg:Controller.config ->
+  ?conditions:Camera.conditions ->
+  ?ramp:float ->
+  rng:Cv_util.Rng.t ->
+  track:Track.t ->
+  perception:Perception.t ->
+  steps:int ->
+  unit ->
+  t
+
+(** [next t] advances the closed loop one frame and returns its feature
+    vector, or [None] once [steps] frames have been produced. *)
+val next : t -> Cv_linalg.Vec.t option
+
+(** [skip t n] replays [n] frames without returning them (for resuming a
+    checkpointed consumer at the frame it last saw). *)
+val skip : t -> int -> unit
+
+(** [produced t] is the number of frames handed out (or skipped). *)
+val produced : t -> int
+
+(** [remaining t] is the number of frames left. *)
+val remaining : t -> int

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Validate a `contiver serve` status stream (contiver-serve-status-v1).
+
+Usage: check_serve_status.py FILE [EXPECTED_ROUNDS]
+
+Every line must parse as a status record with the v1 schema; the last
+record must be final, carry a stop reason, and (when EXPECTED_ROUNDS is
+given) report that many rounds, all committed, with artifact-cache hits.
+"""
+import json
+import sys
+
+
+def main() -> None:
+    path = sys.argv[1]
+    expected_rounds = int(sys.argv[2]) if len(sys.argv) > 2 else None
+    with open(path) as fh:
+        records = [json.loads(line) for line in fh if line.strip()]
+    assert records, "no status records emitted"
+    for rec in records:
+        assert rec["schema"] == "contiver-serve-status-v1", rec
+        for key in ("rounds", "commits", "events", "kappa", "box_width", "final"):
+            assert key in rec, f"missing {key}: {rec}"
+        for key in ("seen", "ood", "pending", "dropped", "rejected"):
+            assert rec["events"][key] >= 0, rec
+        assert rec["rounds"] >= rec["commits"] >= 0, rec
+    final = records[-1]
+    assert final["final"] is True, "last record is not final"
+    assert "stop" in final, f"final record has no stop reason: {final}"
+    if expected_rounds is not None:
+        assert final["rounds"] == expected_rounds, final
+        assert final["commits"] == expected_rounds, final
+        cache = final.get("cache")
+        assert cache and cache["hits"] > 0, f"no artifact-cache hits: {cache}"
+    print(
+        "ok: {} record(s), {} round(s), {} commit(s), stop={}".format(
+            len(records), final["rounds"], final["commits"], final["stop"]
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

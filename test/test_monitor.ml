@@ -93,6 +93,79 @@ let test_empty_samples_rejected () =
     Alcotest.fail "should reject"
   with Invalid_argument _ -> ()
 
+(* Regression: commit must clear only the events the committed box
+   covers. An event observed after the enlargement was computed used to
+   be wiped with the rest and never re-trigger verification. *)
+let test_commit_keeps_later_events () =
+  let m = Cv_monitor.Monitor.of_samples ~buffer:0. samples in
+  ignore (Cv_monitor.Monitor.observe m [| 1.5; 0. |]);
+  let enlarged = Cv_monitor.Monitor.enlarged_box m in
+  (* lands after the enlargement was computed, outside it *)
+  ignore (Cv_monitor.Monitor.observe m [| 3.; 0. |]);
+  Cv_monitor.Monitor.commit m enlarged;
+  Alcotest.(check int) "later event survives" 1
+    (Cv_monitor.Monitor.event_count m);
+  check_float "kappa still reflects it" 1.5 (Cv_monitor.Monitor.kappa m);
+  Alcotest.(check bool) "next enlargement covers it" true
+    (Cv_interval.Box.mem [| 3.; 0. |] (Cv_monitor.Monitor.enlarged_box m));
+  (* the covered event is gone: committing the new enlargement leaves
+     nothing pending *)
+  Cv_monitor.Monitor.commit m (Cv_monitor.Monitor.enlarged_box m);
+  Alcotest.(check int) "covered events cleared" 0
+    (Cv_monitor.Monitor.event_count m)
+
+(* Regression: a non-finite observation used to be recorded with
+   overshoot = NaN, poisoning kappa for every future call. *)
+let test_non_finite_rejected () =
+  let m = Cv_monitor.Monitor.of_samples ~buffer:0. samples in
+  Alcotest.(check bool) "nan is not an event" true
+    (Cv_monitor.Monitor.observe m [| Float.nan; 0. |] = None);
+  (match Cv_monitor.Monitor.observe_class m [| Float.infinity; 0. |] with
+  | Cv_monitor.Monitor.Rejected -> ()
+  | _ -> Alcotest.fail "inf should be rejected");
+  Alcotest.(check int) "nothing recorded" 0
+    (Cv_monitor.Monitor.event_count m);
+  Alcotest.(check int) "rejections counted" 2
+    (Cv_monitor.Monitor.rejected_count m);
+  check_float "kappa clean with no events" 0. (Cv_monitor.Monitor.kappa m);
+  ignore (Cv_monitor.Monitor.observe m [| 1.5; 0. |]);
+  check_float "kappa unpoisoned" 0.5 (Cv_monitor.Monitor.kappa m);
+  Alcotest.(check bool) "enlargement stays finite" true
+    (Array.for_all Float.is_finite
+       (Cv_interval.Box.upper (Cv_monitor.Monitor.enlarged_box m)))
+
+(* Regression: observe from concurrent domains must not lose events
+   (the record used to be bare mutable state with no lock). *)
+let test_concurrent_observe () =
+  let m =
+    Cv_monitor.Monitor.of_box (Cv_interval.Box.uniform 2 ~lo:0. ~hi:1.)
+  in
+  let per_domain = 2000 in
+  let worker offset () =
+    for i = 1 to per_domain do
+      ignore
+        (Cv_monitor.Monitor.observe m
+           [| 2. +. offset +. float_of_int i; 0.5 |])
+    done
+  in
+  let d1 = Domain.spawn (worker 0.) in
+  let d2 = Domain.spawn (worker 0.25) in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no event lost" (2 * per_domain)
+    (Cv_monitor.Monitor.event_count m);
+  Alcotest.(check int) "event list agrees (oldest first)" (2 * per_domain)
+    (List.length (Cv_monitor.Monitor.events m))
+
+let test_events_oldest_first () =
+  let m = Cv_monitor.Monitor.of_samples ~buffer:0. samples in
+  ignore (Cv_monitor.Monitor.observe m [| 1.5; 0. |]);
+  ignore (Cv_monitor.Monitor.observe m [| 2.5; 0. |]);
+  let indices =
+    List.map (fun ev -> ev.Cv_monitor.Monitor.index) (Cv_monitor.Monitor.events m)
+  in
+  Alcotest.(check (list int)) "ascending sample indices" [ 1; 2 ] indices
+
 let monitor_soundness_prop =
   QCheck.Test.make ~name:"observed in-dist points never flagged" ~count:100
     QCheck.(list_of_size (Gen.return 2) (float_range 0. 1.))
@@ -202,6 +275,15 @@ let () =
           Alcotest.test_case "layer features" `Quick
             test_monitored_layer_features;
           QCheck_alcotest.to_alcotest monitor_soundness_prop ] );
+      ( "hardening",
+        [ Alcotest.test_case "commit keeps later events" `Quick
+            test_commit_keeps_later_events;
+          Alcotest.test_case "non-finite rejected" `Quick
+            test_non_finite_rejected;
+          Alcotest.test_case "concurrent observe" `Quick
+            test_concurrent_observe;
+          Alcotest.test_case "events oldest first" `Quick
+            test_events_oldest_first ] );
       ( "pattern",
         [ Alcotest.test_case "creation" `Quick test_pattern_creation;
           Alcotest.test_case "known/observe" `Quick
