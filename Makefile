@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench ci fmt chaos servesmoke
+.PHONY: all build test bench examples clean doc quickbench kernelbench ci fmt chaos servesmoke
 
 all: build
 
@@ -25,6 +25,13 @@ bench:
 
 quickbench:
 	dune exec bench/main.exe -- --quick
+
+# Kernel-layer throughput: old-vs-new abstract propagation per domain,
+# written to BENCH_PR9.json (schema contiver-bench-pr9-v1). CI
+# regenerates it in quick mode and gates on schema, verdict agreement
+# with the committed BENCH_PR7.json, and throughput floors.
+kernelbench:
+	dune exec bench/main.exe -- --only-kernels
 
 # Seeded fault-injection campaign: verdicts may degrade under faults,
 # never flip. CI runs this for three seeds (chaos-matrix job).

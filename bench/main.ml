@@ -389,6 +389,206 @@ let bench_batch () =
   Printf.printf "batch throughput written to %s\n" out_path
 
 (* ------------------------------------------------------------------ *)
+(* PR 9: blocked-kernel propagation throughput. Each abstract domain is
+   raced against the verbatim historical implementation in [Baseline]
+   (per-call sign splits, per-neuron records, per-generator matvecs) on
+   the fig2 toy net and a 32x256^3x1 head. Reaches must agree within
+   the verdict tolerance, the committed artifact carries the speedups
+   and a steady-state allocation figure, and the PR 7 batch verdicts
+   are echoed so CI can prove the kernels changed no decision. *)
+
+let bench_kernels () =
+  let out_path =
+    match Sys.getenv_opt "BENCH_PR9_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_PR9.json"
+  in
+  banner (Printf.sprintf "Kernel throughput (%s)" out_path);
+  let fig2_net =
+    Cv_nn.Network.of_list
+      [ Cv_nn.Layer.make
+          (Cv_linalg.Mat.of_rows [ [| 1.; -2. |]; [| -2.; 1. |]; [| 1.; -1. |] ])
+          [| 0.; 0.; 0. |] Cv_nn.Activation.Relu;
+        Cv_nn.Layer.make
+          (Cv_linalg.Mat.of_rows [ [| 2.; 2.; -1. |] ])
+          [| 0. |] Cv_nn.Activation.Relu ]
+  in
+  let fig2_din = Cv_interval.Box.uniform 2 ~lo:(-1.) ~hi:1. in
+  let big_net =
+    Cv_nn.Network.random ~rng:(Cv_util.Rng.create 11)
+      ~dims:[ 32; 256; 256; 256; 1 ] ~act:Cv_nn.Activation.Relu ()
+  in
+  let big_din = Cv_interval.Box.uniform 32 ~lo:(-1.) ~hi:1. in
+  let domains =
+    [ ("box",
+       (module Cv_domains.Box_domain : Cv_domains.Transformer.DOMAIN),
+       Baseline.box_output);
+      ("symint",
+       (module Cv_domains.Symint : Cv_domains.Transformer.DOMAIN),
+       Baseline.symint_output);
+      ("zonotope",
+       (module Cv_domains.Zonotope : Cv_domains.Transformer.DOMAIN),
+       Baseline.zonotope_output);
+      ("deeppoly",
+       (module Cv_domains.Deeppoly : Cv_domains.Transformer.DOMAIN),
+       Baseline.deeppoly_output) ]
+  in
+  (* Propagation through the prepared (memoized) layers — the steady
+     state every verify/svudc/svbtv/batch call runs in after the first
+     query on a network. *)
+  let new_runner (module D : Cv_domains.Transformer.DOMAIN) net =
+    let prep = Cv_nn.Network.prepared net in
+    fun din ->
+      D.to_box
+        (Array.fold_left (fun a p -> D.apply_prepared p a) (D.of_box din) prep)
+  in
+  (* Min-over-rounds of (wall seconds / iters): robust against noise
+     from the shared CI runner, deterministic in everything else. *)
+  let time_min ~rounds ~iters f =
+    let best = ref infinity in
+    for _ = 1 to rounds do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        f ()
+      done;
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let rounds = if quick then 2 else 4 in
+  let nets =
+    [ ("fig2", fig2_net, fig2_din, if quick then 100 else 400);
+      ("net32x256x3", big_net, big_din, if quick then 1 else 3) ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (net_name, net, din, iters) ->
+      let blayers = Baseline.of_network net in
+      let layer_count = Array.length (Cv_nn.Network.layers net) in
+      List.iter
+        (fun (dom_name, dom, old_output) ->
+          let new_output = new_runner dom net in
+          let new_reach = new_output din in
+          let old_reach = old_output blayers din in
+          let reach_match =
+            Cv_interval.Box.subset_tol ~tol:1e-6 new_reach old_reach
+            && Cv_interval.Box.subset_tol ~tol:1e-6 old_reach new_reach
+          in
+          (* Same decision the verifier would make: does the reach stay
+             inside a margin of the historical reach? *)
+          let dout = Cv_interval.Box.expand 0.05 old_reach in
+          let verdict_old = Cv_interval.Box.subset_tol old_reach dout in
+          let verdict_new = Cv_interval.Box.subset_tol new_reach dout in
+          let old_s =
+            time_min ~rounds ~iters (fun () -> ignore (old_output blayers din))
+          in
+          let new_s =
+            time_min ~rounds ~iters (fun () -> ignore (new_output din))
+          in
+          (* Steady-state allocation of one propagation through the new
+             kernels (after the warmup above has populated the prepared
+             memo and the workspace arenas). *)
+          let b0 = Gc.allocated_bytes () in
+          ignore (new_output din);
+          let bytes_per_round = Gc.allocated_bytes () -. b0 in
+          let speedup = old_s /. Float.max 1e-12 new_s in
+          Printf.printf
+            "%-14s %-9s old %.3es new %.3es (%5.2fx) %s %s %.0fB/round\n"
+            net_name dom_name old_s new_s speedup
+            (if reach_match then "reach=" else "reach DIVERGES")
+            (if verdict_old = verdict_new then "verdict=" else "verdict DIVERGES")
+            bytes_per_round;
+          rows :=
+            Cv_util.Json.Obj
+              [ ("net", Cv_util.Json.Str net_name);
+                ("domain", Cv_util.Json.Str dom_name);
+                ("old_seconds", Cv_util.Json.Num old_s);
+                ("new_seconds", Cv_util.Json.Num new_s);
+                ("speedup", Cv_util.Json.Num speedup);
+                ( "layers_per_second",
+                  Cv_util.Json.Num
+                    (float_of_int layer_count /. Float.max 1e-12 new_s) );
+                ("bytes_per_round", Cv_util.Json.Num bytes_per_round);
+                ("reach_match", Cv_util.Json.Bool reach_match);
+                ( "verdict",
+                  Cv_util.Json.Str (if verdict_new then "safe" else "unknown") );
+                ( "verdict_match",
+                  Cv_util.Json.Bool (verdict_old = verdict_new) ) ]
+            :: !rows)
+        domains)
+    nets;
+  (* Echo the PR 7 batch verdicts through the new kernels and diff them
+     against the committed artifact: the kernel rewrite must not move a
+     single decision. *)
+  let chain =
+    Cv_domains.Analyzer.abstractions Cv_domains.Analyzer.Symint big_net big_din
+  in
+  let last = chain.(Array.length chain - 1) in
+  let jobs =
+    List.init 8 (fun i ->
+        let dout =
+          Cv_interval.Box.expand (0.05 +. (0.01 *. float_of_int i)) last
+        in
+        let prop = Cv_verify.Property.make ~din:big_din ~dout in
+        { Cv_core.Batch.id = Printf.sprintf "q%d" (i + 1);
+          spec =
+            Cv_core.Batch.Verify
+              { net = big_net; prop; exact = false; artifact_out = None };
+          timeout = None })
+  in
+  let batch = Cv_core.Batch.run ~config:Cv_core.Batch.default_config jobs in
+  let batch_verdicts =
+    List.map
+      (fun (r : Cv_core.Batch.job_result) ->
+        Cv_core.Batch.verdict_name r.Cv_core.Batch.verdict)
+      batch.Cv_core.Batch.results
+  in
+  let pr7_path =
+    match Sys.getenv_opt "BENCH_PR7_BASELINE" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_PR7.json"
+  in
+  let pr7_verdicts =
+    try
+      let ic = open_in pr7_path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Some
+        (List.map Cv_util.Json.to_str
+           (Cv_util.Json.to_list
+              (Cv_util.Json.member "verdicts" (Cv_util.Json.parse s))))
+    with _ -> None
+  in
+  let verdicts_match_pr7 =
+    match pr7_verdicts with
+    | Some vs -> List.equal String.equal vs batch_verdicts
+    | None -> true (* no committed baseline to compare against *)
+  in
+  Printf.printf "batch verdicts: %s (%s vs %s)\n"
+    (String.concat "," batch_verdicts)
+    (if verdicts_match_pr7 then "match" else "DIVERGE")
+    pr7_path;
+  let json =
+    Cv_util.Json.Obj
+      [ ("schema", Cv_util.Json.Str "contiver-bench-pr9-v1");
+        ("quick", Cv_util.Json.Bool quick);
+        ("domains", Cv_util.Json.List (List.rev !rows));
+        ( "batch_verdicts",
+          Cv_util.Json.List
+            (List.map (fun v -> Cv_util.Json.Str v) batch_verdicts) );
+        ("verdicts_match_pr7", Cv_util.Json.Bool verdicts_match_pr7) ]
+  in
+  let oc = open_out out_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Cv_util.Json.to_string json));
+  Printf.printf "kernel throughput written to %s\n" out_path
+
+(* ------------------------------------------------------------------ *)
 (* Figure 1                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -837,10 +1037,16 @@ let () =
     bench_batch ();
     exit 0
   end;
+  (* Regenerate just the kernel-throughput figure (BENCH_PR9.json). *)
+  if Array.exists (fun a -> a = "--only-kernels") Sys.argv then begin
+    bench_kernels ();
+    exit 0
+  end;
   table1 ();
   table1_splitcert ();
   bench_trajectory ();
   bench_batch ();
+  bench_kernels ();
   fig1 ();
   fig2 ();
   fig3 ();

@@ -15,7 +15,26 @@
     definition. {!abstractions_through} instead carries the abstract
     value through (tighter boxes, but inductive only w.r.t. the carried
     relational value); both are exposed because the reuse propositions
-    need the former while falsification diagnostics favour the latter. *)
+    need the former while falsification diagnostics favour the latter.
+
+    Every entry point resolves the network's layers to their memoized
+    kernel-ready form ({!Cv_nn.Network.prepared}) once and drives the
+    domain through [apply_prepared], and accounts the bytes it allocated
+    under the [kernel.bytes_alloc] counter (a [Gc.allocated_bytes]
+    delta) — the regression guard for the allocation-free kernel
+    claim. *)
+
+let m_bytes = Cv_util.Metrics.counter "kernel.bytes_alloc"
+
+(* Charge the bytes allocated by [f] (in this domain) to
+   [kernel.bytes_alloc]. *)
+let with_alloc_gauge f =
+  let b0 = Gc.allocated_bytes () in
+  Fun.protect
+    ~finally:(fun () ->
+      let d = Gc.allocated_bytes () -. b0 in
+      if d > 0. then Cv_util.Metrics.add m_bytes (int_of_float d))
+    f
 
 module Make (D : Transformer.DOMAIN) = struct
   (* Per-domain effort accounting under "domains.<name>.*": one [calls]
@@ -38,13 +57,15 @@ module Make (D : Transformer.DOMAIN) = struct
   let abstractions ?deadline ?(widen = 0.) net din =
     Cv_util.Metrics.incr m_calls;
     Cv_util.Metrics.time t_seconds @@ fun () ->
-    let n = Cv_nn.Network.num_layers net in
+    with_alloc_gauge @@ fun () ->
+    let prep = Cv_nn.Network.prepared net in
+    let n = Array.length prep in
     let result = Array.make n [||] in
     let box = ref din in
     for i = 0 to n - 1 do
       Cv_util.Deadline.check_opt deadline;
       Cv_util.Metrics.incr m_layers;
-      let s = D.to_box (D.apply_layer (Cv_nn.Network.layer net i) (D.of_box !box)) in
+      let s = D.to_box (D.apply_prepared prep.(i) (D.of_box !box)) in
       let s = if widen > 0. then Cv_interval.Box.expand widen s else s in
       result.(i) <- s;
       box := s
@@ -58,12 +79,14 @@ module Make (D : Transformer.DOMAIN) = struct
   let abstractions_through net din =
     Cv_util.Metrics.incr m_calls;
     Cv_util.Metrics.time t_seconds @@ fun () ->
-    let n = Cv_nn.Network.num_layers net in
+    with_alloc_gauge @@ fun () ->
+    let prep = Cv_nn.Network.prepared net in
+    let n = Array.length prep in
     let result = Array.make n [||] in
     let a = ref (D.of_box din) in
     for i = 0 to n - 1 do
       Cv_util.Metrics.incr m_layers;
-      a := D.apply_layer (Cv_nn.Network.layer net i) !a;
+      a := D.apply_prepared prep.(i) !a;
       result.(i) <- D.to_box !a
     done;
     result
@@ -74,13 +97,15 @@ module Make (D : Transformer.DOMAIN) = struct
   let output_box ?deadline net din =
     Cv_util.Metrics.incr m_calls;
     Cv_util.Metrics.time t_seconds @@ fun () ->
+    with_alloc_gauge @@ fun () ->
     let a =
       Array.fold_left
-        (fun acc l ->
+        (fun acc p ->
           Cv_util.Deadline.check_opt deadline;
           Cv_util.Metrics.incr m_layers;
-          D.apply_layer l acc)
-        (D.of_box din) (Cv_nn.Network.layers net)
+          D.apply_prepared p acc)
+        (D.of_box din)
+        (Cv_nn.Network.prepared net)
     in
     D.to_box a
 

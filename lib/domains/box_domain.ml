@@ -3,7 +3,12 @@
     The cheapest and least precise transformer: per-neuron lower/upper
     bounds with no relational information. This is the "boxed
     abstraction" the paper's Figure 2 example uses for its interval
-    analysis, and the baseline in the precision ablation. *)
+    analysis, and the baseline in the precision ablation.
+
+    The prepared path runs the branchless {!Cv_linalg.Mat.gemv_posneg}
+    kernel over the layer's memoized sign split, with the bound vectors
+    staged in a per-domain workspace — steady-state propagation
+    allocates only the result box. *)
 
 type t = Cv_interval.Box.t
 
@@ -11,9 +16,41 @@ let name = "box"
 
 let of_box b = b
 
-let apply_layer (l : Cv_nn.Layer.t) b =
-  let pre = Transformer.pre_activation_box l b in
-  Array.map (Cv_nn.Activation.interval l.Cv_nn.Layer.act) pre
+let ws_key = Domain.DLS.new_key Cv_linalg.Workspace.create
+
+let apply_prepared (p : Cv_nn.Layer.prepared) b =
+  let l = p.Cv_nn.Layer.source in
+  let w = l.Cv_nn.Layer.weights in
+  let n = Cv_linalg.Mat.cols w and m = Cv_linalg.Mat.rows w in
+  if n <> Cv_interval.Box.dim b then
+    invalid_arg "Box_domain.apply_prepared: dimension mismatch";
+  let ws = Domain.DLS.get ws_key in
+  let lo = Cv_linalg.Workspace.vec ws ~slot:0 n in
+  let hi = Cv_linalg.Workspace.vec ws ~slot:1 n in
+  let finite = ref true in
+  for i = 0 to n - 1 do
+    let iv = Cv_interval.Box.get b i in
+    let l = Cv_interval.Interval.lo iv and h = Cv_interval.Interval.hi iv in
+    lo.(i) <- l;
+    hi.(i) <- h;
+    if not (Float.is_finite l && Float.is_finite h) then finite := false
+  done;
+  let dst_lo = Cv_linalg.Workspace.vec ws ~slot:2 m in
+  let dst_hi = Cv_linalg.Workspace.vec ws ~slot:3 m in
+  (* The branchless split kernel would turn 0 · ±inf into NaN; unbounded
+     boxes take the sign-branching kernel instead (same values on finite
+     input). *)
+  if !finite then
+    Cv_linalg.Mat.gemv_posneg ~pos:p.Cv_nn.Layer.w_pos ~neg:p.Cv_nn.Layer.w_neg
+      ~bias:l.Cv_nn.Layer.bias ~lo ~hi ~dst_lo ~dst_hi
+  else
+    Cv_linalg.Mat.gemv_interval_into w ~bias:l.Cv_nn.Layer.bias ~lo ~hi ~dst_lo
+      ~dst_hi;
+  let act = l.Cv_nn.Layer.act in
+  Array.init m (fun i ->
+      Cv_nn.Activation.interval act (Cv_interval.Interval.make dst_lo.(i) dst_hi.(i)))
+
+let apply_layer (l : Cv_nn.Layer.t) b = apply_prepared (Cv_nn.Layer.prepare l) b
 
 let to_box b = b
 

@@ -8,18 +8,36 @@
     ablation in the benches.
 
     Internally a network layer [x ↦ act (W x + b)] contributes an affine
-    node and, for non-identity activations, an activation node. *)
+    node and, for non-identity activations, an activation node.
+
+    Node coefficients are tagged {!Dense} (affine nodes — the layer's
+    own weight matrix, shared, never copied) or {!Diag} (activation
+    nodes — per-neuron slopes). Backsubstitution through a [Diag] node
+    is an elementwise column scale+select (O(m·n) instead of the
+    historical O(m·n²) dense products against an all-but-diagonal-zero
+    matrix), and through a [Dense] node a single fused
+    {!Cv_linalg.Mat.gemm_select_into} replaces the historical
+    split-into-pos/neg allocation plus two products. All scratch
+    expressions live in a per-domain {!Cv_linalg.Workspace}, so a
+    steady-state propagation round allocates only the nodes it
+    returns. *)
+
+type coeffs =
+  | Dense of Cv_linalg.Mat.t
+  | Diag of float array  (** diagonal matrix, stored as its diagonal *)
 
 type node = {
-  lw : Cv_linalg.Mat.t;  (** lower-bound coefficients over previous node *)
+  lw : coeffs;  (** lower-bound coefficients over previous node *)
   lb : Cv_linalg.Vec.t;  (** lower-bound constants *)
-  uw : Cv_linalg.Mat.t;  (** upper-bound coefficients over previous node *)
+  uw : coeffs;  (** upper-bound coefficients over previous node *)
   ub : Cv_linalg.Vec.t;  (** upper-bound constants *)
   bounds : Cv_interval.Box.t;  (** concrete bounds of this node's neurons *)
 }
 
 type t = {
   input : Cv_interval.Box.t;
+  ilo : float array;  (** cached input lower bounds *)
+  ihi : float array;  (** cached input upper bounds *)
   nodes : node list;  (** reverse order: head = most recent node *)
 }
 
@@ -30,133 +48,239 @@ let current_box a =
 
 let dim a = Cv_interval.Box.dim (current_box a)
 
-let of_box b = { input = b; nodes = [] }
+let of_box b =
+  { input = b;
+    ilo = Cv_interval.Box.lower b;
+    ihi = Cv_interval.Box.upper b;
+    nodes = [] }
 
 let to_box a = current_box a
 
-(* Split a matrix into positive and negative parts: m = pos + neg with
-   pos >= 0 and neg <= 0 entrywise. *)
-let split_signs m =
-  ( Cv_linalg.Mat.map (fun x -> if x > 0. then x else 0.) m,
-    Cv_linalg.Mat.map (fun x -> if x < 0. then x else 0.) m )
+(* ------------------------------------------------------------------ *)
+(* Backsubstitution.
 
-(* One backsubstitution step for an upper expression (A, c):
-   value ≤ A x_node + c  becomes a bound over the node's predecessor. *)
-let subst_upper node (a, c) =
-  let pos, neg = split_signs a in
-  let a' =
-    Cv_linalg.Mat.add (Cv_linalg.Mat.matmul pos node.uw) (Cv_linalg.Mat.matmul neg node.lw)
-  in
-  let c' =
-    Cv_linalg.Vec.add c
-      (Cv_linalg.Vec.add (Cv_linalg.Mat.matvec pos node.ub) (Cv_linalg.Mat.matvec neg node.lb))
-  in
-  (a', c')
+   The running expression [(A, c)] ("value ≤ A x_node + c" for the
+   upper direction, dually for the lower) is rewritten node by node
+   towards the input. Its coefficients are [Diag] while only activation
+   nodes have been crossed and turn [Dense] at the first affine node.
 
-(* Dual step for a lower expression. *)
-let subst_lower node (a, c) =
-  let pos, neg = split_signs a in
-  let a' =
-    Cv_linalg.Mat.add (Cv_linalg.Mat.matmul pos node.lw) (Cv_linalg.Mat.matmul neg node.uw)
-  in
-  let c' =
-    Cv_linalg.Vec.add c
-      (Cv_linalg.Vec.add (Cv_linalg.Mat.matvec pos node.lb) (Cv_linalg.Mat.matvec neg node.ub))
-  in
-  (a', c')
+   Scratch layout in the per-domain workspace: each direction owns a
+   four-slot band (dense ping/pong, diagonal buffer, constants), and
+   the two concrete result vectors share two more slots. Ping/pong
+   alternation guarantees the gemm destination never aliases the
+   current expression. *)
 
-(* Evaluate an expression pair over the input box: upper expressions take
-   per-coefficient worst case. *)
-let eval_upper box (a, c) =
-  Array.init (Cv_linalg.Mat.rows a) (fun i ->
-      let acc = ref c.(i) in
-      for j = 0 to Cv_linalg.Mat.cols a - 1 do
-        let w = Cv_linalg.Mat.get a i j in
-        let iv = Cv_interval.Box.get box j in
-        acc :=
-          !acc
-          +.
-          if w >= 0. then w *. Cv_interval.Interval.hi iv
-          else w *. Cv_interval.Interval.lo iv
+let ws_key = Domain.DLS.new_key Cv_linalg.Workspace.create
+
+let slot_his = 8
+let slot_los = 9
+
+(* Substitution selects, per expression coefficient, the node's upper or
+   lower bound depending on the coefficient sign; [pw, pb] is the bound
+   picked for positive coefficients and [nw, nb] for negative ones
+   (upper direction: [pw = node.uw]; lower direction: [pw = node.lw]). *)
+
+(* Diag expression through a Dense node: row scale+select. *)
+let subst_diag_dense ~dst d c (pw : Cv_linalg.Mat.t) pb nw nb =
+  let m = Array.length d in
+  let n = Cv_linalg.Mat.cols pw in
+  let dd = Cv_linalg.Mat.unsafe_data dst in
+  let pd = Cv_linalg.Mat.unsafe_data pw in
+  let nd = Cv_linalg.Mat.unsafe_data nw in
+  for i = 0 to m - 1 do
+    let di = Array.unsafe_get d i in
+    let rbase = i * n in
+    if di > 0. then begin
+      for j = 0 to n - 1 do
+        Array.unsafe_set dd (rbase + j) (di *. Array.unsafe_get pd (rbase + j))
       done;
-      !acc)
-
-let eval_lower box (a, c) =
-  Array.init (Cv_linalg.Mat.rows a) (fun i ->
-      let acc = ref c.(i) in
-      for j = 0 to Cv_linalg.Mat.cols a - 1 do
-        let w = Cv_linalg.Mat.get a i j in
-        let iv = Cv_interval.Box.get box j in
-        acc :=
-          !acc
-          +.
-          if w >= 0. then w *. Cv_interval.Interval.lo iv
-          else w *. Cv_interval.Interval.hi iv
+      c.(i) <- c.(i) +. (di *. pb.(i))
+    end
+    else if di < 0. then begin
+      for j = 0 to n - 1 do
+        Array.unsafe_set dd (rbase + j) (di *. Array.unsafe_get nd (rbase + j))
       done;
-      !acc)
+      c.(i) <- c.(i) +. (di *. nb.(i))
+    end
+    else Array.fill dd rbase n 0.
+  done
+
+(* Dense expression through a Diag node: column scale+select, constants
+   folded in the same pass. *)
+let subst_dense_diag ~dst (a : Cv_linalg.Mat.t) c pdiag pb ndiag nb =
+  let m = Cv_linalg.Mat.rows a and n = Cv_linalg.Mat.cols a in
+  let ad = Cv_linalg.Mat.unsafe_data a in
+  let dd = Cv_linalg.Mat.unsafe_data dst in
+  for i = 0 to m - 1 do
+    let rbase = i * n in
+    let s = ref c.(i) in
+    for j = 0 to n - 1 do
+      let x = Array.unsafe_get ad (rbase + j) in
+      if x > 0. then begin
+        Array.unsafe_set dd (rbase + j) (x *. Array.unsafe_get pdiag j);
+        s := !s +. (x *. Array.unsafe_get pb j)
+      end
+      else if x < 0. then begin
+        Array.unsafe_set dd (rbase + j) (x *. Array.unsafe_get ndiag j);
+        s := !s +. (x *. Array.unsafe_get nb j)
+      end
+      else Array.unsafe_set dd (rbase + j) 0.
+    done;
+    c.(i) <- !s
+  done
+
+(* Evaluate the final expression over the input box into [out]: upper
+   direction takes per-coefficient worst case towards [ihi]. Branches on
+   [w >= 0.] exactly like the historical eval. *)
+let eval_dense (a : Cv_linalg.Mat.t) c ~pos_b ~neg_b out =
+  let m = Cv_linalg.Mat.rows a and n = Cv_linalg.Mat.cols a in
+  let ad = Cv_linalg.Mat.unsafe_data a in
+  for i = 0 to m - 1 do
+    let rbase = i * n in
+    let acc = ref c.(i) in
+    for j = 0 to n - 1 do
+      let w = Array.unsafe_get ad (rbase + j) in
+      acc :=
+        !acc
+        +.
+        if w >= 0. then w *. Array.unsafe_get pos_b j
+        else w *. Array.unsafe_get neg_b j
+    done;
+    out.(i) <- !acc
+  done
+
+let eval_diag d c ~pos_b ~neg_b out =
+  for i = 0 to Array.length d - 1 do
+    let w = d.(i) in
+    out.(i) <-
+      c.(i) +. (if w >= 0. then w *. pos_b.(i) else w *. neg_b.(i))
+  done
+
+(* Backsubstitute one direction: [upper = true] tracks upper bounds.
+   [cw, cb] is the candidate node's bound. Writes concrete values into
+   [out] (a workspace vector owned by the caller). *)
+let backsub ws ~base ~upper ~ilo ~ihi nodes cw cb out =
+  let m = Array.length cb in
+  let c = Cv_linalg.Workspace.vec ws ~slot:(base + 3) m in
+  Array.blit cb 0 c 0 m;
+  let cur = ref cw in
+  (* Ping/pong between the two dense slots of this direction's band, so
+     a substitution's destination never aliases its source. *)
+  let ping = ref 0 in
+  let next_dense rows cols =
+    let dst = Cv_linalg.Workspace.mat ws ~slot:(base + !ping) ~rows ~cols in
+    ping := 1 - !ping;
+    dst
+  in
+  let rec down = function
+    | [] -> ()
+    | node :: rest ->
+      let pw, pb, nw, nb =
+        if upper then (node.uw, node.ub, node.lw, node.lb)
+        else (node.lw, node.lb, node.uw, node.ub)
+      in
+      (match (!cur, pw, nw) with
+      | Diag d, Dense pm, Dense nm ->
+        let dst = next_dense (Array.length d) (Cv_linalg.Mat.cols pm) in
+        subst_diag_dense ~dst d c pm pb nm nb;
+        cur := Dense dst
+      | Diag d, Diag pd, Diag nd ->
+        let m' = Array.length d in
+        let buf = Cv_linalg.Workspace.vec ws ~slot:(base + 2) m' in
+        for i = 0 to m' - 1 do
+          let di = d.(i) in
+          if di > 0. then begin
+            buf.(i) <- di *. pd.(i);
+            c.(i) <- c.(i) +. (di *. pb.(i))
+          end
+          else if di < 0. then begin
+            buf.(i) <- di *. nd.(i);
+            c.(i) <- c.(i) +. (di *. nb.(i))
+          end
+          else buf.(i) <- 0.
+        done;
+        cur := Diag buf
+      | Dense a, Diag pd, Diag nd ->
+        let dst = next_dense (Cv_linalg.Mat.rows a) (Cv_linalg.Mat.cols a) in
+        subst_dense_diag ~dst a c pd pb nd nb;
+        cur := Dense dst
+      | Dense a, Dense pm, Dense nm ->
+        (* Constants first (selection reads the pre-substitution signs),
+           then the fused sign-select product into the other ping slot. *)
+        Cv_linalg.Mat.gemv_select_acc a ~pos:pb ~neg:nb ~acc:c;
+        let dst = next_dense (Cv_linalg.Mat.rows a) (Cv_linalg.Mat.cols pm) in
+        Cv_linalg.Mat.gemm_select_into ~dst a ~pos_src:pm ~neg_src:nm;
+        cur := Dense dst
+      | _ ->
+        (* Mixed-tag bounds on one node never occur: nodes are built
+           with lw/uw of the same kind. *)
+        invalid_arg "Deeppoly.backsub: mixed node coefficients");
+      down rest
+  in
+  down nodes;
+  let pos_b, neg_b = if upper then (ihi, ilo) else (ilo, ihi) in
+  (match !cur with
+  | Dense a -> eval_dense a c ~pos_b ~neg_b out
+  | Diag d -> eval_diag d c ~pos_b ~neg_b out)
 
 (* Concrete bounds for a candidate node appended after [nodes]: full
    backsubstitution to the input. *)
-let concretize input nodes ~lw ~lb ~uw ~ub =
-  let rec down_upper expr = function
-    | [] -> expr
-    | node :: rest -> down_upper (subst_upper node expr) rest
-  in
-  let rec down_lower expr = function
-    | [] -> expr
-    | node :: rest -> down_lower (subst_lower node expr) rest
-  in
-  let his = eval_upper input (down_upper (uw, ub) nodes) in
-  let los = eval_lower input (down_lower (lw, lb) nodes) in
-  Array.init (Array.length los) (fun i ->
+let concretize a ~lw ~lb ~uw ~ub =
+  let ws = Domain.DLS.get ws_key in
+  let m = Array.length ub in
+  let his = Cv_linalg.Workspace.vec ws ~slot:slot_his m in
+  let los = Cv_linalg.Workspace.vec ws ~slot:slot_los m in
+  backsub ws ~base:0 ~upper:true ~ilo:a.ilo ~ihi:a.ihi a.nodes uw ub his;
+  backsub ws ~base:4 ~upper:false ~ilo:a.ilo ~ihi:a.ihi a.nodes lw lb los;
+  Array.init m (fun i ->
       (* Guard against ulp-level crossing of the two relaxations. *)
       if los.(i) > his.(i) then
         Cv_interval.Interval.point (0.5 *. (los.(i) +. his.(i)))
       else Cv_interval.Interval.make los.(i) his.(i))
 
 let push a ~lw ~lb ~uw ~ub =
-  let bounds = concretize a.input a.nodes ~lw ~lb ~uw ~ub in
+  let bounds = concretize a ~lw ~lb ~uw ~ub in
   { a with nodes = { lw; lb; uw; ub; bounds } :: a.nodes }
 
 let affine w bias a =
   if Cv_linalg.Mat.cols w <> dim a then invalid_arg "Deeppoly.affine: dims";
-  push a ~lw:w ~lb:bias ~uw:w ~ub:bias
+  push a ~lw:(Dense w) ~lb:bias ~uw:(Dense w) ~ub:bias
 
 (* ReLU node: per-neuron diagonal bounds chosen from the pre-activation
    concrete range [l, u]. *)
 let relu a =
   let pre = current_box a in
   let n = Cv_interval.Box.dim pre in
-  let lw = Cv_linalg.Mat.zeros n n and uw = Cv_linalg.Mat.zeros n n in
+  let lw = Array.make n 0. and uw = Array.make n 0. in
   let lb = Array.make n 0. and ub = Array.make n 0. in
   for i = 0 to n - 1 do
     let iv = Cv_interval.Box.get pre i in
     let l = Cv_interval.Interval.lo iv and u = Cv_interval.Interval.hi iv in
     if l >= 0. then begin
-      Cv_linalg.Mat.set lw i i 1.;
-      Cv_linalg.Mat.set uw i i 1.
+      lw.(i) <- 1.;
+      uw.(i) <- 1.
     end
     else if u <= 0. then ()
     else begin
       (* Upper: chord u(x − l)/(u − l). Lower: λx with λ ∈ {0,1} by the
          smaller-area heuristic. *)
       let s = u /. (u -. l) in
-      Cv_linalg.Mat.set uw i i s;
+      uw.(i) <- s;
       ub.(i) <- -.s *. l;
-      if u > -.l then Cv_linalg.Mat.set lw i i 1.
+      if u > -.l then lw.(i) <- 1.
     end
   done;
-  push a ~lw ~lb ~uw ~ub
+  push a ~lw:(Diag lw) ~lb ~uw:(Diag uw) ~ub
 
 (* Other activations: concrete interval node (coefficients zero). *)
 let monotone_concrete act a =
   let pre = current_box a in
   let imgs = Array.map (Cv_nn.Activation.interval act) pre in
   let n = Array.length imgs in
-  let zeros = Cv_linalg.Mat.zeros n n in
-  push a ~lw:zeros
+  let zeros = Array.make n 0. in
+  push a ~lw:(Diag zeros)
     ~lb:(Array.map Cv_interval.Interval.lo imgs)
-    ~uw:zeros
+    ~uw:(Diag zeros)
     ~ub:(Array.map Cv_interval.Interval.hi imgs)
 
 let apply_layer (l : Cv_nn.Layer.t) a =
@@ -167,3 +291,6 @@ let apply_layer (l : Cv_nn.Layer.t) a =
   | (Cv_nn.Activation.Leaky_relu _ | Cv_nn.Activation.Sigmoid | Cv_nn.Activation.Tanh)
     as act ->
     monotone_concrete act a
+
+let apply_prepared (p : Cv_nn.Layer.prepared) a =
+  apply_layer p.Cv_nn.Layer.source a

@@ -190,3 +190,8 @@ let apply_layer (l : Cv_nn.Layer.t) s =
   | (Cv_nn.Activation.Leaky_relu _ | Cv_nn.Activation.Sigmoid | Cv_nn.Activation.Tanh)
     as act ->
     monotone_concrete act pre
+
+(* The basis product already runs on the blocked [Mat.matmul]; a star
+   step is LP-dominated, so the prepared path just reuses the source
+   layer. *)
+let apply_prepared (p : Cv_nn.Layer.prepared) s = apply_layer p.Cv_nn.Layer.source s

@@ -18,4 +18,6 @@ val of_box : Cv_interval.Box.t -> t
 
 val apply_layer : Cv_nn.Layer.t -> t -> t
 
+val apply_prepared : Cv_nn.Layer.prepared -> t -> t
+
 val to_box : t -> Cv_interval.Box.t

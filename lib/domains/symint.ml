@@ -6,163 +6,193 @@
     exactly (sign-splitting per weight); unstable ReLUs relax the upper
     expression by the standard triangle slope and drop the lower to 0.
     This is the domain the paper's experiment uses (via the ReluVal
-    tool) to produce its per-neuron state abstractions. *)
+    tool) to produce its per-neuron state abstractions.
 
-(** A symbolic linear expression [coeffs · x + const] over the inputs. *)
-type linexp = { coeffs : float array; const : float }
+    Representation: the per-neuron coefficient rows are flattened into
+    two row-major matrices (lower/upper, [n × in_dim]) with separate
+    constant vectors, so an affine step is one fused
+    {!Cv_linalg.Mat.gemm_select_into} instead of [n] per-neuron
+    coefficient walks over boxed records. The affine combination
+    visits weights in exactly the historical order (per output row,
+    ascending weight index, zeros skipped), so results are bitwise
+    identical to the record-based implementation. *)
 
 type t = {
   input : Cv_interval.Box.t;  (** box over which expressions concretise *)
-  lower : linexp array;  (** per-neuron symbolic lower bound *)
-  upper : linexp array;  (** per-neuron symbolic upper bound *)
+  ilo : float array;  (** cached input lower bounds *)
+  ihi : float array;  (** cached input upper bounds *)
+  lower_c : Cv_linalg.Mat.t;  (** [n × in_dim] lower-bound coefficients *)
+  lower_k : float array;  (** lower-bound constants *)
+  upper_c : Cv_linalg.Mat.t;  (** [n × in_dim] upper-bound coefficients *)
+  upper_k : float array;  (** upper-bound constants *)
 }
 
 let name = "symint"
 
-let dim a = Array.length a.lower
+let dim a = Array.length a.lower_k
 
-(** Concretise a linear expression to an interval over the input box
-    (exact: split coefficients by sign). *)
-let concretize_linexp box e =
-  let lo = ref e.const and hi = ref e.const in
-  for j = 0 to Array.length e.coeffs - 1 do
-    let c = e.coeffs.(j) in
-    let iv = Cv_interval.Box.get box j in
+(* Concretise row [i] of a coefficient matrix with constant [k] over the
+   cached input bounds (exact: split coefficients by sign; [>= 0.]
+   branch and ascending-index accumulation as in the historical
+   concretize_linexp). Returns [(lo, hi)]. *)
+let row_interval md cols ilo ihi k i =
+  let base = i * cols in
+  let lo = ref k and hi = ref k in
+  for j = 0 to cols - 1 do
+    let c = Array.unsafe_get md (base + j) in
     if c >= 0. then begin
-      lo := !lo +. (c *. Cv_interval.Interval.lo iv);
-      hi := !hi +. (c *. Cv_interval.Interval.hi iv)
+      lo := !lo +. (c *. Array.unsafe_get ilo j);
+      hi := !hi +. (c *. Array.unsafe_get ihi j)
     end
     else begin
-      lo := !lo +. (c *. Cv_interval.Interval.hi iv);
-      hi := !hi +. (c *. Cv_interval.Interval.lo iv)
+      lo := !lo +. (c *. Array.unsafe_get ihi j);
+      hi := !hi +. (c *. Array.unsafe_get ilo j)
     end
   done;
-  Cv_interval.Interval.make !lo !hi
+  (!lo, !hi)
 
-(** Concrete interval of one neuron: lower bound of the lower expression,
-    upper bound of the upper expression. *)
+(* Concrete interval of one neuron: lower bound of the lower expression,
+   upper bound of the upper expression. *)
+let neuron_bounds a i =
+  let in_dim = Array.length a.ilo in
+  let lo, _ =
+    row_interval (Cv_linalg.Mat.unsafe_data a.lower_c) in_dim a.ilo a.ihi
+      a.lower_k.(i) i
+  in
+  let _, hi =
+    row_interval (Cv_linalg.Mat.unsafe_data a.upper_c) in_dim a.ilo a.ihi
+      a.upper_k.(i) i
+  in
+  (lo, hi)
+
 let neuron_interval a i =
-  let lo = Cv_interval.Interval.lo (concretize_linexp a.input a.lower.(i)) in
-  let hi = Cv_interval.Interval.hi (concretize_linexp a.input a.upper.(i)) in
+  let lo, hi = neuron_bounds a i in
   (* Float relaxations can cross by a few ulps; normalise. *)
   if lo > hi then Cv_interval.Interval.point (0.5 *. (lo +. hi))
   else Cv_interval.Interval.make lo hi
 
 let of_box b =
   let n = Cv_interval.Box.dim b in
-  let identity i =
-    { coeffs = Array.init n (fun j -> if i = j then 1. else 0.); const = 0. }
-  in
-  { input = b; lower = Array.init n identity; upper = Array.init n identity }
+  { input = b;
+    ilo = Cv_interval.Box.lower b;
+    ihi = Cv_interval.Box.upper b;
+    lower_c = Cv_linalg.Mat.identity n;
+    lower_k = Array.make n 0.;
+    upper_c = Cv_linalg.Mat.identity n;
+    upper_k = Array.make n 0. }
 
-(* Affine image: per output neuron, combine the input expressions picking
-   lower/upper according to the weight sign. *)
+(* Affine image: the output's lower expression combines input lower
+   expressions on positive weights and upper ones on negative weights
+   (zeros skipped); dually for the output's upper expression. *)
 let affine (w : Cv_linalg.Mat.t) bias a =
   let rows = Cv_linalg.Mat.rows w and cols = Cv_linalg.Mat.cols w in
   if cols <> dim a then invalid_arg "Symint.affine: dimension mismatch";
-  let in_dim = Cv_interval.Box.dim a.input in
-  let combine pick_lo i =
-    let coeffs = Array.make in_dim 0. in
-    let const = ref bias.(i) in
-    for j = 0 to cols - 1 do
-      let wij = Cv_linalg.Mat.get w i j in
-      if wij <> 0. then begin
-        (* For the lower expression of the output: positive weight takes
-           the input's lower expression, negative takes the upper; and
-           dually for the output's upper expression. *)
-        let src =
-          if (wij > 0. && pick_lo) || (wij < 0. && not pick_lo) then a.lower.(j)
-          else a.upper.(j)
-        in
-        for k = 0 to in_dim - 1 do
-          coeffs.(k) <- coeffs.(k) +. (wij *. src.coeffs.(k))
-        done;
-        const := !const +. (wij *. src.const)
-      end
-    done;
-    { coeffs; const = !const }
-  in
-  { input = a.input;
-    lower = Array.init rows (combine true);
-    upper = Array.init rows (combine false) }
-
-let zero_exp n = { coeffs = Array.make n 0.; const = 0. }
+  if Array.length bias <> rows then invalid_arg "Symint.affine: bias dim";
+  let in_dim = Array.length a.ilo in
+  let lower_c = Cv_linalg.Mat.zeros rows in_dim in
+  let upper_c = Cv_linalg.Mat.zeros rows in_dim in
+  Cv_linalg.Mat.gemm_select_into ~dst:lower_c w ~pos_src:a.lower_c
+    ~neg_src:a.upper_c;
+  Cv_linalg.Mat.gemm_select_into ~dst:upper_c w ~pos_src:a.upper_c
+    ~neg_src:a.lower_c;
+  let lower_k = Array.copy bias and upper_k = Array.copy bias in
+  Cv_linalg.Mat.gemv_select_acc w ~pos:a.lower_k ~neg:a.upper_k ~acc:lower_k;
+  Cv_linalg.Mat.gemv_select_acc w ~pos:a.upper_k ~neg:a.lower_k ~acc:upper_k;
+  { a with lower_c; lower_k; upper_c; upper_k }
 
 (* ReLU on the symbolic element. *)
 let relu a =
   let n = dim a in
-  let in_dim = Cv_interval.Box.dim a.input in
-  let lower = Array.make n (zero_exp in_dim) in
-  let upper = Array.make n (zero_exp in_dim) in
+  let in_dim = Array.length a.ilo in
+  let src_l = Cv_linalg.Mat.unsafe_data a.lower_c in
+  let src_u = Cv_linalg.Mat.unsafe_data a.upper_c in
+  let lower_c = Cv_linalg.Mat.zeros n in_dim in
+  let upper_c = Cv_linalg.Mat.zeros n in_dim in
+  let dst_l = Cv_linalg.Mat.unsafe_data lower_c in
+  let dst_u = Cv_linalg.Mat.unsafe_data upper_c in
+  let lower_k = Array.make n 0. and upper_k = Array.make n 0. in
   for i = 0 to n - 1 do
-    let lo_iv = concretize_linexp a.input a.lower.(i) in
-    let up_iv = concretize_linexp a.input a.upper.(i) in
-    let l = Cv_interval.Interval.lo lo_iv in
-    let u = Cv_interval.Interval.hi up_iv in
+    let l, _ = row_interval src_l in_dim a.ilo a.ihi a.lower_k.(i) i in
+    let l_u, u = row_interval src_u in_dim a.ilo a.ihi a.upper_k.(i) i in
+    let base = i * in_dim in
     if l >= 0. then begin
-      lower.(i) <- a.lower.(i);
-      upper.(i) <- a.upper.(i)
+      Array.blit src_l base dst_l base in_dim;
+      Array.blit src_u base dst_u base in_dim;
+      lower_k.(i) <- a.lower_k.(i);
+      upper_k.(i) <- a.upper_k.(i)
     end
-    else if u <= 0. then begin
-      lower.(i) <- zero_exp in_dim;
-      upper.(i) <- zero_exp in_dim
-    end
+    else if u <= 0. then ()
     else begin
       (* Unstable: lower := 0. For the upper expression, let [l_u, u] be
          its own concrete range. ReLU(z(x)) ≤ ReLU(ub(x)); when l_u ≥ 0
          that is just ub(x), otherwise the chord s(t − l_u) with
          s = u/(u − l_u) over-approximates ReLU(t) on [l_u, u] (ReLU is
          convex), applied at t = ub(x). *)
-      let l_u = Cv_interval.Interval.lo up_iv in
-      lower.(i) <- zero_exp in_dim;
-      if l_u >= 0. then upper.(i) <- a.upper.(i)
+      if l_u >= 0. then begin
+        Array.blit src_u base dst_u base in_dim;
+        upper_k.(i) <- a.upper_k.(i)
+      end
       else begin
         let s = if u -. l_u <= 0. then 0. else u /. (u -. l_u) in
-        upper.(i) <-
-          { coeffs = Array.map (fun c -> s *. c) a.upper.(i).coeffs;
-            const = s *. (a.upper.(i).const -. l_u) }
+        for j = base to base + in_dim - 1 do
+          Array.unsafe_set dst_u j (s *. Array.unsafe_get src_u j)
+        done;
+        upper_k.(i) <- s *. (a.upper_k.(i) -. l_u)
       end
     end
   done;
-  { a with lower; upper }
+  { a with lower_c; lower_k; upper_c; upper_k }
 
 (* Monotone non-linearities other than ReLU: fall back to concrete
    intervals (constant expressions). Sound, loses the symbolic part. *)
 let monotone_concrete act a =
   let n = dim a in
-  let in_dim = Cv_interval.Box.dim a.input in
-  let lower = Array.make n (zero_exp in_dim) in
-  let upper = Array.make n (zero_exp in_dim) in
+  let in_dim = Array.length a.ilo in
+  let lower_k = Array.make n 0. and upper_k = Array.make n 0. in
   for i = 0 to n - 1 do
     let iv = Cv_nn.Activation.interval act (neuron_interval a i) in
-    lower.(i) <- { coeffs = Array.make in_dim 0.; const = Cv_interval.Interval.lo iv };
-    upper.(i) <- { coeffs = Array.make in_dim 0.; const = Cv_interval.Interval.hi iv }
+    lower_k.(i) <- Cv_interval.Interval.lo iv;
+    upper_k.(i) <- Cv_interval.Interval.hi iv
   done;
-  { a with lower; upper }
+  { a with
+    lower_c = Cv_linalg.Mat.zeros n in_dim;
+    upper_c = Cv_linalg.Mat.zeros n in_dim;
+    lower_k;
+    upper_k }
 
 (* Leaky ReLU: for stable neurons exact; unstable neurons fall back to
    concrete bounds (sound and simple; the verified head uses plain
    ReLU). *)
 let leaky_relu slope a =
   let n = dim a in
+  let his = Array.init n (fun i -> Cv_interval.Interval.hi (neuron_interval a i)) in
+  let los = Array.init n (fun i -> Cv_interval.Interval.lo (neuron_interval a i)) in
   let changed = ref false in
   for i = 0 to n - 1 do
-    let iv = neuron_interval a i in
-    if Cv_interval.Interval.lo iv < 0. && Cv_interval.Interval.hi iv > 0. then
-      changed := true
+    if los.(i) < 0. && his.(i) > 0. then changed := true
   done;
-  if not !changed then
+  if not !changed then begin
     (* All neurons stable: negative ones scale by slope, positive ones
        pass through. *)
-    let scale_if_neg i e =
-      let iv = neuron_interval a i in
-      if Cv_interval.Interval.hi iv <= 0. then
-        { coeffs = Array.map (fun c -> slope *. c) e.coeffs; const = slope *. e.const }
-      else e
-    in
-    { a with
-      lower = Array.mapi (fun i _ -> scale_if_neg i a.lower.(i)) a.lower;
-      upper = Array.mapi (fun i _ -> scale_if_neg i a.upper.(i)) a.upper }
+    let in_dim = Array.length a.ilo in
+    let lower_c = Cv_linalg.Mat.copy a.lower_c in
+    let upper_c = Cv_linalg.Mat.copy a.upper_c in
+    let lower_k = Array.copy a.lower_k and upper_k = Array.copy a.upper_k in
+    let dl = Cv_linalg.Mat.unsafe_data lower_c in
+    let du = Cv_linalg.Mat.unsafe_data upper_c in
+    for i = 0 to n - 1 do
+      if his.(i) <= 0. then begin
+        let base = i * in_dim in
+        for j = base to base + in_dim - 1 do
+          Array.unsafe_set dl j (slope *. Array.unsafe_get dl j);
+          Array.unsafe_set du j (slope *. Array.unsafe_get du j)
+        done;
+        lower_k.(i) <- slope *. lower_k.(i);
+        upper_k.(i) <- slope *. upper_k.(i)
+      end
+    done;
+    { a with lower_c; lower_k; upper_c; upper_k }
+  end
   else monotone_concrete (Cv_nn.Activation.Leaky_relu slope) a
 
 let apply_layer (l : Cv_nn.Layer.t) a =
@@ -173,5 +203,7 @@ let apply_layer (l : Cv_nn.Layer.t) a =
   | Cv_nn.Activation.Leaky_relu slope -> leaky_relu slope pre
   | (Cv_nn.Activation.Sigmoid | Cv_nn.Activation.Tanh) as act ->
     monotone_concrete act pre
+
+let apply_prepared (p : Cv_nn.Layer.prepared) a = apply_layer p.Cv_nn.Layer.source a
 
 let to_box a = Array.init (dim a) (neuron_interval a)

@@ -2,16 +2,11 @@
     neuron carries symbolic linear lower/upper expressions over the
     network inputs, concretised against the input box. The domain the
     paper's experiment uses to produce its per-neuron state
-    abstractions. *)
+    abstractions. The coefficient rows live in flat row-major matrices
+    so an affine step is one fused sign-select gemm; results are
+    bitwise identical to the historical per-neuron representation. *)
 
-(** A symbolic linear expression [coeffs · x + const] over the inputs. *)
-type linexp = { coeffs : float array; const : float }
-
-type t = {
-  input : Cv_interval.Box.t;  (** box over which expressions concretise *)
-  lower : linexp array;  (** per-neuron symbolic lower bound *)
-  upper : linexp array;  (** per-neuron symbolic upper bound *)
-}
+type t
 
 val name : string
 
@@ -27,6 +22,8 @@ val affine : Cv_linalg.Mat.t -> Cv_linalg.Vec.t -> t -> t
 (** [apply_layer l a] is the sound abstract image under the fused
     affine-plus-activation layer. *)
 val apply_layer : Cv_nn.Layer.t -> t -> t
+
+val apply_prepared : Cv_nn.Layer.prepared -> t -> t
 
 (** [to_box a] concretises to per-neuron interval bounds. *)
 val to_box : t -> Cv_interval.Box.t

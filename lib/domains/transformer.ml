@@ -22,6 +22,13 @@ module type DOMAIN = sig
       layer [l]. *)
   val apply_layer : Cv_nn.Layer.t -> t -> t
 
+  (** [apply_prepared p a] is [apply_layer] through a kernel-ready
+      layer ({!Cv_nn.Layer.prepare}): shared sign splits and
+      transposes, workspace-backed fused kernels. Semantically
+      identical to [apply_layer p.source a]; the analyzer drives this
+      entry point. *)
+  val apply_prepared : Cv_nn.Layer.prepared -> t -> t
+
   (** [to_box a] concretises to interval bounds per neuron (sound: the
       concrete set is contained in the box). *)
   val to_box : t -> Cv_interval.Box.t

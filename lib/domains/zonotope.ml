@@ -5,77 +5,146 @@
     minimal-area relaxation that introduces one fresh noise symbol per
     unstable neuron. Used in the precision/cost ablation benches against
     box and symbolic intervals, mirroring the paper's remark that "other
-    types [of] abstract transformers with better precision are used". *)
+    types [of] abstract transformers with better precision are used".
+
+    The generators live in one row-major [m × d] matrix (one row per
+    noise symbol), so an affine layer is a single blocked [G Wᵀ]
+    product ({!Cv_linalg.Mat.matmul_transb}) instead of [m] separate
+    matvecs, and concretisation is one pass over the flat store. Row
+    order and per-element accumulation order replicate the historical
+    row-array representation, so bounds are bitwise identical. The
+    per-dimension deviation vector is memoized on the element:
+    {!to_box} and the ReLU transformer share one computation. *)
 
 type t = {
   center : float array;  (** c, dimension d *)
-  generators : float array array;  (** list of generator rows, each of dimension d *)
+  gens : Cv_linalg.Mat.t;  (** generator rows, [m × d] *)
+  mutable dev : float array option;  (** memoized per-dimension deviation *)
 }
 
 let name = "zonotope"
 
 let dim z = Array.length z.center
 
+(* Build from axis radii: one generator per non-degenerate axis, in
+   ascending axis order (as the historical list construction). *)
+let of_radii center radius =
+  let n = Array.length center in
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if radius.(i) > 0. then incr m
+  done;
+  let gens = Cv_linalg.Mat.zeros !m n in
+  let row = ref 0 in
+  for i = 0 to n - 1 do
+    if radius.(i) > 0. then begin
+      Cv_linalg.Mat.set gens !row i radius.(i);
+      incr row
+    end
+  done;
+  { center; gens; dev = None }
+
 (** [of_box b] has one generator per non-degenerate axis. *)
 let of_box b =
   let n = Cv_interval.Box.dim b in
-  let center = Array.init n (fun i -> Cv_interval.Interval.center (Cv_interval.Box.get b i)) in
-  let gens = ref [] in
-  for i = n - 1 downto 0 do
-    let r = Cv_interval.Interval.radius (Cv_interval.Box.get b i) in
-    if r > 0. then begin
-      let g = Array.make n 0. in
-      g.(i) <- r;
-      gens := g :: !gens
-    end
-  done;
-  { center; generators = Array.of_list !gens }
+  let center =
+    Array.init n (fun i -> Cv_interval.Interval.center (Cv_interval.Box.get b i))
+  in
+  let radius =
+    Array.init n (fun i -> Cv_interval.Interval.radius (Cv_interval.Box.get b i))
+  in
+  of_radii center radius
+
+(* Per-dimension deviations, one pass over the flat store in row order
+   (same per-column accumulation order as the historical per-row
+   fold_left). Memoized on the element: affine and ReLU images start
+   with [dev = None] and the first concretisation fills it in. *)
+let deviations z =
+  match z.dev with
+  | Some d -> d
+  | None ->
+    let n = dim z in
+    let m = Cv_linalg.Mat.rows z.gens in
+    let gd = Cv_linalg.Mat.unsafe_data z.gens in
+    let dev = Array.make n 0. in
+    for r = 0 to m - 1 do
+      let base = r * n in
+      for i = 0 to n - 1 do
+        Array.unsafe_set dev i
+          (Array.unsafe_get dev i +. Float.abs (Array.unsafe_get gd (base + i)))
+      done
+    done;
+    z.dev <- Some dev;
+    dev
 
 (** Per-dimension deviation: sum of |generator| entries. *)
-let deviation z i =
-  Array.fold_left (fun acc g -> acc +. Float.abs g.(i)) 0. z.generators
+let deviation z i = (deviations z).(i)
 
 (** [to_box z] concretises to per-dimension bounds [c_i ± dev_i]. *)
 let to_box z =
+  let dev = deviations z in
   Array.init (dim z) (fun i ->
-      let d = deviation z i in
-      Cv_interval.Interval.make (z.center.(i) -. d) (z.center.(i) +. d))
+      Cv_interval.Interval.make (z.center.(i) -. dev.(i)) (z.center.(i) +. dev.(i)))
 
 let affine (w : Cv_linalg.Mat.t) bias z =
   if Cv_linalg.Mat.cols w <> dim z then invalid_arg "Zonotope.affine: dims";
   { center = Cv_linalg.Mat.matvec_add w z.center bias;
-    generators = Array.map (fun g -> Cv_linalg.Mat.matvec w g) z.generators }
+    gens = Cv_linalg.Mat.matmul_transb z.gens w;
+    dev = None }
 
 (* DeepZ ReLU: per dimension, with bounds [l, u]:
    - l >= 0: identity; u <= 0: zero;
    - unstable: y = λ x + μ ± μ where λ = u/(u−l), μ = −λ l / 2; realised
-     by scaling the dimension's row of every generator by λ, setting
-     center_i := λ c_i + μ, and appending a fresh generator with entry μ
-     at dimension i. *)
+     by scaling the dimension's column of the generator store by λ,
+     setting center_i := λ c_i + μ, and appending a fresh generator with
+     entry μ at dimension i. Fresh rows are appended in descending
+     dimension order, replicating the historical list-prepend. *)
 let relu z =
   let n = dim z in
-  let box = to_box z in
+  let dev = deviations z in
+  let m = Cv_linalg.Mat.rows z.gens in
   let center = Array.copy z.center in
-  let generators = Array.map Array.copy z.generators in
-  let fresh = ref [] in
+  (* λ per dimension (1 = identity), μ for unstable dimensions. *)
+  let scale = Array.make n 1. in
+  let mu = Array.make n 0. in
+  let fresh = Array.make n false in
+  let unstable = ref 0 in
   for i = 0 to n - 1 do
-    let iv = Cv_interval.Box.get box i in
-    let l = Cv_interval.Interval.lo iv and u = Cv_interval.Interval.hi iv in
+    let l = center.(i) -. dev.(i) and u = center.(i) +. dev.(i) in
     if u <= 0. then begin
       center.(i) <- 0.;
-      Array.iter (fun g -> g.(i) <- 0.) generators;
+      scale.(i) <- 0.
     end
     else if l < 0. then begin
       let lambda = u /. (u -. l) in
-      let mu = -.lambda *. l /. 2. in
-      center.(i) <- (lambda *. center.(i)) +. mu;
-      Array.iter (fun g -> g.(i) <- lambda *. g.(i)) generators;
-      let g = Array.make n 0. in
-      g.(i) <- mu;
-      fresh := g :: !fresh
+      scale.(i) <- lambda;
+      mu.(i) <- -.lambda *. l /. 2.;
+      center.(i) <- (lambda *. center.(i)) +. mu.(i);
+      fresh.(i) <- true;
+      incr unstable
     end
   done;
-  { center; generators = Array.append generators (Array.of_list !fresh) }
+  let gens = Cv_linalg.Mat.zeros (m + !unstable) n in
+  let src = Cv_linalg.Mat.unsafe_data z.gens in
+  let dst = Cv_linalg.Mat.unsafe_data gens in
+  for r = 0 to m - 1 do
+    let base = r * n in
+    for i = 0 to n - 1 do
+      let s = Array.unsafe_get scale i in
+      (* Zeroed dimensions are assigned exact 0 (not multiplied), as the
+         historical transformer did — 0 · ±inf must not become NaN. *)
+      Array.unsafe_set dst (base + i)
+        (if s = 0. then 0. else s *. Array.unsafe_get src (base + i))
+    done
+  done;
+  let row = ref m in
+  for i = n - 1 downto 0 do
+    if fresh.(i) then begin
+      Array.unsafe_set dst ((!row * n) + i) mu.(i);
+      incr row
+    end
+  done;
+  { center; gens; dev = None }
 
 (* Non-ReLU nonlinearities: concretise per dimension (drop relational
    information). Exact for stable monotone images of the box. *)
@@ -84,16 +153,8 @@ let monotone_concrete act z =
   let imgs = Array.map (Cv_nn.Activation.interval act) box in
   let n = dim z in
   let center = Array.init n (fun i -> Cv_interval.Interval.center imgs.(i)) in
-  let gens = ref [] in
-  for i = n - 1 downto 0 do
-    let r = Cv_interval.Interval.radius imgs.(i) in
-    if r > 0. then begin
-      let g = Array.make n 0. in
-      g.(i) <- r;
-      gens := g :: !gens
-    end
-  done;
-  { center; generators = Array.of_list !gens }
+  let radius = Array.init n (fun i -> Cv_interval.Interval.radius imgs.(i)) in
+  of_radii center radius
 
 let apply_layer (l : Cv_nn.Layer.t) z =
   let pre = affine l.Cv_nn.Layer.weights l.Cv_nn.Layer.bias z in
@@ -104,8 +165,11 @@ let apply_layer (l : Cv_nn.Layer.t) z =
     as act ->
     monotone_concrete act pre
 
+let apply_prepared (p : Cv_nn.Layer.prepared) z =
+  apply_layer p.Cv_nn.Layer.source z
+
 (** [num_generators z] — growth diagnostic for benches. *)
-let num_generators z = Array.length z.generators
+let num_generators z = Cv_linalg.Mat.rows z.gens
 
 (** [reduce_order ~max_generators z] performs standard order reduction:
     when the generator count exceeds the budget, the smallest generators
@@ -115,31 +179,45 @@ let num_generators z = Array.length z.generators
     ReLU, so unbounded growth would make late layers quadratic; the
     analyzer stays exact until the budget is hit. *)
 let reduce_order ~max_generators z =
-  let m = Array.length z.generators in
+  let m = Cv_linalg.Mat.rows z.gens in
   if m <= max_generators then z
   else begin
     let d = dim z in
+    let gd = Cv_linalg.Mat.unsafe_data z.gens in
     (* Keep the largest (budget − d) generators, box the rest. *)
     let keep = max 0 (max_generators - d) in
-    let order =
-      Array.init m (fun i -> (Cv_linalg.Vec.norm1 z.generators.(i), i))
+    let row_norm1 r =
+      let acc = ref 0. in
+      let base = r * d in
+      for i = 0 to d - 1 do
+        acc := !acc +. Float.abs (Array.unsafe_get gd (base + i))
+      done;
+      !acc
     in
+    let order = Array.init m (fun i -> (row_norm1 i, i)) in
     Array.sort (fun (a, _) (b, _) -> Float.compare b a) order;
-    let kept = Array.init keep (fun k -> z.generators.(snd order.(k))) in
     let boxed = Array.make d 0. in
     for k = keep to m - 1 do
-      let g = z.generators.(snd order.(k)) in
+      let base = snd order.(k) * d in
       for i = 0 to d - 1 do
-        boxed.(i) <- boxed.(i) +. Float.abs g.(i)
+        boxed.(i) <- boxed.(i) +. Float.abs (Array.unsafe_get gd (base + i))
       done
     done;
-    let axis_gens = ref [] in
-    for i = d - 1 downto 0 do
+    let axis = ref 0 in
+    for i = 0 to d - 1 do
+      if boxed.(i) > 0. then incr axis
+    done;
+    let gens = Cv_linalg.Mat.zeros (keep + !axis) d in
+    let nd = Cv_linalg.Mat.unsafe_data gens in
+    for k = 0 to keep - 1 do
+      Array.blit gd (snd order.(k) * d) nd (k * d) d
+    done;
+    let row = ref keep in
+    for i = 0 to d - 1 do
       if boxed.(i) > 0. then begin
-        let g = Array.make d 0. in
-        g.(i) <- boxed.(i);
-        axis_gens := g :: !axis_gens
+        Array.unsafe_set nd ((!row * d) + i) boxed.(i);
+        incr row
       end
     done;
-    { z with generators = Array.append kept (Array.of_list !axis_gens) }
+    { z with gens; dev = None }
   end

@@ -1,12 +1,12 @@
 (** The zonotope abstract domain (DeepZ-style transformers): affine
     images of hypercubes, [{ c + G ε | ε ∈ [-1,1]^m }]. Affine layers
     are exact; unstable ReLUs use the minimal-area relaxation with one
-    fresh noise symbol per unstable neuron. *)
+    fresh noise symbol per unstable neuron. Generators are stored in one
+    flat row-major matrix, so an affine layer is a single blocked gemm
+    and concretisation is one pass; bounds are bitwise identical to the
+    historical per-row representation. *)
 
-type t = {
-  center : float array;
-  generators : float array array;
-}
+type t
 
 val name : string
 
@@ -16,7 +16,14 @@ val of_box : Cv_interval.Box.t -> t
 
 val apply_layer : Cv_nn.Layer.t -> t -> t
 
+val apply_prepared : Cv_nn.Layer.prepared -> t -> t
+
 val to_box : t -> Cv_interval.Box.t
+
+(** [deviation z i] is the per-dimension deviation (sum of absolute
+    generator entries at dimension [i]); the full vector is computed in
+    one pass over the generator store and memoized on the element. *)
+val deviation : t -> int -> float
 
 (** [num_generators z] — growth diagnostic. *)
 val num_generators : t -> int

@@ -1,4 +1,9 @@
-(** Dense row-major float matrices (flat backing store). *)
+(** Dense row-major float matrices (flat backing store).
+
+    The arithmetic entry points ([matmul], [matvec], the [gemv]/[gemm]
+    kernels below) are cache-blocked and bounds-check-free inside; see
+    DESIGN.md "Kernel layer" for the blocking scheme and the exact
+    accumulation-order guarantees. *)
 
 type t
 
@@ -10,6 +15,10 @@ val init : int -> int -> (int -> int -> float) -> t
 
 val identity : int -> t
 
+(** [of_array ~rows ~cols data] wraps a row-major backing array {e
+    without copying}: the matrix aliases [data]. *)
+val of_array : rows:int -> cols:int -> float array -> t
+
 val rows : t -> int
 
 val cols : t -> int
@@ -18,6 +27,19 @@ val get : t -> int -> int -> float
 
 (** [set m i j x] writes entry [(i, j)] in place. *)
 val set : t -> int -> int -> float -> unit
+
+(** [unsafe_get m i j] reads entry [(i, j)] without bounds checks —
+    kernel use only. *)
+val unsafe_get : t -> int -> int -> float
+
+(** [unsafe_set m i j x] writes entry [(i, j)] without bounds checks —
+    kernel use only. *)
+val unsafe_set : t -> int -> int -> float -> unit
+
+(** [unsafe_data m] is the flat row-major backing store (entry [(i, j)]
+    at index [i * cols m + j]), shared with the matrix: writes through
+    it are visible. For kernels and tests. *)
+val unsafe_data : t -> float array
 
 val copy : t -> t
 
@@ -36,10 +58,93 @@ val transpose : t -> t
 
 val matvec : t -> Vec.t -> Vec.t
 
+(** [matvec_into ~dst m v] writes [m v] into [dst] (length [rows m]);
+    [dst] must not alias [v]. *)
+val matvec_into : dst:Vec.t -> t -> Vec.t -> unit
+
 (** [matvec_add m v b] is [m v + b], the affine map of NN layers. *)
 val matvec_add : t -> Vec.t -> Vec.t -> Vec.t
 
-val matmul : t -> t -> t
+(** [matmul ?domains a b] is the matrix product [a b]. Per-element
+    accumulation runs over [k] ascending and skips zero entries of [a],
+    exactly like the naive triple loop — blocking and row-parallelism
+    only change the interleaving {e between} elements, so the result is
+    bitwise identical at any [domains] count. [domains] defaults to
+    {!parallel_domains} (1 unless opted in); parallelism only engages
+    above an internal work threshold and splits disjoint row blocks
+    across {!Cv_util.Parallel}. *)
+val matmul : ?domains:int -> t -> t -> t
+
+(** [matmul_into ?domains ~dst a b] is {!matmul} into a caller-owned
+    [dst] ([rows a × cols b], fully overwritten); [dst] must not alias
+    [a] or [b]. *)
+val matmul_into : ?domains:int -> dst:t -> t -> t -> unit
+
+(** [matmul_transb a b] is [a bᵀ] for [a : m × k] and [b : n × k]:
+    entry [(i, j)] is the dot product of row [i] of [a] with row [j] of
+    [b], accumulated over [k] ascending. Lets callers with row-major
+    operand layouts (zonotope generators against layer weights) multiply
+    without materialising a transpose. *)
+val matmul_transb : t -> t -> t
+
+val matmul_transb_into : dst:t -> t -> t -> unit
+
+(** [gemv_interval_into w ~bias ~lo ~hi ~dst_lo ~dst_hi] is the exact
+    interval image of the affine map [x ↦ w x + bias] over the box
+    [lo, hi]: per row a single pass branching on the weight sign
+    ([>= 0.] takes [lo]/[hi] for the lower/upper accumulator), both
+    accumulators seeded with the bias — the classic sign-split interval
+    gemv, safe for infinite bounds. *)
+val gemv_interval_into :
+  t ->
+  bias:Vec.t ->
+  lo:Vec.t ->
+  hi:Vec.t ->
+  dst_lo:Vec.t ->
+  dst_hi:Vec.t ->
+  unit
+
+(** [gemv_posneg ~pos ~neg ~bias ~lo ~hi ~dst_lo ~dst_hi] is the
+    branchless variant of {!gemv_interval_into} over a prepared sign
+    split [pos + neg = w] ([pos = max(w, 0)], [neg = min(w, 0)]
+    entrywise): [dst_lo = bias + pos·lo + neg·hi] and
+    [dst_hi = bias + pos·hi + neg·lo]. Requires finite [lo]/[hi]
+    (a zero split entry times an infinite bound would make a NaN). *)
+val gemv_posneg :
+  pos:t ->
+  neg:t ->
+  bias:Vec.t ->
+  lo:Vec.t ->
+  hi:Vec.t ->
+  dst_lo:Vec.t ->
+  dst_hi:Vec.t ->
+  unit
+
+(** [gemm_select_into ~dst a ~pos_src ~neg_src] fuses the sign-split
+    product [dst = a⁺ pos_src + a⁻ neg_src] in one pass over [a]:
+    positive entries of [a] multiply rows of [pos_src], negative ones
+    rows of [neg_src], zeros are skipped; per-element accumulation runs
+    over [k] ascending. This replaces the allocate-two-split-copies
+    pattern of DeepPoly backsubstitution and symbolic-interval affine
+    steps. [dst] ([rows a × cols pos_src]) is fully overwritten and must
+    not alias any operand. *)
+val gemm_select_into : dst:t -> t -> pos_src:t -> neg_src:t -> unit
+
+(** [gemv_select_acc a ~pos ~neg ~acc] accumulates
+    [acc_i += Σ_j sel(a_ij)] where positive [a_ij] select [a_ij·pos_j],
+    negative select [a_ij·neg_j] and zeros are skipped, [j] ascending —
+    the constant-term companion of {!gemm_select_into}. *)
+val gemv_select_acc : t -> pos:Vec.t -> neg:Vec.t -> acc:Vec.t -> unit
+
+(** [parallel_domains ()] is the default worker-domain count for
+    {!matmul} (1 = sequential; initialised from the
+    [CONTIVER_KERNEL_DOMAINS] environment variable). *)
+val parallel_domains : unit -> int
+
+(** [set_parallel_domains n] sets the default worker-domain count for
+    {!matmul} (clamped to at least 1). Results are deterministic at any
+    setting. *)
+val set_parallel_domains : int -> unit
 
 val add : t -> t -> t
 

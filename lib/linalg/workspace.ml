@@ -1,0 +1,56 @@
+(** Scratch-buffer arena for the kernel layer — see the mli for the
+    ownership rules.
+
+    Each slot holds a small list of buffers of distinct shapes; lookup
+    is a short pointer walk with no allocation, so a steady-state hit
+    costs nothing. The lists are bounded by the number of distinct
+    shapes a slot ever sees (layer widths of the analysed networks). *)
+
+type t = {
+  mutable mats : Mat.t list array;
+  mutable vecs : float array list array;
+}
+
+let create () = { mats = [||]; vecs = [||] }
+
+let grow arr n =
+  let len = Array.length arr in
+  let len' = max n (max 8 (2 * len)) in
+  let arr' = Array.make len' [] in
+  Array.blit arr 0 arr' 0 len;
+  arr'
+
+(* Allocation-free hit path: top-level recursive finders raising the
+   constant [Not_found] on miss. *)
+let rec find_mat rows cols = function
+  | [] -> raise Not_found
+  | m :: tl ->
+    if Mat.rows m = rows && Mat.cols m = cols then m else find_mat rows cols tl
+
+let rec find_vec n = function
+  | [] -> raise Not_found
+  | v :: tl -> if Array.length v = n then v else find_vec n tl
+
+let mat t ~slot ~rows ~cols =
+  if slot < 0 then invalid_arg "Workspace.mat: negative slot";
+  if slot >= Array.length t.mats then t.mats <- grow t.mats (slot + 1);
+  match find_mat rows cols (Array.unsafe_get t.mats slot) with
+  | m -> m
+  | exception Not_found ->
+    let m = Mat.zeros rows cols in
+    t.mats.(slot) <- m :: t.mats.(slot);
+    m
+
+let vec t ~slot n =
+  if slot < 0 then invalid_arg "Workspace.vec: negative slot";
+  if slot >= Array.length t.vecs then t.vecs <- grow t.vecs (slot + 1);
+  match find_vec n (Array.unsafe_get t.vecs slot) with
+  | v -> v
+  | exception Not_found ->
+    let v = Array.make n 0. in
+    t.vecs.(slot) <- v :: t.vecs.(slot);
+    v
+
+let reset t =
+  t.mats <- [||];
+  t.vecs <- [||]

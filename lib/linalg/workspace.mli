@@ -1,0 +1,41 @@
+(** Scratch-buffer arena for the kernel layer.
+
+    Layer transformers repeat the same shapes of intermediate products
+    every propagation round; a workspace caches those buffers so the
+    steady state allocates nothing. Buffers are addressed by an integer
+    [slot] (a caller-chosen role: "upper coefficients", "lower
+    constants", …); each slot keeps one buffer per distinct shape, so a
+    slot whose shape sequence repeats across rounds — layer widths of a
+    fixed network — hits the cache every time.
+
+    Ownership rules (see DESIGN.md "Kernel layer"):
+    - a returned buffer stays valid until the same [slot] is requested
+      with the same shape again — two live buffers must use different
+      slots;
+    - contents are {e not} cleared on reuse: callers must fully
+      overwrite (the [_into] kernels do);
+    - workspace buffers never cross an API boundary — results that
+      outlive the call are copied into fresh storage.
+
+    A workspace is single-threaded state. Modules running under
+    {!Cv_util.Parallel} keep one workspace per OCaml domain
+    (e.g. via [Domain.DLS]). *)
+
+type t
+
+(** [create ()] is an empty workspace. *)
+val create : unit -> t
+
+(** [mat t ~slot ~rows ~cols] returns the cached [rows × cols] buffer of
+    [slot], allocating (zero-filled) on first use of that shape. Reused
+    buffers keep their previous contents. *)
+val mat : t -> slot:int -> rows:int -> cols:int -> Mat.t
+
+(** [vec t ~slot n] returns the cached length-[n] buffer of [slot],
+    allocating (zero-filled) on first use of that length. Reused
+    buffers keep their previous contents. *)
+val vec : t -> slot:int -> int -> float array
+
+(** [reset t] drops every cached buffer (outstanding references stay
+    valid but are no longer reused). *)
+val reset : t -> unit

@@ -63,23 +63,37 @@ let contains t net' =
        t.layers layers'
 
 (* Interval affine: z_i = Σ_j [w_lo, w_hi]_{ij} · x_j + [b_lo, b_hi]_i,
-   with x_j an interval. *)
+   with x_j an interval. Bounds are tracked in two float accumulators
+   with the four-product min/max inlined (same values as the historical
+   [Interval.add]/[Interval.mul] chain) — no per-term interval records. *)
 let interval_affine il (box : Cv_interval.Box.t) =
   let rows = Cv_linalg.Mat.rows il.w_lo in
   let cols = Cv_linalg.Mat.cols il.w_lo in
+  let xlo = Cv_interval.Box.lower box and xhi = Cv_interval.Box.upper box in
+  let any_empty = ref false in
+  for j = 0 to cols - 1 do
+    if xlo.(j) > xhi.(j) then any_empty := true
+  done;
+  if !any_empty then
+    (* An empty input coordinate annihilates every row, as the
+       historical [Interval.mul]/[add] chain did. *)
+    Array.make rows Cv_interval.Interval.empty
+  else
+  let wld = Cv_linalg.Mat.unsafe_data il.w_lo in
+  let whd = Cv_linalg.Mat.unsafe_data il.w_hi in
   Array.init rows (fun i ->
-      let acc = ref (Cv_interval.Interval.make il.b_lo.(i) il.b_hi.(i)) in
+      let base = i * cols in
+      let lo = ref il.b_lo.(i) and hi = ref il.b_hi.(i) in
       for j = 0 to cols - 1 do
-        let wij =
-          Cv_interval.Interval.make
-            (Cv_linalg.Mat.get il.w_lo i j)
-            (Cv_linalg.Mat.get il.w_hi i j)
-        in
-        acc :=
-          Cv_interval.Interval.add !acc
-            (Cv_interval.Interval.mul wij (Cv_interval.Box.get box j))
+        let wl = Array.unsafe_get wld (base + j)
+        and wh = Array.unsafe_get whd (base + j) in
+        let xl = Array.unsafe_get xlo j and xh = Array.unsafe_get xhi j in
+        let p1 = wl *. xl and p2 = wl *. xh in
+        let p3 = wh *. xl and p4 = wh *. xh in
+        lo := !lo +. Float.min (Float.min p1 p2) (Float.min p3 p4);
+        hi := !hi +. Float.max (Float.max p1 p2) (Float.max p3 p4)
       done;
-      !acc)
+      Cv_interval.Interval.make !lo !hi)
 
 (** [output_box t din] is the interval-arithmetic reach of the
     abstraction over [din] — sound for every contained network. *)

@@ -31,6 +31,58 @@ let pre_activation l x = Cv_linalg.Mat.matvec_add l.weights x l.bias
 (** [eval l x] is the layer output [act (W x + b)]. *)
 let eval l x = Activation.apply_vec l.act (pre_activation l x)
 
+(** Kernel-ready form of a layer: the sign split and transpose the
+    abstract transformers consume on every propagation, computed once
+    per layer value. The split convention is entrywise
+    [w_pos = max(w, 0)], [w_neg = min(w, 0)] with strict comparisons, so
+    a ±0.0 weight lands as +0.0 in both parts ([w_pos + w_neg = w] up to
+    the sign of zero). *)
+type prepared = {
+  source : t;  (** the layer this was prepared from *)
+  wt : Cv_linalg.Mat.t;  (** [in_dim × out_dim] transposed weights *)
+  w_pos : Cv_linalg.Mat.t;  (** [max(W, 0)] entrywise *)
+  w_neg : Cv_linalg.Mat.t;  (** [min(W, 0)] entrywise *)
+}
+
+let build_prepared l =
+  { source = l;
+    wt = Cv_linalg.Mat.transpose l.weights;
+    w_pos = Cv_linalg.Mat.map (fun x -> if x > 0. then x else 0.) l.weights;
+    w_neg = Cv_linalg.Mat.map (fun x -> if x < 0. then x else 0.) l.weights }
+
+(* Prepared forms are memoized on the physical identity of the layer
+   value: layers are immutable and shared by Network.prefix/suffix/slice
+   (Array.sub copies pointers, not records), so every sub-network
+   analysis of the same network hits the same entries. An ephemeron
+   table lets entries die with their layer — a long-lived serve daemon
+   cycling through fine-tuned heads cannot leak preparations. (A
+   content-addressed home like Cv_artifacts.Cache would invert the
+   dependency order — cv_artifacts builds on the domains — and its JSON
+   payloads would cost more than the split they memoize; identity keying
+   gives the same sharing for live values at pointer-compare cost.) *)
+module Memo = Ephemeron.K1.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let memo : prepared Memo.t = Memo.create 64
+let memo_mutex = Mutex.create ()
+let m_prepare = Cv_util.Metrics.counter "kernel.prepare.builds"
+
+(** [prepare l] is the memoized kernel-ready form of [l] — safe under
+    concurrent domains. *)
+let prepare l =
+  Mutex.protect memo_mutex @@ fun () ->
+  match Memo.find_opt memo l with
+  | Some p -> p
+  | None ->
+    let p = build_prepared l in
+    Memo.add memo l p;
+    Cv_util.Metrics.incr m_prepare;
+    p
+
 (** [random ?rng ~in_dim ~out_dim act] draws a Glorot-initialised
     layer. *)
 let random ?rng ~in_dim ~out_dim act =

@@ -24,6 +24,24 @@ val pre_activation : t -> Cv_linalg.Vec.t -> Cv_linalg.Vec.t
 (** [eval l x] is the layer output [act (W x + b)]. *)
 val eval : t -> Cv_linalg.Vec.t -> Cv_linalg.Vec.t
 
+(** Kernel-ready form of a layer: transposed weights plus the entrywise
+    sign split [w_pos = max(W, 0)], [w_neg = min(W, 0)] (strict
+    comparisons: ±0.0 weights land as +0.0 in both parts). Consumed by
+    the abstract transformers' fused kernels. *)
+type prepared = {
+  source : t;
+  wt : Cv_linalg.Mat.t;  (** [in_dim × out_dim] *)
+  w_pos : Cv_linalg.Mat.t;
+  w_neg : Cv_linalg.Mat.t;
+}
+
+(** [prepare l] is the kernel-ready form of [l], memoized on the
+    physical identity of the layer value (layers are immutable and
+    shared across network slices, so repeated analyses build each split
+    once). Thread-safe; entries are dropped by the GC with their
+    layer. *)
+val prepare : t -> prepared
+
 (** [random ?rng ~in_dim ~out_dim act] draws a Glorot-initialised
     layer. *)
 val random : ?rng:Cv_util.Rng.t -> in_dim:int -> out_dim:int -> Activation.t -> t

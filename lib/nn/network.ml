@@ -52,6 +52,11 @@ let num_neurons net =
 let layer_dims net =
   in_dim net :: List.map Layer.out_dim (Array.to_list net.layers)
 
+(** [prepared net] is the per-layer kernel-ready array (memoized per
+    layer value — see {!Layer.prepare}; steady-state cost is one table
+    lookup per layer). *)
+let prepared net = Array.map Layer.prepare net.layers
+
 (** [eval net x] runs a forward pass. *)
 let eval net x = Array.fold_left (fun acc l -> Layer.eval l acc) x net.layers
 

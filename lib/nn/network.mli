@@ -30,6 +30,10 @@ val num_neurons : t -> int
 (** [layer_dims net] lists all widths including input and output. *)
 val layer_dims : t -> int list
 
+(** [prepared net] is the per-layer kernel-ready array (memoized — see
+    {!Layer.prepare}). *)
+val prepared : t -> Layer.prepared array
+
 (** [eval net x] runs a forward pass. *)
 val eval : t -> Cv_linalg.Vec.t -> Cv_linalg.Vec.t
 
