@@ -1,12 +1,13 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench kernelbench ci fmt chaos servesmoke
+.PHONY: all build test bench examples clean doc quickbench kernelbench ci fmt chaos servesmoke certfuzz
 
 all: build
 
 # What CI runs: full build, test suite, formatting gate, bench smoke
-# (writes the BENCH_PR4.json perf trajectory), serve smoke.
-ci: build test fmt quickbench servesmoke
+# (writes the BENCH_PR4.json perf trajectory), serve smoke, certificate
+# soundness fuzzing.
+ci: build test fmt quickbench servesmoke certfuzz
 
 fmt:
 	dune build @fmt
@@ -44,6 +45,21 @@ chaos:
 servesmoke:
 	timeout 120 dune exec bin/contiver.exe -- serve --drive --rounds 2 > SERVE_SMOKE.ndjson
 	python3 scripts/check_serve_status.py SERVE_SMOKE.ndjson 2
+
+# Certificate soundness fuzzing: random nets/properties through the
+# full pipeline with --emit-cert semantics, every certificate replayed
+# by the trusted checker, mutants rejected, Violated verdicts
+# cross-checked against concrete evaluation. Any failing certificate
+# is dumped under _build/certfuzz-failures (CI uploads it). The three
+# fixed seeds are the CI smoke matrix; `make certfuzz SEEDS="9 10"`
+# overrides them.
+SEEDS ?= 1 2 3
+certfuzz:
+	dune build test/certfuzz.exe
+	for s in $(SEEDS); do \
+	  dune exec test/certfuzz.exe -- -seed $$s -rounds 40 \
+	    -out _build/certfuzz-failures || exit 1; \
+	done
 
 examples:
 	dune exec examples/quickstart.exe

@@ -89,6 +89,80 @@ let save_property path prop =
   write_file path (Cv_util.Json.to_string (Cv_verify.Property.to_json prop))
 
 (* ------------------------------------------------------------------ *)
+(* Proof certificates                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let emit_cert_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-cert" ] ~docv:"FILE"
+        ~doc:
+          "After the run, emit a standalone proof certificate to $(docv): a \
+           self-contained document (network, claim and proof inside) that \
+           $(b,contiver check) replays with outward-rounded interval \
+           arithmetic only. Best-effort: a verdict outside the certifiable \
+           fragment prints a warning and writes nothing.")
+
+(* Safe-network emission ladder: the interval chain / split tree first
+   (cheap, covers most proved properties), the MILP goal certificates
+   when bisection alone cannot close the bound. *)
+let safe_network_cert ~mode ~solver ~fingerprint net ~din ~dout =
+  match Cv_cert.Emit.safe_cert ~mode ~solver ~fingerprint net ~din ~dout with
+  | Some c -> Some c
+  | None ->
+    Cv_milp.Cert_bridge.safe_cert ~mode ~solver ~fingerprint net ~din ~dout
+
+(* "prop3" (a Strategy attempt name) -> "Proposition 3". *)
+let proposition_of_route route =
+  let n = String.length route in
+  if n > 4 && String.sub route 0 4 = "prop" then
+    "Proposition " ^ String.sub route 4 (n - 4)
+  else route
+
+(* Wrap an incremental run's certificate in the reuse frame recording
+   which decision route settled the verdict; an unwrappable frame
+   degrades to the inner certificate. *)
+let reuse_wrapped ~route ~dout cert =
+  let slack =
+    match cert.Cv_cert.Cert.proof with
+    | Cv_cert.Cert.P_chain boxes -> Cv_cert.Check.chain_slack ~dout boxes
+    | _ -> 0.
+  in
+  match
+    Cv_cert.Emit.reuse_cert ~route ~proposition:(proposition_of_route route)
+      ~slack cert
+  with
+  | Some wrapped -> Some wrapped
+  | None -> Some cert
+
+(* Persist (checksummed envelope) and mirror into the artifact cache
+   under the content-addressed key fingerprint × D_in hash ×
+   "cert:<mode>". *)
+let write_cert ?cache ~din path cert =
+  Cv_artifacts.Artifacts.save_doc ~format:Cv_cert.Cert.envelope_format path
+    (Cv_cert.Cert.to_json cert);
+  Option.iter
+    (fun c ->
+      Cv_artifacts.Cache.store c
+        ~fingerprint:cert.Cv_cert.Cert.fingerprint
+        ~box_hash:(Cv_artifacts.Cache.box_hash din)
+        ~kind:("cert:" ^ cert.Cv_cert.Cert.mode)
+        (Cv_cert.Cert.to_json cert))
+    cache;
+  Printf.printf "certificate (%s proof) written to %s\n"
+    (Cv_cert.Cert.proof_kind cert.Cv_cert.Cert.proof)
+    path
+
+let emit_cert_to ?cache ~din path = function
+  | Some cert -> write_cert ?cache ~din path cert
+  | None ->
+    Printf.eprintf
+      "contiver: warning: no certificate emitted (verdict outside the \
+       certifiable fragment)\n\
+       %!"
+
+(* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -324,8 +398,8 @@ let string_of_unknown (u : Cv_verify.Containment.unknown) =
     | None -> ""
     | Some b -> Printf.sprintf " [best bound %.6g]" b)
 
-let verify verbose model property artifact_out exact widen timeout stats
-    trace_json checkpoint checkpoint_every resume =
+let verify verbose model property artifact_out emit_cert exact widen timeout
+    stats trace_json checkpoint checkpoint_every resume =
   run @@ fun () ->
   setup_logs verbose;
   with_observability ~stats ~trace_json @@ fun () ->
@@ -366,6 +440,23 @@ let verify verbose model property artifact_out exact widen timeout stats
     Printf.printf "proof artifacts written to %s\n" artifact_out
   end
   else Printf.printf "no artifact written (property not proved)\n";
+  Option.iter
+    (fun path ->
+      let fingerprint = Cv_artifacts.Artifacts.fingerprint net in
+      let solver =
+        original.Cv_core.Strategy.artifact.Cv_artifacts.Artifacts.solver
+      in
+      let din = prop.Cv_verify.Property.din
+      and dout = prop.Cv_verify.Property.dout in
+      emit_cert_to ~din path
+        (match verdict with
+        | Cv_verify.Containment.Proved ->
+          safe_network_cert ~mode:"verify" ~solver ~fingerprint net ~din ~dout
+        | Cv_verify.Containment.Violated v ->
+          Cv_cert.Emit.unsafe_cert ~mode:"verify" ~solver ~fingerprint net
+            ~din ~dout ~x:v.Cv_verify.Falsify.input
+        | Cv_verify.Containment.Unknown _ -> None))
+    emit_cert;
   (* A budget expiry is a structured, expected outcome of a bounded run,
      not a failure of the tool: exit 0. Everything else unproved is 1. *)
   match verdict with
@@ -401,8 +492,9 @@ let verify_cmd =
        ~doc:"Verify a safety property from scratch and record proof artifacts.")
     Term.(
       const verify $ verbose_arg $ model_arg () $ property
-      $ artifact_arg ~mode:`Out $ exact $ widen $ timeout_arg $ stats_arg
-      $ trace_json_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
+      $ artifact_arg ~mode:`Out $ emit_cert_arg $ exact $ widen $ timeout_arg
+      $ stats_arg $ trace_json_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* svudc / svbtv                                                       *)
@@ -421,8 +513,33 @@ let print_report report original_seconds =
     Cmd.Exit.ok
   | _ -> 1
 
-let svudc verbose model artifact new_din engine timeout stats trace_json
-    checkpoint checkpoint_every resume =
+(* Incremental runs certify the re-established property: the enlarged
+   (or inherited) input domain against the artifact's output box, on
+   the network that was actually verified, wrapped in the reuse frame
+   naming the decisive route. *)
+let emit_incremental_cert ~mode ~path net ~din ~dout
+    (report : Cv_core.Report.t) =
+  match report.Cv_core.Report.verdict with
+  | Cv_core.Report.Safe ->
+    let solver =
+      Option.value ~default:"strategy" report.Cv_core.Report.decisive
+    in
+    let fingerprint = Cv_artifacts.Artifacts.fingerprint net in
+    let inner = safe_network_cert ~mode ~solver ~fingerprint net ~din ~dout in
+    emit_cert_to ~din path
+      (match (inner, report.Cv_core.Report.decisive) with
+      | Some c, Some route -> reuse_wrapped ~route ~dout c
+      | _ -> inner)
+  | Cv_core.Report.Unsafe v ->
+    let fingerprint = Cv_artifacts.Artifacts.fingerprint net in
+    emit_cert_to ~din path
+      (Cv_cert.Emit.unsafe_cert ~mode ~solver:"falsify" ~fingerprint net ~din
+         ~dout ~x:v.Cv_verify.Falsify.input)
+  | Cv_core.Report.Inconclusive _ | Cv_core.Report.Exhausted _ ->
+    emit_cert_to ~din path None
+
+let svudc verbose model artifact new_din emit_cert engine timeout stats
+    trace_json checkpoint checkpoint_every resume =
   run @@ fun () ->
   setup_logs verbose;
   with_observability ~stats ~trace_json @@ fun () ->
@@ -445,6 +562,12 @@ let svudc verbose model artifact new_din engine timeout stats trace_json
     Cv_core.Strategy.solve_svudc ?deadline:(deadline_of timeout) ~config
       ?checkpoint ?resume p
   in
+  Option.iter
+    (fun path ->
+      emit_incremental_cert ~mode:"svudc" ~path net ~din:new_din
+        ~dout:artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.dout
+        report)
+    emit_cert;
   print_report report artifact.Cv_artifacts.Artifacts.solve_seconds
 
 let svudc_cmd =
@@ -461,11 +584,11 @@ let svudc_cmd =
           property on an enlarged input domain by reusing proof artifacts.")
     Term.(
       const svudc $ verbose_arg $ model_arg () $ artifact_arg ~mode:`In
-      $ new_din $ engine_arg $ timeout_arg $ stats_arg $ trace_json_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
+      $ new_din $ emit_cert_arg $ engine_arg $ timeout_arg $ stats_arg
+      $ trace_json_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
-let svbtv verbose old_model new_model artifact new_din engine slack timeout
-    stats trace_json checkpoint checkpoint_every resume =
+let svbtv verbose old_model new_model artifact new_din emit_cert engine slack
+    timeout stats trace_json checkpoint checkpoint_every resume =
   run @@ fun () ->
   setup_logs verbose;
   with_observability ~stats ~trace_json @@ fun () ->
@@ -503,6 +626,12 @@ let svbtv verbose old_model new_model artifact new_din engine slack timeout
     Cv_core.Strategy.solve_svbtv ?deadline:(deadline_of timeout) ~config
       ?checkpoint ?resume p
   in
+  Option.iter
+    (fun path ->
+      emit_incremental_cert ~mode:"svbtv" ~path new_net ~din:new_din
+        ~dout:artifact.Cv_artifacts.Artifacts.property.Cv_verify.Property.dout
+        report)
+    emit_cert;
   print_report report artifact.Cv_artifacts.Artifacts.solve_seconds
 
 let svbtv_cmd =
@@ -529,9 +658,9 @@ let svbtv_cmd =
           network to its fine-tuned successor.")
     Term.(
       const svbtv $ verbose_arg $ old_model $ new_model
-      $ artifact_arg ~mode:`In $ new_din $ engine_arg $ slack $ timeout_arg
-      $ stats_arg $ trace_json_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg)
+      $ artifact_arg ~mode:`In $ new_din $ emit_cert_arg $ engine_arg $ slack
+      $ timeout_arg $ stats_arg $ trace_json_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
@@ -1004,8 +1133,8 @@ let load_manifest path =
   | exception Cv_util.Json.Error msg -> cli_fail "%s: %s" path msg
 
 let batch verbose manifest jobs timeout engine no_cache cache_dir
-    cache_capacity checkpoint_dir checkpoint_every report_out stats trace_json
-    =
+    cache_capacity checkpoint_dir checkpoint_every report_out emit_certs stats
+    trace_json =
   run @@ fun () ->
   setup_logs verbose;
   with_observability ~stats ~trace_json @@ fun () ->
@@ -1052,6 +1181,50 @@ let batch verbose manifest jobs timeout engine no_cache cache_dir
     Printf.printf "cache: %d hits  %d misses  %d evictions\n"
       s.Cv_artifacts.Cache.hits s.Cv_artifacts.Cache.misses
       s.Cv_artifacts.Cache.evictions);
+  (match emit_certs with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    List.iter
+      (fun (r : Cv_core.Batch.job_result) ->
+        if r.Cv_core.Batch.verdict = Cv_core.Batch.Safe then
+          List.find_opt
+            (fun j -> String.equal j.Cv_core.Batch.id r.Cv_core.Batch.job_id)
+            manifest_jobs
+          |> Option.iter (fun job ->
+                 let mode = "batch:" ^ r.Cv_core.Batch.job_id in
+                 let path =
+                   Filename.concat dir (r.Cv_core.Batch.job_id ^ ".cert.json")
+                 in
+                 let emit net ~din ~dout ~route =
+                   let fingerprint = Cv_artifacts.Artifacts.fingerprint net in
+                   let solver = Option.value ~default:"strategy" route in
+                   let inner =
+                     safe_network_cert ~mode ~solver ~fingerprint net ~din
+                       ~dout
+                   in
+                   emit_cert_to ?cache ~din path
+                     (match (inner, route) with
+                     | Some c, Some route -> reuse_wrapped ~route ~dout c
+                     | _ -> inner)
+                 in
+                 match job.Cv_core.Batch.spec with
+                 | Cv_core.Batch.Verify { net; prop; _ } ->
+                   emit net ~din:prop.Cv_verify.Property.din
+                     ~dout:prop.Cv_verify.Property.dout ~route:None
+                 | Cv_core.Batch.Svudc { net; artifact; new_din } ->
+                   emit net ~din:new_din
+                     ~dout:
+                       artifact.Cv_artifacts.Artifacts.property
+                         .Cv_verify.Property.dout
+                     ~route:r.Cv_core.Batch.decisive
+                 | Cv_core.Batch.Svbtv { new_net; artifact; new_din; _ } ->
+                   emit new_net ~din:new_din
+                     ~dout:
+                       artifact.Cv_artifacts.Artifacts.property
+                         .Cv_verify.Property.dout
+                     ~route:r.Cv_core.Batch.decisive))
+      t.Cv_core.Batch.results);
   (match report_out with
   | None -> ()
   | Some path ->
@@ -1146,6 +1319,17 @@ let batch_cmd =
       & info [ "report" ] ~docv:"FILE"
           ~doc:"Write the consolidated JSON batch report to $(docv).")
   in
+  let emit_certs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-certs" ] ~docv:"DIR"
+          ~doc:
+            "Emit a standalone proof certificate ($(docv)/<id>.cert.json, \
+             replayable with $(b,contiver check)) for every job that \
+             verified safe. Best-effort per job: an uncertifiable proof \
+             prints a warning and skips that job.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -1156,7 +1340,66 @@ let batch_cmd =
     Term.(
       const batch $ verbose_arg $ manifest $ jobs $ job_timeout $ engine_arg
       $ no_cache $ cache_dir $ cache_capacity $ checkpoint_dir
-      $ checkpoint_every_arg $ report_out $ stats_arg $ trace_json_arg)
+      $ checkpoint_every_arg $ report_out $ emit_certs $ stats_arg
+      $ trace_json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cert verbose file max_split_nodes =
+  run @@ fun () ->
+  setup_logs verbose;
+  (* Accept both the checksummed envelope `--emit-cert` writes and a
+     bare certificate document (e.g. a test fixture). *)
+  let payload =
+    match Cv_util.Json.member_opt "payload" (load_json file) with
+    | None -> load_json file
+    | Some _ -> (
+      match
+        Cv_artifacts.Artifacts.load_doc_result
+          ~format:Cv_cert.Cert.envelope_format file
+      with
+      | Ok p -> p
+      | Error e -> cli_fail "%s" (Cv_artifacts.Artifacts.load_error_message e))
+  in
+  match Cv_cert.Cert.of_json_result payload with
+  | Error msg -> cli_fail "%s: not a certificate: %s" file msg
+  | Ok cert -> (
+    Printf.printf "certificate: mode %s, %s proof (solver %s)\n"
+      cert.Cv_cert.Cert.mode
+      (Cv_cert.Cert.proof_kind cert.Cv_cert.Cert.proof)
+      cert.Cv_cert.Cert.solver;
+    match Cv_cert.Check.check ~max_split_nodes cert with
+    | Cv_cert.Check.Valid ->
+      print_endline "VALID";
+      Cmd.Exit.ok
+    | Cv_cert.Check.Invalid reason ->
+      Printf.printf "INVALID: %s\n" reason;
+      1)
+
+let check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CERT" ~doc:"Certificate file to replay.")
+  in
+  let max_split_nodes =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-split-nodes" ] ~docv:"N"
+          ~doc:
+            "Largest bisection / branch tree the checker walks before \
+             rejecting the certificate as oversized (default 200000).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Replay a proof certificate with the independent trusted checker: \
+          outward-rounded interval arithmetic only, no solver code. Exits 0 \
+          on VALID, nonzero on INVALID or malformed input.")
+    Term.(const check_cert $ verbose_arg $ file $ max_split_nodes)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -1532,5 +1775,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ generate_cmd; describe_cmd; verify_cmd; batch_cmd; serve_cmd;
-            svudc_cmd; svbtv_cmd; chaos_cmd; range_cmd; diff_cmd;
+            svudc_cmd; svbtv_cmd; check_cmd; chaos_cmd; range_cmd; diff_cmd;
             suspects_cmd; simulate_cmd; import_nnet_cmd; export_nnet_cmd ]))

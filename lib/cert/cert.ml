@@ -1,0 +1,373 @@
+(* Certificate types and JSON codec. The codec is deliberately dumb and
+   total: every constructor has a "kind" tag, decoding validates the tag
+   set, and all numeric payloads round-trip through Cv_util.Json's
+   %.17g printing (exact for finite floats; non-finite bounds encode as
+   the writer's "inf"/"-inf"/"nan" strings). *)
+
+module Json = Cv_util.Json
+module Box = Cv_interval.Box
+
+let jerr fmt = Format.kasprintf (fun s -> raise (Json.Error s)) fmt
+
+type lp_system = {
+  lp_a : float array array;
+  lp_b : float array;
+  lp_c : float array;
+  lp_xu : float array;
+}
+
+type lp_witness = Farkas of float array | Dual_bound of float array
+
+type milp_binary = { bin_ub_row : int; bin_lb_row : int; bin_shift : float }
+
+type milp_tree =
+  | Milp_leaf of lp_witness
+  | Milp_branch of { bin : int; zero : milp_tree; one : milp_tree }
+
+type milp_goal = {
+  mg_lp : lp_system;
+  mg_binaries : milp_binary array;
+  mg_target : float;
+  mg_output : int;
+  mg_side : [ `Upper | `Lower ];
+  mg_sign : float;
+  mg_shift : float;
+  mg_const : float;
+  mg_tree : milp_tree;
+}
+
+type split_tree =
+  | Split_leaf of Cv_interval.Box.t array
+  | Split_node of {
+      axis : int;
+      at : float;
+      below : split_tree;
+      above : split_tree;
+    }
+
+type proof =
+  | P_chain of Cv_interval.Box.t array
+  | P_split of split_tree
+  | P_lipschitz of {
+      old_din : Cv_interval.Box.t;
+      chain : Cv_interval.Box.t array;
+      lip : float;
+      kappa : float;
+    }
+  | P_milp_goals of milp_goal list
+  | P_counterexample of float array
+  | P_farkas of float array
+  | P_dual of { dual : float array; bound : float }
+  | P_milp_tree of milp_tree
+  | P_reuse of {
+      route : string;
+      proposition : string;
+      slack : float;
+      inner : proof;
+    }
+
+type claim =
+  | Network_safe of {
+      net : Cv_nn.Network.t;
+      din : Cv_interval.Box.t;
+      dout : Cv_interval.Box.t;
+    }
+  | Network_unsafe of {
+      net : Cv_nn.Network.t;
+      din : Cv_interval.Box.t;
+      dout : Cv_interval.Box.t;
+    }
+  | Lp_infeasible of lp_system
+  | Lp_min_at_least of lp_system * float
+  | Milp_min_at_least of {
+      lp : lp_system;
+      binaries : milp_binary array;
+      target : float;
+    }
+
+type t = {
+  mode : string;
+  solver : string;
+  fingerprint : string;
+  claim : claim;
+  proof : proof;
+}
+
+let schema = "contiver-cert-v1"
+
+let envelope_format = "certificate"
+
+let proof_kind = function
+  | P_chain _ -> "chain"
+  | P_split _ -> "split"
+  | P_lipschitz _ -> "lipschitz"
+  | P_milp_goals _ -> "milp-goals"
+  | P_counterexample _ -> "counterexample"
+  | P_farkas _ -> "farkas"
+  | P_dual _ -> "dual"
+  | P_milp_tree _ -> "milp-tree"
+  | P_reuse _ -> "reuse"
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lp_system_to_json s =
+  Json.Obj
+    [ ("a", Json.List (Array.to_list s.lp_a |> List.map Json.of_float_array));
+      ("b", Json.of_float_array s.lp_b);
+      ("c", Json.of_float_array s.lp_c);
+      ("xu", Json.of_float_array s.lp_xu) ]
+
+let witness_to_json = function
+  | Farkas z -> Json.Obj [ ("farkas", Json.of_float_array z) ]
+  | Dual_bound y -> Json.Obj [ ("dual", Json.of_float_array y) ]
+
+let binary_to_json b =
+  Json.Obj
+    [ ("ub_row", Json.of_int b.bin_ub_row);
+      ("lb_row", Json.of_int b.bin_lb_row);
+      ("shift", Json.Num b.bin_shift) ]
+
+let rec milp_tree_to_json = function
+  | Milp_leaf w -> witness_to_json w
+  | Milp_branch { bin; zero; one } ->
+    Json.Obj
+      [ ("bin", Json.of_int bin);
+        ("zero", milp_tree_to_json zero);
+        ("one", milp_tree_to_json one) ]
+
+let boxes_to_json boxes =
+  Json.List (Array.to_list boxes |> List.map Box.to_json)
+
+let rec split_tree_to_json = function
+  | Split_leaf chain -> Json.Obj [ ("chain", boxes_to_json chain) ]
+  | Split_node { axis; at; below; above } ->
+    Json.Obj
+      [ ("axis", Json.of_int axis);
+        ("at", Json.Num at);
+        ("below", split_tree_to_json below);
+        ("above", split_tree_to_json above) ]
+
+let goal_to_json g =
+  Json.Obj
+    [ ("lp", lp_system_to_json g.mg_lp);
+      ( "binaries",
+        Json.List (Array.to_list g.mg_binaries |> List.map binary_to_json) );
+      ("target", Json.Num g.mg_target);
+      ("output", Json.of_int g.mg_output);
+      ("side", Json.Str (match g.mg_side with `Upper -> "upper" | `Lower -> "lower"));
+      ("sign", Json.Num g.mg_sign);
+      ("shift", Json.Num g.mg_shift);
+      ("const", Json.Num g.mg_const);
+      ("tree", milp_tree_to_json g.mg_tree) ]
+
+let rec proof_to_json = function
+  | P_chain boxes ->
+    Json.Obj [ ("kind", Json.Str "chain"); ("boxes", boxes_to_json boxes) ]
+  | P_split tree ->
+    Json.Obj [ ("kind", Json.Str "split"); ("tree", split_tree_to_json tree) ]
+  | P_lipschitz { old_din; chain; lip; kappa } ->
+    Json.Obj
+      [ ("kind", Json.Str "lipschitz");
+        ("old_din", Box.to_json old_din);
+        ("chain", boxes_to_json chain);
+        ("lip", Json.Num lip);
+        ("kappa", Json.Num kappa) ]
+  | P_milp_goals goals ->
+    Json.Obj
+      [ ("kind", Json.Str "milp-goals");
+        ("goals", Json.List (List.map goal_to_json goals)) ]
+  | P_counterexample x ->
+    Json.Obj [ ("kind", Json.Str "counterexample"); ("x", Json.of_float_array x) ]
+  | P_farkas z -> Json.Obj [ ("kind", Json.Str "farkas"); ("z", Json.of_float_array z) ]
+  | P_dual { dual; bound } ->
+    Json.Obj
+      [ ("kind", Json.Str "dual");
+        ("y", Json.of_float_array dual);
+        ("bound", Json.Num bound) ]
+  | P_milp_tree tree ->
+    Json.Obj [ ("kind", Json.Str "milp-tree"); ("tree", milp_tree_to_json tree) ]
+  | P_reuse { route; proposition; slack; inner } ->
+    Json.Obj
+      [ ("kind", Json.Str "reuse");
+        ("route", Json.Str route);
+        ("proposition", Json.Str proposition);
+        ("slack", Json.Num slack);
+        ("inner", proof_to_json inner) ]
+
+let claim_to_json = function
+  | Network_safe { net; din; dout } ->
+    Json.Obj
+      [ ("kind", Json.Str "network-safe");
+        ("net", Cv_nn.Network.to_json net);
+        ("din", Box.to_json din);
+        ("dout", Box.to_json dout) ]
+  | Network_unsafe { net; din; dout } ->
+    Json.Obj
+      [ ("kind", Json.Str "network-unsafe");
+        ("net", Cv_nn.Network.to_json net);
+        ("din", Box.to_json din);
+        ("dout", Box.to_json dout) ]
+  | Lp_infeasible lp ->
+    Json.Obj [ ("kind", Json.Str "lp-infeasible"); ("lp", lp_system_to_json lp) ]
+  | Lp_min_at_least (lp, target) ->
+    Json.Obj
+      [ ("kind", Json.Str "lp-min-at-least");
+        ("lp", lp_system_to_json lp);
+        ("target", Json.Num target) ]
+  | Milp_min_at_least { lp; binaries; target } ->
+    Json.Obj
+      [ ("kind", Json.Str "milp-min-at-least");
+        ("lp", lp_system_to_json lp);
+        ("binaries", Json.List (Array.to_list binaries |> List.map binary_to_json));
+        ("target", Json.Num target) ]
+
+let to_json t =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("mode", Json.Str t.mode);
+      ("solver", Json.Str t.solver);
+      ("fingerprint", Json.Str t.fingerprint);
+      ("claim", claim_to_json t.claim);
+      ("proof", proof_to_json t.proof) ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lp_system_of_json j =
+  let lp_a =
+    Json.member "a" j |> Json.to_list |> List.map Json.float_array
+    |> Array.of_list
+  in
+  let lp_b = Json.member "b" j |> Json.float_array in
+  let lp_c = Json.member "c" j |> Json.float_array in
+  let lp_xu = Json.member "xu" j |> Json.float_array in
+  let m = Array.length lp_b and n = Array.length lp_c in
+  if Array.length lp_a <> m then jerr "lp system: %d rows, %d rhs" (Array.length lp_a) m;
+  if Array.length lp_xu <> n then
+    jerr "lp system: %d column bounds, %d columns" (Array.length lp_xu) n;
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then jerr "lp system: ragged row")
+    lp_a;
+  { lp_a; lp_b; lp_c; lp_xu }
+
+let witness_of_json j =
+  match Json.member_opt "farkas" j with
+  | Some z -> Farkas (Json.float_array z)
+  | None -> Dual_bound (Json.member "dual" j |> Json.float_array)
+
+let binary_of_json j =
+  { bin_ub_row = Json.member "ub_row" j |> Json.to_int;
+    bin_lb_row = Json.member "lb_row" j |> Json.to_int;
+    bin_shift = Json.member "shift" j |> Json.to_float }
+
+let rec milp_tree_of_json j =
+  match Json.member_opt "bin" j with
+  | Some b ->
+    Milp_branch
+      { bin = Json.to_int b;
+        zero = Json.member "zero" j |> milp_tree_of_json;
+        one = Json.member "one" j |> milp_tree_of_json }
+  | None -> Milp_leaf (witness_of_json j)
+
+let boxes_of_json j =
+  Json.to_list j |> List.map Box.of_json |> Array.of_list
+
+let rec split_tree_of_json j =
+  match Json.member_opt "chain" j with
+  | Some c -> Split_leaf (boxes_of_json c)
+  | None ->
+    Split_node
+      { axis = Json.member "axis" j |> Json.to_int;
+        at = Json.member "at" j |> Json.to_float;
+        below = Json.member "below" j |> split_tree_of_json;
+        above = Json.member "above" j |> split_tree_of_json }
+
+let goal_of_json j =
+  { mg_lp = Json.member "lp" j |> lp_system_of_json;
+    mg_binaries =
+      Json.member "binaries" j |> Json.to_list |> List.map binary_of_json
+      |> Array.of_list;
+    mg_target = Json.member "target" j |> Json.to_float;
+    mg_output = Json.member "output" j |> Json.to_int;
+    mg_side =
+      (match Json.member "side" j |> Json.to_str with
+      | "upper" -> `Upper
+      | "lower" -> `Lower
+      | s -> jerr "unknown goal side %S" s);
+    mg_sign = Json.member "sign" j |> Json.to_float;
+    mg_shift = Json.member "shift" j |> Json.to_float;
+    mg_const = Json.member "const" j |> Json.to_float;
+    mg_tree = Json.member "tree" j |> milp_tree_of_json }
+
+let rec proof_of_json j =
+  match Json.member "kind" j |> Json.to_str with
+  | "chain" -> P_chain (Json.member "boxes" j |> boxes_of_json)
+  | "split" -> P_split (Json.member "tree" j |> split_tree_of_json)
+  | "lipschitz" ->
+    P_lipschitz
+      { old_din = Json.member "old_din" j |> Box.of_json;
+        chain = Json.member "chain" j |> boxes_of_json;
+        lip = Json.member "lip" j |> Json.to_float;
+        kappa = Json.member "kappa" j |> Json.to_float }
+  | "milp-goals" ->
+    P_milp_goals (Json.member "goals" j |> Json.to_list |> List.map goal_of_json)
+  | "counterexample" -> P_counterexample (Json.member "x" j |> Json.float_array)
+  | "farkas" -> P_farkas (Json.member "z" j |> Json.float_array)
+  | "dual" ->
+    P_dual
+      { dual = Json.member "y" j |> Json.float_array;
+        bound = Json.member "bound" j |> Json.to_float }
+  | "milp-tree" -> P_milp_tree (Json.member "tree" j |> milp_tree_of_json)
+  | "reuse" ->
+    P_reuse
+      { route = Json.member "route" j |> Json.to_str;
+        proposition = Json.member "proposition" j |> Json.to_str;
+        slack = Json.member "slack" j |> Json.to_float;
+        inner = Json.member "inner" j |> proof_of_json }
+  | k -> jerr "unknown proof kind %S" k
+
+let claim_of_json j =
+  match Json.member "kind" j |> Json.to_str with
+  | "network-safe" ->
+    Network_safe
+      { net = Json.member "net" j |> Cv_nn.Network.of_json;
+        din = Json.member "din" j |> Box.of_json;
+        dout = Json.member "dout" j |> Box.of_json }
+  | "network-unsafe" ->
+    Network_unsafe
+      { net = Json.member "net" j |> Cv_nn.Network.of_json;
+        din = Json.member "din" j |> Box.of_json;
+        dout = Json.member "dout" j |> Box.of_json }
+  | "lp-infeasible" -> Lp_infeasible (Json.member "lp" j |> lp_system_of_json)
+  | "lp-min-at-least" ->
+    Lp_min_at_least
+      ( Json.member "lp" j |> lp_system_of_json,
+        Json.member "target" j |> Json.to_float )
+  | "milp-min-at-least" ->
+    Milp_min_at_least
+      { lp = Json.member "lp" j |> lp_system_of_json;
+        binaries =
+          Json.member "binaries" j |> Json.to_list |> List.map binary_of_json
+          |> Array.of_list;
+        target = Json.member "target" j |> Json.to_float }
+  | k -> jerr "unknown claim kind %S" k
+
+let of_json j =
+  (match Json.member "schema" j |> Json.to_str with
+  | s when s = schema -> ()
+  | s -> jerr "certificate schema %S (expected %S)" s schema);
+  { mode = Json.member "mode" j |> Json.to_str;
+    solver = Json.member "solver" j |> Json.to_str;
+    fingerprint = Json.member "fingerprint" j |> Json.to_str;
+    claim = Json.member "claim" j |> claim_of_json;
+    proof = Json.member "proof" j |> proof_of_json }
+
+let of_json_result j =
+  match of_json j with
+  | t -> Ok t
+  | exception Json.Error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

@@ -1,0 +1,147 @@
+(** Typed proof certificates and their JSON codec.
+
+    A certificate pairs a {e claim} (what is being asserted: a network
+    safety property, an LP infeasibility, an LP or MILP objective bound)
+    with a {e proof} the trusted checker ({!Check}) can replay using
+    only outward-rounded interval arithmetic. Certificates are
+    self-contained — the network and the LP system travel inside the
+    document — so [contiver check cert.json] needs no other input.
+
+    Serialisation goes through {!Cv_util.Json} inside the
+    {!Cv_artifacts.Artifacts.save_doc} checksummed envelope (format
+    {!envelope_format}). *)
+
+(** A standard-form LP system [min c·x  s.t.  A x = b, 0 ≤ x ≤ xu]
+    carried verbatim inside LP-level certificates. [lp_xu] gives a
+    finite upper bound per column where one is known ([infinity]
+    otherwise); the checker uses it to compensate near-binding reduced
+    costs à la Neumaier–Shcherbina, since outward rounding alone can
+    never validate an exactly-binding dual inequality. *)
+type lp_system = {
+  lp_a : float array array;  (** m rows of length n *)
+  lp_b : float array;
+  lp_c : float array;
+  lp_xu : float array;  (** length n; [infinity] = unbounded column *)
+}
+
+(** One LP witness at a branch-tree leaf. Both obligations are checked
+    with Neumaier–Shcherbina compensation against [lp_xu]: a residual
+    of the wrong sign is charged its worst case over the column's
+    [0, xu] range instead of failing outright. *)
+type lp_witness =
+  | Farkas of float array
+      (** [z] with [b·z > Σⱼ max(0, (Aᵀz)ⱼ)·xuⱼ]: no [0 ≤ x ≤ xu]
+          satisfies [Ax = b] *)
+  | Dual_bound of float array
+      (** [y]: every feasible point has
+          [c·x ≥ b·y + Σⱼ min(0, (c − Aᵀy)ⱼ)·xuⱼ] *)
+
+(** A binary variable of a MILP, identified by its pair of bound rows in
+    the standard form (the PR 4 re-bounding seam): fixing the binary to
+    [v ∈ {0,1}] rewrites both rows' right-hand sides to [v - shift]. *)
+type milp_binary = { bin_ub_row : int; bin_lb_row : int; bin_shift : float }
+
+(** Branch tree over binary fixings; every leaf carries an LP witness
+    for the node's relaxation, which also covers all completions of the
+    unfixed binaries. *)
+type milp_tree =
+  | Milp_leaf of lp_witness
+  | Milp_branch of { bin : int; zero : milp_tree; one : milp_tree }
+
+(** How a standard-form MILP bound maps back to one network output bound
+    (the lowering frame recorded by emission; see DESIGN.md for the
+    trust boundary of this binding). *)
+type milp_goal = {
+  mg_lp : lp_system;
+  mg_binaries : milp_binary array;
+  mg_target : float;  (** proven standard-form objective lower bound *)
+  mg_output : int;
+  mg_side : [ `Upper | `Lower ];
+  mg_sign : float;  (** lowering [c_sign] *)
+  mg_shift : float;  (** lowering [c_const_shift] *)
+  mg_const : float;  (** affine constant of the encoded output *)
+  mg_tree : milp_tree;
+}
+
+(** Input-domain bisection tree: each node splits its box at [at] along
+    [axis]; leaves carry the per-layer reach chain for their sub-box. *)
+type split_tree =
+  | Split_leaf of Cv_interval.Box.t array
+  | Split_node of {
+      axis : int;
+      at : float;
+      below : split_tree;
+      above : split_tree;
+    }
+
+type proof =
+  | P_chain of Cv_interval.Box.t array
+      (** per-layer output boxes [S_1..S_n] with inclusion obligations *)
+  | P_split of split_tree
+  | P_lipschitz of {
+      old_din : Cv_interval.Box.t;
+      chain : Cv_interval.Box.t array;
+      lip : float;  (** claimed constant — advisory; checker recomputes *)
+      kappa : float;  (** claimed enlargement distance — advisory *)
+    }
+  | P_milp_goals of milp_goal list
+  | P_counterexample of float array
+  | P_farkas of float array
+  | P_dual of { dual : float array; bound : float }
+  | P_milp_tree of milp_tree
+  | P_reuse of {
+      route : string;  (** decisive attempt, e.g. "prop3" *)
+      proposition : string;  (** which of Propositions 1–6 fired *)
+      slack : float;  (** numeric slack of the sufficient condition *)
+      inner : proof;
+    }
+
+type claim =
+  | Network_safe of {
+      net : Cv_nn.Network.t;
+      din : Cv_interval.Box.t;
+      dout : Cv_interval.Box.t;
+    }
+  | Network_unsafe of {
+      net : Cv_nn.Network.t;
+      din : Cv_interval.Box.t;
+      dout : Cv_interval.Box.t;
+    }
+  | Lp_infeasible of lp_system
+  | Lp_min_at_least of lp_system * float
+  | Milp_min_at_least of {
+      lp : lp_system;
+      binaries : milp_binary array;
+      target : float;
+    }
+
+type t = {
+  mode : string;  (** "verify" | "svudc" | "svbtv" | "batch:<id>" | … *)
+  solver : string;  (** engine provenance, free-form *)
+  fingerprint : string;
+      (** {!Cv_artifacts.Artifacts.fingerprint} of the claimed network
+          (v2 scheme) — binding metadata, validated by the CLI *)
+  claim : claim;
+  proof : proof;
+}
+
+(** [proof_kind p] is the stable kind label of the outermost proof node
+    ("chain", "split", "lipschitz", "milp-goals", "counterexample",
+    "farkas", "dual", "milp-tree", "reuse"). *)
+val proof_kind : proof -> string
+
+(** [schema] is the JSON schema tag ("contiver-cert-v1"). *)
+val schema : string
+
+(** [envelope_format] is the {!Cv_artifacts.Artifacts.save_doc} format
+    name for certificate documents. *)
+val envelope_format : string
+
+val to_json : t -> Cv_util.Json.t
+
+(** [of_json j] decodes a certificate; raises {!Cv_util.Json.Error} on
+    malformed documents. *)
+val of_json : Cv_util.Json.t -> t
+
+(** [of_json_result j] is {!of_json} with a typed error. *)
+val of_json_result : Cv_util.Json.t -> (t, string) result

@@ -1,0 +1,50 @@
+(** The trusted certificate checker.
+
+    [check] replays a certificate's proof against its claim using only
+    {!Ival}'s outward-rounded interval arithmetic — no simplex, MILP or
+    abstract-domain kernel code is reachable from this module. Every
+    obligation is phrased positively, so NaN poisoning, dimension
+    mismatches or any unexpected exception reject the certificate
+    instead of accepting it. *)
+
+type verdict = Valid | Invalid of string
+
+(** [verdict_string v] is ["valid"] or ["invalid: <reason>"]. *)
+val verdict_string : verdict -> string
+
+(** [check cert] replays the proof. [max_split_nodes] bounds the size of
+    bisection and MILP branch trees the checker is willing to walk
+    (default 200_000) — oversized certificates are rejected, never
+    trusted. *)
+val check : ?max_split_nodes:int -> Cert.t -> verdict
+
+(** [check_chain net ~din ~dout chain] — the chain obligation alone:
+    outward image of [din] lies in [chain.(0)], each outward layer image
+    of [chain.(i-1)] lies in [chain.(i)], and the final box lies in
+    [dout]. Exposed for emission-side self-validation and tests. *)
+val check_chain :
+  Cv_nn.Network.t ->
+  din:Cv_interval.Box.t ->
+  dout:Cv_interval.Box.t ->
+  Cv_interval.Box.t array ->
+  verdict
+
+(** [lipschitz_up net] is the checker's own upward-rounded global
+    Lipschitz bound (∞-norm operator-norm product across layers).
+    Raises [Invalid_argument] on activations without a sound factor.
+    Exposed so emission records exactly what the checker will
+    recompute. *)
+val lipschitz_up : Cv_nn.Network.t -> float
+
+(** [kappa_up ~old_din ~din] is the upward-rounded bound on how far
+    [din] sticks out of [old_din] per axis (the paper's κ in ∞-norm).
+    Raises [Invalid_argument] on a dimension mismatch. *)
+val kappa_up : old_din:Cv_interval.Box.t -> din:Cv_interval.Box.t -> float
+
+(** [chain_slack net ~dout chain] is the smallest outward-rounded margin
+    between the final chain box and a finite bound of [dout] (+inf when
+    every bound is infinite) — the numeric slack recorded in reuse
+    certificates. Negative when the chain does not prove the
+    property. *)
+val chain_slack :
+  dout:Cv_interval.Box.t -> Cv_interval.Box.t array -> float

@@ -1,0 +1,105 @@
+module Box = Cv_interval.Box
+module Interval = Cv_interval.Interval
+
+exception Give_up
+
+let chain_ivals net din =
+  match Ival.eval_network net (Ival.of_box din) with
+  | Some chain -> chain
+  | None -> raise Give_up
+
+let chain_boxes net din = Array.map Ival.to_box (chain_ivals net din)
+
+let final_fits (chain : Ival.t array array) dout =
+  let final = chain.(Array.length chain - 1) in
+  Array.length final = Box.dim dout
+  && Array.for_all
+       (fun (i, (v : Ival.t)) ->
+         let iv = Box.get dout i in
+         v.lo >= Interval.lo iv && v.hi <= Interval.hi iv)
+       (Array.mapi (fun i v -> (i, v)) final)
+
+(* Self-validation gate: a candidate the trusted checker rejects is
+   never emitted. *)
+let validated cert =
+  match Check.check cert with Check.Valid -> Some cert | Invalid _ -> None
+
+let make ~mode ~solver ~fingerprint claim proof =
+  validated { Cert.mode; solver; fingerprint; claim; proof }
+
+let widest lo hi =
+  let best = ref 0 and w = ref Float.neg_infinity in
+  Array.iteri
+    (fun j l ->
+      let wj = hi.(j) -. l in
+      if wj > !w then begin
+        w := wj;
+        best := j
+      end)
+    lo;
+  !best
+
+let safe_proof ?(max_depth = 12) ?(max_leaves = 512) net ~din ~dout =
+  if Array.length (Cv_nn.Network.layers net) = 0 then None
+  else begin
+    let leaves = ref 0 in
+    let rec build lo hi depth =
+      let sub = Box.of_bounds lo hi in
+      let chain = chain_ivals net sub in
+      if final_fits chain dout then begin
+        incr leaves;
+        if !leaves > max_leaves then raise Give_up;
+        Cert.Split_leaf (Array.map Ival.to_box chain)
+      end
+      else if depth <= 0 then raise Give_up
+      else begin
+        let axis = widest lo hi in
+        let at = (lo.(axis) /. 2.) +. (hi.(axis) /. 2.) in
+        if not (Float.is_finite at && at > lo.(axis) && at < hi.(axis)) then
+          raise Give_up;
+        let hi' = Array.copy hi in
+        hi'.(axis) <- at;
+        let below = build lo hi' (depth - 1) in
+        let lo' = Array.copy lo in
+        lo'.(axis) <- at;
+        let above = build lo' hi (depth - 1) in
+        Cert.Split_node { axis; at; below; above }
+      end
+    in
+    match build (Box.lower din) (Box.upper din) max_depth with
+    | Split_leaf chain -> Some (Cert.P_chain chain)
+    | tree -> Some (Cert.P_split tree)
+    | exception Give_up -> None
+  end
+
+let safe_cert ?max_depth ?max_leaves ~mode ~solver ~fingerprint net ~din ~dout
+    =
+  match safe_proof ?max_depth ?max_leaves net ~din ~dout with
+  | Some proof ->
+    make ~mode ~solver ~fingerprint (Cert.Network_safe { net; din; dout })
+      proof
+  | None -> None
+
+let lipschitz_cert ~mode ~solver ~fingerprint net ~old_din ~din ~dout =
+  match
+    let chain = chain_boxes net old_din in
+    let lip = Check.lipschitz_up net in
+    let kappa = Check.kappa_up ~old_din ~din in
+    (chain, lip, kappa)
+  with
+  | chain, lip, kappa ->
+    make ~mode ~solver ~fingerprint (Cert.Network_safe { net; din; dout })
+      (Cert.P_lipschitz { old_din; chain; lip; kappa })
+  | exception (Give_up | Invalid_argument _) -> None
+
+let unsafe_cert ~mode ~solver ~fingerprint net ~din ~dout ~x =
+  make ~mode ~solver ~fingerprint
+    (Cert.Network_unsafe { net; din; dout })
+    (Cert.P_counterexample (Array.copy x))
+
+let reuse_cert ~route ~proposition ~slack (cert : Cert.t) =
+  let slack = if Float.is_finite slack then Float.max 0. slack else 0. in
+  validated
+    { cert with
+      proof = Cert.P_reuse { route; proposition; slack; inner = cert.proof }
+    }

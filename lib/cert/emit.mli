@@ -1,0 +1,62 @@
+(** Certificate emission for the interval-checkable proof paths.
+
+    Emission is {e untrusted}: it re-derives a proof in the checker's
+    own outward arithmetic (a reach chain, a bisection split tree, a
+    Lipschitz enlargement argument or a counterexample trace) and then
+    replays it through {!Check} before handing it out — a candidate the
+    checker rejects is never emitted ([None] instead). MILP-backed
+    certificates are built by [Cv_lp.Lp_cert] and [Cv_milp.Cert_bridge]
+    on top of this module's claims. *)
+
+(** [chain_boxes net din] is the outward-rounded per-layer reach chain
+    [S_1..S_n] of [din]. *)
+val chain_boxes :
+  Cv_nn.Network.t -> Cv_interval.Box.t -> Cv_interval.Box.t array
+
+(** [safe_cert ... net ~din ~dout] proves [f(din) ⊆ dout] with a plain
+    chain when it suffices, otherwise with a bisection split tree
+    ([max_depth] per branch, [max_leaves] total, defaults 12 and 512).
+    [None] when the budget runs out or self-validation fails. *)
+val safe_cert :
+  ?max_depth:int ->
+  ?max_leaves:int ->
+  mode:string ->
+  solver:string ->
+  fingerprint:string ->
+  Cv_nn.Network.t ->
+  din:Cv_interval.Box.t ->
+  dout:Cv_interval.Box.t ->
+  Cert.t option
+
+(** [lipschitz_cert ... net ~old_din ~din ~dout] proves safety of the
+    enlarged [din] from the chain over [old_din] plus the global
+    Lipschitz product — the certificate form of Proposition 3. *)
+val lipschitz_cert :
+  mode:string ->
+  solver:string ->
+  fingerprint:string ->
+  Cv_nn.Network.t ->
+  old_din:Cv_interval.Box.t ->
+  din:Cv_interval.Box.t ->
+  dout:Cv_interval.Box.t ->
+  Cert.t option
+
+(** [unsafe_cert ... net ~din ~dout ~x] certifies a violation: [x ∈ din]
+    whose outward output enclosure lies strictly outside a [dout]
+    bound. *)
+val unsafe_cert :
+  mode:string ->
+  solver:string ->
+  fingerprint:string ->
+  Cv_nn.Network.t ->
+  din:Cv_interval.Box.t ->
+  dout:Cv_interval.Box.t ->
+  x:float array ->
+  Cert.t option
+
+(** [reuse_cert ~route ~proposition ~slack cert] wraps [cert]'s proof in
+    a {!Cert.P_reuse} frame recording which decision-procedure route and
+    paper proposition fired with how much numeric slack (clamped to be
+    finite and non-negative). Self-validated like the others. *)
+val reuse_cert :
+  route:string -> proposition:string -> slack:float -> Cert.t -> Cert.t option

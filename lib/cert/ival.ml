@@ -1,0 +1,132 @@
+(* Outward-rounded interval arithmetic for the trusted checker. See the
+   .mli for the rounding argument; the load-bearing facts are that
+   [Float.succ (a *. b)] upper-bounds the true product (round-to-nearest
+   error is under one ulp, and both overflow directions saturate on the
+   safe side) and that NaN fails every positively-phrased comparison. *)
+
+type t = { lo : float; hi : float }
+
+let up = Float.succ
+
+let dn = Float.pred
+
+let of_interval iv =
+  { lo = Cv_interval.Interval.lo iv; hi = Cv_interval.Interval.hi iv }
+
+let of_box b = Array.map of_interval b
+
+let to_box ivs =
+  Cv_interval.Box.make
+    (Array.map (fun v -> Cv_interval.Interval.make v.lo v.hi) ivs)
+
+let point x = { lo = x; hi = x }
+
+(* Directed dot products over point vectors (LP witness checking).
+   Skipping zero coefficients keeps [0 * inf = nan] out of otherwise
+   well-defined sums. *)
+let dot_up a z =
+  let n = Array.length a in
+  if Array.length z <> n then Float.nan
+  else begin
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      if a.(i) <> 0. then s := up (!s +. up (a.(i) *. z.(i)))
+    done;
+    !s
+  end
+
+let dot_dn a z =
+  let n = Array.length a in
+  if Array.length z <> n then Float.nan
+  else begin
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      if a.(i) <> 0. then s := dn (!s +. dn (a.(i) *. z.(i)))
+    done;
+    !s
+  end
+
+let affine w row bias xs =
+  let n = Array.length xs in
+  let lo = ref bias and hi = ref bias in
+  for j = 0 to n - 1 do
+    let a = Cv_linalg.Mat.get w row j in
+    if a <> 0. then begin
+      let x = xs.(j) in
+      let tl = if a >= 0. then dn (a *. x.lo) else dn (a *. x.hi) in
+      let th = if a >= 0. then up (a *. x.hi) else up (a *. x.lo) in
+      lo := dn (!lo +. tl);
+      hi := up (!hi +. th)
+    end
+  done;
+  { lo = !lo; hi = !hi }
+
+(* libm's sigmoid/tanh building blocks are faithfully rounded but not
+   correctly rounded; a 4-ulp outward slop plus clamping to the
+   mathematical range absorbs that (documented in DESIGN.md). *)
+let slop_up x = up (up (up (up x)))
+
+let slop_dn x = dn (dn (dn (dn x)))
+
+let sigmoid x = 1. /. (1. +. exp (-.x))
+
+let act_image (act : Cv_nn.Activation.t) v =
+  match act with
+  | Identity -> Some v
+  | Relu -> Some { lo = Float.max 0. v.lo; hi = Float.max 0. v.hi }
+  | Leaky_relu a when a >= 0. ->
+    let f_dn x = if x >= 0. then x else dn (a *. x) in
+    let f_up x = if x >= 0. then x else up (a *. x) in
+    Some { lo = f_dn v.lo; hi = f_up v.hi }
+  | Leaky_relu _ -> None
+  | Sigmoid ->
+    Some
+      { lo = Float.max 0. (slop_dn (sigmoid v.lo));
+        hi = Float.min 1. (slop_up (sigmoid v.hi)) }
+  | Tanh ->
+    Some
+      { lo = Float.max (-1.) (slop_dn (tanh v.lo));
+        hi = Float.min 1. (slop_up (tanh v.hi)) }
+
+let act_factor (act : Cv_nn.Activation.t) =
+  match act with
+  | Identity | Relu | Tanh -> Some 1.
+  | Sigmoid -> Some 0.25
+  | Leaky_relu a when a >= 0. -> Some (Float.max 1. a)
+  | Leaky_relu _ -> None
+
+let layer_image (layer : Cv_nn.Layer.t) xs =
+  let m = Cv_linalg.Mat.rows layer.weights in
+  if Cv_linalg.Mat.cols layer.weights <> Array.length xs then None
+  else begin
+    let out = Array.make m (point 0.) in
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      let pre = affine layer.weights i layer.bias.(i) xs in
+      match act_image layer.act pre with
+      | Some v -> out.(i) <- v
+      | None -> ok := false
+    done;
+    if !ok then Some out else None
+  end
+
+let eval_network net xs =
+  let layers = Cv_nn.Network.layers net in
+  let n = Array.length layers in
+  let chain = Array.make n [||] in
+  let cur = ref xs and ok = ref true in
+  for i = 0 to n - 1 do
+    if !ok then
+      match layer_image layers.(i) !cur with
+      | Some v ->
+        chain.(i) <- v;
+        cur := v
+      | None -> ok := false
+  done;
+  if !ok then Some chain else None
+
+let subset a b =
+  (* NaN anywhere must fail: phrase both sides positively. *)
+  a.lo >= b.lo && a.hi <= b.hi
+
+let all_finite a = Array.for_all (fun x -> Float.is_finite x) a

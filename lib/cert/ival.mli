@@ -1,0 +1,72 @@
+(** Outward-rounded interval arithmetic — the only numerics the trusted
+    certificate checker is allowed to use.
+
+    OCaml exposes no FP rounding-mode control, so every elementary
+    round-to-nearest result is nudged outward with [Float.succ] /
+    [Float.pred]: the nearest result is within half an ulp of the true
+    value, so its successor is a sound upper bound and its predecessor a
+    sound lower bound. Overflow saturates soundly ([succ] of [+inf] is
+    [+inf]; [succ] of a [-inf] overflow is [-max_float], which still
+    upper-bounds the true finite value). NaN propagates and fails every
+    positively-phrased obligation, so a poisoned computation can only
+    make the checker reject.
+
+    Sigmoid/tanh go through libm, which is not correctly rounded; their
+    images get a 4-ulp outward slop (see DESIGN.md for the assumption
+    this encodes). *)
+
+type t = { lo : float; hi : float }
+
+(** [up x] / [dn x] — one-ulp outward nudges. *)
+val up : float -> float
+
+val dn : float -> float
+
+(** [of_interval iv] converts a {!Cv_interval.Interval.t} bound pair. *)
+val of_interval : Cv_interval.Interval.t -> t
+
+(** [of_box b] converts a box to an interval-vector. *)
+val of_box : Cv_interval.Box.t -> t array
+
+(** [to_box ivs] rebuilds a box; raises [Invalid_argument] on NaN or
+    inverted bounds (emission-side only — the checker never builds
+    boxes). *)
+val to_box : t array -> Cv_interval.Box.t
+
+(** [point x] is the degenerate interval at [x]. *)
+val point : float -> t
+
+(** [dot_up a z] is a sound upper bound on [Σ a.(i)·z.(i)]; zero
+    coefficients are skipped so they never poison infinite operands. *)
+val dot_up : float array -> float array -> float
+
+(** [dot_dn a z] is the matching lower bound. *)
+val dot_dn : float array -> float array -> float
+
+(** [affine w row bias xs] is a sound enclosure of
+    [Σ_j w.(row,j)·xs.(j) + bias] over the interval vector [xs]. *)
+val affine : Cv_linalg.Mat.t -> int -> float -> t array -> t
+
+(** [act_image act v] is a sound enclosure of the activation image of
+    [v]; [None] for activation parameters the checker cannot bound
+    soundly (e.g. a negative leaky slope). *)
+val act_image : Cv_nn.Activation.t -> t -> t option
+
+(** [act_factor act] is a sound upper bound on the activation's
+    Lipschitz constant; [None] when unsupported. *)
+val act_factor : Cv_nn.Activation.t -> float option
+
+(** [layer_image layer xs] is a sound enclosure of the layer image
+    [act (W xs + b)]; [None] when the activation is unsupported. *)
+val layer_image : Cv_nn.Layer.t -> t array -> t array option
+
+(** [eval_network net xs] carries an interval vector through every
+    layer, returning all intermediate enclosures ([S_1..S_n]); [None]
+    when any activation is unsupported. *)
+val eval_network : Cv_nn.Network.t -> t array -> t array array option
+
+(** [subset a b] — [a ⊆ b], NaN-rejecting (false on any NaN). *)
+val subset : t -> t -> bool
+
+(** [all_finite a] — every entry finite (witness hygiene). *)
+val all_finite : float array -> bool

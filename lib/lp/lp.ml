@@ -126,6 +126,10 @@ type compiled = {
   c_const_shift : float;
   c_nvars : int;
   c_fix : (var, fix_info) Hashtbl.t;
+  c_xu : float array;
+      (** sound upper bound per standard column ([infinity] when none is
+          derivable) — the compensation bounds certificate extraction
+          needs for Neumaier–Shcherbina-style safe dual bounds *)
 }
 
 (** [compile ?fixable p] lowers the model to standard form once. Each
@@ -261,6 +265,47 @@ let compile ?(fixable = []) p =
         c.(cp) <- c.(cp) +. coef;
         c.(cn) <- c.(cn) -. coef)
     p.obj_terms;
+  (* Sound per-column upper bounds (outward-rounded): structural
+     columns from the declared variable boxes; slack/surplus columns
+     from interval-evaluating their row over those boxes. Any feasible
+     point respects them, so adding [x ≤ xu] to the certified system
+     never cuts a feasible point — it only lets the checker compensate
+     near-zero reduced-cost residuals against a finite range. *)
+  let xu = Array.make total Float.infinity in
+  Array.iteri
+    (fun j m ->
+      match m with
+      | Shifted (col, l) ->
+        if hi.(j) < Float.infinity then xu.(col) <- Float.succ (hi.(j) -. l)
+      | Reflected (col, u) ->
+        if lo.(j) > Float.neg_infinity then xu.(col) <- Float.succ (u -. lo.(j))
+      | Split _ -> ())
+    mapping;
+  let slack = ref n_struct in
+  List.iter
+    (fun (coeffs, op, rhs) ->
+      match op with
+      | Eq -> ()
+      | Le | Ge ->
+        (* Le: s = rhs − a·y ≤ rhs − min(a·y); Ge: q = a·y − rhs ≤
+           max(a·y) − rhs; over y_col ∈ [0, xu_col]. *)
+        let lo_sum = ref 0. and hi_sum = ref 0. in
+        Array.iteri
+          (fun col coef ->
+            if coef > 0. then
+              hi_sum := Float.succ (!hi_sum +. Float.succ (coef *. xu.(col)))
+            else if coef < 0. then
+              lo_sum := Float.pred (!lo_sum +. Float.pred (coef *. xu.(col))))
+          coeffs;
+        let b =
+          match op with
+          | Le -> Float.succ (rhs -. !lo_sum)
+          | Ge -> Float.succ (!hi_sum -. rhs)
+          | Eq -> assert false
+        in
+        if Float.is_finite b then xu.(!slack) <- Float.max 0. b;
+        incr slack)
+    rows;
   {
     c_state = Simplex.make ~a ~b ~c ~basis0;
     c_mapping = mapping;
@@ -268,6 +313,7 @@ let compile ?(fixable = []) p =
     c_const_shift = !const_shift;
     c_nvars = p.nvars;
     c_fix;
+    c_xu = xu;
   }
 
 (** [copy_compiled c] is an independent compiled instance sharing the
@@ -330,3 +376,17 @@ let maximize_linear p terms =
 let minimize_linear p terms =
   set_objective p ~maximize:false terms;
   solve p
+
+(* ------------------------------------------------------------------ *)
+(* Lowering introspection for certificate extraction ({!Lp_cert}). *)
+
+let compiled_state c = c.c_state
+
+let compiled_frame c = (c.c_sign, c.c_const_shift)
+
+let compiled_fix_rows c v =
+  Option.map
+    (fun fi -> (fi.f_row_ub, fi.f_row_lb, fi.f_l))
+    (Hashtbl.find_opt c.c_fix v)
+
+let compiled_uppers c = Array.copy c.c_xu

@@ -106,3 +106,31 @@ val maximize_linear : problem -> term list -> result
 (** [minimize_linear p terms] sets a minimisation objective and
     solves. *)
 val minimize_linear : problem -> term list -> result
+
+(** {2 Lowering introspection}
+
+    Read-only views into a compiled model for certificate extraction
+    ({!Lp_cert}); nothing here allows mutating the lowering. *)
+
+(** [compiled_state c] is the underlying simplex state (standard form
+    [min c·y, Ay = b, y ≥ 0]). Mutate it only through
+    {!set_bounds_compiled}. *)
+val compiled_state : compiled -> Simplex.state
+
+(** [compiled_frame c] is [(c_sign, c_const_shift)]: a standard-form
+    objective value [s] means model objective
+    [c_sign · (s + c_const_shift)]. *)
+val compiled_frame : compiled -> float * float
+
+(** [compiled_fix_rows c v] is [Some (ub_row, lb_row, shift)] for a
+    fixable variable: {!set_bounds_compiled}[ c v ~lo ~hi] writes rhs
+    [hi - shift] to [ub_row] and [lo - shift] to [lb_row]. *)
+val compiled_fix_rows : compiled -> var -> (int * int * float) option
+
+(** [compiled_uppers c] is a sound upper bound per standard column
+    ([infinity] when none is derivable), valid for every feasible point
+    of the compiled system — and still valid after any
+    {!set_bounds_compiled} tightening, which only shrinks the feasible
+    set. Certificates carry these so the checker can compensate
+    near-binding reduced costs (Neumaier–Shcherbina). *)
+val compiled_uppers : compiled -> float array

@@ -1,0 +1,275 @@
+module Ival = Cv_cert.Ival
+module Cert = Cv_cert.Cert
+
+type extraction = { ex_witness : Cert.lp_witness; ex_value : float }
+
+let snapshot_system ~xu st =
+  {
+    Cert.lp_a = Simplex.system_rows st;
+    lp_b = Simplex.system_rhs st;
+    lp_c = Simplex.system_obj st;
+    lp_xu = Array.copy xu;
+  }
+
+(* Solve the dense m×m system [M z = rhs] by Gaussian elimination with
+   partial pivoting; [None] when a pivot degenerates. Destroys [mat]. *)
+let solve_dense mat rhs =
+  let m = Array.length rhs in
+  let z = Array.copy rhs in
+  let ok = ref true in
+  (try
+     for k = 0 to m - 1 do
+       let piv = ref k in
+       for i = k + 1 to m - 1 do
+         if Float.abs mat.(i).(k) > Float.abs mat.(!piv).(k) then piv := i
+       done;
+       if Float.abs mat.(!piv).(k) < 1e-12 then raise Exit;
+       if !piv <> k then begin
+         let t = mat.(k) in
+         mat.(k) <- mat.(!piv);
+         mat.(!piv) <- t;
+         let t = z.(k) in
+         z.(k) <- z.(!piv);
+         z.(!piv) <- t
+       end;
+       for i = k + 1 to m - 1 do
+         let f = mat.(i).(k) /. mat.(k).(k) in
+         if f <> 0. then begin
+           for j = k to m - 1 do
+             mat.(i).(j) <- mat.(i).(j) -. (f *. mat.(k).(j))
+           done;
+           z.(i) <- z.(i) -. (f *. z.(k))
+         end
+       done
+     done;
+     for k = m - 1 downto 0 do
+       let s = ref z.(k) in
+       for j = k + 1 to m - 1 do
+         s := !s -. (mat.(k).(j) *. z.(j))
+       done;
+       z.(k) <- !s /. mat.(k).(k)
+     done
+   with Exit -> ok := false);
+  if !ok && Ival.all_finite z then Some z else None
+
+(* Outward validation — the same obligations {!Cv_cert.Check} replays. *)
+let column_dot_up (a : float array array) j z =
+  let s = ref 0. in
+  Array.iteri
+    (fun i row ->
+      if row.(j) <> 0. then s := Ival.up (!s +. Ival.up (row.(j) *. z.(i))))
+    a;
+  !s
+
+(* Neumaier–Shcherbina compensation, mirroring {!Cv_cert.Check}: a
+   basic column binds its dual inequality exactly, so outward rounding
+   leaves a few-ulp residual of the wrong sign; charge it its worst
+   case over the column's [0, xu] range instead of rejecting. *)
+let valid_farkas (sys : Cert.lp_system) z =
+  let n = Array.length sys.lp_c in
+  let s = ref 0. in
+  let ok = ref (Ival.all_finite z) in
+  for j = 0 to n - 1 do
+    let cu = column_dot_up sys.lp_a j z in
+    if cu > 0. then
+      if sys.lp_xu.(j) < Float.infinity then
+        s := Ival.up (!s +. Ival.up (cu *. sys.lp_xu.(j)))
+      else ok := false
+  done;
+  !ok && Ival.dot_dn sys.lp_b z > !s
+
+(* The compensated weak-duality bound — exactly the value the checker
+   recomputes, so using it as the claim target is replay-stable. *)
+let dual_bound (sys : Cert.lp_system) z =
+  let n = Array.length sys.lp_c in
+  let ok = ref (Ival.all_finite z) in
+  let bound = ref (Ival.dot_dn sys.lp_b z) in
+  for j = 0 to n - 1 do
+    let r_lo = Ival.dn (sys.lp_c.(j) -. column_dot_up sys.lp_a j z) in
+    if r_lo < 0. then
+      if sys.lp_xu.(j) < Float.infinity then
+        bound := Ival.dn (!bound +. Ival.dn (r_lo *. sys.lp_xu.(j)))
+      else ok := false
+  done;
+  if !ok && Float.is_finite !bound then Some !bound else None
+
+(* Multipliers off a final basis: solve [B_origᵀ z = cost_B] in the
+   {e original} row space. Because the working rows are
+   [S·(pristine rows)] with [S = diag (row_signs)] diagonal,
+   [B̂ᵀy = c_B] in the sign-fixed space is exactly
+   [B_origᵀ(Sy) = c_B] — so this solve directly yields the witness
+   [Sy], no sign fix-up needed. Artificial column [n + k] is
+   [row_signs.(r)·e_r] in original space, [r] its creation row. *)
+let multipliers st cost_b =
+  let m = Simplex.num_rows st in
+  let n = Simplex.num_cols st in
+  let rows = Simplex.system_rows st in
+  let signs = Simplex.row_signs st in
+  let art = Simplex.artificial_rows st in
+  let basis = Simplex.final_basis st in
+  match
+    Array.map
+      (fun j ->
+        if j < n then Array.init m (fun i -> rows.(i).(j))
+        else begin
+          let k = j - n in
+          if k >= Array.length art || art.(k) < 0 then raise Exit;
+          let v = Array.make m 0. in
+          v.(art.(k)) <- signs.(art.(k));
+          v
+        end)
+      basis
+  with
+  | mat -> solve_dense mat (Array.map cost_b basis)
+  | exception Exit -> None
+
+let certify_state ?max_iters ~xu st =
+  let sys = snapshot_system ~xu st in
+  (* Fresh cold solve on the snapshot: its final basis is the one the
+     multipliers are read from, so the live state's warm-path history is
+     irrelevant. *)
+  let fresh =
+    Simplex.make ~a:sys.Cert.lp_a ~b:sys.lp_b ~c:sys.lp_c
+      ~basis0:(Simplex.initial_basis st)
+  in
+  match Simplex.resolve ?max_iters fresh with
+  | Simplex.Infeasible ->
+    let n = Simplex.num_cols fresh in
+    Option.bind (multipliers fresh (fun j -> if j >= n then 1. else 0.))
+      (fun z ->
+        if valid_farkas sys z then
+          Some { ex_witness = Cert.Farkas z; ex_value = Float.infinity }
+        else None)
+  | Simplex.Optimal _ ->
+    let n = Simplex.num_cols fresh in
+    Option.bind
+      (multipliers fresh (fun j -> if j < n then sys.Cert.lp_c.(j) else 0.))
+      (fun z ->
+        Option.map
+          (fun b -> { ex_witness = Cert.Dual_bound z; ex_value = b })
+          (dual_bound sys z))
+  | Simplex.Unbounded | Simplex.Stalled -> None
+
+let validated cert =
+  match Cv_cert.Check.check cert with
+  | Cv_cert.Check.Valid -> Some cert
+  | Invalid _ -> None
+
+let lp_certificate ?max_iters ~mode ~solver ~fingerprint compiled =
+  let st = Lp.compiled_state compiled in
+  let xu = Lp.compiled_uppers compiled in
+  Option.bind (certify_state ?max_iters ~xu st) (fun ex ->
+      let sys = snapshot_system ~xu st in
+      let claim, proof =
+        match ex.ex_witness with
+        | Cert.Farkas z -> (Cert.Lp_infeasible sys, Cert.P_farkas z)
+        | Cert.Dual_bound z ->
+          ( Cert.Lp_min_at_least (sys, ex.ex_value),
+            Cert.P_dual { dual = z; bound = ex.ex_value } )
+      in
+      validated { Cert.mode; solver; fingerprint; claim; proof })
+
+type branch_result = {
+  br_system : Cert.lp_system;
+  br_binaries : Cert.milp_binary array;
+  br_tree : Cert.milp_tree;
+  br_bound : float;
+}
+
+exception Give_up
+
+let branch_and_certify ?(max_nodes = 512) ?max_iters compiled ~binaries =
+  let binaries = Array.of_list binaries in
+  let relax_all () =
+    Array.iter
+      (fun v -> Lp.set_bounds_compiled compiled v ~lo:0. ~hi:1.)
+      binaries
+  in
+  match
+    let bins =
+      Array.map
+        (fun v ->
+          match Lp.compiled_fix_rows compiled v with
+          | Some (ub, lb, shift) ->
+            { Cert.bin_ub_row = ub; bin_lb_row = lb; bin_shift = shift }
+          | None -> raise Give_up)
+        binaries
+    in
+    relax_all ();
+    (* The certificate's base system: every binary relaxed to [0, 1];
+       the checker re-derives each leaf's rhs from the path fixings.
+       The compile-time column bounds stay valid at every leaf — rhs
+       tightening only shrinks the feasible set. *)
+    let xu = Lp.compiled_uppers compiled in
+    let base = snapshot_system ~xu (Lp.compiled_state compiled) in
+    let nodes = ref 0 in
+    let bound = ref Float.infinity in
+    let is_frac x = Float.abs (x -. Float.round x) > 1e-6 in
+    let rec go fixings remaining =
+      incr nodes;
+      if !nodes > max_nodes then raise Give_up;
+      List.iter
+        (fun (k, v) ->
+          Lp.set_bounds_compiled compiled binaries.(k) ~lo:v ~hi:v)
+        fixings;
+      let relax = Lp.solve_compiled ?max_iters compiled in
+      let leaf () =
+        match certify_state ?max_iters ~xu (Lp.compiled_state compiled) with
+        | Some ex ->
+          bound := Float.min !bound ex.ex_value;
+          Cert.Milp_leaf ex.ex_witness
+        | None -> raise Give_up
+      in
+      let branch k rest =
+        let node v =
+          let t = go ((k, v) :: fixings) rest in
+          Lp.set_bounds_compiled compiled binaries.(k) ~lo:0. ~hi:1.;
+          t
+        in
+        let zero = node 0. in
+        let one = node 1. in
+        Cert.Milp_branch { bin = k; zero; one }
+      in
+      match relax with
+      | Lp.Infeasible -> leaf ()
+      | Lp.Optimal { values; _ } -> (
+        (* Fathom integral relaxations with a dual witness; branch on
+           the first fractional binary otherwise. *)
+        match
+          List.find_opt (fun k -> is_frac values.(binaries.(k))) remaining
+        with
+        | None -> leaf ()
+        | Some k -> branch k (List.filter (fun k' -> k' <> k) remaining))
+      | Lp.Unbounded | Lp.Stalled -> raise Give_up
+    in
+    let all = List.init (Array.length binaries) Fun.id in
+    let tree = go [] all in
+    relax_all ();
+    if Float.is_finite !bound || !bound = Float.infinity then
+      { br_system = base; br_binaries = bins; br_tree = tree;
+        br_bound = (if !bound = Float.infinity then 0. else !bound) }
+    else raise Give_up
+  with
+  | r -> Some r
+  | exception Give_up ->
+    relax_all ();
+    None
+
+let milp_certificate ?max_nodes ?max_iters ~mode ~solver ~fingerprint
+    compiled ~binaries =
+  Option.bind (branch_and_certify ?max_nodes ?max_iters compiled ~binaries)
+    (fun br ->
+      validated
+        {
+          Cert.mode;
+          solver;
+          fingerprint;
+          claim =
+            Cert.Milp_min_at_least
+              {
+                lp = br.br_system;
+                binaries = br.br_binaries;
+                target = br.br_bound;
+              };
+          proof = Cert.P_milp_tree br.br_tree;
+        })

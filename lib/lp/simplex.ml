@@ -105,6 +105,15 @@ type state = {
   mutable warm : bool;
       (** tableau/basis valid, artificial-free and priced for [sc] *)
   mutable since_cold : int;  (** warm solves since the last cold solve *)
+  rowsign : float array;
+      (** per-row sign flip applied by the last {!cold_build} (±1):
+          working row [i] is [rowsign.(i)] times pristine row [i] —
+          what certificate extraction needs to map multipliers back to
+          the original row space *)
+  mutable art_row : int array;
+      (** creation row of each artificial column appended by the last
+          {!cold_build}: column [n + k] was seeded for row
+          [art_row.(k)] *)
 }
 
 let make ~a ~b ~c ~basis0 =
@@ -157,6 +166,8 @@ let make ~a ~b ~c ~basis0 =
     ncols = n;
     warm = false;
     since_cold = 0;
+    rowsign = Array.make (max 1 m) 1.;
+    art_row = Array.make (max 1 art0) (-1);
   }
 
 let copy_state st =
@@ -167,6 +178,8 @@ let copy_state st =
     rhs = Array.copy st.rhs;
     basis = Array.copy st.basis;
     dw = Array.copy st.dw;
+    rowsign = Array.copy st.rowsign;
+    art_row = Array.copy st.art_row;
   }
 
 (** [set_rhs st ~row v] replaces row [row]'s raw right-hand side. When
@@ -412,6 +425,9 @@ let cold_build st =
     st.stride <- st.n + !needed;
     st.tab <- Array.make ((st.m + 1) * st.stride) 0.
   end;
+  if !needed > Array.length st.art_row then
+    st.art_row <- Array.make !needed (-1);
+  Array.fill st.art_row 0 (Array.length st.art_row) (-1);
   Array.fill st.tab 0 (Array.length st.tab) 0.;
   Array.fill st.rhs 0 (Array.length st.rhs) 0.;
   let next_art = ref st.n in
@@ -421,11 +437,13 @@ let cold_build st =
       st.tab.(base + j) <- st.sa.((i * st.n) + j)
     done;
     st.rhs.(i) <- st.sb.(i);
+    st.rowsign.(i) <- 1.;
     let negate () =
       for j = 0 to st.n - 1 do
         st.tab.(base + j) <- -.st.tab.(base + j)
       done;
-      st.rhs.(i) <- -.st.rhs.(i)
+      st.rhs.(i) <- -.st.rhs.(i);
+      st.rowsign.(i) <- -1.
     in
     let seeded =
       match st.basis0.(i) with
@@ -442,6 +460,7 @@ let cold_build st =
       if st.rhs.(i) < 0. then negate ();
       st.tab.(base + !next_art) <- 1.;
       st.basis.(i) <- !next_art;
+      st.art_row.(!next_art - st.n) <- i;
       incr next_art
     end
   done;
@@ -911,3 +930,27 @@ let solve ?deadline ?max_iters ?basis0 ~a ~b ~c () =
     | None -> Array.make m None
   in
   resolve ?deadline ?max_iters (make ~a ~b ~c ~basis0)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot accessors for certificate extraction ({!Lp_cert}). All
+   return copies — the solver state stays sealed. *)
+
+let num_rows st = st.m
+
+let num_cols st = st.n
+
+let system_rows st =
+  Array.init st.m (fun i -> Array.sub st.sa (i * st.n) st.n)
+
+let system_rhs st = Array.sub st.sb 0 st.m
+
+let system_obj st = Array.copy st.sc
+
+let initial_basis st = Array.sub st.basis0 0 st.m
+
+let final_basis st = Array.sub st.basis 0 st.m
+
+let row_signs st = Array.sub st.rowsign 0 st.m
+
+let artificial_rows st =
+  Array.sub st.art_row 0 (max 0 (st.ncols - st.n))

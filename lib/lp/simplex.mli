@@ -75,3 +75,34 @@ val solve :
   c:float array ->
   unit ->
   outcome
+
+(** {2 Snapshot accessors}
+
+    Read-only copies of the captured system and the solver's last basis,
+    for certificate extraction ({!Lp_cert}). [row_signs] and
+    [artificial_rows] describe the last cold build: working row [i] is
+    [row_signs st.(i)] times the pristine row, and artificial column
+    [num_cols st + k] was appended for row [(artificial_rows st).(k)]. *)
+
+val num_rows : state -> int
+
+val num_cols : state -> int
+
+(** [system_rows st] is the pristine constraint matrix, row copies. *)
+val system_rows : state -> float array array
+
+(** [system_rhs st] is the current raw right-hand side (tracks
+    {!set_rhs}). *)
+val system_rhs : state -> float array
+
+val system_obj : state -> float array
+
+val initial_basis : state -> (int * float) option array
+
+(** [final_basis st] is the basic column per row after the last solve
+    (meaningless before any {!resolve}). *)
+val final_basis : state -> int array
+
+val row_signs : state -> float array
+
+val artificial_rows : state -> int array

@@ -1,0 +1,38 @@
+(** Network-level MILP certificates: one {!Cv_cert.Cert.milp_goal} per
+    finite bound of the safe output set, each backed by a branch tree of
+    validated LP witnesses from {!Cv_lp.Lp_cert}.
+
+    The big-M encoding step itself is untrusted (the checker cannot see
+    that the MILP models the network); the goal's lowering frame is
+    recorded so the checker can replay the bound translation, and the
+    checker cross-examines each goal against concrete network
+    evaluations. The emitted certificate is replayed through
+    {!Cv_cert.Check} before being returned. *)
+
+(** [goal enc ~max_nodes ~max_iters ~output ~side] certifies one output
+    bound of an encoded slice: sets the objective (maximise for
+    [`Upper], minimise for [`Lower]), recompiles, runs the certifying
+    branch-and-bound and packages the lowering frame. [None] when
+    extraction fails or the node budget runs out. *)
+val goal :
+  ?max_nodes:int ->
+  ?max_iters:int ->
+  Relu_encoding.encoding ->
+  output:int ->
+  side:[ `Upper | `Lower ] ->
+  Cv_cert.Cert.milp_goal option
+
+(** [safe_cert ... net ~din ~dout] proves [f(din) ⊆ dout] with one MILP
+    goal per finite bound of [dout] — the exact-method counterpart of
+    {!Cv_cert.Emit.safe_cert}. Self-validated; [None] when any goal
+    fails. *)
+val safe_cert :
+  ?max_nodes:int ->
+  ?max_iters:int ->
+  mode:string ->
+  solver:string ->
+  fingerprint:string ->
+  Cv_nn.Network.t ->
+  din:Cv_interval.Box.t ->
+  dout:Cv_interval.Box.t ->
+  Cv_cert.Cert.t option

@@ -112,6 +112,22 @@ let parse_literal st lit value =
     value)
   else error "invalid literal at %d" st.pos
 
+(* UTF-8-encode a Unicode scalar value (1–4 bytes). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then (
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+  else if cp < 0x10000 then (
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+  else (
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+
 let parse_string_raw st =
   expect st '"';
   let buf = Buffer.create 16 in
@@ -133,14 +149,46 @@ let parse_string_raw st =
       | Some 'b' -> Buffer.add_char buf '\b'
       | Some 'f' -> Buffer.add_char buf '\012'
       | Some 'u' ->
-        (* Decode \uXXXX; we only emit the low byte for BMP ASCII range,
-           which is all our own writer produces. *)
-        if st.pos + 4 >= String.length st.src then error "bad \\u escape";
-        let hex = String.sub st.src (st.pos + 1) 4 in
-        let code = int_of_string ("0x" ^ hex) in
-        if code < 0x80 then Buffer.add_char buf (Char.chr code)
-        else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
-        st.pos <- st.pos + 4
+        (* Decode \uXXXX to UTF-8. Surrogate pairs combine into one
+           astral code point; a lone surrogate becomes U+FFFD. *)
+        let hex4 off =
+          if off + 4 > String.length st.src then error "bad \\u escape";
+          let code = ref 0 in
+          for i = off to off + 3 do
+            let d =
+              match st.src.[i] with
+              | '0' .. '9' as c -> Char.code c - Char.code '0'
+              | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+              | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+              | _ -> error "bad \\u escape at %d" off
+            in
+            code := (!code lsl 4) lor d
+          done;
+          !code
+        in
+        let code = hex4 (st.pos + 1) in
+        st.pos <- st.pos + 4;
+        if code >= 0xD800 && code <= 0xDBFF then
+          (* High surrogate: try to pair with an immediately following
+             \uXXXX low surrogate. *)
+          let src_len = String.length st.src in
+          if
+            st.pos + 2 < src_len
+            && st.src.[st.pos + 1] = '\\'
+            && st.src.[st.pos + 2] = 'u'
+          then begin
+            let low = hex4 (st.pos + 3) in
+            if low >= 0xDC00 && low <= 0xDFFF then (
+              let cp =
+                0x10000 + (((code - 0xD800) lsl 10) lor (low - 0xDC00))
+              in
+              add_utf8 buf cp;
+              st.pos <- st.pos + 6)
+            else add_utf8 buf 0xFFFD
+          end
+          else add_utf8 buf 0xFFFD
+        else if code >= 0xDC00 && code <= 0xDFFF then add_utf8 buf 0xFFFD
+        else add_utf8 buf code
       | _ -> error "bad escape at %d" st.pos);
       advance st;
       loop ()

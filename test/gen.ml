@@ -1,0 +1,59 @@
+(* Shared test fixtures and QCheck generators (library [cv_testgen]).
+   One home for the random-network helpers and the adversarial float
+   entry generators that used to be copy-pasted across test modules. *)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic random networks                                       *)
+(* ------------------------------------------------------------------ *)
+
+let net_of seed dims =
+  Cv_nn.Network.random ~rng:(Cv_util.Rng.create seed) ~dims
+    ~act:Cv_nn.Activation.Relu ()
+
+(* The 3→6→5→1 ReLU net used by the query/batch suites. *)
+let net3 seed = net_of seed [ 3; 6; 5; 1 ]
+
+(* A provable property: the symbolic-interval over-approximation of the
+   reach set, widened — every engine must prove it. *)
+let safe_prop ?(margin = 0.1) net din =
+  let out =
+    Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint net din
+  in
+  Cv_verify.Property.make ~din ~dout:(Cv_interval.Box.expand margin out)
+
+(* A falsifiable property: the exact output range shrunk around its
+   center (width divided by [shrink]) misses some outputs. Single-output
+   networks only. *)
+let unsafe_prop ?(shrink = 8.) net din =
+  let r = (Cv_verify.Range.exact_range net ~din).Cv_verify.Range.range in
+  let lo = (Cv_interval.Box.lower r).(0)
+  and hi = (Cv_interval.Box.upper r).(0) in
+  let c = (lo +. hi) /. 2. and w = (hi -. lo) /. shrink in
+  Cv_verify.Property.make ~din
+    ~dout:(Cv_interval.Box.of_bounds [| c -. w |] [| c +. w |])
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-hostile float generators                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Shapes off the block boundaries, including degenerate ones. *)
+let shape_gen = QCheck.Gen.oneofl [ 0; 1; 2; 3; 5; 7; 8; 9; 17; 33; 64; 65; 70 ]
+
+(* Entries with exact zeros, signed zeros and subnormals mixed into
+   ordinary magnitudes. *)
+let entry_gen =
+  QCheck.Gen.frequency
+    [ (6, QCheck.Gen.float_range (-10.) 10.);
+      (1, QCheck.Gen.return 0.);
+      (1, QCheck.Gen.return (-0.));
+      (1, QCheck.Gen.return 4.9e-324);
+      (1, QCheck.Gen.return (-2.2250738585072014e-308)) ]
+
+let mat_gen rows cols =
+  QCheck.Gen.map
+    (fun l -> Cv_linalg.Mat.of_array ~rows ~cols (Array.of_list l))
+    (QCheck.Gen.list_size (QCheck.Gen.return (rows * cols)) entry_gen)
+
+let vec_gen n =
+  QCheck.Gen.map Array.of_list
+    (QCheck.Gen.list_size (QCheck.Gen.return n) entry_gen)

@@ -10,29 +10,16 @@ module Artifacts = Cv_artifacts.Artifacts
 module Box = Cv_interval.Box
 module Json = Cv_util.Json
 
-let net_of seed dims =
-  Cv_nn.Network.random ~rng:(Cv_util.Rng.create seed) ~dims
-    ~act:Cv_nn.Activation.Relu ()
+let net_of = Gen.net_of
 
-(* Shared fixture: one network, a provable property (the symint
-   over-approximation widened), a falsifiable one (a strict sub-box of
-   the true output range), and a proof artifact for the incremental
-   modes. *)
+(* Shared fixture (from [Gen]): one network, a provable property (the
+   symint over-approximation widened), a falsifiable one (a strict
+   sub-box of the true output range), and a proof artifact for the
+   incremental modes. *)
 let net = net_of 3 [ 3; 6; 5; 1 ]
 let din = Box.uniform 3 ~lo:0. ~hi:1.
-
-let safe_prop =
-  let out = Cv_domains.Analyzer.output_box Cv_domains.Analyzer.Symint net din in
-  Cv_verify.Property.make ~din ~dout:(Box.expand 0.1 out)
-
-let unsafe_prop =
-  (* The exact range shrunk to a quarter around its center misses some
-     outputs, so MILP falsifies it. *)
-  let r = (Cv_verify.Range.exact_range net ~din).Cv_verify.Range.range in
-  let lo = (Box.lower r).(0) and hi = (Box.upper r).(0) in
-  let c = (lo +. hi) /. 2. and w = (hi -. lo) /. 8. in
-  Cv_verify.Property.make ~din
-    ~dout:(Box.of_bounds [| c -. w |] [| c +. w |])
+let safe_prop = Gen.safe_prop net din
+let unsafe_prop = Gen.unsafe_prop net din
 
 let artifact =
   let original = Cv_core.Strategy.solve_original net safe_prop in

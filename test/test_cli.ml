@@ -256,6 +256,78 @@ let test_batch_golden () =
   | Some g ->
     Alcotest.(check string) "batch report matches golden" (read_file g) actual
 
+(* Certificate emission on every mode, replayed through the trusted
+   checker; plus the committed golden pair (a valid chain certificate
+   and a tampered copy the checker must reject). Depends on
+   test_generate_and_describe / test_verify_and_reuse. *)
+let test_cert_emission_and_check () =
+  let path f = Filename.concat tmp_dir f in
+  let contains text needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  let check_valid name cert =
+    Alcotest.(check bool) (name ^ " cert written") true (Sys.file_exists cert);
+    let code, out = run_out [ "check"; cert ] in
+    Alcotest.(check int) (name ^ " check exit") 0 code;
+    Alcotest.(check bool) (name ^ " VALID") true (contains out "VALID")
+  in
+  check_run "verify --emit-cert"
+    [ "verify"; "--model"; path "head1.json"; "--property";
+      path "property.json"; "--artifact"; path "proof.json"; "--emit-cert";
+      path "cert_verify.json" ];
+  check_valid "verify" (path "cert_verify.json");
+  check_run "svudc --emit-cert"
+    [ "svudc"; "--model"; path "head1.json"; "--artifact"; path "proof.json";
+      "--new-din"; path "enlarged_din.json"; "--emit-cert";
+      path "cert_svudc.json" ];
+  check_valid "svudc" (path "cert_svudc.json");
+  check_run "svbtv --emit-cert"
+    [ "svbtv"; "--old"; path "head1.json"; "--new"; path "head2.json";
+      "--artifact"; path "proof.json"; "--new-din"; path "enlarged_din.json";
+      "--emit-cert"; path "cert_svbtv.json" ];
+  check_valid "svbtv" (path "cert_svbtv.json");
+  (* batch: one cert per safe job, each one checker-valid *)
+  let manifest = path "cert_batch_manifest.json" in
+  let oc = open_out manifest in
+  output_string oc
+    {|{"jobs":[
+  {"id":"cv","mode":"verify","model":"head1.json","property":"property.json"},
+  {"id":"cu","mode":"svudc","model":"head1.json","artifact":"proof.json","new_din":"enlarged_din.json"},
+  {"id":"cb","mode":"svbtv","old":"head1.json","new":"head2.json","artifact":"proof.json","new_din":"enlarged_din.json"}
+]}|};
+  close_out oc;
+  check_run "batch --emit-certs"
+    [ "batch"; "--manifest"; manifest; "--emit-certs"; path "certs" ];
+  List.iter
+    (fun id ->
+      check_valid ("batch " ^ id)
+        (Filename.concat (path "certs") (id ^ ".cert.json")))
+    [ "cv"; "cu"; "cb" ];
+  (* committed golden pair *)
+  (match
+     List.find_opt Sys.file_exists
+       [ "golden/cert_chain.golden.json"; "test/golden/cert_chain.golden.json" ]
+   with
+  | None -> Alcotest.fail "golden/cert_chain.golden.json not found"
+  | Some g ->
+    check_valid "golden" g;
+    let tampered =
+      Filename.chop_suffix g "cert_chain.golden.json"
+      ^ "cert_chain_tampered.golden.json"
+    in
+    let code, out = run_out [ "check"; tampered ] in
+    Alcotest.(check int) "tampered golden exit" 1 code;
+    Alcotest.(check bool) "tampered golden INVALID" true
+      (contains out "INVALID"));
+  (* malformed input is a hard error, not a verdict *)
+  let junk = path "junk_cert.json" in
+  let oc = open_out junk in
+  output_string oc "{\"schema\": \"not-a-cert\"";
+  close_out oc;
+  Alcotest.(check bool) "malformed cert rejected" true (run [ "check"; junk ] <> 0)
+
 (* Verdicts must not depend on the concurrency level (the CI
    batch-matrix job re-checks this across full runs). *)
 let test_batch_jobs_invariance () =
@@ -291,5 +363,7 @@ let () =
             test_checkpoint_flag_validation;
           Alcotest.test_case "chaos campaign" `Quick test_chaos_campaign;
           Alcotest.test_case "batch golden report" `Quick test_batch_golden;
+          Alcotest.test_case "cert emission + check" `Quick
+            test_cert_emission_and_check;
           Alcotest.test_case "batch jobs invariance" `Quick
             test_batch_jobs_invariance ] ) ]

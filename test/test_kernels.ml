@@ -97,22 +97,11 @@ let bits_eq a b =
    ones; entries with exact zeros, signed zeros and subnormals mixed
    into ordinary magnitudes. *)
 
-let shape_gen = QCheck.Gen.oneofl [ 0; 1; 2; 3; 5; 7; 8; 9; 17; 33; 64; 65; 70 ]
+let shape_gen = Gen.shape_gen
 
-let entry_gen =
-  QCheck.Gen.frequency
-    [ (6, QCheck.Gen.float_range (-10.) 10.);
-      (1, QCheck.Gen.return 0.);
-      (1, QCheck.Gen.return (-0.));
-      (1, QCheck.Gen.return 4.9e-324);
-      (1, QCheck.Gen.return (-2.2250738585072014e-308)) ]
+let mat_gen = Gen.mat_gen
 
-let mat_gen rows cols =
-  QCheck.Gen.map
-    (fun l -> Mat.of_array ~rows ~cols (Array.of_list l))
-    (QCheck.Gen.list_size (QCheck.Gen.return (rows * cols)) entry_gen)
-
-let vec_gen n = QCheck.Gen.map Array.of_list (QCheck.Gen.list_size (QCheck.Gen.return n) entry_gen)
+let vec_gen = Gen.vec_gen
 
 let matmul_args =
   QCheck.make

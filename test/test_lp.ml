@@ -261,6 +261,91 @@ let test_degenerate_no_cycle () =
   | Cv_lp.Lp.Optimal s -> check_float "Beale optimum" 1.25 s.Cv_lp.Lp.objective
   | _ -> Alcotest.fail "expected optimal"
 
+(* Chvátal's classic cycling LP: Dantzig pivoting cycles forever on
+   this basis; Bland's rule must terminate at the optimum of 1. *)
+let test_chvatal_cycling () =
+  let p = Cv_lp.Lp.create () in
+  let x1 = Cv_lp.Lp.add_var p ~lo:0. () in
+  let x2 = Cv_lp.Lp.add_var p ~lo:0. () in
+  let x3 = Cv_lp.Lp.add_var p ~lo:0. () in
+  let x4 = Cv_lp.Lp.add_var p ~lo:0. () in
+  Cv_lp.Lp.add_constraint p
+    [ (0.5, x1); (-5.5, x2); (-2.5, x3); (9., x4) ]
+    Cv_lp.Lp.Le 0.;
+  Cv_lp.Lp.add_constraint p
+    [ (0.5, x1); (-1.5, x2); (-0.5, x3); (1., x4) ]
+    Cv_lp.Lp.Le 0.;
+  Cv_lp.Lp.add_constraint p [ (1., x1) ] Cv_lp.Lp.Le 1.;
+  match
+    Cv_lp.Lp.maximize_linear p
+      [ (10., x1); (-57., x2); (-9., x3); (-24., x4) ]
+  with
+  | Cv_lp.Lp.Optimal s ->
+    check_float "Chvátal optimum" 1. s.Cv_lp.Lp.objective;
+    check_float "x1 at its bound" 1. s.Cv_lp.Lp.values.(x1)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Rows whose left-hand side is identically zero (empty term list or
+   all-zero coefficients) must resolve by rhs sign, not crash a ratio
+   test. *)
+let test_zero_row_constraints () =
+  (* 0 <= 1 and 0·x = 0 are vacuous: the box optimum survives. *)
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:0. ~hi:3. () in
+  Cv_lp.Lp.add_constraint p [] Cv_lp.Lp.Le 1.;
+  Cv_lp.Lp.add_constraint p [ (0., x) ] Cv_lp.Lp.Eq 0.;
+  (match solve_max p [ (1., x) ] with
+  | Cv_lp.Lp.Optimal s -> check_float "vacuous rows" 3. s.Cv_lp.Lp.objective
+  | _ -> Alcotest.fail "expected optimal through vacuous rows");
+  (* 0 >= 1 is unsatisfiable no matter the variables. *)
+  let q = Cv_lp.Lp.create () in
+  let y = Cv_lp.Lp.add_var q ~lo:0. ~hi:3. () in
+  Cv_lp.Lp.add_constraint q [ (0., y) ] Cv_lp.Lp.Ge 1.;
+  match solve_max q [ (1., y) ] with
+  | Cv_lp.Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible zero row"
+
+(* A variable that appears in no constraint (zero column) is governed
+   by its box alone: finite box feeds the optimum, missing bound on the
+   improving side means unbounded. *)
+let test_zero_column_variable () =
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:0. ~hi:2. () in
+  let loose = Cv_lp.Lp.add_var p ~lo:(-1.) ~hi:4. () in
+  Cv_lp.Lp.add_constraint p [ (1., x) ] Cv_lp.Lp.Le 1.;
+  (match solve_max p [ (1., x); (1., loose) ] with
+  | Cv_lp.Lp.Optimal s ->
+    check_float "boxed zero column" 5. s.Cv_lp.Lp.objective;
+    check_float "loose at hi" 4. s.Cv_lp.Lp.values.(loose)
+  | _ -> Alcotest.fail "expected optimal with boxed zero column");
+  let q = Cv_lp.Lp.create () in
+  let z = Cv_lp.Lp.add_var q ~lo:0. ~hi:1. () in
+  let ray = Cv_lp.Lp.add_var q ~lo:0. () in
+  Cv_lp.Lp.add_constraint q [ (1., z) ] Cv_lp.Lp.Le 1.;
+  match solve_max q [ (1., z); (1., ray) ] with
+  | Cv_lp.Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded zero column"
+
+(* Starving phase 1 (a Ge row needs pivots before any feasible point
+   exists) must also degrade to [Stalled], and the problem must stay
+   reusable afterwards. *)
+let test_stalled_in_phase1 () =
+  let p = Cv_lp.Lp.create () in
+  let x = Cv_lp.Lp.add_var p ~lo:0. () in
+  let y = Cv_lp.Lp.add_var p ~lo:0. () in
+  let z = Cv_lp.Lp.add_var p ~lo:0. () in
+  (* three artificials to drive out: one pivot cannot reach feasibility *)
+  Cv_lp.Lp.add_constraint p [ (1., x); (1., y) ] Cv_lp.Lp.Ge 4.;
+  Cv_lp.Lp.add_constraint p [ (1., y); (1., z) ] Cv_lp.Lp.Ge 4.;
+  Cv_lp.Lp.add_constraint p [ (1., x); (1., z) ] Cv_lp.Lp.Ge 4.;
+  Cv_lp.Lp.set_objective p ~maximize:false [ (1., x); (1., y); (1., z) ];
+  (match Cv_lp.Lp.solve ~max_iters:1 p with
+  | Cv_lp.Lp.Stalled -> ()
+  | _ -> Alcotest.fail "expected Stalled inside phase 1");
+  match Cv_lp.Lp.solve p with
+  | Cv_lp.Lp.Optimal s -> check_float "recovered optimum" 6. s.Cv_lp.Lp.objective
+  | _ -> Alcotest.fail "expected optimal after removing the cap"
+
 (* ------------------------------------------------------------------ *)
 (* Fixing via set_bounds across the four lowering paths                *)
 (* ------------------------------------------------------------------ *)
@@ -403,7 +488,13 @@ let () =
           Alcotest.test_case "infeasible" `Quick test_infeasible;
           Alcotest.test_case "unbounded" `Quick test_unbounded;
           Alcotest.test_case "degenerate (Beale)" `Quick
-            test_degenerate_no_cycle ] );
+            test_degenerate_no_cycle;
+          Alcotest.test_case "degenerate (Chvátal)" `Quick
+            test_chvatal_cycling;
+          Alcotest.test_case "zero rows" `Quick test_zero_row_constraints;
+          Alcotest.test_case "zero column" `Quick test_zero_column_variable;
+          Alcotest.test_case "stalled in phase 1" `Quick
+            test_stalled_in_phase1 ] );
       ( "bounds",
         [ Alcotest.test_case "negative lower bounds" `Quick
             test_negative_lower_bounds;

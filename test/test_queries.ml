@@ -2,9 +2,7 @@
    (Cv_verify.Robustness) and argmax/advisory properties
    (Cv_verify.Argmax). *)
 
-let net3 seed =
-  Cv_nn.Network.random ~rng:(Cv_util.Rng.create seed) ~dims:[ 3; 6; 5; 1 ]
-    ~act:Cv_nn.Activation.Relu ()
+let net3 = Gen.net3
 
 (* ------------------------------------------------------------------ *)
 (* Robustness                                                          *)

@@ -146,6 +146,56 @@ let test_json_unicode_escape () =
   | Str v -> Alcotest.(check int) "length preserved" 3 (String.length v)
   | _ -> Alcotest.fail "control char roundtrip"
 
+let check_str_parse name expect src =
+  match Cv_util.Json.parse src with
+  | Cv_util.Json.Str v -> Alcotest.(check string) name expect v
+  | _ -> Alcotest.fail name
+
+let test_json_unicode_bmp () =
+  (* 2-byte UTF-8: \u00e9 = é; 3-byte: \u20ac = €, \u4e2d = 中 *)
+  check_str_parse "latin-1 supplement" "\xc3\xa9" "\"\\u00e9\"";
+  check_str_parse "euro sign" "\xe2\x82\xac" "\"\\u20ac\"";
+  check_str_parse "cjk" "\xe4\xb8\xad" "\"\\u4e2d\"";
+  check_str_parse "mixed" "a\xc3\xa9b" "\"a\\u00e9b\"";
+  (* boundary code points of each encoding width *)
+  check_str_parse "u+007f" "\x7f" "\"\\u007f\"";
+  check_str_parse "u+0080" "\xc2\x80" "\"\\u0080\"";
+  check_str_parse "u+07ff" "\xdf\xbf" "\"\\u07ff\"";
+  check_str_parse "u+0800" "\xe0\xa0\x80" "\"\\u0800\"";
+  check_str_parse "u+ffff" "\xef\xbf\xbf" "\"\\uffff\""
+
+let test_json_unicode_surrogates () =
+  (* \ud83d\ude00 = 😀 (U+1F600), 4-byte UTF-8 *)
+  check_str_parse "surrogate pair" "\xf0\x9f\x98\x80" "\"\\ud83d\\ude00\"";
+  (* U+10000, the lowest astral code point *)
+  check_str_parse "u+10000" "\xf0\x90\x80\x80" "\"\\ud800\\udc00\"";
+  (* U+10FFFF, the highest *)
+  check_str_parse "u+10ffff" "\xf4\x8f\xbf\xbf" "\"\\udbff\\udfff\"";
+  (* lone surrogates decay to U+FFFD *)
+  check_str_parse "lone high" "\xef\xbf\xbd" "\"\\ud800\"";
+  check_str_parse "lone low" "\xef\xbf\xbd" "\"\\udc00\"";
+  check_str_parse "high then ascii escape" "\xef\xbf\xbdA" "\"\\ud800\\u0041\"";
+  check_str_parse "high then newline escape" "\xef\xbf\xbd\n" "\"\\ud800\\n\"";
+  check_str_parse "high then raw char" "\xef\xbf\xbdx" "\"\\ud800x\"";
+  (* malformed hex still rejects *)
+  match Cv_util.Json.parse "\"\\uzzzz\"" with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "bad hex accepted"
+
+let test_json_unicode_roundtrip () =
+  (* the writer passes UTF-8 bytes through raw; escaped input must
+     round-trip to the identical byte sequence after one decode *)
+  let open Cv_util.Json in
+  List.iter
+    (fun src ->
+      match parse src with
+      | Str v -> (
+        match parse (to_string (Str v)) with
+        | Str v' -> Alcotest.(check string) ("roundtrip " ^ src) v v'
+        | _ -> Alcotest.fail "roundtrip shape")
+      | _ -> Alcotest.fail "decode shape")
+    [ "\"\\u00e9\""; "\"\\u20ac\""; "\"\\ud83d\\ude00\""; "\"\\ud800\"" ]
+
 let test_json_deep_nesting () =
   let open Cv_util.Json in
   let rec deep n = if n = 0 then Num 1. else List [ deep (n - 1) ] in
@@ -331,6 +381,11 @@ let () =
           Alcotest.test_case "errors" `Quick test_json_errors;
           Alcotest.test_case "float arrays" `Quick test_json_float_array;
           Alcotest.test_case "unicode escape" `Quick test_json_unicode_escape;
+          Alcotest.test_case "unicode bmp" `Quick test_json_unicode_bmp;
+          Alcotest.test_case "unicode surrogates" `Quick
+            test_json_unicode_surrogates;
+          Alcotest.test_case "unicode roundtrip" `Quick
+            test_json_unicode_roundtrip;
           Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
           QCheck_alcotest.to_alcotest json_roundtrip_prop ] );
       ( "stats",
